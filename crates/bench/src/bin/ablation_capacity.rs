@@ -1,0 +1,11 @@
+//! Extension: response-time and log-disk checks (service-level
+//! constraints the paper's throughput-only model never examines).
+
+fn main() {
+    let cli = tpcc_bench::Cli::parse();
+    let ctx = cli.context();
+    println!(
+        "{}",
+        tpcc_model::experiments::ablations::capacity_checks(&ctx)
+    );
+}

@@ -1,0 +1,8 @@
+//! Extension: the Che/IRM analytic LRU approximation vs the simulated
+//! sweep.
+
+fn main() {
+    let cli = tpcc_bench::Cli::parse();
+    let ctx = cli.context();
+    println!("{}", tpcc_model::experiments::ablations::analytic_che(&ctx));
+}

@@ -1,0 +1,11 @@
+//! Ablation: the §2.1 New-Order mix-stability warning, demonstrated.
+
+use tpcc_model::experiments::ablations;
+
+fn main() {
+    let cli = tpcc_bench::Cli::parse();
+    let ctx = cli.context();
+    let transactions = ctx.quality().sweep_transactions().min(400_000);
+    let trajectories = ablations::mix_stability(&ctx, transactions);
+    println!("{}", ablations::mix_stability_report(&trajectories));
+}

@@ -1,0 +1,10 @@
+//! Ablation: page-size sensitivity at a fixed buffer byte budget.
+
+fn main() {
+    let cli = tpcc_bench::Cli::parse();
+    let ctx = cli.context();
+    println!(
+        "{}",
+        tpcc_model::experiments::ablations::page_size_ablation(&ctx, 52 * 1024 * 1024)
+    );
+}

@@ -1,0 +1,10 @@
+//! Ablation: LRU vs Clock vs FIFO replacement on the Figure 8 workload.
+
+use tpcc_bench::Cli;
+use tpcc_model::experiments::buffer;
+
+fn main() {
+    let cli = Cli::parse();
+    let ctx = cli.context();
+    println!("{}", buffer::policy_ablation(&ctx, 52 * 1024 * 1024));
+}

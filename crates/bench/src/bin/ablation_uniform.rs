@@ -1,0 +1,10 @@
+//! Ablation: NURand skew vs TPC-A-style uniform access.
+
+fn main() {
+    let cli = tpcc_bench::Cli::parse();
+    let ctx = cli.context();
+    println!(
+        "{}",
+        tpcc_model::experiments::ablations::uniform_baseline(&ctx)
+    );
+}

@@ -1,0 +1,10 @@
+//! Extension: dirty-page write-back I/O the paper's model ignores.
+
+fn main() {
+    let cli = tpcc_bench::Cli::parse();
+    let ctx = cli.context();
+    println!(
+        "{}",
+        tpcc_model::experiments::ablations::write_back_study(&ctx)
+    );
+}

@@ -1,0 +1,6 @@
+//! Reproduces the Appendix A.3 closed-form PMF validation.
+
+fn main() {
+    let _cli = tpcc_bench::Cli::parse();
+    println!("{}", tpcc_model::experiments::skew::appendix_pmf());
+}

@@ -1,0 +1,22 @@
+//! Reproduces Figure 10: price/performance vs buffer size.
+
+use tpcc_bench::{write_csv, Cli};
+use tpcc_model::experiments::throughput;
+
+fn main() {
+    let cli = Cli::parse();
+    let ctx = cli.context();
+    let data = throughput::fig10(&ctx);
+    println!("{}", data.report());
+    if let Some(dir) = &cli.csv_dir {
+        for idx in 0..data.curves.len() {
+            let rep = data.curve_report(idx);
+            let header: Vec<&str> = rep.columns.iter().map(String::as_str).collect();
+            let name = format!(
+                "fig10_{}",
+                data.curves[idx].0.replace([' ', ','], "_").replace("__", "_")
+            );
+            write_csv(dir, &name, &header, &rep.rows);
+        }
+    }
+}

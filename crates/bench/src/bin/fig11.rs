@@ -1,0 +1,17 @@
+//! Reproduces Figure 11: distributed scale-up.
+
+use tpcc_bench::{write_csv, Cli};
+use tpcc_model::experiments::scaleup;
+
+fn main() {
+    let cli = Cli::parse();
+    let ctx = cli.context();
+    let nodes: Vec<u64> = (1..=30).collect();
+    let data = scaleup::fig11(&ctx, &nodes);
+    let report = data.report();
+    println!("{report}");
+    if let Some(dir) = &cli.csv_dir {
+        let header: Vec<&str> = report.columns.iter().map(String::as_str).collect();
+        write_csv(dir, "fig11_scaleup", &header, &report.rows);
+    }
+}

@@ -1,0 +1,18 @@
+//! Reproduces Figure 12: sensitivity to the remote-stock probability.
+
+use tpcc_bench::{write_csv, Cli};
+use tpcc_model::experiments::scaleup;
+
+fn main() {
+    let cli = Cli::parse();
+    let ctx = cli.context();
+    let nodes: Vec<u64> = vec![1, 2, 5, 10, 15, 20, 25, 30];
+    let probs = [0.01, 0.05, 0.1, 0.5, 1.0];
+    let data = scaleup::fig12(&ctx, &nodes, &probs);
+    let report = data.report();
+    println!("{report}");
+    if let Some(dir) = &cli.csv_dir {
+        let header: Vec<&str> = report.columns.iter().map(String::as_str).collect();
+        write_csv(dir, "fig12_remote_sensitivity", &header, &report.rows);
+    }
+}

@@ -1,0 +1,25 @@
+//! Reproduces Figures 3 and 4: the stock/item NURand PMF.
+
+use tpcc_bench::{write_csv, Cli};
+use tpcc_model::experiments::skew;
+
+fn main() {
+    let cli = Cli::parse();
+    let ctx = cli.context();
+    let data = skew::fig3_4(&ctx);
+    println!("{}", data.report());
+    if let Some(dir) = &cli.csv_dir {
+        let fig3: Vec<Vec<String>> = data
+            .series(10)
+            .into_iter()
+            .map(|(id, p)| vec![id.to_string(), format!("{p:e}")])
+            .collect();
+        write_csv(dir, "fig3_stock_pmf", &["tuple_id", "probability"], &fig3);
+        let fig4: Vec<Vec<String>> = data
+            .zoom_series()
+            .into_iter()
+            .map(|(id, p)| vec![id.to_string(), format!("{p:e}")])
+            .collect();
+        write_csv(dir, "fig4_stock_pmf_zoom", &["tuple_id", "probability"], &fig4);
+    }
+}

@@ -1,0 +1,26 @@
+//! Reproduces Figure 5: stock-relation skew (Lorenz) curves.
+
+use tpcc_bench::{write_csv, Cli};
+use tpcc_model::experiments::skew;
+
+fn main() {
+    let cli = Cli::parse();
+    let ctx = cli.context();
+    let curves = skew::fig5(&ctx);
+    println!("{}", skew::skew_checkpoints("Figure 5: stock relation skew", &curves));
+    if let Some(dir) = &cli.csv_dir {
+        for sc in &curves {
+            let rows: Vec<Vec<String>> = sc
+                .curve
+                .series(101)
+                .into_iter()
+                .map(|(d, a)| vec![format!("{d:.4}"), format!("{a:.6}")])
+                .collect();
+            let name = format!(
+                "fig5_{}",
+                sc.label.replace([' ', ','], "_").replace("__", "_")
+            );
+            write_csv(dir, &name, &["data_fraction", "access_fraction"], &rows);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Reproduces Figures 6 and 7: the customer relation PMF and skew.
+
+use tpcc_bench::{write_csv, Cli};
+use tpcc_model::experiments::skew;
+
+fn main() {
+    let cli = Cli::parse();
+    let ctx = cli.context();
+    let (pmf, curves) = skew::fig6_7(&ctx);
+    println!(
+        "{}",
+        skew::skew_checkpoints("Figure 7: customer relation skew", &curves)
+    );
+    if let Some(dir) = &cli.csv_dir {
+        let rows: Vec<Vec<String>> = pmf
+            .iter()
+            .map(|(id, p)| vec![id.to_string(), format!("{p:e}")])
+            .collect();
+        write_csv(dir, "fig6_customer_pmf", &["customer_id", "probability"], &rows);
+        for sc in &curves {
+            let rows: Vec<Vec<String>> = sc
+                .curve
+                .series(101)
+                .into_iter()
+                .map(|(d, a)| vec![format!("{d:.4}"), format!("{a:.6}")])
+                .collect();
+            let name = format!("fig7_{}", sc.label.replace([' ', ','], "_").replace("__", "_"));
+            write_csv(dir, &name, &["data_fraction", "access_fraction"], &rows);
+        }
+    }
+}

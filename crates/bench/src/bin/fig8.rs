@@ -1,0 +1,16 @@
+//! Reproduces Figure 8: per-relation miss rates vs buffer size.
+
+use tpcc_bench::{write_csv, Cli};
+use tpcc_model::experiments::buffer;
+
+fn main() {
+    let cli = Cli::parse();
+    let ctx = cli.context();
+    let data = buffer::fig8(&ctx);
+    let report = data.report();
+    println!("{report}");
+    if let Some(dir) = &cli.csv_dir {
+        let header: Vec<&str> = report.columns.iter().map(String::as_str).collect();
+        write_csv(dir, "fig8_miss_rates", &header, &report.rows);
+    }
+}

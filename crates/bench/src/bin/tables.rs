@@ -1,0 +1,11 @@
+//! Reproduces Tables 1, 2, 3, 4 and 6–7.
+
+fn main() {
+    let _cli = tpcc_bench::Cli::parse();
+    use tpcc_model::experiments::tables;
+    println!("{}", tables::table1());
+    println!("{}", tables::table2());
+    println!("{}", tables::table3());
+    println!("{}", tables::table4());
+    println!("{}", tables::table6_7(&[2, 5, 10, 30]));
+}

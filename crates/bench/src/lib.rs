@@ -1,0 +1,147 @@
+//! Shared plumbing for the per-figure reproduction binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--quality paper|quick|smoke` — simulation effort
+//!   (default `quick`; `paper` matches the paper's sample counts).
+//! * `--csv <dir>` — also write the full data series as CSV files.
+//! * `--seed <u64>` — root seed (default: the context's).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use tpcc_model::{ExperimentContext, Quality};
+
+/// Parsed common command-line options.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Simulation effort.
+    pub quality: Quality,
+    /// Directory for CSV output, if requested.
+    pub csv_dir: Option<PathBuf>,
+    /// Root seed override.
+    pub seed: Option<u64>,
+}
+
+impl Cli {
+    /// Parses `std::env::args`, exiting with usage on error.
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an iterator (testable).
+    ///
+    /// # Panics
+    /// Panics on malformed arguments (binaries surface this as usage).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut cli = Cli {
+            quality: Quality::Quick,
+            csv_dir: None,
+            seed: None,
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quality" => {
+                    let v = it.next().expect("--quality needs a value");
+                    cli.quality = match v.as_str() {
+                        "paper" => Quality::Paper,
+                        "quick" => Quality::Quick,
+                        "smoke" => Quality::Smoke,
+                        other => panic!("unknown quality '{other}' (paper|quick|smoke)"),
+                    };
+                }
+                "--csv" => {
+                    cli.csv_dir = Some(PathBuf::from(it.next().expect("--csv needs a dir")));
+                }
+                "--seed" => {
+                    cli.seed = Some(
+                        it.next()
+                            .expect("--seed needs a value")
+                            .parse()
+                            .expect("seed must be a u64"),
+                    );
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "usage: [--quality paper|quick|smoke] [--csv <dir>] [--seed <u64>]"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument '{other}'"),
+            }
+        }
+        cli
+    }
+
+    /// Builds the experiment context for these options.
+    #[must_use]
+    pub fn context(&self) -> ExperimentContext {
+        match self.seed {
+            Some(s) => ExperimentContext::with_seed(self.quality, s),
+            None => ExperimentContext::new(self.quality),
+        }
+    }
+}
+
+/// Writes one CSV file (header + rows) into `dir/name.csv`.
+///
+/// # Panics
+/// Panics on I/O errors — acceptable in a reproduction binary.
+pub fn write_csv(dir: &Path, name: &str, header: &[&str], rows: &[Vec<String>]) {
+    std::fs::create_dir_all(dir).expect("create csv dir");
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv"));
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write row");
+    }
+    f.flush().expect("flush csv");
+    eprintln!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults() {
+        let c = Cli::parse_from(Vec::<String>::new());
+        assert_eq!(c.quality, Quality::Quick);
+        assert!(c.csv_dir.is_none());
+        assert!(c.seed.is_none());
+    }
+
+    #[test]
+    fn parse_all_flags() {
+        let c = Cli::parse_from(
+            ["--quality", "smoke", "--csv", "/tmp/x", "--seed", "42"]
+                .map(String::from),
+        );
+        assert_eq!(c.quality, Quality::Smoke);
+        assert_eq!(c.csv_dir.as_deref(), Some(Path::new("/tmp/x")));
+        assert_eq!(c.seed, Some(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_panics() {
+        let _ = Cli::parse_from(["--frob".to_string()]);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("tpcc_bench_csv_test");
+        write_csv(
+            &dir,
+            "t",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        let text = std::fs::read_to_string(dir.join("t.csv")).expect("read back");
+        assert_eq!(text, "a,b\n1,2\n");
+    }
+}

@@ -1,0 +1,227 @@
+//! Shared, lazily-computed experiment inputs.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use tpcc_buffer::MissSweep;
+use tpcc_rand::{NuRand, Pmf, Xoshiro256};
+use tpcc_schema::packing::Packing;
+use tpcc_workload::TraceConfig;
+
+/// How much simulation effort to spend.
+///
+/// `Paper` matches the paper's methodology (exact PMF enumeration,
+/// 3 × 10⁶ measured transactions ≈ 10⁸ page references); `Quick` gives
+/// the same shapes in seconds; `Smoke` is for tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quality {
+    /// Full fidelity (minutes of CPU).
+    Paper,
+    /// Reduced sampling (seconds) — curves are mildly noisier.
+    Quick,
+    /// Minimal effort for unit tests.
+    Smoke,
+}
+
+impl Quality {
+    /// Measured transactions per sweep.
+    #[must_use]
+    pub fn sweep_transactions(self) -> u64 {
+        match self {
+            Quality::Paper => 3_000_000,
+            Quality::Quick => 300_000,
+            Quality::Smoke => 20_000,
+        }
+    }
+
+    /// Warm-up transactions before measurement.
+    #[must_use]
+    pub fn sweep_warmup(self) -> u64 {
+        match self {
+            Quality::Paper => 300_000,
+            Quality::Quick => 50_000,
+            Quality::Smoke => 5_000,
+        }
+    }
+
+    /// Monte-Carlo samples for the item PMF when not enumerating
+    /// exactly (`Paper` enumerates exactly instead).
+    #[must_use]
+    pub fn item_pmf_samples(self) -> u64 {
+        match self {
+            Quality::Paper => 0, // exact
+            Quality::Quick => 20_000_000,
+            Quality::Smoke => 1_000_000,
+        }
+    }
+
+    /// Warehouses simulated (the paper's buffer study uses 20).
+    #[must_use]
+    pub fn warehouses(self) -> u64 {
+        match self {
+            Quality::Paper | Quality::Quick => 20,
+            Quality::Smoke => 2,
+        }
+    }
+}
+
+/// Lazily computes and caches the expensive shared inputs.
+#[derive(Debug)]
+pub struct ExperimentContext {
+    quality: Quality,
+    seed: u64,
+    item_pmf: OnceLock<Arc<Pmf>>,
+    sweeps: Mutex<HashMap<Packing, Arc<MissSweep>>>,
+}
+
+impl ExperimentContext {
+    /// Context with the default seed.
+    #[must_use]
+    pub fn new(quality: Quality) -> Self {
+        Self::with_seed(quality, 0x7C9C_0220)
+    }
+
+    /// Context with an explicit root seed.
+    #[must_use]
+    pub fn with_seed(quality: Quality, seed: u64) -> Self {
+        Self {
+            quality,
+            seed,
+            item_pmf: OnceLock::new(),
+            sweeps: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The effort level.
+    #[must_use]
+    pub fn quality(&self) -> Quality {
+        self.quality
+    }
+
+    /// The root seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The `NU(8191, 1, 100000)` item/stock distribution: exact
+    /// enumeration at [`Quality::Paper`], Monte-Carlo otherwise.
+    pub fn item_pmf(&self) -> Arc<Pmf> {
+        self.item_pmf
+            .get_or_init(|| {
+                let nu = NuRand::item_id();
+                let pmf = match self.quality.item_pmf_samples() {
+                    0 => Pmf::exact_nurand(&nu),
+                    samples => {
+                        let mut rng = Xoshiro256::seed_from_u64(self.seed ^ 0x1);
+                        Pmf::monte_carlo(&nu, samples, &mut rng)
+                    }
+                };
+                Arc::new(pmf)
+            })
+            .clone()
+    }
+
+    /// The trace configuration the buffer studies run (paper defaults
+    /// at this quality's warehouse count).
+    #[must_use]
+    pub fn trace_config(&self, packing: Packing) -> TraceConfig {
+        TraceConfig::paper_default(self.quality.warehouses(), packing)
+    }
+
+    /// The stack-distance sweep for a packing strategy (computed once,
+    /// then shared). Both packings use the same seed so their traces
+    /// differ only in tuple placement.
+    pub fn sweep(&self, packing: Packing) -> Arc<MissSweep> {
+        if let Some(s) = self.sweeps.lock().expect("sweep lock").get(&packing) {
+            return s.clone();
+        }
+        // compute outside the lock: the PMF itself may take seconds
+        let pmf = self.item_pmf();
+        let sweep = Arc::new(MissSweep::run(
+            self.trace_config(packing),
+            Some(&pmf),
+            self.quality.sweep_transactions(),
+            self.quality.sweep_warmup(),
+            self.seed ^ 0x5EED,
+        ));
+        self.sweeps
+            .lock()
+            .expect("sweep lock")
+            .entry(packing)
+            .or_insert(sweep)
+            .clone()
+    }
+
+    /// Computes both packing sweeps concurrently (two worker threads)
+    /// and caches them — `repro_all` calls this first so Figures 8–12
+    /// share warm sweeps without paying for them serially.
+    pub fn prefetch_sweeps(&self) {
+        let pmf = self.item_pmf(); // enumerate once, before forking
+        let _ = pmf;
+        std::thread::scope(|scope| {
+            let a = scope.spawn(|| self.sweep(Packing::Sequential));
+            let b = scope.spawn(|| self.sweep(Packing::HotnessSorted));
+            let _ = a.join().expect("sequential sweep thread");
+            let _ = b.join().expect("optimized sweep thread");
+        });
+    }
+
+    /// The 64 buffer sizes (in bytes) the figures sweep: 2.5 MB steps
+    /// from 2.5 MB to 160 MB, matching "all 64 buffer sizes plotted in
+    /// Figure 9".
+    #[must_use]
+    pub fn buffer_sizes(&self) -> Vec<u64> {
+        (1..=64).map(|i| i * 2_621_440).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_context_builds_pmf_once() {
+        let ctx = ExperimentContext::new(Quality::Smoke);
+        let a = ctx.item_pmf();
+        let b = ctx.item_pmf();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 100_000);
+    }
+
+    #[test]
+    fn sweeps_are_cached_per_packing() {
+        let ctx = ExperimentContext::new(Quality::Smoke);
+        let s1 = ctx.sweep(Packing::Sequential);
+        let s2 = ctx.sweep(Packing::Sequential);
+        assert!(Arc::ptr_eq(&s1, &s2));
+        let o = ctx.sweep(Packing::HotnessSorted);
+        assert!(!Arc::ptr_eq(&s1, &o));
+    }
+
+    #[test]
+    fn prefetch_fills_both_sweeps() {
+        let ctx = ExperimentContext::new(Quality::Smoke);
+        ctx.prefetch_sweeps();
+        // both cached: subsequent calls are pointer-identical
+        let s = ctx.sweep(Packing::Sequential);
+        let o = ctx.sweep(Packing::HotnessSorted);
+        assert!(Arc::ptr_eq(&s, &ctx.sweep(Packing::Sequential)));
+        assert!(Arc::ptr_eq(&o, &ctx.sweep(Packing::HotnessSorted)));
+        // and prefetched results equal lazily-computed ones (same seed)
+        let lazy = ExperimentContext::new(Quality::Smoke);
+        assert_eq!(
+            s.miss_rate(tpcc_schema::relation::Relation::Stock, 5000),
+            lazy.sweep(Packing::Sequential)
+                .miss_rate(tpcc_schema::relation::Relation::Stock, 5000)
+        );
+    }
+
+    #[test]
+    fn buffer_sizes_are_64_ascending() {
+        let ctx = ExperimentContext::new(Quality::Smoke);
+        let sizes = ctx.buffer_sizes();
+        assert_eq!(sizes.len(), 64);
+        assert!(sizes.windows(2).all(|w| w[1] > w[0]));
+        assert_eq!(*sizes.last().expect("nonempty"), 64 * 2_621_440);
+    }
+}

@@ -1,0 +1,177 @@
+//! Figure 8: per-relation miss rate versus buffer size, sequential
+//! versus optimized packing — plus the replacement-policy ablation the
+//! paper speculates about.
+
+use crate::context::ExperimentContext;
+use crate::report::{fnum, Report};
+use std::sync::Arc;
+use tpcc_buffer::{BufferSim, BufferSimConfig, MissSweep, ReplacementPolicy};
+use tpcc_schema::packing::Packing;
+use tpcc_schema::relation::Relation;
+
+/// Figure 8 data: both packing sweeps plus the buffer-size axis.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// Buffer sizes (bytes) on the x-axis.
+    pub buffer_sizes: Vec<u64>,
+    /// Stack-distance sweep under sequential packing.
+    pub sequential: Arc<MissSweep>,
+    /// Stack-distance sweep under optimized packing.
+    pub optimized: Arc<MissSweep>,
+    /// Page size used to convert bytes to pages.
+    pub page_bytes: u64,
+}
+
+/// Runs (or reuses) the two sweeps.
+#[must_use]
+pub fn fig8(ctx: &ExperimentContext) -> Fig8 {
+    Fig8 {
+        buffer_sizes: ctx.buffer_sizes(),
+        sequential: ctx.sweep(Packing::Sequential),
+        optimized: ctx.sweep(Packing::HotnessSorted),
+        page_bytes: 4096,
+    }
+}
+
+impl Fig8 {
+    /// Miss rate of `relation` at `bytes` of buffer under a packing.
+    #[must_use]
+    pub fn miss_rate(&self, packing: Packing, relation: Relation, bytes: u64) -> f64 {
+        let sweep = match packing {
+            Packing::Sequential => &self.sequential,
+            Packing::HotnessSorted => &self.optimized,
+        };
+        sweep.miss_rate(relation, bytes / self.page_bytes)
+    }
+
+    /// The figure's table: customer / stock / item miss rates for both
+    /// packings at each buffer size.
+    #[must_use]
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(
+            "Figure 8: Customer, Stock and Item miss rates vs buffer size (LRU, W=20)",
+            vec![
+                "buffer MB",
+                "cust seq",
+                "cust opt",
+                "stock seq",
+                "stock opt",
+                "item seq",
+                "item opt",
+            ],
+        );
+        for &bytes in &self.buffer_sizes {
+            let mb = bytes as f64 / (1024.0 * 1024.0);
+            let cell = |p: Packing, rel: Relation| fnum(self.miss_rate(p, rel, bytes), 4);
+            r.push_row(vec![
+                fnum(mb, 1),
+                cell(Packing::Sequential, Relation::Customer),
+                cell(Packing::HotnessSorted, Relation::Customer),
+                cell(Packing::Sequential, Relation::Stock),
+                cell(Packing::HotnessSorted, Relation::Stock),
+                cell(Packing::Sequential, Relation::Item),
+                cell(Packing::HotnessSorted, Relation::Item),
+            ]);
+        }
+        let avg_gap = self.average_stock_gap();
+        r.push_note(format!(
+            "stock miss-rate reduction from optimized packing, averaged over the sweep: {} \
+             (absolute; paper reports 13% average, 30% at 52 MB)",
+            fnum(avg_gap, 3)
+        ));
+        r
+    }
+
+    /// Mean absolute stock miss-rate reduction (sequential − optimized)
+    /// across the buffer-size axis.
+    #[must_use]
+    pub fn average_stock_gap(&self) -> f64 {
+        let n = self.buffer_sizes.len() as f64;
+        self.buffer_sizes
+            .iter()
+            .map(|&b| {
+                self.miss_rate(Packing::Sequential, Relation::Stock, b)
+                    - self.miss_rate(Packing::HotnessSorted, Relation::Stock, b)
+            })
+            .sum::<f64>()
+            / n
+    }
+}
+
+/// Replacement-policy ablation: LRU vs Clock vs FIFO at one buffer size
+/// (direct simulation; the stack analyzer is LRU-only).
+#[must_use]
+pub fn policy_ablation(ctx: &ExperimentContext, buffer_bytes: u64) -> Report {
+    let pages = (buffer_bytes / 4096) as usize;
+    let mut r = Report::new(
+        format!(
+            "Ablation: replacement policy at {} MB (direct simulation)",
+            fnum(buffer_bytes as f64 / 1048576.0, 0)
+        ),
+        vec!["policy", "packing", "customer", "stock", "item"],
+    );
+    for packing in [Packing::Sequential, Packing::HotnessSorted] {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::LruK,
+            ReplacementPolicy::Clock,
+            ReplacementPolicy::Fifo,
+        ] {
+            let mut cfg = BufferSimConfig::quick(ctx.trace_config(packing), pages, ctx.seed());
+            cfg.policy = policy;
+            cfg.batches = 3;
+            cfg.batch_transactions = ctx.quality().sweep_transactions() / 30;
+            cfg.warmup_transactions = ctx.quality().sweep_warmup() / 5;
+            let pmf = ctx.item_pmf();
+            let rates = BufferSim::run(&cfg, Some(&pmf));
+            r.push_row(vec![
+                format!("{policy:?}"),
+                format!("{packing:?}"),
+                fnum(rates.miss_rate(Relation::Customer), 4),
+                fnum(rates.miss_rate(Relation::Stock), 4),
+                fnum(rates.miss_rate(Relation::Item), 4),
+            ]);
+        }
+    }
+    r.push_note(
+        "the paper assumes LRU; LRU-2 is the \"more sophisticated policy\" it \
+         hypothesizes about (scan-resistant against Stock-Level), Clock tracks \
+         LRU closely, FIFO loses ground",
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Quality;
+
+    #[test]
+    fn fig8_monotone_and_opt_beats_seq_for_stock() {
+        let ctx = ExperimentContext::new(Quality::Smoke);
+        let f = fig8(&ctx);
+        // monotone decreasing in buffer size
+        let sizes = [8u64 << 20, 32 << 20, 128 << 20];
+        let mut prev = 1.0;
+        for &b in &sizes {
+            let m = f.miss_rate(Packing::Sequential, Relation::Stock, b);
+            assert!(m <= prev + 1e-12);
+            prev = m;
+        }
+        // optimized packing strictly helps stock at mid buffer sizes
+        let seq = f.miss_rate(Packing::Sequential, Relation::Stock, 16 << 20);
+        let opt = f.miss_rate(Packing::HotnessSorted, Relation::Stock, 16 << 20);
+        assert!(
+            opt < seq,
+            "optimized {opt} should miss less than sequential {seq}"
+        );
+    }
+
+    #[test]
+    fn fig8_report_has_one_row_per_size() {
+        let ctx = ExperimentContext::new(Quality::Smoke);
+        let f = fig8(&ctx);
+        let rep = f.report();
+        assert_eq!(rep.rows.len(), f.buffer_sizes.len());
+    }
+}

@@ -1,0 +1,26 @@
+//! One driver per paper artifact.
+//!
+//! | paper artifact | function |
+//! |---|---|
+//! | Table 1 (schema) | [`tables::table1`] |
+//! | Table 2 (transactions) | [`tables::table2`] |
+//! | Table 3 (relation accesses) | [`tables::table3`] |
+//! | Table 4 (cost parameters) | [`tables::table4`] |
+//! | Tables 6–7 (distributed visit counts) | [`tables::table6_7`] |
+//! | Figures 3–4 (stock PMF) | [`skew::fig3_4`] |
+//! | Figure 5 (stock Lorenz curves) | [`skew::fig5`] |
+//! | Figures 6–7 (customer PMF / Lorenz) | [`skew::fig6_7`] |
+//! | Appendix A.3 (closed-form PMF) | [`skew::appendix_pmf`] |
+//! | Figure 8 (miss rates vs buffer size) | [`buffer::fig8`] |
+//! | Figure 9 (throughput vs buffer size) | [`throughput::fig9`] |
+//! | Figure 10 (price/performance) | [`throughput::fig10`] |
+//! | Figure 11 (scale-up) | [`scaleup::fig11`] |
+//! | Figure 12 (remote sensitivity) | [`scaleup::fig12`] |
+//! | extensions (uniform baseline, page size, mix stability) | [`ablations`] |
+
+pub mod ablations;
+pub mod buffer;
+pub mod scaleup;
+pub mod skew;
+pub mod tables;
+pub mod throughput;

@@ -1,0 +1,190 @@
+//! Figures 11 and 12: distributed scale-up and sensitivity to the
+//! remote-stock probability.
+
+use crate::context::ExperimentContext;
+use crate::report::{fnum, Report};
+use tpcc_cost::{DistributedModel, ItemPlacement, SingleNodeModel, SweepMissSource};
+use tpcc_schema::packing::Packing;
+
+/// The paper plots Figure 11/12 at a 102 MB buffer.
+pub const FIG11_BUFFER_BYTES: u64 = 102 * 1024 * 1024;
+
+/// One Figure 11 row.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig11Point {
+    /// Cluster size.
+    pub nodes: u64,
+    /// Ideal linear scale-up (N × single node).
+    pub ideal_tpm: f64,
+    /// Item relation replicated.
+    pub replicated_tpm: f64,
+    /// Item relation partitioned.
+    pub partitioned_tpm: f64,
+}
+
+/// Figure 11 output.
+#[derive(Debug, Clone)]
+pub struct Fig11 {
+    /// Scale-up curve.
+    pub points: Vec<Fig11Point>,
+}
+
+/// Computes Figure 11 (optimized packing, as the paper plots).
+#[must_use]
+pub fn fig11(ctx: &ExperimentContext, nodes: &[u64]) -> Fig11 {
+    let sweep = ctx.sweep(Packing::HotnessSorted);
+    let misses = SweepMissSource::new(&sweep, FIG11_BUFFER_BYTES / 4096);
+    let single = SingleNodeModel::paper_default();
+    let replicated = DistributedModel::new(single.clone(), ItemPlacement::Replicated);
+    let partitioned = DistributedModel::new(single, ItemPlacement::Partitioned);
+    let points = nodes
+        .iter()
+        .map(|&n| Fig11Point {
+            nodes: n,
+            ideal_tpm: replicated.ideal_tpm(n, &misses),
+            replicated_tpm: replicated.cluster_tpm(n, &misses),
+            partitioned_tpm: partitioned.cluster_tpm(n, &misses),
+        })
+        .collect();
+    Fig11 { points }
+}
+
+impl Fig11 {
+    /// The figure as a table.
+    #[must_use]
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(
+            "Figure 11: Scale-up of TPC-C (New-Order tpm, 102 MB buffer, optimized packing)",
+            vec![
+                "nodes",
+                "ideal",
+                "replicated",
+                "partitioned",
+                "repl % of ideal",
+                "repl vs part %",
+            ],
+        );
+        for p in &self.points {
+            r.push_row(vec![
+                p.nodes.to_string(),
+                fnum(p.ideal_tpm, 0),
+                fnum(p.replicated_tpm, 0),
+                fnum(p.partitioned_tpm, 0),
+                fnum(p.replicated_tpm / p.ideal_tpm * 100.0, 1),
+                fnum((p.replicated_tpm / p.partitioned_tpm - 1.0) * 100.0, 1),
+            ]);
+        }
+        r.push_note(
+            "paper: replicated within ~3% of ideal; replicated beats partitioned by 10/30/39% \
+             at 2/10/30 nodes",
+        );
+        r
+    }
+}
+
+/// Figure 12 output: cluster tpm per remote-stock probability.
+#[derive(Debug, Clone)]
+pub struct Fig12 {
+    /// Remote-stock probabilities swept.
+    pub probs: Vec<f64>,
+    /// `rows[i] = (nodes, tpm per prob)` matching `probs` order.
+    pub rows: Vec<(u64, Vec<f64>)>,
+}
+
+/// Computes Figure 12 (Item replicated, optimized packing).
+#[must_use]
+pub fn fig12(ctx: &ExperimentContext, nodes: &[u64], probs: &[f64]) -> Fig12 {
+    let sweep = ctx.sweep(Packing::HotnessSorted);
+    let misses = SweepMissSource::new(&sweep, FIG11_BUFFER_BYTES / 4096);
+    let single = SingleNodeModel::paper_default();
+    let rows = nodes
+        .iter()
+        .map(|&n| {
+            let tpms = probs
+                .iter()
+                .map(|&p| {
+                    DistributedModel::new(single.clone(), ItemPlacement::Replicated)
+                        .with_remote_stock_prob(p)
+                        .cluster_tpm(n, &misses)
+                })
+                .collect();
+            (n, tpms)
+        })
+        .collect();
+    Fig12 {
+        probs: probs.to_vec(),
+        rows,
+    }
+}
+
+impl Fig12 {
+    /// The figure as a table.
+    #[must_use]
+    pub fn report(&self) -> Report {
+        let mut columns = vec!["nodes".to_string()];
+        columns.extend(self.probs.iter().map(|p| format!("p={p}")));
+        let mut r = Report::new(
+            "Figure 12: Sensitivity of scale-up to percent remote (New-Order tpm)",
+            columns.iter().map(String::as_str).collect(),
+        );
+        for (nodes, tpms) in &self.rows {
+            let mut row = vec![nodes.to_string()];
+            row.extend(tpms.iter().map(|t| fnum(*t, 0)));
+            r.push_row(row);
+        }
+        if let Some((_, tpms)) = self.rows.last() {
+            if self.probs.len() >= 2 {
+                let drop = 1.0 - tpms[self.probs.len() - 1] / tpms[0];
+                r.push_note(format!(
+                    "at the largest cluster, raising remote-stock probability from {} to {} \
+                     cuts throughput by {}% (paper: ~44%)",
+                    self.probs[0],
+                    self.probs[self.probs.len() - 1],
+                    fnum(drop * 100.0, 1)
+                ));
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Quality;
+
+    #[test]
+    fn fig11_ordering_ideal_replicated_partitioned() {
+        let ctx = ExperimentContext::new(Quality::Smoke);
+        let f = fig11(&ctx, &[1, 2, 10, 30]);
+        for p in &f.points {
+            assert!(p.ideal_tpm >= p.replicated_tpm - 1e-9, "N={}", p.nodes);
+            assert!(p.replicated_tpm >= p.partitioned_tpm - 1e-9, "N={}", p.nodes);
+        }
+        // single node: all equal
+        let one = &f.points[0];
+        assert!((one.ideal_tpm - one.replicated_tpm).abs() < 1e-9);
+        assert!((one.ideal_tpm - one.partitioned_tpm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig11_replicated_close_to_ideal() {
+        let ctx = ExperimentContext::new(Quality::Smoke);
+        let f = fig11(&ctx, &[30]);
+        let p = &f.points[0];
+        let loss = 1.0 - p.replicated_tpm / p.ideal_tpm;
+        assert!(loss < 0.06, "loss {loss}");
+    }
+
+    #[test]
+    fn fig12_monotone_in_remote_probability() {
+        let ctx = ExperimentContext::new(Quality::Smoke);
+        let f = fig12(&ctx, &[10, 30], &[0.01, 0.05, 0.1, 0.5, 1.0]);
+        for (nodes, tpms) in &f.rows {
+            for w in tpms.windows(2) {
+                assert!(w[1] <= w[0] + 1e-9, "N={nodes}: {tpms:?}");
+            }
+        }
+        assert!(f.report().to_string().contains("p=0.5"));
+    }
+}

@@ -1,0 +1,263 @@
+//! Figures 9 and 10: maximum throughput and price/performance versus
+//! buffer size, for sequential and optimized tuple packing.
+
+use crate::context::ExperimentContext;
+use crate::report::{fnum, Report};
+use tpcc_cost::{
+    HardwareCosts, PricePerfPoint, PricePerformanceModel, SingleNodeModel, StoragePolicy,
+    SweepMissSource,
+};
+use tpcc_schema::packing::Packing;
+use tpcc_schema::relation::SchemaConfig;
+
+/// One Figure 9 point.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig9Point {
+    /// Buffer size in megabytes.
+    pub buffer_mb: f64,
+    /// Max New-Order tpm under sequential packing.
+    pub tpm_sequential: f64,
+    /// Max New-Order tpm under optimized packing.
+    pub tpm_optimized: f64,
+}
+
+/// Figure 9 output.
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    /// The curve.
+    pub points: Vec<Fig9Point>,
+    /// Largest relative improvement of optimized over sequential.
+    pub max_gap: f64,
+    /// Buffer size (MB) where the largest improvement occurs.
+    pub max_gap_mb: f64,
+    /// Mean relative improvement across the sweep.
+    pub avg_gap: f64,
+}
+
+/// Computes Figure 9.
+#[must_use]
+pub fn fig9(ctx: &ExperimentContext) -> Fig9 {
+    let seq = ctx.sweep(Packing::Sequential);
+    let opt = ctx.sweep(Packing::HotnessSorted);
+    let model = SingleNodeModel::paper_default();
+    let mut points = Vec::new();
+    let (mut max_gap, mut max_gap_mb, mut gap_sum) = (0.0f64, 0.0f64, 0.0f64);
+    for &bytes in &ctx.buffer_sizes() {
+        let pages = bytes / 4096;
+        let tpm_s = model
+            .throughput(&SweepMissSource::new(&seq, pages))
+            .new_order_tpm;
+        let tpm_o = model
+            .throughput(&SweepMissSource::new(&opt, pages))
+            .new_order_tpm;
+        let mb = bytes as f64 / 1048576.0;
+        let gap = tpm_o / tpm_s - 1.0;
+        gap_sum += gap;
+        if gap > max_gap {
+            max_gap = gap;
+            max_gap_mb = mb;
+        }
+        points.push(Fig9Point {
+            buffer_mb: mb,
+            tpm_sequential: tpm_s,
+            tpm_optimized: tpm_o,
+        });
+    }
+    let avg_gap = gap_sum / points.len() as f64;
+    Fig9 {
+        points,
+        max_gap,
+        max_gap_mb,
+        avg_gap,
+    }
+}
+
+impl Fig9 {
+    /// The figure as a table.
+    #[must_use]
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(
+            "Figure 9: Maximum throughput (New-Order tpm) vs buffer size",
+            vec!["buffer MB", "tpm sequential", "tpm optimized", "gain %"],
+        );
+        for p in &self.points {
+            r.push_row(vec![
+                fnum(p.buffer_mb, 1),
+                fnum(p.tpm_sequential, 1),
+                fnum(p.tpm_optimized, 1),
+                fnum((p.tpm_optimized / p.tpm_sequential - 1.0) * 100.0, 2),
+            ]);
+        }
+        r.push_note(format!(
+            "max throughput gain {}% at {} MB; mean {}% (paper: 2.5% at 44 MB, mean 1.0%)",
+            fnum(self.max_gap * 100.0, 2),
+            fnum(self.max_gap_mb, 0),
+            fnum(self.avg_gap * 100.0, 2)
+        ));
+        r
+    }
+}
+
+/// Figure 10's four curves.
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// (label, curve, optimum) per combination of packing × storage.
+    pub curves: Vec<(String, Vec<PricePerfPoint>, PricePerfPoint)>,
+}
+
+/// Computes Figure 10.
+#[must_use]
+pub fn fig10(ctx: &ExperimentContext) -> Fig10 {
+    let schema = SchemaConfig::new(ctx.quality().warehouses(), Default::default());
+    let sizes = ctx.buffer_sizes();
+    let mut curves = Vec::new();
+    for (packing, packing_label) in [
+        (Packing::Sequential, "sequential"),
+        (Packing::HotnessSorted, "optimized"),
+    ] {
+        let sweep = ctx.sweep(packing);
+        for (storage, storage_label) in [
+            (StoragePolicy::StaticOnly, "no growth storage"),
+            (StoragePolicy::paper_growth(), "with 180-day storage"),
+        ] {
+            let model = PricePerformanceModel::new(
+                SingleNodeModel::paper_default(),
+                HardwareCosts::paper_default(),
+                schema,
+                storage,
+            );
+            let curve = model.curve(&sweep, &sizes);
+            let optimum = PricePerformanceModel::optimum(&curve);
+            curves.push((
+                format!("{packing_label}, {storage_label}"),
+                curve,
+                optimum,
+            ));
+        }
+    }
+    Fig10 { curves }
+}
+
+impl Fig10 {
+    /// Summary report: the optimum of each curve.
+    #[must_use]
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(
+            "Figure 10: Price/performance optima ($ per New-Order tpm)",
+            vec![
+                "curve",
+                "optimal buffer MB",
+                "$ / tpm",
+                "tpm",
+                "disks",
+                "total $",
+            ],
+        );
+        for (label, _, opt) in &self.curves {
+            r.push_row(vec![
+                label.clone(),
+                fnum(opt.buffer_mb, 0),
+                fnum(opt.dollars_per_tpm, 0),
+                fnum(opt.new_order_tpm, 0),
+                opt.disks.to_string(),
+                fnum(opt.total_cost, 0),
+            ]);
+        }
+        r.push_note(
+            "paper optima: sequential $139/tpm @ 154 MB, optimized $107/tpm @ 84 MB (no \
+             growth storage); sequential $167/tpm @ 52 MB, optimized $154/tpm @ 26 MB (with)",
+        );
+        r
+    }
+
+    /// The full per-size table for one curve index.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn curve_report(&self, idx: usize) -> Report {
+        let (label, curve, _) = &self.curves[idx];
+        let mut r = Report::new(
+            format!("Figure 10 curve: {label}"),
+            vec!["buffer MB", "$ / tpm", "tpm", "disks(bw)", "disks(cap)", "disks"],
+        );
+        for p in curve {
+            r.push_row(vec![
+                fnum(p.buffer_mb, 1),
+                fnum(p.dollars_per_tpm, 1),
+                fnum(p.new_order_tpm, 1),
+                p.disks_bandwidth.to_string(),
+                p.disks_capacity.to_string(),
+                p.disks.to_string(),
+            ]);
+        }
+        r
+    }
+
+    /// Relative price/performance improvement of optimized over
+    /// sequential packing at their respective optima, for a storage
+    /// policy (`with_growth` selects the top pair of curves).
+    #[must_use]
+    pub fn optimum_improvement(&self, with_growth: bool) -> f64 {
+        let pick = |label_has: &str| {
+            self.curves
+                .iter()
+                .find(|(l, _, _)| {
+                    l.contains(label_has)
+                        && l.contains(if with_growth { "with" } else { "no" })
+                })
+                .map(|(_, _, o)| o.dollars_per_tpm)
+                .expect("curve present")
+        };
+        let seq = pick("sequential");
+        let opt = pick("optimized");
+        1.0 - opt / seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Quality;
+
+    #[test]
+    fn fig9_optimized_never_slower() {
+        let ctx = ExperimentContext::new(Quality::Smoke);
+        let f = fig9(&ctx);
+        assert_eq!(f.points.len(), 64);
+        let slower = f
+            .points
+            .iter()
+            .filter(|p| p.tpm_optimized < p.tpm_sequential * 0.995)
+            .count();
+        assert!(
+            slower <= 3,
+            "optimized packing slower at {slower} buffer sizes"
+        );
+        assert!(f.max_gap >= 0.0);
+    }
+
+    #[test]
+    fn fig9_throughput_increases_with_buffer() {
+        let ctx = ExperimentContext::new(Quality::Smoke);
+        let f = fig9(&ctx);
+        let first = &f.points[0];
+        let last = &f.points[f.points.len() - 1];
+        assert!(last.tpm_sequential > first.tpm_sequential);
+    }
+
+    #[test]
+    fn fig10_has_four_curves_with_optima() {
+        let ctx = ExperimentContext::new(Quality::Smoke);
+        let f = fig10(&ctx);
+        assert_eq!(f.curves.len(), 4);
+        for (label, curve, opt) in &f.curves {
+            assert_eq!(curve.len(), 64, "{label}");
+            assert!(opt.dollars_per_tpm > 0.0);
+        }
+        // optimized packing should not be worse at the optimum
+        let imp = f.optimum_improvement(false);
+        assert!(imp > -0.02, "improvement {imp}");
+        assert!(f.report().rows.len() == 4);
+    }
+}

@@ -1,0 +1,28 @@
+//! `tpcc-model` — the experiment layer of the TPC-C modeling-study
+//! reproduction.
+//!
+//! Every table and figure of Leutenegger & Dias, *A Modeling Study of
+//! the TPC-C Benchmark* (SIGMOD '93), has a driver function in
+//! [`experiments`] returning structured, serializable data plus a
+//! human-readable [`report::Report`]. The heavy intermediate products —
+//! the exact `NU(8191, 1, 100000)` PMF and the two (sequential /
+//! optimized-packing) stack-distance sweeps — are computed once per
+//! [`context::ExperimentContext`] and shared across figures.
+//!
+//! ```no_run
+//! use tpcc_model::context::{ExperimentContext, Quality};
+//!
+//! let ctx = ExperimentContext::new(Quality::Quick);
+//! let fig9 = tpcc_model::experiments::throughput::fig9(&ctx);
+//! println!("{}", fig9.report());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod experiments;
+pub mod report;
+
+pub use context::{ExperimentContext, Quality};
+pub use report::Report;

@@ -1,0 +1,149 @@
+//! Plain-text / markdown rendering of experiment outputs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A titled table of strings — every experiment renders to one or more
+/// of these, printable to a terminal or embeddable in EXPERIMENTS.md.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Report title (e.g. "Figure 9: maximum throughput vs buffer size").
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes appended after the table.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(title: impl Into<String>, columns: Vec<&str>) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a note line printed under the table.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.columns.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n> {note}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            writeln!(f, "{}", cells.join("  "))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `digits` decimals, trimming noise.
+#[must_use]
+pub fn fnum(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("test", vec!["a", "bb"]);
+        r.push_row(vec!["1".into(), "2.50".into()]);
+        r.push_note("a note");
+        r
+    }
+
+    #[test]
+    fn display_contains_all_cells() {
+        let text = sample().to_string();
+        assert!(text.contains("test"));
+        assert!(text.contains("bb"));
+        assert!(text.contains("2.50"));
+        assert!(text.contains("note: a note"));
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("### test"));
+        assert!(md.contains("| a | bb |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2.50 |"));
+        assert!(md.contains("> a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut r = Report::new("x", vec!["a"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn fnum_formats() {
+        assert_eq!(fnum(1.23456, 2), "1.23");
+        assert_eq!(fnum(0.5, 0), "0");
+    }
+}

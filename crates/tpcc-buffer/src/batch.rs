@@ -1,0 +1,244 @@
+//! Batch-means confidence intervals (paper §4: "30 batches per
+//! simulation and a batchsize of 100,000 samples … confidence intervals
+//! of 5% or less at a 90% confidence level").
+//!
+//! The method: split one long run into `n` consecutive batches, treat
+//! the per-batch means as approximately i.i.d. normal, and form a
+//! Student-t interval around their grand mean.
+
+use serde::{Deserialize, Serialize};
+
+/// A point estimate with a confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Grand mean across batches.
+    pub mean: f64,
+    /// Half-width of the confidence interval.
+    pub half_width: f64,
+    /// Confidence level the half-width corresponds to (e.g. 0.90).
+    pub confidence: f64,
+}
+
+impl Estimate {
+    /// Relative half-width (`half_width / mean`); infinite for mean 0.
+    #[must_use]
+    pub fn relative_precision(&self) -> f64 {
+        if self.mean == 0.0 {
+            if self.half_width == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+
+    /// The paper's acceptance criterion: relative half-width ≤ 5%.
+    #[must_use]
+    pub fn meets_paper_precision(&self) -> bool {
+        self.relative_precision() <= 0.05
+    }
+}
+
+/// Accumulates per-batch means and produces a Student-t interval.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_means: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the mean of one completed batch.
+    pub fn push(&mut self, batch_mean: f64) {
+        self.batch_means.push(batch_mean);
+    }
+
+    /// Number of batches recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.batch_means.len()
+    }
+
+    /// True before the first batch.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.batch_means.is_empty()
+    }
+
+    /// Grand mean across batches recorded so far.
+    ///
+    /// # Panics
+    /// Panics if no batches have been recorded.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        assert!(!self.batch_means.is_empty(), "no batches recorded");
+        self.batch_means.iter().sum::<f64>() / self.batch_means.len() as f64
+    }
+
+    /// Two-sided confidence interval at `confidence` (e.g. 0.90).
+    ///
+    /// # Panics
+    /// Panics with fewer than 2 batches, or for `confidence` outside the
+    /// supported set {0.90, 0.95, 0.99}.
+    #[must_use]
+    pub fn estimate(&self, confidence: f64) -> Estimate {
+        let n = self.batch_means.len();
+        assert!(n >= 2, "need at least two batches for an interval");
+        let mean = self.mean();
+        let var = self
+            .batch_means
+            .iter()
+            .map(|m| (m - mean) * (m - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        let se = (var / n as f64).sqrt();
+        let t = t_quantile(confidence, n - 1);
+        Estimate {
+            mean,
+            half_width: t * se,
+            confidence,
+        }
+    }
+}
+
+/// Two-sided Student-t critical value for the given confidence level and
+/// degrees of freedom (table-interpolated; exact at the tabulated df).
+///
+/// # Panics
+/// Panics for unsupported confidence levels.
+#[must_use]
+pub fn t_quantile(confidence: f64, df: usize) -> f64 {
+    // rows: df; columns: 90%, 95%, 99% two-sided
+    const TABLE: [(usize, [f64; 3]); 15] = [
+        (1, [6.314, 12.706, 63.657]),
+        (2, [2.920, 4.303, 9.925]),
+        (3, [2.353, 3.182, 5.841]),
+        (4, [2.132, 2.776, 4.604]),
+        (5, [2.015, 2.571, 4.032]),
+        (6, [1.943, 2.447, 3.707]),
+        (8, [1.860, 2.306, 3.355]),
+        (10, [1.812, 2.228, 3.169]),
+        (15, [1.753, 2.131, 2.947]),
+        (20, [1.725, 2.086, 2.845]),
+        (25, [1.708, 2.060, 2.787]),
+        (29, [1.699, 2.045, 2.756]),
+        (30, [1.697, 2.042, 2.750]),
+        (60, [1.671, 2.000, 2.660]),
+        (120, [1.658, 1.980, 2.617]),
+    ];
+    const NORMAL: [f64; 3] = [1.645, 1.960, 2.576];
+    let col = match confidence {
+        c if (c - 0.90).abs() < 1e-9 => 0,
+        c if (c - 0.95).abs() < 1e-9 => 1,
+        c if (c - 0.99).abs() < 1e-9 => 2,
+        other => panic!("unsupported confidence level {other}; use 0.90/0.95/0.99"),
+    };
+    let mut prev = TABLE[0];
+    for &row in &TABLE {
+        if row.0 == df {
+            return row.1[col];
+        }
+        if row.0 > df {
+            // linear interpolation between surrounding rows
+            let (d0, v0) = (prev.0 as f64, prev.1[col]);
+            let (d1, v1) = (row.0 as f64, row.1[col]);
+            return v0 + (v1 - v0) * (df as f64 - d0) / (d1 - d0);
+        }
+        prev = row;
+    }
+    NORMAL[col]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcc_rand::Xoshiro256;
+
+    #[test]
+    fn paper_setup_uses_t29() {
+        // 30 batches -> 29 df -> 1.699 at 90%
+        assert!((t_quantile(0.90, 29) - 1.699).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_decreases_with_df_and_increases_with_confidence() {
+        assert!(t_quantile(0.90, 2) > t_quantile(0.90, 29));
+        assert!(t_quantile(0.90, 29) > t_quantile(0.90, 2000));
+        assert!(t_quantile(0.99, 29) > t_quantile(0.95, 29));
+        assert!(t_quantile(0.95, 29) > t_quantile(0.90, 29));
+    }
+
+    #[test]
+    fn interpolation_is_sane() {
+        let t7 = t_quantile(0.90, 7);
+        assert!(t7 < t_quantile(0.90, 6) && t7 > t_quantile(0.90, 8));
+    }
+
+    #[test]
+    fn identical_batches_zero_width() {
+        let mut b = BatchMeans::new();
+        for _ in 0..30 {
+            b.push(0.25);
+        }
+        let e = b.estimate(0.90);
+        assert_eq!(e.mean, 0.25);
+        assert_eq!(e.half_width, 0.0);
+        assert!(e.meets_paper_precision());
+    }
+
+    #[test]
+    fn interval_covers_true_mean_usually() {
+        // Batches of Bernoulli(0.3) means; the 90% CI should cover 0.3
+        // in most replications.
+        let mut covered = 0;
+        for seed in 0..40u64 {
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            let mut b = BatchMeans::new();
+            for _ in 0..30 {
+                let hits = (0..1000).filter(|_| rng.chance(0.3)).count();
+                b.push(hits as f64 / 1000.0);
+            }
+            let e = b.estimate(0.90);
+            if (e.mean - 0.3).abs() <= e.half_width {
+                covered += 1;
+            }
+        }
+        assert!(covered >= 30, "only {covered}/40 intervals covered 0.3");
+    }
+
+    #[test]
+    fn relative_precision_handles_zero_mean() {
+        let e = Estimate {
+            mean: 0.0,
+            half_width: 0.0,
+            confidence: 0.9,
+        };
+        assert_eq!(e.relative_precision(), 0.0);
+        let e2 = Estimate {
+            mean: 0.0,
+            half_width: 0.1,
+            confidence: 0.9,
+        };
+        assert!(e2.relative_precision().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two batches")]
+    fn single_batch_interval_rejected() {
+        let mut b = BatchMeans::new();
+        b.push(0.5);
+        let _ = b.estimate(0.90);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported confidence")]
+    fn weird_confidence_rejected() {
+        let _ = t_quantile(0.42, 10);
+    }
+}

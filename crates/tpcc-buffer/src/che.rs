@@ -1,0 +1,290 @@
+//! An *analytic* LRU model: the Che (characteristic-time)
+//! approximation under the independent reference model.
+//!
+//! Given per-page access probabilities `p_i`, an LRU cache of `C`
+//! pages behaves as if every page stayed resident for a fixed
+//! characteristic time `T_C`, the unique root of
+//!
+//! ```text
+//! Σ_i (1 − e^(−p_i · T_C)) = C
+//! ```
+//!
+//! whence page `i` hits with probability `1 − e^(−p_i T_C)` and the
+//! overall miss ratio is `Σ_i p_i e^(−p_i T_C)`.
+//!
+//! This complements the paper's two simulation routes: it needs only
+//! the PMFs of §3 (no trace at all) and is exact in the IRM limit. The
+//! TPC-C workload is *not* fully IRM — the Order-Status / Delivery /
+//! Stock-Level transactions re-reference recently-created pages — so
+//! comparing the Che curve against the trace-driven sweep quantifies
+//! exactly how much the benchmark's temporal locality matters (see the
+//! `analytic_vs_simulated` experiment).
+
+use serde::{Deserialize, Serialize};
+
+/// A page population: per-page access probabilities partitioned into
+/// named groups (relations), normalized globally.
+///
+/// ```
+/// use tpcc_buffer::CheModel;
+///
+/// let mut model = CheModel::new();
+/// let hot = model.add_group(0.9, &[1.0; 10]);    // 10 pages, 90% of traffic
+/// let cold = model.add_group(0.1, &[1.0; 1000]); // 1000 pages, 10%
+/// model.finalize();
+/// assert!(model.group_miss_ratio(hot, 50.0) < 0.01);
+/// assert!(model.group_miss_ratio(cold, 50.0) > 0.5);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CheModel {
+    /// `(global access probability, group id)` per page.
+    pages: Vec<(f64, u32)>,
+    group_rate: Vec<f64>,
+    normalized: bool,
+}
+
+/// Handle to one group added to a [`CheModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupId(u32);
+
+impl CheModel {
+    /// Empty model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a group (e.g. one relation) whose pages are accessed with
+    /// relative weight `access_weight` overall, split across pages in
+    /// proportion to `page_weights`.
+    ///
+    /// # Panics
+    /// Panics on empty or non-positive inputs, or after normalization.
+    pub fn add_group(&mut self, access_weight: f64, page_weights: &[f64]) -> GroupId {
+        assert!(!self.normalized, "model already normalized");
+        assert!(
+            access_weight.is_finite() && access_weight > 0.0,
+            "group weight must be positive"
+        );
+        assert!(!page_weights.is_empty(), "group needs pages");
+        let total: f64 = page_weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "invalid page weight {w}");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "group page weights sum to zero");
+        let id = self.group_rate.len() as u32;
+        self.group_rate.push(access_weight);
+        self.pages.extend(
+            page_weights
+                .iter()
+                .map(|&w| (access_weight * w / total, id)),
+        );
+        GroupId(id)
+    }
+
+    /// Normalizes global probabilities; call once after all groups are
+    /// added. Idempotent access afterwards.
+    pub fn finalize(&mut self) {
+        if self.normalized {
+            return;
+        }
+        let total: f64 = self.pages.iter().map(|(p, _)| p).sum();
+        assert!(total > 0.0, "model has no accesses");
+        for (p, _) in &mut self.pages {
+            *p /= total;
+        }
+        let rate_total: f64 = self.group_rate.iter().sum();
+        for r in &mut self.group_rate {
+            *r /= rate_total;
+        }
+        self.normalized = true;
+    }
+
+    /// Total pages in the population.
+    #[must_use]
+    pub fn total_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The characteristic time `T_C` for a cache of `cache_pages`
+    /// (bisection on the monotone occupancy function).
+    ///
+    /// # Panics
+    /// Panics unless `0 < cache_pages < total_pages` and the model is
+    /// finalized.
+    #[must_use]
+    pub fn characteristic_time(&self, cache_pages: f64) -> f64 {
+        assert!(self.normalized, "call finalize() first");
+        assert!(
+            cache_pages > 0.0 && cache_pages < self.pages.len() as f64,
+            "cache must be smaller than the page population"
+        );
+        let occupancy = |t: f64| -> f64 {
+            self.pages
+                .iter()
+                .map(|(p, _)| -(-p * t).exp_m1())
+                .sum::<f64>()
+        };
+        // bracket: occupancy(0)=0, grows to total_pages as t→∞
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        while occupancy(hi) < cache_pages {
+            hi *= 2.0;
+            assert!(hi < 1e18, "characteristic time failed to bracket");
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if occupancy(mid) < cache_pages {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo <= 1e-9 * hi {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Overall miss ratio at `cache_pages`.
+    #[must_use]
+    pub fn miss_ratio(&self, cache_pages: f64) -> f64 {
+        let t = self.characteristic_time(cache_pages);
+        self.pages
+            .iter()
+            .map(|(p, _)| p * (-p * t).exp())
+            .sum::<f64>()
+    }
+
+    /// Miss ratio of one group's accesses at `cache_pages`.
+    ///
+    /// # Panics
+    /// Panics on an unknown group.
+    #[must_use]
+    pub fn group_miss_ratio(&self, group: GroupId, cache_pages: f64) -> f64 {
+        assert!((group.0 as usize) < self.group_rate.len(), "unknown group");
+        let t = self.characteristic_time(cache_pages);
+        let mass: f64 = self
+            .pages
+            .iter()
+            .filter(|(_, g)| *g == group.0)
+            .map(|(p, _)| p)
+            .sum();
+        let missed: f64 = self
+            .pages
+            .iter()
+            .filter(|(_, g)| *g == group.0)
+            .map(|(p, _)| p * (-p * t).exp())
+            .sum();
+        missed / mass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::LruBuffer;
+    use tpcc_rand::{AliasTable, NuRand, Pmf, Xoshiro256};
+
+    fn uniform_model(pages: usize) -> CheModel {
+        let mut m = CheModel::new();
+        m.add_group(1.0, &vec![1.0; pages]);
+        m.finalize();
+        m
+    }
+
+    #[test]
+    fn uniform_miss_ratio_is_one_minus_fill() {
+        // IRM with equal probabilities: hit rate ≈ C/N exactly.
+        let m = uniform_model(1000);
+        for c in [100.0, 250.0, 500.0, 900.0] {
+            let miss = m.miss_ratio(c);
+            let expect = 1.0 - c / 1000.0;
+            assert!((miss - expect).abs() < 0.01, "C={c}: {miss} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn occupancy_constraint_holds_at_root() {
+        let m = uniform_model(500);
+        let t = m.characteristic_time(200.0);
+        let occ: f64 = (0..500).map(|_| 1.0 - (-(1.0 / 500.0) * t).exp()).sum();
+        assert!((occ - 200.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn miss_ratio_monotone_in_cache_size() {
+        let pmf = Pmf::exact_nurand(&NuRand::new(255, 1, 5000));
+        let mut m = CheModel::new();
+        m.add_group(1.0, pmf.probs());
+        m.finalize();
+        let mut prev = 1.0;
+        for c in [10.0, 50.0, 200.0, 1000.0, 4000.0] {
+            let miss = m.miss_ratio(c);
+            assert!(miss <= prev + 1e-12, "C={c}");
+            prev = miss;
+        }
+    }
+
+    #[test]
+    fn matches_irm_simulation_closely() {
+        // Draw an IRM trace from a skewed PMF and compare the Che
+        // prediction with a direct LRU simulation.
+        let pmf = Pmf::exact_nurand(&NuRand::new(127, 1, 2000));
+        let mut model = CheModel::new();
+        model.add_group(1.0, pmf.probs());
+        model.finalize();
+
+        let table = AliasTable::from_pmf(&pmf);
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let cache = 300usize;
+        let mut lru = LruBuffer::new(cache);
+        // warm up
+        for _ in 0..50_000 {
+            lru.access(table.sample(&mut rng));
+        }
+        let n = 400_000;
+        let misses = (0..n).filter(|_| lru.access(table.sample(&mut rng))).count();
+        let simulated = misses as f64 / n as f64;
+        let predicted = model.miss_ratio(cache as f64);
+        assert!(
+            (simulated - predicted).abs() < 0.02,
+            "Che {predicted:.4} vs simulated {simulated:.4}"
+        );
+    }
+
+    #[test]
+    fn hot_group_misses_less() {
+        let mut m = CheModel::new();
+        // group 0: 10 pages absorbing 90% of accesses; group 1: 1000
+        // pages with 10%
+        let hot = m.add_group(0.9, &[1.0; 10]);
+        let cold = m.add_group(0.1, &[1.0; 1000]);
+        m.finalize();
+        let c = 100.0;
+        assert!(m.group_miss_ratio(hot, c) < 0.001);
+        assert!(m.group_miss_ratio(cold, c) > 0.5);
+        // overall is the rate-weighted combination
+        let overall = m.miss_ratio(c);
+        let combo = 0.9 * m.group_miss_ratio(hot, c) + 0.1 * m.group_miss_ratio(cold, c);
+        assert!((overall - combo).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "call finalize")]
+    fn unfinalized_rejected() {
+        let mut m = CheModel::new();
+        m.add_group(1.0, &[1.0, 1.0]);
+        let _ = m.miss_ratio(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the page population")]
+    fn oversized_cache_rejected() {
+        let m = uniform_model(10);
+        let _ = m.miss_ratio(10.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Buffer-pool simulation for the TPC-C workload (paper §4).
+//!
+//! Two engines compute the same quantity — per-relation miss rates under
+//! an LRU-managed shared buffer:
+//!
+//! * [`lru::LruBuffer`] — a direct simulation of one buffer size
+//!   (hash map + intrusive LRU list), used with [`batch::BatchMeans`] to
+//!   reproduce the paper's methodology (30 batches × 100 000 samples,
+//!   90% confidence intervals).
+//! * [`stack::StackDistance`] — Mattson's stack-distance analysis: one
+//!   pass over the trace yields the exact LRU miss rate for *every*
+//!   buffer size simultaneously (LRU's inclusion property), which is how
+//!   the 64-point sweeps of Figures 8–10 are generated quickly.
+//!
+//! [`policy`] adds Clock and FIFO buffers for the replacement-policy
+//! ablation the paper hypothesizes about, and [`sim`] wires the trace
+//! generator to either engine.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod che;
+pub mod fxhash;
+pub mod lru;
+pub mod policy;
+pub mod replicate;
+pub mod sim;
+pub mod stack;
+
+pub use batch::{BatchMeans, Estimate};
+pub use che::{CheModel, GroupId};
+pub use lru::LruBuffer;
+pub use policy::{ClockBuffer, FifoBuffer, LruKBuffer, PolicyBuffer, ReplacementPolicy};
+pub use replicate::{parallel_sweeps, replicated_estimate};
+pub use sim::{BufferSim, BufferSimConfig, MissRates, MissSweep};
+pub use stack::{Distance, MissCurve, StackDistance};

@@ -1,0 +1,276 @@
+//! Direct LRU buffer simulation.
+//!
+//! A fixed-capacity page buffer with least-recently-used replacement —
+//! the policy the paper assumes for the database buffer (§4). Only
+//! residency is simulated (no page contents): `access` reports whether
+//! the reference hit or missed and updates recency.
+//!
+//! Implementation: an intrusive doubly-linked list over a slab of nodes
+//! plus an Fx-hashed page table, giving O(1) accesses with no per-access
+//! allocation once the buffer is warm.
+
+use crate::fxhash::FxHashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// A fixed-size LRU page buffer over `u64` page ids.
+///
+/// ```
+/// use tpcc_buffer::LruBuffer;
+///
+/// let mut pool = LruBuffer::new(2);
+/// assert!(pool.access(1));  // cold miss
+/// assert!(pool.access(2));  // cold miss
+/// assert!(!pool.access(1)); // hit
+/// assert!(pool.access(3));  // evicts 2 (the LRU page)
+/// assert!(!pool.contains(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruBuffer {
+    capacity: usize,
+    map: FxHashMap<u64, u32>,
+    slab: Vec<Node>,
+    /// Most recently used node.
+    head: u32,
+    /// Least recently used node (eviction victim).
+    tail: u32,
+}
+
+impl LruBuffer {
+    /// Creates a buffer holding `capacity` pages.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or `capacity >= u32::MAX as usize`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer needs at least one page");
+        assert!(capacity < NIL as usize, "capacity too large");
+        Self {
+            capacity,
+            map: FxHashMap::with_capacity_and_hasher(capacity * 2, Default::default()),
+            slab: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Page capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pages currently resident.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no page is resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// True if `key` is resident (does not touch recency).
+    #[must_use]
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// References a page: returns `true` on a **miss** (page was not
+    /// resident and has been faulted in, evicting the LRU page if the
+    /// buffer was full), `false` on a hit. Either way the page becomes
+    /// most-recently-used.
+    #[inline]
+    pub fn access(&mut self, key: u64) -> bool {
+        self.access_evict(key).0
+    }
+
+    /// As [`LruBuffer::access`], additionally reporting which page (if
+    /// any) was evicted to make room — the hook write-back accounting
+    /// needs.
+    #[inline]
+    pub fn access_evict(&mut self, key: u64) -> (bool, Option<u64>) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.move_to_head(idx);
+            return (false, None);
+        }
+        // miss: reuse the LRU node if full, otherwise grow the slab
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            let old_key = self.slab[victim as usize].key;
+            self.map.remove(&old_key);
+            self.detach(victim);
+            self.slab[victim as usize].key = key;
+            self.attach_head(victim);
+            self.map.insert(key, victim);
+            (true, Some(old_key))
+        } else {
+            let idx = self.slab.len() as u32;
+            self.slab.push(Node {
+                key,
+                prev: NIL,
+                next: NIL,
+            });
+            self.attach_head(idx);
+            self.map.insert(key, idx);
+            (true, None)
+        }
+    }
+
+    /// The eviction order, most recent first (test / debug helper;
+    /// O(n)).
+    #[must_use]
+    pub fn recency_order(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.slab[cur as usize].key);
+            cur = self.slab[cur as usize].next;
+        }
+        out
+    }
+
+    #[inline]
+    fn move_to_head(&mut self, idx: u32) {
+        if self.head == idx {
+            return;
+        }
+        self.detach(idx);
+        self.attach_head(idx);
+    }
+
+    #[inline]
+    fn detach(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.slab[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.slab[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    #[inline]
+    fn attach_head(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let n = &mut self.slab[idx as usize];
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.slab[old_head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_misses_then_hits() {
+        let mut b = LruBuffer::new(3);
+        assert!(b.access(1));
+        assert!(b.access(2));
+        assert!(b.access(3));
+        assert!(!b.access(1));
+        assert!(!b.access(2));
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut b = LruBuffer::new(2);
+        b.access(1);
+        b.access(2);
+        b.access(1); // 1 now MRU, 2 is LRU
+        assert!(b.access(3), "miss faults 3 in");
+        assert!(b.contains(1));
+        assert!(!b.contains(2), "2 was the LRU victim");
+        assert!(b.contains(3));
+    }
+
+    #[test]
+    fn recency_order_reflects_accesses() {
+        let mut b = LruBuffer::new(3);
+        b.access(10);
+        b.access(20);
+        b.access(30);
+        b.access(10);
+        assert_eq!(b.recency_order(), vec![10, 30, 20]);
+    }
+
+    #[test]
+    fn capacity_one_degenerate() {
+        let mut b = LruBuffer::new(1);
+        assert!(b.access(5));
+        assert!(!b.access(5));
+        assert!(b.access(6));
+        assert!(!b.contains(5));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn repeated_same_key_never_grows() {
+        let mut b = LruBuffer::new(4);
+        for _ in 0..100 {
+            b.access(42);
+        }
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn miss_count_matches_reference_model() {
+        // brute-force reference: Vec-based LRU
+        let mut fast = LruBuffer::new(8);
+        let mut slow: Vec<u64> = Vec::new();
+        let mut rng = tpcc_rand::Xoshiro256::seed_from_u64(77);
+        let (mut fast_misses, mut slow_misses) = (0u32, 0u32);
+        for _ in 0..20_000 {
+            let k = rng.uniform_inclusive(0, 20);
+            if fast.access(k) {
+                fast_misses += 1;
+            }
+            if let Some(pos) = slow.iter().position(|&x| x == k) {
+                slow.remove(pos);
+            } else {
+                slow_misses += 1;
+                if slow.len() == 8 {
+                    slow.pop();
+                }
+            }
+            slow.insert(0, k);
+            if slow.len() > 8 {
+                slow.truncate(8);
+            }
+        }
+        assert_eq!(fast_misses, slow_misses);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_capacity_rejected() {
+        let _ = LruBuffer::new(0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Parallel independent replications of the sweep.
+//!
+//! The paper's confidence intervals come from batch means within one
+//! long run; an alternative (and a check on it) is independent
+//! replications with distinct seeds. This module fans replications out
+//! across threads — each replication is single-threaded and
+//! deterministic for its seed, so the ensemble is reproducible
+//! regardless of scheduling.
+
+use crate::batch::{BatchMeans, Estimate};
+use crate::sim::MissSweep;
+use tpcc_rand::Pmf;
+use tpcc_schema::relation::Relation;
+use tpcc_workload::TraceConfig;
+
+/// Runs one sweep per seed, spread over `threads` worker threads, and
+/// returns them in seed order.
+///
+/// # Panics
+/// Panics if `seeds` is empty or `threads == 0`, or if a worker thread
+/// panics (the panic is propagated).
+#[must_use]
+pub fn parallel_sweeps(
+    trace: &TraceConfig,
+    item_pmf: Option<&Pmf>,
+    transactions: u64,
+    warmup: u64,
+    seeds: &[u64],
+    threads: usize,
+) -> Vec<MissSweep> {
+    assert!(!seeds.is_empty(), "need at least one replication");
+    assert!(threads > 0, "need at least one worker");
+    let (work_tx, work_rx) = crossbeam::channel::unbounded::<(usize, u64)>();
+    let (done_tx, done_rx) = crossbeam::channel::unbounded::<(usize, MissSweep)>();
+    for item in seeds.iter().copied().enumerate() {
+        work_tx.send(item).expect("queue work");
+    }
+    drop(work_tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(seeds.len()) {
+            let work_rx = work_rx.clone();
+            let done_tx = done_tx.clone();
+            let trace = trace.clone();
+            scope.spawn(move || {
+                while let Ok((idx, seed)) = work_rx.recv() {
+                    let sweep =
+                        MissSweep::run(trace.clone(), item_pmf, transactions, warmup, seed);
+                    done_tx.send((idx, sweep)).expect("report result");
+                }
+            });
+        }
+    });
+    drop(done_tx);
+
+    let mut results: Vec<Option<MissSweep>> = (0..seeds.len()).map(|_| None).collect();
+    while let Ok((idx, sweep)) = done_rx.recv() {
+        results[idx] = Some(sweep);
+    }
+    results
+        .into_iter()
+        .map(|s| s.expect("every replication completed"))
+        .collect()
+}
+
+/// Cross-replication estimate of one relation's miss rate at a buffer
+/// size: mean over the replications with a Student-t interval.
+///
+/// # Panics
+/// Panics with fewer than two replications.
+#[must_use]
+pub fn replicated_estimate(
+    sweeps: &[MissSweep],
+    relation: Relation,
+    pages: u64,
+    confidence: f64,
+) -> Estimate {
+    assert!(sweeps.len() >= 2, "need at least two replications");
+    let mut bm = BatchMeans::new();
+    for s in sweeps {
+        bm.push(s.miss_rate(relation, pages));
+    }
+    bm.estimate(confidence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcc_schema::packing::Packing;
+
+    fn tiny_trace() -> TraceConfig {
+        let mut t = TraceConfig::paper_default(1, Packing::Sequential);
+        t.initial_orders_per_district = 100;
+        t.initial_pending_per_district = 30;
+        t
+    }
+
+    #[test]
+    fn parallel_matches_sequential_per_seed() {
+        let trace = tiny_trace();
+        let seeds = [3u64, 4, 5];
+        let parallel = parallel_sweeps(&trace, None, 4000, 1000, &seeds, 3);
+        for (i, &seed) in seeds.iter().enumerate() {
+            let solo = MissSweep::run(trace.clone(), None, 4000, 1000, seed);
+            for pages in [500u64, 2000] {
+                assert_eq!(
+                    parallel[i].miss_rate(Relation::Stock, pages),
+                    solo.miss_rate(Relation::Stock, pages),
+                    "seed {seed} pages {pages}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_seeds_is_fine() {
+        let sweeps = parallel_sweeps(&tiny_trace(), None, 1000, 200, &[9], 8);
+        assert_eq!(sweeps.len(), 1);
+    }
+
+    #[test]
+    fn replicated_interval_brackets_the_replicate_means() {
+        let sweeps = parallel_sweeps(&tiny_trace(), None, 3000, 500, &[1, 2, 3, 4], 2);
+        let est = replicated_estimate(&sweeps, Relation::Stock, 1000, 0.90);
+        assert!(est.mean > 0.0 && est.mean < 1.0);
+        let lo = est.mean - est.half_width;
+        let hi = est.mean + est.half_width;
+        let within = sweeps
+            .iter()
+            .map(|s| s.miss_rate(Relation::Stock, 1000))
+            .filter(|&m| (lo..=hi).contains(&m))
+            .count();
+        assert!(within >= 1, "interval excludes every replicate");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn empty_seeds_rejected() {
+        let _ = parallel_sweeps(&tiny_trace(), None, 100, 10, &[], 2);
+    }
+}

@@ -1,0 +1,486 @@
+//! End-to-end buffer studies: trace generator → buffer engine →
+//! per-relation miss rates.
+//!
+//! [`BufferSim`] reproduces the paper's §4 methodology directly: one
+//! buffer size, LRU (or an ablation policy), 30 batches × 100 000
+//! transactions, batch-means confidence intervals.
+//!
+//! [`MissSweep`] runs the trace once through the stack-distance
+//! analyzer and answers miss-rate queries for *any* buffer size — the
+//! engine behind the 64-point curves of Figures 8–10. Both report the
+//! same numbers for LRU (verified in tests via the inclusion property).
+
+use crate::batch::{BatchMeans, Estimate};
+use crate::fxhash::FxHashSet;
+use crate::policy::{PolicyBuffer, ReplacementPolicy};
+use crate::stack::{MissCurve, StackDistance};
+use serde::{Deserialize, Serialize};
+use tpcc_rand::Pmf;
+use tpcc_schema::relation::Relation;
+use tpcc_workload::{PageId, PageRef, TraceConfig, TraceGenerator, TxType};
+
+const N_RELATIONS: usize = 9;
+const N_TX: usize = 5;
+
+/// Configuration of a fixed-size direct simulation.
+#[derive(Debug, Clone)]
+pub struct BufferSimConfig {
+    /// Workload and layout.
+    pub trace: TraceConfig,
+    /// Buffer capacity in pages.
+    pub buffer_pages: usize,
+    /// Replacement policy (paper: LRU).
+    pub policy: ReplacementPolicy,
+    /// Batches for the confidence interval (paper: 30).
+    pub batches: usize,
+    /// Transactions per batch (paper: 100 000 samples).
+    pub batch_transactions: u64,
+    /// Transactions discarded before measurement starts.
+    pub warmup_transactions: u64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl BufferSimConfig {
+    /// Paper methodology at a given buffer size (30 × 100 000 is slow;
+    /// see [`BufferSimConfig::quick`] for tests).
+    #[must_use]
+    pub fn paper_default(trace: TraceConfig, buffer_pages: usize, seed: u64) -> Self {
+        Self {
+            trace,
+            buffer_pages,
+            policy: ReplacementPolicy::Lru,
+            batches: 30,
+            batch_transactions: 100_000,
+            warmup_transactions: 100_000,
+            seed,
+        }
+    }
+
+    /// A scaled-down configuration for fast runs.
+    #[must_use]
+    pub fn quick(trace: TraceConfig, buffer_pages: usize, seed: u64) -> Self {
+        Self {
+            trace,
+            buffer_pages,
+            policy: ReplacementPolicy::Lru,
+            batches: 5,
+            batch_transactions: 5_000,
+            warmup_transactions: 5_000,
+            seed,
+        }
+    }
+}
+
+/// Per-relation (and per-transaction-type) miss statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MissRates {
+    accesses: [u64; N_RELATIONS],
+    misses: [u64; N_RELATIONS],
+    tx_accesses: [[u64; N_RELATIONS]; N_TX],
+    tx_misses: [[u64; N_RELATIONS]; N_TX],
+    tx_count: [u64; N_TX],
+    batch_means: Vec<BatchMeans>,
+    transactions: u64,
+    /// Dirty-page evictions per relation — the write I/O the paper's
+    /// model (which assumes a separate log disk and ignores data-page
+    /// write-back) leaves out.
+    writebacks: [u64; N_RELATIONS],
+}
+
+impl MissRates {
+    fn new() -> Self {
+        Self {
+            accesses: [0; N_RELATIONS],
+            misses: [0; N_RELATIONS],
+            tx_accesses: [[0; N_RELATIONS]; N_TX],
+            tx_misses: [[0; N_RELATIONS]; N_TX],
+            tx_count: [0; N_TX],
+            batch_means: (0..N_RELATIONS).map(|_| BatchMeans::new()).collect(),
+            transactions: 0,
+            writebacks: [0; N_RELATIONS],
+        }
+    }
+
+    /// Overall miss rate of a relation across all transaction types;
+    /// 0 when the relation was never referenced.
+    #[must_use]
+    pub fn miss_rate(&self, relation: Relation) -> f64 {
+        let i = relation.index();
+        if self.accesses[i] == 0 {
+            return 0.0;
+        }
+        self.misses[i] as f64 / self.accesses[i] as f64
+    }
+
+    /// Miss rate of `relation` restricted to references made by `tx`
+    /// (the "in isolation" rates the throughput model needs for the
+    /// Order-Status / Delivery / Stock-Level `P(x)` accesses).
+    #[must_use]
+    pub fn miss_rate_for(&self, relation: Relation, tx: TxType) -> f64 {
+        let (i, t) = (relation.index(), tx.index());
+        if self.tx_accesses[t][i] == 0 {
+            return 0.0;
+        }
+        self.tx_misses[t][i] as f64 / self.tx_accesses[t][i] as f64
+    }
+
+    /// References made to a relation.
+    #[must_use]
+    pub fn accesses(&self, relation: Relation) -> u64 {
+        self.accesses[relation.index()]
+    }
+
+    /// Batch-means estimate of the relation's miss rate, or `None` when
+    /// fewer than two batches touched it.
+    #[must_use]
+    pub fn estimate(&self, relation: Relation, confidence: f64) -> Option<Estimate> {
+        let bm = &self.batch_means[relation.index()];
+        (bm.len() >= 2).then(|| bm.estimate(confidence))
+    }
+
+    /// Expected page misses one transaction of type `tx` inflicts on
+    /// `relation` (misses divided by transactions of that type). This is
+    /// the quantity the throughput model multiplies by the 25 ms I/O
+    /// time — it is robust to read+write double-references because it
+    /// counts misses, not accesses.
+    #[must_use]
+    pub fn misses_per_txn(&self, relation: Relation, tx: TxType) -> f64 {
+        let (i, t) = (relation.index(), tx.index());
+        if self.tx_count[t] == 0 {
+            return 0.0;
+        }
+        self.tx_misses[t][i] as f64 / self.tx_count[t] as f64
+    }
+
+    /// Transactions of one type measured.
+    #[must_use]
+    pub fn transactions_of(&self, tx: TxType) -> u64 {
+        self.tx_count[tx.index()]
+    }
+
+    /// Measured transactions.
+    #[must_use]
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Dirty-page write-backs charged to a relation's pages.
+    #[must_use]
+    pub fn writebacks(&self, relation: Relation) -> u64 {
+        self.writebacks[relation.index()]
+    }
+
+    /// Average dirty-page write-backs per transaction, across all
+    /// relations — the extra write I/O per transaction a real system
+    /// pays on its data disks.
+    #[must_use]
+    pub fn writebacks_per_txn(&self) -> f64 {
+        if self.transactions == 0 {
+            return 0.0;
+        }
+        self.writebacks.iter().sum::<u64>() as f64 / self.transactions as f64
+    }
+}
+
+/// Direct fixed-size buffer simulation runner.
+pub struct BufferSim;
+
+impl BufferSim {
+    /// Runs the simulation; `item_pmf` as in [`TraceGenerator::new`].
+    #[must_use]
+    pub fn run(config: &BufferSimConfig, item_pmf: Option<&Pmf>) -> MissRates {
+        let mut gen = TraceGenerator::new(config.trace.clone(), item_pmf, config.seed);
+        let mut buffer = PolicyBuffer::new(config.policy, config.buffer_pages);
+        let mut refs: Vec<PageRef> = Vec::with_capacity(512);
+        let mut out = MissRates::new();
+        let mut dirty: FxHashSet<u64> = FxHashSet::default();
+
+        for _ in 0..config.warmup_transactions {
+            let _ = gen.next_transaction(&mut refs);
+            for r in &refs {
+                let (_, evicted) = buffer.access_evict(r.page.raw());
+                if let Some(victim) = evicted {
+                    dirty.remove(&victim);
+                }
+                if r.write {
+                    dirty.insert(r.page.raw());
+                }
+            }
+        }
+
+        for _ in 0..config.batches {
+            let mut batch_accesses = [0u64; N_RELATIONS];
+            let mut batch_misses = [0u64; N_RELATIONS];
+            for _ in 0..config.batch_transactions {
+                let tx = gen.next_transaction(&mut refs);
+                let t = tx.index();
+                out.tx_count[t] += 1;
+                for r in &refs {
+                    let rel = r.page.relation().index();
+                    let (miss, evicted) = buffer.access_evict(r.page.raw());
+                    if let Some(victim) = evicted {
+                        if dirty.remove(&victim) {
+                            out.writebacks
+                                [PageId::from_raw(victim).relation().index()] += 1;
+                        }
+                    }
+                    if r.write {
+                        dirty.insert(r.page.raw());
+                    }
+                    batch_accesses[rel] += 1;
+                    out.tx_accesses[t][rel] += 1;
+                    if miss {
+                        batch_misses[rel] += 1;
+                        out.tx_misses[t][rel] += 1;
+                    }
+                }
+                out.transactions += 1;
+            }
+            for rel in 0..N_RELATIONS {
+                out.accesses[rel] += batch_accesses[rel];
+                out.misses[rel] += batch_misses[rel];
+                if batch_accesses[rel] > 0 {
+                    out.batch_means[rel]
+                        .push(batch_misses[rel] as f64 / batch_accesses[rel] as f64);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// All-buffer-sizes miss-rate curves from one stack-distance pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MissSweep {
+    overall: Vec<MissCurve>,
+    per_tx: Vec<MissCurve>,
+    tx_count: [u64; N_TX],
+    transactions: u64,
+    distinct_pages: u64,
+}
+
+impl MissSweep {
+    /// Runs `transactions` measured transactions (after `warmup`)
+    /// through the stack-distance analyzer.
+    #[must_use]
+    pub fn run(
+        trace: TraceConfig,
+        item_pmf: Option<&Pmf>,
+        transactions: u64,
+        warmup: u64,
+        seed: u64,
+    ) -> Self {
+        let mut gen = TraceGenerator::new(trace, item_pmf, seed);
+        let mut analyzer = StackDistance::new(1 << 20);
+        let mut refs: Vec<PageRef> = Vec::with_capacity(512);
+        let mut overall: Vec<MissCurve> = (0..N_RELATIONS).map(|_| MissCurve::new()).collect();
+        let mut per_tx: Vec<MissCurve> =
+            (0..N_RELATIONS * N_TX).map(|_| MissCurve::new()).collect();
+
+        for _ in 0..warmup {
+            let _ = gen.next_transaction(&mut refs);
+            for r in &refs {
+                let _ = analyzer.access(r.page.raw());
+            }
+        }
+        let mut tx_count = [0u64; N_TX];
+        for _ in 0..transactions {
+            let tx = gen.next_transaction(&mut refs);
+            let t = tx.index();
+            tx_count[t] += 1;
+            for r in &refs {
+                let rel = r.page.relation().index();
+                let d = analyzer.access(r.page.raw());
+                overall[rel].record(d);
+                per_tx[t * N_RELATIONS + rel].record(d);
+            }
+        }
+        Self {
+            overall,
+            per_tx,
+            tx_count,
+            transactions,
+            distinct_pages: analyzer.distinct_pages() as u64,
+        }
+    }
+
+    /// Expected page misses one transaction of type `tx` inflicts on
+    /// `relation` at a buffer of `pages` pages.
+    #[must_use]
+    pub fn misses_per_txn(&self, relation: Relation, tx: TxType, pages: u64) -> f64 {
+        let t = tx.index();
+        if self.tx_count[t] == 0 {
+            return 0.0;
+        }
+        let curve = &self.per_tx[t * N_RELATIONS + relation.index()];
+        curve.misses_at(pages) as f64 / self.tx_count[t] as f64
+    }
+
+    /// Transactions of one type measured.
+    #[must_use]
+    pub fn transactions_of(&self, tx: TxType) -> u64 {
+        self.tx_count[tx.index()]
+    }
+
+    /// Overall miss rate of a relation at a buffer of `pages` pages.
+    #[must_use]
+    pub fn miss_rate(&self, relation: Relation, pages: u64) -> f64 {
+        self.overall[relation.index()].miss_ratio(pages)
+    }
+
+    /// Miss rate of `relation` for references made by `tx`.
+    #[must_use]
+    pub fn miss_rate_for(&self, relation: Relation, tx: TxType, pages: u64) -> f64 {
+        self.per_tx[tx.index() * N_RELATIONS + relation.index()].miss_ratio(pages)
+    }
+
+    /// References to a relation in the measured window.
+    #[must_use]
+    pub fn accesses(&self, relation: Relation) -> u64 {
+        self.overall[relation.index()].total()
+    }
+
+    /// The overall per-relation curve (for custom queries).
+    #[must_use]
+    pub fn curve(&self, relation: Relation) -> &MissCurve {
+        &self.overall[relation.index()]
+    }
+
+    /// Measured transactions.
+    #[must_use]
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Distinct pages referenced (working-set ceiling).
+    #[must_use]
+    pub fn distinct_pages(&self) -> u64 {
+        self.distinct_pages
+    }
+}
+
+/// Converts a buffer size in bytes to whole pages of `page_size`.
+#[must_use]
+pub fn pages_for_bytes(bytes: u64, page_size: tpcc_schema::relation::PageSize) -> u64 {
+    bytes / page_size.bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcc_schema::packing::Packing;
+
+    fn tiny_trace() -> TraceConfig {
+        let mut t = TraceConfig::paper_default(1, Packing::Sequential);
+        t.initial_orders_per_district = 100;
+        t.initial_pending_per_district = 30;
+        t
+    }
+
+    #[test]
+    fn direct_sim_reports_sane_rates() {
+        let cfg = BufferSimConfig {
+            batches: 4,
+            batch_transactions: 2000,
+            warmup_transactions: 1000,
+            ..BufferSimConfig::quick(tiny_trace(), 2000, 7)
+        };
+        let rates = BufferSim::run(&cfg, None);
+        assert_eq!(rates.transactions(), 8000);
+        // tiny relations always fit
+        assert_eq!(rates.miss_rate(Relation::Warehouse), 0.0);
+        assert_eq!(rates.miss_rate(Relation::District), 0.0);
+        // stock (7693 pages) cannot fit in 2000 pages
+        let stock = rates.miss_rate(Relation::Stock);
+        assert!(stock > 0.05, "stock miss rate {stock}");
+        assert!(stock < 1.0);
+        // every rate in [0, 1]
+        for rel in Relation::ALL {
+            let m = rates.miss_rate(rel);
+            assert!((0.0..=1.0).contains(&m), "{}: {m}", rel.name());
+        }
+    }
+
+    #[test]
+    fn sweep_matches_direct_lru() {
+        let pages = 1500usize;
+        let trace = tiny_trace();
+        let sim_cfg = BufferSimConfig {
+            batches: 1,
+            batch_transactions: 6000,
+            warmup_transactions: 2000,
+            ..BufferSimConfig::quick(trace.clone(), pages, 11)
+        };
+        let direct = BufferSim::run(&sim_cfg, None);
+        let sweep = MissSweep::run(trace, None, 6000, 2000, 11);
+        for rel in [Relation::Stock, Relation::Customer, Relation::Item] {
+            let a = direct.miss_rate(rel);
+            let b = sweep.miss_rate(rel, pages as u64);
+            assert!(
+                (a - b).abs() < 1e-12,
+                "{}: direct {a} vs sweep {b}",
+                rel.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_isolation_rates_match_direct() {
+        let pages = 1000usize;
+        let trace = tiny_trace();
+        let sim_cfg = BufferSimConfig {
+            batches: 1,
+            batch_transactions: 5000,
+            warmup_transactions: 1000,
+            ..BufferSimConfig::quick(trace.clone(), pages, 13)
+        };
+        let direct = BufferSim::run(&sim_cfg, None);
+        let sweep = MissSweep::run(trace, None, 5000, 1000, 13);
+        for tx in [TxType::Delivery, TxType::StockLevel, TxType::OrderStatus] {
+            for rel in [Relation::OrderLine, Relation::Customer, Relation::Stock] {
+                let a = direct.miss_rate_for(rel, tx);
+                let b = sweep.miss_rate_for(rel, tx, pages as u64);
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "{}/{}: {a} vs {b}",
+                    rel.name(),
+                    tx.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bigger_buffer_never_misses_more() {
+        let sweep = MissSweep::run(tiny_trace(), None, 5000, 1000, 17);
+        for rel in Relation::ALL {
+            let mut prev = 1.0f64;
+            for pages in [100u64, 500, 2000, 10_000, 100_000] {
+                let m = sweep.miss_rate(rel, pages);
+                assert!(m <= prev + 1e-12, "{} at {pages}", rel.name());
+                prev = m;
+            }
+        }
+    }
+
+    #[test]
+    fn batch_estimates_available() {
+        let cfg = BufferSimConfig {
+            batches: 5,
+            batch_transactions: 2000,
+            warmup_transactions: 500,
+            ..BufferSimConfig::quick(tiny_trace(), 1000, 23)
+        };
+        let rates = BufferSim::run(&cfg, None);
+        let est = rates.estimate(Relation::Stock, 0.90).expect("5 batches");
+        assert!(est.mean > 0.0);
+        assert!(est.half_width >= 0.0);
+    }
+
+    #[test]
+    fn pages_for_bytes_converts() {
+        use tpcc_schema::relation::PageSize;
+        assert_eq!(pages_for_bytes(52 * 1024 * 1024, PageSize::K4), 13_312);
+    }
+}

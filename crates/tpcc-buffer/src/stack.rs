@@ -1,0 +1,355 @@
+//! Mattson stack-distance analysis: exact LRU miss ratios for every
+//! buffer size from a single pass over the reference trace.
+//!
+//! LRU has the *inclusion property*: the content of a buffer of `C`
+//! pages is a superset of a buffer of `C − 1` pages, so a reference
+//! misses at capacity `C` exactly when its *stack distance* (its
+//! position from the top of the LRU stack, 1-based) exceeds `C`.
+//! Recording the histogram of stack distances therefore answers the
+//! paper's "miss rate versus buffer size" question (Figure 8) for all 64
+//! buffer sizes at once, where the paper re-ran its simulator per size.
+//!
+//! Distances are computed with the classic Bentley–Kung scheme: a
+//! Fenwick tree over reference timestamps holds a 1 at the *most recent*
+//! access time of every distinct page; the distance of a re-reference is
+//! the number of 1s after the page's previous timestamp. The timestamp
+//! axis is compacted periodically so memory stays proportional to the
+//! number of distinct pages, not trace length.
+
+use crate::fxhash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Stack distance of one reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distance {
+    /// Position from the top of the LRU stack (1 = re-reference of the
+    /// most recently used page). A buffer of `C` pages hits iff
+    /// `distance <= C`.
+    Finite(u64),
+    /// First reference ever: misses at every buffer size.
+    Infinite,
+}
+
+impl Distance {
+    /// Whether a buffer with `capacity` pages would miss this reference.
+    #[must_use]
+    pub fn misses_at(self, capacity: u64) -> bool {
+        match self {
+            Distance::Finite(d) => d > capacity,
+            Distance::Infinite => true,
+        }
+    }
+}
+
+/// Fenwick (binary indexed) tree over timestamps.
+#[derive(Debug, Clone)]
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn new(capacity: usize) -> Self {
+        Self {
+            tree: vec![0; capacity + 1],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Adds `delta` at 0-based position `i`.
+    fn add(&mut self, i: usize, delta: i32) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i].wrapping_add(delta as u32);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i` (0-based inclusive prefix).
+    fn prefix(&self, i: usize) -> u64 {
+        let mut i = i + 1;
+        let mut s = 0u64;
+        while i > 0 {
+            s += u64::from(self.tree[i]);
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// One-pass exact LRU stack-distance analyzer over `u64` page ids.
+///
+/// ```
+/// use tpcc_buffer::{MissCurve, StackDistance};
+///
+/// let mut analyzer = StackDistance::new(16);
+/// let mut curve = MissCurve::new();
+/// for &page in &[1u64, 2, 3, 1, 2, 3, 1] {
+///     curve.record(analyzer.access(page));
+/// }
+/// // one pass answers every buffer size: 3 pages suffice, 2 don't
+/// assert_eq!(curve.misses_at(3), 3); // only the cold misses
+/// assert!(curve.misses_at(2) > 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StackDistance {
+    last_time: FxHashMap<u64, u64>,
+    tree: Fenwick,
+    now: u64,
+    /// Timestamp base after compactions: logical time `t` lives at tree
+    /// slot `t - base`.
+    base: u64,
+}
+
+impl StackDistance {
+    /// Creates an analyzer. `expected_pages` pre-sizes the structures
+    /// (any value works; they grow as needed).
+    #[must_use]
+    pub fn new(expected_pages: usize) -> Self {
+        let cap = expected_pages.clamp(1024, 1 << 28);
+        Self {
+            last_time: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+            tree: Fenwick::new(cap * 2),
+            now: 0,
+            base: 0,
+        }
+    }
+
+    /// Number of distinct pages seen so far.
+    #[must_use]
+    pub fn distinct_pages(&self) -> usize {
+        self.last_time.len()
+    }
+
+    /// Processes one reference and returns its stack distance.
+    pub fn access(&mut self, key: u64) -> Distance {
+        if (self.now - self.base) as usize >= self.tree.len() {
+            self.compact();
+        }
+        let slot = (self.now - self.base) as usize;
+        let distance = match self.last_time.insert(key, self.now) {
+            None => {
+                self.tree.add(slot, 1);
+                self.now += 1;
+                return Distance::Infinite;
+            }
+            Some(prev) => {
+                // pages whose latest access lies strictly after `prev`
+                // sit above `key` on the stack: set bits in (prev, now)
+                let prev_slot = (prev - self.base) as usize;
+                debug_assert!(prev_slot < slot);
+                let above = self.tree.prefix(slot - 1) - self.tree.prefix(prev_slot);
+                self.tree.add(prev_slot, -1);
+                self.tree.add(slot, 1);
+                Distance::Finite(above + 1)
+            }
+        };
+        self.now += 1;
+        distance
+    }
+
+    /// Rebuilds the timestamp axis over only live pages.
+    fn compact(&mut self) {
+        let mut live: Vec<(u64, u64)> = self
+            .last_time
+            .iter()
+            .map(|(&k, &t)| (t, k))
+            .collect();
+        live.sort_unstable();
+        let needed = (live.len() * 2).max(1024);
+        self.tree = Fenwick::new(needed);
+        for (rank, &(_, key)) in live.iter().enumerate() {
+            self.tree.add(rank, 1);
+            self.last_time.insert(key, rank as u64);
+        }
+        self.base = 0;
+        self.now = live.len() as u64;
+        // logical times are now ranks; base folds into last_time directly
+    }
+}
+
+/// A miss-ratio curve assembled from stack-distance histograms.
+///
+/// `histogram[d]` counts references with finite stack distance `d + 1`;
+/// `infinite` counts first references. The miss ratio at capacity `C`
+/// is `(Σ_{d+1 > C} histogram[d] + infinite) / total`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MissCurve {
+    histogram: Vec<u64>,
+    infinite: u64,
+    total: u64,
+}
+
+impl MissCurve {
+    /// Empty curve.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one reference's distance.
+    pub fn record(&mut self, d: Distance) {
+        self.total += 1;
+        match d {
+            Distance::Infinite => self.infinite += 1,
+            Distance::Finite(dist) => {
+                let idx = (dist - 1) as usize;
+                if idx >= self.histogram.len() {
+                    self.histogram.resize(idx + 1, 0);
+                }
+                self.histogram[idx] += 1;
+            }
+        }
+    }
+
+    /// Merges another curve into this one.
+    pub fn merge(&mut self, other: &MissCurve) {
+        if other.histogram.len() > self.histogram.len() {
+            self.histogram.resize(other.histogram.len(), 0);
+        }
+        for (a, b) in self.histogram.iter_mut().zip(&other.histogram) {
+            *a += b;
+        }
+        self.infinite += other.infinite;
+        self.total += other.total;
+    }
+
+    /// References recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Misses a buffer of `capacity` pages would take on this trace.
+    #[must_use]
+    pub fn misses_at(&self, capacity: u64) -> u64 {
+        let start = capacity as usize; // histogram[d] is distance d+1
+        let tail: u64 = self.histogram.iter().skip(start).sum();
+        tail + self.infinite
+    }
+
+    /// Miss ratio at `capacity` pages; 0 when no references recorded.
+    #[must_use]
+    pub fn miss_ratio(&self, capacity: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.misses_at(capacity) as f64 / self.total as f64
+    }
+
+    /// Miss ratios at each capacity in `capacities` (one O(hist) pass).
+    #[must_use]
+    pub fn miss_ratios(&self, capacities: &[u64]) -> Vec<f64> {
+        capacities.iter().map(|&c| self.miss_ratio(c)).collect()
+    }
+
+    /// The cold-miss (first-reference) share.
+    #[must_use]
+    pub fn cold_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.infinite as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::LruBuffer;
+    use tpcc_rand::Xoshiro256;
+
+    #[test]
+    fn simple_distances() {
+        let mut s = StackDistance::new(16);
+        assert_eq!(s.access(1), Distance::Infinite);
+        assert_eq!(s.access(1), Distance::Finite(1));
+        assert_eq!(s.access(2), Distance::Infinite);
+        assert_eq!(s.access(1), Distance::Finite(2));
+        assert_eq!(s.access(2), Distance::Finite(2));
+        assert_eq!(s.access(2), Distance::Finite(1));
+    }
+
+    #[test]
+    fn matches_direct_lru_at_every_capacity() {
+        // Inclusion property: distance > C <=> miss in a C-page LRU.
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let trace: Vec<u64> = (0..30_000).map(|_| rng.uniform_inclusive(0, 199)).collect();
+        let mut analyzer = StackDistance::new(64);
+        let mut curve = MissCurve::new();
+        for &k in &trace {
+            curve.record(analyzer.access(k));
+        }
+        for capacity in [1u64, 2, 7, 50, 100, 199, 200, 500] {
+            let mut lru = LruBuffer::new(capacity as usize);
+            let misses = trace.iter().filter(|&&k| lru.access(k)).count() as u64;
+            assert_eq!(
+                curve.misses_at(capacity),
+                misses,
+                "capacity {capacity} disagrees with direct LRU"
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_distances() {
+        // force many compactions with a tiny initial tree
+        let mut small = StackDistance::new(1);
+        let mut big = StackDistance::new(1 << 20);
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        for _ in 0..50_000 {
+            let k = rng.uniform_inclusive(0, 999);
+            assert_eq!(small.access(k), big.access(k));
+        }
+        assert_eq!(small.distinct_pages(), big.distinct_pages());
+    }
+
+    #[test]
+    fn scan_pattern_distances() {
+        // cyclic scan over N pages: steady-state distance is N
+        let n = 50u64;
+        let mut s = StackDistance::new(64);
+        for _ in 0..n {
+            for k in 0..n {
+                let _ = s.access(k);
+            }
+        }
+        // one more round: every access distance == n
+        for k in 0..n {
+            assert_eq!(s.access(k), Distance::Finite(n));
+        }
+    }
+
+    #[test]
+    fn miss_curve_is_monotone_in_capacity() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let mut s = StackDistance::new(256);
+        let mut curve = MissCurve::new();
+        for _ in 0..40_000 {
+            let k = rng.uniform_inclusive(0, 500);
+            curve.record(s.access(k));
+        }
+        let caps: Vec<u64> = (1..=600).step_by(13).collect();
+        let ratios = curve.miss_ratios(&caps);
+        for w in ratios.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "miss ratio must not increase");
+        }
+        // beyond the working set only cold misses remain
+        assert!((curve.miss_ratio(501) - curve.cold_fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = MissCurve::new();
+        let mut b = MissCurve::new();
+        a.record(Distance::Finite(3));
+        a.record(Distance::Infinite);
+        b.record(Distance::Finite(1));
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.misses_at(2), 2); // the Finite(3) and the Infinite
+        assert_eq!(a.misses_at(3), 1);
+    }
+}

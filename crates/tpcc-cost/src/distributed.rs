@@ -1,0 +1,410 @@
+//! The distributed-system model (paper §5.3, Tables 6–7, Appendix A).
+//!
+//! Each of `N` nodes holds 20 warehouses and all data pertaining to
+//! them; the Item relation is either replicated on every node (read-only
+//! replicas, lock retention — no concurrency-control messages) or
+//! partitioned uniformly. Remote calls arise from the 1% remote stock
+//! rule (New-Order), the 15% remote-payment rule (Payment), and — in the
+//! partitioned case — from item fetches landing on other nodes with
+//! probability `(N − 1)/N`.
+//!
+//! All remote overhead is accounted on the modeled node by symmetry
+//! (every node serves remote calls for every other node at the same
+//! rate).
+
+use crate::params::CostParams;
+use crate::single::{SingleNodeModel, ThroughputReport};
+use crate::source::MissSource;
+use serde::{Deserialize, Serialize};
+use tpcc_workload::TxType;
+
+/// Item-relation placement across the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ItemPlacement {
+    /// Read-only replica on every node (the paper's recommended setup).
+    Replicated,
+    /// Partitioned uniformly: an item fetch is remote with probability
+    /// `(N − 1)/N` and adds one-phase commits at item-only nodes.
+    Partitioned,
+}
+
+/// The Appendix A expectations for one transaction workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RemoteExpectations {
+    /// `RC_stock`: expected remote calls to read *and* write stock
+    /// tuples (two calls per remote stock tuple).
+    pub rc_stock: f64,
+    /// `U_stock`: expected unique remote sites supplying stock tuples.
+    pub u_stock: f64,
+    /// `L_stock`: probability every stock tuple is local.
+    pub l_stock: f64,
+    /// `RC_cust`: expected remote calls for customer tuples (Payment).
+    pub rc_cust: f64,
+    /// `U_cust`: expected unique remote sites for customer tuples (≤ 1).
+    pub u_cust: f64,
+    /// `RC_item`: expected remote item fetches (partitioned case only).
+    pub rc_item: f64,
+    /// `U_item`: expected unique remote sites supplying item tuples.
+    pub u_item: f64,
+    /// `U_stock+item`: expected unique remote sites supplying stock
+    /// *or* item tuples.
+    pub u_stock_item: f64,
+}
+
+/// Binomial pmf `P[X = j]`, `X ~ Binomial(n, p)`.
+fn binom_pmf(n: u64, p: f64, j: u64) -> f64 {
+    let mut coeff = 1.0f64;
+    for i in 0..j {
+        coeff *= (n - i) as f64 / (i + 1) as f64;
+    }
+    coeff * p.powi(j as i32) * (1.0 - p).powi((n - j) as i32)
+}
+
+/// Expected unique remote sites when `j` remote requests each pick one
+/// of `n − 1` remote nodes uniformly (Appendix A, Theorem):
+/// `(N−1) · [1 − ((N−2)/(N−1))^j]`.
+fn unique_sites(nodes: u64, j: f64) -> f64 {
+    debug_assert!(nodes >= 2);
+    let n1 = (nodes - 1) as f64;
+    n1 * (1.0 - ((n1 - 1.0) / n1).powf(j))
+}
+
+impl RemoteExpectations {
+    /// Computes the Appendix A expectations.
+    ///
+    /// * `nodes` — cluster size `N` (≥ 1; all expectations are zero for
+    ///   a single node).
+    /// * `remote_stock_prob` — clause probability an ordered item is
+    ///   stocked remotely (0.01; Figure 12 sweeps it).
+    /// * `remote_payment_prob` — clause probability of a remote payment
+    ///   (0.15).
+    /// * `items_per_order` — 10.
+    /// * `by_name_prob` / `name_matches` — 0.6 / 3 (drive `RC_cust`).
+    /// * `placement` — item placement (`rc_item`/`u_item` are zero when
+    ///   replicated).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute(
+        nodes: u64,
+        remote_stock_prob: f64,
+        remote_payment_prob: f64,
+        items_per_order: u64,
+        by_name_prob: f64,
+        name_matches: f64,
+        placement: ItemPlacement,
+    ) -> Self {
+        assert!(nodes >= 1, "need at least one node");
+        if nodes == 1 {
+            return Self {
+                rc_stock: 0.0,
+                u_stock: 0.0,
+                l_stock: 1.0,
+                rc_cust: 0.0,
+                u_cust: 0.0,
+                rc_item: 0.0,
+                u_item: 0.0,
+                u_stock_item: 0.0,
+            };
+        }
+        let n = nodes as f64;
+        let m = items_per_order;
+
+        // --- stock (New-Order), Appendix A.1 ---
+        // P_S: one stock tuple is on a remote *node*.
+        let p_s = remote_stock_prob * (n - 1.0) / n;
+        let e_remote_stock: f64 = (0..=m)
+            .map(|j| j as f64 * binom_pmf(m, p_s, j))
+            .sum();
+        let rc_stock = 2.0 * e_remote_stock; // read + write back
+        let l_stock = (1.0 - p_s).powi(m as i32);
+        let u_stock: f64 = (0..=m)
+            .map(|j| binom_pmf(m, p_s, j) * unique_sites(nodes, j as f64))
+            .sum();
+
+        // --- customer (Payment), Eq. 8–9 ---
+        let p_remote_pay = remote_payment_prob * (n - 1.0) / n;
+        let tuples_touched =
+            (1.0 - by_name_prob) * 1.0 + by_name_prob * name_matches + 1.0; // + write back
+        let rc_cust = p_remote_pay * tuples_touched;
+        let u_cust = p_remote_pay; // at most one remote site
+
+        // --- item (New-Order, partitioned only), Appendix A.2 ---
+        let (rc_item, u_item, u_stock_item) = match placement {
+            ItemPlacement::Replicated => (0.0, 0.0, u_stock),
+            ItemPlacement::Partitioned => {
+                let p_i = (n - 1.0) / n;
+                let e_remote_item: f64 =
+                    (0..=m).map(|j| j as f64 * binom_pmf(m, p_i, j)).sum();
+                let u_item: f64 = (0..=m)
+                    .map(|j| binom_pmf(m, p_i, j) * unique_sites(nodes, j as f64))
+                    .sum();
+                // Eq. 13: condition on both counts
+                let mut u_both = 0.0;
+                for j in 0..=m {
+                    for k in 0..=m {
+                        u_both += binom_pmf(m, p_i, j)
+                            * binom_pmf(m, p_s, k)
+                            * unique_sites(nodes, (j + k) as f64);
+                    }
+                }
+                (e_remote_item, u_item, u_both)
+            }
+        };
+
+        Self {
+            rc_stock,
+            u_stock,
+            l_stock,
+            rc_cust,
+            u_cust,
+            rc_item,
+            u_item,
+            u_stock_item,
+        }
+    }
+
+    /// Extra CPU instructions per New-Order transaction from remote
+    /// calls and distributed commit (Table 6 / Table 7 visit-count
+    /// deltas relative to Table 4).
+    #[must_use]
+    pub fn new_order_extra_cpu(&self, p: &CostParams, placement: ItemPlacement) -> f64 {
+        match placement {
+            ItemPlacement::Replicated => {
+                p.commit_remote * self.u_stock
+                    + p.init_io * self.u_stock
+                    + p.send_receive * (4.0 * self.u_stock + 2.0 * self.rc_stock)
+                    + p.prep_commit * (self.u_stock + 1.0 - self.l_stock)
+            }
+            ItemPlacement::Partitioned => {
+                // one-phase commits at nodes that supplied only items
+                let u_item_only = (self.u_stock_item - self.u_stock).max(0.0);
+                p.commit_remote * self.u_stock_item
+                    + p.init_io * self.u_stock
+                    + p.send_receive
+                        * (2.0 * self.rc_stock
+                            + 2.0 * self.rc_item
+                            + 4.0 * self.u_stock
+                            + 2.0 * u_item_only)
+                    + p.prep_commit * (self.u_stock + 1.0 - self.l_stock)
+            }
+        }
+    }
+
+    /// Extra CPU instructions per Payment transaction (identical for
+    /// both placements — Payment never touches Item).
+    #[must_use]
+    pub fn payment_extra_cpu(&self, p: &CostParams) -> f64 {
+        p.commit_remote * self.u_cust
+            + p.init_io * self.u_cust
+            + p.send_receive * (2.0 * self.rc_cust + 4.0 * self.u_cust)
+            + p.prep_commit * self.u_cust
+    }
+}
+
+/// Multi-node model: per-node throughput with remote-call overhead, and
+/// cluster scale-up curves.
+#[derive(Debug, Clone)]
+pub struct DistributedModel {
+    single: SingleNodeModel,
+    placement: ItemPlacement,
+    remote_stock_prob: f64,
+    remote_payment_prob: f64,
+}
+
+impl DistributedModel {
+    /// Builds the model around a single-node core.
+    #[must_use]
+    pub fn new(single: SingleNodeModel, placement: ItemPlacement) -> Self {
+        Self {
+            single,
+            placement,
+            remote_stock_prob: 0.01,
+            remote_payment_prob: 0.15,
+        }
+    }
+
+    /// Overrides the remote-stock probability (Figure 12's sweep).
+    ///
+    /// # Panics
+    /// Panics if `prob` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_remote_stock_prob(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.remote_stock_prob = prob;
+        self
+    }
+
+    /// The Appendix A expectations at cluster size `nodes`.
+    #[must_use]
+    pub fn expectations(&self, nodes: u64) -> RemoteExpectations {
+        RemoteExpectations::compute(
+            nodes,
+            self.remote_stock_prob,
+            self.remote_payment_prob,
+            10,
+            0.6,
+            3.0,
+            self.placement,
+        )
+    }
+
+    /// Per-node throughput report at cluster size `nodes`.
+    #[must_use]
+    pub fn per_node_throughput(
+        &self,
+        nodes: u64,
+        misses: &impl MissSource,
+    ) -> ThroughputReport {
+        let e = self.expectations(nodes);
+        let mut extra = [0.0f64; 5];
+        extra[TxType::NewOrder.index()] =
+            e.new_order_extra_cpu(self.single.params(), self.placement);
+        extra[TxType::Payment.index()] = e.payment_extra_cpu(self.single.params());
+        self.single.throughput_with_extra(misses, extra)
+    }
+
+    /// Cluster-wide New-Order tpm at `nodes` nodes (Figure 11 y-axis).
+    #[must_use]
+    pub fn cluster_tpm(&self, nodes: u64, misses: &impl MissSource) -> f64 {
+        nodes as f64 * self.per_node_throughput(nodes, misses).new_order_tpm
+    }
+
+    /// The ideal linear scale-up reference: `nodes ×` the single-node
+    /// throughput.
+    #[must_use]
+    pub fn ideal_tpm(&self, nodes: u64, misses: &impl MissSource) -> f64 {
+        nodes as f64 * self.single.throughput(misses).new_order_tpm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::TableMissSource;
+    use tpcc_schema::relation::Relation;
+
+    fn misses() -> TableMissSource {
+        TableMissSource::new_order_rates(0.4, 0.02, 0.25)
+            .with(Relation::Customer, TxType::Payment, 0.9)
+            .with(Relation::OrderLine, TxType::Delivery, 10.0)
+            .with(Relation::Stock, TxType::StockLevel, 60.0)
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let total: f64 = (0..=10).map(|j| binom_pmf(10, 0.3, j)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((binom_pmf(10, 0.0, 0) - 1.0).abs() < 1e-12);
+        assert!((binom_pmf(10, 1.0, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_node_expectations_are_zero() {
+        let e = RemoteExpectations::compute(1, 0.01, 0.15, 10, 0.6, 3.0, ItemPlacement::Replicated);
+        assert_eq!(e.rc_stock, 0.0);
+        assert_eq!(e.l_stock, 1.0);
+        assert_eq!(e.u_stock_item, 0.0);
+    }
+
+    #[test]
+    fn replicated_expectations_match_paper_scale() {
+        // §6: "In the New-Order transaction on average 0.1 stock tuples
+        // accessed and updated are from a remote warehouse" (N → ∞).
+        let e =
+            RemoteExpectations::compute(30, 0.01, 0.15, 10, 0.6, 3.0, ItemPlacement::Replicated);
+        let expected_remote = 10.0 * 0.01 * (29.0 / 30.0);
+        assert!((e.rc_stock - 2.0 * expected_remote).abs() < 1e-9);
+        // §6: Payment touches 0.15 × 2.2 remote customer tuples, + write
+        let remote_pay = 0.15 * (29.0 / 30.0);
+        assert!((e.rc_cust - remote_pay * 3.2).abs() < 1e-9);
+        // with ~0.097 remote tuples, u_stock is just below that
+        assert!(e.u_stock > 0.09 && e.u_stock < 0.1, "u_stock = {}", e.u_stock);
+        assert!(e.l_stock > 0.89 && e.l_stock < 0.92);
+    }
+
+    #[test]
+    fn partitioned_item_calls_approach_ten() {
+        // each of 10 item fetches is remote w.p. (N-1)/N
+        let e =
+            RemoteExpectations::compute(30, 0.01, 0.15, 10, 0.6, 3.0, ItemPlacement::Partitioned);
+        assert!((e.rc_item - 10.0 * 29.0 / 30.0).abs() < 1e-9);
+        assert!(e.u_item > 1.0, "several unique item sites expected");
+        assert!(e.u_stock_item >= e.u_stock && e.u_stock_item >= e.u_item);
+        assert!(e.u_stock_item <= e.u_stock + e.u_item + 1e-12);
+    }
+
+    #[test]
+    fn unique_sites_bounds() {
+        // j requests can touch at most min(j, N-1) unique sites
+        for nodes in [2u64, 5, 30] {
+            for j in [0.0f64, 1.0, 5.0, 10.0] {
+                let u = unique_sites(nodes, j);
+                assert!(u >= 0.0);
+                assert!(u <= j.min((nodes - 1) as f64) + 1e-12, "N={nodes} j={j}");
+            }
+        }
+        // exactly one request -> exactly one unique site
+        assert!((unique_sites(7, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_beats_partitioning() {
+        let misses = misses();
+        let single = SingleNodeModel::paper_default();
+        let repl = DistributedModel::new(single.clone(), ItemPlacement::Replicated);
+        let part = DistributedModel::new(single, ItemPlacement::Partitioned);
+        for nodes in [2u64, 10, 30] {
+            let r = repl.cluster_tpm(nodes, &misses);
+            let p = part.cluster_tpm(nodes, &misses);
+            assert!(r > p, "N={nodes}: replicated {r} <= partitioned {p}");
+        }
+    }
+
+    #[test]
+    fn paper_scaleup_gaps_replicated_vs_partitioned() {
+        // §5.3: "The replicated case has a 10, 30, and 39% higher
+        // throughput than the non-replicated case for 2, 10, and 30
+        // nodes respectively."
+        let misses = misses();
+        let single = SingleNodeModel::paper_default();
+        let repl = DistributedModel::new(single.clone(), ItemPlacement::Replicated);
+        let part = DistributedModel::new(single, ItemPlacement::Partitioned);
+        for (nodes, paper_gap) in [(2u64, 0.10), (10, 0.30), (30, 0.39)] {
+            let gap = repl.cluster_tpm(nodes, &misses) / part.cluster_tpm(nodes, &misses) - 1.0;
+            assert!(
+                (gap - paper_gap).abs() < 0.05,
+                "N={nodes}: gap {gap:.3} vs paper {paper_gap}"
+            );
+        }
+    }
+
+    #[test]
+    fn replicated_scaleup_close_to_linear() {
+        // Abstract: "close to linear scale-up (about 3% from the ideal)".
+        let misses = misses();
+        let m = DistributedModel::new(SingleNodeModel::paper_default(), ItemPlacement::Replicated);
+        let nodes = 30;
+        let actual = m.cluster_tpm(nodes, &misses);
+        let ideal = m.ideal_tpm(nodes, &misses);
+        let loss = 1.0 - actual / ideal;
+        assert!(loss > 0.0, "remote calls must cost something");
+        assert!(loss < 0.08, "loss from ideal = {loss:.3}");
+    }
+
+    #[test]
+    fn full_remote_stock_cuts_scaleup_substantially() {
+        // Figure 12: at remote-stock probability 1.0 the scale-up drops
+        // by roughly 44%.
+        let misses = misses();
+        let single = SingleNodeModel::paper_default();
+        let base = DistributedModel::new(single.clone(), ItemPlacement::Replicated);
+        let heavy = DistributedModel::new(single, ItemPlacement::Replicated)
+            .with_remote_stock_prob(1.0);
+        let nodes = 30;
+        let drop = 1.0 - heavy.cluster_tpm(nodes, &misses) / base.cluster_tpm(nodes, &misses);
+        assert!(
+            (0.35..0.55).contains(&drop),
+            "throughput drop at p=1.0 was {drop:.3}"
+        );
+    }
+}

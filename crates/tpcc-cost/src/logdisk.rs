@@ -1,0 +1,167 @@
+//! The "separate log disk" (paper §5.1), quantified.
+//!
+//! The paper assumes a dedicated log device and never checks whether
+//! one is enough. Redo volume is fully determined by the workload's
+//! write counts and Table 1's tuple lengths, so the check is analytic:
+//! bytes per transaction, log-device utilization at a given throughput,
+//! and the throughput at which a single log device saturates.
+
+use crate::params::CostParams;
+use serde::{Deserialize, Serialize};
+use tpcc_schema::relation::Relation;
+use tpcc_workload::calls::CallConfig;
+use tpcc_workload::{TransactionMix, TxType};
+
+/// Per-record overhead of a redo log entry (LSN, transaction id, page
+/// id, lengths — a representative 24 bytes).
+pub const LOG_RECORD_HEADER: u64 = 24;
+
+/// Size of a commit record.
+pub const COMMIT_RECORD: u64 = 16;
+
+/// Analytic redo-log volume model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LogDiskModel {
+    /// Sequential bandwidth of the log device in bytes/second
+    /// (default: 1 MB/s, a generous 1993-era sequential rate).
+    pub bandwidth_bytes_per_sec: f64,
+    /// Items per New-Order (paper: 10).
+    pub items_per_order: f64,
+    /// Expected customer rows updated per Payment (1; the by-name reads
+    /// don't log).
+    pub payment_customer_updates: f64,
+}
+
+impl LogDiskModel {
+    /// Paper-era defaults.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            bandwidth_bytes_per_sec: 1.0e6,
+            items_per_order: CallConfig::paper_default().items_per_order,
+            payment_customer_updates: 1.0,
+        }
+    }
+
+    /// Redo bytes one transaction of type `tx` writes: full after-images
+    /// of every inserted/updated/deleted tuple plus per-record headers
+    /// and a commit record.
+    #[must_use]
+    pub fn bytes_per_txn(&self, tx: TxType) -> f64 {
+        let m = self.items_per_order;
+        let len = |r: Relation| r.tuple_len() as f64;
+        let hdr = LOG_RECORD_HEADER as f64;
+        let body = match tx {
+            TxType::NewOrder => {
+                // district update + m stock updates + order + new-order
+                // + m order-line inserts
+                (len(Relation::District) + hdr)
+                    + m * (len(Relation::Stock) + hdr)
+                    + (len(Relation::Order) + hdr)
+                    + (len(Relation::NewOrder) + hdr)
+                    + m * (len(Relation::OrderLine) + hdr)
+            }
+            TxType::Payment => {
+                (len(Relation::Warehouse) + hdr)
+                    + (len(Relation::District) + hdr)
+                    + self.payment_customer_updates * (len(Relation::Customer) + hdr)
+                    + (len(Relation::History) + hdr)
+            }
+            TxType::OrderStatus => 0.0, // read-only
+            TxType::Delivery => {
+                // per district: new-order delete + order update + m
+                // order-line updates + customer update
+                10.0 * ((len(Relation::NewOrder) + hdr)
+                    + (len(Relation::Order) + hdr)
+                    + m * (len(Relation::OrderLine) + hdr)
+                    + (len(Relation::Customer) + hdr))
+            }
+            TxType::StockLevel => 0.0, // read-only
+        };
+        if body == 0.0 {
+            0.0
+        } else {
+            body + COMMIT_RECORD as f64
+        }
+    }
+
+    /// Mix-weighted redo bytes per transaction.
+    #[must_use]
+    pub fn avg_bytes_per_txn(&self, mix: &TransactionMix) -> f64 {
+        TxType::ALL
+            .iter()
+            .map(|&tx| mix.fraction(tx) * self.bytes_per_txn(tx))
+            .sum()
+    }
+
+    /// Log-device utilization at `lambda` transactions per second.
+    #[must_use]
+    pub fn utilization(&self, mix: &TransactionMix, lambda: f64) -> f64 {
+        lambda * self.avg_bytes_per_txn(mix) / self.bandwidth_bytes_per_sec
+    }
+
+    /// Throughput (txn/s) at which the log device reaches
+    /// `params.disk_util_cap` — the point where "a separate log disk"
+    /// stops being a free assumption.
+    #[must_use]
+    pub fn saturating_lambda(&self, mix: &TransactionMix, params: &CostParams) -> f64 {
+        params.disk_util_cap * self.bandwidth_bytes_per_sec / self.avg_bytes_per_txn(mix)
+    }
+}
+
+impl Default for LogDiskModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_only_transactions_log_nothing() {
+        let m = LogDiskModel::paper_default();
+        assert_eq!(m.bytes_per_txn(TxType::OrderStatus), 0.0);
+        assert_eq!(m.bytes_per_txn(TxType::StockLevel), 0.0);
+    }
+
+    #[test]
+    fn new_order_volume_matches_hand_count() {
+        let m = LogDiskModel::paper_default();
+        // 95 + 10×306 + 24 + 8 + 10×54 tuple bytes + 23 headers + commit
+        let tuples = 95.0 + 10.0 * 306.0 + 24.0 + 8.0 + 10.0 * 54.0;
+        let expect = tuples + 23.0 * 24.0 + 16.0;
+        assert!((m.bytes_per_txn(TxType::NewOrder) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delivery_is_the_log_heavyweight() {
+        let m = LogDiskModel::paper_default();
+        let delivery = m.bytes_per_txn(TxType::Delivery);
+        for tx in [TxType::NewOrder, TxType::Payment] {
+            assert!(delivery > m.bytes_per_txn(tx), "{tx:?}");
+        }
+    }
+
+    #[test]
+    fn one_log_disk_suffices_at_paper_throughput() {
+        // §5.1 assumes a separate log disk; at ~10 txn/s the redo volume
+        // is far below 1 MB/s sequential bandwidth.
+        let m = LogDiskModel::paper_default();
+        let mix = TransactionMix::paper_default();
+        let util = m.utilization(&mix, 10.5);
+        assert!(util < 0.2, "log utilization {util}");
+        let knee = m.saturating_lambda(&mix, &CostParams::paper_default());
+        assert!(knee > 50.0, "saturation at {knee} txn/s");
+    }
+
+    #[test]
+    fn utilization_linear_in_lambda() {
+        let m = LogDiskModel::paper_default();
+        let mix = TransactionMix::paper_default();
+        let u1 = m.utilization(&mix, 5.0);
+        let u2 = m.utilization(&mix, 10.0);
+        assert!((u2 - 2.0 * u1).abs() < 1e-12);
+    }
+}

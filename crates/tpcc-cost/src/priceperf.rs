@@ -1,0 +1,264 @@
+//! Price/performance configuration study (paper §5.2, Figure 10).
+//!
+//! For each candidate buffer size: run the throughput model at that
+//! size's miss rates, size the disk farm (bandwidth *and*, optionally,
+//! the 180-day storage-capacity requirement for the growing relations),
+//! price the box (disks + processor + memory) and report $/tpm. The
+//! curve's sawtooth comes from memory substituting for whole disks.
+
+use crate::params::HardwareCosts;
+use crate::single::SingleNodeModel;
+use crate::source::{MissSource, SweepMissSource};
+use serde::{Deserialize, Serialize};
+use tpcc_buffer::MissSweep;
+use tpcc_schema::relation::SchemaConfig;
+use tpcc_workload::TxType;
+
+/// Whether the disk farm must also hold the growing relations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StoragePolicy {
+    /// Bottom curves of Figure 10: capacity covers only the five static
+    /// relations.
+    StaticOnly,
+    /// Top curves: additionally provision Order + Order-Line + History
+    /// space for a full benchmark run.
+    WithGrowth {
+        /// Benchmark duration in days (paper: 180).
+        days: f64,
+        /// Operating hours per day (paper: 8).
+        hours_per_day: f64,
+    },
+}
+
+impl StoragePolicy {
+    /// The paper's 180 × 8h growth requirement.
+    #[must_use]
+    pub fn paper_growth() -> Self {
+        StoragePolicy::WithGrowth {
+            days: 180.0,
+            hours_per_day: 8.0,
+        }
+    }
+}
+
+/// One point of the Figure 10 curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PricePerfPoint {
+    /// Database buffer size in megabytes.
+    pub buffer_mb: f64,
+    /// Maximum New-Order transactions per minute at this buffer size.
+    pub new_order_tpm: f64,
+    /// Disks required for I/O bandwidth.
+    pub disks_bandwidth: u64,
+    /// Disks required for storage capacity.
+    pub disks_capacity: u64,
+    /// Disks configured: `max(bandwidth, capacity)`.
+    pub disks: u64,
+    /// Total hardware cost in dollars (disks + CPU + memory).
+    pub total_cost: f64,
+    /// The figure's y-axis: dollars per New-Order-tpm.
+    pub dollars_per_tpm: f64,
+}
+
+/// The Figure 10 evaluator.
+#[derive(Debug, Clone)]
+pub struct PricePerformanceModel {
+    single: SingleNodeModel,
+    hardware: HardwareCosts,
+    schema: SchemaConfig,
+    storage: StoragePolicy,
+}
+
+impl PricePerformanceModel {
+    /// Builds the evaluator.
+    #[must_use]
+    pub fn new(
+        single: SingleNodeModel,
+        hardware: HardwareCosts,
+        schema: SchemaConfig,
+        storage: StoragePolicy,
+    ) -> Self {
+        Self {
+            single,
+            hardware,
+            schema,
+            storage,
+        }
+    }
+
+    /// Bytes the growing relations accumulate over the benchmark run at
+    /// `txn_per_second` (0 under [`StoragePolicy::StaticOnly`]).
+    #[must_use]
+    pub fn growth_bytes(&self, txn_per_second: f64) -> f64 {
+        let StoragePolicy::WithGrowth {
+            days,
+            hours_per_day,
+        } = self.storage
+        else {
+            return 0.0;
+        };
+        let mix = self.single.mix();
+        let per_txn = mix.fraction(TxType::NewOrder) * self.schema.bytes_per_new_order(10) as f64
+            + mix.fraction(TxType::Payment) * self.schema.bytes_per_payment() as f64;
+        txn_per_second * 3600.0 * hours_per_day * days * per_txn
+    }
+
+    /// Evaluates one buffer size against a miss source queried at that
+    /// size.
+    ///
+    /// # Panics
+    /// Panics if `buffer_bytes == 0`.
+    #[must_use]
+    pub fn evaluate(&self, misses: &impl MissSource, buffer_bytes: u64) -> PricePerfPoint {
+        assert!(buffer_bytes > 0, "buffer must be non-empty");
+        let report = self.single.throughput(misses);
+        let storage_bytes =
+            self.schema.static_storage_bytes() as f64 + self.growth_bytes(report.txn_per_second);
+        let disks_capacity = (storage_bytes / self.hardware.disk_capacity_bytes).ceil() as u64;
+        let disks = report.disks_for_bandwidth.max(disks_capacity).max(1);
+        let buffer_mb = buffer_bytes as f64 / (1024.0 * 1024.0);
+        let total_cost = disks as f64 * self.hardware.disk_price
+            + self.hardware.cpu_price
+            + buffer_mb * self.hardware.memory_price_per_mb;
+        PricePerfPoint {
+            buffer_mb,
+            new_order_tpm: report.new_order_tpm,
+            disks_bandwidth: report.disks_for_bandwidth,
+            disks_capacity,
+            disks,
+            total_cost,
+            dollars_per_tpm: total_cost / report.new_order_tpm,
+        }
+    }
+
+    /// Evaluates a whole buffer-size sweep against a stack-distance
+    /// sweep (the production Figure 10 path).
+    #[must_use]
+    pub fn curve(&self, sweep: &MissSweep, buffer_bytes: &[u64]) -> Vec<PricePerfPoint> {
+        buffer_bytes
+            .iter()
+            .map(|&bytes| {
+                let pages = bytes / self.schema.page_size.bytes();
+                self.evaluate(&SweepMissSource::new(sweep, pages), bytes)
+            })
+            .collect()
+    }
+
+    /// The cost-optimal point of a curve (minimum $/tpm).
+    ///
+    /// # Panics
+    /// Panics on an empty curve.
+    #[must_use]
+    pub fn optimum(points: &[PricePerfPoint]) -> PricePerfPoint {
+        *points
+            .iter()
+            .min_by(|a, b| {
+                a.dollars_per_tpm
+                    .partial_cmp(&b.dollars_per_tpm)
+                    .expect("finite $/tpm")
+            })
+            .expect("curve must be non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CostParams;
+    use crate::source::TableMissSource;
+    use tpcc_schema::relation::Relation;
+    use tpcc_workload::calls::CallConfig;
+    use tpcc_workload::TransactionMix;
+
+    fn model(storage: StoragePolicy) -> PricePerformanceModel {
+        PricePerformanceModel::new(
+            SingleNodeModel::new(
+                CostParams::paper_default(),
+                TransactionMix::paper_default(),
+                CallConfig::paper_default(),
+            ),
+            HardwareCosts::paper_default(),
+            SchemaConfig::paper_default(),
+            storage,
+        )
+    }
+
+    fn misses() -> TableMissSource {
+        TableMissSource::new_order_rates(0.4, 0.02, 0.25)
+            .with(Relation::Customer, TxType::Payment, 0.9)
+            .with(Relation::OrderLine, TxType::Delivery, 10.0)
+            .with(Relation::Stock, TxType::StockLevel, 60.0)
+    }
+
+    #[test]
+    fn static_storage_needs_one_disk_for_db() {
+        // 1.1 GB static DB on 3 GB disks: capacity says 1 disk.
+        let m = model(StoragePolicy::StaticOnly);
+        let p = m.evaluate(&misses(), 64 * 1024 * 1024);
+        assert_eq!(p.disks_capacity, 1);
+        assert!(p.disks >= p.disks_bandwidth);
+    }
+
+    #[test]
+    fn growth_storage_matches_paper_eleven_gb() {
+        // §5.2: "approximately 11 Gbytes of disk space per node" for the
+        // 180-day retention at the node's throughput.
+        let m = model(StoragePolicy::paper_growth());
+        let report = SingleNodeModel::paper_default().throughput(&misses());
+        let gb = m.growth_bytes(report.txn_per_second) / 1e9;
+        assert!(
+            (5.0..20.0).contains(&gb),
+            "growth storage {gb:.1} GB should be of order 11 GB"
+        );
+    }
+
+    #[test]
+    fn growth_policy_requires_at_least_four_disks() {
+        // §5.2: "A minimum of 4 disks are required for storage capacity".
+        let m = model(StoragePolicy::paper_growth());
+        let p = m.evaluate(&misses(), 64 * 1024 * 1024);
+        assert!(p.disks_capacity >= 4, "capacity disks = {}", p.disks_capacity);
+    }
+
+    #[test]
+    fn memory_price_linear_in_buffer() {
+        let m = model(StoragePolicy::StaticOnly);
+        let a = m.evaluate(&misses(), 64 * 1024 * 1024);
+        let b = m.evaluate(&misses(), 128 * 1024 * 1024);
+        let delta = b.total_cost - a.total_cost;
+        // same miss table -> same disks; only memory differs
+        assert!((delta - 64.0 * 100.0).abs() < 1e-6, "delta = {delta}");
+    }
+
+    #[test]
+    fn optimum_picks_min_dollars_per_tpm() {
+        let pts = vec![
+            PricePerfPoint {
+                buffer_mb: 10.0,
+                new_order_tpm: 100.0,
+                disks_bandwidth: 2,
+                disks_capacity: 1,
+                disks: 2,
+                total_cost: 21_000.0,
+                dollars_per_tpm: 210.0,
+            },
+            PricePerfPoint {
+                buffer_mb: 50.0,
+                new_order_tpm: 120.0,
+                disks_bandwidth: 1,
+                disks_capacity: 1,
+                disks: 1,
+                total_cost: 20_000.0,
+                dollars_per_tpm: 166.7,
+            },
+        ];
+        assert_eq!(PricePerformanceModel::optimum(&pts).buffer_mb, 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_buffer_rejected() {
+        let m = model(StoragePolicy::StaticOnly);
+        let _ = m.evaluate(&misses(), 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! The single-node throughput model (paper §5.1–5.2, Table 4).
+//!
+//! CPU demand per transaction is the visit-count-weighted sum of the
+//! operation overheads; maximum throughput fixes CPU utilization at 80%
+//! and solves for the transaction rate; disk-arm counts follow from a
+//! 50% per-arm utilization cap.
+
+use crate::params::CostParams;
+use crate::source::MissSource;
+use serde::{Deserialize, Serialize};
+use tpcc_schema::relation::Relation;
+use tpcc_workload::calls::{CallConfig, CallProfile, RelationAccessProfile};
+use tpcc_workload::{TransactionMix, TxType};
+
+/// Resource demand of one transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TxCost {
+    /// CPU instructions consumed.
+    pub cpu_instructions: f64,
+    /// Expected physical I/Os.
+    pub ios: f64,
+}
+
+/// Output of the throughput model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Per-transaction-type costs in [`TxType::ALL`] order.
+    pub per_tx: [TxCost; 5],
+    /// Mix-weighted CPU instructions per transaction.
+    pub avg_cpu_instructions: f64,
+    /// Mix-weighted I/Os per transaction.
+    pub avg_ios: f64,
+    /// Maximum sustainable transactions per second (CPU-capped).
+    pub txn_per_second: f64,
+    /// The benchmark metric: New-Order transactions per minute.
+    pub new_order_tpm: f64,
+    /// Average disk demand in milliseconds per transaction.
+    pub disk_ms_per_txn: f64,
+    /// Disk arms needed to keep per-arm utilization at the cap.
+    pub disks_for_bandwidth: u64,
+}
+
+/// Single-node model: combines cost parameters, the mix, the call
+/// profile and a miss source.
+///
+/// ```
+/// use tpcc_cost::{SingleNodeModel, TableMissSource};
+/// use tpcc_schema::relation::Relation;
+/// use tpcc_workload::TxType;
+///
+/// let misses = TableMissSource::new_order_rates(0.4, 0.02, 0.25)
+///     .with(Relation::Customer, TxType::Payment, 0.9);
+/// let report = SingleNodeModel::paper_default().throughput(&misses);
+/// // a 10 MIPS processor at 80% utilization: low hundreds of tpm
+/// assert!(report.new_order_tpm > 100.0 && report.new_order_tpm < 400.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SingleNodeModel {
+    params: CostParams,
+    mix: TransactionMix,
+    calls: CallConfig,
+}
+
+impl SingleNodeModel {
+    /// Builds the model.
+    #[must_use]
+    pub fn new(params: CostParams, mix: TransactionMix, calls: CallConfig) -> Self {
+        Self { params, mix, calls }
+    }
+
+    /// Paper defaults throughout.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(
+            CostParams::paper_default(),
+            TransactionMix::paper_default(),
+            CallConfig::paper_default(),
+        )
+    }
+
+    /// Cost parameters in use.
+    #[must_use]
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Transaction mix in use.
+    #[must_use]
+    pub fn mix(&self) -> &TransactionMix {
+        &self.mix
+    }
+
+    /// Locks a transaction holds at commit: one per tuple accessed
+    /// (Table 3 row sums; the §5.1 prose charges 1K to release each).
+    #[must_use]
+    pub fn locks_held(&self, tx: TxType) -> f64 {
+        let profile = RelationAccessProfile::new(self.calls);
+        Relation::ALL
+            .iter()
+            .map(|&r| profile.access(tx, r).map_or(0.0, |a| a.count))
+            .sum()
+    }
+
+    /// CPU and I/O demand of one transaction of type `tx` on a single
+    /// node (Table 4 visit counts × overheads).
+    #[must_use]
+    pub fn tx_cost(&self, tx: TxType, misses: &impl MissSource) -> TxCost {
+        let p = &self.params;
+        let profile = CallProfile::for_tx(tx, &self.calls);
+        let ios = misses.io_per_txn(tx);
+        let cpu = profile.selects * p.select
+            + profile.updates * p.update
+            + profile.inserts * p.insert
+            + profile.deletes * p.delete
+            + profile.non_unique_selects * p.non_unique_select
+            + profile.joins * p.join
+            + (profile.total_calls() + 1.0) * p.application
+            + p.init_transaction
+            + p.commit
+            + self.locks_held(tx) * p.release_lock
+            + ios * p.init_io;
+        TxCost {
+            cpu_instructions: cpu,
+            ios,
+        }
+    }
+
+    /// Full throughput report, optionally with per-transaction extra CPU
+    /// (the distributed model injects its remote-call terms here; a
+    /// single-node run passes zeros).
+    #[must_use]
+    pub fn throughput_with_extra(
+        &self,
+        misses: &impl MissSource,
+        extra_cpu: [f64; 5],
+    ) -> ThroughputReport {
+        let per_tx: [TxCost; 5] = TxType::ALL.map(|tx| {
+            let mut c = self.tx_cost(tx, misses);
+            c.cpu_instructions += extra_cpu[tx.index()];
+            c
+        });
+        let avg_cpu: f64 = TxType::ALL
+            .iter()
+            .map(|&tx| self.mix.fraction(tx) * per_tx[tx.index()].cpu_instructions)
+            .sum();
+        let avg_ios: f64 = TxType::ALL
+            .iter()
+            .map(|&tx| self.mix.fraction(tx) * per_tx[tx.index()].ios)
+            .sum();
+        let txn_per_second = self.params.cpu_budget_per_second() / avg_cpu;
+        let disk_ms = avg_ios * self.params.io_time_ms;
+        let disk_seconds_per_second = txn_per_second * disk_ms / 1000.0;
+        let disks = (disk_seconds_per_second / self.params.disk_util_cap).ceil() as u64;
+        ThroughputReport {
+            per_tx,
+            avg_cpu_instructions: avg_cpu,
+            avg_ios,
+            txn_per_second,
+            new_order_tpm: txn_per_second * self.mix.fraction(TxType::NewOrder) * 60.0,
+            disk_ms_per_txn: disk_ms,
+            disks_for_bandwidth: disks.max(1),
+        }
+    }
+
+    /// Single-node throughput report.
+    #[must_use]
+    pub fn throughput(&self, misses: &impl MissSource) -> ThroughputReport {
+        self.throughput_with_extra(misses, [0.0; 5])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::TableMissSource;
+
+    fn model() -> SingleNodeModel {
+        SingleNodeModel::paper_default()
+    }
+
+    #[test]
+    fn new_order_cpu_breakdown() {
+        let m = model();
+        let cost = m.tx_cost(TxType::NewOrder, &TableMissSource::new());
+        // 46 calls at 12K + 47 app segments at 3K + 30K init + 30K commit
+        // + 35 locks at 1K
+        let expect = 46.0 * 12_000.0 + 47.0 * 3_000.0 + 30_000.0 + 30_000.0 + 35.0 * 1_000.0;
+        assert!(
+            (cost.cpu_instructions - expect).abs() < 1e-6,
+            "got {} expected {expect}",
+            cost.cpu_instructions
+        );
+        assert_eq!(cost.ios, 0.0);
+    }
+
+    #[test]
+    fn locks_match_table3_row_sums() {
+        let m = model();
+        assert!((m.locks_held(TxType::NewOrder) - 35.0).abs() < 1e-9);
+        assert!((m.locks_held(TxType::Payment) - 5.2).abs() < 1e-9);
+        assert!((m.locks_held(TxType::StockLevel) - 401.0).abs() < 1e-9);
+        assert!((m.locks_held(TxType::Delivery) - 130.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stock_level_dominated_by_join() {
+        let m = model();
+        let cost = m.tx_cost(TxType::StockLevel, &TableMissSource::new());
+        assert!(cost.cpu_instructions > 2_040_000.0);
+        assert!(cost.cpu_instructions < 2_600_000.0);
+    }
+
+    #[test]
+    fn misses_add_io_and_init_io_cpu() {
+        let m = model();
+        let none = m.tx_cost(TxType::NewOrder, &TableMissSource::new());
+        let some = m.tx_cost(
+            TxType::NewOrder,
+            &TableMissSource::new_order_rates(0.5, 0.0, 0.3),
+        );
+        assert!((some.ios - 3.5).abs() < 1e-12);
+        assert!(
+            (some.cpu_instructions - none.cpu_instructions - 3.5 * 5_000.0).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn throughput_in_expected_regime() {
+        // With plausible miss counts the 10-MIPS node should land in the
+        // low hundreds of New-Order transactions per minute — the scale
+        // the paper's "20 warehouses per 10 MIPS" sizing implies.
+        let misses = TableMissSource::new_order_rates(0.4, 0.02, 0.25)
+            .with(Relation::Customer, TxType::Payment, 0.9)
+            .with(Relation::OrderLine, TxType::Delivery, 10.0)
+            .with(Relation::Customer, TxType::Delivery, 8.0)
+            .with(Relation::Stock, TxType::StockLevel, 60.0)
+            .with(Relation::OrderLine, TxType::StockLevel, 4.0);
+        let report = model().throughput(&misses);
+        assert!(
+            (100.0..400.0).contains(&report.new_order_tpm),
+            "tpm = {}",
+            report.new_order_tpm
+        );
+        assert!(report.disks_for_bandwidth >= 1);
+        assert!(report.avg_ios > 0.0);
+    }
+
+    #[test]
+    fn extra_cpu_lowers_throughput() {
+        let misses = TableMissSource::new();
+        let base = model().throughput(&misses);
+        let loaded = model().throughput_with_extra(&misses, [200_000.0; 5]);
+        assert!(loaded.txn_per_second < base.txn_per_second);
+        assert!(loaded.new_order_tpm < base.new_order_tpm);
+    }
+
+    #[test]
+    fn zero_io_needs_one_disk_minimum() {
+        let report = model().throughput(&TableMissSource::new());
+        assert_eq!(report.disks_for_bandwidth, 1);
+        assert_eq!(report.avg_ios, 0.0);
+    }
+}

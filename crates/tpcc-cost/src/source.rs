@@ -1,0 +1,140 @@
+//! The interface between the buffer study (§4) and the throughput model
+//! (§5): expected page misses per transaction.
+
+use tpcc_buffer::MissSweep;
+use tpcc_schema::relation::Relation;
+use tpcc_workload::TxType;
+
+/// Supplies the expected number of page misses (physical reads) a
+/// transaction of type `tx` inflicts on `relation`.
+///
+/// Counting *misses per transaction* (rather than a per-access rate
+/// multiplied by Table 3 counts) keeps the model exact even where a
+/// transaction touches the same page repeatedly (read + write pairs,
+/// order-lines sharing a page, the paper's `mc`/`mi`/`ms` shorthand).
+pub trait MissSource {
+    /// Expected misses per transaction of type `tx` on `relation`.
+    fn misses_per_txn(&self, relation: Relation, tx: TxType) -> f64;
+
+    /// Total expected misses (I/Os) for one transaction of type `tx`.
+    fn io_per_txn(&self, tx: TxType) -> f64 {
+        Relation::ALL
+            .iter()
+            .map(|&r| self.misses_per_txn(r, tx))
+            .sum()
+    }
+}
+
+/// A [`MissSource`] backed by a stack-distance sweep at a fixed buffer
+/// size — the production path for Figures 9–12.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepMissSource<'a> {
+    sweep: &'a MissSweep,
+    buffer_pages: u64,
+}
+
+impl<'a> SweepMissSource<'a> {
+    /// Reads miss counts from `sweep` at `buffer_pages`.
+    #[must_use]
+    pub fn new(sweep: &'a MissSweep, buffer_pages: u64) -> Self {
+        Self {
+            sweep,
+            buffer_pages,
+        }
+    }
+
+    /// The buffer size queried.
+    #[must_use]
+    pub fn buffer_pages(&self) -> u64 {
+        self.buffer_pages
+    }
+}
+
+impl MissSource for SweepMissSource<'_> {
+    fn misses_per_txn(&self, relation: Relation, tx: TxType) -> f64 {
+        self.sweep.misses_per_txn(relation, tx, self.buffer_pages)
+    }
+}
+
+/// A hand-specified miss table (tests, what-if analyses, and for
+/// feeding the model the paper's own published miss-rate readings).
+#[derive(Debug, Clone, Default)]
+pub struct TableMissSource {
+    entries: Vec<(Relation, TxType, f64)>,
+}
+
+impl TableMissSource {
+    /// Empty table: every transaction is fully buffered (zero I/O).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the expected misses per `(relation, tx)` pair.
+    #[must_use]
+    pub fn with(mut self, relation: Relation, tx: TxType, misses: f64) -> Self {
+        assert!(
+            misses.is_finite() && misses >= 0.0,
+            "miss count must be non-negative, got {misses}"
+        );
+        self.entries.retain(|(r, t, _)| !(*r == relation && *t == tx));
+        self.entries.push((relation, tx, misses));
+        self
+    }
+
+    /// Convenience: the paper's `mc / mi / ms`-style setting where a
+    /// per-access miss rate applies to the New-Order transaction's
+    /// NURand accesses (1 customer, 10 item, 10 stock reads).
+    #[must_use]
+    pub fn new_order_rates(mc: f64, mi: f64, ms: f64) -> Self {
+        Self::new()
+            .with(Relation::Customer, TxType::NewOrder, mc)
+            .with(Relation::Item, TxType::NewOrder, 10.0 * mi)
+            .with(Relation::Stock, TxType::NewOrder, 10.0 * ms)
+    }
+}
+
+impl MissSource for TableMissSource {
+    fn misses_per_txn(&self, relation: Relation, tx: TxType) -> f64 {
+        self.entries
+            .iter()
+            .find(|(r, t, _)| *r == relation && *t == tx)
+            .map_or(0.0, |(_, _, m)| *m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_source_lookup_and_default_zero() {
+        let t = TableMissSource::new()
+            .with(Relation::Stock, TxType::NewOrder, 3.0)
+            .with(Relation::Customer, TxType::Payment, 1.1);
+        assert_eq!(t.misses_per_txn(Relation::Stock, TxType::NewOrder), 3.0);
+        assert_eq!(t.misses_per_txn(Relation::Stock, TxType::Payment), 0.0);
+        assert!((t.io_per_txn(TxType::NewOrder) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_overwrites_existing_entry() {
+        let t = TableMissSource::new()
+            .with(Relation::Stock, TxType::NewOrder, 3.0)
+            .with(Relation::Stock, TxType::NewOrder, 5.0);
+        assert_eq!(t.misses_per_txn(Relation::Stock, TxType::NewOrder), 5.0);
+    }
+
+    #[test]
+    fn new_order_rates_shorthand() {
+        let t = TableMissSource::new_order_rates(0.5, 0.02, 0.3);
+        let io = t.io_per_txn(TxType::NewOrder);
+        assert!((io - (0.5 + 0.2 + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_misses_rejected() {
+        let _ = TableMissSource::new().with(Relation::Stock, TxType::NewOrder, -1.0);
+    }
+}

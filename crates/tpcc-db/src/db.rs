@@ -1,0 +1,316 @@
+//! The database instance: heap files, indexes, buffer pool, catalog.
+
+use tpcc_schema::relation::Relation;
+use tpcc_storage::{
+    BTree, BufferManager, BufferStats, DiskManager, HeapFile, RecordId, Replacement,
+};
+
+/// Scale and resource configuration.
+///
+/// `paper()` is the full benchmark population; `small()` keeps tests
+/// fast. District count is fixed at 10 (structural in TPC-C).
+#[derive(Debug, Clone, Copy)]
+pub struct DbConfig {
+    /// Warehouses.
+    pub warehouses: u64,
+    /// Customers per district (spec: 3000).
+    pub customers_per_district: u64,
+    /// Items / stock rows per warehouse (spec: 100 000).
+    pub items: u64,
+    /// Orders pre-loaded per district (spec: 3000).
+    pub initial_orders_per_district: u64,
+    /// Of those, undelivered at load end (spec: 900).
+    pub initial_pending_per_district: u64,
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Buffer pool frames.
+    pub buffer_frames: usize,
+    /// Buffer replacement policy.
+    pub replacement: Replacement,
+    /// Enable redo logging (checkpoint taken after load; see
+    /// [`TpccDb::crash_recovery_check`]).
+    pub enable_wal: bool,
+}
+
+impl DbConfig {
+    /// Full spec-scale population for `warehouses` warehouses.
+    #[must_use]
+    pub fn paper(warehouses: u64, buffer_frames: usize) -> Self {
+        Self {
+            warehouses,
+            customers_per_district: 3000,
+            items: 100_000,
+            initial_orders_per_district: 3000,
+            initial_pending_per_district: 900,
+            page_size: 4096,
+            buffer_frames,
+            replacement: Replacement::Lru,
+            enable_wal: false,
+        }
+    }
+
+    /// A miniature database for tests (1 warehouse, 90 customers and
+    /// 300 items per district).
+    #[must_use]
+    pub fn small() -> Self {
+        Self {
+            warehouses: 1,
+            customers_per_district: 90,
+            items: 300,
+            initial_orders_per_district: 60,
+            initial_pending_per_district: 18,
+            page_size: 4096,
+            buffer_frames: 512,
+            replacement: Replacement::Lru,
+            enable_wal: false,
+        }
+    }
+
+    /// Distinct last names in a district (spec: 1000; scaled down with
+    /// the customer count so ~3 customers share a name).
+    #[must_use]
+    pub fn name_count(&self) -> u64 {
+        (self.customers_per_district / 3).clamp(1, 1000)
+    }
+}
+
+pub(crate) struct Heaps {
+    pub warehouse: HeapFile,
+    pub district: HeapFile,
+    pub customer: HeapFile,
+    pub stock: HeapFile,
+    pub item: HeapFile,
+    pub order: HeapFile,
+    pub new_order: HeapFile,
+    pub order_line: HeapFile,
+    pub history: HeapFile,
+}
+
+impl Heaps {
+    pub(crate) fn for_relation(&self, relation: Relation) -> &HeapFile {
+        match relation {
+            Relation::Warehouse => &self.warehouse,
+            Relation::District => &self.district,
+            Relation::Customer => &self.customer,
+            Relation::Stock => &self.stock,
+            Relation::Item => &self.item,
+            Relation::Order => &self.order,
+            Relation::NewOrder => &self.new_order,
+            Relation::OrderLine => &self.order_line,
+            Relation::History => &self.history,
+        }
+    }
+}
+
+pub(crate) struct Indexes {
+    /// `(w)` → warehouse rid.
+    pub warehouse: BTree,
+    /// `(w, d)` → district rid.
+    pub district: BTree,
+    /// `(w, d, c)` → customer rid.
+    pub customer: BTree,
+    /// `(w, d, name, c)` → customer rid (the by-name access path).
+    pub customer_name: BTree,
+    /// `(w, i)` → stock rid.
+    pub stock: BTree,
+    /// `(i)` → item rid.
+    pub item: BTree,
+    /// `(w, d, o)` → order rid.
+    pub order: BTree,
+    /// `(w, d, o)` → new-order rid (min scan = oldest pending).
+    pub new_order: BTree,
+    /// `(w, d, o, line)` → order-line rid.
+    pub order_line: BTree,
+    /// `(w, d, c)` → last order number (the multi-key index behind the
+    /// paper's one-call `Max(order-id)` assumption).
+    pub last_order: BTree,
+}
+
+/// An open TPC-C database.
+///
+/// ```
+/// use tpcc_db::{loader, DbConfig};
+/// use tpcc_db::txns::OrderLineReq;
+///
+/// let mut db = loader::load(DbConfig::small(), 1);
+/// let placed = db.new_order(0, 0, 5, &[OrderLineReq {
+///     item: 7,
+///     supply_warehouse: 0,
+///     quantity: 3,
+/// }]);
+/// assert!(placed.total_amount > 0.0);
+/// assert!(db.verify_consistency().is_consistent());
+/// ```
+pub struct TpccDb {
+    pub(crate) bm: BufferManager,
+    pub(crate) cfg: DbConfig,
+    pub(crate) heaps: Heaps,
+    pub(crate) idx: Indexes,
+    /// Logical timestamp for entry/delivery dates.
+    pub(crate) clock: u64,
+    /// Post-load disk image for crash recovery (WAL mode only).
+    pub(crate) checkpoint: Option<DiskManager>,
+}
+
+impl TpccDb {
+    /// Creates an empty database (no rows; see `loader::load`).
+    #[must_use]
+    pub fn create(cfg: DbConfig) -> Self {
+        let disk = DiskManager::new(cfg.page_size);
+        let mut bm = BufferManager::new(disk, cfg.buffer_frames, cfg.replacement);
+        let heaps = Heaps {
+            warehouse: HeapFile::create(&mut bm),
+            district: HeapFile::create(&mut bm),
+            customer: HeapFile::create(&mut bm),
+            stock: HeapFile::create(&mut bm),
+            item: HeapFile::create(&mut bm),
+            order: HeapFile::create(&mut bm),
+            new_order: HeapFile::create(&mut bm),
+            order_line: HeapFile::create(&mut bm),
+            history: HeapFile::create(&mut bm),
+        };
+        let idx = Indexes {
+            warehouse: BTree::create(&mut bm),
+            district: BTree::create(&mut bm),
+            customer: BTree::create(&mut bm),
+            customer_name: BTree::create(&mut bm),
+            stock: BTree::create(&mut bm),
+            item: BTree::create(&mut bm),
+            order: BTree::create(&mut bm),
+            new_order: BTree::create(&mut bm),
+            order_line: BTree::create(&mut bm),
+            last_order: BTree::create(&mut bm),
+        };
+        Self {
+            bm,
+            cfg,
+            heaps,
+            idx,
+            clock: 0,
+            checkpoint: None,
+        }
+    }
+
+    /// Marks a transaction boundary: appends a commit record when
+    /// logging is enabled.
+    pub(crate) fn commit(&mut self) {
+        let txn = self.clock;
+        self.bm.log_commit(txn);
+    }
+
+    /// WAL-mode self-test: "crash" (pretend every unflushed dirty page
+    /// is lost), recover by replaying the redo log over the post-load
+    /// checkpoint, and compare byte-for-byte against what a clean flush
+    /// of the live pool produces. Returns `true` when recovery is
+    /// exact; the database remains usable afterwards with a fresh
+    /// checkpoint.
+    ///
+    /// # Panics
+    /// Panics if the database was not loaded with `enable_wal`.
+    pub fn crash_recovery_check(&mut self) -> bool {
+        let wal = self
+            .bm
+            .take_wal()
+            .expect("crash_recovery_check requires enable_wal");
+        let checkpoint = self
+            .checkpoint
+            .take()
+            .expect("WAL mode always holds a checkpoint");
+        let recovered = wal.recover(checkpoint);
+        self.bm.flush_all();
+        let equal = recovered.contents_equal(self.bm.disk());
+        // re-arm for continued use
+        self.checkpoint = Some(self.bm.disk().snapshot());
+        self.bm.enable_wal();
+        equal
+    }
+
+    /// Redo-log statistics, when logging is enabled: `(entries,
+    /// delta bytes, commits)`.
+    #[must_use]
+    pub fn wal_stats(&self) -> Option<(usize, u64, u64)> {
+        self.bm
+            .wal()
+            .map(|w| (w.len(), w.delta_bytes(), w.commits()))
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &DbConfig {
+        &self.cfg
+    }
+
+    /// Advances and returns the logical clock.
+    pub(crate) fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Buffer statistics for one relation's heap file.
+    #[must_use]
+    pub fn relation_stats(&self, relation: Relation) -> BufferStats {
+        self.bm.stats(self.heaps.for_relation(relation).file())
+    }
+
+    /// Aggregate buffer statistics across all index files.
+    #[must_use]
+    pub fn index_stats(&self) -> BufferStats {
+        [
+            &self.idx.warehouse,
+            &self.idx.district,
+            &self.idx.customer,
+            &self.idx.customer_name,
+            &self.idx.stock,
+            &self.idx.item,
+            &self.idx.order,
+            &self.idx.new_order,
+            &self.idx.order_line,
+            &self.idx.last_order,
+        ]
+        .iter()
+        .map(|t| self.bm.stats(t.file()))
+        .fold(BufferStats::default(), |a, s| BufferStats {
+            hits: a.hits + s.hits,
+            misses: a.misses + s.misses,
+        })
+    }
+
+    /// Clears buffer statistics (between load/warm-up and measurement).
+    pub fn reset_stats(&mut self) {
+        self.bm.reset_stats();
+    }
+
+    /// Pages currently allocated to a relation's heap file.
+    #[must_use]
+    pub fn relation_pages(&self, relation: Relation) -> u32 {
+        self.heaps.for_relation(relation).pages(&self.bm)
+    }
+
+    /// Looks up one record rid by primary key in the relation's index.
+    pub(crate) fn pk_lookup(&mut self, relation: Relation, key: u64) -> Option<RecordId> {
+        let tree = match relation {
+            Relation::Warehouse => &self.idx.warehouse,
+            Relation::District => &self.idx.district,
+            Relation::Customer => &self.idx.customer,
+            Relation::Stock => &self.idx.stock,
+            Relation::Item => &self.idx.item,
+            Relation::Order => &self.idx.order,
+            Relation::NewOrder => &self.idx.new_order,
+            Relation::OrderLine => &self.idx.order_line,
+            Relation::History => panic!("history has no index"),
+        };
+        tree.get(&mut self.bm, key).map(RecordId::from_u64)
+    }
+
+    /// Validates ids against the configured scale.
+    pub(crate) fn check_scale(&self, w: u64, d: u64, c: Option<u64>, i: Option<u64>) {
+        assert!(w < self.cfg.warehouses, "warehouse {w} beyond scale");
+        assert!(d < 10, "district {d} beyond scale");
+        if let Some(c) = c {
+            assert!(c < self.cfg.customers_per_district, "customer {c} beyond scale");
+        }
+        if let Some(i) = i {
+            assert!(i < self.cfg.items, "item {i} beyond scale");
+        }
+    }
+}

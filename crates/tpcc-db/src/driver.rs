@@ -1,0 +1,305 @@
+//! A workload driver: generates spec-shaped inputs and executes the
+//! transaction mix against a loaded database, reporting throughput-side
+//! counts and the measured buffer behaviour.
+
+use crate::db::TpccDb;
+use crate::txns::{CustomerSelector, OrderLineReq};
+use tpcc_rand::{NuRand, Xoshiro256};
+use tpcc_schema::relation::Relation;
+use tpcc_storage::BufferStats;
+
+/// Driver configuration: the paper's mix and clause probabilities.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverConfig {
+    /// Mix fractions: New-Order, Payment, Order-Status, Delivery,
+    /// Stock-Level (paper: 43/44/4/5/4).
+    pub mix: [f64; 5],
+    /// P(item supplied remotely) (0.01).
+    pub remote_stock_prob: f64,
+    /// P(payment through a remote warehouse) (0.15).
+    pub remote_payment_prob: f64,
+    /// P(customer selected by last name) (0.60).
+    pub by_name_prob: f64,
+    /// Items per order (paper: fixed 10).
+    pub items_per_order: u64,
+    /// P(a New-Order carries an unused item and rolls back) — spec
+    /// clause 2.4.1.4 says 1%; the paper ignores rollbacks, so the
+    /// default here is 0.
+    pub rollback_prob: f64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        Self {
+            mix: [0.43, 0.44, 0.04, 0.05, 0.04],
+            remote_stock_prob: 0.01,
+            remote_payment_prob: 0.15,
+            by_name_prob: 0.60,
+            items_per_order: 10,
+            rollback_prob: 0.0,
+        }
+    }
+}
+
+impl DriverConfig {
+    /// The spec's 1% New-Order rollback rate.
+    #[must_use]
+    pub fn with_spec_rollbacks(mut self) -> Self {
+        self.rollback_prob = 0.01;
+        self
+    }
+}
+
+/// Run summary.
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    /// Transactions executed per type (mix order).
+    pub executed: [u64; 5],
+    /// New orders placed.
+    pub new_orders: u64,
+    /// Orders delivered.
+    pub deliveries: u64,
+    /// New-Orders that rolled back on an unused item.
+    pub rollbacks: u64,
+    /// Buffer statistics per relation heap.
+    pub relation_stats: Vec<(Relation, BufferStats)>,
+    /// Aggregate index buffer statistics.
+    pub index_stats: BufferStats,
+}
+
+impl DriverReport {
+    /// Miss ratio for one relation's heap accesses.
+    #[must_use]
+    pub fn miss_ratio(&self, relation: Relation) -> f64 {
+        self.relation_stats
+            .iter()
+            .find(|(r, _)| *r == relation)
+            .map_or(0.0, |(_, s)| s.miss_ratio())
+    }
+}
+
+/// Drives a database with randomized spec-shaped inputs.
+pub struct Driver {
+    cfg: DriverConfig,
+    rng: Xoshiro256,
+    customer_nu: NuRand,
+    item_nu: NuRand,
+}
+
+impl Driver {
+    /// Creates a driver whose NURand ranges match the database's scale.
+    #[must_use]
+    pub fn new(db: &TpccDb, cfg: DriverConfig, seed: u64) -> Self {
+        let c = db.config().customers_per_district;
+        let i = db.config().items;
+        Self {
+            cfg,
+            rng: Xoshiro256::seed_from_u64(seed),
+            // A constants scale with the range per clause 2.1.6
+            customer_nu: NuRand::new(1023.min(c.next_power_of_two() - 1), 0, c - 1),
+            item_nu: NuRand::new(8191.min(i.next_power_of_two() - 1), 0, i - 1),
+        }
+    }
+
+    /// Executes `transactions` mixed transactions.
+    pub fn run(&mut self, db: &mut TpccDb, transactions: u64) -> DriverReport {
+        let mut executed = [0u64; 5];
+        let mut new_orders = 0;
+        let mut deliveries = 0;
+        let mut rollbacks = 0;
+        for _ in 0..transactions {
+            let t = self.pick_type();
+            executed[t] += 1;
+            match t {
+                0 => {
+                    if self.run_new_order(db) {
+                        new_orders += 1;
+                    } else {
+                        rollbacks += 1;
+                    }
+                }
+                1 => self.run_payment(db),
+                2 => self.run_order_status(db),
+                3 => {
+                    let w = self.uniform_warehouse(db);
+                    let carrier = self.rng.uniform_inclusive(1, 10) as u8;
+                    deliveries += db.delivery(w, carrier).delivered;
+                }
+                _ => {
+                    let w = self.uniform_warehouse(db);
+                    let d = self.rng.uniform_inclusive(0, 9);
+                    let threshold = self.rng.uniform_inclusive(10, 20) as i32;
+                    let _ = db.stock_level(w, d, threshold);
+                }
+            }
+        }
+        DriverReport {
+            executed,
+            new_orders,
+            deliveries,
+            rollbacks,
+            relation_stats: Relation::ALL
+                .iter()
+                .map(|&r| (r, db.relation_stats(r)))
+                .collect(),
+            index_stats: db.index_stats(),
+        }
+    }
+
+    fn pick_type(&mut self) -> usize {
+        let mut u = self.rng.f64();
+        for (i, &f) in self.cfg.mix.iter().enumerate() {
+            if u < f {
+                return i;
+            }
+            u -= f;
+        }
+        self.cfg.mix.len() - 1
+    }
+
+    fn uniform_warehouse(&mut self, db: &TpccDb) -> u64 {
+        self.rng.uniform_inclusive(0, db.config().warehouses - 1)
+    }
+
+    fn maybe_remote(&mut self, db: &TpccDb, home: u64, prob: f64) -> u64 {
+        let w = db.config().warehouses;
+        if w > 1 && self.rng.chance(prob) {
+            let other = self.rng.uniform_inclusive(0, w - 2);
+            if other >= home {
+                other + 1
+            } else {
+                other
+            }
+        } else {
+            home
+        }
+    }
+
+    fn selector(&mut self, db: &TpccDb) -> CustomerSelector {
+        if self.rng.chance(self.cfg.by_name_prob) {
+            let names = db.config().name_count();
+            let id = NuRand::new(255.min(names.next_power_of_two() - 1), 0, names - 1)
+                .sample(&mut self.rng);
+            CustomerSelector::ByName(id)
+        } else {
+            CustomerSelector::ById(self.customer_nu.sample(&mut self.rng))
+        }
+    }
+
+    /// Runs one New-Order; returns `false` when it rolled back.
+    fn run_new_order(&mut self, db: &mut TpccDb) -> bool {
+        let w = self.uniform_warehouse(db);
+        let d = self.rng.uniform_inclusive(0, 9);
+        let c = self.customer_nu.sample(&mut self.rng);
+        let mut lines: Vec<OrderLineReq> = (0..self.cfg.items_per_order)
+            .map(|_| OrderLineReq {
+                item: self.item_nu.sample(&mut self.rng),
+                supply_warehouse: self.maybe_remote(db, w, self.cfg.remote_stock_prob),
+                quantity: self.rng.uniform_inclusive(1, 10) as u16,
+            })
+            .collect();
+        if self.rng.chance(self.cfg.rollback_prob) {
+            // clause 2.4.1.4: the last line names an unused item
+            lines.last_mut().expect("at least one line").item = db.config().items;
+            return db.new_order_checked(w, d, c, &lines).is_ok();
+        }
+        db.new_order_checked(w, d, c, &lines).is_ok()
+    }
+
+    fn run_payment(&mut self, db: &mut TpccDb) {
+        let w = self.uniform_warehouse(db);
+        let d = self.rng.uniform_inclusive(0, 9);
+        let cw = self.maybe_remote(db, w, self.cfg.remote_payment_prob);
+        let cd = if cw == w {
+            d
+        } else {
+            self.rng.uniform_inclusive(0, 9)
+        };
+        let selector = self.selector(db);
+        let amount = self.rng.uniform_inclusive(100, 500_000) as f64 / 100.0;
+        let _ = db.payment(w, d, cw, cd, selector, amount);
+    }
+
+    fn run_order_status(&mut self, db: &mut TpccDb) {
+        let w = self.uniform_warehouse(db);
+        let d = self.rng.uniform_inclusive(0, 9);
+        let selector = self.selector(db);
+        let _ = db.order_status(w, d, selector);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::DbConfig;
+    use crate::loader;
+
+    #[test]
+    fn mixed_run_completes_and_counts() {
+        let mut db = loader::load(DbConfig::small(), 11);
+        let mut driver = Driver::new(&db, DriverConfig::default(), 12);
+        let report = driver.run(&mut db, 2000);
+        assert_eq!(report.executed.iter().sum::<u64>(), 2000);
+        assert!(report.executed.iter().all(|&c| c > 0), "{:?}", report.executed);
+        assert_eq!(report.new_orders, report.executed[0]);
+        assert_eq!(report.rollbacks, 0, "rollbacks disabled by default");
+        assert!(report.deliveries > 0);
+    }
+
+    #[test]
+    fn spec_rollback_rate_observed() {
+        let mut db = loader::load(DbConfig::small(), 17);
+        let mut driver = Driver::new(
+            &db,
+            DriverConfig::default().with_spec_rollbacks(),
+            18,
+        );
+        let report = driver.run(&mut db, 4000);
+        let attempts = report.new_orders + report.rollbacks;
+        let rate = report.rollbacks as f64 / attempts as f64;
+        assert!((rate - 0.01).abs() < 0.01, "rollback rate {rate}");
+        assert!(report.rollbacks > 0);
+    }
+
+    #[test]
+    fn buffer_stats_populated() {
+        let mut db = loader::load(DbConfig::small(), 13);
+        db.reset_stats();
+        let mut driver = Driver::new(&db, DriverConfig::default(), 14);
+        let report = driver.run(&mut db, 1000);
+        let customer = report.miss_ratio(Relation::Customer);
+        assert!((0.0..=1.0).contains(&customer));
+        let total: u64 = report
+            .relation_stats
+            .iter()
+            .map(|(_, s)| s.hits + s.misses)
+            .sum();
+        assert!(total > 1000, "heap accesses recorded: {total}");
+        assert!(report.index_stats.hits + report.index_stats.misses > 0);
+    }
+
+    #[test]
+    fn new_order_relation_stays_bounded_with_paper_mix() {
+        let mut db = loader::load(DbConfig::small(), 15);
+        let pending_before = db.relation_pages(Relation::NewOrder);
+        let mut driver = Driver::new(&db, DriverConfig::default(), 16);
+        let _ = driver.run(&mut db, 3000);
+        // 5% deliveries x 10 >= 43% inserts: pages grow slowly if at all
+        let pending_after = db.relation_pages(Relation::NewOrder);
+        assert!(
+            pending_after <= pending_before + 4,
+            "new-order grew {pending_before} -> {pending_after}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut db = loader::load(DbConfig::small(), 21);
+            let mut driver = Driver::new(&db, DriverConfig::default(), seed);
+            driver.run(&mut db, 500).executed
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

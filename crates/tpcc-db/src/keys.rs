@@ -1,0 +1,169 @@
+//! Composite-key packing into the B+Tree's `u64` key space.
+//!
+//! Bit budgets (asserted): warehouse 14 bits, district 4, customer 20,
+//! item 20, order number 40 (shared with the district prefix), customer
+//! last-name id 10.
+
+/// Maximum warehouses (2¹⁴).
+pub const MAX_WAREHOUSES: u64 = 1 << 14;
+
+fn check(w: u64, d: u64) {
+    assert!(w < MAX_WAREHOUSES, "warehouse {w} out of key range");
+    assert!(d < 10, "district {d} out of key range");
+}
+
+/// Warehouse primary key.
+#[must_use]
+pub fn warehouse(w: u64) -> u64 {
+    assert!(w < MAX_WAREHOUSES);
+    w
+}
+
+/// District primary key `(w, d)`.
+#[must_use]
+pub fn district(w: u64, d: u64) -> u64 {
+    check(w, d);
+    w * 10 + d
+}
+
+/// Customer primary key `(w, d, c)`.
+#[must_use]
+pub fn customer(w: u64, d: u64, c: u64) -> u64 {
+    check(w, d);
+    assert!(c < (1 << 20), "customer {c} out of key range");
+    (district(w, d) << 20) | c
+}
+
+/// Stock primary key `(w, i)` (the paper's `(item-id, whouse-id)`).
+#[must_use]
+pub fn stock(w: u64, i: u64) -> u64 {
+    assert!(w < MAX_WAREHOUSES);
+    assert!(i < (1 << 20), "item {i} out of key range");
+    (w << 20) | i
+}
+
+/// Item primary key.
+#[must_use]
+pub fn item(i: u64) -> u64 {
+    assert!(i < (1 << 20));
+    i
+}
+
+/// Order primary key `(w, d, o)`; ascending in order number within a
+/// district, so a range scan is a time scan.
+#[must_use]
+pub fn order(w: u64, d: u64, o: u64) -> u64 {
+    check(w, d);
+    assert!(o < (1 << 40), "order number {o} out of key range");
+    (district(w, d) << 40) | o
+}
+
+/// First order key of a district (range-scan lower bound).
+#[must_use]
+pub fn order_lo(w: u64, d: u64) -> u64 {
+    order(w, d, 0)
+}
+
+/// One-past-the-last order key of a district (range-scan upper bound).
+#[must_use]
+pub fn order_hi(w: u64, d: u64) -> u64 {
+    (district(w, d) + 1) << 40
+}
+
+/// Extracts the order number from an [`order`] key.
+#[must_use]
+pub fn order_number(key: u64) -> u64 {
+    key & ((1 << 40) - 1)
+}
+
+/// Order-line key `(w, d, o, line)`; lines of one order are contiguous.
+#[must_use]
+pub fn order_line(w: u64, d: u64, o: u64, line: u64) -> u64 {
+    assert!(line < 16, "line {line} out of key range");
+    (order(w, d, o) << 4) | line
+}
+
+/// Range bounds covering all lines of one order.
+#[must_use]
+pub fn order_line_range(w: u64, d: u64, o: u64) -> (u64, u64) {
+    (order_line(w, d, o, 0), order(w, d, o + 1) << 4)
+}
+
+/// Customer last-name index key `(w, d, name_id, c)`: a range scan over
+/// one `(w, d, name_id)` prefix yields every matching customer.
+#[must_use]
+pub fn customer_name(w: u64, d: u64, name_id: u64, c: u64) -> u64 {
+    check(w, d);
+    assert!(name_id < 1000, "name id {name_id} out of range");
+    assert!(c < (1 << 20));
+    (district(w, d) << 30) | (name_id << 20) | c
+}
+
+/// Range bounds covering all customers with one last name.
+#[must_use]
+pub fn customer_name_range(w: u64, d: u64, name_id: u64) -> (u64, u64) {
+    (
+        customer_name(w, d, name_id, 0),
+        (((district(w, d) << 10) | name_id) + 1) << 20,
+    )
+}
+
+/// Last-order index key: one entry per customer, value = order number.
+#[must_use]
+pub fn last_order(w: u64, d: u64, c: u64) -> u64 {
+    customer(w, d, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_unique_across_districts() {
+        assert_ne!(customer(0, 1, 5), customer(1, 0, 5));
+        assert_ne!(order(2, 3, 7), order(3, 2, 7));
+        assert_ne!(stock(1, 99), stock(99, 1));
+    }
+
+    #[test]
+    fn order_range_covers_exactly_one_district() {
+        let lo = order_lo(3, 4);
+        let hi = order_hi(3, 4);
+        assert!(order(3, 4, 0) >= lo);
+        assert!(order(3, 4, (1 << 40) - 1) < hi);
+        assert!(order(3, 5, 0) >= hi);
+        assert_eq!(order_number(order(3, 4, 123)), 123);
+    }
+
+    #[test]
+    fn order_line_range_covers_all_lines() {
+        let (lo, hi) = order_line_range(1, 2, 50);
+        for line in 0..16 {
+            let k = order_line(1, 2, 50, line);
+            assert!((lo..hi).contains(&k), "line {line}");
+        }
+        assert!(order_line(1, 2, 51, 0) >= hi);
+        assert!(order_line(1, 2, 49, 15) < lo);
+    }
+
+    #[test]
+    fn name_range_covers_all_customers_of_one_name() {
+        let (lo, hi) = customer_name_range(0, 0, 500);
+        assert!(customer_name(0, 0, 500, 0) >= lo);
+        assert!(customer_name(0, 0, 500, 2999) < hi);
+        assert!(customer_name(0, 0, 501, 0) >= hi);
+        assert!(customer_name(0, 0, 499, 2999) < lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "district 10")]
+    fn district_bound() {
+        let _ = district(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of key range")]
+    fn order_number_bound() {
+        let _ = order(0, 0, 1 << 40);
+    }
+}

@@ -1,0 +1,97 @@
+//! Customer last names per TPC-C clause 4.3.2.3: a name id in
+//! `0..=999` maps to the concatenation of three syllables of its
+//! decimal digits. The spec populates customers 0..1000 with names
+//! 0..1000 and the remaining 2000 with `NURand(255, 0, 999)` names —
+//! so roughly three customers per district share each hot name, which
+//! is what makes the Payment by-name path a 3-row non-unique select.
+
+use tpcc_rand::{NuRand, Xoshiro256};
+
+/// The ten syllables of clause 4.3.2.3.
+pub const SYLLABLES: [&str; 10] = [
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+];
+
+/// Composes the last name for a name id.
+///
+/// # Panics
+/// Panics if `name_id >= 1000`.
+#[must_use]
+pub fn last_name(name_id: u64) -> String {
+    assert!(name_id < 1000, "name id {name_id} out of range");
+    let (a, b, c) = (
+        (name_id / 100) as usize,
+        (name_id / 10 % 10) as usize,
+        (name_id % 10) as usize,
+    );
+    format!("{}{}{}", SYLLABLES[a], SYLLABLES[b], SYLLABLES[c])
+}
+
+/// The name id a customer receives at load time: ids `0..1000` get
+/// their own id; the rest draw `NURand(255, 0, 999)` (clause 4.3.3.1).
+#[must_use]
+pub fn load_name_id(c_id: u64, rng: &mut Xoshiro256) -> u64 {
+    if c_id < 1000 {
+        c_id
+    } else {
+        NuRand::new(255, 0, 999).sample(rng)
+    }
+}
+
+/// The name id a by-name transaction targets: `NURand(255, 0, 999)`
+/// (clause 2.1.6.2 run-time parameter).
+#[must_use]
+pub fn runtime_name_id(rng: &mut Xoshiro256) -> u64 {
+    NuRand::new(255, 0, 999).sample(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_examples() {
+        assert_eq!(last_name(0), "BARBARBAR");
+        assert_eq!(last_name(371), "PRICALLYOUGHT");
+        assert_eq!(last_name(999), "EINGEINGEING");
+    }
+
+    #[test]
+    fn names_are_unique_per_id() {
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..1000 {
+            assert!(seen.insert(last_name(id)), "duplicate for id {id}");
+        }
+    }
+
+    #[test]
+    fn load_assigns_three_customers_per_name_on_average() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut counts = vec![0u32; 1000];
+        for c in 0..3000u64 {
+            counts[load_name_id(c, &mut rng) as usize] += 1;
+        }
+        let avg = counts.iter().map(|&c| f64::from(c)).sum::<f64>() / 1000.0;
+        assert!((avg - 3.0).abs() < 1e-9);
+        // every name has the guaranteed one from the first 1000
+        assert!(counts.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn runtime_ids_in_range_and_skewed() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[runtime_name_id(&mut rng) as usize] += 1;
+        }
+        let max = *counts.iter().max().expect("nonempty");
+        let min = *counts.iter().min().expect("nonempty");
+        assert!(max > 3 * min.max(1), "NURand names should be skewed");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn name_id_bound() {
+        let _ = last_name(1000);
+    }
+}

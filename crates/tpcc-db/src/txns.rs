@@ -1,0 +1,723 @@
+//! The five TPC-C transactions, executed against the storage engine
+//! (paper §2.2's call sequences, with real record contents).
+
+use crate::db::TpccDb;
+use crate::keys;
+use crate::records::{
+    CustomerRec, DistrictRec, HistoryRec, ItemRec, NewOrderRec, OrderLineRec, OrderRec, StockRec,
+    WarehouseRec,
+};
+use tpcc_schema::relation::Relation;
+use tpcc_storage::RecordId;
+
+/// One ordered line of a New-Order request.
+#[derive(Debug, Clone, Copy)]
+pub struct OrderLineReq {
+    /// Item ordered.
+    pub item: u64,
+    /// Supplying warehouse.
+    pub supply_warehouse: u64,
+    /// Quantity (spec: uniform 1–10).
+    pub quantity: u16,
+}
+
+/// New-Order output.
+#[derive(Debug, Clone)]
+pub struct NewOrderResult {
+    /// Assigned order number.
+    pub o_id: u64,
+    /// Total order amount after discount and taxes.
+    pub total_amount: f64,
+    /// Per-line amounts.
+    pub line_amounts: Vec<f64>,
+}
+
+/// Payment output.
+#[derive(Debug, Clone)]
+pub struct PaymentResult {
+    /// The customer charged (resolved id for by-name requests).
+    pub c_id: u64,
+    /// Customer balance after the payment.
+    pub balance: f64,
+    /// Rows the customer selection touched (1 by id, ~3 by name).
+    pub rows_matched: usize,
+}
+
+/// Order-Status output.
+#[derive(Debug, Clone)]
+pub struct OrderStatusResult {
+    /// Resolved customer.
+    pub c_id: u64,
+    /// Their most recent order, if any.
+    pub o_id: Option<u64>,
+    /// `(item, quantity, amount, delivery_date)` per line.
+    pub lines: Vec<(u64, u16, f64, u64)>,
+}
+
+/// Delivery output.
+#[derive(Debug, Clone)]
+pub struct DeliveryResult {
+    /// Orders delivered (≤ 10; districts with an empty queue skip).
+    pub delivered: u64,
+    /// The order number delivered per district (None = queue empty).
+    pub per_district: [Option<u64>; 10],
+}
+
+/// Stock-Level output.
+#[derive(Debug, Clone, Copy)]
+pub struct StockLevelResult {
+    /// Distinct items under the threshold among the last 20 orders.
+    pub low_stock: u64,
+    /// Order-line rows scanned (the paper's ~200).
+    pub lines_scanned: u64,
+}
+
+/// A New-Order abort: clause 2.4.1.4's "unused item number" rollback
+/// (1% of New-Order transactions are given one invalid item id and
+/// must roll back after their reads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NewOrderAborted {
+    /// Index of the offending line.
+    pub bad_line: usize,
+}
+
+impl std::fmt::Display for NewOrderAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "new-order aborted: line {} names an unused item", self.bad_line)
+    }
+}
+
+impl std::error::Error for NewOrderAborted {}
+
+/// How Payment / Order-Status select the customer.
+#[derive(Debug, Clone, Copy)]
+pub enum CustomerSelector {
+    /// Unique select by customer id.
+    ById(u64),
+    /// Non-unique select by last-name id; the median-by-first-name row
+    /// (clause 2.5.2.2) is the one charged.
+    ByName(u64),
+}
+
+impl TpccDb {
+    fn read_customer(&mut self, rid: RecordId) -> CustomerRec {
+        let buf = self.heaps.customer.get(&mut self.bm, rid).expect("live customer");
+        CustomerRec::decode(&buf)
+    }
+
+    /// Resolves a selector to the target customer `(rid, record)`,
+    /// implementing the by-name path: fetch all matches via the name
+    /// index, sort by first name, take the median row.
+    fn resolve_customer(
+        &mut self,
+        w: u64,
+        d: u64,
+        selector: CustomerSelector,
+    ) -> (RecordId, CustomerRec, usize) {
+        match selector {
+            CustomerSelector::ById(c) => {
+                self.check_scale(w, d, Some(c), None);
+                let rid = self
+                    .pk_lookup(Relation::Customer, keys::customer(w, d, c))
+                    .expect("customer exists");
+                let rec = self.read_customer(rid);
+                (rid, rec, 1)
+            }
+            CustomerSelector::ByName(name_id) => {
+                let (lo, hi) = keys::customer_name_range(w, d, name_id);
+                let mut rids: Vec<RecordId> = Vec::new();
+                self.idx.customer_name.scan_range(&mut self.bm, lo, hi, |_, v| {
+                    rids.push(RecordId::from_u64(v));
+                    true
+                });
+                assert!(
+                    !rids.is_empty(),
+                    "every name id has at least one owner by construction"
+                );
+                let mut matches: Vec<(RecordId, CustomerRec)> = rids
+                    .into_iter()
+                    .map(|rid| (rid, self.read_customer(rid)))
+                    .collect();
+                matches.sort_by(|a, b| a.1.first.cmp(&b.1.first));
+                let n = matches.len();
+                let median = n.div_ceil(2) - 1; // position ⌈n/2⌉, 1-based
+                let (rid, rec) = matches.swap_remove(median);
+                (rid, rec, n)
+            }
+        }
+    }
+
+    /// New-Order (§2.2): places an order of `lines` items for customer
+    /// `(w, d, c)`.
+    ///
+    /// # Panics
+    /// Panics on ids beyond the configured scale or an empty line list.
+    pub fn new_order(
+        &mut self,
+        w: u64,
+        d: u64,
+        c: u64,
+        lines: &[OrderLineReq],
+    ) -> NewOrderResult {
+        assert!(!lines.is_empty(), "an order needs at least one line");
+        self.check_scale(w, d, Some(c), None);
+
+        // 1. warehouse tax
+        let w_rid = self
+            .pk_lookup(Relation::Warehouse, keys::warehouse(w))
+            .expect("warehouse exists");
+        let warehouse =
+            WarehouseRec::decode(&self.heaps.warehouse.get(&mut self.bm, w_rid).expect("live"));
+
+        // 2-3. district: read then bump next_o_id
+        let d_rid = self
+            .pk_lookup(Relation::District, keys::district(w, d))
+            .expect("district exists");
+        let mut district =
+            DistrictRec::decode(&self.heaps.district.get(&mut self.bm, d_rid).expect("live"));
+        let o_id = u64::from(district.next_o_id);
+        district.next_o_id += 1;
+        self.heaps.district.update(&mut self.bm, d_rid, &district.encode());
+
+        // 4. customer discount
+        let c_rid = self
+            .pk_lookup(Relation::Customer, keys::customer(w, d, c))
+            .expect("customer exists");
+        let customer = self.read_customer(c_rid);
+
+        // 5-6. order + new-order rows
+        let entry_d = self.tick();
+        let all_local = lines.iter().all(|l| l.supply_warehouse == w);
+        let order = OrderRec {
+            o_id: o_id as u32,
+            c_id: c as u32,
+            entry_d,
+            carrier_id: 0,
+            ol_cnt: lines.len() as u8,
+            all_local: u8::from(all_local),
+        };
+        let o_heap_rid = self.heaps.order.insert(&mut self.bm, &order.encode());
+        self.idx
+            .order
+            .insert(&mut self.bm, keys::order(w, d, o_id), o_heap_rid.to_u64());
+        self.idx
+            .last_order
+            .insert(&mut self.bm, keys::last_order(w, d, c), o_id);
+        let no = NewOrderRec {
+            o_id: o_id as u32,
+            d_id: d as u16,
+            w_id: w as u16,
+        };
+        let no_rid = self.heaps.new_order.insert(&mut self.bm, &no.encode());
+        self.idx
+            .new_order
+            .insert(&mut self.bm, keys::order(w, d, o_id), no_rid.to_u64());
+
+        // 7. per item: item read, stock read+update, order-line insert
+        let mut line_amounts = Vec::with_capacity(lines.len());
+        for (number, line) in lines.iter().enumerate() {
+            self.check_scale(line.supply_warehouse, d, None, Some(line.item));
+            let i_rid = self
+                .pk_lookup(Relation::Item, keys::item(line.item))
+                .expect("item exists");
+            let item = ItemRec::decode(&self.heaps.item.get(&mut self.bm, i_rid).expect("live"));
+
+            let s_rid = self
+                .pk_lookup(Relation::Stock, keys::stock(line.supply_warehouse, line.item))
+                .expect("stock exists");
+            let mut stock =
+                StockRec::decode(&self.heaps.stock.get(&mut self.bm, s_rid).expect("live"));
+            // clause 2.4.2.2: restock when the level would fall below 10
+            if stock.quantity >= i32::from(line.quantity) + 10 {
+                stock.quantity -= i32::from(line.quantity);
+            } else {
+                stock.quantity += 91 - i32::from(line.quantity);
+            }
+            stock.ytd += u64::from(line.quantity);
+            stock.order_cnt += 1;
+            if line.supply_warehouse != w {
+                stock.remote_cnt += 1;
+            }
+            let dist_info = stock.dist_info[d as usize].clone();
+            self.heaps.stock.update(&mut self.bm, s_rid, &stock.encode());
+
+            let amount = f64::from(line.quantity) * item.price;
+            line_amounts.push(amount);
+            let ol = OrderLineRec {
+                o_id: o_id as u32,
+                d_id: d as u16,
+                w_id: w as u16,
+                number: number as u16,
+                i_id: line.item as u32,
+                supply_w_id: line.supply_warehouse as u16,
+                delivery_d: 0,
+                quantity: line.quantity,
+                amount,
+                dist_info,
+            };
+            let ol_rid = self.heaps.order_line.insert(&mut self.bm, &ol.encode());
+            self.idx.order_line.insert(
+                &mut self.bm,
+                keys::order_line(w, d, o_id, number as u64),
+                ol_rid.to_u64(),
+            );
+        }
+        let subtotal: f64 = line_amounts.iter().sum();
+        let total_amount =
+            subtotal * (1.0 - customer.discount) * (1.0 + warehouse.tax + district.tax);
+        self.commit();
+        NewOrderResult {
+            o_id,
+            total_amount,
+            line_amounts,
+        }
+    }
+
+    /// New-Order with the spec's rollback semantics: the transaction
+    /// performs its reads (warehouse, district, customer, and an item
+    /// probe per line), then aborts — leaving no writes — if any line
+    /// names an item that does not exist (clause 2.4.1.4).
+    ///
+    /// Implemented as validate-then-apply: item existence is checked
+    /// through the item index before any update, so no undo log is
+    /// needed; the successful path then executes [`TpccDb::new_order`].
+    ///
+    /// # Errors
+    /// [`NewOrderAborted`] naming the first invalid line.
+    pub fn new_order_checked(
+        &mut self,
+        w: u64,
+        d: u64,
+        c: u64,
+        lines: &[OrderLineReq],
+    ) -> Result<NewOrderResult, NewOrderAborted> {
+        self.check_scale(w, d, Some(c), None);
+        // the reads a rolled-back transaction still performs
+        let _ = self.pk_lookup(Relation::Warehouse, keys::warehouse(w));
+        let _ = self.pk_lookup(Relation::District, keys::district(w, d));
+        let _ = self.pk_lookup(Relation::Customer, keys::customer(w, d, c));
+        for (bad_line, line) in lines.iter().enumerate() {
+            let exists = line.item < self.cfg.items
+                && self
+                    .pk_lookup(Relation::Item, keys::item(line.item))
+                    .is_some();
+            if !exists {
+                return Err(NewOrderAborted { bad_line });
+            }
+        }
+        Ok(self.new_order(w, d, c, lines))
+    }
+
+    /// Payment (§2.2): charges `amount` to the selected customer of
+    /// `(cw, cd)` through the terminal's `(w, d)`.
+    pub fn payment(
+        &mut self,
+        w: u64,
+        d: u64,
+        cw: u64,
+        cd: u64,
+        selector: CustomerSelector,
+        amount: f64,
+    ) -> PaymentResult {
+        self.check_scale(w, d, None, None);
+
+        let w_rid = self
+            .pk_lookup(Relation::Warehouse, keys::warehouse(w))
+            .expect("warehouse exists");
+        let mut warehouse =
+            WarehouseRec::decode(&self.heaps.warehouse.get(&mut self.bm, w_rid).expect("live"));
+        let d_rid = self
+            .pk_lookup(Relation::District, keys::district(w, d))
+            .expect("district exists");
+        let mut district =
+            DistrictRec::decode(&self.heaps.district.get(&mut self.bm, d_rid).expect("live"));
+
+        let (c_rid, mut customer, rows_matched) = self.resolve_customer(cw, cd, selector);
+
+        warehouse.ytd += amount;
+        self.heaps.warehouse.update(&mut self.bm, w_rid, &warehouse.encode());
+        district.ytd += amount;
+        self.heaps.district.update(&mut self.bm, d_rid, &district.encode());
+        customer.balance -= amount;
+        customer.ytd_payment += amount;
+        customer.payment_cnt += 1;
+        self.heaps.customer.update(&mut self.bm, c_rid, &customer.encode());
+
+        let date = self.tick();
+        let history = HistoryRec {
+            c_id: customer.c_id,
+            c_d_id: cd as u16,
+            c_w_id: cw as u16,
+            d_id: d as u16,
+            w_id: w as u16,
+            date,
+            amount,
+            data: "payment".into(),
+        };
+        self.heaps.history.insert(&mut self.bm, &history.encode());
+        self.commit();
+
+        PaymentResult {
+            c_id: u64::from(customer.c_id),
+            balance: customer.balance,
+            rows_matched,
+        }
+    }
+
+    /// Order-Status (§2.2): the customer's most recent order and its
+    /// lines.
+    pub fn order_status(
+        &mut self,
+        w: u64,
+        d: u64,
+        selector: CustomerSelector,
+    ) -> OrderStatusResult {
+        let (_, customer, _) = self.resolve_customer(w, d, selector);
+        let c = u64::from(customer.c_id);
+        let Some(o_id) = self.idx.last_order.get(&mut self.bm, keys::last_order(w, d, c)) else {
+            return OrderStatusResult {
+                c_id: c,
+                o_id: None,
+                lines: Vec::new(),
+            };
+        };
+        // single indexed select for the Max(order-id) row (§2.2)
+        let o_rid = self
+            .pk_lookup(Relation::Order, keys::order(w, d, o_id))
+            .expect("last order row exists");
+        let order = OrderRec::decode(&self.heaps.order.get(&mut self.bm, o_rid).expect("live"));
+        let (lo, hi) = keys::order_line_range(w, d, o_id);
+        let mut rids = Vec::with_capacity(usize::from(order.ol_cnt));
+        self.idx.order_line.scan_range(&mut self.bm, lo, hi, |_, v| {
+            rids.push(RecordId::from_u64(v));
+            true
+        });
+        let lines = rids
+            .into_iter()
+            .map(|rid| {
+                let ol = OrderLineRec::decode(
+                    &self.heaps.order_line.get(&mut self.bm, rid).expect("live"),
+                );
+                (u64::from(ol.i_id), ol.quantity, ol.amount, ol.delivery_d)
+            })
+            .collect();
+        OrderStatusResult {
+            c_id: c,
+            o_id: Some(o_id),
+            lines,
+        }
+    }
+
+    /// Delivery (§2.2): delivers the oldest pending order of every
+    /// district of `w`.
+    pub fn delivery(&mut self, w: u64, carrier_id: u8) -> DeliveryResult {
+        self.check_scale(w, 0, None, None);
+        let mut per_district = [None; 10];
+        let mut delivered = 0;
+        for d in 0..10u64 {
+            // min-select on the New-Order index
+            let Some((no_key, no_val)) = self
+                .idx
+                .new_order
+                .min_at_or_after(&mut self.bm, keys::order_lo(w, d))
+                .filter(|(k, _)| *k < keys::order_hi(w, d))
+            else {
+                continue;
+            };
+            let o_id = keys::order_number(no_key);
+            // delete the pending marker (index + heap row)
+            self.idx.new_order.delete(&mut self.bm, no_key);
+            self.heaps
+                .new_order
+                .delete(&mut self.bm, RecordId::from_u64(no_val));
+
+            // order: read + set carrier
+            let o_rid = self
+                .pk_lookup(Relation::Order, keys::order(w, d, o_id))
+                .expect("order exists");
+            let mut order =
+                OrderRec::decode(&self.heaps.order.get(&mut self.bm, o_rid).expect("live"));
+            order.carrier_id = carrier_id;
+            self.heaps.order.update(&mut self.bm, o_rid, &order.encode());
+
+            // order lines: read + stamp delivery date, sum amounts
+            let date = self.tick();
+            let (lo, hi) = keys::order_line_range(w, d, o_id);
+            let mut rids = Vec::with_capacity(usize::from(order.ol_cnt));
+            self.idx.order_line.scan_range(&mut self.bm, lo, hi, |_, v| {
+                rids.push(RecordId::from_u64(v));
+                true
+            });
+            let mut total = 0.0;
+            for rid in rids {
+                let mut ol = OrderLineRec::decode(
+                    &self.heaps.order_line.get(&mut self.bm, rid).expect("live"),
+                );
+                ol.delivery_d = date;
+                total += ol.amount;
+                self.heaps.order_line.update(&mut self.bm, rid, &ol.encode());
+            }
+
+            // customer: credit the balance
+            let c_rid = self
+                .pk_lookup(
+                    Relation::Customer,
+                    keys::customer(w, d, u64::from(order.c_id)),
+                )
+                .expect("customer exists");
+            let mut customer = self.read_customer(c_rid);
+            customer.balance += total;
+            customer.delivery_cnt += 1;
+            self.heaps.customer.update(&mut self.bm, c_rid, &customer.encode());
+
+            per_district[d as usize] = Some(o_id);
+            delivered += 1;
+        }
+        self.commit();
+        DeliveryResult {
+            delivered,
+            per_district,
+        }
+    }
+
+    /// Stock-Level (§2.2): distinct items of the district's last 20
+    /// orders whose stock is below `threshold`.
+    pub fn stock_level(&mut self, w: u64, d: u64, threshold: i32) -> StockLevelResult {
+        self.check_scale(w, d, None, None);
+        let d_rid = self
+            .pk_lookup(Relation::District, keys::district(w, d))
+            .expect("district exists");
+        let district =
+            DistrictRec::decode(&self.heaps.district.get(&mut self.bm, d_rid).expect("live"));
+        let next = u64::from(district.next_o_id);
+        let from = next.saturating_sub(20);
+
+        // join: range-scan the order lines, indexed-select each stock row
+        let (lo, _) = keys::order_line_range(w, d, from);
+        let (hi, _) = keys::order_line_range(w, d, next);
+        let mut ol_rids = Vec::new();
+        self.idx.order_line.scan_range(&mut self.bm, lo, hi, |_, v| {
+            ol_rids.push(RecordId::from_u64(v));
+            true
+        });
+        let mut low = std::collections::BTreeSet::new();
+        let lines_scanned = ol_rids.len() as u64;
+        for rid in ol_rids {
+            let ol = OrderLineRec::decode(
+                &self.heaps.order_line.get(&mut self.bm, rid).expect("live"),
+            );
+            let s_rid = self
+                .pk_lookup(Relation::Stock, keys::stock(w, u64::from(ol.i_id)))
+                .expect("stock exists");
+            let stock =
+                StockRec::decode(&self.heaps.stock.get(&mut self.bm, s_rid).expect("live"));
+            if stock.quantity < threshold {
+                low.insert(ol.i_id);
+            }
+        }
+        StockLevelResult {
+            low_stock: low.len() as u64,
+            lines_scanned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::DbConfig;
+    use crate::loader;
+
+    fn db() -> TpccDb {
+        loader::load(DbConfig::small(), 7)
+    }
+
+    fn lines(items: &[u64]) -> Vec<OrderLineReq> {
+        items
+            .iter()
+            .map(|&item| OrderLineReq {
+                item,
+                supply_warehouse: 0,
+                quantity: 5,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn new_order_assigns_sequential_ids_and_totals() {
+        let mut db = db();
+        let first = db.new_order(0, 2, 5, &lines(&[1, 2, 3]));
+        let second = db.new_order(0, 2, 6, &lines(&[4]));
+        assert_eq!(second.o_id, first.o_id + 1);
+        assert_eq!(first.line_amounts.len(), 3);
+        assert!(first.total_amount > 0.0);
+    }
+
+    #[test]
+    fn new_order_updates_stock_and_order_lines() {
+        let mut db = db();
+        let s_rid = db
+            .pk_lookup(Relation::Stock, keys::stock(0, 9))
+            .expect("stock");
+        let before = StockRec::decode(&db.heaps.stock.get(&mut db.bm, s_rid).expect("live"));
+        let r = db.new_order(0, 0, 0, &lines(&[9]));
+        let after = StockRec::decode(&db.heaps.stock.get(&mut db.bm, s_rid).expect("live"));
+        assert_eq!(after.order_cnt, before.order_cnt + 1);
+        assert_ne!(after.quantity, before.quantity);
+        // order line findable through the index
+        let (lo, hi) = keys::order_line_range(0, 0, r.o_id);
+        let mut n = 0;
+        db.idx.order_line.scan_range(&mut db.bm, lo, hi, |_, _| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn payment_by_id_updates_balances() {
+        let mut db = db();
+        let r = db.payment(0, 1, 0, 1, CustomerSelector::ById(3), 42.5);
+        assert_eq!(r.c_id, 3);
+        assert_eq!(r.rows_matched, 1);
+        assert!((r.balance - (-10.0 - 42.5)).abs() < 1e-9);
+        // second payment compounds
+        let r2 = db.payment(0, 1, 0, 1, CustomerSelector::ById(3), 7.5);
+        assert!((r2.balance - (-60.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn payment_by_name_picks_median_by_first_name() {
+        let mut db = db();
+        let r = db.payment(0, 0, 0, 0, CustomerSelector::ByName(0), 10.0);
+        assert!(r.rows_matched >= 1);
+        // the selected customer really has name id 0's last name
+        let rec_rid = db
+            .pk_lookup(Relation::Customer, keys::customer(0, 0, r.c_id))
+            .expect("chosen customer");
+        let rec = CustomerRec::decode(&db.heaps.customer.get(&mut db.bm, rec_rid).expect("live"));
+        assert_eq!(rec.last, crate::names::last_name(0));
+    }
+
+    #[test]
+    fn order_status_sees_latest_order() {
+        let mut db = db();
+        let placed = db.new_order(0, 4, 8, &lines(&[10, 11]));
+        let status = db.order_status(0, 4, CustomerSelector::ById(8));
+        assert_eq!(status.o_id, Some(placed.o_id));
+        assert_eq!(status.lines.len(), 2);
+        assert_eq!(status.lines[0].0, 10);
+        assert_eq!(status.lines[0].3, 0, "undelivered");
+    }
+
+    #[test]
+    fn delivery_processes_oldest_and_credits_customer() {
+        let mut db = db();
+        let oldest = db
+            .idx
+            .new_order
+            .min_at_or_after(&mut db.bm, keys::order_lo(0, 0))
+            .map(|(k, _)| keys::order_number(k))
+            .expect("pending orders loaded");
+        let r = db.delivery(0, 3);
+        assert_eq!(r.delivered, 10, "all districts had pending orders");
+        assert_eq!(r.per_district[0], Some(oldest));
+        // delivered order now has a carrier and stamped lines
+        let o_rid = db
+            .pk_lookup(Relation::Order, keys::order(0, 0, oldest))
+            .expect("order");
+        let order = OrderRec::decode(&db.heaps.order.get(&mut db.bm, o_rid).expect("live"));
+        assert_eq!(order.carrier_id, 3);
+        let status = db.order_status(0, 0, CustomerSelector::ById(u64::from(order.c_id)));
+        if status.o_id == Some(oldest) {
+            assert!(status.lines.iter().all(|l| l.3 > 0), "lines stamped");
+        }
+    }
+
+    #[test]
+    fn delivery_on_drained_district_skips() {
+        let mut db = db();
+        let pending = db.idx.new_order.len(&mut db.bm) as u64;
+        let mut total = 0;
+        for _ in 0..((pending / 10) + 2) {
+            total += db.delivery(0, 1).delivered;
+        }
+        assert_eq!(total, pending, "every pending order delivered exactly once");
+        let r = db.delivery(0, 1);
+        assert_eq!(r.delivered, 0);
+        assert!(r.per_district.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn stock_level_counts_distinct_low_items() {
+        let mut db = db();
+        let all = db.stock_level(0, 0, i32::MAX);
+        let none = db.stock_level(0, 0, 0);
+        assert_eq!(none.low_stock, 0);
+        assert!(all.low_stock >= 1);
+        assert!(all.lines_scanned >= 20 * 10, "last 20 orders x 10 lines");
+        // distinct: can't exceed scanned lines or the item count
+        assert!(all.low_stock <= all.lines_scanned);
+        assert!(all.low_stock <= db.config().items);
+    }
+
+    #[test]
+    fn stock_level_reflects_new_orders() {
+        let mut db = db();
+        // drain item 42's stock low via repeated big orders
+        for _ in 0..3 {
+            db.new_order(
+                0,
+                9,
+                1,
+                &[OrderLineReq {
+                    item: 42,
+                    supply_warehouse: 0,
+                    quantity: 10,
+                }],
+            );
+        }
+        let r = db.stock_level(0, 9, 101);
+        assert!(r.low_stock >= 1, "item 42 was just ordered and is < 101");
+    }
+
+    #[test]
+    fn checked_new_order_aborts_on_unused_item_without_writes() {
+        let mut db = db();
+        let d_rid = db
+            .pk_lookup(Relation::District, keys::district(0, 2))
+            .expect("district");
+        let before = DistrictRec::decode(&db.heaps.district.get(&mut db.bm, d_rid).expect("live"));
+        let mut bad = lines(&[1, 2]);
+        bad.push(OrderLineReq {
+            item: db.config().items + 7, // unused item number
+            supply_warehouse: 0,
+            quantity: 1,
+        });
+        let err = db.new_order_checked(0, 2, 5, &bad).expect_err("must abort");
+        assert_eq!(err.bad_line, 2);
+        // no writes: next_o_id unchanged, no order row appeared
+        let after = DistrictRec::decode(&db.heaps.district.get(&mut db.bm, d_rid).expect("live"));
+        assert_eq!(after.next_o_id, before.next_o_id);
+        assert!(db
+            .pk_lookup(
+                Relation::Order,
+                keys::order(0, 2, u64::from(before.next_o_id))
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn checked_new_order_succeeds_on_valid_items() {
+        let mut db = db();
+        let r = db.new_order_checked(0, 1, 3, &lines(&[5, 6])).expect("valid");
+        assert_eq!(r.line_amounts.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond scale")]
+    fn scale_violation_caught() {
+        let mut db = db();
+        let _ = db.new_order(5, 0, 0, &lines(&[1]));
+    }
+}

@@ -1,0 +1,173 @@
+//! Walker alias method: O(1) sampling from an arbitrary discrete
+//! distribution.
+//!
+//! The trace-driven buffer simulator needs millions of draws from
+//! page-level PMFs (whose shape depends on the packing strategy), so a
+//! constant-time sampler matters. Construction is O(n) by the classic
+//! two-queue (small/large) algorithm.
+
+use crate::pmf::Pmf;
+use crate::rng::Xoshiro256;
+
+/// Pre-processed alias table over indices `0 .. n`.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance threshold per column, scaled to `[0, 1]`.
+    accept: Vec<f64>,
+    /// Alias target per column.
+    alias: Vec<u32>,
+    first_id: u64,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights (renormalized internally).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, longer than `u32::MAX`, contains a
+    /// negative/non-finite weight, or sums to zero.
+    #[must_use]
+    pub fn from_weights(first_id: u64, weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "alias table needs at least one outcome");
+        assert!(u32::try_from(n).is_ok(), "too many outcomes");
+        let mut total = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+            total += w;
+        }
+        assert!(total > 0.0, "weights sum to zero");
+
+        // scaled[i] = p_i * n; columns with scaled < 1 borrow from > 1.
+        let mut accept: Vec<f64> = weights.iter().map(|&w| w / total * n as f64).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &s) in accept.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            let leftover = accept[l as usize] - (1.0 - accept[s as usize]);
+            accept[l as usize] = leftover;
+            if leftover < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // numerical slack: leftovers are full columns
+        for i in small.into_iter().chain(large) {
+            accept[i as usize] = 1.0;
+        }
+        Self {
+            accept,
+            alias,
+            first_id,
+        }
+    }
+
+    /// Builds a table that samples ids according to `pmf`.
+    #[must_use]
+    pub fn from_pmf(pmf: &Pmf) -> Self {
+        Self::from_weights(pmf.first_id(), pmf.probs())
+    }
+
+    /// Number of outcomes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Always false: constructors reject empty tables.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.accept.is_empty()
+    }
+
+    /// Draws one id in `first_id .. first_id + len`.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        let n = self.accept.len() as u64;
+        let col = rng.uniform_inclusive(0, n - 1) as usize;
+        let id = if rng.f64() < self.accept[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        };
+        self.first_id + id as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nurand::NuRand;
+
+    #[test]
+    fn reproduces_simple_distribution() {
+        let t = AliasTable::from_weights(0, &[0.5, 0.25, 0.25]);
+        let mut rng = Xoshiro256::seed_from_u64(21);
+        let mut counts = [0u64; 3];
+        let n = 300_000;
+        for _ in 0..n {
+            counts[t.sample(&mut rng) as usize] += 1;
+        }
+        let freq: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((freq[0] - 0.5).abs() < 0.01);
+        assert!((freq[1] - 0.25).abs() < 0.01);
+        assert!((freq[2] - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn honors_first_id_offset() {
+        let t = AliasTable::from_weights(100, &[1.0, 1.0]);
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = t.sample(&mut rng);
+            assert!(v == 100 || v == 101);
+        }
+    }
+
+    #[test]
+    fn single_outcome_always_returned() {
+        let t = AliasTable::from_weights(7, &[3.0]);
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 7);
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let t = AliasTable::from_weights(0, &[0.0, 1.0, 0.0, 1.0]);
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        for _ in 0..100_000 {
+            let v = t.sample(&mut rng);
+            assert!(v == 1 || v == 3, "sampled zero-probability id {v}");
+        }
+    }
+
+    #[test]
+    fn matches_pmf_sampling() {
+        let pmf = Pmf::exact_nurand(&NuRand::new(15, 1, 100));
+        let t = AliasTable::from_pmf(&pmf);
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        let mut counts = vec![0u64; 100];
+        let n = 1_000_000;
+        for _ in 0..n {
+            counts[(t.sample(&mut rng) - 1) as usize] += 1;
+        }
+        let empirical = Pmf::from_counts(1, &counts);
+        assert!(pmf.total_variation(&empirical) < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights sum to zero")]
+    fn all_zero_rejected() {
+        let _ = AliasTable::from_weights(0, &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Closed-form NURand PMF for power-of-two parameters (paper Appendix A.3).
+//!
+//! For `NURand(2^a − 1, 0, 2^b − 1)` with `C = 0` and `b ≥ a`, the OR of
+//! the two uniform draws never exceeds `2^b − 1`, so the modulus is a
+//! no-op and each bit of the result is independent:
+//!
+//! * low `a` bits are set with probability 3/4 (either draw sets them),
+//! * the next `b − a` bits are set with probability 1/2.
+//!
+//! Hence `P(v) = (3/4)^i (1/4)^(a−i) (1/2)^(b−a)` where `i` is the number
+//! of set bits among the low `a` bits of `v`. The PMF is exactly periodic
+//! with period `2^a` — the idealized version of the 12 cycles visible in
+//! Figure 3.
+
+use crate::pmf::Pmf;
+
+/// Probability of drawing `v` from `NURand(2^a − 1, 0, 2^b − 1)`.
+///
+/// # Panics
+/// Panics if `a_bits > b_bits`, `b_bits == 0` or `b_bits >= 63`, or if
+/// `v >= 2^b`.
+#[must_use]
+pub fn pow2_prob(v: u64, a_bits: u32, b_bits: u32) -> f64 {
+    validate(a_bits, b_bits);
+    assert!(v < 1u64 << b_bits, "value {v} outside [0, 2^{b_bits})");
+    let low_mask = (1u64 << a_bits) - 1;
+    let ones = (v & low_mask).count_ones();
+    let zeros = a_bits - ones;
+    0.75f64.powi(ones as i32) * 0.25f64.powi(zeros as i32) * 0.5f64.powi((b_bits - a_bits) as i32)
+}
+
+/// The full closed-form PMF over `[0, 2^b − 1]`.
+///
+/// # Panics
+/// As [`pow2_prob`]; additionally requires `b_bits <= 26` so the vector
+/// stays reasonably sized.
+#[must_use]
+pub fn pow2_pmf(a_bits: u32, b_bits: u32) -> Pmf {
+    validate(a_bits, b_bits);
+    assert!(b_bits <= 26, "refusing to materialize 2^{b_bits} entries");
+    let n = 1usize << b_bits;
+    let weights: Vec<f64> = (0..n as u64)
+        .map(|v| pow2_prob(v, a_bits, b_bits))
+        .collect();
+    Pmf::from_weights(0, &weights)
+}
+
+/// The exact period of the closed-form PMF: `2^a`.
+#[must_use]
+pub fn pow2_period(a_bits: u32) -> u64 {
+    1u64 << a_bits
+}
+
+fn validate(a_bits: u32, b_bits: u32) {
+    assert!(b_bits > 0 && b_bits < 63, "b_bits must be in 1..63");
+    assert!(a_bits <= b_bits, "requires a <= b, got a={a_bits} b={b_bits}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nurand::NuRand;
+
+    #[test]
+    fn closed_form_matches_exact_enumeration() {
+        for (a, b) in [(1u32, 3u32), (3, 5), (4, 4), (5, 8)] {
+            let analytic = pow2_pmf(a, b);
+            let exact = Pmf::exact_nurand(&NuRand::new((1 << a) - 1, 0, (1 << b) - 1));
+            let tv = analytic.total_variation(&exact);
+            assert!(tv < 1e-12, "a={a} b={b}: tv = {tv}");
+        }
+    }
+
+    #[test]
+    fn pmf_is_periodic_with_period_two_pow_a() {
+        let (a, b) = (3u32, 7u32);
+        let p = pow2_pmf(a, b);
+        let period = pow2_period(a) as usize;
+        for v in 0..(1usize << b) - period {
+            let diff = (p.prob(v as u64) - p.prob((v + period) as u64)).abs();
+            assert!(diff < 1e-15, "v={v} breaks periodicity");
+        }
+    }
+
+    #[test]
+    fn all_ones_low_bits_is_the_mode() {
+        let (a, b) = (4u32, 8u32);
+        let p = pow2_pmf(a, b);
+        let mode = p.prob((1 << a) - 1);
+        for v in 0..(1u64 << b) {
+            assert!(p.prob(v) <= mode + 1e-15);
+        }
+        // and the mode appears exactly 2^(b-a) times
+        let count = (0..(1u64 << b))
+            .filter(|&v| (p.prob(v) - mode).abs() < 1e-18)
+            .count();
+        assert_eq!(count, 1 << (b - a));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let p = pow2_pmf(6, 10);
+        let s: f64 = p.probs().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a <= b")]
+    fn a_greater_than_b_rejected() {
+        let _ = pow2_prob(0, 5, 3);
+    }
+}

@@ -1,0 +1,38 @@
+//! Random-number foundations for the TPC-C modeling study.
+//!
+//! This crate implements the benchmark's non-uniform random number
+//! function `NURand` exactly as clause 2.1.6 of the TPC-C specification
+//! defines it, together with three independent ways of obtaining its
+//! probability mass function:
+//!
+//! 1. **Monte-Carlo estimation** ([`Pmf::monte_carlo`]) — what the paper
+//!    did with 10⁹ samples (Figures 3, 4, 6).
+//! 2. **Exact enumeration** ([`Pmf::exact_nurand`]) — an `O(A · range)`
+//!    pass over every `(rand(0,A), rand(x,y))` pair, giving the exact
+//!    distribution with no sampling noise.
+//! 3. **Closed form** ([`analytic`]) — the paper's Appendix A.3 result for
+//!    power-of-two parameters, used as an oracle in property tests.
+//!
+//! On top of the PMFs, [`lorenz`] provides the cumulative-access-versus-
+//! cumulative-data ("80/20") skew curves of Figure 5 and Figure 7, and
+//! [`alias`] provides O(1) sampling from arbitrary discrete distributions
+//! for the trace-driven simulators downstream.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alias;
+pub mod analytic;
+pub mod lorenz;
+pub mod mixture;
+pub mod nurand;
+pub mod pmf;
+pub mod rng;
+
+pub use alias::AliasTable;
+pub use analytic::pow2_pmf;
+pub use lorenz::LorenzCurve;
+pub use mixture::Mixture;
+pub use nurand::NuRand;
+pub use pmf::Pmf;
+pub use rng::Xoshiro256;

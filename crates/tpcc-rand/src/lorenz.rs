@@ -1,0 +1,247 @@
+//! Lorenz ("skew") curves: cumulative access probability versus
+//! cumulative fraction of the data (paper §3, Figures 5 and 7).
+//!
+//! The paper orders tuples by increasing hotness and plots Σαᵢ against
+//! Σβᵢ. We store the curve in that orientation and expose the two queries
+//! the paper reads off it: *what share of accesses go to the hottest f of
+//! the data* (e.g. 84% → 20% for stock tuples) and the inverse.
+
+use crate::pmf::Pmf;
+use serde::{Deserialize, Serialize};
+
+/// A Lorenz curve: `access_cum[k]` is the probability mass carried by the
+/// `k + 1` coldest items, with items sorted coldest → hottest.
+///
+/// ```
+/// use tpcc_rand::{LorenzCurve, NuRand, Pmf};
+///
+/// let curve = LorenzCurve::from_pmf(&Pmf::exact_nurand(&NuRand::new(63, 1, 1000)));
+/// // skewed: the hottest 20% of tuples absorb well over 20% of accesses
+/// assert!(curve.access_share_of_hottest(0.20) > 0.5);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LorenzCurve {
+    access_cum: Vec<f64>,
+}
+
+impl LorenzCurve {
+    /// Builds the curve for a PMF (each item carries an equal data share,
+    /// matching the paper's fixed-length-tuple assumption).
+    #[must_use]
+    pub fn from_pmf(pmf: &Pmf) -> Self {
+        let mut probs = pmf.probs().to_vec();
+        probs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite probs"));
+        let mut cum = 0.0;
+        let access_cum = probs
+            .iter()
+            .map(|p| {
+                cum += p;
+                cum
+            })
+            .collect();
+        Self { access_cum }
+    }
+
+    /// Number of items underlying the curve.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.access_cum.len()
+    }
+
+    /// Always false: built from non-empty PMFs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.access_cum.is_empty()
+    }
+
+    /// Share of all accesses that go to the **hottest** `data_fraction`
+    /// of the items (linear interpolation between items).
+    ///
+    /// `access_share_of_hottest(0.20) ≈ 0.84` reproduces the paper's
+    /// "84% of the accesses go to about 20% of the tuples".
+    ///
+    /// # Panics
+    /// Panics if `data_fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn access_share_of_hottest(&self, data_fraction: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&data_fraction),
+            "fraction must be in [0,1], got {data_fraction}"
+        );
+        // hottest f of the data = everything above the (1-f) point of the
+        // coldest-first cumulative curve
+        1.0 - self.cold_cum_at(1.0 - data_fraction)
+    }
+
+    /// Share of accesses carried by the **coldest** `data_fraction` of
+    /// the items.
+    ///
+    /// # Panics
+    /// Panics if `data_fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn access_share_of_coldest(&self, data_fraction: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&data_fraction),
+            "fraction must be in [0,1], got {data_fraction}"
+        );
+        self.cold_cum_at(data_fraction)
+    }
+
+    /// Smallest fraction of (hottest) data that captures at least
+    /// `access_fraction` of the accesses.
+    ///
+    /// # Panics
+    /// Panics if `access_fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn data_share_for_hottest_access(&self, access_fraction: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&access_fraction),
+            "fraction must be in [0,1], got {access_fraction}"
+        );
+        let n = self.len();
+        let mut captured = 0.0;
+        for (taken, j) in (0..n).rev().enumerate() {
+            let below = if j == 0 { 0.0 } else { self.access_cum[j - 1] };
+            captured += self.access_cum[j] - below;
+            if captured >= access_fraction - 1e-12 {
+                return (taken + 1) as f64 / n as f64;
+            }
+        }
+        1.0
+    }
+
+    /// The Gini coefficient of the access distribution: 0 for uniform
+    /// access (TPC-A), approaching 1 for extreme skew.
+    #[must_use]
+    pub fn gini(&self) -> f64 {
+        // G = 1 - 2 * area under the Lorenz curve (trapezoid rule over
+        // equally spaced data fractions).
+        let n = self.len() as f64;
+        let mut area = 0.0;
+        let mut prev = 0.0;
+        for &c in &self.access_cum {
+            area += (prev + c) / 2.0 / n;
+            prev = c;
+        }
+        1.0 - 2.0 * area
+    }
+
+    /// Evenly spaced `(data_fraction, access_fraction)` points (coldest
+    /// first), suitable for plotting Figure 5 / Figure 7 series.
+    ///
+    /// # Panics
+    /// Panics if `points < 2`.
+    #[must_use]
+    pub fn series(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two points");
+        (0..points)
+            .map(|i| {
+                let f = i as f64 / (points - 1) as f64;
+                (f, self.cold_cum_at(f))
+            })
+            .collect()
+    }
+
+    /// Interpolated coldest-first cumulative access at data fraction `f`.
+    fn cold_cum_at(&self, f: f64) -> f64 {
+        let n = self.len() as f64;
+        let pos = f * n; // data fraction expressed in items
+        if pos <= 0.0 {
+            return 0.0;
+        }
+        let full = pos.floor() as usize;
+        if full >= self.len() {
+            return 1.0;
+        }
+        let below = if full == 0 {
+            0.0
+        } else {
+            self.access_cum[full - 1]
+        };
+        let item_mass = self.access_cum[full] - below;
+        below + (pos - full as f64) * item_mass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nurand::NuRand;
+
+    #[test]
+    fn uniform_curve_is_diagonal() {
+        let c = LorenzCurve::from_pmf(&Pmf::uniform(0, 100));
+        for f in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert!((c.access_share_of_coldest(f) - f).abs() < 1e-9, "f={f}");
+            assert!((c.access_share_of_hottest(f) - f).abs() < 1e-9, "f={f}");
+        }
+        assert!(c.gini().abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_curve_is_convex_and_monotone() {
+        let p = Pmf::exact_nurand(&NuRand::new(15, 1, 256));
+        let c = LorenzCurve::from_pmf(&p);
+        let series = c.series(50);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12, "monotone");
+        }
+        // convexity: increments grow
+        for w in series.windows(3) {
+            let d1 = w[1].1 - w[0].1;
+            let d2 = w[2].1 - w[1].1;
+            assert!(d2 >= d1 - 1e-9, "convex");
+        }
+    }
+
+    #[test]
+    fn hottest_and_coldest_shares_are_complementary() {
+        let p = Pmf::exact_nurand(&NuRand::new(31, 1, 200));
+        let c = LorenzCurve::from_pmf(&p);
+        for f in [0.1, 0.3, 0.5, 0.9] {
+            let sum = c.access_share_of_hottest(f) + c.access_share_of_coldest(1.0 - f);
+            assert!((sum - 1.0).abs() < 1e-9, "f={f}: sum={sum}");
+        }
+    }
+
+    #[test]
+    fn extreme_point_mass() {
+        // one item carries everything
+        let mut w = vec![0.0; 10];
+        w[3] = 1.0;
+        let c = LorenzCurve::from_pmf(&Pmf::from_weights(0, &w));
+        assert!((c.access_share_of_hottest(0.1) - 1.0).abs() < 1e-9);
+        assert!(c.access_share_of_coldest(0.9) < 1e-9);
+        assert!(c.gini() > 0.89);
+    }
+
+    #[test]
+    fn data_share_for_access_inverts() {
+        let p = Pmf::exact_nurand(&NuRand::new(63, 1, 500));
+        let c = LorenzCurve::from_pmf(&p);
+        let f = c.data_share_for_hottest_access(0.8);
+        let back = c.access_share_of_hottest(f);
+        assert!(back >= 0.8 - 1e-9, "f={f} captures only {back}");
+        // and one item less should not suffice
+        let f_minus = f - 1.0 / p.len() as f64;
+        if f_minus > 0.0 {
+            assert!(c.access_share_of_hottest(f_minus) < 0.8 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn series_endpoints() {
+        let p = Pmf::exact_nurand(&NuRand::new(7, 1, 64));
+        let s = LorenzCurve::from_pmf(&p).series(11);
+        assert_eq!(s.len(), 11);
+        assert!((s[0].1 - 0.0).abs() < 1e-12);
+        assert!((s[10].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0,1]")]
+    fn fraction_out_of_range_panics() {
+        let c = LorenzCurve::from_pmf(&Pmf::uniform(0, 3));
+        let _ = c.access_share_of_hottest(1.5);
+    }
+}

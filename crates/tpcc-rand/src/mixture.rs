@@ -1,0 +1,198 @@
+//! Weighted mixtures of NURand components.
+//!
+//! The customer relation is accessed through two superimposed patterns
+//! (paper §3): by customer-id via `NU(1023, 1, 3000)` and by last name
+//! via one of three banded `NU(255, ·, ·)` distributions chosen with
+//! equal probability. Given the paper's assumed mix, 41.86% of customer
+//! accesses use the id distribution and 58.14% the name distributions.
+
+use crate::nurand::NuRand;
+use crate::pmf::Pmf;
+use crate::rng::Xoshiro256;
+use serde::{Deserialize, Serialize};
+
+/// A finite mixture of NURand distributions over a common id space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mixture {
+    components: Vec<(f64, NuRand)>,
+    support_lo: u64,
+    support_hi: u64,
+}
+
+impl Mixture {
+    /// Builds a mixture from `(weight, component)` pairs; weights are
+    /// renormalized.
+    ///
+    /// # Panics
+    /// Panics if `components` is empty, any weight is negative or
+    /// non-finite, or all weights are zero.
+    #[must_use]
+    pub fn new(components: Vec<(f64, NuRand)>) -> Self {
+        assert!(!components.is_empty(), "mixture needs components");
+        let total: f64 = components
+            .iter()
+            .map(|(w, _)| {
+                assert!(w.is_finite() && *w >= 0.0, "invalid mixture weight {w}");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "mixture weights sum to zero");
+        let support_lo = components.iter().map(|(_, nu)| nu.x).min().expect("nonempty");
+        let support_hi = components.iter().map(|(_, nu)| nu.y).max().expect("nonempty");
+        let components = components.into_iter().map(|(w, nu)| (w / total, nu)).collect();
+        Self {
+            components,
+            support_lo,
+            support_hi,
+        }
+    }
+
+    /// The paper's customer-access mixture for one district.
+    ///
+    /// `by_id_weight` and `by_name_weight` are the relative frequencies of
+    /// id-keyed and name-keyed accesses. With the assumed transaction mix
+    /// (43/44/4/5/4) these are 0.622 and 0.864 — i.e. 41.86% / 58.14% —
+    /// which [`Mixture::customer_default`] encodes.
+    ///
+    /// # Panics
+    /// Panics on non-positive total weight.
+    #[must_use]
+    pub fn customer(by_id_weight: f64, by_name_weight: f64) -> Self {
+        let per_band = by_name_weight / 3.0;
+        Self::new(vec![
+            (by_id_weight, NuRand::customer_id()),
+            (per_band, NuRand::customer_name_band(0)),
+            (per_band, NuRand::customer_name_band(1)),
+            (per_band, NuRand::customer_name_band(2)),
+        ])
+    }
+
+    /// [`Mixture::customer`] with the paper's §3 weights (41.86% by id).
+    #[must_use]
+    pub fn customer_default() -> Self {
+        Self::customer(0.4186, 0.5814)
+    }
+
+    /// Inclusive support bounds (union over components).
+    #[must_use]
+    pub fn support(&self) -> (u64, u64) {
+        (self.support_lo, self.support_hi)
+    }
+
+    /// The normalized component list.
+    #[must_use]
+    pub fn components(&self) -> &[(f64, NuRand)] {
+        &self.components
+    }
+
+    /// Draws one id: picks a component by weight, then samples it.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        let mut u = rng.f64();
+        for (w, nu) in &self.components {
+            if u < *w {
+                return nu.sample(rng);
+            }
+            u -= w;
+        }
+        // floating-point slack: fall through to the last component
+        self.components.last().expect("nonempty").1.sample(rng)
+    }
+
+    /// Exact mixture PMF over the union support (weighted sum of exact
+    /// component PMFs) — what Figure 6 plots, without sampling noise.
+    #[must_use]
+    pub fn exact_pmf(&self) -> Pmf {
+        let len = (self.support_hi - self.support_lo + 1) as usize;
+        let mut weights = vec![0.0f64; len];
+        for (w, nu) in &self.components {
+            let pmf = Pmf::exact_nurand(nu);
+            for (id, p) in pmf.iter() {
+                weights[(id - self.support_lo) as usize] += w * p;
+            }
+        }
+        Pmf::from_weights(self.support_lo, &weights)
+    }
+
+    /// Monte-Carlo PMF estimate, mirroring the paper's methodology.
+    #[must_use]
+    pub fn monte_carlo_pmf(&self, samples: u64, rng: &mut Xoshiro256) -> Pmf {
+        let len = (self.support_hi - self.support_lo + 1) as usize;
+        let mut counts = vec![0u64; len];
+        for _ in 0..samples {
+            counts[(self.sample(rng) - self.support_lo) as usize] += 1;
+        }
+        Pmf::from_counts(self.support_lo, &counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lorenz::LorenzCurve;
+
+    #[test]
+    fn customer_support_spans_district() {
+        let m = Mixture::customer_default();
+        assert_eq!(m.support(), (1, 3000));
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..50_000 {
+            let v = m.sample(&mut rng);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn weights_renormalize() {
+        let m = Mixture::new(vec![(2.0, NuRand::new(1, 0, 3)), (6.0, NuRand::new(1, 0, 3))]);
+        let w: Vec<f64> = m.components().iter().map(|(w, _)| *w).collect();
+        assert!((w[0] - 0.25).abs() < 1e-12);
+        assert!((w[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights sum to zero")]
+    fn zero_weights_rejected() {
+        let _ = Mixture::new(vec![(0.0, NuRand::new(1, 0, 3))]);
+    }
+
+    #[test]
+    fn exact_pmf_is_weighted_sum() {
+        let a = NuRand::new(3, 0, 7);
+        let b = NuRand::new(1, 4, 15);
+        let m = Mixture::new(vec![(0.3, a), (0.7, b)]);
+        let pmf = m.exact_pmf();
+        let pa = Pmf::exact_nurand(&a);
+        let pb = Pmf::exact_nurand(&b);
+        for id in 0..=15u64 {
+            let expect = 0.3 * pa.prob(id) + 0.7 * pb.prob(id);
+            assert!((pmf.prob(id) - expect).abs() < 1e-12, "id={id}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_tracks_exact() {
+        let m = Mixture::new(vec![
+            (0.5, NuRand::new(7, 1, 100)),
+            (0.5, NuRand::new(3, 50, 150)),
+        ]);
+        let exact = m.exact_pmf();
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let mc = m.monte_carlo_pmf(500_000, &mut rng);
+        assert!(exact.total_variation(&mc) < 0.02);
+    }
+
+    #[test]
+    fn customer_is_less_skewed_than_stock() {
+        // Paper §3: "considerably less skew for the customer relation
+        // than for the Stock relation". Compare Gini coefficients.
+        let customer = LorenzCurve::from_pmf(&Mixture::customer_default().exact_pmf());
+        // scaled-down stock-style distribution to keep the test fast
+        let stock_like = LorenzCurve::from_pmf(&Pmf::exact_nurand(&NuRand::new(1023, 1, 12000)));
+        assert!(
+            customer.gini() < stock_like.gini(),
+            "customer gini {} should be below stock-like gini {}",
+            customer.gini(),
+            stock_like.gini()
+        );
+    }
+}

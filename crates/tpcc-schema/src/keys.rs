@@ -1,0 +1,220 @@
+//! Typed primary keys for the TPC-C relations.
+//!
+//! The benchmark identifies rows by composite keys — e.g. a stock row by
+//! `(item-id, warehouse-id)` (paper §2.2). These newtypes keep the
+//! simulators honest about which id spaces compose, and each key knows
+//! how to flatten itself into a dense 0-based tuple ordinal used by the
+//! page-placement code.
+
+use crate::relation::{CUSTOMERS_PER_DISTRICT, DISTRICTS_PER_WAREHOUSE, ITEMS};
+use serde::{Deserialize, Serialize};
+
+/// Warehouse id, `0 .. W` (0-based internally; the spec's ids are 1-based
+/// but only the dense ordinal matters to the models).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WarehouseKey(pub u64);
+
+/// District id: warehouse + district-within-warehouse (`0..10`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DistrictKey {
+    /// Owning warehouse.
+    pub warehouse: u64,
+    /// District within the warehouse, `0..10`.
+    pub district: u64,
+}
+
+/// Customer id: district + customer-within-district (`0..3000`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CustomerKey {
+    /// Owning warehouse.
+    pub warehouse: u64,
+    /// District within the warehouse, `0..10`.
+    pub district: u64,
+    /// Customer within the district, `0..3000`.
+    pub customer: u64,
+}
+
+/// Item id, `0 .. 100_000`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ItemKey(pub u64);
+
+/// Stock id: `(warehouse, item)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StockKey {
+    /// Supplying warehouse.
+    pub warehouse: u64,
+    /// Item stocked.
+    pub item: u64,
+}
+
+/// Order id: district + a monotonically increasing order number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OrderKey {
+    /// Owning warehouse.
+    pub warehouse: u64,
+    /// District within the warehouse.
+    pub district: u64,
+    /// Order sequence number within the district (0-based).
+    pub number: u64,
+}
+
+impl WarehouseKey {
+    /// Dense tuple ordinal within the Warehouse relation.
+    #[must_use]
+    pub fn ordinal(self) -> u64 {
+        self.0
+    }
+}
+
+impl DistrictKey {
+    /// Creates a key, checking the district bound.
+    ///
+    /// # Panics
+    /// Panics if `district >= 10`.
+    #[must_use]
+    pub fn new(warehouse: u64, district: u64) -> Self {
+        assert!(
+            district < DISTRICTS_PER_WAREHOUSE,
+            "district {district} out of range"
+        );
+        Self {
+            warehouse,
+            district,
+        }
+    }
+
+    /// Dense tuple ordinal within the District relation.
+    #[must_use]
+    pub fn ordinal(self) -> u64 {
+        self.warehouse * DISTRICTS_PER_WAREHOUSE + self.district
+    }
+
+    /// Dense district ordinal across the whole database (same value as
+    /// [`DistrictKey::ordinal`]; named for call-site clarity).
+    #[must_use]
+    pub fn global_index(self) -> u64 {
+        self.ordinal()
+    }
+}
+
+impl CustomerKey {
+    /// Creates a key, checking bounds.
+    ///
+    /// # Panics
+    /// Panics if `district >= 10` or `customer >= 3000`.
+    #[must_use]
+    pub fn new(warehouse: u64, district: u64, customer: u64) -> Self {
+        assert!(
+            district < DISTRICTS_PER_WAREHOUSE,
+            "district {district} out of range"
+        );
+        assert!(
+            customer < CUSTOMERS_PER_DISTRICT,
+            "customer {customer} out of range"
+        );
+        Self {
+            warehouse,
+            district,
+            customer,
+        }
+    }
+
+    /// The owning district.
+    #[must_use]
+    pub fn district_key(self) -> DistrictKey {
+        DistrictKey {
+            warehouse: self.warehouse,
+            district: self.district,
+        }
+    }
+
+    /// Dense tuple ordinal within the Customer relation (district-major:
+    /// all 3000 customers of a district are contiguous, matching a
+    /// key-ordered load of the composite key `(w, d, c)`).
+    #[must_use]
+    pub fn ordinal(self) -> u64 {
+        self.district_key().ordinal() * CUSTOMERS_PER_DISTRICT + self.customer
+    }
+}
+
+impl ItemKey {
+    /// Creates a key, checking the id bound.
+    ///
+    /// # Panics
+    /// Panics if `item >= 100_000`.
+    #[must_use]
+    pub fn new(item: u64) -> Self {
+        assert!(item < ITEMS, "item {item} out of range");
+        Self(item)
+    }
+
+    /// Dense tuple ordinal within the Item relation.
+    #[must_use]
+    pub fn ordinal(self) -> u64 {
+        self.0
+    }
+}
+
+impl StockKey {
+    /// Creates a key, checking the item bound.
+    ///
+    /// # Panics
+    /// Panics if `item >= 100_000`.
+    #[must_use]
+    pub fn new(warehouse: u64, item: u64) -> Self {
+        assert!(item < ITEMS, "item {item} out of range");
+        Self { warehouse, item }
+    }
+
+    /// Dense tuple ordinal within the Stock relation (warehouse-major:
+    /// one warehouse's 100K stock rows are contiguous, matching a
+    /// key-ordered load of `(w, i)`).
+    #[must_use]
+    pub fn ordinal(self) -> u64 {
+        self.warehouse * ITEMS + self.item
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinals_are_dense_and_district_major() {
+        assert_eq!(CustomerKey::new(0, 0, 0).ordinal(), 0);
+        assert_eq!(CustomerKey::new(0, 0, 2999).ordinal(), 2999);
+        assert_eq!(CustomerKey::new(0, 1, 0).ordinal(), 3000);
+        assert_eq!(CustomerKey::new(1, 0, 0).ordinal(), 30_000);
+    }
+
+    #[test]
+    fn stock_ordinals_warehouse_major() {
+        assert_eq!(StockKey::new(0, 99_999).ordinal(), 99_999);
+        assert_eq!(StockKey::new(1, 0).ordinal(), 100_000);
+        assert_eq!(StockKey::new(3, 7).ordinal(), 300_007);
+    }
+
+    #[test]
+    fn district_ordinals() {
+        assert_eq!(DistrictKey::new(0, 9).ordinal(), 9);
+        assert_eq!(DistrictKey::new(2, 3).ordinal(), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "customer 3000 out of range")]
+    fn customer_bound_checked() {
+        let _ = CustomerKey::new(0, 0, 3000);
+    }
+
+    #[test]
+    #[should_panic(expected = "district 10 out of range")]
+    fn district_bound_checked() {
+        let _ = DistrictKey::new(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "item 100000 out of range")]
+    fn item_bound_checked() {
+        let _ = ItemKey::new(100_000);
+    }
+}

@@ -1,0 +1,22 @@
+//! The TPC-C logical database (paper §2, Table 1, Figure 2).
+//!
+//! Nine relations; Warehouse/District/Customer/Stock scale with the
+//! warehouse count `W`, Item is fixed at 100K rows, and Order /
+//! New-Order / Order-Line / History grow as the workload runs. Tuples
+//! are fixed-length and only whole tuples are packed per page.
+//!
+//! [`packing`] implements the two tuple→page placements the paper
+//! studies: loading in key order ([`Packing::Sequential`]) and loading
+//! sorted by a-priori access hotness ([`Packing::HotnessSorted`], §3's
+//! "optimized packing").
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod keys;
+pub mod packing;
+pub mod relation;
+
+pub use keys::{CustomerKey, DistrictKey, ItemKey, OrderKey, StockKey, WarehouseKey};
+pub use packing::{Packing, RelationLayout};
+pub use relation::{PageSize, Relation, SchemaConfig};

@@ -1,0 +1,531 @@
+//! A page-based B+Tree mapping `u64` keys to `u64` values.
+//!
+//! TPC-C's composite keys — `(warehouse, district, customer)`,
+//! `(item, warehouse)`, `(warehouse, district, order)` — all pack into
+//! 64 bits, and values are packed [`crate::heap::RecordId`]s, so
+//! fixed-width entries keep the node layout simple and dense.
+//!
+//! Node layout (one page each):
+//!
+//! ```text
+//! [kind: u8][pad: u8][n: u16][next_leaf: u32]
+//! leaf:     n × (key: u64, value: u64)
+//! internal: child₀: u32, then n × (key: u64, childᵢ₊₁: u32)
+//! ```
+//!
+//! Internal separator `kᵢ` bounds its left child: subtree `i` holds keys
+//! `< kᵢ`. Deletes are *lazy* (no rebalancing): entries are removed and
+//! leaves may underflow, which is harmless for lookups and scans and
+//! matches the benchmark's delete pattern (oldest New-Order rows only).
+
+use crate::bufmgr::BufferManager;
+use crate::disk::FileId;
+
+const HEADER: usize = 8;
+const LEAF: u8 = 0;
+const INTERNAL: u8 = 1;
+const NO_LEAF: u32 = u32::MAX;
+
+/// A B+Tree handle (root page may move as the tree grows).
+#[derive(Debug)]
+pub struct BTree {
+    file: FileId,
+    root: u32,
+    leaf_cap: usize,
+    internal_cap: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        keys: Vec<u64>,
+        vals: Vec<u64>,
+        next: u32,
+    },
+    Internal {
+        keys: Vec<u64>,
+        children: Vec<u32>,
+    },
+}
+
+impl BTree {
+    /// Creates an empty tree in a fresh file.
+    pub fn create(bm: &mut BufferManager) -> Self {
+        let page_size = bm.disk().page_size();
+        let file = bm.disk_mut().create_file();
+        let leaf_cap = (page_size - HEADER) / 16;
+        let internal_cap = (page_size - HEADER - 4) / 12;
+        assert!(leaf_cap >= 3 && internal_cap >= 3, "page too small for a B+Tree");
+        let (root, ()) = bm.allocate_page(file, |data| {
+            encode(
+                data,
+                &Node::Leaf {
+                    keys: Vec::new(),
+                    vals: Vec::new(),
+                    next: NO_LEAF,
+                },
+            );
+        });
+        Self {
+            file,
+            root,
+            leaf_cap,
+            internal_cap,
+        }
+    }
+
+    /// The index file id (for buffer statistics).
+    #[must_use]
+    pub fn file(&self) -> FileId {
+        self.file
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, bm: &mut BufferManager, key: u64) -> Option<u64> {
+        let mut page = self.root;
+        loop {
+            match self.read(bm, page) {
+                Node::Internal { keys, children } => {
+                    page = children[child_index(&keys, key)];
+                }
+                Node::Leaf { keys, vals, .. } => {
+                    return keys
+                        .binary_search(&key)
+                        .ok()
+                        .map(|i| vals[i]);
+                }
+            }
+        }
+    }
+
+    /// Inserts or overwrites; returns the previous value if any.
+    pub fn insert(&mut self, bm: &mut BufferManager, key: u64, value: u64) -> Option<u64> {
+        let (old, split) = self.insert_rec(bm, self.root, key, value);
+        if let Some((sep, right)) = split {
+            let old_root = self.root;
+            let (new_root, ()) = bm.allocate_page(self.file, |data| {
+                encode(
+                    data,
+                    &Node::Internal {
+                        keys: vec![sep],
+                        children: vec![old_root, right],
+                    },
+                );
+            });
+            self.root = new_root;
+        }
+        old
+    }
+
+    /// Removes a key; returns its value if it was present. Lazy: leaves
+    /// are never rebalanced or merged.
+    pub fn delete(&mut self, bm: &mut BufferManager, key: u64) -> Option<u64> {
+        let mut page = self.root;
+        loop {
+            match self.read(bm, page) {
+                Node::Internal { keys, children } => {
+                    page = children[child_index(&keys, key)];
+                }
+                Node::Leaf {
+                    mut keys,
+                    mut vals,
+                    next,
+                } => {
+                    let Ok(i) = keys.binary_search(&key) else {
+                        return None;
+                    };
+                    keys.remove(i);
+                    let old = vals.remove(i);
+                    self.write(bm, page, &Node::Leaf { keys, vals, next });
+                    return Some(old);
+                }
+            }
+        }
+    }
+
+    /// Visits `(key, value)` pairs with `lo <= key < hi` in ascending
+    /// key order; stop early by returning `false` from the visitor.
+    pub fn scan_range(
+        &self,
+        bm: &mut BufferManager,
+        lo: u64,
+        hi: u64,
+        mut visit: impl FnMut(u64, u64) -> bool,
+    ) {
+        let mut page = self.root;
+        // descend to the leaf that would hold `lo`
+        while let Node::Internal { keys, children } = self.read(bm, page) {
+            page = children[child_index(&keys, lo)];
+        }
+        loop {
+            let Node::Leaf { keys, vals, next } = self.read(bm, page) else {
+                unreachable!("leaf chain only contains leaves");
+            };
+            for (k, v) in keys.iter().zip(&vals) {
+                if *k < lo {
+                    continue;
+                }
+                if *k >= hi {
+                    return;
+                }
+                if !visit(*k, *v) {
+                    return;
+                }
+            }
+            if next == NO_LEAF {
+                return;
+            }
+            page = next;
+        }
+    }
+
+    /// The smallest `(key, value)` with `key >= lo` (e.g. the oldest
+    /// pending order of a district when keys are `(w, d, order-no)`).
+    pub fn min_at_or_after(&self, bm: &mut BufferManager, lo: u64) -> Option<(u64, u64)> {
+        let mut found = None;
+        self.scan_range(bm, lo, u64::MAX, |k, v| {
+            found = Some((k, v));
+            false
+        });
+        found
+    }
+
+    /// Total live entries (full scan; test/diagnostic helper).
+    pub fn len(&self, bm: &mut BufferManager) -> usize {
+        let mut n = 0;
+        self.scan_range(bm, 0, u64::MAX, |_, _| {
+            n += 1;
+            true
+        });
+        n
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self, bm: &mut BufferManager) -> bool {
+        self.min_at_or_after(bm, 0).is_none()
+    }
+
+    fn insert_rec(
+        &mut self,
+        bm: &mut BufferManager,
+        page: u32,
+        key: u64,
+        value: u64,
+    ) -> (Option<u64>, Option<(u64, u32)>) {
+        match self.read(bm, page) {
+            Node::Leaf {
+                mut keys,
+                mut vals,
+                next,
+            } => {
+                let old = match keys.binary_search(&key) {
+                    Ok(i) => {
+                        let old = vals[i];
+                        vals[i] = value;
+                        self.write(bm, page, &Node::Leaf { keys, vals, next });
+                        return (Some(old), None);
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        vals.insert(i, value);
+                        None
+                    }
+                };
+                if keys.len() <= self.leaf_cap {
+                    self.write(bm, page, &Node::Leaf { keys, vals, next });
+                    return (old, None);
+                }
+                // split: upper half to a fresh right sibling
+                let mid = keys.len() / 2;
+                let right_keys = keys.split_off(mid);
+                let right_vals = vals.split_off(mid);
+                let sep = right_keys[0];
+                let (right_page, ()) = bm.allocate_page(self.file, |data| {
+                    encode(
+                        data,
+                        &Node::Leaf {
+                            keys: right_keys,
+                            vals: right_vals,
+                            next,
+                        },
+                    );
+                });
+                self.write(
+                    bm,
+                    page,
+                    &Node::Leaf {
+                        keys,
+                        vals,
+                        next: right_page,
+                    },
+                );
+                (old, Some((sep, right_page)))
+            }
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
+                let idx = child_index(&keys, key);
+                let (old, split) = self.insert_rec(bm, children[idx], key, value);
+                let Some((sep, right)) = split else {
+                    return (old, None);
+                };
+                keys.insert(idx, sep);
+                children.insert(idx + 1, right);
+                if keys.len() <= self.internal_cap {
+                    self.write(bm, page, &Node::Internal { keys, children });
+                    return (old, None);
+                }
+                // split internal: middle key promotes
+                let mid = keys.len() / 2;
+                let promoted = keys[mid];
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // remove promoted
+                let right_children = children.split_off(mid + 1);
+                let (right_page, ()) = bm.allocate_page(self.file, |data| {
+                    encode(
+                        data,
+                        &Node::Internal {
+                            keys: right_keys,
+                            children: right_children,
+                        },
+                    );
+                });
+                self.write(bm, page, &Node::Internal { keys, children });
+                (old, Some((promoted, right_page)))
+            }
+        }
+    }
+
+    fn read(&self, bm: &mut BufferManager, page: u32) -> Node {
+        bm.with_page(self.file, page, decode)
+    }
+
+    fn write(&self, bm: &mut BufferManager, page: u32, node: &Node) {
+        bm.with_page_mut(self.file, page, |data| encode(data, node));
+    }
+}
+
+/// Index of the child subtree that holds `key`: first separator > key.
+fn child_index(keys: &[u64], key: u64) -> usize {
+    keys.partition_point(|&k| k <= key)
+}
+
+fn encode(data: &mut [u8], node: &Node) {
+    match node {
+        Node::Leaf { keys, vals, next } => {
+            data[0] = LEAF;
+            data[2..4].copy_from_slice(&(keys.len() as u16).to_le_bytes());
+            data[4..8].copy_from_slice(&next.to_le_bytes());
+            let mut off = HEADER;
+            for (k, v) in keys.iter().zip(vals) {
+                data[off..off + 8].copy_from_slice(&k.to_le_bytes());
+                data[off + 8..off + 16].copy_from_slice(&v.to_le_bytes());
+                off += 16;
+            }
+        }
+        Node::Internal { keys, children } => {
+            data[0] = INTERNAL;
+            data[2..4].copy_from_slice(&(keys.len() as u16).to_le_bytes());
+            data[4..8].copy_from_slice(&NO_LEAF.to_le_bytes());
+            data[HEADER..HEADER + 4].copy_from_slice(&children[0].to_le_bytes());
+            let mut off = HEADER + 4;
+            for (k, c) in keys.iter().zip(children.iter().skip(1)) {
+                data[off..off + 8].copy_from_slice(&k.to_le_bytes());
+                data[off + 8..off + 12].copy_from_slice(&c.to_le_bytes());
+                off += 12;
+            }
+        }
+    }
+}
+
+fn decode(data: &[u8]) -> Node {
+    let kind = data[0];
+    let n = u16::from_le_bytes([data[2], data[3]]) as usize;
+    if kind == LEAF {
+        let next = u32::from_le_bytes(data[4..8].try_into().expect("header"));
+        let mut keys = Vec::with_capacity(n);
+        let mut vals = Vec::with_capacity(n);
+        let mut off = HEADER;
+        for _ in 0..n {
+            keys.push(u64::from_le_bytes(data[off..off + 8].try_into().expect("key")));
+            vals.push(u64::from_le_bytes(
+                data[off + 8..off + 16].try_into().expect("val"),
+            ));
+            off += 16;
+        }
+        Node::Leaf { keys, vals, next }
+    } else {
+        let mut children = Vec::with_capacity(n + 1);
+        children.push(u32::from_le_bytes(
+            data[HEADER..HEADER + 4].try_into().expect("child0"),
+        ));
+        let mut keys = Vec::with_capacity(n);
+        let mut off = HEADER + 4;
+        for _ in 0..n {
+            keys.push(u64::from_le_bytes(data[off..off + 8].try_into().expect("key")));
+            children.push(u32::from_le_bytes(
+                data[off + 8..off + 12].try_into().expect("child"),
+            ));
+            off += 12;
+        }
+        Node::Internal { keys, children }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bufmgr::Replacement;
+    use crate::disk::DiskManager;
+    use tpcc_rand::Xoshiro256;
+
+    fn setup(page_size: usize, frames: usize) -> (BufferManager, BTree) {
+        let disk = DiskManager::new(page_size);
+        let mut bm = BufferManager::new(disk, frames, Replacement::Lru);
+        let tree = BTree::create(&mut bm);
+        (bm, tree)
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let (mut bm, mut t) = setup(256, 16);
+        assert_eq!(t.insert(&mut bm, 5, 50), None);
+        assert_eq!(t.insert(&mut bm, 3, 30), None);
+        assert_eq!(t.insert(&mut bm, 9, 90), None);
+        assert_eq!(t.get(&mut bm, 5), Some(50));
+        assert_eq!(t.get(&mut bm, 3), Some(30));
+        assert_eq!(t.get(&mut bm, 9), Some(90));
+        assert_eq!(t.get(&mut bm, 4), None);
+    }
+
+    #[test]
+    fn overwrite_returns_old() {
+        let (mut bm, mut t) = setup(256, 16);
+        t.insert(&mut bm, 7, 1);
+        assert_eq!(t.insert(&mut bm, 7, 2), Some(1));
+        assert_eq!(t.get(&mut bm, 7), Some(2));
+        assert_eq!(t.len(&mut bm), 1);
+    }
+
+    #[test]
+    fn many_inserts_with_splits_sequential() {
+        // small pages force deep trees
+        let (mut bm, mut t) = setup(256, 64);
+        let n = 5000u64;
+        for k in 0..n {
+            t.insert(&mut bm, k, k * 2);
+        }
+        for k in 0..n {
+            assert_eq!(t.get(&mut bm, k), Some(k * 2), "key {k}");
+        }
+        assert_eq!(t.len(&mut bm), n as usize);
+    }
+
+    #[test]
+    fn many_inserts_random_order() {
+        let (mut bm, mut t) = setup(256, 64);
+        let mut rng = Xoshiro256::seed_from_u64(42);
+        let mut keys: Vec<u64> = (0..4000).map(|_| rng.next_u64() >> 16).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        // shuffle
+        for i in (1..keys.len()).rev() {
+            let j = rng.uniform_inclusive(0, i as u64) as usize;
+            keys.swap(i, j);
+        }
+        for &k in &keys {
+            t.insert(&mut bm, k, !k);
+        }
+        for &k in &keys {
+            assert_eq!(t.get(&mut bm, k), Some(!k));
+        }
+    }
+
+    #[test]
+    fn scan_range_is_sorted_and_bounded() {
+        let (mut bm, mut t) = setup(256, 64);
+        for k in (0..1000u64).rev() {
+            t.insert(&mut bm, k * 3, k);
+        }
+        let mut seen = Vec::new();
+        t.scan_range(&mut bm, 90, 150, |k, _| {
+            seen.push(k);
+            true
+        });
+        assert_eq!(seen, vec![90, 93, 96, 99, 102, 105, 108, 111, 114, 117, 120, 123, 126, 129, 132, 135, 138, 141, 144, 147]);
+    }
+
+    #[test]
+    fn scan_early_stop() {
+        let (mut bm, mut t) = setup(256, 64);
+        for k in 0..100u64 {
+            t.insert(&mut bm, k, k);
+        }
+        let mut count = 0;
+        t.scan_range(&mut bm, 0, u64::MAX, |_, _| {
+            count += 1;
+            count < 5
+        });
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn min_at_or_after_finds_oldest() {
+        let (mut bm, mut t) = setup(256, 32);
+        for k in [50u64, 20, 80, 35] {
+            t.insert(&mut bm, k, k + 1);
+        }
+        assert_eq!(t.min_at_or_after(&mut bm, 0), Some((20, 21)));
+        assert_eq!(t.min_at_or_after(&mut bm, 21), Some((35, 36)));
+        assert_eq!(t.min_at_or_after(&mut bm, 81), None);
+    }
+
+    #[test]
+    fn delete_removes_and_scan_skips() {
+        let (mut bm, mut t) = setup(256, 64);
+        for k in 0..500u64 {
+            t.insert(&mut bm, k, k);
+        }
+        for k in (0..500).step_by(2) {
+            assert_eq!(t.delete(&mut bm, k), Some(k));
+        }
+        assert_eq!(t.delete(&mut bm, 0), None, "double delete");
+        for k in 0..500u64 {
+            let expect = (k % 2 == 1).then_some(k);
+            assert_eq!(t.get(&mut bm, k), expect, "key {k}");
+        }
+        assert_eq!(t.len(&mut bm), 250);
+    }
+
+    #[test]
+    fn fifo_queue_pattern_like_new_order() {
+        // insert at the tail, delete at the head — the New-Order usage
+        let (mut bm, mut t) = setup(256, 32);
+        let mut head = 0u64;
+        let mut tail = 0u64;
+        for _ in 0..2000 {
+            t.insert(&mut bm, tail, tail);
+            tail += 1;
+            if tail - head > 30 {
+                let (k, _) = t.min_at_or_after(&mut bm, 0).expect("nonempty");
+                assert_eq!(k, head);
+                t.delete(&mut bm, k);
+                head += 1;
+            }
+        }
+        assert_eq!(t.len(&mut bm), (tail - head) as usize);
+    }
+
+    #[test]
+    fn survives_tiny_buffer_pool() {
+        // 4 frames, tree of thousands of keys: exercises write-back
+        let (mut bm, mut t) = setup(256, 4);
+        for k in 0..3000u64 {
+            t.insert(&mut bm, k, k ^ 0xAB);
+        }
+        for k in (0..3000u64).step_by(97) {
+            assert_eq!(t.get(&mut bm, k), Some(k ^ 0xAB));
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The simulated disk: page files held in memory with per-file I/O
+//! accounting, standing in for the 25 ms-per-I/O device of the paper's
+//! throughput model.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one page file (one relation or index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FileId(pub u32);
+
+/// Per-file physical I/O counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoStats {
+    /// Pages read from the "device".
+    pub reads: u64,
+    /// Pages written back.
+    pub writes: u64,
+}
+
+/// An in-memory collection of page files.
+#[derive(Debug)]
+pub struct DiskManager {
+    page_size: usize,
+    files: Vec<Vec<Box<[u8]>>>,
+    stats: Vec<IoStats>,
+}
+
+impl DiskManager {
+    /// Creates a disk with the given page size.
+    ///
+    /// # Panics
+    /// Panics if `page_size < 64`.
+    #[must_use]
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size >= 64, "page size too small");
+        Self {
+            page_size,
+            files: Vec::new(),
+            stats: Vec::new(),
+        }
+    }
+
+    /// Page size in bytes.
+    #[must_use]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Creates an empty file.
+    pub fn create_file(&mut self) -> FileId {
+        self.files.push(Vec::new());
+        self.stats.push(IoStats::default());
+        FileId((self.files.len() - 1) as u32)
+    }
+
+    /// Appends a zeroed page to `file`, returning its page number.
+    ///
+    /// # Panics
+    /// Panics on an unknown file.
+    pub fn allocate_page(&mut self, file: FileId) -> u32 {
+        let f = &mut self.files[file.0 as usize];
+        f.push(vec![0u8; self.page_size].into_boxed_slice());
+        (f.len() - 1) as u32
+    }
+
+    /// Number of pages in `file`.
+    ///
+    /// # Panics
+    /// Panics on an unknown file.
+    #[must_use]
+    pub fn pages(&self, file: FileId) -> u32 {
+        self.files[file.0 as usize].len() as u32
+    }
+
+    /// Reads a page into `buf` (counted as one physical read).
+    ///
+    /// # Panics
+    /// Panics on unknown file/page or a wrong-sized buffer.
+    pub fn read_page(&mut self, file: FileId, page: u32, buf: &mut [u8]) {
+        assert_eq!(buf.len(), self.page_size, "buffer size mismatch");
+        let data = &self.files[file.0 as usize][page as usize];
+        buf.copy_from_slice(data);
+        self.stats[file.0 as usize].reads += 1;
+    }
+
+    /// Writes a page from `buf` (counted as one physical write).
+    ///
+    /// # Panics
+    /// Panics on unknown file/page or a wrong-sized buffer.
+    pub fn write_page(&mut self, file: FileId, page: u32, buf: &[u8]) {
+        assert_eq!(buf.len(), self.page_size, "buffer size mismatch");
+        self.files[file.0 as usize][page as usize].copy_from_slice(buf);
+        self.stats[file.0 as usize].writes += 1;
+    }
+
+    /// I/O counters for one file.
+    ///
+    /// # Panics
+    /// Panics on an unknown file.
+    #[must_use]
+    pub fn stats(&self, file: FileId) -> IoStats {
+        self.stats[file.0 as usize]
+    }
+
+    /// Total I/O counters across files.
+    #[must_use]
+    pub fn total_stats(&self) -> IoStats {
+        self.stats.iter().fold(IoStats::default(), |a, s| IoStats {
+            reads: a.reads + s.reads,
+            writes: a.writes + s.writes,
+        })
+    }
+
+    /// A deep copy of the disk's current contents with fresh counters —
+    /// the checkpoint image crash recovery replays the WAL over.
+    #[must_use]
+    pub fn snapshot(&self) -> DiskManager {
+        DiskManager {
+            page_size: self.page_size,
+            files: self.files.clone(),
+            stats: vec![IoStats::default(); self.stats.len()],
+        }
+    }
+
+    /// True when both disks hold byte-identical files (test helper for
+    /// recovery equivalence).
+    #[must_use]
+    pub fn contents_equal(&self, other: &DiskManager) -> bool {
+        self.page_size == other.page_size && self.files == other.files
+    }
+
+    /// Resets all I/O counters (e.g. after load, before measurement).
+    pub fn reset_stats(&mut self) {
+        for s in &mut self.stats {
+            *s = IoStats::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_allocate_read_write() {
+        let mut d = DiskManager::new(256);
+        let f = d.create_file();
+        let p0 = d.allocate_page(f);
+        assert_eq!(p0, 0);
+        assert_eq!(d.allocate_page(f), 1);
+        assert_eq!(d.pages(f), 2);
+
+        let mut buf = vec![7u8; 256];
+        d.write_page(f, 0, &buf);
+        buf.fill(0);
+        d.read_page(f, 0, &mut buf);
+        assert!(buf.iter().all(|&b| b == 7));
+        assert_eq!(d.stats(f), IoStats { reads: 1, writes: 1 });
+    }
+
+    #[test]
+    fn files_are_independent() {
+        let mut d = DiskManager::new(128);
+        let a = d.create_file();
+        let b = d.create_file();
+        d.allocate_page(a);
+        d.allocate_page(b);
+        d.write_page(a, 0, &[1u8; 128]);
+        let mut buf = vec![9u8; 128];
+        d.read_page(b, 0, &mut buf);
+        assert!(buf.iter().all(|&x| x == 0), "file b untouched");
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut d = DiskManager::new(128);
+        let f = d.create_file();
+        d.allocate_page(f);
+        let mut buf = vec![0u8; 128];
+        d.read_page(f, 0, &mut buf);
+        d.reset_stats();
+        assert_eq!(d.total_stats(), IoStats::default());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_page_panics() {
+        let mut d = DiskManager::new(128);
+        let f = d.create_file();
+        let mut buf = vec![0u8; 128];
+        d.read_page(f, 3, &mut buf);
+    }
+}

@@ -1,0 +1,35 @@
+//! A small page-based storage engine — the substrate the paper's
+//! "typical DBMS" assumptions presuppose but never build.
+//!
+//! Components:
+//!
+//! * [`page`] — slotted pages with insert / read / update / delete of
+//!   variable-length records.
+//! * [`disk`] — an in-memory "disk" of page files with per-file I/O
+//!   accounting (the simulated device under the buffer pool).
+//! * [`bufmgr`] — a buffer manager: fixed frame pool, clock or LRU
+//!   replacement, dirty-page write-back, hit/miss statistics.
+//! * [`heap`] — heap files of records over slotted pages.
+//! * [`btree`] — a page-based B+Tree mapping `u64` keys to `u64`
+//!   values (record ids / encoded payloads), with range scans.
+//!
+//! `tpcc-db` builds the executable TPC-C database on top; its measured
+//! buffer behaviour cross-validates the abstract trace model in
+//! `tpcc-workload`/`tpcc-buffer`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod btree;
+pub mod bufmgr;
+pub mod disk;
+pub mod heap;
+pub mod page;
+pub mod wal;
+
+pub use btree::BTree;
+pub use bufmgr::{BufferManager, BufferStats, Replacement};
+pub use disk::{DiskManager, FileId};
+pub use heap::{HeapFile, RecordId};
+pub use page::SlottedPage;
+pub use wal::{page_delta, Wal, WalEntry};

@@ -1,0 +1,511 @@
+//! Input-value generation for the five transactions (paper §2.2).
+//!
+//! Terminal effects are not modeled: warehouse and district ids are
+//! uniform, as the paper assumes ("each terminal is submitting requests
+//! at the same rate"). Customer and item ids come from the NURand
+//! distributions; remote-warehouse probabilities follow clause 2.4
+//! (1% remote stock) and 2.5 (15% remote payments).
+
+use crate::mix::TxType;
+use serde::{Deserialize, Serialize};
+use tpcc_rand::{NuRand, Xoshiro256};
+use tpcc_schema::relation::DISTRICTS_PER_WAREHOUSE;
+
+/// How many items a New-Order transaction orders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ItemsPerOrder {
+    /// The paper's simplification: always exactly `n` items (§2.2 fixes
+    /// n = 10; "this assumption has no effect since we only report mean
+    /// miss rates and throughputs").
+    Fixed(u64),
+    /// The specification's uniform(lo, hi) item count.
+    Uniform(u64, u64),
+}
+
+impl ItemsPerOrder {
+    /// Expected number of items per order.
+    #[must_use]
+    pub fn mean(self) -> f64 {
+        match self {
+            ItemsPerOrder::Fixed(n) => n as f64,
+            ItemsPerOrder::Uniform(lo, hi) => (lo + hi) as f64 / 2.0,
+        }
+    }
+
+    fn sample(self, rng: &mut Xoshiro256) -> u64 {
+        match self {
+            ItemsPerOrder::Fixed(n) => n,
+            ItemsPerOrder::Uniform(lo, hi) => rng.uniform_inclusive(lo, hi),
+        }
+    }
+}
+
+/// Tunable workload parameters with paper defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InputConfig {
+    /// Number of warehouses `W`.
+    pub warehouses: u64,
+    /// Items per New-Order (paper: fixed 10).
+    pub items_per_order: ItemsPerOrder,
+    /// Probability an ordered item is supplied by a remote warehouse
+    /// (clause: 0.01).
+    pub remote_stock_prob: f64,
+    /// Probability a payment goes through a non-home warehouse (0.15).
+    pub remote_payment_prob: f64,
+    /// Probability a customer is selected by last name rather than id
+    /// (0.60), in Payment and Order-Status.
+    pub by_name_prob: f64,
+    /// Replace every NURand draw with a uniform draw (`A = 0` makes
+    /// `NURand` degenerate to `rand(x, y)`) — the TPC-A-style baseline
+    /// the paper contrasts against in §6.
+    pub uniform_access: bool,
+}
+
+impl InputConfig {
+    /// Paper defaults at the given scale.
+    ///
+    /// # Panics
+    /// Panics if `warehouses == 0`.
+    #[must_use]
+    pub fn paper_default(warehouses: u64) -> Self {
+        assert!(warehouses > 0, "need at least one warehouse");
+        Self {
+            warehouses,
+            items_per_order: ItemsPerOrder::Fixed(10),
+            remote_stock_prob: 0.01,
+            remote_payment_prob: 0.15,
+            by_name_prob: 0.60,
+            uniform_access: false,
+        }
+    }
+
+    /// The same workload with uniform (unskewed) tuple selection.
+    #[must_use]
+    pub fn uniform(mut self) -> Self {
+        self.uniform_access = true;
+        self
+    }
+}
+
+/// One ordered item: which item, supplied from which warehouse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ItemOrder {
+    /// 0-based item id.
+    pub item: u64,
+    /// Supplying warehouse (equal to the home warehouse 99% of the time).
+    pub supply_warehouse: u64,
+}
+
+/// How Payment / Order-Status pick the customer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PaymentSelector {
+    /// Unique select by customer id (40% of the time).
+    ById {
+        /// 0-based customer within the district.
+        customer: u64,
+    },
+    /// Non-unique select by last name (60%): on average three rows
+    /// match; the row with the median first name is the one updated.
+    /// Under the paper's banded simplification the three matches are
+    /// three independent draws from one `NU(255, band)` distribution.
+    ByName {
+        /// The three matching 0-based customer ids; `matches[1]` plays
+        /// the role of the middle row.
+        matches: [u64; 3],
+    },
+}
+
+impl PaymentSelector {
+    /// Customer ids this selector touches (1 or 3).
+    #[must_use]
+    pub fn touched(&self) -> &[u64] {
+        match self {
+            PaymentSelector::ById { customer } => std::slice::from_ref(customer),
+            PaymentSelector::ByName { matches } => matches,
+        }
+    }
+
+    /// The customer that ends up selected/updated.
+    #[must_use]
+    pub fn chosen(&self) -> u64 {
+        match self {
+            PaymentSelector::ById { customer } => *customer,
+            PaymentSelector::ByName { matches } => matches[1],
+        }
+    }
+}
+
+/// Fully-generated transaction input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TxInput {
+    /// New-Order input (§2.2).
+    NewOrder {
+        /// Terminal's (home) warehouse.
+        warehouse: u64,
+        /// Terminal's district.
+        district: u64,
+        /// Ordering customer (0-based within district).
+        customer: u64,
+        /// The ordered items.
+        items: Vec<ItemOrder>,
+    },
+    /// Payment input (§2.2).
+    Payment {
+        /// Warehouse the payment is made through.
+        warehouse: u64,
+        /// District the payment is made through.
+        district: u64,
+        /// Customer's home warehouse (≠ `warehouse` for 15%).
+        customer_warehouse: u64,
+        /// Customer's home district.
+        customer_district: u64,
+        /// Customer selection.
+        selector: PaymentSelector,
+    },
+    /// Order-Status input.
+    OrderStatus {
+        /// Customer's warehouse.
+        warehouse: u64,
+        /// Customer's district.
+        district: u64,
+        /// Customer selection.
+        selector: PaymentSelector,
+    },
+    /// Delivery input: one warehouse, all ten districts processed.
+    Delivery {
+        /// Target warehouse.
+        warehouse: u64,
+    },
+    /// Stock-Level input.
+    StockLevel {
+        /// Target warehouse.
+        warehouse: u64,
+        /// Target district.
+        district: u64,
+        /// Stock-quantity threshold (uniform 10–20 per the spec).
+        threshold: u64,
+    },
+}
+
+impl TxInput {
+    /// The transaction type of this input.
+    #[must_use]
+    pub fn tx_type(&self) -> TxType {
+        match self {
+            TxInput::NewOrder { .. } => TxType::NewOrder,
+            TxInput::Payment { .. } => TxType::Payment,
+            TxInput::OrderStatus { .. } => TxType::OrderStatus,
+            TxInput::Delivery { .. } => TxType::Delivery,
+            TxInput::StockLevel { .. } => TxType::StockLevel,
+        }
+    }
+}
+
+/// Generates transaction inputs according to an [`InputConfig`].
+#[derive(Debug, Clone)]
+pub struct InputGenerator {
+    config: InputConfig,
+    customer_nu: NuRand,
+    item_nu: NuRand,
+    name_bands: [NuRand; 3],
+}
+
+impl InputGenerator {
+    /// Creates a generator.
+    #[must_use]
+    pub fn new(config: InputConfig) -> Self {
+        let flatten = |nu: NuRand| {
+            if config.uniform_access {
+                NuRand::new(0, nu.x, nu.y)
+            } else {
+                nu
+            }
+        };
+        Self {
+            config,
+            customer_nu: flatten(NuRand::customer_id()),
+            item_nu: flatten(NuRand::item_id()),
+            name_bands: [
+                flatten(NuRand::customer_name_band(0)),
+                flatten(NuRand::customer_name_band(1)),
+                flatten(NuRand::customer_name_band(2)),
+            ],
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &InputConfig {
+        &self.config
+    }
+
+    /// Generates an input for the given transaction type.
+    pub fn generate(&self, tx: TxType, rng: &mut Xoshiro256) -> TxInput {
+        match tx {
+            TxType::NewOrder => self.new_order(rng),
+            TxType::Payment => self.payment(rng),
+            TxType::OrderStatus => self.order_status(rng),
+            TxType::Delivery => TxInput::Delivery {
+                warehouse: self.uniform_warehouse(rng),
+            },
+            TxType::StockLevel => TxInput::StockLevel {
+                warehouse: self.uniform_warehouse(rng),
+                district: self.uniform_district(rng),
+                threshold: rng.uniform_inclusive(10, 20),
+            },
+        }
+    }
+
+    fn new_order(&self, rng: &mut Xoshiro256) -> TxInput {
+        let warehouse = self.uniform_warehouse(rng);
+        let n_items = self.config.items_per_order.sample(rng);
+        let items = (0..n_items)
+            .map(|_| ItemOrder {
+                item: self.item_nu.sample(rng) - 1,
+                supply_warehouse: self.maybe_remote(warehouse, self.config.remote_stock_prob, rng),
+            })
+            .collect();
+        TxInput::NewOrder {
+            warehouse,
+            district: self.uniform_district(rng),
+            customer: self.customer_nu.sample(rng) - 1,
+            items,
+        }
+    }
+
+    fn payment(&self, rng: &mut Xoshiro256) -> TxInput {
+        let warehouse = self.uniform_warehouse(rng);
+        let district = self.uniform_district(rng);
+        let customer_warehouse =
+            self.maybe_remote(warehouse, self.config.remote_payment_prob, rng);
+        let customer_district = if customer_warehouse == warehouse {
+            district
+        } else {
+            self.uniform_district(rng)
+        };
+        TxInput::Payment {
+            warehouse,
+            district,
+            customer_warehouse,
+            customer_district,
+            selector: self.selector(rng),
+        }
+    }
+
+    fn order_status(&self, rng: &mut Xoshiro256) -> TxInput {
+        TxInput::OrderStatus {
+            warehouse: self.uniform_warehouse(rng),
+            district: self.uniform_district(rng),
+            selector: self.selector(rng),
+        }
+    }
+
+    /// By-id (40%) or by-name (60%) customer selection.
+    fn selector(&self, rng: &mut Xoshiro256) -> PaymentSelector {
+        if rng.chance(self.config.by_name_prob) {
+            let band = &self.name_bands[rng.uniform_inclusive(0, 2) as usize];
+            PaymentSelector::ByName {
+                matches: [
+                    band.sample(rng) - 1,
+                    band.sample(rng) - 1,
+                    band.sample(rng) - 1,
+                ],
+            }
+        } else {
+            PaymentSelector::ById {
+                customer: self.customer_nu.sample(rng) - 1,
+            }
+        }
+    }
+
+    fn uniform_warehouse(&self, rng: &mut Xoshiro256) -> u64 {
+        rng.uniform_inclusive(0, self.config.warehouses - 1)
+    }
+
+    fn uniform_district(&self, rng: &mut Xoshiro256) -> u64 {
+        rng.uniform_inclusive(0, DISTRICTS_PER_WAREHOUSE - 1)
+    }
+
+    /// With probability `prob`, a uniformly chosen warehouse other than
+    /// `home` (or `home` itself when W = 1).
+    fn maybe_remote(&self, home: u64, prob: f64, rng: &mut Xoshiro256) -> u64 {
+        if self.config.warehouses > 1 && rng.chance(prob) {
+            let other = rng.uniform_inclusive(0, self.config.warehouses - 2);
+            if other >= home {
+                other + 1
+            } else {
+                other
+            }
+        } else {
+            home
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcc_schema::relation::CUSTOMERS_PER_DISTRICT;
+
+    fn generator(w: u64) -> InputGenerator {
+        InputGenerator::new(InputConfig::paper_default(w))
+    }
+
+    #[test]
+    fn new_order_shape() {
+        let g = generator(20);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for _ in 0..1000 {
+            let TxInput::NewOrder {
+                warehouse,
+                district,
+                customer,
+                items,
+            } = g.generate(TxType::NewOrder, &mut rng)
+            else {
+                panic!("wrong variant");
+            };
+            assert!(warehouse < 20);
+            assert!(district < 10);
+            assert!(customer < CUSTOMERS_PER_DISTRICT);
+            assert_eq!(items.len(), 10);
+            for it in &items {
+                assert!(it.item < 100_000);
+                assert!(it.supply_warehouse < 20);
+            }
+        }
+    }
+
+    #[test]
+    fn remote_stock_probability_matches() {
+        let g = generator(20);
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut remote = 0u64;
+        let mut total = 0u64;
+        for _ in 0..20_000 {
+            if let TxInput::NewOrder {
+                warehouse, items, ..
+            } = g.generate(TxType::NewOrder, &mut rng)
+            {
+                total += items.len() as u64;
+                remote += items
+                    .iter()
+                    .filter(|i| i.supply_warehouse != warehouse)
+                    .count() as u64;
+            }
+        }
+        let p = remote as f64 / total as f64;
+        assert!((p - 0.01).abs() < 0.003, "remote stock p = {p}");
+    }
+
+    #[test]
+    fn payment_remote_and_by_name_probabilities() {
+        let g = generator(10);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let (mut remote, mut by_name) = (0u64, 0u64);
+        let n = 50_000;
+        for _ in 0..n {
+            if let TxInput::Payment {
+                warehouse,
+                customer_warehouse,
+                selector,
+                ..
+            } = g.generate(TxType::Payment, &mut rng)
+            {
+                if customer_warehouse != warehouse {
+                    remote += 1;
+                }
+                if matches!(selector, PaymentSelector::ByName { .. }) {
+                    by_name += 1;
+                }
+            }
+        }
+        assert!((remote as f64 / n as f64 - 0.15).abs() < 0.01);
+        assert!((by_name as f64 / n as f64 - 0.60).abs() < 0.01);
+    }
+
+    #[test]
+    fn by_name_matches_share_a_band() {
+        let g = generator(5);
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        for _ in 0..5000 {
+            if let TxInput::OrderStatus {
+                selector: PaymentSelector::ByName { matches },
+                ..
+            } = g.generate(TxType::OrderStatus, &mut rng)
+            {
+                let band = matches[0] / 1000;
+                assert!(matches.iter().all(|&m| m / 1000 == band), "{matches:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_warehouse_never_remote() {
+        let g = generator(1);
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        for _ in 0..2000 {
+            if let TxInput::NewOrder {
+                warehouse, items, ..
+            } = g.generate(TxType::NewOrder, &mut rng)
+            {
+                assert!(items.iter().all(|i| i.supply_warehouse == warehouse));
+            }
+        }
+    }
+
+    #[test]
+    fn stock_level_threshold_in_spec_range() {
+        let g = generator(3);
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        for _ in 0..2000 {
+            if let TxInput::StockLevel { threshold, .. } =
+                g.generate(TxType::StockLevel, &mut rng)
+            {
+                assert!((10..=20).contains(&threshold));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_access_flattens_item_distribution() {
+        let g = InputGenerator::new(InputConfig::paper_default(1).uniform());
+        let mut rng = Xoshiro256::seed_from_u64(31);
+        // under NURand, items with all-ones low bits dominate; uniform
+        // access should give every id roughly equal mass
+        let mut hot = 0u64;
+        let mut n = 0u64;
+        for _ in 0..5000 {
+            if let TxInput::NewOrder { items, .. } = g.generate(TxType::NewOrder, &mut rng) {
+                for it in items {
+                    n += 1;
+                    // 1-based id 8192 is the NURand mode; 0-based 8191
+                    if it.item == 8191 {
+                        hot += 1;
+                    }
+                }
+            }
+        }
+        // uniform: P = 1e-5, expect ~0.5 hits in 50k draws; NURand
+        // would give ~60x that
+        assert!(hot <= 5, "mode id drawn {hot} times out of {n}");
+    }
+
+    #[test]
+    fn uniform_items_per_order() {
+        let mut cfg = InputConfig::paper_default(2);
+        cfg.items_per_order = ItemsPerOrder::Uniform(5, 15);
+        let g = InputGenerator::new(cfg);
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let mut sum = 0u64;
+        let n = 20_000;
+        for _ in 0..n {
+            if let TxInput::NewOrder { items, .. } = g.generate(TxType::NewOrder, &mut rng) {
+                assert!((5..=15).contains(&(items.len() as u64)));
+                sum += items.len() as u64;
+            }
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean items {mean}");
+    }
+}

@@ -1,0 +1,23 @@
+//! The TPC-C workload model (paper §2): five transaction types, the
+//! assumed mix, input-value generation, the temporal state the paper's
+//! simulator tracks ("the last order placed by each customer, the last
+//! 20 orders for each district, and which tuples are in the New-Order
+//! relation"), and the page-reference trace generator that drives the
+//! buffer study of §4.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod calls;
+pub mod input;
+pub mod mix;
+pub mod recorded;
+pub mod state;
+pub mod trace;
+
+pub use calls::{CallProfile, RelationAccessProfile};
+pub use input::{InputConfig, InputGenerator, PaymentSelector, TxInput};
+pub use mix::{TransactionMix, TxType};
+pub use recorded::{ReplayError, TraceRecorder, TraceReplay};
+pub use state::WorkloadState;
+pub use trace::{PageId, PageRef, TraceConfig, TraceGenerator};

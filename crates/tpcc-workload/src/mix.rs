@@ -1,0 +1,200 @@
+//! Transaction types and the workload mix (paper Table 2).
+
+use serde::{Deserialize, Serialize};
+use tpcc_rand::Xoshiro256;
+
+/// The five TPC-C transaction types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TxType {
+    /// Places an order for ~10 items (the benchmark's metric transaction).
+    NewOrder,
+    /// Processes a customer payment.
+    Payment,
+    /// Reports the status of a customer's last order.
+    OrderStatus,
+    /// Batch-delivers the oldest pending order of each district.
+    Delivery,
+    /// Counts low-stock items among a district's last 20 orders.
+    StockLevel,
+}
+
+impl TxType {
+    /// All five types in Table 2 order.
+    pub const ALL: [TxType; 5] = [
+        TxType::NewOrder,
+        TxType::Payment,
+        TxType::OrderStatus,
+        TxType::Delivery,
+        TxType::StockLevel,
+    ];
+
+    /// Display name as printed in the paper's tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TxType::NewOrder => "New Order",
+            TxType::Payment => "Payment",
+            TxType::OrderStatus => "Order Status",
+            TxType::Delivery => "Delivery",
+            TxType::StockLevel => "Stock Level",
+        }
+    }
+
+    /// The benchmark's minimum workload share (Table 2, column 2);
+    /// `None` for New Order, which has no minimum (it is the metric).
+    #[must_use]
+    pub fn minimum_percent(self) -> Option<f64> {
+        match self {
+            TxType::NewOrder => None,
+            TxType::Payment => Some(43.0),
+            TxType::OrderStatus | TxType::Delivery | TxType::StockLevel => Some(4.0),
+        }
+    }
+
+    /// Dense index `0..5`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            TxType::NewOrder => 0,
+            TxType::Payment => 1,
+            TxType::OrderStatus => 2,
+            TxType::Delivery => 3,
+            TxType::StockLevel => 4,
+        }
+    }
+}
+
+/// A workload mix: the fraction of transactions of each type.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransactionMix {
+    fractions: [f64; 5],
+}
+
+impl TransactionMix {
+    /// The paper's assumed mix (Table 2, column 3): 43% New Order, 44%
+    /// Payment, 4% Order Status, 5% Delivery, 4% Stock Level.
+    ///
+    /// Delivery is held at 5% so the New-Order relation drains: ten
+    /// deliveries per Delivery transaction × 5% ≥ 43% insertions.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new([0.43, 0.44, 0.04, 0.05, 0.04])
+    }
+
+    /// A custom mix in [`TxType::ALL`] order; must sum to 1 (±1e-6).
+    ///
+    /// # Panics
+    /// Panics on negative fractions or a sum away from 1.
+    #[must_use]
+    pub fn new(fractions: [f64; 5]) -> Self {
+        let sum: f64 = fractions.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "mix fractions must sum to 1, got {sum}"
+        );
+        assert!(
+            fractions.iter().all(|f| *f >= 0.0),
+            "mix fractions must be non-negative"
+        );
+        Self { fractions }
+    }
+
+    /// Fraction of the workload of type `tx`.
+    #[must_use]
+    pub fn fraction(&self, tx: TxType) -> f64 {
+        self.fractions[tx.index()]
+    }
+
+    /// The fractions in [`TxType::ALL`] order.
+    #[must_use]
+    pub fn fractions(&self) -> [f64; 5] {
+        self.fractions
+    }
+
+    /// True when every benchmark minimum (Table 2) is met.
+    #[must_use]
+    pub fn satisfies_minimums(&self) -> bool {
+        TxType::ALL.iter().all(|&tx| {
+            tx.minimum_percent()
+                .is_none_or(|min| self.fraction(tx) * 100.0 >= min - 1e-9)
+        })
+    }
+
+    /// True when deliveries can keep up with new orders so the New-Order
+    /// relation does not grow without bound (paper §2.1): ten deletions
+    /// per Delivery must cover one insertion per New Order.
+    #[must_use]
+    pub fn new_order_relation_is_stable(&self) -> bool {
+        10.0 * self.fraction(TxType::Delivery) >= self.fraction(TxType::NewOrder) - 1e-12
+    }
+
+    /// Draws a transaction type.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> TxType {
+        let mut u = rng.f64();
+        for &tx in &TxType::ALL {
+            let f = self.fraction(tx);
+            if u < f {
+                return tx;
+            }
+            u -= f;
+        }
+        TxType::StockLevel
+    }
+}
+
+impl Default for TransactionMix {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mix_sums_and_satisfies_minimums() {
+        let m = TransactionMix::paper_default();
+        assert!(m.satisfies_minimums());
+        assert!(m.new_order_relation_is_stable());
+        assert!((m.fraction(TxType::NewOrder) - 0.43).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_unstable_example_detected() {
+        // §2.1: 45% New-Order with 4% Delivery grows without bound.
+        let m = TransactionMix::new([0.45, 0.44, 0.04, 0.04, 0.03]);
+        assert!(!m.new_order_relation_is_stable());
+    }
+
+    #[test]
+    fn minimums_enforced() {
+        let m = TransactionMix::new([0.60, 0.30, 0.04, 0.04, 0.02]);
+        assert!(!m.satisfies_minimums(), "payment below 43%");
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to 1")]
+    fn bad_sum_rejected() {
+        let _ = TransactionMix::new([0.5, 0.5, 0.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn sampling_matches_fractions() {
+        let m = TransactionMix::paper_default();
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let mut counts = [0u64; 5];
+        let n = 500_000;
+        for _ in 0..n {
+            counts[m.sample(&mut rng).index()] += 1;
+        }
+        for &tx in &TxType::ALL {
+            let observed = counts[tx.index()] as f64 / n as f64;
+            assert!(
+                (observed - m.fraction(tx)).abs() < 0.005,
+                "{}: {observed}",
+                tx.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! The temporal workload state the paper's simulator maintains (§4):
+//! "the last order placed by each customer, the last 20 orders for each
+//! district, and which tuples are in the New-Order relation", plus the
+//! append counters of the four growing relations.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use tpcc_rand::Xoshiro256;
+use tpcc_schema::relation::{CUSTOMERS_PER_DISTRICT, DISTRICTS_PER_WAREHOUSE, ITEMS};
+
+/// Maximum items per order (the spec's uniform(5, 15) upper bound).
+pub const MAX_ITEMS: usize = 15;
+
+/// How many recent orders per district the Stock-Level join scans.
+pub const RECENT_ORDERS: usize = 20;
+
+/// A placed order, as remembered by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderSummary {
+    /// Order sequence number within its district (0-based).
+    pub number: u64,
+    /// Ordering customer (0-based within the district).
+    pub customer: u32,
+    /// Append ordinal of the order row in the Order relation.
+    pub order_ordinal: u64,
+    /// Append ordinal of the pending row in the New-Order relation.
+    pub new_order_ordinal: u64,
+    /// Append ordinal of the first order-line row.
+    pub ol_start: u64,
+    /// Number of order lines (≤ [`MAX_ITEMS`]).
+    pub n_items: u8,
+    /// The ordered item ids (first `n_items` entries valid).
+    pub items: [u32; MAX_ITEMS],
+}
+
+impl OrderSummary {
+    /// The valid item ids.
+    #[must_use]
+    pub fn item_slice(&self) -> &[u32] {
+        &self.items[..usize::from(self.n_items)]
+    }
+}
+
+/// Compact per-customer record of the most recent order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LastOrder {
+    /// Append ordinal of the order row.
+    pub order_ordinal: u64,
+    /// Append ordinal of its first order-line.
+    pub ol_start: u64,
+    /// Number of order lines.
+    pub n_items: u8,
+}
+
+#[derive(Debug, Clone, Default)]
+struct DistrictState {
+    next_order_number: u64,
+    /// Undelivered orders, oldest at the front (the New-Order relation).
+    pending: VecDeque<OrderSummary>,
+    /// The district's last ≤ 20 orders, oldest at the front.
+    recent: VecDeque<OrderSummary>,
+}
+
+/// Mutable workload state across a simulation run.
+#[derive(Debug, Clone)]
+pub struct WorkloadState {
+    warehouses: u64,
+    districts: Vec<DistrictState>,
+    last_order: Vec<Option<LastOrder>>,
+    orders_appended: u64,
+    new_orders_appended: u64,
+    order_lines_appended: u64,
+    history_appended: u64,
+}
+
+impl WorkloadState {
+    /// Fresh (empty) state for `warehouses` warehouses.
+    ///
+    /// # Panics
+    /// Panics if `warehouses == 0`.
+    #[must_use]
+    pub fn new(warehouses: u64) -> Self {
+        assert!(warehouses > 0, "need at least one warehouse");
+        let n_districts = (warehouses * DISTRICTS_PER_WAREHOUSE) as usize;
+        let n_customers = (warehouses * DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT) as usize;
+        Self {
+            warehouses,
+            districts: vec![DistrictState::default(); n_districts],
+            last_order: vec![None; n_customers],
+            orders_appended: 0,
+            new_orders_appended: 0,
+            order_lines_appended: 0,
+            history_appended: 0,
+        }
+    }
+
+    /// Populates initial orders per the spec's flavor of clause 4.3:
+    /// `orders_per_district` orders per district (spec: 3000), items
+    /// uniform, customers assigned round-robin through a district-local
+    /// shuffle, and the newest `pending_per_district` orders (spec: 900)
+    /// still awaiting delivery.
+    ///
+    /// # Panics
+    /// Panics if `pending_per_district > orders_per_district`.
+    pub fn populate(
+        &mut self,
+        orders_per_district: u64,
+        pending_per_district: u64,
+        items_per_order: u8,
+        rng: &mut Xoshiro256,
+    ) {
+        assert!(
+            pending_per_district <= orders_per_district,
+            "cannot have more pending than total orders"
+        );
+        assert!(usize::from(items_per_order) <= MAX_ITEMS);
+        let n_districts = self.districts.len() as u64;
+        for d in 0..n_districts {
+            for o in 0..orders_per_district {
+                // spec 4.3.3.1 assigns customers via a permutation; a
+                // round-robin assignment gives every customer exactly one
+                // initial order per 3000, which is what matters here.
+                let customer = (o % CUSTOMERS_PER_DISTRICT) as u32;
+                let mut items = [0u32; MAX_ITEMS];
+                for slot in items.iter_mut().take(usize::from(items_per_order)) {
+                    *slot = rng.uniform_inclusive(0, ITEMS - 1) as u32;
+                }
+                let pending = o >= orders_per_district - pending_per_district;
+                self.append_order(d, customer, items, items_per_order, pending);
+            }
+        }
+    }
+
+    fn district_index(&self, warehouse: u64, district: u64) -> usize {
+        assert!(warehouse < self.warehouses, "warehouse {warehouse} out of range");
+        assert!(district < DISTRICTS_PER_WAREHOUSE, "district {district} out of range");
+        (warehouse * DISTRICTS_PER_WAREHOUSE + district) as usize
+    }
+
+    fn append_order(
+        &mut self,
+        district_idx: u64,
+        customer: u32,
+        items: [u32; MAX_ITEMS],
+        n_items: u8,
+        pending: bool,
+    ) -> OrderSummary {
+        let d = &mut self.districts[district_idx as usize];
+        let summary = OrderSummary {
+            number: d.next_order_number,
+            customer,
+            order_ordinal: self.orders_appended,
+            new_order_ordinal: self.new_orders_appended,
+            ol_start: self.order_lines_appended,
+            n_items,
+            items,
+        };
+        d.next_order_number += 1;
+        self.orders_appended += 1;
+        self.new_orders_appended += 1;
+        self.order_lines_appended += u64::from(n_items);
+        if d.recent.len() == RECENT_ORDERS {
+            d.recent.pop_front();
+        }
+        d.recent.push_back(summary);
+        if pending {
+            d.pending.push_back(summary);
+        }
+        let cust_global =
+            district_idx * CUSTOMERS_PER_DISTRICT + u64::from(customer);
+        self.last_order[cust_global as usize] = Some(LastOrder {
+            order_ordinal: summary.order_ordinal,
+            ol_start: summary.ol_start,
+            n_items,
+        });
+        summary
+    }
+
+    /// Records a New-Order transaction: appends to Order, New-Order and
+    /// Order-Line, updates the district's recent ring and the customer's
+    /// last order. Returns the assigned ordinals.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids or more than [`MAX_ITEMS`] items.
+    pub fn place_order(
+        &mut self,
+        warehouse: u64,
+        district: u64,
+        customer: u64,
+        item_ids: &[u64],
+    ) -> OrderSummary {
+        assert!(customer < CUSTOMERS_PER_DISTRICT, "customer out of range");
+        assert!(item_ids.len() <= MAX_ITEMS, "too many items");
+        let idx = self.district_index(warehouse, district) as u64;
+        let mut items = [0u32; MAX_ITEMS];
+        for (slot, &id) in items.iter_mut().zip(item_ids) {
+            assert!(id < ITEMS, "item {id} out of range");
+            *slot = id as u32;
+        }
+        self.append_order(
+            idx,
+            customer as u32,
+            items,
+            item_ids.len() as u8,
+            true,
+        )
+    }
+
+    /// Pops the oldest undelivered order of a district (the Delivery
+    /// transaction's min-select + delete); `None` when the district has
+    /// no pending orders.
+    pub fn deliver_oldest(&mut self, warehouse: u64, district: u64) -> Option<OrderSummary> {
+        let idx = self.district_index(warehouse, district);
+        self.districts[idx].pending.pop_front()
+    }
+
+    /// The most recent order of a customer, if any.
+    #[must_use]
+    pub fn last_order_of(&self, warehouse: u64, district: u64, customer: u64) -> Option<LastOrder> {
+        assert!(customer < CUSTOMERS_PER_DISTRICT, "customer out of range");
+        let idx = self.district_index(warehouse, district) as u64;
+        self.last_order[(idx * CUSTOMERS_PER_DISTRICT + customer) as usize]
+    }
+
+    /// The district's last ≤ 20 orders, oldest first (Stock-Level scan).
+    #[must_use]
+    pub fn recent_orders(&self, warehouse: u64, district: u64) -> &VecDeque<OrderSummary> {
+        let idx = self.district_index(warehouse, district);
+        &self.districts[idx].recent
+    }
+
+    /// Appends one History row (Payment), returning its ordinal.
+    pub fn append_history(&mut self) -> u64 {
+        let ordinal = self.history_appended;
+        self.history_appended += 1;
+        ordinal
+    }
+
+    /// Undelivered orders currently queued for one district.
+    #[must_use]
+    pub fn pending_depth(&self, warehouse: u64, district: u64) -> usize {
+        let idx = self.district_index(warehouse, district);
+        self.districts[idx].pending.len()
+    }
+
+    /// Undelivered orders across all districts — the live cardinality of
+    /// the New-Order relation (the quantity §2.1 warns can diverge).
+    #[must_use]
+    pub fn total_pending(&self) -> usize {
+        self.districts.iter().map(|d| d.pending.len()).sum()
+    }
+
+    /// Rows ever appended to the Order relation.
+    #[must_use]
+    pub fn orders_appended(&self) -> u64 {
+        self.orders_appended
+    }
+
+    /// Rows ever appended to the New-Order relation.
+    #[must_use]
+    pub fn new_orders_appended(&self) -> u64 {
+        self.new_orders_appended
+    }
+
+    /// Rows ever appended to the Order-Line relation.
+    #[must_use]
+    pub fn order_lines_appended(&self) -> u64 {
+        self.order_lines_appended
+    }
+
+    /// Rows ever appended to the History relation.
+    #[must_use]
+    pub fn history_appended(&self) -> u64 {
+        self.history_appended
+    }
+
+    /// Number of warehouses.
+    #[must_use]
+    pub fn warehouses(&self) -> u64 {
+        self.warehouses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_order_advances_counters_and_rings() {
+        let mut s = WorkloadState::new(1);
+        let items: Vec<u64> = (0..10).collect();
+        let o1 = s.place_order(0, 0, 5, &items);
+        assert_eq!(o1.number, 0);
+        assert_eq!(o1.order_ordinal, 0);
+        assert_eq!(o1.ol_start, 0);
+        let o2 = s.place_order(0, 0, 6, &items);
+        assert_eq!(o2.number, 1);
+        assert_eq!(o2.ol_start, 10);
+        assert_eq!(s.orders_appended(), 2);
+        assert_eq!(s.order_lines_appended(), 20);
+        assert_eq!(s.total_pending(), 2);
+        assert_eq!(s.recent_orders(0, 0).len(), 2);
+    }
+
+    #[test]
+    fn last_order_tracks_most_recent() {
+        let mut s = WorkloadState::new(1);
+        let items: Vec<u64> = (0..10).collect();
+        assert!(s.last_order_of(0, 3, 7).is_none());
+        s.place_order(0, 3, 7, &items);
+        let first = s.last_order_of(0, 3, 7).expect("order placed");
+        s.place_order(0, 3, 7, &items);
+        let second = s.last_order_of(0, 3, 7).expect("order placed");
+        assert!(second.order_ordinal > first.order_ordinal);
+        assert_eq!(second.n_items, 10);
+    }
+
+    #[test]
+    fn delivery_is_fifo_per_district() {
+        let mut s = WorkloadState::new(2);
+        let items: Vec<u64> = (0..10).collect();
+        s.place_order(1, 4, 1, &items);
+        s.place_order(1, 4, 2, &items);
+        s.place_order(0, 4, 3, &items);
+        let d = s.deliver_oldest(1, 4).expect("pending");
+        assert_eq!(d.customer, 1);
+        let d = s.deliver_oldest(1, 4).expect("pending");
+        assert_eq!(d.customer, 2);
+        assert!(s.deliver_oldest(1, 4).is_none());
+        assert_eq!(s.total_pending(), 1);
+    }
+
+    #[test]
+    fn recent_ring_caps_at_twenty() {
+        let mut s = WorkloadState::new(1);
+        let items: Vec<u64> = (0..10).collect();
+        for c in 0..25u64 {
+            s.place_order(0, 0, c % 3000, &items);
+        }
+        let recent = s.recent_orders(0, 0);
+        assert_eq!(recent.len(), RECENT_ORDERS);
+        assert_eq!(recent.front().expect("nonempty").number, 5);
+        assert_eq!(recent.back().expect("nonempty").number, 24);
+    }
+
+    #[test]
+    fn populate_matches_spec_shape() {
+        let mut s = WorkloadState::new(1);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        s.populate(100, 30, 10, &mut rng);
+        assert_eq!(s.orders_appended(), 1000);
+        assert_eq!(s.order_lines_appended(), 10_000);
+        assert_eq!(s.total_pending(), 300);
+        for d in 0..10 {
+            assert_eq!(s.pending_depth(0, d), 30);
+            assert_eq!(s.recent_orders(0, d).len(), RECENT_ORDERS);
+        }
+        // every populated customer has a last order
+        assert!(s.last_order_of(0, 0, 99).is_some());
+    }
+
+    #[test]
+    fn delivery_after_population_is_oldest_pending() {
+        let mut s = WorkloadState::new(1);
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        s.populate(100, 30, 10, &mut rng);
+        let d = s.deliver_oldest(0, 0).expect("pending populated");
+        assert_eq!(d.number, 70, "first pending order is number 70 of 0..100");
+    }
+
+    #[test]
+    #[should_panic(expected = "customer out of range")]
+    fn bad_customer_rejected() {
+        let mut s = WorkloadState::new(1);
+        s.place_order(0, 0, 3000, &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "warehouse 2 out of range")]
+    fn bad_warehouse_rejected() {
+        let s = WorkloadState::new(2);
+        let _ = s.last_order_of(2, 0, 0);
+    }
+}

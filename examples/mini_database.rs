@@ -1,0 +1,103 @@
+//! Run the real thing: load a small TPC-C database on the storage
+//! engine and execute the five transactions, printing their results
+//! and the buffer pool's measured behaviour.
+//!
+//! ```text
+//! cargo run --release --example mini_database
+//! ```
+
+use tpcc_suite::db::driver::DriverConfig;
+use tpcc_suite::db::txns::{CustomerSelector, OrderLineReq};
+use tpcc_suite::db::{DbConfig, Driver};
+use tpcc_suite::schema::relation::Relation;
+
+fn main() {
+    let cfg = DbConfig {
+        warehouses: 2,
+        customers_per_district: 300,
+        items: 5_000,
+        initial_orders_per_district: 300,
+        initial_pending_per_district: 90,
+        buffer_frames: 2_000, // ~8 MB of 4K pages
+        ..DbConfig::small()
+    };
+    println!("loading: {} warehouses, {} customers/district, {} items …",
+        cfg.warehouses, cfg.customers_per_district, cfg.items);
+    let mut db = tpcc_suite::db::loader::load(cfg, 2026);
+
+    // --- each transaction once, with visible results ---
+    let placed = db.new_order(
+        0,
+        3,
+        17,
+        &[
+            OrderLineReq { item: 4_091, supply_warehouse: 0, quantity: 4 },
+            OrderLineReq { item: 12, supply_warehouse: 1, quantity: 2 },
+            OrderLineReq { item: 999, supply_warehouse: 0, quantity: 9 },
+        ],
+    );
+    println!(
+        "\nNew-Order  -> order #{} total ${:.2} ({} lines, one remote)",
+        placed.o_id,
+        placed.total_amount,
+        placed.line_amounts.len()
+    );
+
+    let pay = db.payment(0, 3, 0, 3, CustomerSelector::ById(17), 250.0);
+    println!("Payment    -> customer {} balance now ${:.2}", pay.c_id, pay.balance);
+
+    let by_name = db.payment(0, 3, 0, 3, CustomerSelector::ByName(5), 10.0);
+    println!(
+        "Payment    -> by name matched {} rows, charged customer {}",
+        by_name.rows_matched, by_name.c_id
+    );
+
+    let status = db.order_status(0, 3, CustomerSelector::ById(17));
+    println!(
+        "OrderStatus-> customer 17's last order is {:?} with {} lines",
+        status.o_id,
+        status.lines.len()
+    );
+
+    let delivery = db.delivery(0, 7);
+    println!("Delivery   -> delivered {} district queues", delivery.delivered);
+
+    let stock = db.stock_level(0, 3, 50);
+    println!(
+        "StockLevel -> {} low-stock items among {} scanned order lines",
+        stock.low_stock, stock.lines_scanned
+    );
+
+    // --- then a mixed workload, measuring the buffer pool ---
+    println!("\nrunning 5000 mixed transactions (paper mix 43/44/4/5/4) …");
+    db.reset_stats();
+    let mut driver = Driver::new(&db, DriverConfig::default(), 7);
+    let report = driver.run(&mut db, 5000);
+
+    println!("\nper-relation buffer behaviour (heap file accesses):");
+    println!("{:>12} {:>10} {:>10} {:>10}", "relation", "hits", "misses", "miss %");
+    for (rel, stats) in &report.relation_stats {
+        if stats.hits + stats.misses == 0 {
+            continue;
+        }
+        println!(
+            "{:>12} {:>10} {:>10} {:>9.2}%",
+            rel.name(),
+            stats.hits,
+            stats.misses,
+            stats.miss_ratio() * 100.0
+        );
+    }
+    println!(
+        "{:>12} {:>10} {:>10} {:>9.2}%",
+        "(indexes)",
+        report.index_stats.hits,
+        report.index_stats.misses,
+        report.index_stats.miss_ratio() * 100.0
+    );
+    println!(
+        "\norder pages now: {}, order-line pages: {} (growing relations)",
+        db.relation_pages(Relation::Order),
+        db.relation_pages(Relation::OrderLine)
+    );
+}

@@ -1,0 +1,49 @@
+//! Quickstart: simulate the TPC-C buffer behaviour and turn it into a
+//! throughput estimate, end to end, in a few lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tpcc_suite::buffer::MissSweep;
+use tpcc_suite::cost::{SingleNodeModel, SweepMissSource};
+use tpcc_suite::schema::packing::Packing;
+use tpcc_suite::schema::relation::Relation;
+use tpcc_suite::workload::TraceConfig;
+
+fn main() {
+    // 1. Describe the workload: 5 warehouses, paper mix, 4K pages,
+    //    sequentially-loaded relations.
+    let trace = TraceConfig::paper_default(5, Packing::Sequential);
+
+    // 2. One stack-distance pass gives LRU miss rates for *every*
+    //    buffer size at once.
+    println!("simulating 150k transactions …");
+    let sweep = MissSweep::run(trace, None, 150_000, 30_000, 1);
+
+    println!("\nmiss rates (share of page accesses that hit disk):");
+    println!("{:>10} {:>10} {:>10} {:>10}", "buffer MB", "customer", "stock", "item");
+    for mb in [8u64, 16, 32, 64, 128] {
+        let pages = mb * 1024 * 1024 / 4096;
+        println!(
+            "{:>10} {:>10.4} {:>10.4} {:>10.4}",
+            mb,
+            sweep.miss_rate(Relation::Customer, pages),
+            sweep.miss_rate(Relation::Stock, pages),
+            sweep.miss_rate(Relation::Item, pages),
+        );
+    }
+
+    // 3. Feed a buffer size's miss rates into the paper's throughput
+    //    model: a 10 MIPS processor capped at 80% utilization.
+    let model = SingleNodeModel::paper_default();
+    println!("\nmax throughput (New-Order transactions per minute):");
+    for mb in [8u64, 32, 128] {
+        let pages = mb * 1024 * 1024 / 4096;
+        let report = model.throughput(&SweepMissSource::new(&sweep, pages));
+        println!(
+            "  {:>4} MB buffer -> {:>6.1} tpm ({:.1} I/Os per txn, {} disks for bandwidth)",
+            mb, report.new_order_tpm, report.avg_ios, report.disks_for_bandwidth
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! `tpcc-suite` — umbrella crate for the reproduction of Leutenegger &
+//! Dias, *A Modeling Study of the TPC-C Benchmark* (SIGMOD 1993).
+//!
+//! Re-exports every workspace crate under a short path. The typical
+//! entry points:
+//!
+//! * [`model`] — experiment drivers that regenerate every table and
+//!   figure of the paper.
+//! * [`workload`] + [`buffer`] — the trace generator and the two LRU
+//!   miss-rate engines (direct simulation, stack-distance sweep).
+//! * [`cost`] — the throughput / price-performance / scale-up model.
+//! * [`storage`] + [`db`] — the page-based engine and the executable
+//!   TPC-C database built on it.
+//!
+//! ```
+//! use tpcc_suite::nurand::{LorenzCurve, NuRand, Pmf};
+//!
+//! // the paper's §3 skew analysis in three lines (scaled down):
+//! let pmf = Pmf::exact_nurand(&NuRand::new(1023, 1, 12_000));
+//! let curve = LorenzCurve::from_pmf(&pmf);
+//! // strongly skewed: the hottest fifth draws the bulk of the accesses
+//! assert!(curve.access_share_of_hottest(0.20) > 0.75);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use tpcc_buffer as buffer;
+pub use tpcc_cost as cost;
+pub use tpcc_db as db;
+pub use tpcc_model as model;
+pub use tpcc_rand as nurand;
+pub use tpcc_schema as schema;
+pub use tpcc_storage as storage;
+pub use tpcc_workload as workload;

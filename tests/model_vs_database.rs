@@ -1,0 +1,155 @@
+//! Cross-validation: the abstract page-reference model (the paper's
+//! simulator) against the executable TPC-C database on the storage
+//! engine.
+//!
+//! The two stacks are independent implementations — one synthesizes
+//! page ids from layout arithmetic, the other faults real slotted
+//! pages through a real buffer pool (including index pages the model
+//! deliberately ignores). We therefore validate *qualitative* paper
+//! claims on both: relative miss-rate orderings, buffer-size
+//! monotonicity, and the stability of the New-Order relation under the
+//! paper's mix.
+
+use tpcc_suite::db::{DbConfig, Driver, TpccDb};
+use tpcc_suite::db::driver::DriverConfig;
+use tpcc_suite::schema::packing::Packing;
+use tpcc_suite::schema::relation::Relation;
+use tpcc_suite::workload::TraceConfig;
+use tpcc_suite::buffer::{BufferSim, BufferSimConfig};
+
+fn loaded_db(frames: usize) -> TpccDb {
+    let mut cfg = DbConfig::small();
+    cfg.warehouses = 2;
+    cfg.customers_per_district = 120;
+    cfg.items = 2000;
+    cfg.initial_orders_per_district = 80;
+    cfg.initial_pending_per_district = 20;
+    cfg.buffer_frames = frames;
+    tpcc_suite::db::loader::load(cfg, 42)
+}
+
+fn run_driver(frames: usize, transactions: u64) -> tpcc_suite::db::DriverReport {
+    let mut db = loaded_db(frames);
+    let mut driver = Driver::new(&db, DriverConfig::default(), 7);
+    // warm up, then measure
+    let _ = driver.run(&mut db, transactions / 4);
+    db.reset_stats();
+    driver.run(&mut db, transactions)
+}
+
+#[test]
+fn database_miss_rates_drop_with_buffer_size() {
+    let small = run_driver(128, 4000);
+    let large = run_driver(1024, 4000);
+    for rel in [Relation::Stock, Relation::Customer] {
+        assert!(
+            large.miss_ratio(rel) < small.miss_ratio(rel) + 1e-9,
+            "{}: small-pool {} vs large-pool {}",
+            rel.name(),
+            small.miss_ratio(rel),
+            large.miss_ratio(rel)
+        );
+    }
+}
+
+#[test]
+fn database_and_model_agree_on_hot_relations() {
+    // Warehouse and district must be effectively always-hot in both
+    // stacks; item is small and hot; stock/customer carry real misses
+    // when the pool is scarce.
+    let report = run_driver(256, 5000);
+    assert!(
+        report.miss_ratio(Relation::Warehouse) < 0.02,
+        "warehouse miss {}",
+        report.miss_ratio(Relation::Warehouse)
+    );
+    assert!(
+        report.miss_ratio(Relation::District) < 0.02,
+        "district miss {}",
+        report.miss_ratio(Relation::District)
+    );
+
+    let trace = {
+        let mut t = TraceConfig::paper_default(2, Packing::Sequential);
+        t.initial_orders_per_district = 80;
+        t.initial_pending_per_district = 20;
+        t
+    };
+    let sim = BufferSim::run(
+        &BufferSimConfig {
+            batches: 2,
+            batch_transactions: 2500,
+            warmup_transactions: 1000,
+            ..BufferSimConfig::quick(trace, 256, 7)
+        },
+        None,
+    );
+    // a 256-page pool under Stock-Level's 400-page sweeps can evict even
+    // the single warehouse page occasionally; "effectively always hot"
+    // is the claim, in both stacks
+    assert!(sim.miss_rate(Relation::Warehouse) < 0.02);
+    assert!(sim.miss_rate(Relation::District) < 0.02);
+}
+
+#[test]
+fn database_respects_paper_mix_stability() {
+    // The paper's §2.1 warning, verified on the physical system: with
+    // the 43/5 mix the New-Order relation stays near its initial size.
+    let mut db = loaded_db(512);
+    let pages_before = db.relation_pages(Relation::NewOrder);
+    let mut driver = Driver::new(&db, DriverConfig::default(), 99);
+    let report = driver.run(&mut db, 6000);
+    let pages_after = db.relation_pages(Relation::NewOrder);
+    assert!(report.new_orders > 2000);
+    assert!(
+        pages_after <= pages_before + 6,
+        "new-order pages {pages_before} -> {pages_after}"
+    );
+    // and deliveries kept pace with placements
+    let placed = report.new_orders;
+    let delivered = report.deliveries;
+    assert!(
+        delivered as f64 > placed as f64 * 0.8,
+        "placed {placed}, delivered {delivered}"
+    );
+}
+
+#[test]
+fn stock_level_join_scans_paper_scale_rows() {
+    // §2.2: "an average of 200 Order-Line and Stock tuples each being
+    // fetched" — the executable join must touch the same scale.
+    let mut db = loaded_db(512);
+    let r = db.stock_level(0, 0, 15);
+    assert!(
+        (100..=320).contains(&r.lines_scanned),
+        "scanned {} lines",
+        r.lines_scanned
+    );
+}
+
+#[test]
+fn payment_by_name_matches_three_rows_on_average() {
+    // The spec's load rule (3000 customers, 1000 names) is what makes
+    // the paper model a by-name select as 3 selects; verify the
+    // executable path reproduces that average.
+    let mut db = loaded_db(512);
+    let mut total_rows = 0usize;
+    let n = 300;
+    for k in 0..n {
+        let name = k % db.config().name_count();
+        let r = db.payment(
+            0,
+            0,
+            0,
+            0,
+            tpcc_suite::db::txns::CustomerSelector::ByName(name),
+            10.0,
+        );
+        total_rows += r.rows_matched;
+    }
+    let avg = total_rows as f64 / n as f64;
+    assert!(
+        (2.0..=4.5).contains(&avg),
+        "average by-name matches {avg} (paper assumes ~3)"
+    );
+}

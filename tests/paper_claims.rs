@@ -1,0 +1,104 @@
+//! End-to-end checks of the paper's headline claims at smoke scale.
+//! (The `--quality paper` binaries reproduce the full-scale numbers;
+//! these tests pin the *shape* of every claim in CI time.)
+
+use tpcc_suite::model::experiments::{scaleup, skew, tables, throughput};
+use tpcc_suite::model::{ExperimentContext, Quality};
+
+fn ctx() -> ExperimentContext {
+    ExperimentContext::new(Quality::Smoke)
+}
+
+#[test]
+fn claim_i_skew_quantification() {
+    // Abstract claim (i): what fraction of accesses go to what fraction
+    // of the data — 84%/20% at tuple level, 75%/20% at 4K pages.
+    let c = ctx();
+    let curves = skew::fig5(&c);
+    let tuple = curves[0].curve.access_share_of_hottest(0.20);
+    let page = curves[1].curve.access_share_of_hottest(0.20);
+    assert!((tuple - 0.84).abs() < 0.05, "tuple-level 20% share {tuple}");
+    assert!((page - 0.75).abs() < 0.05, "page-level 20% share {page}");
+    assert!(tuple > page, "pages smear the skew");
+}
+
+#[test]
+fn claim_ii_buffer_hit_ratios_by_relation() {
+    // Claim (ii): per-relation miss-rate curves; customer > stock > item
+    // at equal buffer sizes (paper Figure 8 ordering).
+    let c = ctx();
+    let fig8 = tpcc_suite::model::experiments::buffer::fig8(&c);
+    use tpcc_suite::schema::packing::Packing;
+    use tpcc_suite::schema::relation::Relation;
+    let at = 32 * 1024 * 1024;
+    let cust = fig8.miss_rate(Packing::Sequential, Relation::Customer, at);
+    let stock = fig8.miss_rate(Packing::Sequential, Relation::Stock, at);
+    let item = fig8.miss_rate(Packing::Sequential, Relation::Item, at);
+    assert!(cust > stock, "customer {cust} vs stock {stock}");
+    assert!(stock > item, "stock {stock} vs item {item}");
+}
+
+#[test]
+fn claim_iii_near_linear_scaleup() {
+    // Claim (iii): close to linear scale-up with a replicated Item
+    // relation (about 3% from ideal).
+    let c = ctx();
+    let f = scaleup::fig11(&c, &[30]);
+    let p = &f.points[0];
+    let loss = 1.0 - p.replicated_tpm / p.ideal_tpm;
+    assert!((0.0..0.06).contains(&loss), "loss from ideal {loss}");
+}
+
+#[test]
+fn claim_iv_packing_improves_price_performance() {
+    // Claim (iv): packing hot tuples into pages buys significant
+    // price/performance.
+    let c = ctx();
+    let f10 = throughput::fig10(&c);
+    let improvement = f10.optimum_improvement(false);
+    assert!(
+        improvement > 0.02,
+        "optimized packing should win clearly without storage-capacity \
+         binding; got {improvement:.3}"
+    );
+}
+
+#[test]
+fn claim_v_optimal_configurations_exist() {
+    // Claim (v): the $/tpm curve has an interior optimum (adding memory
+    // first pays for itself, then stops paying).
+    let c = ctx();
+    let f10 = throughput::fig10(&c);
+    let (_, curve, opt) = &f10.curves[0];
+    let first = curve.first().expect("nonempty");
+    let last = curve.last().expect("nonempty");
+    assert!(opt.dollars_per_tpm <= first.dollars_per_tpm + 1e-9);
+    assert!(opt.dollars_per_tpm <= last.dollars_per_tpm + 1e-9);
+}
+
+#[test]
+fn distributed_gaps_match_published_ladder() {
+    // §5.3's 10 / 30 / 39 % replicated-vs-partitioned ladder comes from
+    // closed-form Appendix A math — exact at any quality.
+    let c = ctx();
+    let f = scaleup::fig11(&c, &[2, 10, 30]);
+    let gaps: Vec<f64> = f
+        .points
+        .iter()
+        .map(|p| p.replicated_tpm / p.partitioned_tpm - 1.0)
+        .collect();
+    assert!((gaps[0] - 0.10).abs() < 0.05, "N=2 gap {}", gaps[0]);
+    assert!((gaps[1] - 0.30).abs() < 0.06, "N=10 gap {}", gaps[1]);
+    assert!((gaps[2] - 0.39).abs() < 0.06, "N=30 gap {}", gaps[2]);
+}
+
+#[test]
+fn tables_derive_paper_values() {
+    let t2 = tables::table2();
+    let delivery = t2.rows.iter().find(|r| r[0] == "Delivery").expect("row");
+    assert_eq!(delivery[3], "130.0");
+    assert_eq!(delivery[4], "120");
+    let t1 = tables::table1();
+    let neworder = t1.rows.iter().find(|r| r[0] == "new-order").expect("row");
+    assert_eq!(neworder[3], "512");
+}
