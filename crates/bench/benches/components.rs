@@ -1,144 +1,135 @@
-//! Criterion micro-benchmarks for the hot components: NURand sampling,
-//! alias tables, the direct LRU buffer, the stack-distance analyzer and
-//! the trace generator.
+//! Micro-benchmarks for the hot components: NURand sampling, alias
+//! tables, the direct LRU buffer, the stack-distance analyzer, the
+//! trace generator and the executable database engine.
+//!
+//! Plain `harness = false` timing loops (no external bench framework):
+//! each case is warmed up, then timed over enough iterations to get a
+//! stable per-op figure, reported as ns/op.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 use tpcc_buffer::{LruBuffer, StackDistance};
 use tpcc_rand::{AliasTable, NuRand, Pmf, Xoshiro256};
 use tpcc_schema::packing::Packing;
 use tpcc_workload::{PageRef, TraceConfig, TraceGenerator};
 
-fn bench_nurand(c: &mut Criterion) {
-    let mut g = c.benchmark_group("nurand");
-    g.throughput(Throughput::Elements(1));
+/// Times `f` over `iters` iterations after `iters / 10` warm-up calls;
+/// prints ns/op.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters.div_ceil(10) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{name:<40} {:>12.1} ns/op   ({iters} iters, {:.3} s)",
+        elapsed.as_nanos() as f64 / iters as f64,
+        elapsed.as_secs_f64()
+    );
+}
+
+fn bench_nurand() {
     let nu = NuRand::item_id();
     let mut rng = Xoshiro256::seed_from_u64(1);
-    g.bench_function("sample_item_id", |b| {
-        b.iter(|| black_box(nu.sample(&mut rng)))
+    bench("nurand/sample_item_id", 2_000_000, || {
+        black_box(nu.sample(&mut rng));
     });
     let pmf = {
         let mut r = Xoshiro256::seed_from_u64(2);
         Pmf::monte_carlo(&nu, 500_000, &mut r)
     };
     let alias = AliasTable::from_pmf(&pmf);
-    g.bench_function("alias_sample_100k_outcomes", |b| {
-        b.iter(|| black_box(alias.sample(&mut rng)))
+    bench("nurand/alias_sample_100k_outcomes", 2_000_000, || {
+        black_box(alias.sample(&mut rng));
     });
-    g.finish();
 }
 
-fn bench_buffers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("buffer");
-    g.throughput(Throughput::Elements(1));
+fn bench_buffers() {
     let nu = NuRand::item_id();
     let mut rng = Xoshiro256::seed_from_u64(3);
     let mut lru = LruBuffer::new(20_000);
-    g.bench_function("lru_access_skewed", |b| {
-        b.iter(|| black_box(lru.access(nu.sample(&mut rng) / 13)))
+    bench("buffer/lru_access_skewed", 1_000_000, || {
+        black_box(lru.access(nu.sample(&mut rng) / 13));
     });
     let mut stack = StackDistance::new(1 << 16);
-    g.bench_function("stack_distance_access_skewed", |b| {
-        b.iter(|| black_box(stack.access(nu.sample(&mut rng) / 13)))
+    bench("buffer/stack_distance_access_skewed", 1_000_000, || {
+        black_box(stack.access(nu.sample(&mut rng) / 13));
     });
-    g.finish();
 }
 
-fn bench_trace(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace");
+fn bench_trace() {
     let mut cfg = TraceConfig::paper_default(2, Packing::Sequential);
     cfg.initial_orders_per_district = 100;
     cfg.initial_pending_per_district = 30;
-    g.bench_function("generate_transaction", |b| {
-        b.iter_batched(
-            || TraceGenerator::new(cfg.clone(), None, 7),
-            |mut gen| {
-                let mut refs: Vec<PageRef> = Vec::with_capacity(512);
-                for _ in 0..1000 {
-                    black_box(gen.next_transaction(&mut refs));
-                }
-            },
-            BatchSize::LargeInput,
-        )
+    let mut gen = TraceGenerator::new(cfg, None, 7);
+    let mut refs: Vec<PageRef> = Vec::with_capacity(512);
+    bench("trace/generate_transaction", 200_000, || {
+        black_box(gen.next_transaction(&mut refs));
     });
-    g.finish();
 }
 
-fn bench_pmf(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pmf");
-    g.sample_size(10);
-    g.bench_function("exact_enumeration_nu_255_10k", |b| {
-        b.iter(|| black_box(Pmf::exact_nurand(&NuRand::new(255, 1, 10_000))))
+fn bench_pmf() {
+    bench("pmf/exact_enumeration_nu_255_10k", 20, || {
+        black_box(Pmf::exact_nurand(&NuRand::new(255, 1, 10_000)));
     });
     let pmf = Pmf::exact_nurand(&NuRand::new(1023, 1, 50_000));
-    g.bench_function("hotness_ranking_50k", |b| {
-        b.iter(|| black_box(pmf.hotness_ranking()))
+    bench("pmf/hotness_ranking_50k", 50, || {
+        black_box(pmf.hotness_ranking());
     });
-    g.finish();
 }
 
-fn bench_engine(c: &mut Criterion) {
+fn bench_engine() {
     use tpcc_db::txns::OrderLineReq;
     use tpcc_db::{loader, DbConfig};
 
-    let mut g = c.benchmark_group("engine");
-    g.sample_size(20);
-    // the growing relations really grow: bound the run time
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
     let mut db = loader::load(DbConfig::small(), 11);
     let mut rng = Xoshiro256::seed_from_u64(12);
-    g.bench_function("db_new_order_txn", |b| {
-        b.iter(|| {
-            let c_id = rng.uniform_inclusive(0, 89);
-            let lines: Vec<OrderLineReq> = (0..10)
-                .map(|_| OrderLineReq {
-                    item: rng.uniform_inclusive(0, 299),
-                    supply_warehouse: 0,
-                    quantity: 5,
-                })
-                .collect();
-            black_box(db.new_order(0, rng.uniform_inclusive(0, 9), c_id, &lines))
-        })
+    bench("engine/db_new_order_txn", 20_000, || {
+        let c_id = rng.uniform_inclusive(0, 89);
+        let lines: Vec<OrderLineReq> = (0..10)
+            .map(|_| OrderLineReq {
+                item: rng.uniform_inclusive(0, 299),
+                supply_warehouse: 0,
+                quantity: 5,
+            })
+            .collect();
+        black_box(db.new_order(0, rng.uniform_inclusive(0, 9), c_id, &lines));
     });
-    g.bench_function("db_stock_level_join", |b| {
-        b.iter(|| black_box(db.stock_level(0, 3, 15)))
+    bench("engine/db_stock_level_join", 5_000, || {
+        black_box(db.stock_level(0, 3, 15));
     });
 
-    // WAL: logging overhead and recovery throughput
+    // WAL: logging overhead (the log is drained periodically so the
+    // in-memory WAL stays bounded, which also exercises recovery)
     let mut wal_cfg = DbConfig::small();
     wal_cfg.enable_wal = true;
     let mut wal_db = loader::load(wal_cfg, 13);
     let mut since_drain = 0u32;
-    g.bench_function("db_new_order_txn_with_wal", |b| {
-        b.iter(|| {
-            // keep the in-memory log bounded across criterion's many
-            // iterations (also exercises recovery + re-checkpointing)
-            since_drain += 1;
-            if since_drain >= 10_000 {
-                since_drain = 0;
-                assert!(wal_db.crash_recovery_check());
-            }
-            let c_id = rng.uniform_inclusive(0, 89);
-            let lines: Vec<OrderLineReq> = (0..10)
-                .map(|_| OrderLineReq {
-                    item: rng.uniform_inclusive(0, 299),
-                    supply_warehouse: 0,
-                    quantity: 5,
-                })
-                .collect();
-            black_box(wal_db.new_order(0, rng.uniform_inclusive(0, 9), c_id, &lines))
-        })
+    bench("engine/db_new_order_txn_with_wal", 20_000, || {
+        since_drain += 1;
+        if since_drain >= 10_000 {
+            since_drain = 0;
+            assert!(wal_db.crash_recovery_check());
+        }
+        let c_id = rng.uniform_inclusive(0, 89);
+        let lines: Vec<OrderLineReq> = (0..10)
+            .map(|_| OrderLineReq {
+                item: rng.uniform_inclusive(0, 299),
+                supply_warehouse: 0,
+                quantity: 5,
+            })
+            .collect();
+        black_box(wal_db.new_order(0, rng.uniform_inclusive(0, 9), c_id, &lines));
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_nurand,
-    bench_buffers,
-    bench_trace,
-    bench_pmf,
-    bench_engine
-);
-criterion_main!(benches);
+fn main() {
+    bench_nurand();
+    bench_buffers();
+    bench_trace();
+    bench_pmf();
+    bench_engine();
+}

@@ -1,9 +1,11 @@
-//! One Criterion benchmark per paper artifact: times the pipeline that
+//! One benchmark per paper artifact: times the pipeline that
 //! regenerates each table/figure at smoke scale, so `cargo bench`
 //! exercises every reproduction end to end.
+//!
+//! Plain `harness = false` timing loops (no external bench framework).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use tpcc_model::experiments::{buffer, scaleup, skew, tables, throughput};
 use tpcc_model::{ExperimentContext, Quality};
 
@@ -11,71 +13,79 @@ fn ctx() -> ExperimentContext {
     ExperimentContext::new(Quality::Smoke)
 }
 
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables");
-    g.bench_function("table1", |b| b.iter(|| black_box(tables::table1())));
-    g.bench_function("table2", |b| b.iter(|| black_box(tables::table2())));
-    g.bench_function("table3", |b| b.iter(|| black_box(tables::table3())));
-    g.bench_function("table4", |b| b.iter(|| black_box(tables::table4())));
-    g.bench_function("table6_7", |b| {
-        b.iter(|| black_box(tables::table6_7(&[2, 10, 30])))
-    });
-    g.finish();
+/// Times `f` over `iters` iterations after one warm-up call; prints
+/// ms/op.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{name:<40} {:>12.3} ms/op   ({iters} iters, {:.3} s)",
+        elapsed.as_secs_f64() * 1e3 / iters as f64,
+        elapsed.as_secs_f64()
+    );
 }
 
-fn bench_skew_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("skew_figures");
-    g.sample_size(10);
+fn bench_tables() {
+    bench("tables/table1", 100, || {
+        black_box(tables::table1());
+    });
+    bench("tables/table2", 100, || {
+        black_box(tables::table2());
+    });
+    bench("tables/table3", 100, || {
+        black_box(tables::table3());
+    });
+    bench("tables/table4", 100, || {
+        black_box(tables::table4());
+    });
+    bench("tables/table6_7", 100, || {
+        black_box(tables::table6_7(&[2, 10, 30]));
+    });
+}
+
+fn bench_skew_figures() {
     let shared = ctx();
     let _ = shared.item_pmf(); // build once, outside timing
-    g.bench_function("fig3_4_report", |b| {
-        b.iter(|| black_box(skew::fig3_4(&shared).report()))
+    bench("skew_figures/fig3_4_report", 10, || {
+        black_box(skew::fig3_4(&shared).report());
     });
-    g.bench_function("fig5_curves", |b| b.iter(|| black_box(skew::fig5(&shared))));
-    g.bench_function("fig6_7_curves", |b| {
-        b.iter(|| black_box(skew::fig6_7(&shared)))
+    bench("skew_figures/fig5_curves", 10, || {
+        black_box(skew::fig5(&shared));
     });
-    g.finish();
+    bench("skew_figures/fig6_7_curves", 10, || {
+        black_box(skew::fig6_7(&shared));
+    });
 }
 
-fn bench_simulation_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulation_figures");
-    g.sample_size(10);
+fn bench_simulation_figures() {
     let shared = ctx();
     // Sweeps are the expensive shared product: bench their construction
     // once via a fresh context, then the query paths on a warm context.
-    g.bench_function("fig8_sweep_construction_smoke", |b| {
-        b.iter(|| {
-            let fresh = ExperimentContext::new(Quality::Smoke);
-            black_box(buffer::fig8(&fresh).average_stock_gap())
-        })
+    bench("simulation/fig8_sweep_construction_smoke", 3, || {
+        let fresh = ExperimentContext::new(Quality::Smoke);
+        black_box(buffer::fig8(&fresh).average_stock_gap());
     });
     let _ = buffer::fig8(&shared); // warm the cache
-    g.bench_function("fig9_from_warm_sweeps", |b| {
-        b.iter(|| black_box(throughput::fig9(&shared).max_gap))
+    bench("simulation/fig9_from_warm_sweeps", 10, || {
+        black_box(throughput::fig9(&shared).max_gap);
     });
-    g.bench_function("fig10_from_warm_sweeps", |b| {
-        b.iter(|| black_box(throughput::fig10(&shared).report()))
+    bench("simulation/fig10_from_warm_sweeps", 10, || {
+        black_box(throughput::fig10(&shared).report());
     });
-    g.bench_function("fig11_scaleup", |b| {
-        b.iter(|| black_box(scaleup::fig11(&shared, &[1, 2, 10, 30])))
+    bench("simulation/fig11_scaleup", 10, || {
+        black_box(scaleup::fig11(&shared, &[1, 2, 10, 30]));
     });
-    g.bench_function("fig12_sensitivity", |b| {
-        b.iter(|| {
-            black_box(scaleup::fig12(
-                &shared,
-                &[10, 30],
-                &[0.01, 0.1, 1.0],
-            ))
-        })
+    bench("simulation/fig12_sensitivity", 10, || {
+        black_box(scaleup::fig12(&shared, &[10, 30], &[0.01, 0.1, 1.0]));
     });
-    g.finish();
 }
 
-criterion_group!(
-    figures,
-    bench_tables,
-    bench_skew_figures,
-    bench_simulation_figures
-);
-criterion_main!(figures);
+fn main() {
+    bench_tables();
+    bench_skew_figures();
+    bench_simulation_figures();
+}

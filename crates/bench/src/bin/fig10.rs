@@ -14,7 +14,10 @@ fn main() {
             let header: Vec<&str> = rep.columns.iter().map(String::as_str).collect();
             let name = format!(
                 "fig10_{}",
-                data.curves[idx].0.replace([' ', ','], "_").replace("__", "_")
+                data.curves[idx]
+                    .0
+                    .replace([' ', ','], "_")
+                    .replace("__", "_")
             );
             write_csv(dir, &name, &header, &rep.rows);
         }

@@ -20,6 +20,11 @@ fn main() {
             .into_iter()
             .map(|(id, p)| vec![id.to_string(), format!("{p:e}")])
             .collect();
-        write_csv(dir, "fig4_stock_pmf_zoom", &["tuple_id", "probability"], &fig4);
+        write_csv(
+            dir,
+            "fig4_stock_pmf_zoom",
+            &["tuple_id", "probability"],
+            &fig4,
+        );
     }
 }

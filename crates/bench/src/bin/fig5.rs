@@ -7,7 +7,10 @@ fn main() {
     let cli = Cli::parse();
     let ctx = cli.context();
     let curves = skew::fig5(&ctx);
-    println!("{}", skew::skew_checkpoints("Figure 5: stock relation skew", &curves));
+    println!(
+        "{}",
+        skew::skew_checkpoints("Figure 5: stock relation skew", &curves)
+    );
     if let Some(dir) = &cli.csv_dir {
         for sc in &curves {
             let rows: Vec<Vec<String>> = sc

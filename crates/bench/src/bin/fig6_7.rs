@@ -16,7 +16,12 @@ fn main() {
             .iter()
             .map(|(id, p)| vec![id.to_string(), format!("{p:e}")])
             .collect();
-        write_csv(dir, "fig6_customer_pmf", &["customer_id", "probability"], &rows);
+        write_csv(
+            dir,
+            "fig6_customer_pmf",
+            &["customer_id", "probability"],
+            &rows,
+        );
         for sc in &curves {
             let rows: Vec<Vec<String>> = sc
                 .curve
@@ -24,7 +29,10 @@ fn main() {
                 .into_iter()
                 .map(|(d, a)| vec![format!("{d:.4}"), format!("{a:.6}")])
                 .collect();
-            let name = format!("fig7_{}", sc.label.replace([' ', ','], "_").replace("__", "_"));
+            let name = format!(
+                "fig7_{}",
+                sc.label.replace([' ', ','], "_").replace("__", "_")
+            );
             write_csv(dir, &name, &["data_fraction", "access_fraction"], &rows);
         }
     }

@@ -1,0 +1,99 @@
+//! Measures the observability layer's overhead for EXPERIMENTS.md.
+//!
+//! Three numbers:
+//!
+//! 1. end-to-end driver throughput with the recorder **disabled**
+//!    (`Obs::disabled()` — every instrumentation site branches on a
+//!    `None` and does nothing else);
+//! 2. the same workload with an attached [`MemoryRecorder`];
+//! 3. the per-call cost of disabled `counter()` / `span()` calls, so
+//!    the disabled path's cost can be bounded analytically as
+//!    `calls-per-transaction x per-call-cost / transaction-latency`.
+//!
+//! ```text
+//! cargo run --release -p tpcc-bench --bin obs_overhead -- [transactions] [reps]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+use tpcc_db::db::DbConfig;
+use tpcc_db::driver::DriverConfig;
+use tpcc_db::{loader, Driver};
+use tpcc_obs::{Label, MemoryRecorder, Obs};
+
+fn run_once(transactions: u64, obs: Obs, seed: u64) -> f64 {
+    let mut cfg = DbConfig::small();
+    cfg.buffer_frames = 128;
+    let mut db = loader::load(cfg, 11);
+    db.set_obs(obs);
+    let mut driver = Driver::new(&db, DriverConfig::default(), seed);
+    let start = Instant::now();
+    let _ = driver.run(&mut db, transactions);
+    start.elapsed().as_secs_f64()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let transactions: u64 = args
+        .next()
+        .map(|s| s.parse().expect("transactions must be a u64"))
+        .unwrap_or(20_000);
+    let reps: usize = args
+        .next()
+        .map(|s| s.parse().expect("reps must be a usize"))
+        .unwrap_or(5);
+
+    // interleave the two configurations so drift hits both equally
+    let mut disabled = Vec::with_capacity(reps);
+    let mut enabled = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        disabled.push(run_once(transactions, Obs::disabled(), 12));
+        enabled.push(run_once(
+            transactions,
+            Obs::new(Arc::new(MemoryRecorder::new())),
+            12,
+        ));
+        eprintln!(
+            "rep {}: disabled {:.3}s, enabled {:.3}s",
+            rep + 1,
+            disabled[rep],
+            enabled[rep]
+        );
+    }
+    let d = median(disabled);
+    let e = median(enabled);
+    println!(
+        "driver, {transactions} txns, median of {reps}: disabled {:.0} txn/s, enabled {:.0} txn/s, enabled overhead {:+.2}%",
+        transactions as f64 / d,
+        transactions as f64 / e,
+        (e / d - 1.0) * 100.0
+    );
+
+    // per-call cost of the disabled fast path (black_box keeps the
+    // optimizer from deleting the loops outright)
+    let obs = std::hint::black_box(Obs::disabled());
+    let calls: u64 = 100_000_000;
+    let start = Instant::now();
+    for i in 0..calls {
+        obs.counter(
+            "bench_counter",
+            Label::Idx(std::hint::black_box((i & 7) as u32)),
+            1,
+        );
+    }
+    let counter_ns = start.elapsed().as_secs_f64() * 1e9 / calls as f64;
+    let start = Instant::now();
+    for _ in 0..calls / 10 {
+        std::hint::black_box(obs.span("bench_span"));
+    }
+    let span_ns = start.elapsed().as_secs_f64() * 1e9 / (calls / 10) as f64;
+    println!(
+        "disabled per-call cost: counter {counter_ns:.2} ns, span {span_ns:.2} ns \
+         (each site is a branch on a None option)"
+    );
+}

@@ -6,13 +6,17 @@
 //! ```
 
 use std::io::Write;
+use std::sync::Arc;
 use tpcc_bench::Cli;
 use tpcc_model::experiments::{ablations, buffer, scaleup, skew, tables, throughput};
 use tpcc_model::Report;
+use tpcc_obs::{MemoryRecorder, Obs};
 
 fn main() {
     let cli = Cli::parse();
-    let ctx = cli.context();
+    let mut ctx = cli.context();
+    let recorder = Arc::new(MemoryRecorder::new());
+    ctx.set_obs(Obs::new(recorder.clone()));
     let started = std::time::Instant::now();
     let mut reports: Vec<Report> = Vec::new();
 
@@ -50,9 +54,8 @@ fn main() {
     reports.push(scaleup::fig11(&ctx, &[1, 2, 5, 10, 15, 20, 25, 30]).report());
 
     eprintln!("[7/9] remote sensitivity (figure 12) …");
-    reports.push(
-        scaleup::fig12(&ctx, &[1, 2, 5, 10, 20, 30], &[0.01, 0.05, 0.1, 0.5, 1.0]).report(),
-    );
+    reports
+        .push(scaleup::fig12(&ctx, &[1, 2, 5, 10, 20, 30], &[0.01, 0.05, 0.1, 0.5, 1.0]).report());
 
     eprintln!("[8/9] replacement-policy ablation …");
     reports.push(buffer::policy_ablation(&ctx, 52 * 1024 * 1024));
@@ -89,6 +92,16 @@ fn main() {
         writeln!(f, "{}", r.to_markdown()).expect("write");
     }
     f.flush().expect("flush");
+
+    // final observability snapshot: one JSON line + a human table
+    let snap = recorder.snapshot();
+    let metrics_path = out_dir.join("metrics.jsonl");
+    let mut mf = std::io::BufWriter::new(std::fs::File::create(&metrics_path).expect("metrics"));
+    writeln!(mf, "{}", snap.to_json_line(0, 0)).expect("write metrics");
+    mf.flush().expect("flush metrics");
+    eprintln!("{}", snap.render_table());
+    eprintln!("wrote {}", metrics_path.display());
+
     eprintln!(
         "wrote {} ({} reports) in {:.1}s",
         path.display(),

@@ -66,9 +66,7 @@ impl Cli {
                     );
                 }
                 "--help" | "-h" => {
-                    println!(
-                        "usage: [--quality paper|quick|smoke] [--csv <dir>] [--seed <u64>]"
-                    );
+                    println!("usage: [--quality paper|quick|smoke] [--csv <dir>] [--seed <u64>]");
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument '{other}'"),
@@ -118,8 +116,7 @@ mod tests {
     #[test]
     fn parse_all_flags() {
         let c = Cli::parse_from(
-            ["--quality", "smoke", "--csv", "/tmp/x", "--seed", "42"]
-                .map(String::from),
+            ["--quality", "smoke", "--csv", "/tmp/x", "--seed", "42"].map(String::from),
         );
         assert_eq!(c.quality, Quality::Smoke);
         assert_eq!(c.csv_dir.as_deref(), Some(Path::new("/tmp/x")));
@@ -135,12 +132,7 @@ mod tests {
     #[test]
     fn csv_round_trip() {
         let dir = std::env::temp_dir().join("tpcc_bench_csv_test");
-        write_csv(
-            &dir,
-            "t",
-            &["a", "b"],
-            &[vec!["1".into(), "2".into()]],
-        );
+        write_csv(&dir, "t", &["a", "b"], &[vec!["1".into(), "2".into()]]);
         let text = std::fs::read_to_string(dir.join("t.csv")).expect("read back");
         assert_eq!(text, "a,b\n1,2\n");
     }

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use tpcc_buffer::MissSweep;
+use tpcc_obs::{Label, Obs};
 use tpcc_rand::{NuRand, Pmf, Xoshiro256};
 use tpcc_schema::packing::Packing;
 use tpcc_workload::TraceConfig;
@@ -71,6 +72,7 @@ pub struct ExperimentContext {
     seed: u64,
     item_pmf: OnceLock<Arc<Pmf>>,
     sweeps: Mutex<HashMap<Packing, Arc<MissSweep>>>,
+    obs: Obs,
 }
 
 impl ExperimentContext {
@@ -88,7 +90,21 @@ impl ExperimentContext {
             seed,
             item_pmf: OnceLock::new(),
             sweeps: Mutex::new(HashMap::new()),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle: sweep construction (pass
+    /// timings, transactions consumed, working-set sizes) and PMF
+    /// builds are recorded through it.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The attached observability handle (disabled by default).
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The effort level.
@@ -108,6 +124,7 @@ impl ExperimentContext {
     pub fn item_pmf(&self) -> Arc<Pmf> {
         self.item_pmf
             .get_or_init(|| {
+                let _span = self.obs.span("item_pmf_build");
                 let nu = NuRand::item_id();
                 let pmf = match self.quality.item_pmf_samples() {
                     0 => Pmf::exact_nurand(&nu),
@@ -137,13 +154,15 @@ impl ExperimentContext {
         }
         // compute outside the lock: the PMF itself may take seconds
         let pmf = self.item_pmf();
-        let sweep = Arc::new(MissSweep::run(
+        let sweep = Arc::new(MissSweep::run_observed(
             self.trace_config(packing),
             Some(&pmf),
             self.quality.sweep_transactions(),
             self.quality.sweep_warmup(),
             self.seed ^ 0x5EED,
+            &self.obs,
         ));
+        self.obs.counter("sweeps_built", Label::None, 1);
         self.sweeps
             .lock()
             .expect("sweep lock")

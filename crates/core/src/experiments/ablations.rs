@@ -73,7 +73,13 @@ pub fn page_size_ablation(ctx: &ExperimentContext, buffer_bytes: u64) -> Report 
             "Ablation: page size at a fixed {} MB buffer (sequential packing)",
             buffer_bytes / (1024 * 1024)
         ),
-        vec!["page size", "pages in buffer", "stock miss", "customer miss", "item miss"],
+        vec![
+            "page size",
+            "pages in buffer",
+            "stock miss",
+            "customer miss",
+            "item miss",
+        ],
     );
     for bytes in [2048u64, 4096, 8192, 16_384] {
         let mut trace = ctx.trace_config(Packing::Sequential);
@@ -94,8 +100,10 @@ pub fn page_size_ablation(ctx: &ExperimentContext, buffer_bytes: u64) -> Report 
             fnum(sweep.miss_rate(Relation::Item, pages), 4),
         ]);
     }
-    r.push_note("per *byte* of buffer, smaller pages capture the skew better (less cold \
-                 data rides along with each hot tuple)");
+    r.push_note(
+        "per *byte* of buffer, smaller pages capture the skew better (less cold \
+                 data rides along with each hot tuple)",
+    );
     r
 }
 
@@ -129,20 +137,23 @@ pub fn analytic_che(ctx: &ExperimentContext) -> Report {
         &vec![1.0; wh_pages],
     );
     let _ = g_warehouse;
-    let g_district =
-        model.add_group(profile.average(&mix, Relation::District), &vec![1.0; d_pages]);
+    let g_district = model.add_group(
+        profile.average(&mix, Relation::District),
+        &vec![1.0; d_pages],
+    );
     let _ = g_district;
 
     // customer: per-district mixture PMF packed sequentially, repeated
     // for every district
     let cust_tpp = Relation::Customer.tuples_per_page(PageSize::K4) as usize;
-    let cust_page_pmf = Mixture::customer_default().exact_pmf().pack_sequential(cust_tpp);
+    let cust_page_pmf = Mixture::customer_default()
+        .exact_pmf()
+        .pack_sequential(cust_tpp);
     let mut cust_weights = Vec::new();
     for _ in 0..warehouses * 10 {
         cust_weights.extend_from_slice(cust_page_pmf.probs());
     }
-    let g_customer =
-        model.add_group(profile.average(&mix, Relation::Customer), &cust_weights);
+    let g_customer = model.add_group(profile.average(&mix, Relation::Customer), &cust_weights);
 
     // stock: per-warehouse item PMF packed sequentially
     let stock_tpp = Relation::Stock.tuples_per_page(PageSize::K4) as usize;
@@ -156,8 +167,7 @@ pub fn analytic_che(ctx: &ExperimentContext) -> Report {
     // item: one copy
     let item_tpp = Relation::Item.tuples_per_page(PageSize::K4) as usize;
     let item_page_pmf = item_pmf.pack_sequential(item_tpp);
-    let g_item =
-        model.add_group(profile.average(&mix, Relation::Item), item_page_pmf.probs());
+    let g_item = model.add_group(profile.average(&mix, Relation::Item), item_page_pmf.probs());
     model.finalize();
 
     let sweep = ctx.sweep(Packing::Sequential);
@@ -219,7 +229,7 @@ pub fn write_back_study(ctx: &ExperimentContext) -> Report {
             cfg.batches = 3;
             cfg.batch_transactions = quality.sweep_transactions() / 30;
             cfg.warmup_transactions = quality.sweep_warmup() / 5;
-            let rates = BufferSim::run(&cfg, Some(&pmf));
+            let rates = BufferSim::run_observed(&cfg, Some(&pmf), ctx.obs());
             let reads: f64 = tpcc_workload::TxType::ALL
                 .iter()
                 .map(|&tx| {
@@ -265,9 +275,11 @@ pub fn capacity_checks(ctx: &ExperimentContext) -> Report {
     );
     r.push_row(vec![
         "throughput at 80% CPU".into(),
-        format!("{} txn/s ({} New-Order tpm)",
+        format!(
+            "{} txn/s ({} New-Order tpm)",
             fnum(throughput.txn_per_second, 2),
-            fnum(throughput.new_order_tpm, 0)),
+            fnum(throughput.new_order_tpm, 0)
+        ),
     ]);
     if let Some(at) = response.at_load(
         &misses,
@@ -287,17 +299,15 @@ pub fn capacity_checks(ctx: &ExperimentContext) -> Report {
             fnum(at.disk_utilization, 3),
         ]);
     }
-    let knee = response.max_load_for_new_order_target(
-        &misses,
-        5.0,
-        throughput.disks_for_bandwidth,
-        1e-3,
-    );
+    let knee =
+        response.max_load_for_new_order_target(&misses, 5.0, throughput.disks_for_bandwidth, 1e-3);
     r.push_row(vec![
         "load where New-Order hits 5 s".into(),
-        format!("{} txn/s ({}x the 80% point)",
+        format!(
+            "{} txn/s ({}x the 80% point)",
             fnum(knee, 2),
-            fnum(knee / throughput.txn_per_second, 2)),
+            fnum(knee / throughput.txn_per_second, 2)
+        ),
     ]);
     r.push_row(vec![
         "redo bytes per New-Order".into(),
@@ -309,7 +319,10 @@ pub fn capacity_checks(ctx: &ExperimentContext) -> Report {
     ]);
     r.push_row(vec![
         "log-disk saturating load".into(),
-        format!("{} txn/s", fnum(log.saturating_lambda(&mix, &CostParams::paper_default()), 1)),
+        format!(
+            "{} txn/s",
+            fnum(log.saturating_lambda(&mix, &CostParams::paper_default()), 1)
+        ),
     ]);
     r.push_note(
         "the paper's 80%/50% utilization caps implicitly keep mean response times far          below the spec's 5 s bound, and a single sequential log device has a wide margin          — both assumptions check out",
@@ -371,9 +384,7 @@ pub fn mix_stability_report(trajectories: &[QueueTrajectory]) -> Report {
         "Ablation: New-Order relation size vs mix (paper §2.1 warning)",
         columns.iter().map(String::as_str).collect(),
     );
-    let n = trajectories
-        .first()
-        .map_or(0, |t| t.samples.len());
+    let n = trajectories.first().map_or(0, |t| t.samples.len());
     for i in (0..n).step_by(5) {
         let mut row = vec![trajectories[0].samples[i].0.to_string()];
         for t in trajectories {
@@ -381,8 +392,10 @@ pub fn mix_stability_report(trajectories: &[QueueTrajectory]) -> Report {
         }
         r.push_row(row);
     }
-    r.push_note("10 deletions per Delivery must cover one insertion per New-Order: \
-                 0.05×10 ≥ 0.43 holds for the paper's mix, 0.04×10 < 0.45 diverges");
+    r.push_note(
+        "10 deletions per Delivery must cover one insertion per New-Order: \
+                 0.05×10 ≥ 0.43 holds for the paper's mix, 0.04×10 < 0.45 diverges",
+    );
     r
 }
 
@@ -460,7 +473,10 @@ mod tests {
         // bigger buffers defer (and coalesce) write-backs
         let w_small: f64 = rep.rows[0][3].parse().expect("number");
         let w_large: f64 = rep.rows[4][3].parse().expect("number");
-        assert!(w_large <= w_small + 0.2, "small {w_small} vs large {w_large}");
+        assert!(
+            w_large <= w_small + 0.2,
+            "small {w_small} vs large {w_large}"
+        );
     }
 
     #[test]

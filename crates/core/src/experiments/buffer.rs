@@ -123,7 +123,7 @@ pub fn policy_ablation(ctx: &ExperimentContext, buffer_bytes: u64) -> Report {
             cfg.batch_transactions = ctx.quality().sweep_transactions() / 30;
             cfg.warmup_transactions = ctx.quality().sweep_warmup() / 5;
             let pmf = ctx.item_pmf();
-            let rates = BufferSim::run(&cfg, Some(&pmf));
+            let rates = BufferSim::run_observed(&cfg, Some(&pmf), ctx.obs());
             r.push_row(vec![
                 format!("{policy:?}"),
                 format!("{packing:?}"),

@@ -159,7 +159,11 @@ mod tests {
         let f = fig11(&ctx, &[1, 2, 10, 30]);
         for p in &f.points {
             assert!(p.ideal_tpm >= p.replicated_tpm - 1e-9, "N={}", p.nodes);
-            assert!(p.replicated_tpm >= p.partitioned_tpm - 1e-9, "N={}", p.nodes);
+            assert!(
+                p.replicated_tpm >= p.partitioned_tpm - 1e-9,
+                "N={}",
+                p.nodes
+            );
         }
         // single node: all equal
         let one = &f.points[0];

@@ -47,7 +47,10 @@ impl StockPmf {
             vec!["statistic", "value"],
         );
         r.push_row(vec!["ids".into(), self.pmf.len().to_string()]);
-        r.push_row(vec!["cycles (range / (A+1))".into(), nu.cycles().to_string()]);
+        r.push_row(vec![
+            "cycles (range / (A+1))".into(),
+            nu.cycles().to_string(),
+        ]);
         r.push_row(vec!["uniform probability".into(), format!("{:.3e}", 1e-5)]);
         r.push_row(vec!["max probability".into(), format!("{max:.3e}")]);
         r.push_row(vec!["min probability".into(), format!("{min:.3e}")]);
@@ -207,8 +210,7 @@ mod tests {
         let tuple = &curves[0].curve;
         let optimized = &curves[3].curve;
         for f in [0.02, 0.1, 0.2, 0.5] {
-            let d = (tuple.access_share_of_hottest(f) - optimized.access_share_of_hottest(f))
-                .abs();
+            let d = (tuple.access_share_of_hottest(f) - optimized.access_share_of_hottest(f)).abs();
             assert!(d < 0.02, "fraction {f}: optimized differs by {d}");
         }
     }

@@ -55,8 +55,7 @@ pub fn table2() -> Report {
         let p = CallProfile::for_tx(tx, &cfg);
         r.push_row(vec![
             tx.name().to_string(),
-            tx.minimum_percent()
-                .map_or("*".to_string(), |m| fnum(m, 0)),
+            tx.minimum_percent().map_or("*".to_string(), |m| fnum(m, 0)),
             fnum(mix.fraction(tx) * 100.0, 0),
             fnum(p.selects, 1),
             fnum(p.updates, 0),
@@ -133,7 +132,11 @@ pub fn table4() -> Report {
         ("prepCommit (per participant)", p.prep_commit, "Table 6"),
         ("initTransaction", p.init_transaction, "calibrated"),
         ("releaseLocks (per lock)", p.release_lock, "§5.1 prose"),
-        ("non-unique select (extra)", p.non_unique_select, "calibrated"),
+        (
+            "non-unique select (extra)",
+            p.non_unique_select,
+            "calibrated",
+        ),
         ("join (Stock-Level)", p.join, "§5.1 prose (2040K)"),
     ];
     for (name, v, src) in rows {

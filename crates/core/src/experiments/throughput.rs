@@ -128,11 +128,7 @@ pub fn fig10(ctx: &ExperimentContext) -> Fig10 {
             );
             let curve = model.curve(&sweep, &sizes);
             let optimum = PricePerformanceModel::optimum(&curve);
-            curves.push((
-                format!("{packing_label}, {storage_label}"),
-                curve,
-                optimum,
-            ));
+            curves.push((format!("{packing_label}, {storage_label}"), curve, optimum));
         }
     }
     Fig10 { curves }
@@ -179,7 +175,14 @@ impl Fig10 {
         let (label, curve, _) = &self.curves[idx];
         let mut r = Report::new(
             format!("Figure 10 curve: {label}"),
-            vec!["buffer MB", "$ / tpm", "tpm", "disks(bw)", "disks(cap)", "disks"],
+            vec![
+                "buffer MB",
+                "$ / tpm",
+                "tpm",
+                "disks(bw)",
+                "disks(cap)",
+                "disks",
+            ],
         );
         for p in curve {
             r.push_row(vec![
@@ -203,8 +206,7 @@ impl Fig10 {
             self.curves
                 .iter()
                 .find(|(l, _, _)| {
-                    l.contains(label_has)
-                        && l.contains(if with_growth { "with" } else { "no" })
+                    l.contains(label_has) && l.contains(if with_growth { "with" } else { "no" })
                 })
                 .map(|(_, _, o)| o.dollars_per_tpm)
                 .expect("curve present")

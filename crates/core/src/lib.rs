@@ -25,4 +25,4 @@ pub mod experiments;
 pub mod report;
 
 pub use context::{ExperimentContext, Quality};
-pub use report::Report;
+pub use report::{fnum, Report};

@@ -1,11 +1,10 @@
 //! Plain-text / markdown rendering of experiment outputs.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A titled table of strings — every experiment renders to one or more
 /// of these, printable to a terminal or embeddable in EXPERIMENTS.md.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     /// Report title (e.g. "Figure 9: maximum throughput vs buffer size").
     pub title: String,
@@ -82,7 +81,11 @@ impl fmt::Display for Report {
             .map(|(c, w)| format!("{c:>w$}"))
             .collect();
         writeln!(f, "{}", header.join("  "))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
             let cells: Vec<String> = row
                 .iter()
@@ -98,9 +101,14 @@ impl fmt::Display for Report {
     }
 }
 
-/// Formats a float with `digits` decimals, trimming noise.
+/// Formats a float with `digits` decimals, trimming noise. Undefined
+/// values (NaN — e.g. a miss ratio over zero accesses) render as
+/// "n/a" rather than a number.
 #[must_use]
 pub fn fnum(value: f64, digits: usize) -> String {
+    if value.is_nan() {
+        return "n/a".to_string();
+    }
     format!("{value:.digits$}")
 }
 

@@ -6,10 +6,8 @@
 //! the per-batch means as approximately i.i.d. normal, and form a
 //! Student-t interval around their grand mean.
 
-use serde::{Deserialize, Serialize};
-
 /// A point estimate with a confidence half-width.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Estimate {
     /// Grand mean across batches.
     pub mean: f64,
@@ -42,7 +40,7 @@ impl Estimate {
 }
 
 /// Accumulates per-batch means and produces a Student-t interval.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct BatchMeans {
     batch_means: Vec<f64>,
 }

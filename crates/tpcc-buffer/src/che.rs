@@ -20,8 +20,6 @@
 //! exactly how much the benchmark's temporal locality matters (see the
 //! `analytic_vs_simulated` experiment).
 
-use serde::{Deserialize, Serialize};
-
 /// A page population: per-page access probabilities partitioned into
 /// named groups (relations), normalized globally.
 ///
@@ -35,7 +33,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(model.group_miss_ratio(hot, 50.0) < 0.01);
 /// assert!(model.group_miss_ratio(cold, 50.0) > 0.5);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CheModel {
     /// `(global access probability, group id)` per page.
     pages: Vec<(f64, u32)>,
@@ -247,7 +245,9 @@ mod tests {
             lru.access(table.sample(&mut rng));
         }
         let n = 400_000;
-        let misses = (0..n).filter(|_| lru.access(table.sample(&mut rng))).count();
+        let misses = (0..n)
+            .filter(|_| lru.access(table.sample(&mut rng)))
+            .count();
         let simulated = misses as f64 / n as f64;
         let predicted = model.miss_ratio(cache as f64);
         assert!(

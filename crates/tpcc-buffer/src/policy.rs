@@ -10,12 +10,11 @@
 
 use crate::fxhash::FxHashMap;
 use crate::lru::LruBuffer;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, VecDeque};
 
 /// Which replacement policy a [`ReplacementPolicy`]-driven simulation
 /// uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReplacementPolicy {
     /// Least recently used (the paper's assumption).
     Lru,

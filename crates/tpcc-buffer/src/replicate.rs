@@ -30,24 +30,23 @@ pub fn parallel_sweeps(
 ) -> Vec<MissSweep> {
     assert!(!seeds.is_empty(), "need at least one replication");
     assert!(threads > 0, "need at least one worker");
-    let (work_tx, work_rx) = crossbeam::channel::unbounded::<(usize, u64)>();
-    let (done_tx, done_rx) = crossbeam::channel::unbounded::<(usize, MissSweep)>();
-    for item in seeds.iter().copied().enumerate() {
-        work_tx.send(item).expect("queue work");
-    }
-    drop(work_tx);
+    // Dynamic work queue over std primitives: a shared cursor hands out
+    // the next replication index; results come back over an mpsc channel.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<(usize, MissSweep)>();
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(seeds.len()) {
-            let work_rx = work_rx.clone();
             let done_tx = done_tx.clone();
             let trace = trace.clone();
-            scope.spawn(move || {
-                while let Ok((idx, seed)) = work_rx.recv() {
-                    let sweep =
-                        MissSweep::run(trace.clone(), item_pmf, transactions, warmup, seed);
-                    done_tx.send((idx, sweep)).expect("report result");
-                }
+            let next = &next;
+            scope.spawn(move || loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&seed) = seeds.get(idx) else {
+                    break;
+                };
+                let sweep = MissSweep::run(trace.clone(), item_pmf, transactions, warmup, seed);
+                done_tx.send((idx, sweep)).expect("report result");
             });
         }
     });

@@ -14,7 +14,7 @@ use crate::batch::{BatchMeans, Estimate};
 use crate::fxhash::FxHashSet;
 use crate::policy::{PolicyBuffer, ReplacementPolicy};
 use crate::stack::{MissCurve, StackDistance};
-use serde::{Deserialize, Serialize};
+use tpcc_obs::{Label, Obs};
 use tpcc_rand::Pmf;
 use tpcc_schema::relation::Relation;
 use tpcc_workload::{PageId, PageRef, TraceConfig, TraceGenerator, TxType};
@@ -73,7 +73,7 @@ impl BufferSimConfig {
 }
 
 /// Per-relation (and per-transaction-type) miss statistics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MissRates {
     accesses: [u64; N_RELATIONS],
     misses: [u64; N_RELATIONS],
@@ -103,24 +103,26 @@ impl MissRates {
     }
 
     /// Overall miss rate of a relation across all transaction types;
-    /// 0 when the relation was never referenced.
+    /// NaN when the relation was never referenced (an undefined rate
+    /// must not read as "never misses" — render it as "n/a").
     #[must_use]
     pub fn miss_rate(&self, relation: Relation) -> f64 {
         let i = relation.index();
         if self.accesses[i] == 0 {
-            return 0.0;
+            return f64::NAN;
         }
         self.misses[i] as f64 / self.accesses[i] as f64
     }
 
     /// Miss rate of `relation` restricted to references made by `tx`
     /// (the "in isolation" rates the throughput model needs for the
-    /// Order-Status / Delivery / Stock-Level `P(x)` accesses).
+    /// Order-Status / Delivery / Stock-Level `P(x)` accesses); NaN when
+    /// `tx` never referenced `relation`.
     #[must_use]
     pub fn miss_rate_for(&self, relation: Relation, tx: TxType) -> f64 {
         let (i, t) = (relation.index(), tx.index());
         if self.tx_accesses[t][i] == 0 {
-            return 0.0;
+            return f64::NAN;
         }
         self.tx_misses[t][i] as f64 / self.tx_accesses[t][i] as f64
     }
@@ -190,26 +192,41 @@ impl BufferSim {
     /// Runs the simulation; `item_pmf` as in [`TraceGenerator::new`].
     #[must_use]
     pub fn run(config: &BufferSimConfig, item_pmf: Option<&Pmf>) -> MissRates {
+        Self::run_observed(config, item_pmf, &Obs::disabled())
+    }
+
+    /// Like [`BufferSim::run`], recording through `obs`: a
+    /// `buffer_sim` span with `warmup`/`batch` children, transaction
+    /// and page-reference counters, and per-relation batch-window miss
+    /// rates as histograms (`batch_miss_ppm/<relation>`, in parts per
+    /// million) whose spread mirrors the batch-means analysis.
+    #[must_use]
+    pub fn run_observed(config: &BufferSimConfig, item_pmf: Option<&Pmf>, obs: &Obs) -> MissRates {
+        let _pass = obs.span("buffer_sim");
         let mut gen = TraceGenerator::new(config.trace.clone(), item_pmf, config.seed);
         let mut buffer = PolicyBuffer::new(config.policy, config.buffer_pages);
         let mut refs: Vec<PageRef> = Vec::with_capacity(512);
         let mut out = MissRates::new();
         let mut dirty: FxHashSet<u64> = FxHashSet::default();
 
-        for _ in 0..config.warmup_transactions {
-            let _ = gen.next_transaction(&mut refs);
-            for r in &refs {
-                let (_, evicted) = buffer.access_evict(r.page.raw());
-                if let Some(victim) = evicted {
-                    dirty.remove(&victim);
-                }
-                if r.write {
-                    dirty.insert(r.page.raw());
+        {
+            let _warm = obs.span("warmup");
+            for _ in 0..config.warmup_transactions {
+                let _ = gen.next_transaction(&mut refs);
+                for r in &refs {
+                    let (_, evicted) = buffer.access_evict(r.page.raw());
+                    if let Some(victim) = evicted {
+                        dirty.remove(&victim);
+                    }
+                    if r.write {
+                        dirty.insert(r.page.raw());
+                    }
                 }
             }
         }
 
         for _ in 0..config.batches {
+            let _batch = obs.span("batch");
             let mut batch_accesses = [0u64; N_RELATIONS];
             let mut batch_misses = [0u64; N_RELATIONS];
             for _ in 0..config.batch_transactions {
@@ -221,8 +238,7 @@ impl BufferSim {
                     let (miss, evicted) = buffer.access_evict(r.page.raw());
                     if let Some(victim) = evicted {
                         if dirty.remove(&victim) {
-                            out.writebacks
-                                [PageId::from_raw(victim).relation().index()] += 1;
+                            out.writebacks[PageId::from_raw(victim).relation().index()] += 1;
                         }
                     }
                     if r.write {
@@ -237,13 +253,24 @@ impl BufferSim {
                 }
                 out.transactions += 1;
             }
+            obs.counter("sim_transactions", Label::None, config.batch_transactions);
             for rel in 0..N_RELATIONS {
                 out.accesses[rel] += batch_accesses[rel];
                 out.misses[rel] += batch_misses[rel];
                 if batch_accesses[rel] > 0 {
-                    out.batch_means[rel]
-                        .push(batch_misses[rel] as f64 / batch_accesses[rel] as f64);
+                    let window = batch_misses[rel] as f64 / batch_accesses[rel] as f64;
+                    out.batch_means[rel].push(window);
+                    obs.observe(
+                        "batch_miss_ppm",
+                        Label::Name(Relation::ALL[rel].name()),
+                        (window * 1e6) as u64,
+                    );
                 }
+                obs.counter(
+                    "sim_page_refs",
+                    Label::Name(Relation::ALL[rel].name()),
+                    batch_accesses[rel],
+                );
             }
         }
         out
@@ -251,7 +278,7 @@ impl BufferSim {
 }
 
 /// All-buffer-sizes miss-rate curves from one stack-distance pass.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MissSweep {
     overall: Vec<MissCurve>,
     per_tx: Vec<MissCurve>,
@@ -271,6 +298,30 @@ impl MissSweep {
         warmup: u64,
         seed: u64,
     ) -> Self {
+        Self::run_observed(
+            trace,
+            item_pmf,
+            transactions,
+            warmup,
+            seed,
+            &Obs::disabled(),
+        )
+    }
+
+    /// Like [`MissSweep::run`], recording through `obs`: a
+    /// `stack_distance_pass` span with `warmup`/`measure` children
+    /// (the pass timings), transactions-consumed and page-reference
+    /// counters, and the distinct-page working set as a gauge.
+    #[must_use]
+    pub fn run_observed(
+        trace: TraceConfig,
+        item_pmf: Option<&Pmf>,
+        transactions: u64,
+        warmup: u64,
+        seed: u64,
+        obs: &Obs,
+    ) -> Self {
+        let _pass = obs.span("stack_distance_pass");
         let mut gen = TraceGenerator::new(trace, item_pmf, seed);
         let mut analyzer = StackDistance::new(1 << 20);
         let mut refs: Vec<PageRef> = Vec::with_capacity(512);
@@ -278,24 +329,39 @@ impl MissSweep {
         let mut per_tx: Vec<MissCurve> =
             (0..N_RELATIONS * N_TX).map(|_| MissCurve::new()).collect();
 
-        for _ in 0..warmup {
-            let _ = gen.next_transaction(&mut refs);
-            for r in &refs {
-                let _ = analyzer.access(r.page.raw());
+        {
+            let _warm = obs.span("warmup");
+            for _ in 0..warmup {
+                let _ = gen.next_transaction(&mut refs);
+                for r in &refs {
+                    let _ = analyzer.access(r.page.raw());
+                }
             }
         }
         let mut tx_count = [0u64; N_TX];
-        for _ in 0..transactions {
-            let tx = gen.next_transaction(&mut refs);
-            let t = tx.index();
-            tx_count[t] += 1;
-            for r in &refs {
-                let rel = r.page.relation().index();
-                let d = analyzer.access(r.page.raw());
-                overall[rel].record(d);
-                per_tx[t * N_RELATIONS + rel].record(d);
+        let mut page_refs = 0u64;
+        {
+            let _measure = obs.span("measure");
+            for _ in 0..transactions {
+                let tx = gen.next_transaction(&mut refs);
+                let t = tx.index();
+                tx_count[t] += 1;
+                page_refs += refs.len() as u64;
+                for r in &refs {
+                    let rel = r.page.relation().index();
+                    let d = analyzer.access(r.page.raw());
+                    overall[rel].record(d);
+                    per_tx[t * N_RELATIONS + rel].record(d);
+                }
             }
         }
+        obs.counter("sweep_transactions", Label::None, transactions);
+        obs.counter("sweep_page_refs", Label::None, page_refs);
+        obs.gauge(
+            "sweep_distinct_pages",
+            Label::None,
+            analyzer.distinct_pages() as f64,
+        );
         Self {
             overall,
             per_tx,
@@ -395,10 +461,14 @@ mod tests {
         let stock = rates.miss_rate(Relation::Stock);
         assert!(stock > 0.05, "stock miss rate {stock}");
         assert!(stock < 1.0);
-        // every rate in [0, 1]
+        // every referenced relation's rate in [0, 1]; unreferenced are NaN
         for rel in Relation::ALL {
             let m = rates.miss_rate(rel);
-            assert!((0.0..=1.0).contains(&m), "{}: {m}", rel.name());
+            if rates.accesses(rel) > 0 {
+                assert!((0.0..=1.0).contains(&m), "{}: {m}", rel.name());
+            } else {
+                assert!(m.is_nan(), "{}: undefined rate must be NaN", rel.name());
+            }
         }
     }
 
@@ -441,6 +511,11 @@ mod tests {
             for rel in [Relation::OrderLine, Relation::Customer, Relation::Stock] {
                 let a = direct.miss_rate_for(rel, tx);
                 let b = sweep.miss_rate_for(rel, tx, pages as u64);
+                if a.is_nan() {
+                    // both engines must agree a rate is undefined
+                    assert!(b.is_nan(), "{}/{}: {a} vs {b}", rel.name(), tx.name());
+                    continue;
+                }
                 assert!(
                     (a - b).abs() < 1e-12,
                     "{}/{}: {a} vs {b}",
@@ -455,6 +530,10 @@ mod tests {
     fn bigger_buffer_never_misses_more() {
         let sweep = MissSweep::run(tiny_trace(), None, 5000, 1000, 17);
         for rel in Relation::ALL {
+            if sweep.accesses(rel) == 0 {
+                assert!(sweep.miss_rate(rel, 100).is_nan(), "{}", rel.name());
+                continue;
+            }
             let mut prev = 1.0f64;
             for pages in [100u64, 500, 2000, 10_000, 100_000] {
                 let m = sweep.miss_rate(rel, pages);

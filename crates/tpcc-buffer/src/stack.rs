@@ -17,7 +17,6 @@
 //! number of distinct pages, not trace length.
 
 use crate::fxhash::FxHashMap;
-use serde::{Deserialize, Serialize};
 
 /// Stack distance of one reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,11 +151,7 @@ impl StackDistance {
 
     /// Rebuilds the timestamp axis over only live pages.
     fn compact(&mut self) {
-        let mut live: Vec<(u64, u64)> = self
-            .last_time
-            .iter()
-            .map(|(&k, &t)| (t, k))
-            .collect();
+        let mut live: Vec<(u64, u64)> = self.last_time.iter().map(|(&k, &t)| (t, k)).collect();
         live.sort_unstable();
         let needed = (live.len() * 2).max(1024);
         self.tree = Fenwick::new(needed);
@@ -175,7 +170,7 @@ impl StackDistance {
 /// `histogram[d]` counts references with finite stack distance `d + 1`;
 /// `infinite` counts first references. The miss ratio at capacity `C`
 /// is `(Σ_{d+1 > C} histogram[d] + infinite) / total`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MissCurve {
     histogram: Vec<u64>,
     infinite: u64,
@@ -230,11 +225,13 @@ impl MissCurve {
         tail + self.infinite
     }
 
-    /// Miss ratio at `capacity` pages; 0 when no references recorded.
+    /// Miss ratio at `capacity` pages; NaN when no references were
+    /// recorded (an undefined ratio must not read as a perfect hit
+    /// rate — render it as "n/a").
     #[must_use]
     pub fn miss_ratio(&self, capacity: u64) -> f64 {
         if self.total == 0 {
-            return 0.0;
+            return f64::NAN;
         }
         self.misses_at(capacity) as f64 / self.total as f64
     }

@@ -15,11 +15,10 @@
 use crate::params::CostParams;
 use crate::single::{SingleNodeModel, ThroughputReport};
 use crate::source::MissSource;
-use serde::{Deserialize, Serialize};
 use tpcc_workload::TxType;
 
 /// Item-relation placement across the cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ItemPlacement {
     /// Read-only replica on every node (the paper's recommended setup).
     Replicated,
@@ -29,7 +28,7 @@ pub enum ItemPlacement {
 }
 
 /// The Appendix A expectations for one transaction workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RemoteExpectations {
     /// `RC_stock`: expected remote calls to read *and* write stock
     /// tuples (two calls per remote stock tuple).
@@ -112,9 +111,7 @@ impl RemoteExpectations {
         // --- stock (New-Order), Appendix A.1 ---
         // P_S: one stock tuple is on a remote *node*.
         let p_s = remote_stock_prob * (n - 1.0) / n;
-        let e_remote_stock: f64 = (0..=m)
-            .map(|j| j as f64 * binom_pmf(m, p_s, j))
-            .sum();
+        let e_remote_stock: f64 = (0..=m).map(|j| j as f64 * binom_pmf(m, p_s, j)).sum();
         let rc_stock = 2.0 * e_remote_stock; // read + write back
         let l_stock = (1.0 - p_s).powi(m as i32);
         let u_stock: f64 = (0..=m)
@@ -123,8 +120,7 @@ impl RemoteExpectations {
 
         // --- customer (Payment), Eq. 8–9 ---
         let p_remote_pay = remote_payment_prob * (n - 1.0) / n;
-        let tuples_touched =
-            (1.0 - by_name_prob) * 1.0 + by_name_prob * name_matches + 1.0; // + write back
+        let tuples_touched = (1.0 - by_name_prob) * 1.0 + by_name_prob * name_matches + 1.0; // + write back
         let rc_cust = p_remote_pay * tuples_touched;
         let u_cust = p_remote_pay; // at most one remote site
 
@@ -133,8 +129,7 @@ impl RemoteExpectations {
             ItemPlacement::Replicated => (0.0, 0.0, u_stock),
             ItemPlacement::Partitioned => {
                 let p_i = (n - 1.0) / n;
-                let e_remote_item: f64 =
-                    (0..=m).map(|j| j as f64 * binom_pmf(m, p_i, j)).sum();
+                let e_remote_item: f64 = (0..=m).map(|j| j as f64 * binom_pmf(m, p_i, j)).sum();
                 let u_item: f64 = (0..=m)
                     .map(|j| binom_pmf(m, p_i, j) * unique_sites(nodes, j as f64))
                     .sum();
@@ -250,11 +245,7 @@ impl DistributedModel {
 
     /// Per-node throughput report at cluster size `nodes`.
     #[must_use]
-    pub fn per_node_throughput(
-        &self,
-        nodes: u64,
-        misses: &impl MissSource,
-    ) -> ThroughputReport {
+    pub fn per_node_throughput(&self, nodes: u64, misses: &impl MissSource) -> ThroughputReport {
         let e = self.expectations(nodes);
         let mut extra = [0.0f64; 5];
         extra[TxType::NewOrder.index()] =
@@ -318,7 +309,11 @@ mod tests {
         let remote_pay = 0.15 * (29.0 / 30.0);
         assert!((e.rc_cust - remote_pay * 3.2).abs() < 1e-9);
         // with ~0.097 remote tuples, u_stock is just below that
-        assert!(e.u_stock > 0.09 && e.u_stock < 0.1, "u_stock = {}", e.u_stock);
+        assert!(
+            e.u_stock > 0.09 && e.u_stock < 0.1,
+            "u_stock = {}",
+            e.u_stock
+        );
         assert!(e.l_stock > 0.89 && e.l_stock < 0.92);
     }
 
@@ -398,8 +393,8 @@ mod tests {
         let misses = misses();
         let single = SingleNodeModel::paper_default();
         let base = DistributedModel::new(single.clone(), ItemPlacement::Replicated);
-        let heavy = DistributedModel::new(single, ItemPlacement::Replicated)
-            .with_remote_stock_prob(1.0);
+        let heavy =
+            DistributedModel::new(single, ItemPlacement::Replicated).with_remote_stock_prob(1.0);
         let nodes = 30;
         let drop = 1.0 - heavy.cluster_tpm(nodes, &misses) / base.cluster_tpm(nodes, &misses);
         assert!(

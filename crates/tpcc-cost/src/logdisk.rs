@@ -7,7 +7,6 @@
 //! and the throughput at which a single log device saturates.
 
 use crate::params::CostParams;
-use serde::{Deserialize, Serialize};
 use tpcc_schema::relation::Relation;
 use tpcc_workload::calls::CallConfig;
 use tpcc_workload::{TransactionMix, TxType};
@@ -20,7 +19,7 @@ pub const LOG_RECORD_HEADER: u64 = 24;
 pub const COMMIT_RECORD: u64 = 16;
 
 /// Analytic redo-log volume model.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct LogDiskModel {
     /// Sequential bandwidth of the log device in bytes/second
     /// (default: 1 MB/s, a generous 1993-era sequential rate).

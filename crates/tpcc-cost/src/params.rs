@@ -1,8 +1,6 @@
 //! Model parameters: CPU instruction overheads, device characteristics
 //! and hardware prices (paper §5.1–§5.2).
 
-use serde::{Deserialize, Serialize};
-
 /// CPU and disk cost parameters (instruction counts per operation).
 ///
 /// "The parameter values … do not reflect any particular system, but are
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// (Figure 12), and ~2–3% loss from ideal linear scale-up (Abstract).
 /// Values the prose fixes unambiguously (join = 2040K, 1K per lock,
 /// Table 6's 5K initIO / 15K prepCommit) are taken verbatim.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostParams {
     /// Processor speed in MIPS (paper: 10).
     pub mips: f64,
@@ -110,7 +108,7 @@ impl Default for CostParams {
 /// Hardware prices for the Figure 10 price/performance study (§5.2:
 /// "each 3 Gbyte disk costs $5000, the processor costs $10000, and
 /// memory costs $100 per megabyte").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HardwareCosts {
     /// Price of one disk in dollars.
     pub disk_price: f64,

@@ -9,13 +9,12 @@
 use crate::params::HardwareCosts;
 use crate::single::SingleNodeModel;
 use crate::source::{MissSource, SweepMissSource};
-use serde::{Deserialize, Serialize};
 use tpcc_buffer::MissSweep;
 use tpcc_schema::relation::SchemaConfig;
 use tpcc_workload::TxType;
 
 /// Whether the disk farm must also hold the growing relations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StoragePolicy {
     /// Bottom curves of Figure 10: capacity covers only the five static
     /// relations.
@@ -42,7 +41,7 @@ impl StoragePolicy {
 }
 
 /// One point of the Figure 10 curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PricePerfPoint {
     /// Database buffer size in megabytes.
     pub buffer_mb: f64,
@@ -217,7 +216,11 @@ mod tests {
         // §5.2: "A minimum of 4 disks are required for storage capacity".
         let m = model(StoragePolicy::paper_growth());
         let p = m.evaluate(&misses(), 64 * 1024 * 1024);
-        assert!(p.disks_capacity >= 4, "capacity disks = {}", p.disks_capacity);
+        assert!(
+            p.disks_capacity >= 4,
+            "capacity disks = {}",
+            p.disks_capacity
+        );
     }
 
     #[test]

@@ -16,11 +16,10 @@
 
 use crate::single::{SingleNodeModel, ThroughputReport};
 use crate::source::MissSource;
-use serde::{Deserialize, Serialize};
 use tpcc_workload::TxType;
 
 /// Response-time estimates at one offered load.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ResponseReport {
     /// Offered load in transactions per second.
     pub lambda: f64,
@@ -204,8 +203,7 @@ mod tests {
         let above = m.at_load(&misses, lambda * 1.05, 4);
         assert!(
             above.is_none()
-                || above.expect("checked").per_tx_seconds[TxType::NewOrder.index()]
-                    > target - 1e-3
+                || above.expect("checked").per_tx_seconds[TxType::NewOrder.index()] > target - 1e-3
         );
     }
 

@@ -7,13 +7,12 @@
 
 use crate::params::CostParams;
 use crate::source::MissSource;
-use serde::{Deserialize, Serialize};
 use tpcc_schema::relation::Relation;
 use tpcc_workload::calls::{CallConfig, CallProfile, RelationAccessProfile};
 use tpcc_workload::{TransactionMix, TxType};
 
 /// Resource demand of one transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TxCost {
     /// CPU instructions consumed.
     pub cpu_instructions: f64,
@@ -22,7 +21,7 @@ pub struct TxCost {
 }
 
 /// Output of the throughput model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ThroughputReport {
     /// Per-transaction-type costs in [`TxType::ALL`] order.
     pub per_tx: [TxCost; 5],
@@ -219,9 +218,7 @@ mod tests {
             &TableMissSource::new_order_rates(0.5, 0.0, 0.3),
         );
         assert!((some.ios - 3.5).abs() < 1e-12);
-        assert!(
-            (some.cpu_instructions - none.cpu_instructions - 3.5 * 5_000.0).abs() < 1e-6
-        );
+        assert!((some.cpu_instructions - none.cpu_instructions - 3.5 * 5_000.0).abs() < 1e-6);
     }
 
     #[test]

@@ -77,7 +77,8 @@ impl TableMissSource {
             misses.is_finite() && misses >= 0.0,
             "miss count must be non-negative, got {misses}"
         );
-        self.entries.retain(|(r, t, _)| !(*r == relation && *t == tx));
+        self.entries
+            .retain(|(r, t, _)| !(*r == relation && *t == tx));
         self.entries.push((relation, tx, misses));
         self
     }

@@ -1,5 +1,6 @@
 //! The database instance: heap files, indexes, buffer pool, catalog.
 
+use tpcc_obs::Obs;
 use tpcc_schema::relation::Relation;
 use tpcc_storage::{
     BTree, BufferManager, BufferStats, DiskManager, HeapFile, RecordId, Replacement,
@@ -269,15 +270,45 @@ impl TpccDb {
         ]
         .iter()
         .map(|t| self.bm.stats(t.file()))
-        .fold(BufferStats::default(), |a, s| BufferStats {
-            hits: a.hits + s.hits,
-            misses: a.misses + s.misses,
-        })
+        .fold(BufferStats::default(), |a, s| a.merged(s))
     }
 
     /// Clears buffer statistics (between load/warm-up and measurement).
     pub fn reset_stats(&mut self) {
         self.bm.reset_stats();
+    }
+
+    /// Attaches an observability handle to the storage layer and
+    /// registers every file's display name with it, so per-file
+    /// metrics export as `buf_hits/stock` or `buf_misses/idx_customer`
+    /// rather than raw file ids.
+    pub fn set_obs(&mut self, obs: Obs) {
+        for r in Relation::ALL {
+            obs.register_index(self.heaps.for_relation(r).file().0, r.name());
+        }
+        let named_indexes: [(&BTree, &str); 10] = [
+            (&self.idx.warehouse, "idx_warehouse"),
+            (&self.idx.district, "idx_district"),
+            (&self.idx.customer, "idx_customer"),
+            (&self.idx.customer_name, "idx_customer_name"),
+            (&self.idx.stock, "idx_stock"),
+            (&self.idx.item, "idx_item"),
+            (&self.idx.order, "idx_order"),
+            (&self.idx.new_order, "idx_new_order"),
+            (&self.idx.order_line, "idx_order_line"),
+            (&self.idx.last_order, "idx_last_order"),
+        ];
+        for (tree, name) in named_indexes {
+            obs.register_index(tree.file().0, name);
+        }
+        self.bm.set_obs(obs);
+    }
+
+    /// The attached observability handle (disabled unless
+    /// [`TpccDb::set_obs`] was called).
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        self.bm.obs()
     }
 
     /// Pages currently allocated to a relation's heap file.
@@ -299,6 +330,7 @@ impl TpccDb {
             Relation::OrderLine => &self.idx.order_line,
             Relation::History => panic!("history has no index"),
         };
+        let _span = self.bm.obs().span("btree_lookup");
         tree.get(&mut self.bm, key).map(RecordId::from_u64)
     }
 
@@ -307,7 +339,10 @@ impl TpccDb {
         assert!(w < self.cfg.warehouses, "warehouse {w} beyond scale");
         assert!(d < 10, "district {d} beyond scale");
         if let Some(c) = c {
-            assert!(c < self.cfg.customers_per_district, "customer {c} beyond scale");
+            assert!(
+                c < self.cfg.customers_per_district,
+                "customer {c} beyond scale"
+            );
         }
         if let Some(i) = i {
             assert!(i < self.cfg.items, "item {i} beyond scale");

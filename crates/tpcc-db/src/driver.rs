@@ -4,9 +4,19 @@
 
 use crate::db::TpccDb;
 use crate::txns::{CustomerSelector, OrderLineReq};
+use tpcc_obs::{Label, MemoryRecorder, SnapshotWriter};
 use tpcc_rand::{NuRand, Xoshiro256};
 use tpcc_schema::relation::Relation;
 use tpcc_storage::BufferStats;
+
+/// Transaction-type display names, in mix order.
+pub const TX_NAMES: [&str; 5] = [
+    "new_order",
+    "payment",
+    "order_status",
+    "delivery",
+    "stock_level",
+];
 
 /// Driver configuration: the paper's mix and clause probabilities.
 #[derive(Debug, Clone, Copy)]
@@ -68,13 +78,14 @@ pub struct DriverReport {
 }
 
 impl DriverReport {
-    /// Miss ratio for one relation's heap accesses.
+    /// Miss ratio for one relation's heap accesses; NaN when that
+    /// relation was never accessed (render as "n/a", don't compare).
     #[must_use]
     pub fn miss_ratio(&self, relation: Relation) -> f64 {
         self.relation_stats
             .iter()
             .find(|(r, _)| *r == relation)
-            .map_or(0.0, |(_, s)| s.miss_ratio())
+            .map_or(f64::NAN, |(_, s)| s.miss_ratio())
     }
 }
 
@@ -101,21 +112,60 @@ impl Driver {
         }
     }
 
-    /// Executes `transactions` mixed transactions.
+    /// Executes `transactions` mixed transactions. With an
+    /// observability handle attached to `db`, each transaction's
+    /// wall-clock latency lands in a per-type histogram
+    /// (`txn_latency_ns/<type>`) and per-type executed / rollback
+    /// counters are kept.
     pub fn run(&mut self, db: &mut TpccDb, transactions: u64) -> DriverReport {
+        self.run_observed(db, transactions, |_| Ok(()))
+            .expect("no-op sink cannot fail")
+    }
+
+    /// Like [`Driver::run`], but additionally emits a JSON-lines
+    /// metrics snapshot every `writer`-configured period: the driver
+    /// reports each completed transaction to `writer`, which snapshots
+    /// `recorder` on period boundaries. A final snapshot is always
+    /// written. Attach `recorder` to `db` (via [`TpccDb::set_obs`])
+    /// before calling, or the snapshots will be empty.
+    ///
+    /// # Errors
+    /// Propagates write errors from the snapshot sink.
+    pub fn run_snapshotting<W: std::io::Write>(
+        &mut self,
+        db: &mut TpccDb,
+        transactions: u64,
+        recorder: &MemoryRecorder,
+        writer: &mut SnapshotWriter<W>,
+    ) -> std::io::Result<DriverReport> {
+        let report = self.run_observed(db, transactions, |done| writer.tick(recorder, done))?;
+        writer.finish(recorder, transactions)?;
+        Ok(report)
+    }
+
+    fn run_observed(
+        &mut self,
+        db: &mut TpccDb,
+        transactions: u64,
+        mut after_each: impl FnMut(u64) -> std::io::Result<()>,
+    ) -> std::io::Result<DriverReport> {
+        let obs = db.obs().clone();
         let mut executed = [0u64; 5];
         let mut new_orders = 0;
         let mut deliveries = 0;
         let mut rollbacks = 0;
-        for _ in 0..transactions {
+        for done in 1..=transactions {
             let t = self.pick_type();
             executed[t] += 1;
+            obs.counter("txn_executed", Label::Name(TX_NAMES[t]), 1);
+            let timer = obs.timer("txn_latency_ns", Label::Name(TX_NAMES[t]));
             match t {
                 0 => {
                     if self.run_new_order(db) {
                         new_orders += 1;
                     } else {
                         rollbacks += 1;
+                        obs.counter("txn_rollbacks", Label::Name(TX_NAMES[t]), 1);
                     }
                 }
                 1 => self.run_payment(db),
@@ -132,8 +182,10 @@ impl Driver {
                     let _ = db.stock_level(w, d, threshold);
                 }
             }
+            drop(timer);
+            after_each(done)?;
         }
-        DriverReport {
+        Ok(DriverReport {
             executed,
             new_orders,
             deliveries,
@@ -143,7 +195,7 @@ impl Driver {
                 .map(|&r| (r, db.relation_stats(r)))
                 .collect(),
             index_stats: db.index_stats(),
-        }
+        })
     }
 
     fn pick_type(&mut self) -> usize {
@@ -240,7 +292,11 @@ mod tests {
         let mut driver = Driver::new(&db, DriverConfig::default(), 12);
         let report = driver.run(&mut db, 2000);
         assert_eq!(report.executed.iter().sum::<u64>(), 2000);
-        assert!(report.executed.iter().all(|&c| c > 0), "{:?}", report.executed);
+        assert!(
+            report.executed.iter().all(|&c| c > 0),
+            "{:?}",
+            report.executed
+        );
         assert_eq!(report.new_orders, report.executed[0]);
         assert_eq!(report.rollbacks, 0, "rollbacks disabled by default");
         assert!(report.deliveries > 0);
@@ -249,11 +305,7 @@ mod tests {
     #[test]
     fn spec_rollback_rate_observed() {
         let mut db = loader::load(DbConfig::small(), 17);
-        let mut driver = Driver::new(
-            &db,
-            DriverConfig::default().with_spec_rollbacks(),
-            18,
-        );
+        let mut driver = Driver::new(&db, DriverConfig::default().with_spec_rollbacks(), 18);
         let report = driver.run(&mut db, 4000);
         let attempts = report.new_orders + report.rollbacks;
         let rate = report.rollbacks as f64 / attempts as f64;
@@ -290,6 +342,73 @@ mod tests {
             pending_after <= pending_before + 4,
             "new-order grew {pending_before} -> {pending_after}"
         );
+    }
+
+    #[test]
+    fn observed_run_exports_latency_percentiles_and_relation_counters() {
+        use std::sync::Arc;
+        use tpcc_obs::{MemoryRecorder, Obs, SnapshotWriter};
+
+        let recorder = Arc::new(MemoryRecorder::new());
+        let mut cfg = DbConfig::small();
+        cfg.buffer_frames = 48; // small pool: force misses and evictions
+        let mut db = loader::load(cfg, 31);
+        db.set_obs(Obs::new(recorder.clone()));
+        db.reset_stats();
+        let mut driver = Driver::new(&db, DriverConfig::default(), 32);
+        let mut writer = SnapshotWriter::new(Vec::new(), 500);
+        let report = driver
+            .run_snapshotting(&mut db, 1200, &recorder, &mut writer)
+            .expect("vec sink");
+        assert_eq!(report.executed.iter().sum::<u64>(), 1200);
+
+        let out = String::from_utf8(writer.into_inner()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "snapshots at 500, 1000 and final 1200");
+        let last = lines.last().unwrap();
+        // per-transaction-type latency percentiles
+        for tx in TX_NAMES {
+            assert!(
+                last.contains(&format!("\"txn_latency_ns/{tx}\":{{\"count\":")),
+                "{tx} histogram exported"
+            );
+        }
+        assert!(last.contains("\"p50\":"));
+        assert!(last.contains("\"p95\":"));
+        assert!(last.contains("\"p99\":"));
+        // per-relation buffer counters under relation names
+        for key in [
+            "\"buf_hits/stock\":",
+            "\"buf_hits/customer\":",
+            "\"buf_misses/order-line\":",
+            "\"buf_hits/idx_customer\":",
+            "\"buf_evictions/",
+            "\"buf_writebacks/",
+        ] {
+            assert!(last.contains(key), "missing {key}");
+        }
+        // span hierarchy reached the storage layer
+        assert!(last.contains("\"new_order/btree_lookup\":"));
+        // histograms agree with the report
+        let h = recorder
+            .histogram("txn_latency_ns", tpcc_obs::Label::Name("new_order"))
+            .expect("recorded");
+        assert_eq!(h.count(), report.executed[0]);
+    }
+
+    #[test]
+    fn unattached_db_reports_unobserved_miss_ratio_as_nan() {
+        let db = loader::load(DbConfig::small(), 41);
+        let report = DriverReport {
+            executed: [0; 5],
+            new_orders: 0,
+            deliveries: 0,
+            rollbacks: 0,
+            relation_stats: Vec::new(),
+            index_stats: db.index_stats(),
+        };
+        assert!(report.miss_ratio(Relation::Stock).is_nan());
+        assert!(BufferStats::default().miss_ratio().is_nan());
     }
 
     #[test]

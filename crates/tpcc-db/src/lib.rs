@@ -25,9 +25,9 @@ pub mod txns;
 pub mod verify;
 
 pub use db::{DbConfig, TpccDb};
-pub use verify::ConsistencyReport;
 pub use driver::{Driver, DriverReport};
 pub use txns::{
     DeliveryResult, NewOrderAborted, NewOrderResult, OrderStatusResult, PaymentResult,
     StockLevelResult,
 };
+pub use verify::ConsistencyReport;

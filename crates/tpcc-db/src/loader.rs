@@ -84,7 +84,9 @@ fn load_warehouse(db: &mut TpccDb, w: u64, rng: &mut Xoshiro256) {
             },
         };
         let rid = db.heaps.stock.insert(&mut db.bm, &rec.encode());
-        db.idx.stock.insert(&mut db.bm, keys::stock(w, i), rid.to_u64());
+        db.idx
+            .stock
+            .insert(&mut db.bm, keys::stock(w, i), rid.to_u64());
     }
 
     for d in 0..10 {
@@ -127,7 +129,11 @@ fn load_district(db: &mut TpccDb, w: u64, d: u64, rng: &mut Xoshiro256) {
             street: "1 Benchmark Way".into(),
             city: "Hampton".into(),
             phone: format!("{:016}", rng.next_u64() % 10_000_000_000_000_000),
-            credit: if rng.chance(0.10) { "BC".into() } else { "GC".into() },
+            credit: if rng.chance(0.10) {
+                "BC".into()
+            } else {
+                "GC".into()
+            },
             credit_lim: 50_000.0,
             discount: rng.uniform_inclusive(0, 5000) as f64 / 10_000.0,
             balance: -10.0,
@@ -192,11 +198,9 @@ fn load_district(db: &mut TpccDb, w: u64, d: u64, rng: &mut Xoshiro256) {
                 dist_info: format!("d{d}"),
             };
             let rid = db.heaps.order_line.insert(&mut db.bm, &ol.encode());
-            db.idx.order_line.insert(
-                &mut db.bm,
-                keys::order_line(w, d, o, line),
-                rid.to_u64(),
-            );
+            db.idx
+                .order_line
+                .insert(&mut db.bm, keys::order_line(w, d, o, line), rid.to_u64());
         }
         if !delivered {
             let no = NewOrderRec {

@@ -50,9 +50,13 @@ impl W {
 
     fn text(&mut self, s: &str, width: usize) -> &mut Self {
         let bytes = s.as_bytes();
-        assert!(bytes.len() <= width, "text '{s}' exceeds field width {width}");
+        assert!(
+            bytes.len() <= width,
+            "text '{s}' exceeds field width {width}"
+        );
         self.buf.extend_from_slice(bytes);
-        self.buf.extend(std::iter::repeat_n(0u8, width - bytes.len()));
+        self.buf
+            .extend(std::iter::repeat_n(0u8, width - bytes.len()));
         self
     }
 

@@ -83,7 +83,11 @@ pub struct NewOrderAborted {
 
 impl std::fmt::Display for NewOrderAborted {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "new-order aborted: line {} names an unused item", self.bad_line)
+        write!(
+            f,
+            "new-order aborted: line {} names an unused item",
+            self.bad_line
+        )
     }
 }
 
@@ -101,7 +105,11 @@ pub enum CustomerSelector {
 
 impl TpccDb {
     fn read_customer(&mut self, rid: RecordId) -> CustomerRec {
-        let buf = self.heaps.customer.get(&mut self.bm, rid).expect("live customer");
+        let buf = self
+            .heaps
+            .customer
+            .get(&mut self.bm, rid)
+            .expect("live customer");
         CustomerRec::decode(&buf)
     }
 
@@ -126,10 +134,12 @@ impl TpccDb {
             CustomerSelector::ByName(name_id) => {
                 let (lo, hi) = keys::customer_name_range(w, d, name_id);
                 let mut rids: Vec<RecordId> = Vec::new();
-                self.idx.customer_name.scan_range(&mut self.bm, lo, hi, |_, v| {
-                    rids.push(RecordId::from_u64(v));
-                    true
-                });
+                self.idx
+                    .customer_name
+                    .scan_range(&mut self.bm, lo, hi, |_, v| {
+                        rids.push(RecordId::from_u64(v));
+                        true
+                    });
                 assert!(
                     !rids.is_empty(),
                     "every name id has at least one owner by construction"
@@ -152,14 +162,9 @@ impl TpccDb {
     ///
     /// # Panics
     /// Panics on ids beyond the configured scale or an empty line list.
-    pub fn new_order(
-        &mut self,
-        w: u64,
-        d: u64,
-        c: u64,
-        lines: &[OrderLineReq],
-    ) -> NewOrderResult {
+    pub fn new_order(&mut self, w: u64, d: u64, c: u64, lines: &[OrderLineReq]) -> NewOrderResult {
         assert!(!lines.is_empty(), "an order needs at least one line");
+        let _span = self.bm.obs().span("new_order");
         self.check_scale(w, d, Some(c), None);
 
         // 1. warehouse tax
@@ -177,7 +182,9 @@ impl TpccDb {
             DistrictRec::decode(&self.heaps.district.get(&mut self.bm, d_rid).expect("live"));
         let o_id = u64::from(district.next_o_id);
         district.next_o_id += 1;
-        self.heaps.district.update(&mut self.bm, d_rid, &district.encode());
+        self.heaps
+            .district
+            .update(&mut self.bm, d_rid, &district.encode());
 
         // 4. customer discount
         let c_rid = self
@@ -223,7 +230,10 @@ impl TpccDb {
             let item = ItemRec::decode(&self.heaps.item.get(&mut self.bm, i_rid).expect("live"));
 
             let s_rid = self
-                .pk_lookup(Relation::Stock, keys::stock(line.supply_warehouse, line.item))
+                .pk_lookup(
+                    Relation::Stock,
+                    keys::stock(line.supply_warehouse, line.item),
+                )
                 .expect("stock exists");
             let mut stock =
                 StockRec::decode(&self.heaps.stock.get(&mut self.bm, s_rid).expect("live"));
@@ -239,7 +249,9 @@ impl TpccDb {
                 stock.remote_cnt += 1;
             }
             let dist_info = stock.dist_info[d as usize].clone();
-            self.heaps.stock.update(&mut self.bm, s_rid, &stock.encode());
+            self.heaps
+                .stock
+                .update(&mut self.bm, s_rid, &stock.encode());
 
             let amount = f64::from(line.quantity) * item.price;
             line_amounts.push(amount);
@@ -320,6 +332,7 @@ impl TpccDb {
         amount: f64,
     ) -> PaymentResult {
         self.check_scale(w, d, None, None);
+        let _span = self.bm.obs().span("payment");
 
         let w_rid = self
             .pk_lookup(Relation::Warehouse, keys::warehouse(w))
@@ -335,13 +348,19 @@ impl TpccDb {
         let (c_rid, mut customer, rows_matched) = self.resolve_customer(cw, cd, selector);
 
         warehouse.ytd += amount;
-        self.heaps.warehouse.update(&mut self.bm, w_rid, &warehouse.encode());
+        self.heaps
+            .warehouse
+            .update(&mut self.bm, w_rid, &warehouse.encode());
         district.ytd += amount;
-        self.heaps.district.update(&mut self.bm, d_rid, &district.encode());
+        self.heaps
+            .district
+            .update(&mut self.bm, d_rid, &district.encode());
         customer.balance -= amount;
         customer.ytd_payment += amount;
         customer.payment_cnt += 1;
-        self.heaps.customer.update(&mut self.bm, c_rid, &customer.encode());
+        self.heaps
+            .customer
+            .update(&mut self.bm, c_rid, &customer.encode());
 
         let date = self.tick();
         let history = HistoryRec {
@@ -372,9 +391,14 @@ impl TpccDb {
         d: u64,
         selector: CustomerSelector,
     ) -> OrderStatusResult {
+        let _span = self.bm.obs().span("order_status");
         let (_, customer, _) = self.resolve_customer(w, d, selector);
         let c = u64::from(customer.c_id);
-        let Some(o_id) = self.idx.last_order.get(&mut self.bm, keys::last_order(w, d, c)) else {
+        let Some(o_id) = self
+            .idx
+            .last_order
+            .get(&mut self.bm, keys::last_order(w, d, c))
+        else {
             return OrderStatusResult {
                 c_id: c,
                 o_id: None,
@@ -388,10 +412,12 @@ impl TpccDb {
         let order = OrderRec::decode(&self.heaps.order.get(&mut self.bm, o_rid).expect("live"));
         let (lo, hi) = keys::order_line_range(w, d, o_id);
         let mut rids = Vec::with_capacity(usize::from(order.ol_cnt));
-        self.idx.order_line.scan_range(&mut self.bm, lo, hi, |_, v| {
-            rids.push(RecordId::from_u64(v));
-            true
-        });
+        self.idx
+            .order_line
+            .scan_range(&mut self.bm, lo, hi, |_, v| {
+                rids.push(RecordId::from_u64(v));
+                true
+            });
         let lines = rids
             .into_iter()
             .map(|rid| {
@@ -412,6 +438,7 @@ impl TpccDb {
     /// district of `w`.
     pub fn delivery(&mut self, w: u64, carrier_id: u8) -> DeliveryResult {
         self.check_scale(w, 0, None, None);
+        let _span = self.bm.obs().span("delivery");
         let mut per_district = [None; 10];
         let mut delivered = 0;
         for d in 0..10u64 {
@@ -438,16 +465,20 @@ impl TpccDb {
             let mut order =
                 OrderRec::decode(&self.heaps.order.get(&mut self.bm, o_rid).expect("live"));
             order.carrier_id = carrier_id;
-            self.heaps.order.update(&mut self.bm, o_rid, &order.encode());
+            self.heaps
+                .order
+                .update(&mut self.bm, o_rid, &order.encode());
 
             // order lines: read + stamp delivery date, sum amounts
             let date = self.tick();
             let (lo, hi) = keys::order_line_range(w, d, o_id);
             let mut rids = Vec::with_capacity(usize::from(order.ol_cnt));
-            self.idx.order_line.scan_range(&mut self.bm, lo, hi, |_, v| {
-                rids.push(RecordId::from_u64(v));
-                true
-            });
+            self.idx
+                .order_line
+                .scan_range(&mut self.bm, lo, hi, |_, v| {
+                    rids.push(RecordId::from_u64(v));
+                    true
+                });
             let mut total = 0.0;
             for rid in rids {
                 let mut ol = OrderLineRec::decode(
@@ -455,7 +486,9 @@ impl TpccDb {
                 );
                 ol.delivery_d = date;
                 total += ol.amount;
-                self.heaps.order_line.update(&mut self.bm, rid, &ol.encode());
+                self.heaps
+                    .order_line
+                    .update(&mut self.bm, rid, &ol.encode());
             }
 
             // customer: credit the balance
@@ -468,7 +501,9 @@ impl TpccDb {
             let mut customer = self.read_customer(c_rid);
             customer.balance += total;
             customer.delivery_cnt += 1;
-            self.heaps.customer.update(&mut self.bm, c_rid, &customer.encode());
+            self.heaps
+                .customer
+                .update(&mut self.bm, c_rid, &customer.encode());
 
             per_district[d as usize] = Some(o_id);
             delivered += 1;
@@ -484,6 +519,7 @@ impl TpccDb {
     /// orders whose stock is below `threshold`.
     pub fn stock_level(&mut self, w: u64, d: u64, threshold: i32) -> StockLevelResult {
         self.check_scale(w, d, None, None);
+        let _span = self.bm.obs().span("stock_level");
         let d_rid = self
             .pk_lookup(Relation::District, keys::district(w, d))
             .expect("district exists");
@@ -496,21 +532,21 @@ impl TpccDb {
         let (lo, _) = keys::order_line_range(w, d, from);
         let (hi, _) = keys::order_line_range(w, d, next);
         let mut ol_rids = Vec::new();
-        self.idx.order_line.scan_range(&mut self.bm, lo, hi, |_, v| {
-            ol_rids.push(RecordId::from_u64(v));
-            true
-        });
+        self.idx
+            .order_line
+            .scan_range(&mut self.bm, lo, hi, |_, v| {
+                ol_rids.push(RecordId::from_u64(v));
+                true
+            });
         let mut low = std::collections::BTreeSet::new();
         let lines_scanned = ol_rids.len() as u64;
         for rid in ol_rids {
-            let ol = OrderLineRec::decode(
-                &self.heaps.order_line.get(&mut self.bm, rid).expect("live"),
-            );
+            let ol =
+                OrderLineRec::decode(&self.heaps.order_line.get(&mut self.bm, rid).expect("live"));
             let s_rid = self
                 .pk_lookup(Relation::Stock, keys::stock(w, u64::from(ol.i_id)))
                 .expect("stock exists");
-            let stock =
-                StockRec::decode(&self.heaps.stock.get(&mut self.bm, s_rid).expect("live"));
+            let stock = StockRec::decode(&self.heaps.stock.get(&mut self.bm, s_rid).expect("live"));
             if stock.quantity < threshold {
                 low.insert(ol.i_id);
             }
@@ -710,7 +746,9 @@ mod tests {
     #[test]
     fn checked_new_order_succeeds_on_valid_items() {
         let mut db = db();
-        let r = db.new_order_checked(0, 1, 3, &lines(&[5, 6])).expect("valid");
+        let r = db
+            .new_order_checked(0, 1, 3, &lines(&[5, 6]))
+            .expect("valid");
         assert_eq!(r.line_amounts.len(), 2);
     }
 

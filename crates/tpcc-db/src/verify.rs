@@ -72,12 +72,15 @@ impl TpccDb {
 
         // max order id in the Order relation
         let mut max_order = None;
-        self.idx
-            .order
-            .scan_range(&mut self.bm, keys::order_lo(w, d), keys::order_hi(w, d), |k, _| {
+        self.idx.order.scan_range(
+            &mut self.bm,
+            keys::order_lo(w, d),
+            keys::order_hi(w, d),
+            |k, _| {
                 max_order = Some(keys::order_number(k));
                 true
-            });
+            },
+        );
         match max_order {
             Some(max) if max + 1 != next => report.violations.push(format!(
                 "C2: district ({w},{d}) next_o_id {next} but max order id {max}"
@@ -118,12 +121,15 @@ impl TpccDb {
     fn check_c4(&mut self, w: u64, d: u64, report: &mut ConsistencyReport) {
         let mut declared = 0u64;
         let mut order_rids: Vec<RecordId> = Vec::new();
-        self.idx
-            .order
-            .scan_range(&mut self.bm, keys::order_lo(w, d), keys::order_hi(w, d), |_, v| {
+        self.idx.order.scan_range(
+            &mut self.bm,
+            keys::order_lo(w, d),
+            keys::order_hi(w, d),
+            |_, v| {
                 order_rids.push(RecordId::from_u64(v));
                 true
-            });
+            },
+        );
         for rid in order_rids {
             let order = OrderRec::decode(&self.heaps.order.get(&mut self.bm, rid).expect("live"));
             declared += u64::from(order.ol_cnt);
@@ -215,11 +221,7 @@ mod tests {
     #[test]
     fn consistency_survives_a_mixed_workload() {
         let mut db = loader::load(DbConfig::small(), 32);
-        let mut driver = Driver::new(
-            &db,
-            DriverConfig::default().with_spec_rollbacks(),
-            33,
-        );
+        let mut driver = Driver::new(&db, DriverConfig::default().with_spec_rollbacks(), 33);
         let _ = driver.run(&mut db, 3000);
         let report = db.verify_consistency();
         assert!(report.is_consistent(), "{:?}", report.violations);
@@ -264,9 +266,10 @@ mod tests {
         let mut db = loader::load(DbConfig::small(), 35);
         assert!(db.corrupt_pending_queue(0, 0));
         let report = db.verify_consistency();
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| v.starts_with("C3")), "{:?}", report.violations);
+        assert!(
+            report.violations.iter().any(|v| v.starts_with("C3")),
+            "{:?}",
+            report.violations
+        );
     }
 }

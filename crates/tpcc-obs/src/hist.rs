@@ -1,0 +1,301 @@
+//! Fixed-bucket log-scale histograms for latency (or any `u64`)
+//! samples.
+//!
+//! The bucket layout follows the HdrHistogram idea at coarse
+//! resolution: values `0..16` get exact unit buckets; above that, each
+//! power of two is split into 4 sub-buckets (2 significant bits), so
+//! the relative width of any bucket is at most 25%. 256 buckets cover
+//! the full `u64` range, the whole structure is a flat 2 KiB array,
+//! and recording is branch-plus-increment — cheap enough for per-
+//! transaction latencies.
+
+/// Exact unit buckets for values below this bound.
+const LINEAR: u64 = 16;
+/// Total bucket count (16 linear + 60 powers × 4 sub-buckets).
+pub const BUCKETS: usize = 256;
+
+/// A log-scale histogram with p50/p95/p99/max extraction.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a value.
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v < LINEAR {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // >= 4
+    let sub = ((v >> (msb - 2)) & 3) as usize;
+    16 + (msb - 4) * 4 + sub
+}
+
+/// Half-open value range `[lo, hi)` covered by bucket `idx`.
+///
+/// # Panics
+/// Panics when `idx >= BUCKETS`.
+#[must_use]
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    assert!(idx < BUCKETS, "bucket index out of range");
+    if idx < LINEAR as usize {
+        return (idx as u64, idx as u64 + 1);
+    }
+    let msb = 4 + (idx - 16) / 4;
+    let sub = ((idx - 16) % 4) as u64;
+    let width = 1u64 << (msb - 2);
+    let lo = (1u64 << msb) + sub * width;
+    // the topmost bucket's upper bound saturates instead of wrapping
+    (lo, lo.saturating_add(width))
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: Box::new([0; BUCKETS]),
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.total += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True before the first sample.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact mean of all samples; NaN when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        self.sum as f64 / self.total as f64
+    }
+
+    /// Exact maximum sample; 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the bucket midpoint of
+    /// the sample at rank `ceil(q · count)`, clamped to the observed
+    /// maximum (so `quantile(1.0) == max()` exactly). NaN when empty.
+    ///
+    /// Bucket resolution bounds the relative error at 25% (12.5% to
+    /// the midpoint); values below 16 are exact.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        if rank == self.total {
+            return self.max as f64;
+        }
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(idx);
+                let mid = lo as f64 + (hi - lo) as f64 / 2.0 - 0.5;
+                return mid.min(self.max as f64).max(lo as f64);
+            }
+        }
+        unreachable!("rank <= total implies a bucket is found");
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Raw `(bucket_lo, count)` pairs for nonempty buckets.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_bounds(i).0, c))
+    }
+}
+
+/// The summary row exported for one histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 95th percentile estimate.
+    pub p95: f64,
+    /// 99th percentile estimate.
+    pub p99: f64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+impl HistSummary {
+    /// Summarizes a histogram.
+    #[must_use]
+    pub fn of(h: &LogHistogram) -> Self {
+        Self {
+            count: h.count(),
+            mean: h.mean(),
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+            max: h.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_partition_the_axis() {
+        // consecutive buckets tile the line with no gaps or overlaps
+        let mut expect_lo = 0u64;
+        for idx in 0..BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(idx);
+            assert_eq!(lo, expect_lo, "bucket {idx} starts where the last ended");
+            assert!(hi > lo, "bucket {idx} nonempty");
+            expect_lo = hi;
+        }
+        // every value maps into the bucket whose bounds contain it
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1000,
+            123_456_789,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(
+                lo <= v && (v < hi || hi == u64::MAX),
+                "value {v} in bucket {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for q in [0.1, 0.5, 0.9] {
+            let rank = ((q * 16.0_f64).ceil() as u64).clamp(1, 16);
+            assert_eq!(h.quantile(q), (rank - 1) as f64, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentiles_track_sorted_reference_within_bucket_error() {
+        // deterministic pseudo-random skewed samples
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut samples: Vec<u64> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % 1_000_000
+            })
+            .collect();
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.95, 0.99] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1] as f64;
+            let approx = h.quantile(q);
+            let err = (approx - exact).abs() / exact.max(1.0);
+            assert!(
+                err <= 0.25,
+                "q={q}: approx {approx} vs exact {exact} (err {err})"
+            );
+        }
+        assert_eq!(h.max(), *samples.last().unwrap());
+        assert_eq!(h.quantile(1.0), *samples.last().unwrap() as f64);
+        let exact_mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((h.mean() - exact_mean).abs() < 1e-6, "mean is exact");
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let (mut a, mut b, mut both) = (
+            LogHistogram::new(),
+            LogHistogram::new(),
+            LogHistogram::new(),
+        );
+        for v in [3u64, 17, 900, 65_000, 1] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [250u64, 8, 1_000_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.max(), both.max());
+        for q in [0.25, 0.5, 0.75, 0.95, 1.0] {
+            assert_eq!(a.quantile(q), both.quantile(q), "q={q}");
+        }
+        assert!((a.mean() - both.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_nan() {
+        let h = LogHistogram::new();
+        assert!(h.mean().is_nan());
+        assert!(h.quantile(0.5).is_nan());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Observability for the TPC-C modeling suite: a lock-cheap metrics
+//! registry, hierarchical tracing spans, log-scale latency histograms,
+//! and exporters.
+//!
+//! The design has three layers:
+//!
+//! - **Handle** — instrumented code holds an [`Obs`], a cloneable
+//!   `Option<Arc<dyn Recorder>>`. There is no global state: the handle
+//!   is threaded through constructors/configs, and `Obs::disabled()`
+//!   turns every call site into an inlined branch-on-`None` (measured
+//!   overhead is reported in EXPERIMENTS.md).
+//! - **Sink** — the [`Recorder`] trait with two implementations:
+//!   [`NoopRecorder`] and [`MemoryRecorder`], which aggregates
+//!   counters (shared atomics), gauges, [`LogHistogram`]s, and
+//!   completed spans (bounded ring + per-path totals).
+//! - **Export** — [`Snapshot`] serializes as one JSON line
+//!   ([`Snapshot::to_json_line`]) or renders as aligned text
+//!   ([`Snapshot::render_table`], [`Snapshot::render_flame`]);
+//!   [`SnapshotWriter`] emits one JSON line every N transactions.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tpcc_obs::{Label, MemoryRecorder, Obs};
+//!
+//! let recorder = Arc::new(MemoryRecorder::new());
+//! let obs = Obs::new(recorder.clone());
+//! {
+//!     let _txn = obs.span("new_order");
+//!     let _lookup = obs.span("btree_lookup"); // path: new_order/btree_lookup
+//!     obs.counter("node_visits", Label::None, 3);
+//! }
+//! obs.observe("latency_ns", Label::Name("new_order"), 12_345);
+//! println!("{}", recorder.snapshot().render_table());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod hist;
+mod memory;
+mod recorder;
+
+pub use export::{top_level_totals, SnapshotWriter};
+pub use hist::{bucket_bounds, bucket_index, HistSummary, LogHistogram, BUCKETS};
+pub use memory::{MemoryRecorder, Snapshot, SpanEvent, SpanStat, DEFAULT_SPAN_RING};
+pub use recorder::{Label, LatencyTimer, NoopRecorder, Obs, Recorder, SpanGuard};

@@ -1,0 +1,432 @@
+//! The in-memory aggregating recorder and its snapshot type.
+//!
+//! [`MemoryRecorder`] keeps counters as shared atomics behind a
+//! read-mostly map (the write lock is only taken the first time a new
+//! `(metric, label)` pair appears), histograms behind per-histogram
+//! mutexes, and completed spans in a bounded ring buffer plus a running
+//! per-path aggregate. Taking a [`Snapshot`] never disturbs recording
+//! threads beyond those same short locks.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::hist::{HistSummary, LogHistogram};
+use crate::recorder::{Label, Recorder};
+
+/// Default capacity of the completed-span ring buffer.
+pub const DEFAULT_SPAN_RING: usize = 4096;
+
+/// One completed span occurrence, as kept in the ring buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Full nesting path, e.g. `new_order/btree_lookup`.
+    pub path: String,
+    /// Wall-clock duration in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Running aggregate for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Occurrences recorded.
+    pub count: u64,
+    /// Total inclusive wall-clock nanoseconds.
+    pub total_ns: u64,
+    /// Longest single occurrence.
+    pub max_ns: u64,
+}
+
+#[derive(Debug)]
+struct SpanStore {
+    ring: VecDeque<SpanEvent>,
+    capacity: usize,
+    agg: HashMap<String, SpanStat>,
+}
+
+/// A read-mostly map from `(metric, label)` to a shared slot.
+type SlotMap<V> = RwLock<HashMap<(&'static str, Label), V>>;
+
+/// An aggregating, thread-safe recorder that holds everything in
+/// memory until a [`Snapshot`] is taken.
+pub struct MemoryRecorder {
+    counters: SlotMap<Arc<AtomicU64>>,
+    gauges: SlotMap<Arc<AtomicU64>>, // f64 bits
+    hists: SlotMap<Arc<Mutex<LogHistogram>>>,
+    spans: Mutex<SpanStore>,
+    index_names: RwLock<HashMap<u32, String>>,
+}
+
+impl Default for MemoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for MemoryRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryRecorder").finish_non_exhaustive()
+    }
+}
+
+/// Runs `f` against the slot for `key`, inserting it first if absent.
+/// The steady-state path holds only the read lock and never clones the
+/// slot's `Arc` — counters on the buffer-fault path go through here.
+fn with_slot<V, R>(
+    map: &SlotMap<V>,
+    key: (&'static str, Label),
+    mk: impl FnOnce() -> V,
+    f: impl FnOnce(&V) -> R,
+) -> R {
+    if let Some(v) = map.read().expect("obs map lock").get(&key) {
+        return f(v);
+    }
+    f(map
+        .write()
+        .expect("obs map lock")
+        .entry(key)
+        .or_insert_with(mk))
+}
+
+impl MemoryRecorder {
+    /// A recorder with the default span-ring capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_span_capacity(DEFAULT_SPAN_RING)
+    }
+
+    /// A recorder whose span ring holds the most recent
+    /// `span_capacity` completed spans (the per-path aggregate is
+    /// unbounded and unaffected).
+    #[must_use]
+    pub fn with_span_capacity(span_capacity: usize) -> Self {
+        Self {
+            counters: RwLock::new(HashMap::new()),
+            gauges: RwLock::new(HashMap::new()),
+            hists: RwLock::new(HashMap::new()),
+            spans: Mutex::new(SpanStore {
+                ring: VecDeque::with_capacity(span_capacity.min(1024)),
+                capacity: span_capacity.max(1),
+                agg: HashMap::new(),
+            }),
+            index_names: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Current value of a counter (0 if never touched).
+    #[must_use]
+    pub fn counter_value(&self, name: &'static str, label: Label) -> u64 {
+        self.counters
+            .read()
+            .expect("obs map lock")
+            .get(&(name, label))
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Current value of a gauge, if ever set.
+    #[must_use]
+    pub fn gauge_value(&self, name: &'static str, label: Label) -> Option<f64> {
+        self.gauges
+            .read()
+            .expect("obs map lock")
+            .get(&(name, label))
+            .map(|g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+
+    /// A copy of the named histogram, if any samples were recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &'static str, label: Label) -> Option<LogHistogram> {
+        self.hists
+            .read()
+            .expect("obs map lock")
+            .get(&(name, label))
+            .map(|h| h.lock().expect("obs hist lock").clone())
+    }
+
+    /// Aggregate for one span path, if it ever completed.
+    #[must_use]
+    pub fn span_stat(&self, path: &str) -> Option<SpanStat> {
+        self.spans
+            .lock()
+            .expect("obs span lock")
+            .agg
+            .get(path)
+            .copied()
+    }
+
+    /// The most recent completed spans, oldest first (bounded by the
+    /// ring capacity).
+    #[must_use]
+    pub fn recent_spans(&self) -> Vec<SpanEvent> {
+        self.spans
+            .lock()
+            .expect("obs span lock")
+            .ring
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Renders a display key for a metric: `name` alone, or
+    /// `name/label` with `Idx` labels resolved through the registered
+    /// index names.
+    fn render_key(&self, name: &str, label: Label) -> String {
+        match label {
+            Label::None => name.to_string(),
+            Label::Name(l) => format!("{name}/{l}"),
+            Label::Idx(i) => {
+                let names = self.index_names.read().expect("obs map lock");
+                match names.get(&i) {
+                    Some(n) => format!("{name}/{n}"),
+                    None => format!("{name}/file{i}"),
+                }
+            }
+        }
+    }
+
+    /// Takes a consistent-enough point-in-time snapshot of every
+    /// metric and span aggregate, with labels resolved and rows sorted
+    /// by key.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .read()
+            .expect("obs map lock")
+            .iter()
+            .map(|((n, l), v)| (self.render_key(n, *l), v.load(Ordering::Relaxed)))
+            .collect();
+        counters.sort();
+        let mut gauges: Vec<(String, f64)> = self
+            .gauges
+            .read()
+            .expect("obs map lock")
+            .iter()
+            .map(|((n, l), v)| {
+                (
+                    self.render_key(n, *l),
+                    f64::from_bits(v.load(Ordering::Relaxed)),
+                )
+            })
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<(String, HistSummary)> = self
+            .hists
+            .read()
+            .expect("obs map lock")
+            .iter()
+            .map(|((n, l), h)| {
+                (
+                    self.render_key(n, *l),
+                    HistSummary::of(&h.lock().expect("obs hist lock")),
+                )
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut spans: Vec<(String, SpanStat)> = self
+            .spans
+            .lock()
+            .expect("obs span lock")
+            .agg
+            .iter()
+            .map(|(p, s)| (p.clone(), *s))
+            .collect();
+        spans.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+        }
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn counter_add(&self, name: &'static str, label: Label, delta: u64) {
+        with_slot(
+            &self.counters,
+            (name, label),
+            || Arc::new(AtomicU64::new(0)),
+            |c| c.fetch_add(delta, Ordering::Relaxed),
+        );
+    }
+
+    fn gauge_set(&self, name: &'static str, label: Label, value: f64) {
+        with_slot(
+            &self.gauges,
+            (name, label),
+            || Arc::new(AtomicU64::new(0)),
+            |g| g.store(value.to_bits(), Ordering::Relaxed),
+        );
+    }
+
+    fn observe(&self, name: &'static str, label: Label, value: u64) {
+        with_slot(
+            &self.hists,
+            (name, label),
+            || Arc::new(Mutex::new(LogHistogram::new())),
+            |h| h.lock().expect("obs hist lock").record(value),
+        );
+    }
+
+    fn span_record(&self, path: &str, nanos: u64) {
+        let mut store = self.spans.lock().expect("obs span lock");
+        if store.ring.len() == store.capacity {
+            store.ring.pop_front();
+        }
+        store.ring.push_back(SpanEvent {
+            path: path.to_string(),
+            nanos,
+        });
+        // get_mut first: the steady state touches an existing path and
+        // must not pay `entry`'s unconditional key allocation
+        match store.agg.get_mut(path) {
+            Some(stat) => {
+                stat.count += 1;
+                stat.total_ns += nanos;
+                stat.max_ns = stat.max_ns.max(nanos);
+            }
+            None => {
+                store.agg.insert(
+                    path.to_string(),
+                    SpanStat {
+                        count: 1,
+                        total_ns: nanos,
+                        max_ns: nanos,
+                    },
+                );
+            }
+        }
+    }
+
+    fn register_index(&self, idx: u32, name: &str) {
+        self.index_names
+            .write()
+            .expect("obs map lock")
+            .insert(idx, name.to_string());
+    }
+}
+
+/// A point-in-time copy of everything a [`MemoryRecorder`] holds, with
+/// labels resolved to display keys and rows sorted. This is the input
+/// to both exporters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(key, value)` counter rows.
+    pub counters: Vec<(String, u64)>,
+    /// `(key, value)` gauge rows.
+    pub gauges: Vec<(String, f64)>,
+    /// `(key, summary)` histogram rows.
+    pub histograms: Vec<(String, HistSummary)>,
+    /// `(path, aggregate)` span rows, sorted by path — so children
+    /// immediately follow their parents.
+    pub spans: Vec<(String, SpanStat)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Obs;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let obs = Obs::new(rec.clone());
+        obs.counter("txn_total", Label::Name("new_order"), 2);
+        obs.counter("txn_total", Label::Name("new_order"), 3);
+        obs.gauge("pool_pages", Label::None, 128.0);
+        obs.observe("lat", Label::None, 100);
+        obs.observe("lat", Label::None, 300);
+        assert_eq!(rec.counter_value("txn_total", Label::Name("new_order")), 5);
+        assert_eq!(rec.gauge_value("pool_pages", Label::None), Some(128.0));
+        let h = rec.histogram("lat", Label::None).unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 300);
+    }
+
+    #[test]
+    fn nested_spans_build_paths_and_sum() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let obs = Obs::new(rec.clone());
+        for _ in 0..3 {
+            let _outer = obs.span("new_order");
+            {
+                let _inner = obs.span("btree_lookup");
+            }
+            {
+                let _inner = obs.span("btree_lookup");
+            }
+        }
+        let outer = rec.span_stat("new_order").unwrap();
+        let inner = rec.span_stat("new_order/btree_lookup").unwrap();
+        assert_eq!(outer.count, 3);
+        assert_eq!(inner.count, 6);
+        // the parent's inclusive time covers its children's
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(rec.span_stat("btree_lookup").is_none(), "path is nested");
+        // ring buffer saw all 9 completions, children before parents
+        let ring = rec.recent_spans();
+        assert_eq!(ring.len(), 9);
+        assert_eq!(ring[0].path, "new_order/btree_lookup");
+        assert_eq!(ring[2].path, "new_order");
+    }
+
+    #[test]
+    fn span_ring_is_bounded_but_aggregate_is_not() {
+        let rec = Arc::new(MemoryRecorder::with_span_capacity(4));
+        let obs = Obs::new(rec.clone());
+        for _ in 0..10 {
+            let _g = obs.span("tick");
+        }
+        assert_eq!(rec.recent_spans().len(), 4);
+        assert_eq!(rec.span_stat("tick").unwrap().count, 10);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let obs = Obs::disabled();
+        assert!(!obs.enabled());
+        // none of these should panic or allocate recorder state; a
+        // nested span on a disabled handle must leave the thread-local
+        // stack untouched for later enabled spans on the same thread
+        obs.counter("c", Label::None, 1);
+        obs.gauge("g", Label::Idx(3), 1.0);
+        obs.observe("h", Label::None, 42);
+        {
+            let _dead = obs.span("ghost");
+            let rec = Arc::new(MemoryRecorder::new());
+            let live = Obs::new(rec.clone());
+            {
+                let _g = live.span("real");
+            }
+            assert!(rec.span_stat("real").is_some());
+            assert!(rec.span_stat("ghost/real").is_none());
+        }
+        let _t = obs.timer("lat", Label::None);
+    }
+
+    #[test]
+    fn idx_labels_resolve_registered_names() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let obs = Obs::new(rec.clone());
+        obs.register_index(7, "stock");
+        obs.counter("buf_hits", Label::Idx(7), 4);
+        obs.counter("buf_hits", Label::Idx(9), 1);
+        let snap = rec.snapshot();
+        let keys: Vec<&str> = snap.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["buf_hits/file9", "buf_hits/stock"]);
+    }
+
+    #[test]
+    fn timer_cancel_discards_sample() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let obs = Obs::new(rec.clone());
+        obs.timer("lat", Label::None).cancel();
+        assert!(rec.histogram("lat", Label::None).is_none());
+        {
+            let _t = obs.timer("lat", Label::None);
+        }
+        assert_eq!(rec.histogram("lat", Label::None).unwrap().count(), 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! The recording interface: a [`Recorder`] trait, the no-op
+//! implementation, and the cheap cloneable [`Obs`] handle that
+//! instrumented code holds.
+//!
+//! Instrumented crates never talk to a concrete sink; they call through
+//! [`Obs`], which is `Option<Arc<dyn Recorder>>` under the hood. A
+//! disabled handle (`Obs::disabled()`) is a `None` and every method is
+//! an inlined early return — the zero-cost-when-disabled path the rest
+//! of the workspace relies on.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A metric label: most metrics are unlabelled (`None`), per-relation
+/// metrics carry the relation's [`FileId`]-style index (`Idx`), and a
+/// few carry a static name (`Name`).
+///
+/// `Idx` labels render through the recorder's index-name registry (see
+/// [`Recorder::register_index`]) so exports show `stock` instead of
+/// `file7`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Label {
+    /// No label; the metric name stands alone.
+    None,
+    /// A numeric index, typically a storage `FileId`.
+    Idx(u32),
+    /// A static string label, e.g. a transaction type.
+    Name(&'static str),
+}
+
+/// A sink for metrics and span timings.
+///
+/// Implementations must be cheap and thread-safe: counters are hit from
+/// the buffer-manager fault path. The workspace ships two: the unit
+/// struct [`NoopRecorder`] and the aggregating
+/// [`MemoryRecorder`](crate::MemoryRecorder).
+pub trait Recorder: Send + Sync {
+    /// Adds `delta` to a monotonic counter.
+    fn counter_add(&self, name: &'static str, label: Label, delta: u64);
+    /// Sets a gauge to an instantaneous value.
+    fn gauge_set(&self, name: &'static str, label: Label, value: f64);
+    /// Records a sample into a log-scale histogram.
+    fn observe(&self, name: &'static str, label: Label, value: u64);
+    /// Records one completed span occurrence. `path` is the
+    /// `/`-separated chain of enclosing span names.
+    fn span_record(&self, path: &str, nanos: u64);
+    /// Associates a human-readable name with a numeric label index.
+    fn register_index(&self, idx: u32, name: &str);
+}
+
+/// A recorder that discards everything. Used to measure (and to keep
+/// negligible) the overhead of instrumentation call sites themselves.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn counter_add(&self, _: &'static str, _: Label, _: u64) {}
+    fn gauge_set(&self, _: &'static str, _: Label, _: f64) {}
+    fn observe(&self, _: &'static str, _: Label, _: u64) {}
+    fn span_record(&self, _: &str, _: u64) {}
+    fn register_index(&self, _: u32, _: &str) {}
+}
+
+thread_local! {
+    /// The active span-name stack for this thread; spans nest
+    /// lexically, so a thread-local suffices and no locking is needed
+    /// to build paths.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The handle instrumented code holds. Cloning is a pointer copy; a
+/// disabled handle makes every call a no-op without virtual dispatch.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<dyn Recorder>>,
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// A handle that records nothing and costs one branch per call.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A handle recording into `recorder`.
+    #[must_use]
+    pub fn new(recorder: Arc<dyn Recorder>) -> Self {
+        Self {
+            inner: Some(recorder),
+        }
+    }
+
+    /// Whether a recorder is attached.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `delta` to a counter.
+    #[inline]
+    pub fn counter(&self, name: &'static str, label: Label, delta: u64) {
+        if let Some(r) = &self.inner {
+            r.counter_add(name, label, delta);
+        }
+    }
+
+    /// Sets a gauge.
+    #[inline]
+    pub fn gauge(&self, name: &'static str, label: Label, value: f64) {
+        if let Some(r) = &self.inner {
+            r.gauge_set(name, label, value);
+        }
+    }
+
+    /// Records a histogram sample.
+    #[inline]
+    pub fn observe(&self, name: &'static str, label: Label, value: u64) {
+        if let Some(r) = &self.inner {
+            r.observe(name, label, value);
+        }
+    }
+
+    /// Registers a display name for a numeric label index.
+    pub fn register_index(&self, idx: u32, name: &str) {
+        if let Some(r) = &self.inner {
+            r.register_index(idx, name);
+        }
+    }
+
+    /// Opens a tracing span. The returned guard records the span's
+    /// wall-clock duration (keyed by the full nesting path, e.g.
+    /// `new_order/btree_lookup`) when dropped. Disabled handles return
+    /// an inert guard and never touch the thread-local stack.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        match &self.inner {
+            None => SpanGuard { active: None },
+            Some(r) => {
+                let path = SPAN_STACK.with(|s| {
+                    let mut s = s.borrow_mut();
+                    s.push(name);
+                    s.join("/")
+                });
+                SpanGuard {
+                    active: Some(ActiveSpan {
+                        recorder: Arc::clone(r),
+                        path,
+                        start: Instant::now(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Starts a latency timer that records into the named histogram
+    /// when dropped. Lighter than a span: no nesting path, no
+    /// thread-local traffic.
+    #[inline]
+    pub fn timer(&self, name: &'static str, label: Label) -> LatencyTimer {
+        LatencyTimer {
+            active: self
+                .inner
+                .as_ref()
+                .map(|r| (Arc::clone(r), name, label, Instant::now())),
+        }
+    }
+}
+
+struct ActiveSpan {
+    recorder: Arc<dyn Recorder>,
+    path: String,
+    start: Instant,
+}
+
+/// RAII guard for a span opened with [`Obs::span`]; records on drop.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(span) = self.active.take() {
+            let nanos = span.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            SPAN_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+            span.recorder.span_record(&span.path, nanos);
+        }
+    }
+}
+
+/// RAII guard for a histogram timer opened with [`Obs::timer`].
+pub struct LatencyTimer {
+    active: Option<(Arc<dyn Recorder>, &'static str, Label, Instant)>,
+}
+
+impl LatencyTimer {
+    /// Stops the timer without recording.
+    pub fn cancel(mut self) {
+        self.active = None;
+    }
+}
+
+impl Drop for LatencyTimer {
+    fn drop(&mut self) {
+        if let Some((recorder, name, label, start)) = self.active.take() {
+            let nanos = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            recorder.observe(name, label, nanos);
+        }
+    }
+}

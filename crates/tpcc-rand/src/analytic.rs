@@ -53,7 +53,10 @@ pub fn pow2_period(a_bits: u32) -> u64 {
 
 fn validate(a_bits: u32, b_bits: u32) {
     assert!(b_bits > 0 && b_bits < 63, "b_bits must be in 1..63");
-    assert!(a_bits <= b_bits, "requires a <= b, got a={a_bits} b={b_bits}");
+    assert!(
+        a_bits <= b_bits,
+        "requires a <= b, got a={a_bits} b={b_bits}"
+    );
 }
 
 #[cfg(test)]

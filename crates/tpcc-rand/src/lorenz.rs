@@ -7,7 +7,6 @@
 //! the data* (e.g. 84% → 20% for stock tuples) and the inverse.
 
 use crate::pmf::Pmf;
-use serde::{Deserialize, Serialize};
 
 /// A Lorenz curve: `access_cum[k]` is the probability mass carried by the
 /// `k + 1` coldest items, with items sorted coldest → hottest.
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// // skewed: the hottest 20% of tuples absorb well over 20% of accesses
 /// assert!(curve.access_share_of_hottest(0.20) > 0.5);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LorenzCurve {
     access_cum: Vec<f64>,
 }

@@ -9,10 +9,9 @@
 use crate::nurand::NuRand;
 use crate::pmf::Pmf;
 use crate::rng::Xoshiro256;
-use serde::{Deserialize, Serialize};
 
 /// A finite mixture of NURand distributions over a common id space.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Mixture {
     components: Vec<(f64, NuRand)>,
     support_lo: u64,
@@ -37,9 +36,20 @@ impl Mixture {
             })
             .sum();
         assert!(total > 0.0, "mixture weights sum to zero");
-        let support_lo = components.iter().map(|(_, nu)| nu.x).min().expect("nonempty");
-        let support_hi = components.iter().map(|(_, nu)| nu.y).max().expect("nonempty");
-        let components = components.into_iter().map(|(w, nu)| (w / total, nu)).collect();
+        let support_lo = components
+            .iter()
+            .map(|(_, nu)| nu.x)
+            .min()
+            .expect("nonempty");
+        let support_hi = components
+            .iter()
+            .map(|(_, nu)| nu.y)
+            .max()
+            .expect("nonempty");
+        let components = components
+            .into_iter()
+            .map(|(w, nu)| (w / total, nu))
+            .collect();
         Self {
             components,
             support_lo,
@@ -143,7 +153,10 @@ mod tests {
 
     #[test]
     fn weights_renormalize() {
-        let m = Mixture::new(vec![(2.0, NuRand::new(1, 0, 3)), (6.0, NuRand::new(1, 0, 3))]);
+        let m = Mixture::new(vec![
+            (2.0, NuRand::new(1, 0, 3)),
+            (6.0, NuRand::new(1, 0, 3)),
+        ]);
         let w: Vec<f64> = m.components().iter().map(|(w, _)| *w).collect();
         assert!((w[0] - 0.25).abs() < 1e-12);
         assert!((w[1] - 0.75).abs() < 1e-12);

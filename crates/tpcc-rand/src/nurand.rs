@@ -16,7 +16,6 @@
 //! [`NuRand::with_paper_modulus`] so the difference can be measured.
 
 use crate::rng::Xoshiro256;
-use serde::{Deserialize, Serialize};
 
 /// A fully-specified `NURand(A, x, y)` distribution with constant `C`.
 ///
@@ -29,7 +28,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((1..=100_000).contains(&id));
 /// assert_eq!(nu.cycles(), 12); // the 12 hot bands of Figure 3
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NuRand {
     /// Bit-mask-ish width constant `A` (8191 for items, 1023 for
     /// customer ids, 255 for customer last names).
@@ -98,7 +97,11 @@ impl NuRand {
     /// Panics if `c > a`.
     #[must_use]
     pub fn with_c(mut self, c: u64) -> Self {
-        assert!(c <= self.a, "C must lie in [0, A] = [0, {}], got {c}", self.a);
+        assert!(
+            c <= self.a,
+            "C must lie in [0, A] = [0, {}], got {c}",
+            self.a
+        );
         self.c = c;
         self
     }

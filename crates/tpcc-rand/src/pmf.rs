@@ -8,7 +8,6 @@
 
 use crate::nurand::NuRand;
 use crate::rng::Xoshiro256;
-use serde::{Deserialize, Serialize};
 
 /// A discrete distribution over the ids `first_id ..= first_id + len − 1`.
 ///
@@ -25,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// let pages = pmf.pack_sequential(8);
 /// assert_eq!(pages.len(), 8);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pmf {
     first_id: u64,
     probs: Vec<f64>,
@@ -41,10 +40,7 @@ impl Pmf {
         assert!(!counts.is_empty(), "PMF needs at least one id");
         let total: u128 = counts.iter().map(|&c| u128::from(c)).sum();
         assert!(total > 0, "PMF counts sum to zero");
-        let probs = counts
-            .iter()
-            .map(|&c| c as f64 / total as f64)
-            .collect();
+        let probs = counts.iter().map(|&c| c as f64 / total as f64).collect();
         Self { first_id, probs }
     }
 

@@ -7,15 +7,14 @@
 //! page-placement code.
 
 use crate::relation::{CUSTOMERS_PER_DISTRICT, DISTRICTS_PER_WAREHOUSE, ITEMS};
-use serde::{Deserialize, Serialize};
 
 /// Warehouse id, `0 .. W` (0-based internally; the spec's ids are 1-based
 /// but only the dense ordinal matters to the models).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct WarehouseKey(pub u64);
 
 /// District id: warehouse + district-within-warehouse (`0..10`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DistrictKey {
     /// Owning warehouse.
     pub warehouse: u64,
@@ -24,7 +23,7 @@ pub struct DistrictKey {
 }
 
 /// Customer id: district + customer-within-district (`0..3000`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CustomerKey {
     /// Owning warehouse.
     pub warehouse: u64,
@@ -35,11 +34,11 @@ pub struct CustomerKey {
 }
 
 /// Item id, `0 .. 100_000`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ItemKey(pub u64);
 
 /// Stock id: `(warehouse, item)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StockKey {
     /// Supplying warehouse.
     pub warehouse: u64,
@@ -48,7 +47,7 @@ pub struct StockKey {
 }
 
 /// Order id: district + a monotonically increasing order number.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OrderKey {
     /// Owning warehouse.
     pub warehouse: u64,

@@ -9,12 +9,11 @@
 //! probabilities are known a priori and static.
 
 use crate::relation::{PageSize, Relation};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use tpcc_rand::{Mixture, Pmf};
 
 /// The two loading strategies the paper compares.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Packing {
     /// Key-ordered load: tuple `k` of a group lands in slot `k`.
     Sequential,
@@ -70,10 +69,14 @@ impl RelationLayout {
         let first = hotness.first_id();
         let mut slot_of_local = vec![0u32; group_size as usize];
         for (slot, &id) in ranking.iter().enumerate() {
-            slot_of_local[(id - first) as usize] =
-                u32::try_from(slot).expect("group fits in u32");
+            slot_of_local[(id - first) as usize] = u32::try_from(slot).expect("group fits in u32");
         }
-        Self::build(relation, page_size, group_size, Some(Arc::new(slot_of_local)))
+        Self::build(
+            relation,
+            page_size,
+            group_size,
+            Some(Arc::new(slot_of_local)),
+        )
     }
 
     /// Builds the layout the paper uses for a *static* relation.
@@ -99,7 +102,11 @@ impl RelationLayout {
         item_pmf: &Pmf,
     ) -> Self {
         use crate::relation::{CUSTOMERS_PER_DISTRICT, ITEMS, STOCK_PER_WAREHOUSE};
-        assert!(relation.is_static(), "{} grows at run time", relation.name());
+        assert!(
+            relation.is_static(),
+            "{} grows at run time",
+            relation.name()
+        );
         match (relation, packing) {
             (Relation::Warehouse | Relation::District, _) => {
                 // One group: hot enough to be irrelevant either way.
@@ -281,12 +288,8 @@ mod tests {
     #[should_panic(expected = "grows at run time")]
     fn growing_relation_rejected() {
         let pmf = Pmf::uniform(1, 100_000);
-        let _ = RelationLayout::for_static(
-            Relation::Order,
-            Packing::Sequential,
-            PageSize::K4,
-            &pmf,
-        );
+        let _ =
+            RelationLayout::for_static(Relation::Order, Packing::Sequential, PageSize::K4, &pmf);
     }
 
     #[test]

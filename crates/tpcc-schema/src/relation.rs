@@ -1,7 +1,5 @@
 //! Relation catalogue: Table 1 of the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// Customers per district (clause 4.3 population rules).
 pub const CUSTOMERS_PER_DISTRICT: u64 = 3000;
 /// Districts per warehouse.
@@ -16,7 +14,7 @@ pub const STOCK_PER_WAREHOUSE: u64 = ITEMS;
 pub const UNIQUE_NAMES_PER_DISTRICT: u64 = 1000;
 
 /// The nine TPC-C relations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Relation {
     /// One row per warehouse (89 bytes).
     Warehouse,
@@ -148,7 +146,7 @@ impl Relation {
 }
 
 /// A database page size in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PageSize(u64);
 
 impl PageSize {
@@ -181,7 +179,7 @@ impl Default for PageSize {
 }
 
 /// Scale configuration: warehouse count and page size.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchemaConfig {
     /// Number of warehouses `W`.
     pub warehouses: u64,

@@ -20,6 +20,7 @@
 
 use crate::bufmgr::BufferManager;
 use crate::disk::FileId;
+use tpcc_obs::Label;
 
 const HEADER: usize = 8;
 const LEAF: u8 = 0;
@@ -55,7 +56,10 @@ impl BTree {
         let file = bm.disk_mut().create_file();
         let leaf_cap = (page_size - HEADER) / 16;
         let internal_cap = (page_size - HEADER - 4) / 12;
-        assert!(leaf_cap >= 3 && internal_cap >= 3, "page too small for a B+Tree");
+        assert!(
+            leaf_cap >= 3 && internal_cap >= 3,
+            "page too small for a B+Tree"
+        );
         let (root, ()) = bm.allocate_page(file, |data| {
             encode(
                 data,
@@ -89,10 +93,7 @@ impl BTree {
                     page = children[child_index(&keys, key)];
                 }
                 Node::Leaf { keys, vals, .. } => {
-                    return keys
-                        .binary_search(&key)
-                        .ok()
-                        .map(|i| vals[i]);
+                    return keys.binary_search(&key).ok().map(|i| vals[i]);
                 }
             }
         }
@@ -236,6 +237,7 @@ impl BTree {
                     return (old, None);
                 }
                 // split: upper half to a fresh right sibling
+                self.note_split(bm);
                 let mid = keys.len() / 2;
                 let right_keys = keys.split_off(mid);
                 let right_vals = vals.split_off(mid);
@@ -277,6 +279,7 @@ impl BTree {
                     return (old, None);
                 }
                 // split internal: middle key promotes
+                self.note_split(bm);
                 let mid = keys.len() / 2;
                 let promoted = keys[mid];
                 let right_keys = keys.split_off(mid + 1);
@@ -298,11 +301,17 @@ impl BTree {
     }
 
     fn read(&self, bm: &mut BufferManager, page: u32) -> Node {
+        bm.obs()
+            .counter("btree_node_visits", Label::Idx(self.file.0), 1);
         bm.with_page(self.file, page, decode)
     }
 
     fn write(&self, bm: &mut BufferManager, page: u32, node: &Node) {
         bm.with_page_mut(self.file, page, |data| encode(data, node));
+    }
+
+    fn note_split(&self, bm: &BufferManager) {
+        bm.obs().counter("btree_splits", Label::Idx(self.file.0), 1);
     }
 }
 
@@ -348,7 +357,9 @@ fn decode(data: &[u8]) -> Node {
         let mut vals = Vec::with_capacity(n);
         let mut off = HEADER;
         for _ in 0..n {
-            keys.push(u64::from_le_bytes(data[off..off + 8].try_into().expect("key")));
+            keys.push(u64::from_le_bytes(
+                data[off..off + 8].try_into().expect("key"),
+            ));
             vals.push(u64::from_le_bytes(
                 data[off + 8..off + 16].try_into().expect("val"),
             ));
@@ -363,7 +374,9 @@ fn decode(data: &[u8]) -> Node {
         let mut keys = Vec::with_capacity(n);
         let mut off = HEADER + 4;
         for _ in 0..n {
-            keys.push(u64::from_le_bytes(data[off..off + 8].try_into().expect("key")));
+            keys.push(u64::from_le_bytes(
+                data[off..off + 8].try_into().expect("key"),
+            ));
             children.push(u32::from_le_bytes(
                 data[off + 8..off + 12].try_into().expect("child"),
             ));
@@ -453,7 +466,13 @@ mod tests {
             seen.push(k);
             true
         });
-        assert_eq!(seen, vec![90, 93, 96, 99, 102, 105, 108, 111, 114, 117, 120, 123, 126, 129, 132, 135, 138, 141, 144, 147]);
+        assert_eq!(
+            seen,
+            vec![
+                90, 93, 96, 99, 102, 105, 108, 111, 114, 117, 120, 123, 126, 129, 132, 135, 138,
+                141, 144, 147
+            ]
+        );
     }
 
     #[test]

@@ -8,11 +8,11 @@
 
 use crate::disk::{DiskManager, FileId};
 use crate::wal::{page_delta, Wal, WalEntry};
-use serde::{Deserialize, Serialize};
 use tpcc_buffer::fxhash::FxHashMap;
+use tpcc_obs::{Label, Obs};
 
 /// Replacement policy for the frame pool.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Replacement {
     /// Exact least-recently-used (the paper's assumption).
     Lru,
@@ -20,24 +20,41 @@ pub enum Replacement {
     Clock,
 }
 
-/// Buffer hit/miss counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// Buffer traffic counters for one file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BufferStats {
     /// Accesses served from the pool.
     pub hits: u64,
     /// Accesses that had to read from disk.
     pub misses: u64,
+    /// Pages of this file evicted to make room.
+    pub evictions: u64,
+    /// Dirty pages of this file written back to disk (eviction or
+    /// [`BufferManager::flush_all`]).
+    pub writebacks: u64,
 }
 
 impl BufferStats {
-    /// Miss ratio; zero when nothing was accessed.
+    /// Miss ratio; NaN when nothing was accessed — an undefined ratio
+    /// must not masquerade as a perfect hit rate. Render it as "n/a".
     #[must_use]
     pub fn miss_ratio(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
-            0.0
+            f64::NAN
         } else {
             self.misses as f64 / total as f64
+        }
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn merged(self, other: BufferStats) -> BufferStats {
+        BufferStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            writebacks: self.writebacks + other.writebacks,
         }
     }
 }
@@ -64,6 +81,7 @@ pub struct BufferManager {
     per_file: FxHashMap<FileId, BufferStats>,
     wal: Option<Wal>,
     wal_scratch: Vec<u8>,
+    obs: Obs,
 }
 
 impl BufferManager {
@@ -94,7 +112,22 @@ impl BufferManager {
             per_file: FxHashMap::default(),
             wal: None,
             wal_scratch: vec![0u8; page_size],
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle; buffer traffic, WAL volume
+    /// and B+Tree structure events are recorded through it (per file,
+    /// labelled by [`FileId`] — register display names on the recorder
+    /// to get relation names in exports).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The attached observability handle (disabled by default).
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Turns on redo logging: from now on every page mutation, file
@@ -163,10 +196,7 @@ impl BufferManager {
     pub fn total_stats(&self) -> BufferStats {
         self.per_file
             .values()
-            .fold(BufferStats::default(), |a, s| BufferStats {
-                hits: a.hits + s.hits,
-                misses: a.misses + s.misses,
-            })
+            .fold(BufferStats::default(), |a, s| a.merged(*s))
     }
 
     /// Clears hit/miss counters (keeps pool contents — useful between
@@ -198,6 +228,9 @@ impl BufferManager {
         self.wal_scratch.copy_from_slice(&self.frames[frame].data);
         let r = f(&mut self.frames[frame].data);
         if let Some((offset, data)) = page_delta(&self.wal_scratch, &self.frames[frame].data) {
+            self.obs
+                .counter("wal_bytes_appended", Label::None, data.len() as u64);
+            self.obs.counter("wal_records", Label::None, 1);
             if let Some(wal) = &mut self.wal {
                 wal.append(WalEntry::PageDelta {
                     file,
@@ -227,6 +260,8 @@ impl BufferManager {
             if self.frames[i].dirty {
                 if let Some((file, page)) = self.frames[i].key {
                     self.disk.write_page(file, page, &self.frames[i].data);
+                    self.per_file.entry(file).or_default().writebacks += 1;
+                    self.obs.counter("buf_writebacks", Label::Idx(file.0), 1);
                 }
                 self.frames[i].dirty = false;
             }
@@ -238,22 +273,29 @@ impl BufferManager {
         let stats = self.per_file.entry(file).or_default();
         if let Some(&idx) = self.table.get(&(file, page)) {
             stats.hits += 1;
+            self.obs.counter("buf_hits", Label::Idx(file.0), 1);
             let frame = &mut self.frames[idx as usize];
             frame.ref_bit = true;
             frame.last_used = self.tick;
             return idx as usize;
         }
         stats.misses += 1;
+        self.obs.counter("buf_misses", Label::Idx(file.0), 1);
         let victim = self.pick_victim();
         if self.frames[victim].dirty {
             if let Some((vf, vp)) = self.frames[victim].key {
                 self.disk.write_page(vf, vp, &self.frames[victim].data);
+                self.per_file.entry(vf).or_default().writebacks += 1;
+                self.obs.counter("buf_writebacks", Label::Idx(vf.0), 1);
             }
         }
         if let Some(old) = self.frames[victim].key.take() {
             self.table.remove(&old);
+            self.per_file.entry(old.0).or_default().evictions += 1;
+            self.obs.counter("buf_evictions", Label::Idx(old.0 .0), 1);
         }
-        self.disk.read_page(file, page, &mut self.frames[victim].data);
+        self.disk
+            .read_page(file, page, &mut self.frames[victim].data);
         let f = &mut self.frames[victim];
         f.key = Some((file, page));
         f.dirty = false;

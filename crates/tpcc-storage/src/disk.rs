@@ -2,14 +2,12 @@
 //! accounting, standing in for the 25 ms-per-I/O device of the paper's
 //! throughput model.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies one page file (one relation or index).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FileId(pub u32);
 
 /// Per-file physical I/O counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
     /// Pages read from the "device".
     pub reads: u64,
@@ -155,7 +153,13 @@ mod tests {
         buf.fill(0);
         d.read_page(f, 0, &mut buf);
         assert!(buf.iter().all(|&b| b == 7));
-        assert_eq!(d.stats(f), IoStats { reads: 1, writes: 1 });
+        assert_eq!(
+            d.stats(f),
+            IoStats {
+                reads: 1,
+                writes: 1
+            }
+        );
     }
 
     #[test]

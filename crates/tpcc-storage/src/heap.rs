@@ -14,11 +14,10 @@
 use crate::bufmgr::BufferManager;
 use crate::disk::FileId;
 use crate::page::SlottedPage;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Physical record address: page number and slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RecordId {
     /// Page within the heap file.
     pub page: u32,

@@ -31,7 +31,10 @@ impl<'a> SlottedPage<'a> {
     /// (offsets are 16-bit).
     pub fn init(data: &'a mut [u8]) -> Self {
         assert!(data.len() >= 64, "page too small");
-        assert!(data.len() <= u16::MAX as usize + 1, "page too large for u16 offsets");
+        assert!(
+            data.len() <= u16::MAX as usize + 1,
+            "page too large for u16 offsets"
+        );
         let len = data.len() as u16;
         data[0..2].copy_from_slice(&0u16.to_le_bytes());
         data[2..4].copy_from_slice(&len.to_le_bytes());
@@ -85,7 +88,9 @@ impl<'a> SlottedPage<'a> {
     /// Number of live records.
     #[must_use]
     pub fn live_records(&self) -> usize {
-        (0..self.n_slots()).filter(|&i| self.slot(i).0 != DEAD).count()
+        (0..self.n_slots())
+            .filter(|&i| self.slot(i).0 != DEAD)
+            .count()
     }
 
     /// Contiguous free bytes available for one more record (including
@@ -223,10 +228,7 @@ impl<'a> SlottedPage<'a> {
         for i in 0..n {
             let (off, len) = self.slot(i);
             if off != DEAD {
-                records.push((
-                    i,
-                    self.data[off as usize..(off + len) as usize].to_vec(),
-                ));
+                records.push((i, self.data[off as usize..(off + len) as usize].to_vec()));
             }
         }
         let mut end = self.data.len();
@@ -243,12 +245,7 @@ impl<'a> SlottedPage<'a> {
     pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> + '_ {
         (0..self.n_slots()).filter_map(move |i| {
             let (off, len) = self.slot(i);
-            (off != DEAD).then(|| {
-                (
-                    i as u16,
-                    &self.data[off as usize..(off + len) as usize],
-                )
-            })
+            (off != DEAD).then(|| (i as u16, &self.data[off as usize..(off + len) as usize]))
         })
     }
 }

@@ -14,10 +14,9 @@
 //! which aborts before its first write).
 
 use crate::disk::{DiskManager, FileId};
-use serde::{Deserialize, Serialize};
 
 /// One logged event.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WalEntry {
     /// A file came into existence (`create_file`).
     CreateFile {
@@ -50,7 +49,7 @@ pub enum WalEntry {
 }
 
 /// An in-memory redo log.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Wal {
     entries: Vec<WalEntry>,
     delta_bytes: u64,
@@ -155,10 +154,7 @@ impl Wal {
 #[must_use]
 pub fn page_delta(before: &[u8], after: &[u8]) -> Option<(u32, Vec<u8>)> {
     debug_assert_eq!(before.len(), after.len());
-    let first = before
-        .iter()
-        .zip(after)
-        .position(|(a, b)| a != b)?;
+    let first = before.iter().zip(after).position(|(a, b)| a != b)?;
     let last = before
         .iter()
         .zip(after)

@@ -10,11 +10,10 @@
 //! printed constants separately.
 
 use crate::mix::{TransactionMix, TxType};
-use serde::{Deserialize, Serialize};
 use tpcc_schema::relation::Relation;
 
 /// Workload knobs the counts depend on.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CallConfig {
     /// Mean items per New-Order (paper: 10).
     pub items_per_order: f64,
@@ -53,7 +52,7 @@ impl Default for CallConfig {
 }
 
 /// Expected SQL calls per transaction (Table 2 columns 4–9).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CallProfile {
     /// Unique-key selects.
     pub selects: f64,
@@ -131,7 +130,7 @@ impl CallProfile {
 }
 
 /// How a transaction selects tuples from a relation (Table 3 notation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessClass {
     /// `U(x)`: uniformly random tuples.
     Uniform,
@@ -158,7 +157,7 @@ impl AccessClass {
 }
 
 /// One Table 3 cell: how many tuples, selected how.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RelationAccess {
     /// Selection pattern.
     pub class: AccessClass,
@@ -201,9 +200,7 @@ impl RelationAccessProfile {
             (TxType::Payment, Relation::Customer) => cell(NuRand, self.cfg.customer_selects()),
             (TxType::Payment, Relation::History) => cell(Append, 1.0),
 
-            (TxType::OrderStatus, Relation::Customer) => {
-                cell(NuRand, self.cfg.customer_selects())
-            }
+            (TxType::OrderStatus, Relation::Customer) => cell(NuRand, self.cfg.customer_selects()),
             (TxType::OrderStatus, Relation::Order) => cell(Past, 1.0),
             (TxType::OrderStatus, Relation::OrderLine) => cell(Past, m),
 
@@ -216,9 +213,7 @@ impl RelationAccessProfile {
             (TxType::StockLevel, Relation::OrderLine) => {
                 cell(Past, self.cfg.stock_level_orders * m)
             }
-            (TxType::StockLevel, Relation::Stock) => {
-                cell(Past, self.cfg.stock_level_orders * m)
-            }
+            (TxType::StockLevel, Relation::Stock) => cell(Past, self.cfg.stock_level_orders * m),
 
             _ => None,
         }
@@ -230,10 +225,7 @@ impl RelationAccessProfile {
     pub fn average(&self, mix: &TransactionMix, relation: Relation) -> f64 {
         TxType::ALL
             .iter()
-            .map(|&tx| {
-                mix.fraction(tx)
-                    * self.access(tx, relation).map_or(0.0, |a| a.count)
-            })
+            .map(|&tx| mix.fraction(tx) * self.access(tx, relation).map_or(0.0, |a| a.count))
             .sum()
     }
 }

@@ -7,12 +7,11 @@
 //! (1% remote stock) and 2.5 (15% remote payments).
 
 use crate::mix::TxType;
-use serde::{Deserialize, Serialize};
 use tpcc_rand::{NuRand, Xoshiro256};
 use tpcc_schema::relation::DISTRICTS_PER_WAREHOUSE;
 
 /// How many items a New-Order transaction orders.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ItemsPerOrder {
     /// The paper's simplification: always exactly `n` items (§2.2 fixes
     /// n = 10; "this assumption has no effect since we only report mean
@@ -41,7 +40,7 @@ impl ItemsPerOrder {
 }
 
 /// Tunable workload parameters with paper defaults.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InputConfig {
     /// Number of warehouses `W`.
     pub warehouses: u64,
@@ -88,7 +87,7 @@ impl InputConfig {
 }
 
 /// One ordered item: which item, supplied from which warehouse.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ItemOrder {
     /// 0-based item id.
     pub item: u64,
@@ -97,7 +96,7 @@ pub struct ItemOrder {
 }
 
 /// How Payment / Order-Status pick the customer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PaymentSelector {
     /// Unique select by customer id (40% of the time).
     ById {
@@ -136,7 +135,7 @@ impl PaymentSelector {
 }
 
 /// Fully-generated transaction input.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TxInput {
     /// New-Order input (§2.2).
     NewOrder {
@@ -276,8 +275,7 @@ impl InputGenerator {
     fn payment(&self, rng: &mut Xoshiro256) -> TxInput {
         let warehouse = self.uniform_warehouse(rng);
         let district = self.uniform_district(rng);
-        let customer_warehouse =
-            self.maybe_remote(warehouse, self.config.remote_payment_prob, rng);
+        let customer_warehouse = self.maybe_remote(warehouse, self.config.remote_payment_prob, rng);
         let customer_district = if customer_warehouse == warehouse {
             district
         } else {
@@ -459,8 +457,7 @@ mod tests {
         let g = generator(3);
         let mut rng = Xoshiro256::seed_from_u64(6);
         for _ in 0..2000 {
-            if let TxInput::StockLevel { threshold, .. } =
-                g.generate(TxType::StockLevel, &mut rng)
+            if let TxInput::StockLevel { threshold, .. } = g.generate(TxType::StockLevel, &mut rng)
             {
                 assert!((10..=20).contains(&threshold));
             }

@@ -1,10 +1,9 @@
 //! Transaction types and the workload mix (paper Table 2).
 
-use serde::{Deserialize, Serialize};
 use tpcc_rand::Xoshiro256;
 
 /// The five TPC-C transaction types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TxType {
     /// Places an order for ~10 items (the benchmark's metric transaction).
     NewOrder,
@@ -65,7 +64,7 @@ impl TxType {
 }
 
 /// A workload mix: the fraction of transactions of each type.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransactionMix {
     fractions: [f64; 5],
 }

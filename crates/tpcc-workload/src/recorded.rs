@@ -18,7 +18,6 @@
 
 use crate::mix::TxType;
 use crate::trace::{PageId, PageRef, TraceGenerator};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: &[u8; 8] = b"TPCCTRC1";
 
@@ -48,7 +47,7 @@ impl std::error::Error for ReplayError {}
 /// Accumulates transactions into the binary format.
 #[derive(Debug)]
 pub struct TraceRecorder {
-    buf: BytesMut,
+    buf: Vec<u8>,
     transactions: u64,
 }
 
@@ -56,8 +55,8 @@ impl TraceRecorder {
     /// Empty recorder.
     #[must_use]
     pub fn new() -> Self {
-        let mut buf = BytesMut::with_capacity(1 << 20);
-        buf.put_slice(MAGIC);
+        let mut buf = Vec::with_capacity(1 << 20);
+        buf.extend_from_slice(MAGIC);
         Self {
             buf,
             transactions: 0,
@@ -70,12 +69,16 @@ impl TraceRecorder {
     /// Panics on more than `u16::MAX` references (no TPC-C transaction
     /// comes anywhere near).
     pub fn record(&mut self, tx: TxType, refs: &[PageRef]) {
-        self.buf.put_u8(tx.index() as u8);
-        self.buf
-            .put_u16_le(u16::try_from(refs.len()).expect("transaction fits u16 refs"));
+        self.buf.push(tx.index() as u8);
+        self.buf.extend_from_slice(
+            &u16::try_from(refs.len())
+                .expect("transaction fits u16 refs")
+                .to_le_bytes(),
+        );
         for r in refs {
             debug_assert!(r.page.raw() < (1 << 63));
-            self.buf.put_u64_le((r.page.raw() << 1) | u64::from(r.write));
+            self.buf
+                .extend_from_slice(&((r.page.raw() << 1) | u64::from(r.write)).to_le_bytes());
         }
         self.transactions += 1;
     }
@@ -88,14 +91,14 @@ impl TraceRecorder {
 
     /// Finishes and returns the immutable buffer.
     #[must_use]
-    pub fn finish(self) -> Bytes {
-        self.buf.freeze()
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
     }
 
     /// Convenience: generate-and-record `transactions` transactions
     /// from a live generator.
     #[must_use]
-    pub fn capture(gen: &mut TraceGenerator, transactions: u64) -> Bytes {
+    pub fn capture(gen: &mut TraceGenerator, transactions: u64) -> Vec<u8> {
         let mut rec = Self::new();
         let mut refs = Vec::with_capacity(512);
         for _ in 0..transactions {
@@ -115,12 +118,12 @@ impl Default for TraceRecorder {
 /// Replays a recorded trace.
 #[derive(Debug, Clone)]
 pub struct TraceReplay {
-    data: Bytes,
+    data: Vec<u8>,
 }
 
 impl TraceReplay {
     /// Validates the header and wraps the buffer.
-    pub fn new(data: Bytes) -> Result<Self, ReplayError> {
+    pub fn new(data: Vec<u8>) -> Result<Self, ReplayError> {
         if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
             return Err(ReplayError::BadMagic);
         }
@@ -128,34 +131,32 @@ impl TraceReplay {
     }
 
     /// Streams every transaction to `visit`; fails fast on corruption.
-    pub fn for_each(
-        &self,
-        mut visit: impl FnMut(TxType, &[PageRef]),
-    ) -> Result<u64, ReplayError> {
-        let mut cur = self.data.clone();
-        cur.advance(MAGIC.len());
+    pub fn for_each(&self, mut visit: impl FnMut(TxType, &[PageRef])) -> Result<u64, ReplayError> {
+        let mut cur = &self.data[MAGIC.len()..];
         let mut refs: Vec<PageRef> = Vec::with_capacity(512);
         let mut transactions = 0;
-        while cur.has_remaining() {
-            if cur.remaining() < 3 {
+        while !cur.is_empty() {
+            if cur.len() < 3 {
                 return Err(ReplayError::Truncated);
             }
-            let tag = cur.get_u8();
+            let tag = cur[0];
             let tx = *TxType::ALL
                 .get(tag as usize)
                 .ok_or(ReplayError::BadTxType(tag))?;
-            let n = cur.get_u16_le() as usize;
-            if cur.remaining() < n * 8 {
+            let n = u16::from_le_bytes([cur[1], cur[2]]) as usize;
+            cur = &cur[3..];
+            if cur.len() < n * 8 {
                 return Err(ReplayError::Truncated);
             }
             refs.clear();
-            for _ in 0..n {
-                let word = cur.get_u64_le();
+            for chunk in cur[..n * 8].chunks_exact(8) {
+                let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
                 refs.push(PageRef {
                     page: PageId::from_raw(word >> 1),
                     write: word & 1 == 1,
                 });
             }
+            cur = &cur[n * 8..];
             visit(tx, &refs);
             transactions += 1;
         }
@@ -199,7 +200,10 @@ mod tests {
             })
             .expect("replay succeeds");
         assert_eq!(n, 500);
-        assert_eq!(mismatches, 0, "replay must be bit-identical to the generator");
+        assert_eq!(
+            mismatches, 0,
+            "replay must be bit-identical to the generator"
+        );
     }
 
     #[test]
@@ -225,7 +229,7 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         assert_eq!(
-            TraceReplay::new(Bytes::from_static(b"NOTATRACE")).err(),
+            TraceReplay::new(b"NOTATRACE".to_vec()).err(),
             Some(ReplayError::BadMagic)
         );
     }
@@ -233,7 +237,7 @@ mod tests {
     #[test]
     fn truncation_detected() {
         let recorded = TraceRecorder::capture(&mut generator(7), 10);
-        let cut = recorded.slice(0..recorded.len() - 3);
+        let cut = recorded[..recorded.len() - 3].to_vec();
         let replay = TraceReplay::new(cut).expect("header intact");
         let result = replay.for_each(|_, _| {});
         assert_eq!(result, Err(ReplayError::Truncated));
@@ -241,11 +245,10 @@ mod tests {
 
     #[test]
     fn bad_tx_type_detected() {
-        let mut raw = BytesMut::new();
-        raw.put_slice(MAGIC);
-        raw.put_u8(9); // invalid tag
-        raw.put_u16_le(0);
-        let replay = TraceReplay::new(raw.freeze()).expect("header intact");
+        let mut raw = MAGIC.to_vec();
+        raw.push(9); // invalid tag
+        raw.extend_from_slice(&0u16.to_le_bytes());
+        let replay = TraceReplay::new(raw).expect("header intact");
         assert_eq!(replay.for_each(|_, _| {}), Err(ReplayError::BadTxType(9)));
     }
 

@@ -3,7 +3,6 @@
 //! district, and which tuples are in the New-Order relation", plus the
 //! append counters of the four growing relations.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use tpcc_rand::Xoshiro256;
 use tpcc_schema::relation::{CUSTOMERS_PER_DISTRICT, DISTRICTS_PER_WAREHOUSE, ITEMS};
@@ -15,7 +14,7 @@ pub const MAX_ITEMS: usize = 15;
 pub const RECENT_ORDERS: usize = 20;
 
 /// A placed order, as remembered by the simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OrderSummary {
     /// Order sequence number within its district (0-based).
     pub number: u64,
@@ -42,7 +41,7 @@ impl OrderSummary {
 }
 
 /// Compact per-customer record of the most recent order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LastOrder {
     /// Append ordinal of the order row.
     pub order_ordinal: u64,
@@ -132,8 +131,14 @@ impl WorkloadState {
     }
 
     fn district_index(&self, warehouse: u64, district: u64) -> usize {
-        assert!(warehouse < self.warehouses, "warehouse {warehouse} out of range");
-        assert!(district < DISTRICTS_PER_WAREHOUSE, "district {district} out of range");
+        assert!(
+            warehouse < self.warehouses,
+            "warehouse {warehouse} out of range"
+        );
+        assert!(
+            district < DISTRICTS_PER_WAREHOUSE,
+            "district {district} out of range"
+        );
         (warehouse * DISTRICTS_PER_WAREHOUSE + district) as usize
     }
 
@@ -166,8 +171,7 @@ impl WorkloadState {
         if pending {
             d.pending.push_back(summary);
         }
-        let cust_global =
-            district_idx * CUSTOMERS_PER_DISTRICT + u64::from(customer);
+        let cust_global = district_idx * CUSTOMERS_PER_DISTRICT + u64::from(customer);
         self.last_order[cust_global as usize] = Some(LastOrder {
             order_ordinal: summary.order_ordinal,
             ol_start: summary.ol_start,
@@ -197,13 +201,7 @@ impl WorkloadState {
             assert!(id < ITEMS, "item {id} out of range");
             *slot = id as u32;
         }
-        self.append_order(
-            idx,
-            customer as u32,
-            items,
-            item_ids.len() as u8,
-            true,
-        )
+        self.append_order(idx, customer as u32, items, item_ids.len() as u8, true)
     }
 
     /// Pops the oldest undelivered order of a district (the Delivery

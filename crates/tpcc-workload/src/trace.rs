@@ -8,7 +8,6 @@
 use crate::input::{InputConfig, InputGenerator, PaymentSelector, TxInput};
 use crate::mix::{TransactionMix, TxType};
 use crate::state::WorkloadState;
-use serde::{Deserialize, Serialize};
 use tpcc_rand::{Pmf, Xoshiro256};
 use tpcc_schema::keys::{CustomerKey, DistrictKey, StockKey, WarehouseKey};
 use tpcc_schema::packing::{Packing, RelationLayout};
@@ -16,7 +15,7 @@ use tpcc_schema::relation::{PageSize, Relation, SchemaConfig};
 
 /// A page identifier unique across all nine relations: the relation tag
 /// lives in the top bits, the per-relation page index in the low 48.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(u64);
 
 impl PageId {
@@ -69,7 +68,7 @@ impl PageId {
 }
 
 /// One page reference in a transaction's trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PageRef {
     /// Which page.
     pub page: PageId,
@@ -208,8 +207,7 @@ impl TraceGenerator {
                 }
             }
             Packing::HotnessSorted => {
-                let pmf = item_pmf
-                    .expect("hotness-sorted packing requires the item NURand PMF");
+                let pmf = item_pmf.expect("hotness-sorted packing requires the item NURand PMF");
                 StaticLayouts {
                     warehouse: RelationLayout::for_static(
                         Relation::Warehouse,
@@ -318,7 +316,9 @@ impl TraceGenerator {
             } => self.emit_order_status(*warehouse, *district, selector, refs),
             TxInput::Delivery { warehouse } => self.emit_delivery(*warehouse, refs),
             TxInput::StockLevel {
-                warehouse, district, ..
+                warehouse,
+                district,
+                ..
             } => self.emit_stock_level(*warehouse, *district, refs),
         }
     }
@@ -335,10 +335,16 @@ impl TraceGenerator {
         let district_page = self.district_page(warehouse, district);
         refs.push(PageRef::read(district_page));
         refs.push(PageRef::write(district_page));
-        refs.push(PageRef::read(self.customer_page(warehouse, district, customer)));
+        refs.push(PageRef::read(
+            self.customer_page(warehouse, district, customer),
+        ));
         let item_ids: Vec<u64> = items.iter().map(|i| i.item).collect();
-        let placed = self.state.place_order(warehouse, district, customer, &item_ids);
-        refs.push(PageRef::write(self.append_page(Relation::Order, placed.order_ordinal)));
+        let placed = self
+            .state
+            .place_order(warehouse, district, customer, &item_ids);
+        refs.push(PageRef::write(
+            self.append_page(Relation::Order, placed.order_ordinal),
+        ));
         refs.push(PageRef::write(
             self.append_page(Relation::NewOrder, placed.new_order_ordinal),
         ));
@@ -367,9 +373,11 @@ impl TraceGenerator {
         refs.push(PageRef::read(warehouse_page));
         refs.push(PageRef::read(district_page));
         for &c in selector.touched() {
-            refs.push(PageRef::read(
-                self.customer_page(customer_warehouse, customer_district, c),
-            ));
+            refs.push(PageRef::read(self.customer_page(
+                customer_warehouse,
+                customer_district,
+                c,
+            )));
         }
         refs.push(PageRef::write(warehouse_page));
         refs.push(PageRef::write(district_page));
@@ -394,7 +402,9 @@ impl TraceGenerator {
         }
         let chosen = selector.chosen();
         if let Some(last) = self.state.last_order_of(warehouse, district, chosen) {
-            refs.push(PageRef::read(self.append_page(Relation::Order, last.order_ordinal)));
+            refs.push(PageRef::read(
+                self.append_page(Relation::Order, last.order_ordinal),
+            ));
             for k in 0..u64::from(last.n_items) {
                 refs.push(PageRef::read(
                     self.append_page(Relation::OrderLine, last.ol_start + k),
@@ -419,8 +429,7 @@ impl TraceGenerator {
                 refs.push(PageRef::read(ol_page));
                 refs.push(PageRef::write(ol_page));
             }
-            let customer_page =
-                self.customer_page(warehouse, district, u64::from(order.customer));
+            let customer_page = self.customer_page(warehouse, district, u64::from(order.customer));
             refs.push(PageRef::read(customer_page));
             refs.push(PageRef::write(customer_page));
         }
@@ -448,7 +457,9 @@ impl TraceGenerator {
     fn warehouse_page(&self, warehouse: u64) -> PageId {
         PageId::new(
             Relation::Warehouse,
-            self.layouts.warehouse.page_of(WarehouseKey(warehouse).ordinal()),
+            self.layouts
+                .warehouse
+                .page_of(WarehouseKey(warehouse).ordinal()),
         )
     }
 
@@ -473,7 +484,9 @@ impl TraceGenerator {
     fn stock_page(&self, warehouse: u64, item: u64) -> PageId {
         PageId::new(
             Relation::Stock,
-            self.layouts.stock.page_of(StockKey::new(warehouse, item).ordinal()),
+            self.layouts
+                .stock
+                .page_of(StockKey::new(warehouse, item).ordinal()),
         )
     }
 
@@ -665,7 +678,10 @@ mod tests {
             let tx = gen.next_transaction(&mut refs);
             counts[tx.index()] += 1;
         }
-        assert!(counts.iter().all(|&c| c > 0), "all types appear: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "all types appear: {counts:?}"
+        );
         // 5% deliveries x10 deletions >= 43% inserts: queue must not blow up
         assert!(
             gen.state().total_pending() < 2000,
@@ -678,8 +694,7 @@ mod tests {
     fn hotness_packing_changes_stock_pages() {
         let pmf = item_pmf();
         let mut seq = TraceGenerator::new(small_config(Packing::Sequential), None, 8);
-        let mut opt =
-            TraceGenerator::new(small_config(Packing::HotnessSorted), Some(&pmf), 8);
+        let mut opt = TraceGenerator::new(small_config(Packing::HotnessSorted), Some(&pmf), 8);
         let input = TxInput::NewOrder {
             warehouse: 0,
             district: 0,

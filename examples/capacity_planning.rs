@@ -7,9 +7,7 @@
 //! ```
 
 use tpcc_suite::buffer::MissSweep;
-use tpcc_suite::cost::{
-    HardwareCosts, PricePerformanceModel, SingleNodeModel, StoragePolicy,
-};
+use tpcc_suite::cost::{HardwareCosts, PricePerformanceModel, SingleNodeModel, StoragePolicy};
 use tpcc_suite::schema::packing::Packing;
 use tpcc_suite::schema::relation::SchemaConfig;
 use tpcc_suite::workload::TraceConfig;
@@ -24,7 +22,10 @@ fn main() {
     // with cheap big disks (the paper's §5.2 sensitivity case, where
     // storage capacity stops binding and packing wins big).
     let eras = [
-        ("1993 ($5000 / 3 GB disks, $100/MB RAM)", HardwareCosts::paper_default()),
+        (
+            "1993 ($5000 / 3 GB disks, $100/MB RAM)",
+            HardwareCosts::paper_default(),
+        ),
         (
             "big disks ($5000 / 12 GB)",
             HardwareCosts::paper_default().with_disk_capacity_gb(12.0),
@@ -47,7 +48,10 @@ fn main() {
             best.buffer_mb, best.disks, best.total_cost, best.dollars_per_tpm, best.new_order_tpm
         );
         // show the sawtooth: a few points around the optimum
-        println!("  {:>8} {:>7} {:>6} {:>9}", "buf MB", "$/tpm", "disks", "tpm");
+        println!(
+            "  {:>8} {:>7} {:>6} {:>9}",
+            "buf MB", "$/tpm", "disks", "tpm"
+        );
         for p in curve.iter().step_by(6) {
             println!(
                 "  {:>8.0} {:>7.1} {:>6} {:>9.1}",

@@ -21,8 +21,10 @@ fn main() {
         buffer_frames: 2_000, // ~8 MB of 4K pages
         ..DbConfig::small()
     };
-    println!("loading: {} warehouses, {} customers/district, {} items …",
-        cfg.warehouses, cfg.customers_per_district, cfg.items);
+    println!(
+        "loading: {} warehouses, {} customers/district, {} items …",
+        cfg.warehouses, cfg.customers_per_district, cfg.items
+    );
     let mut db = tpcc_suite::db::loader::load(cfg, 2026);
 
     // --- each transaction once, with visible results ---
@@ -31,9 +33,21 @@ fn main() {
         3,
         17,
         &[
-            OrderLineReq { item: 4_091, supply_warehouse: 0, quantity: 4 },
-            OrderLineReq { item: 12, supply_warehouse: 1, quantity: 2 },
-            OrderLineReq { item: 999, supply_warehouse: 0, quantity: 9 },
+            OrderLineReq {
+                item: 4_091,
+                supply_warehouse: 0,
+                quantity: 4,
+            },
+            OrderLineReq {
+                item: 12,
+                supply_warehouse: 1,
+                quantity: 2,
+            },
+            OrderLineReq {
+                item: 999,
+                supply_warehouse: 0,
+                quantity: 9,
+            },
         ],
     );
     println!(
@@ -44,7 +58,10 @@ fn main() {
     );
 
     let pay = db.payment(0, 3, 0, 3, CustomerSelector::ById(17), 250.0);
-    println!("Payment    -> customer {} balance now ${:.2}", pay.c_id, pay.balance);
+    println!(
+        "Payment    -> customer {} balance now ${:.2}",
+        pay.c_id, pay.balance
+    );
 
     let by_name = db.payment(0, 3, 0, 3, CustomerSelector::ByName(5), 10.0);
     println!(
@@ -60,7 +77,10 @@ fn main() {
     );
 
     let delivery = db.delivery(0, 7);
-    println!("Delivery   -> delivered {} district queues", delivery.delivered);
+    println!(
+        "Delivery   -> delivered {} district queues",
+        delivery.delivered
+    );
 
     let stock = db.stock_level(0, 3, 50);
     println!(
@@ -75,7 +95,10 @@ fn main() {
     let report = driver.run(&mut db, 5000);
 
     println!("\nper-relation buffer behaviour (heap file accesses):");
-    println!("{:>12} {:>10} {:>10} {:>10}", "relation", "hits", "misses", "miss %");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10}",
+        "relation", "hits", "misses", "miss %"
+    );
     for (rel, stats) in &report.relation_stats {
         if stats.hits + stats.misses == 0 {
             continue;

@@ -22,7 +22,10 @@ fn main() {
     let sweep = MissSweep::run(trace, None, 150_000, 30_000, 1);
 
     println!("\nmiss rates (share of page accesses that hit disk):");
-    println!("{:>10} {:>10} {:>10} {:>10}", "buffer MB", "customer", "stock", "item");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10}",
+        "buffer MB", "customer", "stock", "item"
+    );
     for mb in [8u64, 16, 32, 64, 128] {
         let pages = mb * 1024 * 1024 / 4096;
         println!(

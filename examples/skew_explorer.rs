@@ -9,13 +9,18 @@ use tpcc_suite::nurand::{pow2_pmf, LorenzCurve, NuRand, Pmf};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let a: u64 = args.next().map_or(1023, |s| s.parse().expect("A must be a u64"));
+    let a: u64 = args
+        .next()
+        .map_or(1023, |s| s.parse().expect("A must be a u64"));
     let range: u64 = args
         .next()
         .map_or(30_000, |s| s.parse().expect("range must be a u64"));
 
     let nu = NuRand::new(a, 1, range);
-    println!("NURand(A={a}, 1, {range}): {} hot/cold cycles expected", nu.cycles());
+    println!(
+        "NURand(A={a}, 1, {range}): {} hot/cold cycles expected",
+        nu.cycles()
+    );
     println!("enumerating the exact PMF ({} × {} pairs) …", a + 1, range);
     let pmf = Pmf::exact_nurand(&nu);
 

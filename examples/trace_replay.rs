@@ -28,7 +28,10 @@ fn main() {
 
     // 2. replay the identical reference stream under four policies
     println!("\nsame trace, four replacement policies (8 MB buffer):");
-    println!("{:>8} {:>12} {:>12}", "policy", "stock miss", "overall miss");
+    println!(
+        "{:>8} {:>12} {:>12}",
+        "policy", "stock miss", "overall miss"
+    );
     for policy in [
         ReplacementPolicy::Lru,
         ReplacementPolicy::LruK,

@@ -10,12 +10,12 @@
 //! monotonicity, and the stability of the New-Order relation under the
 //! paper's mix.
 
-use tpcc_suite::db::{DbConfig, Driver, TpccDb};
+use tpcc_suite::buffer::{BufferSim, BufferSimConfig};
 use tpcc_suite::db::driver::DriverConfig;
+use tpcc_suite::db::{DbConfig, Driver, TpccDb};
 use tpcc_suite::schema::packing::Packing;
 use tpcc_suite::schema::relation::Relation;
 use tpcc_suite::workload::TraceConfig;
-use tpcc_suite::buffer::{BufferSim, BufferSimConfig};
 
 fn loaded_db(frames: usize) -> TpccDb {
     let mut cfg = DbConfig::small();

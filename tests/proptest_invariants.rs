@@ -1,36 +1,50 @@
-//! Property-based tests on the core data structures and invariants,
-//! spanning crates.
+//! Randomized-but-deterministic tests on the core data structures and
+//! invariants, spanning crates.
+//!
+//! Formerly written with `proptest`; rewritten as seeded case loops so
+//! the suite builds with no external dependencies. Each test draws many
+//! random cases from a fixed-seed [`Xoshiro256`], so failures are
+//! reproducible and the explored space stays broad.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 use tpcc_suite::buffer::{LruBuffer, MissCurve, StackDistance};
 use tpcc_suite::nurand::{AliasTable, LorenzCurve, NuRand, Pmf, Xoshiro256};
 use tpcc_suite::storage::{BTree, BufferManager, DiskManager, Replacement, SlottedPage};
 
-proptest! {
-    /// NURand samples always stay inside the closed interval, for any
-    /// parameterization.
-    #[test]
-    fn nurand_stays_in_bounds(
-        a in 0u64..20_000,
-        x in 0u64..1000,
-        span in 0u64..20_000,
-        seed in any::<u64>(),
-    ) {
+/// Uniform draw in `[lo, hi)` — half-open like proptest's ranges.
+fn draw(rng: &mut Xoshiro256, lo: u64, hi: u64) -> u64 {
+    assert!(lo < hi);
+    lo + rng.uniform_inclusive(0, hi - lo - 1)
+}
+
+/// NURand samples always stay inside the closed interval, for any
+/// parameterization.
+#[test]
+fn nurand_stays_in_bounds() {
+    let mut rng = Xoshiro256::seed_from_u64(0xA11CE);
+    for _ in 0..48 {
+        let a = draw(&mut rng, 0, 20_000);
+        let x = draw(&mut rng, 0, 1000);
+        let span = draw(&mut rng, 0, 20_000);
         let nu = NuRand::new(a, x, x + span);
-        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut sample_rng = Xoshiro256::seed_from_u64(rng.next_u64());
         for _ in 0..200 {
-            let v = nu.sample(&mut rng);
-            prop_assert!((x..=x + span).contains(&v));
+            let v = nu.sample(&mut sample_rng);
+            assert!((x..=x + span).contains(&v), "a={a} x={x} span={span} v={v}");
         }
     }
+}
 
-    /// Setting the constant `C` rotates the NURand PMF within its range
-    /// (Appendix A.3's `+C` term), leaving the multiset of
-    /// probabilities — and therefore every skew statistic — unchanged.
-    #[test]
-    fn c_rotates_pmf(a in 1u64..32, span in 1u64..200, c_frac in 0.0f64..1.0) {
+/// Setting the constant `C` rotates the NURand PMF within its range
+/// (Appendix A.3's `+C` term), leaving the multiset of probabilities —
+/// and therefore every skew statistic — unchanged.
+#[test]
+fn c_rotates_pmf() {
+    let mut rng = Xoshiro256::seed_from_u64(0xB0B);
+    for _ in 0..24 {
+        let a = draw(&mut rng, 1, 32);
+        let span = draw(&mut rng, 1, 200);
+        let c_frac = rng.f64();
         let base = NuRand::new(a, 0, span);
         let c = (c_frac * a as f64) as u64;
         let shifted = Pmf::exact_nurand(&base.with_c(c));
@@ -38,119 +52,173 @@ proptest! {
         let range = span + 1;
         for v in 0..range {
             let rotated = (v + c) % range;
-            prop_assert!(
+            assert!(
                 (unshifted.prob(v) - shifted.prob(rotated)).abs() < 1e-12,
-                "v={} c={}", v, c
+                "v={v} c={c}"
             );
         }
     }
+}
 
-    /// The exact NURand PMF is a genuine distribution: non-negative and
-    /// summing to one.
-    #[test]
-    fn exact_pmf_is_normalized(a in 1u64..64, x in 0u64..50, span in 1u64..400) {
+/// The exact NURand PMF is a genuine distribution: non-negative and
+/// summing to one.
+#[test]
+fn exact_pmf_is_normalized() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC0FFEE);
+    for _ in 0..32 {
+        let a = draw(&mut rng, 1, 64);
+        let x = draw(&mut rng, 0, 50);
+        let span = draw(&mut rng, 1, 400);
         let pmf = Pmf::exact_nurand(&NuRand::new(a, x, x + span));
         let sum: f64 = pmf.probs().iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
-        prop_assert!(pmf.probs().iter().all(|&p| p >= 0.0));
-        prop_assert_eq!(pmf.len() as u64, span + 1);
+        assert!((sum - 1.0).abs() < 1e-9, "a={a} x={x} span={span}");
+        assert!(pmf.probs().iter().all(|&p| p >= 0.0));
+        assert_eq!(pmf.len() as u64, span + 1);
     }
+}
 
-    /// Page-level aggregation preserves total probability regardless of
-    /// page size and packing strategy.
-    #[test]
-    fn packing_preserves_mass(a in 1u64..64, span in 1u64..500, tpp in 1usize..40) {
+/// Page-level aggregation preserves total probability regardless of
+/// page size and packing strategy.
+#[test]
+fn packing_preserves_mass() {
+    let mut rng = Xoshiro256::seed_from_u64(0xD1CE);
+    for _ in 0..32 {
+        let a = draw(&mut rng, 1, 64);
+        let span = draw(&mut rng, 1, 500);
+        let tpp = draw(&mut rng, 1, 40) as usize;
         let pmf = Pmf::exact_nurand(&NuRand::new(a, 1, 1 + span));
         for packed in [pmf.pack_sequential(tpp), pmf.pack_hotness_sorted(tpp)] {
             let sum: f64 = packed.probs().iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-9);
-            prop_assert_eq!(packed.len(), (span as usize + 1).div_ceil(tpp));
+            assert!((sum - 1.0).abs() < 1e-9, "a={a} span={span} tpp={tpp}");
+            assert_eq!(packed.len(), (span as usize + 1).div_ceil(tpp));
         }
     }
+}
 
-    /// Hotness-sorted packing never yields a *less* concentrated page
-    /// distribution than sequential packing (same access share cannot
-    /// drop at any hot fraction).
-    #[test]
-    fn hotness_packing_dominates_sequential(a in 1u64..128, span in 20u64..500, tpp in 2usize..20) {
+/// Hotness-sorted packing never yields a *less* concentrated page
+/// distribution than sequential packing (same access share cannot drop
+/// at any hot fraction).
+#[test]
+fn hotness_packing_dominates_sequential() {
+    let mut rng = Xoshiro256::seed_from_u64(0xE66);
+    for _ in 0..24 {
+        let a = draw(&mut rng, 1, 128);
+        let span = draw(&mut rng, 20, 500);
+        let tpp = draw(&mut rng, 2, 20) as usize;
         let pmf = Pmf::exact_nurand(&NuRand::new(a, 1, 1 + span));
         let seq = LorenzCurve::from_pmf(&pmf.pack_sequential(tpp));
         let opt = LorenzCurve::from_pmf(&pmf.pack_hotness_sorted(tpp));
         for f in [0.1, 0.25, 0.5, 0.75] {
-            prop_assert!(
+            assert!(
                 opt.access_share_of_hottest(f) >= seq.access_share_of_hottest(f) - 1e-9,
-                "fraction {}: opt {} < seq {}",
+                "fraction {}: opt {} < seq {} (a={a} span={span} tpp={tpp})",
                 f,
                 opt.access_share_of_hottest(f),
                 seq.access_share_of_hottest(f)
             );
         }
     }
+}
 
-    /// Lorenz curves are monotone and bounded by the diagonal-to-one
-    /// envelope.
-    #[test]
-    fn lorenz_curve_invariants(weights in vec(0.0f64..100.0, 2..200)) {
-        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+/// Lorenz curves are monotone and bounded by the diagonal-to-one
+/// envelope.
+#[test]
+fn lorenz_curve_invariants() {
+    let mut rng = Xoshiro256::seed_from_u64(0xF00D);
+    for _ in 0..32 {
+        let n = draw(&mut rng, 2, 200) as usize;
+        let weights: Vec<f64> = (0..n).map(|_| rng.f64() * 100.0).collect();
+        if weights.iter().sum::<f64>() <= 0.0 {
+            continue;
+        }
         let curve = LorenzCurve::from_pmf(&Pmf::from_weights(0, &weights));
         let series = curve.series(33);
         let mut prev = 0.0;
         for (f, acc) in series {
-            prop_assert!(acc >= prev - 1e-12, "monotone");
-            prop_assert!(acc <= f + 1e-9, "coldest-first curve sits under the diagonal");
+            assert!(acc >= prev - 1e-12, "monotone");
+            assert!(
+                acc <= f + 1e-9,
+                "coldest-first curve sits under the diagonal"
+            );
             prev = acc;
         }
-        prop_assert!((0.0..=1.0).contains(&curve.gini()));
+        assert!((0.0..=1.0).contains(&curve.gini()));
     }
+}
 
-    /// The alias table reproduces its PMF's support exactly: zero-weight
-    /// ids never appear, in-support ids stay in range.
-    #[test]
-    fn alias_table_respects_support(weights in vec(0.0f64..10.0, 1..100), seed in any::<u64>()) {
-        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+/// The alias table reproduces its PMF's support exactly: zero-weight
+/// ids never appear, in-support ids stay in range.
+#[test]
+fn alias_table_respects_support() {
+    let mut rng = Xoshiro256::seed_from_u64(0xABBA);
+    for _ in 0..32 {
+        let n = draw(&mut rng, 1, 100) as usize;
+        // mix zero and positive weights so the support test bites
+        let weights: Vec<f64> = (0..n)
+            .map(|_| {
+                if rng.chance(0.3) {
+                    0.0
+                } else {
+                    rng.f64() * 10.0
+                }
+            })
+            .collect();
+        if weights.iter().sum::<f64>() <= 0.0 {
+            continue;
+        }
         let table = AliasTable::from_weights(5, &weights);
-        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut sample_rng = Xoshiro256::seed_from_u64(rng.next_u64());
         for _ in 0..300 {
-            let id = table.sample(&mut rng);
+            let id = table.sample(&mut sample_rng);
             let idx = (id - 5) as usize;
-            prop_assert!(idx < weights.len());
-            prop_assert!(weights[idx] > 0.0, "sampled zero-weight id {}", id);
+            assert!(idx < weights.len());
+            assert!(weights[idx] > 0.0, "sampled zero-weight id {id}");
         }
     }
+}
 
-    /// The Che/IRM analytic model agrees with a direct LRU simulation
-    /// on IRM traces, for arbitrary skews and cache sizes.
-    #[test]
-    fn che_tracks_irm_lru(a in 3u64..200, cache_frac in 0.05f64..0.8, seed in any::<u64>()) {
+/// The Che/IRM analytic model agrees with a direct LRU simulation on
+/// IRM traces, for arbitrary skews and cache sizes.
+#[test]
+fn che_tracks_irm_lru() {
+    let mut rng = Xoshiro256::seed_from_u64(0xCAFE);
+    for _ in 0..8 {
+        let a = draw(&mut rng, 3, 200);
+        let cache_frac = 0.05 + rng.f64() * 0.75;
         let pmf = Pmf::exact_nurand(&NuRand::new(a, 1, 600));
         let mut model = tpcc_suite::buffer::CheModel::new();
         model.add_group(1.0, pmf.probs());
         model.finalize();
         let cache = ((600.0 * cache_frac) as usize).max(1);
         let table = AliasTable::from_pmf(&pmf);
-        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut sample_rng = Xoshiro256::seed_from_u64(rng.next_u64());
         let mut lru = LruBuffer::new(cache);
         for _ in 0..20_000 {
-            lru.access(table.sample(&mut rng));
+            lru.access(table.sample(&mut sample_rng));
         }
         let n = 60_000;
-        let misses = (0..n).filter(|_| lru.access(table.sample(&mut rng))).count();
+        let misses = (0..n)
+            .filter(|_| lru.access(table.sample(&mut sample_rng)))
+            .count();
         let simulated = misses as f64 / f64::from(n);
         let predicted = model.miss_ratio(cache as f64);
-        prop_assert!(
+        assert!(
             (simulated - predicted).abs() < 0.05,
-            "Che {} vs simulated {} (cache {})", predicted, simulated, cache
+            "Che {predicted} vs simulated {simulated} (a={a} cache {cache})"
         );
     }
+}
 
-    /// Mattson stack distances agree with a direct LRU simulation at
-    /// arbitrary capacities on arbitrary traces (the inclusion
-    /// property, end to end).
-    #[test]
-    fn stack_distance_equals_direct_lru(
-        trace in vec(0u64..60, 1..800),
-        capacity in 1usize..70,
-    ) {
+/// Mattson stack distances agree with a direct LRU simulation at
+/// arbitrary capacities on arbitrary traces (the inclusion property,
+/// end to end).
+#[test]
+fn stack_distance_equals_direct_lru() {
+    let mut rng = Xoshiro256::seed_from_u64(0x57AC);
+    for _ in 0..40 {
+        let len = draw(&mut rng, 1, 800) as usize;
+        let capacity = draw(&mut rng, 1, 70) as usize;
+        let trace: Vec<u64> = (0..len).map(|_| draw(&mut rng, 0, 60)).collect();
         let mut analyzer = StackDistance::new(16);
         let mut curve = MissCurve::new();
         let mut lru = LruBuffer::new(capacity);
@@ -161,29 +229,39 @@ proptest! {
                 direct += 1;
             }
         }
-        prop_assert_eq!(curve.misses_at(capacity as u64), direct);
+        assert_eq!(
+            curve.misses_at(capacity as u64),
+            direct,
+            "len={len} capacity={capacity}"
+        );
     }
+}
 
-    /// The page-based B+Tree behaves exactly like a BTreeMap under an
-    /// arbitrary interleaving of inserts, deletes and lookups.
-    #[test]
-    fn btree_matches_std_model(ops in vec((0u8..3, 0u64..500), 1..400)) {
+/// The page-based B+Tree behaves exactly like a BTreeMap under an
+/// arbitrary interleaving of inserts, deletes and lookups.
+#[test]
+fn btree_matches_std_model() {
+    let mut rng = Xoshiro256::seed_from_u64(0xB7EE);
+    for _ in 0..24 {
+        let ops = draw(&mut rng, 1, 400) as usize;
         let disk = DiskManager::new(256);
         let mut bm = BufferManager::new(disk, 16, Replacement::Lru);
         let mut tree = BTree::create(&mut bm);
         let mut model: BTreeMap<u64, u64> = BTreeMap::new();
-        for (op, key) in ops {
+        for _ in 0..ops {
+            let op = draw(&mut rng, 0, 3);
+            let key = draw(&mut rng, 0, 500);
             match op {
                 0 => {
                     let got = tree.insert(&mut bm, key, key * 3);
-                    prop_assert_eq!(got, model.insert(key, key * 3));
+                    assert_eq!(got, model.insert(key, key * 3));
                 }
                 1 => {
                     let got = tree.delete(&mut bm, key);
-                    prop_assert_eq!(got, model.remove(&key));
+                    assert_eq!(got, model.remove(&key));
                 }
                 _ => {
-                    prop_assert_eq!(tree.get(&mut bm, key), model.get(&key).copied());
+                    assert_eq!(tree.get(&mut bm, key), model.get(&key).copied());
                 }
             }
         }
@@ -194,18 +272,24 @@ proptest! {
             true
         });
         let expect: Vec<(u64, u64)> = model.into_iter().collect();
-        prop_assert_eq!(scanned, expect);
+        assert_eq!(scanned, expect);
     }
+}
 
-    /// Slotted pages never lose or corrupt live records across an
-    /// arbitrary insert/delete workload with compaction.
-    #[test]
-    fn slotted_page_preserves_live_records(ops in vec((0u8..2, 1usize..40), 1..120)) {
+/// Slotted pages never lose or corrupt live records across an arbitrary
+/// insert/delete workload with compaction.
+#[test]
+fn slotted_page_preserves_live_records() {
+    let mut rng = Xoshiro256::seed_from_u64(0x510D);
+    for _ in 0..24 {
+        let ops = draw(&mut rng, 1, 120) as usize;
         let mut buf = vec![0u8; 2048];
         let mut page = SlottedPage::init(&mut buf);
         let mut live: Vec<(u16, Vec<u8>)> = Vec::new();
         let mut stamp = 0u8;
-        for (op, len) in ops {
+        for _ in 0..ops {
+            let op = draw(&mut rng, 0, 2);
+            let len = draw(&mut rng, 1, 40) as usize;
             if op == 0 {
                 stamp = stamp.wrapping_add(1);
                 let rec = vec![stamp; len];
@@ -214,12 +298,12 @@ proptest! {
                 }
             } else if !live.is_empty() {
                 let (slot, _) = live.remove(live.len() / 2);
-                prop_assert!(page.delete(slot));
+                assert!(page.delete(slot));
             }
             for (slot, rec) in &live {
-                prop_assert_eq!(page.get(*slot), Some(rec.as_slice()));
+                assert_eq!(page.get(*slot), Some(rec.as_slice()));
             }
         }
-        prop_assert_eq!(page.live_records(), live.len());
+        assert_eq!(page.live_records(), live.len());
     }
 }
