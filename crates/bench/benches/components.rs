@@ -85,7 +85,7 @@ fn bench_engine() {
     use tpcc_db::txns::OrderLineReq;
     use tpcc_db::{loader, DbConfig};
 
-    let mut db = loader::load(DbConfig::small(), 11);
+    let db = loader::load(DbConfig::small(), 11);
     let mut rng = Xoshiro256::seed_from_u64(12);
     bench("engine/db_new_order_txn", 20_000, || {
         let c_id = rng.uniform_inclusive(0, 89);

@@ -1,0 +1,76 @@
+//! Multi-terminal scaling sweep: throughput and abort rate of the
+//! [`ParallelDriver`] across thread counts × warehouse counts.
+//!
+//! The paper's closed model predicts throughput as a function of
+//! multiprogramming level; this harness measures the executable
+//! counterpart, where the limit is real lock contention (wound-wait
+//! retries concentrate on the 10 district rows per warehouse).
+//!
+//! Emits one JSON object per line to `results/scaling.jsonl` (and
+//! stdout), one line per (threads, warehouses) cell:
+//!
+//! ```text
+//! cargo run --release -p tpcc-bench --bin scaling -- [transactions] [max_threads] [seed]
+//! ```
+
+use std::io::Write as _;
+use tpcc_db::db::DbConfig;
+use tpcc_db::driver::DriverConfig;
+use tpcc_db::{loader, ParallelDriver};
+
+const WAREHOUSE_COUNTS: [u64; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let transactions: u64 = args
+        .next()
+        .map(|s| s.parse().expect("transactions must be a u64"))
+        .unwrap_or(4000);
+    let max_threads: u64 = args
+        .next()
+        .map(|s| s.parse().expect("max_threads must be a u64"))
+        .unwrap_or(8);
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(42);
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let mut out =
+        std::fs::File::create("results/scaling.jsonl").expect("open results/scaling.jsonl");
+
+    for warehouses in WAREHOUSE_COUNTS {
+        // one load per warehouse count, reused across thread counts:
+        // the workload only appends, so later cells run on a slightly
+        // larger database — acceptable for a scaling curve, and it
+        // keeps the sweep fast enough to run per-commit
+        let mut cfg = DbConfig::small();
+        cfg.warehouses = warehouses;
+        cfg.buffer_frames = 1024 * warehouses as usize;
+        // the paper-faithful default of one LRU shard serializes every
+        // page access; give the threaded sweep a sharded pool so the
+        // curve shows lock contention, not buffer-latch contention
+        cfg.buffer_shards = 8;
+        let db = loader::load(cfg, seed);
+
+        for threads in 1..=max_threads {
+            let driver = ParallelDriver::new(DriverConfig::default(), threads, seed + threads);
+            let report = driver.run(&db, transactions);
+            let retries: u64 = report.retries.iter().sum();
+            let line = format!(
+                "{{\"threads\":{threads},\"warehouses\":{warehouses},\
+                 \"transactions\":{},\"elapsed_s\":{:.6},\
+                 \"throughput_tps\":{:.1},\"abort_rate\":{:.6},\
+                 \"retries\":{retries},\"new_orders\":{},\"deliveries\":{}}}",
+                report.total(),
+                report.elapsed.as_secs_f64(),
+                report.throughput(),
+                report.abort_rate(),
+                report.new_orders,
+                report.deliveries,
+            );
+            println!("{line}");
+            writeln!(out, "{line}").expect("write results/scaling.jsonl");
+        }
+    }
+}

@@ -1,9 +1,12 @@
 //! The database instance: heap files, indexes, buffer pool, catalog.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
 use tpcc_obs::Obs;
 use tpcc_schema::relation::Relation;
 use tpcc_storage::{
-    BTree, BufferManager, BufferStats, DiskManager, HeapFile, RecordId, Replacement,
+    BTree, BufferManager, BufferStats, DiskManager, FileId, HeapFile, RecordId, Replacement,
 };
 
 /// Scale and resource configuration.
@@ -31,6 +34,11 @@ pub struct DbConfig {
     /// Enable redo logging (checkpoint taken after load; see
     /// [`TpccDb::crash_recovery_check`]).
     pub enable_wal: bool,
+    /// Buffer-pool latch shards. 1 (the default) preserves the exact
+    /// global LRU order the paper's single-stream figures assume;
+    /// larger values trade that for less latch contention under a
+    /// multi-terminal driver (per-shard approximate LRU).
+    pub buffer_shards: usize,
 }
 
 impl DbConfig {
@@ -47,6 +55,7 @@ impl DbConfig {
             buffer_frames,
             replacement: Replacement::Lru,
             enable_wal: false,
+            buffer_shards: 1,
         }
     }
 
@@ -64,6 +73,7 @@ impl DbConfig {
             buffer_frames: 512,
             replacement: Replacement::Lru,
             enable_wal: false,
+            buffer_shards: 1,
         }
     }
 
@@ -75,20 +85,132 @@ impl DbConfig {
     }
 }
 
+/// A heap file behind a read-write latch, so transactions can run from
+/// many threads: record reads/in-place updates share the latch (page
+/// contents are protected by the buffer pool's frame latches and the
+/// caller's logical locks), while structural changes (insert/delete
+/// touch the free map) take it exclusively.
+pub(crate) struct Table {
+    file: FileId,
+    inner: RwLock<HeapFile>,
+}
+
+impl Table {
+    fn new(heap: HeapFile) -> Self {
+        Self {
+            file: heap.file(),
+            inner: RwLock::new(heap),
+        }
+    }
+
+    pub(crate) fn file(&self) -> FileId {
+        self.file
+    }
+
+    pub(crate) fn insert(&self, bm: &BufferManager, record: &[u8]) -> RecordId {
+        self.inner.write().expect("table latch").insert(bm, record)
+    }
+
+    pub(crate) fn get(&self, bm: &BufferManager, rid: RecordId) -> Option<Vec<u8>> {
+        self.inner.read().expect("table latch").get(bm, rid)
+    }
+
+    pub(crate) fn update(&self, bm: &BufferManager, rid: RecordId, record: &[u8]) -> bool {
+        self.inner
+            .read()
+            .expect("table latch")
+            .update(bm, rid, record)
+    }
+
+    pub(crate) fn delete(&self, bm: &BufferManager, rid: RecordId) -> bool {
+        self.inner.write().expect("table latch").delete(bm, rid)
+    }
+
+    pub(crate) fn pages(&self, bm: &BufferManager) -> u32 {
+        self.inner.read().expect("table latch").pages(bm)
+    }
+}
+
+/// A B+Tree behind a read-write latch: the tree-level latch is the
+/// first-cut concurrency story for indexes (readers share, any insert
+/// or delete is exclusive). Lookups and scans copy what they need
+/// while holding the latch, so no descent ever observes a half-split.
+pub(crate) struct Index {
+    file: FileId,
+    inner: RwLock<BTree>,
+}
+
+impl Index {
+    fn new(tree: BTree) -> Self {
+        Self {
+            file: tree.file(),
+            inner: RwLock::new(tree),
+        }
+    }
+
+    pub(crate) fn file(&self) -> FileId {
+        self.file
+    }
+
+    pub(crate) fn attach_obs(&self, obs: &Obs) {
+        self.inner.write().expect("index latch").attach_obs(obs);
+    }
+
+    pub(crate) fn get(&self, bm: &BufferManager, key: u64) -> Option<u64> {
+        self.inner.read().expect("index latch").get(bm, key)
+    }
+
+    pub(crate) fn insert(&self, bm: &BufferManager, key: u64, value: u64) -> Option<u64> {
+        self.inner
+            .write()
+            .expect("index latch")
+            .insert(bm, key, value)
+    }
+
+    pub(crate) fn delete(&self, bm: &BufferManager, key: u64) -> Option<u64> {
+        self.inner.write().expect("index latch").delete(bm, key)
+    }
+
+    pub(crate) fn scan_range(
+        &self,
+        bm: &BufferManager,
+        lo: u64,
+        hi: u64,
+        visit: impl FnMut(u64, u64) -> bool,
+    ) {
+        self.inner
+            .read()
+            .expect("index latch")
+            .scan_range(bm, lo, hi, visit);
+    }
+
+    pub(crate) fn min_at_or_after(&self, bm: &BufferManager, lo: u64) -> Option<(u64, u64)> {
+        self.inner
+            .read()
+            .expect("index latch")
+            .min_at_or_after(bm, lo)
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))] // load-verification helper
+    pub(crate) fn len(&self, bm: &BufferManager) -> usize {
+        self.inner.read().expect("index latch").len(bm)
+    }
+}
+
 pub(crate) struct Heaps {
-    pub warehouse: HeapFile,
-    pub district: HeapFile,
-    pub customer: HeapFile,
-    pub stock: HeapFile,
-    pub item: HeapFile,
-    pub order: HeapFile,
-    pub new_order: HeapFile,
-    pub order_line: HeapFile,
-    pub history: HeapFile,
+    pub warehouse: Table,
+    pub district: Table,
+    pub customer: Table,
+    pub stock: Table,
+    pub item: Table,
+    pub order: Table,
+    pub new_order: Table,
+    pub order_line: Table,
+    pub history: Table,
 }
 
 impl Heaps {
-    pub(crate) fn for_relation(&self, relation: Relation) -> &HeapFile {
+    pub(crate) fn for_relation(&self, relation: Relation) -> &Table {
         match relation {
             Relation::Warehouse => &self.warehouse,
             Relation::District => &self.district,
@@ -105,29 +227,34 @@ impl Heaps {
 
 pub(crate) struct Indexes {
     /// `(w)` → warehouse rid.
-    pub warehouse: BTree,
+    pub warehouse: Index,
     /// `(w, d)` → district rid.
-    pub district: BTree,
+    pub district: Index,
     /// `(w, d, c)` → customer rid.
-    pub customer: BTree,
+    pub customer: Index,
     /// `(w, d, name, c)` → customer rid (the by-name access path).
-    pub customer_name: BTree,
+    pub customer_name: Index,
     /// `(w, i)` → stock rid.
-    pub stock: BTree,
+    pub stock: Index,
     /// `(i)` → item rid.
-    pub item: BTree,
+    pub item: Index,
     /// `(w, d, o)` → order rid.
-    pub order: BTree,
+    pub order: Index,
     /// `(w, d, o)` → new-order rid (min scan = oldest pending).
-    pub new_order: BTree,
+    pub new_order: Index,
     /// `(w, d, o, line)` → order-line rid.
-    pub order_line: BTree,
+    pub order_line: Index,
     /// `(w, d, c)` → last order number (the multi-key index behind the
     /// paper's one-call `Max(order-id)` assumption).
-    pub last_order: BTree,
+    pub last_order: Index,
 }
 
 /// An open TPC-C database.
+///
+/// All transaction methods take `&self`: the storage layer is
+/// internally latched, so a `TpccDb` can be shared across terminal
+/// threads (see `parallel::ParallelDriver`, which adds the logical
+/// locks that make concurrent execution serializable).
 ///
 /// ```
 /// use tpcc_db::{loader, DbConfig};
@@ -148,7 +275,7 @@ pub struct TpccDb {
     pub(crate) heaps: Heaps,
     pub(crate) idx: Indexes,
     /// Logical timestamp for entry/delivery dates.
-    pub(crate) clock: u64,
+    pub(crate) clock: AtomicU64,
     /// Post-load disk image for crash recovery (WAL mode only).
     pub(crate) checkpoint: Option<DiskManager>,
 }
@@ -158,44 +285,45 @@ impl TpccDb {
     #[must_use]
     pub fn create(cfg: DbConfig) -> Self {
         let disk = DiskManager::new(cfg.page_size);
-        let mut bm = BufferManager::new(disk, cfg.buffer_frames, cfg.replacement);
+        let bm =
+            BufferManager::new_sharded(disk, cfg.buffer_frames, cfg.replacement, cfg.buffer_shards);
         let heaps = Heaps {
-            warehouse: HeapFile::create(&mut bm),
-            district: HeapFile::create(&mut bm),
-            customer: HeapFile::create(&mut bm),
-            stock: HeapFile::create(&mut bm),
-            item: HeapFile::create(&mut bm),
-            order: HeapFile::create(&mut bm),
-            new_order: HeapFile::create(&mut bm),
-            order_line: HeapFile::create(&mut bm),
-            history: HeapFile::create(&mut bm),
+            warehouse: Table::new(HeapFile::create(&bm)),
+            district: Table::new(HeapFile::create(&bm)),
+            customer: Table::new(HeapFile::create(&bm)),
+            stock: Table::new(HeapFile::create(&bm)),
+            item: Table::new(HeapFile::create(&bm)),
+            order: Table::new(HeapFile::create(&bm)),
+            new_order: Table::new(HeapFile::create(&bm)),
+            order_line: Table::new(HeapFile::create(&bm)),
+            history: Table::new(HeapFile::create(&bm)),
         };
         let idx = Indexes {
-            warehouse: BTree::create(&mut bm),
-            district: BTree::create(&mut bm),
-            customer: BTree::create(&mut bm),
-            customer_name: BTree::create(&mut bm),
-            stock: BTree::create(&mut bm),
-            item: BTree::create(&mut bm),
-            order: BTree::create(&mut bm),
-            new_order: BTree::create(&mut bm),
-            order_line: BTree::create(&mut bm),
-            last_order: BTree::create(&mut bm),
+            warehouse: Index::new(BTree::create(&bm)),
+            district: Index::new(BTree::create(&bm)),
+            customer: Index::new(BTree::create(&bm)),
+            customer_name: Index::new(BTree::create(&bm)),
+            stock: Index::new(BTree::create(&bm)),
+            item: Index::new(BTree::create(&bm)),
+            order: Index::new(BTree::create(&bm)),
+            new_order: Index::new(BTree::create(&bm)),
+            order_line: Index::new(BTree::create(&bm)),
+            last_order: Index::new(BTree::create(&bm)),
         };
         Self {
             bm,
             cfg,
             heaps,
             idx,
-            clock: 0,
+            clock: AtomicU64::new(0),
             checkpoint: None,
         }
     }
 
     /// Marks a transaction boundary: appends a commit record when
     /// logging is enabled.
-    pub(crate) fn commit(&mut self) {
-        let txn = self.clock;
+    pub(crate) fn commit(&self) {
+        let txn = self.clock.load(Ordering::Relaxed);
         self.bm.log_commit(txn);
     }
 
@@ -219,9 +347,9 @@ impl TpccDb {
             .expect("WAL mode always holds a checkpoint");
         let recovered = wal.recover(checkpoint);
         self.bm.flush_all();
-        let equal = recovered.contents_equal(self.bm.disk());
+        let equal = self.bm.with_disk(|disk| recovered.contents_equal(disk));
         // re-arm for continued use
-        self.checkpoint = Some(self.bm.disk().snapshot());
+        self.checkpoint = Some(self.bm.disk_snapshot());
         self.bm.enable_wal();
         equal
     }
@@ -231,8 +359,7 @@ impl TpccDb {
     #[must_use]
     pub fn wal_stats(&self) -> Option<(usize, u64, u64)> {
         self.bm
-            .wal()
-            .map(|w| (w.len(), w.delta_bytes(), w.commits()))
+            .with_wal(|w| (w.len(), w.delta_bytes(), w.commits()))
     }
 
     /// The configuration.
@@ -242,9 +369,22 @@ impl TpccDb {
     }
 
     /// Advances and returns the logical clock.
-    pub(crate) fn tick(&mut self) -> u64 {
-        self.clock += 1;
-        self.clock
+    pub(crate) fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Writes every dirty buffered page back to the disk image.
+    pub fn flush(&self) {
+        self.bm.flush_all();
+    }
+
+    /// True when both databases' flushed disk images hold the same
+    /// pages (used by tests to compare a parallel run against a serial
+    /// one). Flush both sides first.
+    #[must_use]
+    pub fn contents_equal(&self, other: &TpccDb) -> bool {
+        self.bm
+            .with_disk(|a| other.bm.with_disk(|b| a.contents_equal(b)))
     }
 
     /// Buffer statistics for one relation's heap file.
@@ -286,7 +426,7 @@ impl TpccDb {
         for r in Relation::ALL {
             obs.register_index(self.heaps.for_relation(r).file().0, r.name());
         }
-        let named_indexes: [(&BTree, &str); 10] = [
+        let named_indexes: [(&Index, &str); 10] = [
             (&self.idx.warehouse, "idx_warehouse"),
             (&self.idx.district, "idx_district"),
             (&self.idx.customer, "idx_customer"),
@@ -302,6 +442,11 @@ impl TpccDb {
             obs.register_index(tree.file().0, name);
         }
         self.bm.set_obs(obs);
+        // pre-resolve per-index counters against the new recorder
+        let obs = self.bm.obs().clone();
+        for (tree, _) in named_indexes {
+            tree.attach_obs(&obs);
+        }
     }
 
     /// The attached observability handle (disabled unless
@@ -318,7 +463,7 @@ impl TpccDb {
     }
 
     /// Looks up one record rid by primary key in the relation's index.
-    pub(crate) fn pk_lookup(&mut self, relation: Relation, key: u64) -> Option<RecordId> {
+    pub(crate) fn pk_lookup(&self, relation: Relation, key: u64) -> Option<RecordId> {
         let tree = match relation {
             Relation::Warehouse => &self.idx.warehouse,
             Relation::District => &self.idx.district,
@@ -331,7 +476,7 @@ impl TpccDb {
             Relation::History => panic!("history has no index"),
         };
         let _span = self.bm.obs().span("btree_lookup");
-        tree.get(&mut self.bm, key).map(RecordId::from_u64)
+        tree.get(&self.bm, key).map(RecordId::from_u64)
     }
 
     /// Validates ids against the configured scale.

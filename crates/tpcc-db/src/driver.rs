@@ -1,10 +1,16 @@
 //! A workload driver: generates spec-shaped inputs and executes the
 //! transaction mix against a loaded database, reporting throughput-side
 //! counts and the measured buffer behaviour.
+//!
+//! Input generation is factored into [`InputGen`] so the serial
+//! [`Driver`] and the multi-terminal `parallel::ParallelDriver` draw
+//! from the *same* random sequence: a one-terminal parallel run with
+//! the driver's seed replays a serial run decision-for-decision (and
+//! the tests assert the final database images are byte-identical).
 
 use crate::db::TpccDb;
 use crate::txns::{CustomerSelector, OrderLineReq};
-use tpcc_obs::{Label, MemoryRecorder, SnapshotWriter};
+use tpcc_obs::{CounterHandle, HistogramHandle, Label, MemoryRecorder, SnapshotWriter};
 use tpcc_rand::{NuRand, Xoshiro256};
 use tpcc_schema::relation::Relation;
 use tpcc_storage::BufferStats;
@@ -32,6 +38,12 @@ pub struct DriverConfig {
     pub by_name_prob: f64,
     /// Items per order (paper: fixed 10).
     pub items_per_order: u64,
+    /// Draw the item count uniformly from 5–15 per clause 2.4.1.3
+    /// instead of using the fixed `items_per_order`. Off by default:
+    /// the paper fixes 10 ("this assumption has no effect since we
+    /// only report mean miss rates"), and the uniform draw has the
+    /// same mean.
+    pub spec_item_counts: bool,
     /// P(a New-Order carries an unused item and rolls back) — spec
     /// clause 2.4.1.4 says 1%; the paper ignores rollbacks, so the
     /// default here is 0.
@@ -46,6 +58,7 @@ impl Default for DriverConfig {
             remote_payment_prob: 0.15,
             by_name_prob: 0.60,
             items_per_order: 10,
+            spec_item_counts: false,
             rollback_prob: 0.0,
         }
     }
@@ -57,6 +70,225 @@ impl DriverConfig {
     pub fn with_spec_rollbacks(mut self) -> Self {
         self.rollback_prob = 0.01;
         self
+    }
+
+    /// Clause 2.4.1.3's uniform 5–15 items per order (mean 10, like
+    /// the paper's fixed count).
+    #[must_use]
+    pub fn with_spec_item_counts(mut self) -> Self {
+        self.spec_item_counts = true;
+        self
+    }
+}
+
+/// One generated transaction request — everything random about it is
+/// already decided, so executing it is deterministic.
+#[derive(Debug, Clone)]
+pub enum TxnInput {
+    /// A New-Order request; a rollback round carries one unused item id
+    /// in its last line (clause 2.4.1.4) and will abort on validation.
+    NewOrder {
+        /// Home warehouse.
+        w: u64,
+        /// District.
+        d: u64,
+        /// Customer placing the order.
+        c: u64,
+        /// Order lines.
+        lines: Vec<OrderLineReq>,
+    },
+    /// A Payment request.
+    Payment {
+        /// Terminal's warehouse.
+        w: u64,
+        /// Terminal's district.
+        d: u64,
+        /// Customer's warehouse (≠ `w` for remote payments).
+        cw: u64,
+        /// Customer's district.
+        cd: u64,
+        /// Customer selection.
+        selector: CustomerSelector,
+        /// Amount charged.
+        amount: f64,
+    },
+    /// An Order-Status request.
+    OrderStatus {
+        /// Warehouse.
+        w: u64,
+        /// District.
+        d: u64,
+        /// Customer selection.
+        selector: CustomerSelector,
+    },
+    /// A Delivery request (all ten districts of `w`).
+    Delivery {
+        /// Warehouse.
+        w: u64,
+        /// Carrier assigned.
+        carrier: u8,
+    },
+    /// A Stock-Level request.
+    StockLevel {
+        /// Warehouse.
+        w: u64,
+        /// District.
+        d: u64,
+        /// Low-stock threshold.
+        threshold: i32,
+    },
+}
+
+impl TxnInput {
+    /// Index into [`TX_NAMES`] / mix arrays.
+    #[must_use]
+    pub fn type_index(&self) -> usize {
+        match self {
+            TxnInput::NewOrder { .. } => 0,
+            TxnInput::Payment { .. } => 1,
+            TxnInput::OrderStatus { .. } => 2,
+            TxnInput::Delivery { .. } => 3,
+            TxnInput::StockLevel { .. } => 4,
+        }
+    }
+}
+
+/// Generates spec-shaped transaction inputs. One instance = one
+/// terminal's random stream; the draw order is part of the crate's
+/// compatibility contract (seeded runs replay identically).
+pub struct InputGen {
+    cfg: DriverConfig,
+    rng: Xoshiro256,
+    customer_nu: NuRand,
+    item_nu: NuRand,
+    warehouses: u64,
+    items: u64,
+    name_count: u64,
+}
+
+impl InputGen {
+    /// A generator whose NURand ranges match the database's scale.
+    #[must_use]
+    pub fn new(db: &TpccDb, cfg: DriverConfig, seed: u64) -> Self {
+        let c = db.config().customers_per_district;
+        let i = db.config().items;
+        Self {
+            cfg,
+            rng: Xoshiro256::seed_from_u64(seed),
+            // A constants scale with the range per clause 2.1.6
+            customer_nu: NuRand::new(1023.min(c.next_power_of_two() - 1), 0, c - 1),
+            item_nu: NuRand::new(8191.min(i.next_power_of_two() - 1), 0, i - 1),
+            warehouses: db.config().warehouses,
+            items: i,
+            name_count: db.config().name_count(),
+        }
+    }
+
+    /// Draws the next transaction of the mix.
+    pub fn next_input(&mut self) -> TxnInput {
+        match self.pick_type() {
+            0 => self.gen_new_order(),
+            1 => self.gen_payment(),
+            2 => {
+                let w = self.uniform_warehouse();
+                let d = self.rng.uniform_inclusive(0, 9);
+                let selector = self.selector();
+                TxnInput::OrderStatus { w, d, selector }
+            }
+            3 => TxnInput::Delivery {
+                w: self.uniform_warehouse(),
+                carrier: self.rng.uniform_inclusive(1, 10) as u8,
+            },
+            _ => TxnInput::StockLevel {
+                w: self.uniform_warehouse(),
+                d: self.rng.uniform_inclusive(0, 9),
+                threshold: self.rng.uniform_inclusive(10, 20) as i32,
+            },
+        }
+    }
+
+    fn pick_type(&mut self) -> usize {
+        let mut u = self.rng.f64();
+        for (i, &f) in self.cfg.mix.iter().enumerate() {
+            if u < f {
+                return i;
+            }
+            u -= f;
+        }
+        self.cfg.mix.len() - 1
+    }
+
+    fn uniform_warehouse(&mut self) -> u64 {
+        self.rng.uniform_inclusive(0, self.warehouses - 1)
+    }
+
+    fn maybe_remote(&mut self, home: u64, prob: f64) -> u64 {
+        let w = self.warehouses;
+        if w > 1 && self.rng.chance(prob) {
+            let other = self.rng.uniform_inclusive(0, w - 2);
+            if other >= home {
+                other + 1
+            } else {
+                other
+            }
+        } else {
+            home
+        }
+    }
+
+    fn selector(&mut self) -> CustomerSelector {
+        if self.rng.chance(self.cfg.by_name_prob) {
+            let names = self.name_count;
+            let id = NuRand::new(255.min(names.next_power_of_two() - 1), 0, names - 1)
+                .sample(&mut self.rng);
+            CustomerSelector::ByName(id)
+        } else {
+            CustomerSelector::ById(self.customer_nu.sample(&mut self.rng))
+        }
+    }
+
+    fn gen_new_order(&mut self) -> TxnInput {
+        let w = self.uniform_warehouse();
+        let d = self.rng.uniform_inclusive(0, 9);
+        let c = self.customer_nu.sample(&mut self.rng);
+        let count = if self.cfg.spec_item_counts {
+            self.rng.uniform_inclusive(5, 15)
+        } else {
+            self.cfg.items_per_order
+        };
+        let mut lines: Vec<OrderLineReq> = (0..count)
+            .map(|_| OrderLineReq {
+                item: self.item_nu.sample(&mut self.rng),
+                supply_warehouse: self.maybe_remote(w, self.cfg.remote_stock_prob),
+                quantity: self.rng.uniform_inclusive(1, 10) as u16,
+            })
+            .collect();
+        if self.rng.chance(self.cfg.rollback_prob) {
+            // clause 2.4.1.4: the last line names an unused item
+            lines.last_mut().expect("at least one line").item = self.items;
+        }
+        TxnInput::NewOrder { w, d, c, lines }
+    }
+
+    fn gen_payment(&mut self) -> TxnInput {
+        let w = self.uniform_warehouse();
+        let d = self.rng.uniform_inclusive(0, 9);
+        let cw = self.maybe_remote(w, self.cfg.remote_payment_prob);
+        let cd = if cw == w {
+            d
+        } else {
+            self.rng.uniform_inclusive(0, 9)
+        };
+        let selector = self.selector();
+        let amount = self.rng.uniform_inclusive(100, 500_000) as f64 / 100.0;
+        TxnInput::Payment {
+            w,
+            d,
+            cw,
+            cd,
+            selector,
+            amount,
+        }
     }
 }
 
@@ -91,24 +323,15 @@ impl DriverReport {
 
 /// Drives a database with randomized spec-shaped inputs.
 pub struct Driver {
-    cfg: DriverConfig,
-    rng: Xoshiro256,
-    customer_nu: NuRand,
-    item_nu: NuRand,
+    gen: InputGen,
 }
 
 impl Driver {
     /// Creates a driver whose NURand ranges match the database's scale.
     #[must_use]
     pub fn new(db: &TpccDb, cfg: DriverConfig, seed: u64) -> Self {
-        let c = db.config().customers_per_district;
-        let i = db.config().items;
         Self {
-            cfg,
-            rng: Xoshiro256::seed_from_u64(seed),
-            // A constants scale with the range per clause 2.1.6
-            customer_nu: NuRand::new(1023.min(c.next_power_of_two() - 1), 0, c - 1),
-            item_nu: NuRand::new(8191.min(i.next_power_of_two() - 1), 0, i - 1),
+            gen: InputGen::new(db, cfg, seed),
         }
     }
 
@@ -149,36 +372,51 @@ impl Driver {
         transactions: u64,
         mut after_each: impl FnMut(u64) -> std::io::Result<()>,
     ) -> std::io::Result<DriverReport> {
+        // handles are resolved once; the per-transaction hot path is an
+        // atomic add / histogram record, not a name lookup
         let obs = db.obs().clone();
+        let executed_c: [CounterHandle; 5] =
+            std::array::from_fn(|t| obs.counter_handle("txn_executed", Label::Name(TX_NAMES[t])));
+        let latency_h: [HistogramHandle; 5] = std::array::from_fn(|t| {
+            obs.histogram_handle("txn_latency_ns", Label::Name(TX_NAMES[t]))
+        });
+        let rollback_c = obs.counter_handle("txn_rollbacks", Label::Name(TX_NAMES[0]));
         let mut executed = [0u64; 5];
         let mut new_orders = 0;
         let mut deliveries = 0;
         let mut rollbacks = 0;
         for done in 1..=transactions {
-            let t = self.pick_type();
+            let input = self.gen.next_input();
+            let t = input.type_index();
             executed[t] += 1;
-            obs.counter("txn_executed", Label::Name(TX_NAMES[t]), 1);
-            let timer = obs.timer("txn_latency_ns", Label::Name(TX_NAMES[t]));
-            match t {
-                0 => {
-                    if self.run_new_order(db) {
+            executed_c[t].add(1);
+            let timer = latency_h[t].start();
+            match input {
+                TxnInput::NewOrder { w, d, c, lines } => {
+                    if db.new_order_checked(w, d, c, &lines).is_ok() {
                         new_orders += 1;
                     } else {
                         rollbacks += 1;
-                        obs.counter("txn_rollbacks", Label::Name(TX_NAMES[t]), 1);
+                        rollback_c.add(1);
                     }
                 }
-                1 => self.run_payment(db),
-                2 => self.run_order_status(db),
-                3 => {
-                    let w = self.uniform_warehouse(db);
-                    let carrier = self.rng.uniform_inclusive(1, 10) as u8;
+                TxnInput::Payment {
+                    w,
+                    d,
+                    cw,
+                    cd,
+                    selector,
+                    amount,
+                } => {
+                    let _ = db.payment(w, d, cw, cd, selector, amount);
+                }
+                TxnInput::OrderStatus { w, d, selector } => {
+                    let _ = db.order_status(w, d, selector);
+                }
+                TxnInput::Delivery { w, carrier } => {
                     deliveries += db.delivery(w, carrier).delivered;
                 }
-                _ => {
-                    let w = self.uniform_warehouse(db);
-                    let d = self.rng.uniform_inclusive(0, 9);
-                    let threshold = self.rng.uniform_inclusive(10, 20) as i32;
+                TxnInput::StockLevel { w, d, threshold } => {
                     let _ = db.stock_level(w, d, threshold);
                 }
             }
@@ -196,87 +434,6 @@ impl Driver {
                 .collect(),
             index_stats: db.index_stats(),
         })
-    }
-
-    fn pick_type(&mut self) -> usize {
-        let mut u = self.rng.f64();
-        for (i, &f) in self.cfg.mix.iter().enumerate() {
-            if u < f {
-                return i;
-            }
-            u -= f;
-        }
-        self.cfg.mix.len() - 1
-    }
-
-    fn uniform_warehouse(&mut self, db: &TpccDb) -> u64 {
-        self.rng.uniform_inclusive(0, db.config().warehouses - 1)
-    }
-
-    fn maybe_remote(&mut self, db: &TpccDb, home: u64, prob: f64) -> u64 {
-        let w = db.config().warehouses;
-        if w > 1 && self.rng.chance(prob) {
-            let other = self.rng.uniform_inclusive(0, w - 2);
-            if other >= home {
-                other + 1
-            } else {
-                other
-            }
-        } else {
-            home
-        }
-    }
-
-    fn selector(&mut self, db: &TpccDb) -> CustomerSelector {
-        if self.rng.chance(self.cfg.by_name_prob) {
-            let names = db.config().name_count();
-            let id = NuRand::new(255.min(names.next_power_of_two() - 1), 0, names - 1)
-                .sample(&mut self.rng);
-            CustomerSelector::ByName(id)
-        } else {
-            CustomerSelector::ById(self.customer_nu.sample(&mut self.rng))
-        }
-    }
-
-    /// Runs one New-Order; returns `false` when it rolled back.
-    fn run_new_order(&mut self, db: &mut TpccDb) -> bool {
-        let w = self.uniform_warehouse(db);
-        let d = self.rng.uniform_inclusive(0, 9);
-        let c = self.customer_nu.sample(&mut self.rng);
-        let mut lines: Vec<OrderLineReq> = (0..self.cfg.items_per_order)
-            .map(|_| OrderLineReq {
-                item: self.item_nu.sample(&mut self.rng),
-                supply_warehouse: self.maybe_remote(db, w, self.cfg.remote_stock_prob),
-                quantity: self.rng.uniform_inclusive(1, 10) as u16,
-            })
-            .collect();
-        if self.rng.chance(self.cfg.rollback_prob) {
-            // clause 2.4.1.4: the last line names an unused item
-            lines.last_mut().expect("at least one line").item = db.config().items;
-            return db.new_order_checked(w, d, c, &lines).is_ok();
-        }
-        db.new_order_checked(w, d, c, &lines).is_ok()
-    }
-
-    fn run_payment(&mut self, db: &mut TpccDb) {
-        let w = self.uniform_warehouse(db);
-        let d = self.rng.uniform_inclusive(0, 9);
-        let cw = self.maybe_remote(db, w, self.cfg.remote_payment_prob);
-        let cd = if cw == w {
-            d
-        } else {
-            self.rng.uniform_inclusive(0, 9)
-        };
-        let selector = self.selector(db);
-        let amount = self.rng.uniform_inclusive(100, 500_000) as f64 / 100.0;
-        let _ = db.payment(w, d, cw, cd, selector, amount);
-    }
-
-    fn run_order_status(&mut self, db: &mut TpccDb) {
-        let w = self.uniform_warehouse(db);
-        let d = self.rng.uniform_inclusive(0, 9);
-        let selector = self.selector(db);
-        let _ = db.order_status(w, d, selector);
     }
 }
 
@@ -311,6 +468,33 @@ mod tests {
         let rate = report.rollbacks as f64 / attempts as f64;
         assert!((rate - 0.01).abs() < 0.01, "rollback rate {rate}");
         assert!(report.rollbacks > 0);
+    }
+
+    #[test]
+    fn spec_item_counts_draw_uniform_5_to_15_with_mean_10() {
+        let db = loader::load(DbConfig::small(), 19);
+        let mut gen = InputGen::new(&db, DriverConfig::default().with_spec_item_counts(), 20);
+        let mut counts: Vec<usize> = Vec::new();
+        while counts.len() < 2000 {
+            if let TxnInput::NewOrder { lines, .. } = gen.next_input() {
+                counts.push(lines.len());
+            }
+        }
+        assert!(counts.iter().all(|&n| (5..=15).contains(&n)));
+        assert!(counts.iter().any(|&n| n != 10), "counts actually vary");
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!((mean - 10.0).abs() < 0.25, "mean {mean} ≈ 10 per 2.4.1.3");
+    }
+
+    #[test]
+    fn fixed_item_count_is_the_default() {
+        let db = loader::load(DbConfig::small(), 19);
+        let mut gen = InputGen::new(&db, DriverConfig::default(), 20);
+        for _ in 0..200 {
+            if let TxnInput::NewOrder { lines, .. } = gen.next_input() {
+                assert_eq!(lines.len(), 10);
+            }
+        }
     }
 
     #[test]

@@ -20,12 +20,14 @@ pub mod driver;
 pub mod keys;
 pub mod loader;
 pub mod names;
+pub mod parallel;
 pub mod records;
 pub mod txns;
 pub mod verify;
 
 pub use db::{DbConfig, TpccDb};
-pub use driver::{Driver, DriverReport};
+pub use driver::{Driver, DriverConfig, DriverReport, InputGen, TxnInput};
+pub use parallel::{ParallelDriver, ParallelReport};
 pub use txns::{
     DeliveryResult, NewOrderAborted, NewOrderResult, OrderStatusResult, PaymentResult,
     StockLevelResult,

@@ -27,9 +27,9 @@ pub fn load(cfg: DbConfig, seed: u64) -> TpccDb {
     }
     db.bm.flush_all();
     db.reset_stats();
-    db.bm.disk_mut().reset_stats();
+    db.bm.with_disk_mut(tpcc_storage::DiskManager::reset_stats);
     if cfg.enable_wal {
-        db.checkpoint = Some(db.bm.disk().snapshot());
+        db.checkpoint = Some(db.bm.disk_snapshot());
         db.bm.enable_wal();
     }
     db
@@ -48,8 +48,8 @@ fn load_items(db: &mut TpccDb, rng: &mut Xoshiro256) {
                 format!("data-{}", rng.next_u64() % 100_000)
             },
         };
-        let rid = db.heaps.item.insert(&mut db.bm, &rec.encode());
-        db.idx.item.insert(&mut db.bm, keys::item(i), rid.to_u64());
+        let rid = db.heaps.item.insert(&db.bm, &rec.encode());
+        db.idx.item.insert(&db.bm, keys::item(i), rid.to_u64());
     }
 }
 
@@ -63,10 +63,10 @@ fn load_warehouse(db: &mut TpccDb, w: u64, rng: &mut Xoshiro256) {
         tax: rng.uniform_inclusive(0, 2000) as f64 / 10_000.0,
         ytd: 300_000.0,
     };
-    let rid = db.heaps.warehouse.insert(&mut db.bm, &rec.encode());
+    let rid = db.heaps.warehouse.insert(&db.bm, &rec.encode());
     db.idx
         .warehouse
-        .insert(&mut db.bm, keys::warehouse(w), rid.to_u64());
+        .insert(&db.bm, keys::warehouse(w), rid.to_u64());
 
     for i in 0..db.cfg.items {
         let rec = StockRec {
@@ -83,10 +83,8 @@ fn load_warehouse(db: &mut TpccDb, w: u64, rng: &mut Xoshiro256) {
                 "stockdata".into()
             },
         };
-        let rid = db.heaps.stock.insert(&mut db.bm, &rec.encode());
-        db.idx
-            .stock
-            .insert(&mut db.bm, keys::stock(w, i), rid.to_u64());
+        let rid = db.heaps.stock.insert(&db.bm, &rec.encode());
+        db.idx.stock.insert(&db.bm, keys::stock(w, i), rid.to_u64());
     }
 
     for d in 0..10 {
@@ -105,10 +103,10 @@ fn load_district(db: &mut TpccDb, w: u64, d: u64, rng: &mut Xoshiro256) {
         ytd: 30_000.0,
         next_o_id: cfg.initial_orders_per_district as u32,
     };
-    let rid = db.heaps.district.insert(&mut db.bm, &rec.encode());
+    let rid = db.heaps.district.insert(&db.bm, &rec.encode());
     db.idx
         .district
-        .insert(&mut db.bm, keys::district(w, d), rid.to_u64());
+        .insert(&db.bm, keys::district(w, d), rid.to_u64());
 
     // customers
     let name_count = cfg.name_count();
@@ -142,15 +140,13 @@ fn load_district(db: &mut TpccDb, w: u64, d: u64, rng: &mut Xoshiro256) {
             delivery_cnt: 0,
             data: "customer data".into(),
         };
-        let rid = db.heaps.customer.insert(&mut db.bm, &rec.encode());
+        let rid = db.heaps.customer.insert(&db.bm, &rec.encode());
         db.idx
             .customer
-            .insert(&mut db.bm, keys::customer(w, d, c), rid.to_u64());
-        db.idx.customer_name.insert(
-            &mut db.bm,
-            keys::customer_name(w, d, name_id, c),
-            rid.to_u64(),
-        );
+            .insert(&db.bm, keys::customer(w, d, c), rid.to_u64());
+        db.idx
+            .customer_name
+            .insert(&db.bm, keys::customer_name(w, d, name_id, c), rid.to_u64());
     }
 
     // historical orders
@@ -173,13 +169,13 @@ fn load_district(db: &mut TpccDb, w: u64, d: u64, rng: &mut Xoshiro256) {
             ol_cnt,
             all_local: 1,
         };
-        let rid = db.heaps.order.insert(&mut db.bm, &order_rec.encode());
+        let rid = db.heaps.order.insert(&db.bm, &order_rec.encode());
         db.idx
             .order
-            .insert(&mut db.bm, keys::order(w, d, o), rid.to_u64());
+            .insert(&db.bm, keys::order(w, d, o), rid.to_u64());
         db.idx
             .last_order
-            .insert(&mut db.bm, keys::last_order(w, d, c), o);
+            .insert(&db.bm, keys::last_order(w, d, c), o);
         for line in 0..u64::from(ol_cnt) {
             let ol = OrderLineRec {
                 o_id: o as u32,
@@ -197,10 +193,10 @@ fn load_district(db: &mut TpccDb, w: u64, d: u64, rng: &mut Xoshiro256) {
                 },
                 dist_info: format!("d{d}"),
             };
-            let rid = db.heaps.order_line.insert(&mut db.bm, &ol.encode());
+            let rid = db.heaps.order_line.insert(&db.bm, &ol.encode());
             db.idx
                 .order_line
-                .insert(&mut db.bm, keys::order_line(w, d, o, line), rid.to_u64());
+                .insert(&db.bm, keys::order_line(w, d, o, line), rid.to_u64());
         }
         if !delivered {
             let no = NewOrderRec {
@@ -208,10 +204,10 @@ fn load_district(db: &mut TpccDb, w: u64, d: u64, rng: &mut Xoshiro256) {
                 d_id: d as u16,
                 w_id: w as u16,
             };
-            let rid = db.heaps.new_order.insert(&mut db.bm, &no.encode());
+            let rid = db.heaps.new_order.insert(&db.bm, &no.encode());
             db.idx
                 .new_order
-                .insert(&mut db.bm, keys::order(w, d, o), rid.to_u64());
+                .insert(&db.bm, keys::order(w, d, o), rid.to_u64());
         }
     }
 }
@@ -224,38 +220,38 @@ mod tests {
     #[test]
     fn small_load_has_expected_cardinalities() {
         let cfg = DbConfig::small();
-        let mut db = load(cfg, 1);
-        assert_eq!(db.idx.item.len(&mut db.bm), cfg.items as usize);
+        let db = load(cfg, 1);
+        assert_eq!(db.idx.item.len(&db.bm), cfg.items as usize);
         assert_eq!(
-            db.idx.customer.len(&mut db.bm),
+            db.idx.customer.len(&db.bm),
             (cfg.customers_per_district * 10) as usize
         );
         assert_eq!(
-            db.idx.stock.len(&mut db.bm),
+            db.idx.stock.len(&db.bm),
             cfg.items as usize,
             "one warehouse"
         );
         assert_eq!(
-            db.idx.order.len(&mut db.bm),
+            db.idx.order.len(&db.bm),
             (cfg.initial_orders_per_district * 10) as usize
         );
         assert_eq!(
-            db.idx.new_order.len(&mut db.bm),
+            db.idx.new_order.len(&db.bm),
             (cfg.initial_pending_per_district * 10) as usize
         );
         assert_eq!(
-            db.idx.order_line.len(&mut db.bm),
+            db.idx.order_line.len(&db.bm),
             (cfg.initial_orders_per_district * 10 * 10) as usize
         );
     }
 
     #[test]
     fn loaded_records_decode() {
-        let mut db = load(DbConfig::small(), 2);
+        let db = load(DbConfig::small(), 2);
         let rid = db
             .pk_lookup(Relation::Customer, keys::customer(0, 3, 7))
             .expect("customer exists");
-        let rec = db.heaps.customer.get(&mut db.bm, rid).expect("live");
+        let rec = db.heaps.customer.get(&db.bm, rid).expect("live");
         let c = CustomerRec::decode(&rec);
         assert_eq!(c.c_id, 7);
         assert_eq!(c.d_id, 3);
@@ -264,11 +260,11 @@ mod tests {
 
     #[test]
     fn name_index_finds_about_three_matches() {
-        let mut db = load(DbConfig::small(), 3);
+        let db = load(DbConfig::small(), 3);
         // name 0 exists (customer 0 owns it plus NURand extras)
         let (lo, hi) = keys::customer_name_range(0, 0, 0);
         let mut matches = 0;
-        db.idx.customer_name.scan_range(&mut db.bm, lo, hi, |_, _| {
+        db.idx.customer_name.scan_range(&db.bm, lo, hi, |_, _| {
             matches += 1;
             true
         });

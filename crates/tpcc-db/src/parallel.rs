@@ -1,0 +1,514 @@
+//! A multi-terminal driver: N threads execute the paper's transaction
+//! mix concurrently against one shared [`TpccDb`], made serializable by
+//! strict two-phase locking through a [`LockManager`].
+//!
+//! # Locking protocol
+//!
+//! Every transaction **predeclares** its lockset (no upgrades: the
+//! strongest mode is taken up front), acquires it, executes the plain
+//! transaction code from `txns.rs`, and releases on drop. A wound
+//! ([`tpcc_lock::Wounded`]) aborts the attempt before any write — the
+//! acquisition phase performs no database mutations, so retry is just
+//! "drop the lock context and go again", **keeping the original
+//! timestamp** so a retried transaction ages and cannot starve.
+//!
+//! | transaction | lockset |
+//! |---|---|
+//! | New-Order | S warehouse; X district; X customer; X each supplying stock row |
+//! | Payment | X warehouse; X district; X customer (pre-resolved for by-name) |
+//! | Order-Status | S customer (pre-resolved) |
+//! | Delivery | per district: X district, then X order + X customer of the peeked oldest pending order |
+//! | Stock-Level | S district |
+//!
+//! Delivery runs as ten per-district sub-transactions (the spec frames
+//! deferred delivery that way); each peeks the oldest pending order
+//! *after* holding the district lock, so the peek cannot race another
+//! delivery or a New-Order insert. Stock-Level reads stock rows
+//! without stock locks — clause 3.3.2 explicitly relaxes its isolation
+//! (it may see concurrent quantity updates, never torn records, which
+//! the buffer pool's frame latches rule out).
+//!
+//! A one-terminal run with seed `s` consumes the exact random stream
+//! of a serial [`Driver`](crate::Driver) run with seed `s`, and the
+//! tests assert the resulting database images are byte-identical.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::db::TpccDb;
+use crate::driver::{DriverConfig, InputGen, TxnInput, TX_NAMES};
+use crate::keys;
+use tpcc_lock::{LockKey, LockManager, LockMode, Ts};
+use tpcc_obs::{CounterHandle, HistogramHandle, Label};
+
+/// Lock spaces, one per logically lockable relation. (Item records are
+/// immutable after load and history is append-only with no readers, so
+/// neither needs a space.)
+mod space {
+    pub const WAREHOUSE: u32 = 0;
+    pub const DISTRICT: u32 = 1;
+    pub const CUSTOMER: u32 = 2;
+    pub const STOCK: u32 = 3;
+    pub const ORDER: u32 = 4;
+}
+
+/// `lock_waiters` gauge labels, indexed by lock space.
+const SPACE_LABELS: [Label; 5] = [
+    Label::Name("warehouse"),
+    Label::Name("district"),
+    Label::Name("customer"),
+    Label::Name("stock"),
+    Label::Name("order"),
+];
+
+fn k(space: u32, key: u64) -> LockKey {
+    LockKey { space, key }
+}
+
+/// The seed of terminal `t` under driver seed `seed`. Terminal 0 keeps
+/// the seed itself, so a one-terminal parallel run replays the serial
+/// driver's stream exactly.
+#[must_use]
+pub fn terminal_seed(seed: u64, terminal: u64) -> u64 {
+    seed ^ terminal.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Multi-terminal run summary.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelReport {
+    /// Transactions completed per type (mix order).
+    pub executed: [u64; 5],
+    /// New orders placed.
+    pub new_orders: u64,
+    /// Orders delivered.
+    pub deliveries: u64,
+    /// New-Orders that rolled back on an unused item (clause 2.4.1.4).
+    pub rollbacks: u64,
+    /// Wound-induced retries per type (a transaction may retry more
+    /// than once; each attempt after the first counts).
+    pub retries: [u64; 5],
+    /// Wall-clock time of the threaded run.
+    pub elapsed: Duration,
+}
+
+impl ParallelReport {
+    /// Total transactions completed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.executed.iter().sum()
+    }
+
+    /// Completed transactions per second.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        self.total() as f64 / self.elapsed.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Fraction of attempts that were wounded and retried:
+    /// `retries / (completed + retries)`.
+    #[must_use]
+    pub fn abort_rate(&self) -> f64 {
+        let retries: u64 = self.retries.iter().sum();
+        let attempts = self.total() + retries;
+        if attempts == 0 {
+            0.0
+        } else {
+            retries as f64 / attempts as f64
+        }
+    }
+
+    fn absorb(&mut self, other: &ParallelReport) {
+        for t in 0..5 {
+            self.executed[t] += other.executed[t];
+            self.retries[t] += other.retries[t];
+        }
+        self.new_orders += other.new_orders;
+        self.deliveries += other.deliveries;
+        self.rollbacks += other.rollbacks;
+    }
+}
+
+/// Drives a shared database from N terminal threads.
+pub struct ParallelDriver {
+    cfg: DriverConfig,
+    threads: u64,
+    seed: u64,
+}
+
+impl ParallelDriver {
+    /// A driver for `threads` terminals (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(cfg: DriverConfig, threads: u64, seed: u64) -> Self {
+        Self {
+            cfg,
+            threads: threads.max(1),
+            seed,
+        }
+    }
+
+    /// Executes `transactions` total transactions (split as evenly as
+    /// possible across terminals) with an internally-created lock
+    /// manager.
+    pub fn run(&self, db: &TpccDb, transactions: u64) -> ParallelReport {
+        let mut lm = LockManager::new();
+        lm.set_obs(db.obs(), &SPACE_LABELS);
+        self.run_on(db, &lm, transactions)
+    }
+
+    /// Like [`ParallelDriver::run`] but against a caller-owned lock
+    /// manager, so tests can snapshot its wait-for graph while the run
+    /// is in flight.
+    pub fn run_on(&self, db: &TpccDb, lm: &LockManager, transactions: u64) -> ParallelReport {
+        let per_thread = transactions / self.threads;
+        let remainder = transactions % self.threads;
+        let partials: Mutex<Vec<ParallelReport>> = Mutex::new(Vec::new());
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..self.threads {
+                let share = per_thread + u64::from(t < remainder);
+                let partials = &partials;
+                scope.spawn(move || {
+                    let part =
+                        Terminal::new(db, lm, self.cfg, terminal_seed(self.seed, t)).run(share);
+                    partials.lock().expect("partials").push(part);
+                });
+            }
+        });
+        let mut report = ParallelReport {
+            elapsed: start.elapsed(),
+            ..ParallelReport::default()
+        };
+        for part in partials.into_inner().expect("partials") {
+            report.absorb(&part);
+        }
+        report
+    }
+}
+
+/// One terminal thread's execution context: its input stream, its
+/// pre-resolved metric handles, and its running counts.
+struct Terminal<'a> {
+    db: &'a TpccDb,
+    lm: &'a LockManager,
+    gen: InputGen,
+    report: ParallelReport,
+    executed_c: [CounterHandle; 5],
+    retries_c: [CounterHandle; 5],
+    latency_h: [HistogramHandle; 5],
+    rollback_c: CounterHandle,
+}
+
+impl<'a> Terminal<'a> {
+    fn new(db: &'a TpccDb, lm: &'a LockManager, cfg: DriverConfig, seed: u64) -> Self {
+        let obs = db.obs().clone();
+        Self {
+            db,
+            lm,
+            gen: InputGen::new(db, cfg, seed),
+            report: ParallelReport::default(),
+            executed_c: std::array::from_fn(|t| {
+                obs.counter_handle("txn_executed", Label::Name(TX_NAMES[t]))
+            }),
+            retries_c: std::array::from_fn(|t| {
+                obs.counter_handle("txn_retries", Label::Name(TX_NAMES[t]))
+            }),
+            latency_h: std::array::from_fn(|t| {
+                obs.histogram_handle("txn_latency_ns", Label::Name(TX_NAMES[t]))
+            }),
+            rollback_c: obs.counter_handle("txn_rollbacks", Label::Name(TX_NAMES[0])),
+        }
+    }
+
+    fn run(mut self, transactions: u64) -> ParallelReport {
+        for _ in 0..transactions {
+            let input = self.gen.next_input();
+            let t = input.type_index();
+            self.report.executed[t] += 1;
+            self.executed_c[t].add(1);
+            let timer = self.latency_h[t].start();
+            self.execute(input);
+            drop(timer);
+        }
+        self.report
+    }
+
+    /// Acquires `lockset`, then runs `body` under it (strict 2PL: the
+    /// lock context drops when `body` returns). Wounded attempts retry
+    /// with the original timestamp.
+    fn locked<R>(&mut self, t: usize, lockset: &[(LockKey, LockMode)], body: impl Fn() -> R) -> R {
+        let mut ts: Option<Ts> = None;
+        loop {
+            let mut txn = match ts {
+                None => self.lm.begin(),
+                Some(t0) => self.lm.begin_at(t0),
+            };
+            ts = Some(txn.ts());
+            if lockset
+                .iter()
+                .any(|&(key, mode)| txn.lock(key, mode).is_err())
+            {
+                self.note_retry(t);
+                continue; // drop releases whatever was granted
+            }
+            return body();
+        }
+    }
+
+    fn note_retry(&mut self, t: usize) {
+        self.report.retries[t] += 1;
+        self.retries_c[t].add(1);
+    }
+
+    fn execute(&mut self, input: TxnInput) {
+        match input {
+            TxnInput::NewOrder { w, d, c, lines } => {
+                let mut lockset = vec![
+                    (k(space::WAREHOUSE, keys::warehouse(w)), LockMode::Shared),
+                    (
+                        k(space::DISTRICT, keys::district(w, d)),
+                        LockMode::Exclusive,
+                    ),
+                    (
+                        k(space::CUSTOMER, keys::customer(w, d, c)),
+                        LockMode::Exclusive,
+                    ),
+                ];
+                let items = self.db.config().items;
+                for line in lines.iter().filter(|l| l.item < items) {
+                    lockset.push((
+                        k(space::STOCK, keys::stock(line.supply_warehouse, line.item)),
+                        LockMode::Exclusive,
+                    ));
+                }
+                lockset.sort_by_key(|&(key, _)| key);
+                lockset.dedup_by_key(|&mut (key, _)| key); // all stock locks are X
+                let db = self.db;
+                let placed = self.locked(0, &lockset, || db.new_order_checked(w, d, c, &lines));
+                if placed.is_ok() {
+                    self.report.new_orders += 1;
+                } else {
+                    self.report.rollbacks += 1;
+                    self.rollback_c.add(1);
+                }
+            }
+            TxnInput::Payment {
+                w,
+                d,
+                cw,
+                cd,
+                selector,
+                amount,
+            } => {
+                // by-name resolution is stable (immutable names), so the
+                // customer to lock is known before acquiring anything
+                let c_id = self.db.resolve_customer_id(cw, cd, selector);
+                let lockset = [
+                    (k(space::WAREHOUSE, keys::warehouse(w)), LockMode::Exclusive),
+                    (
+                        k(space::DISTRICT, keys::district(w, d)),
+                        LockMode::Exclusive,
+                    ),
+                    (
+                        k(space::CUSTOMER, keys::customer(cw, cd, c_id)),
+                        LockMode::Exclusive,
+                    ),
+                ];
+                let db = self.db;
+                self.locked(1, &lockset, || db.payment(w, d, cw, cd, selector, amount));
+            }
+            TxnInput::OrderStatus { w, d, selector } => {
+                let c_id = self.db.resolve_customer_id(w, d, selector);
+                let lockset = [(
+                    k(space::CUSTOMER, keys::customer(w, d, c_id)),
+                    LockMode::Shared,
+                )];
+                let db = self.db;
+                self.locked(2, &lockset, || db.order_status(w, d, selector));
+            }
+            TxnInput::Delivery { w, carrier } => {
+                for d in 0..10 {
+                    self.deliver_district(w, d, carrier);
+                }
+            }
+            TxnInput::StockLevel { w, d, threshold } => {
+                let lockset = [(k(space::DISTRICT, keys::district(w, d)), LockMode::Shared)];
+                let db = self.db;
+                self.locked(4, &lockset, || db.stock_level(w, d, threshold));
+            }
+        }
+    }
+
+    /// One per-district delivery sub-transaction. The oldest-pending
+    /// peek happens under the district X lock, so its result stays
+    /// valid until commit; the order and customer locks are then added
+    /// incrementally (wound-wait tolerates any acquisition order).
+    fn deliver_district(&mut self, w: u64, d: u64, carrier: u8) {
+        let mut ts: Option<Ts> = None;
+        loop {
+            let mut txn = match ts {
+                None => self.lm.begin(),
+                Some(t0) => self.lm.begin_at(t0),
+            };
+            ts = Some(txn.ts());
+            if txn
+                .lock(
+                    k(space::DISTRICT, keys::district(w, d)),
+                    LockMode::Exclusive,
+                )
+                .is_err()
+            {
+                self.note_retry(3);
+                continue;
+            }
+            let Some((o_id, c_id)) = self.db.peek_oldest_pending(w, d) else {
+                return; // empty queue: the spec's skipped delivery
+            };
+            let granted = txn
+                .lock(
+                    k(space::ORDER, keys::order(w, d, o_id)),
+                    LockMode::Exclusive,
+                )
+                .and_then(|()| {
+                    txn.lock(
+                        k(space::CUSTOMER, keys::customer(w, d, c_id)),
+                        LockMode::Exclusive,
+                    )
+                });
+            if granted.is_err() {
+                self.note_retry(3);
+                continue;
+            }
+            let delivered = self.db.delivery_district(w, d, carrier);
+            self.db.commit();
+            self.report.deliveries += u64::from(delivered.is_some());
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::DbConfig;
+    use crate::driver::Driver;
+    use crate::loader;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn four_warehouse_cfg() -> DbConfig {
+        let mut cfg = DbConfig::small();
+        cfg.warehouses = 4;
+        cfg.buffer_frames = 2048;
+        cfg
+    }
+
+    #[test]
+    fn one_terminal_run_is_byte_identical_to_the_serial_driver() {
+        let dcfg = DriverConfig::default().with_spec_rollbacks();
+        let mut serial_db = loader::load(DbConfig::small(), 51);
+        let shared_db = loader::load(DbConfig::small(), 51);
+
+        let serial = Driver::new(&serial_db, dcfg, 77).run(&mut serial_db, 600);
+        let parallel = ParallelDriver::new(dcfg, 1, 77).run(&shared_db, 600);
+
+        assert_eq!(parallel.executed, serial.executed, "same input stream");
+        assert_eq!(parallel.new_orders, serial.new_orders);
+        assert_eq!(parallel.deliveries, serial.deliveries);
+        assert_eq!(parallel.rollbacks, serial.rollbacks);
+        assert_eq!(parallel.retries, [0; 5], "one terminal never conflicts");
+
+        serial_db.flush();
+        shared_db.flush();
+        assert!(
+            serial_db.contents_equal(&shared_db),
+            "final disk images diverge"
+        );
+    }
+
+    #[test]
+    fn terminal_zero_keeps_the_driver_seed() {
+        assert_eq!(terminal_seed(42, 0), 42);
+        assert_ne!(terminal_seed(42, 1), 42);
+        assert_ne!(terminal_seed(42, 1), terminal_seed(42, 2));
+    }
+
+    /// The ISSUE's acceptance run: 8 terminals over 4 warehouses, all
+    /// consistency checks pass afterwards, and a monitor thread
+    /// cross-checks that wound-wait never leaves a wait-for cycle.
+    #[test]
+    fn eight_terminals_over_four_warehouses_stay_consistent_and_acyclic() {
+        let db = loader::load(four_warehouse_cfg(), 61);
+        let mut lm = LockManager::new();
+        lm.set_obs(db.obs(), &SPACE_LABELS);
+        let driver = ParallelDriver::new(DriverConfig::default(), 8, 62);
+
+        let done = AtomicBool::new(false);
+        let report = std::thread::scope(|scope| {
+            let monitor = scope.spawn(|| {
+                let mut checks = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let graph = lm.wait_for_snapshot();
+                    assert!(
+                        graph.find_cycle().is_none(),
+                        "deadlock cycle under wound-wait: {:?}",
+                        graph.find_cycle()
+                    );
+                    checks += 1;
+                    std::thread::yield_now();
+                }
+                checks
+            });
+            let report = driver.run_on(&db, &lm, 2000);
+            done.store(true, Ordering::Release);
+            assert!(monitor.join().expect("monitor") > 0);
+            report
+        });
+
+        assert_eq!(report.total(), 2000);
+        assert!(lm.wait_for_snapshot().is_empty(), "all locks released");
+        let consistency = db.verify_consistency();
+        assert!(consistency.is_consistent(), "{consistency:?}");
+    }
+
+    #[test]
+    fn concurrent_terminals_make_progress_on_one_warehouse() {
+        // maximum contention: every terminal hammers the same districts
+        let db = loader::load(DbConfig::small(), 71);
+        let report = ParallelDriver::new(DriverConfig::default(), 4, 72).run(&db, 800);
+        assert_eq!(report.total(), 800);
+        assert!(report.throughput() > 0.0);
+        assert!(report.abort_rate() < 1.0);
+        let consistency = db.verify_consistency();
+        assert!(consistency.is_consistent(), "{consistency:?}");
+    }
+
+    /// Release-mode stress variant (CI runs `--ignored stress` with a
+    /// seed matrix via `TPCC_STRESS_SEED`).
+    #[test]
+    #[ignore = "stress: run with --ignored, seeded via TPCC_STRESS_SEED"]
+    fn stress_parallel_driver_consistency() {
+        let seed = std::env::var("TPCC_STRESS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42u64);
+        let db = loader::load(four_warehouse_cfg(), seed);
+        let mut lm = LockManager::new();
+        lm.set_obs(db.obs(), &SPACE_LABELS);
+        let driver = ParallelDriver::new(DriverConfig::default().with_spec_rollbacks(), 8, seed);
+
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let monitor = scope.spawn(|| {
+                while !done.load(Ordering::Acquire) {
+                    assert!(lm.wait_for_snapshot().find_cycle().is_none());
+                    std::thread::yield_now();
+                }
+            });
+            let report = driver.run_on(&db, &lm, 20_000);
+            done.store(true, Ordering::Release);
+            monitor.join().expect("monitor");
+            assert_eq!(report.total(), 20_000);
+        });
+        let consistency = db.verify_consistency();
+        assert!(consistency.is_consistent(), "{consistency:?}");
+    }
+}

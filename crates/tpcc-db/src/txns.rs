@@ -104,11 +104,11 @@ pub enum CustomerSelector {
 }
 
 impl TpccDb {
-    fn read_customer(&mut self, rid: RecordId) -> CustomerRec {
+    fn read_customer(&self, rid: RecordId) -> CustomerRec {
         let buf = self
             .heaps
             .customer
-            .get(&mut self.bm, rid)
+            .get(&self.bm, rid)
             .expect("live customer");
         CustomerRec::decode(&buf)
     }
@@ -117,7 +117,7 @@ impl TpccDb {
     /// implementing the by-name path: fetch all matches via the name
     /// index, sort by first name, take the median row.
     fn resolve_customer(
-        &mut self,
+        &self,
         w: u64,
         d: u64,
         selector: CustomerSelector,
@@ -134,12 +134,10 @@ impl TpccDb {
             CustomerSelector::ByName(name_id) => {
                 let (lo, hi) = keys::customer_name_range(w, d, name_id);
                 let mut rids: Vec<RecordId> = Vec::new();
-                self.idx
-                    .customer_name
-                    .scan_range(&mut self.bm, lo, hi, |_, v| {
-                        rids.push(RecordId::from_u64(v));
-                        true
-                    });
+                self.idx.customer_name.scan_range(&self.bm, lo, hi, |_, v| {
+                    rids.push(RecordId::from_u64(v));
+                    true
+                });
                 assert!(
                     !rids.is_empty(),
                     "every name id has at least one owner by construction"
@@ -157,12 +155,27 @@ impl TpccDb {
         }
     }
 
+    /// Resolves a selector to the target customer id without executing
+    /// a transaction. The answer is stable under concurrency: by-name
+    /// resolution orders the (immutable) first names of an (immutable
+    /// after load) match set, so the parallel driver can pre-resolve
+    /// the id to lock before acquiring anything.
+    pub(crate) fn resolve_customer_id(&self, w: u64, d: u64, selector: CustomerSelector) -> u64 {
+        match selector {
+            CustomerSelector::ById(c) => c,
+            CustomerSelector::ByName(_) => {
+                let (_, rec, _) = self.resolve_customer(w, d, selector);
+                u64::from(rec.c_id)
+            }
+        }
+    }
+
     /// New-Order (§2.2): places an order of `lines` items for customer
     /// `(w, d, c)`.
     ///
     /// # Panics
     /// Panics on ids beyond the configured scale or an empty line list.
-    pub fn new_order(&mut self, w: u64, d: u64, c: u64, lines: &[OrderLineReq]) -> NewOrderResult {
+    pub fn new_order(&self, w: u64, d: u64, c: u64, lines: &[OrderLineReq]) -> NewOrderResult {
         assert!(!lines.is_empty(), "an order needs at least one line");
         let _span = self.bm.obs().span("new_order");
         self.check_scale(w, d, Some(c), None);
@@ -172,19 +185,19 @@ impl TpccDb {
             .pk_lookup(Relation::Warehouse, keys::warehouse(w))
             .expect("warehouse exists");
         let warehouse =
-            WarehouseRec::decode(&self.heaps.warehouse.get(&mut self.bm, w_rid).expect("live"));
+            WarehouseRec::decode(&self.heaps.warehouse.get(&self.bm, w_rid).expect("live"));
 
         // 2-3. district: read then bump next_o_id
         let d_rid = self
             .pk_lookup(Relation::District, keys::district(w, d))
             .expect("district exists");
         let mut district =
-            DistrictRec::decode(&self.heaps.district.get(&mut self.bm, d_rid).expect("live"));
+            DistrictRec::decode(&self.heaps.district.get(&self.bm, d_rid).expect("live"));
         let o_id = u64::from(district.next_o_id);
         district.next_o_id += 1;
         self.heaps
             .district
-            .update(&mut self.bm, d_rid, &district.encode());
+            .update(&self.bm, d_rid, &district.encode());
 
         // 4. customer discount
         let c_rid = self
@@ -203,22 +216,22 @@ impl TpccDb {
             ol_cnt: lines.len() as u8,
             all_local: u8::from(all_local),
         };
-        let o_heap_rid = self.heaps.order.insert(&mut self.bm, &order.encode());
+        let o_heap_rid = self.heaps.order.insert(&self.bm, &order.encode());
         self.idx
             .order
-            .insert(&mut self.bm, keys::order(w, d, o_id), o_heap_rid.to_u64());
+            .insert(&self.bm, keys::order(w, d, o_id), o_heap_rid.to_u64());
         self.idx
             .last_order
-            .insert(&mut self.bm, keys::last_order(w, d, c), o_id);
+            .insert(&self.bm, keys::last_order(w, d, c), o_id);
         let no = NewOrderRec {
             o_id: o_id as u32,
             d_id: d as u16,
             w_id: w as u16,
         };
-        let no_rid = self.heaps.new_order.insert(&mut self.bm, &no.encode());
+        let no_rid = self.heaps.new_order.insert(&self.bm, &no.encode());
         self.idx
             .new_order
-            .insert(&mut self.bm, keys::order(w, d, o_id), no_rid.to_u64());
+            .insert(&self.bm, keys::order(w, d, o_id), no_rid.to_u64());
 
         // 7. per item: item read, stock read+update, order-line insert
         let mut line_amounts = Vec::with_capacity(lines.len());
@@ -227,7 +240,7 @@ impl TpccDb {
             let i_rid = self
                 .pk_lookup(Relation::Item, keys::item(line.item))
                 .expect("item exists");
-            let item = ItemRec::decode(&self.heaps.item.get(&mut self.bm, i_rid).expect("live"));
+            let item = ItemRec::decode(&self.heaps.item.get(&self.bm, i_rid).expect("live"));
 
             let s_rid = self
                 .pk_lookup(
@@ -235,8 +248,7 @@ impl TpccDb {
                     keys::stock(line.supply_warehouse, line.item),
                 )
                 .expect("stock exists");
-            let mut stock =
-                StockRec::decode(&self.heaps.stock.get(&mut self.bm, s_rid).expect("live"));
+            let mut stock = StockRec::decode(&self.heaps.stock.get(&self.bm, s_rid).expect("live"));
             // clause 2.4.2.2: restock when the level would fall below 10
             if stock.quantity >= i32::from(line.quantity) + 10 {
                 stock.quantity -= i32::from(line.quantity);
@@ -249,9 +261,7 @@ impl TpccDb {
                 stock.remote_cnt += 1;
             }
             let dist_info = stock.dist_info[d as usize].clone();
-            self.heaps
-                .stock
-                .update(&mut self.bm, s_rid, &stock.encode());
+            self.heaps.stock.update(&self.bm, s_rid, &stock.encode());
 
             let amount = f64::from(line.quantity) * item.price;
             line_amounts.push(amount);
@@ -267,9 +277,9 @@ impl TpccDb {
                 amount,
                 dist_info,
             };
-            let ol_rid = self.heaps.order_line.insert(&mut self.bm, &ol.encode());
+            let ol_rid = self.heaps.order_line.insert(&self.bm, &ol.encode());
             self.idx.order_line.insert(
-                &mut self.bm,
+                &self.bm,
                 keys::order_line(w, d, o_id, number as u64),
                 ol_rid.to_u64(),
             );
@@ -297,7 +307,7 @@ impl TpccDb {
     /// # Errors
     /// [`NewOrderAborted`] naming the first invalid line.
     pub fn new_order_checked(
-        &mut self,
+        &self,
         w: u64,
         d: u64,
         c: u64,
@@ -323,7 +333,7 @@ impl TpccDb {
     /// Payment (§2.2): charges `amount` to the selected customer of
     /// `(cw, cd)` through the terminal's `(w, d)`.
     pub fn payment(
-        &mut self,
+        &self,
         w: u64,
         d: u64,
         cw: u64,
@@ -338,29 +348,29 @@ impl TpccDb {
             .pk_lookup(Relation::Warehouse, keys::warehouse(w))
             .expect("warehouse exists");
         let mut warehouse =
-            WarehouseRec::decode(&self.heaps.warehouse.get(&mut self.bm, w_rid).expect("live"));
+            WarehouseRec::decode(&self.heaps.warehouse.get(&self.bm, w_rid).expect("live"));
         let d_rid = self
             .pk_lookup(Relation::District, keys::district(w, d))
             .expect("district exists");
         let mut district =
-            DistrictRec::decode(&self.heaps.district.get(&mut self.bm, d_rid).expect("live"));
+            DistrictRec::decode(&self.heaps.district.get(&self.bm, d_rid).expect("live"));
 
         let (c_rid, mut customer, rows_matched) = self.resolve_customer(cw, cd, selector);
 
         warehouse.ytd += amount;
         self.heaps
             .warehouse
-            .update(&mut self.bm, w_rid, &warehouse.encode());
+            .update(&self.bm, w_rid, &warehouse.encode());
         district.ytd += amount;
         self.heaps
             .district
-            .update(&mut self.bm, d_rid, &district.encode());
+            .update(&self.bm, d_rid, &district.encode());
         customer.balance -= amount;
         customer.ytd_payment += amount;
         customer.payment_cnt += 1;
         self.heaps
             .customer
-            .update(&mut self.bm, c_rid, &customer.encode());
+            .update(&self.bm, c_rid, &customer.encode());
 
         let date = self.tick();
         let history = HistoryRec {
@@ -373,7 +383,7 @@ impl TpccDb {
             amount,
             data: "payment".into(),
         };
-        self.heaps.history.insert(&mut self.bm, &history.encode());
+        self.heaps.history.insert(&self.bm, &history.encode());
         self.commit();
 
         PaymentResult {
@@ -385,20 +395,11 @@ impl TpccDb {
 
     /// Order-Status (§2.2): the customer's most recent order and its
     /// lines.
-    pub fn order_status(
-        &mut self,
-        w: u64,
-        d: u64,
-        selector: CustomerSelector,
-    ) -> OrderStatusResult {
+    pub fn order_status(&self, w: u64, d: u64, selector: CustomerSelector) -> OrderStatusResult {
         let _span = self.bm.obs().span("order_status");
         let (_, customer, _) = self.resolve_customer(w, d, selector);
         let c = u64::from(customer.c_id);
-        let Some(o_id) = self
-            .idx
-            .last_order
-            .get(&mut self.bm, keys::last_order(w, d, c))
-        else {
+        let Some(o_id) = self.idx.last_order.get(&self.bm, keys::last_order(w, d, c)) else {
             return OrderStatusResult {
                 c_id: c,
                 o_id: None,
@@ -409,21 +410,18 @@ impl TpccDb {
         let o_rid = self
             .pk_lookup(Relation::Order, keys::order(w, d, o_id))
             .expect("last order row exists");
-        let order = OrderRec::decode(&self.heaps.order.get(&mut self.bm, o_rid).expect("live"));
+        let order = OrderRec::decode(&self.heaps.order.get(&self.bm, o_rid).expect("live"));
         let (lo, hi) = keys::order_line_range(w, d, o_id);
         let mut rids = Vec::with_capacity(usize::from(order.ol_cnt));
-        self.idx
-            .order_line
-            .scan_range(&mut self.bm, lo, hi, |_, v| {
-                rids.push(RecordId::from_u64(v));
-                true
-            });
+        self.idx.order_line.scan_range(&self.bm, lo, hi, |_, v| {
+            rids.push(RecordId::from_u64(v));
+            true
+        });
         let lines = rids
             .into_iter()
             .map(|rid| {
-                let ol = OrderLineRec::decode(
-                    &self.heaps.order_line.get(&mut self.bm, rid).expect("live"),
-                );
+                let ol =
+                    OrderLineRec::decode(&self.heaps.order_line.get(&self.bm, rid).expect("live"));
                 (u64::from(ol.i_id), ol.quantity, ol.amount, ol.delivery_d)
             })
             .collect();
@@ -436,77 +434,14 @@ impl TpccDb {
 
     /// Delivery (§2.2): delivers the oldest pending order of every
     /// district of `w`.
-    pub fn delivery(&mut self, w: u64, carrier_id: u8) -> DeliveryResult {
+    pub fn delivery(&self, w: u64, carrier_id: u8) -> DeliveryResult {
         self.check_scale(w, 0, None, None);
         let _span = self.bm.obs().span("delivery");
         let mut per_district = [None; 10];
         let mut delivered = 0;
         for d in 0..10u64 {
-            // min-select on the New-Order index
-            let Some((no_key, no_val)) = self
-                .idx
-                .new_order
-                .min_at_or_after(&mut self.bm, keys::order_lo(w, d))
-                .filter(|(k, _)| *k < keys::order_hi(w, d))
-            else {
-                continue;
-            };
-            let o_id = keys::order_number(no_key);
-            // delete the pending marker (index + heap row)
-            self.idx.new_order.delete(&mut self.bm, no_key);
-            self.heaps
-                .new_order
-                .delete(&mut self.bm, RecordId::from_u64(no_val));
-
-            // order: read + set carrier
-            let o_rid = self
-                .pk_lookup(Relation::Order, keys::order(w, d, o_id))
-                .expect("order exists");
-            let mut order =
-                OrderRec::decode(&self.heaps.order.get(&mut self.bm, o_rid).expect("live"));
-            order.carrier_id = carrier_id;
-            self.heaps
-                .order
-                .update(&mut self.bm, o_rid, &order.encode());
-
-            // order lines: read + stamp delivery date, sum amounts
-            let date = self.tick();
-            let (lo, hi) = keys::order_line_range(w, d, o_id);
-            let mut rids = Vec::with_capacity(usize::from(order.ol_cnt));
-            self.idx
-                .order_line
-                .scan_range(&mut self.bm, lo, hi, |_, v| {
-                    rids.push(RecordId::from_u64(v));
-                    true
-                });
-            let mut total = 0.0;
-            for rid in rids {
-                let mut ol = OrderLineRec::decode(
-                    &self.heaps.order_line.get(&mut self.bm, rid).expect("live"),
-                );
-                ol.delivery_d = date;
-                total += ol.amount;
-                self.heaps
-                    .order_line
-                    .update(&mut self.bm, rid, &ol.encode());
-            }
-
-            // customer: credit the balance
-            let c_rid = self
-                .pk_lookup(
-                    Relation::Customer,
-                    keys::customer(w, d, u64::from(order.c_id)),
-                )
-                .expect("customer exists");
-            let mut customer = self.read_customer(c_rid);
-            customer.balance += total;
-            customer.delivery_cnt += 1;
-            self.heaps
-                .customer
-                .update(&mut self.bm, c_rid, &customer.encode());
-
-            per_district[d as usize] = Some(o_id);
-            delivered += 1;
+            per_district[d as usize] = self.delivery_district(w, d, carrier_id);
+            delivered += u64::from(per_district[d as usize].is_some());
         }
         self.commit();
         DeliveryResult {
@@ -515,16 +450,93 @@ impl TpccDb {
         }
     }
 
+    /// The oldest pending order of district `(w, d)` and its customer,
+    /// without delivering it — the parallel driver peeks here to build
+    /// the lockset for one per-district delivery sub-transaction.
+    pub(crate) fn peek_oldest_pending(&self, w: u64, d: u64) -> Option<(u64, u64)> {
+        let (no_key, _) = self
+            .idx
+            .new_order
+            .min_at_or_after(&self.bm, keys::order_lo(w, d))
+            .filter(|(k, _)| *k < keys::order_hi(w, d))?;
+        let o_id = keys::order_number(no_key);
+        let o_rid = self.pk_lookup(Relation::Order, keys::order(w, d, o_id))?;
+        let order = OrderRec::decode(&self.heaps.order.get(&self.bm, o_rid).expect("live"));
+        Some((o_id, u64::from(order.c_id)))
+    }
+
+    /// One district's slice of a Delivery: deliver the oldest pending
+    /// order of `(w, d)`, or skip when the queue is empty. Returns the
+    /// delivered order number. [`TpccDb::delivery`] runs this for all
+    /// ten districts; the parallel driver runs each district as its own
+    /// sub-transaction (locked and committed separately), which is how
+    /// the spec frames deferred delivery anyway.
+    pub(crate) fn delivery_district(&self, w: u64, d: u64, carrier_id: u8) -> Option<u64> {
+        // min-select on the New-Order index
+        let (no_key, no_val) = self
+            .idx
+            .new_order
+            .min_at_or_after(&self.bm, keys::order_lo(w, d))
+            .filter(|(k, _)| *k < keys::order_hi(w, d))?;
+        let o_id = keys::order_number(no_key);
+        // delete the pending marker (index + heap row)
+        self.idx.new_order.delete(&self.bm, no_key);
+        self.heaps
+            .new_order
+            .delete(&self.bm, RecordId::from_u64(no_val));
+
+        // order: read + set carrier
+        let o_rid = self
+            .pk_lookup(Relation::Order, keys::order(w, d, o_id))
+            .expect("order exists");
+        let mut order = OrderRec::decode(&self.heaps.order.get(&self.bm, o_rid).expect("live"));
+        order.carrier_id = carrier_id;
+        self.heaps.order.update(&self.bm, o_rid, &order.encode());
+
+        // order lines: read + stamp delivery date, sum amounts
+        let date = self.tick();
+        let (lo, hi) = keys::order_line_range(w, d, o_id);
+        let mut rids = Vec::with_capacity(usize::from(order.ol_cnt));
+        self.idx.order_line.scan_range(&self.bm, lo, hi, |_, v| {
+            rids.push(RecordId::from_u64(v));
+            true
+        });
+        let mut total = 0.0;
+        for rid in rids {
+            let mut ol =
+                OrderLineRec::decode(&self.heaps.order_line.get(&self.bm, rid).expect("live"));
+            ol.delivery_d = date;
+            total += ol.amount;
+            self.heaps.order_line.update(&self.bm, rid, &ol.encode());
+        }
+
+        // customer: credit the balance
+        let c_rid = self
+            .pk_lookup(
+                Relation::Customer,
+                keys::customer(w, d, u64::from(order.c_id)),
+            )
+            .expect("customer exists");
+        let mut customer = self.read_customer(c_rid);
+        customer.balance += total;
+        customer.delivery_cnt += 1;
+        self.heaps
+            .customer
+            .update(&self.bm, c_rid, &customer.encode());
+
+        Some(o_id)
+    }
+
     /// Stock-Level (§2.2): distinct items of the district's last 20
     /// orders whose stock is below `threshold`.
-    pub fn stock_level(&mut self, w: u64, d: u64, threshold: i32) -> StockLevelResult {
+    pub fn stock_level(&self, w: u64, d: u64, threshold: i32) -> StockLevelResult {
         self.check_scale(w, d, None, None);
         let _span = self.bm.obs().span("stock_level");
         let d_rid = self
             .pk_lookup(Relation::District, keys::district(w, d))
             .expect("district exists");
         let district =
-            DistrictRec::decode(&self.heaps.district.get(&mut self.bm, d_rid).expect("live"));
+            DistrictRec::decode(&self.heaps.district.get(&self.bm, d_rid).expect("live"));
         let next = u64::from(district.next_o_id);
         let from = next.saturating_sub(20);
 
@@ -532,21 +544,18 @@ impl TpccDb {
         let (lo, _) = keys::order_line_range(w, d, from);
         let (hi, _) = keys::order_line_range(w, d, next);
         let mut ol_rids = Vec::new();
-        self.idx
-            .order_line
-            .scan_range(&mut self.bm, lo, hi, |_, v| {
-                ol_rids.push(RecordId::from_u64(v));
-                true
-            });
+        self.idx.order_line.scan_range(&self.bm, lo, hi, |_, v| {
+            ol_rids.push(RecordId::from_u64(v));
+            true
+        });
         let mut low = std::collections::BTreeSet::new();
         let lines_scanned = ol_rids.len() as u64;
         for rid in ol_rids {
-            let ol =
-                OrderLineRec::decode(&self.heaps.order_line.get(&mut self.bm, rid).expect("live"));
+            let ol = OrderLineRec::decode(&self.heaps.order_line.get(&self.bm, rid).expect("live"));
             let s_rid = self
                 .pk_lookup(Relation::Stock, keys::stock(w, u64::from(ol.i_id)))
                 .expect("stock exists");
-            let stock = StockRec::decode(&self.heaps.stock.get(&mut self.bm, s_rid).expect("live"));
+            let stock = StockRec::decode(&self.heaps.stock.get(&self.bm, s_rid).expect("live"));
             if stock.quantity < threshold {
                 low.insert(ol.i_id);
             }
@@ -581,7 +590,7 @@ mod tests {
 
     #[test]
     fn new_order_assigns_sequential_ids_and_totals() {
-        let mut db = db();
+        let db = db();
         let first = db.new_order(0, 2, 5, &lines(&[1, 2, 3]));
         let second = db.new_order(0, 2, 6, &lines(&[4]));
         assert_eq!(second.o_id, first.o_id + 1);
@@ -591,19 +600,19 @@ mod tests {
 
     #[test]
     fn new_order_updates_stock_and_order_lines() {
-        let mut db = db();
+        let db = db();
         let s_rid = db
             .pk_lookup(Relation::Stock, keys::stock(0, 9))
             .expect("stock");
-        let before = StockRec::decode(&db.heaps.stock.get(&mut db.bm, s_rid).expect("live"));
+        let before = StockRec::decode(&db.heaps.stock.get(&db.bm, s_rid).expect("live"));
         let r = db.new_order(0, 0, 0, &lines(&[9]));
-        let after = StockRec::decode(&db.heaps.stock.get(&mut db.bm, s_rid).expect("live"));
+        let after = StockRec::decode(&db.heaps.stock.get(&db.bm, s_rid).expect("live"));
         assert_eq!(after.order_cnt, before.order_cnt + 1);
         assert_ne!(after.quantity, before.quantity);
         // order line findable through the index
         let (lo, hi) = keys::order_line_range(0, 0, r.o_id);
         let mut n = 0;
-        db.idx.order_line.scan_range(&mut db.bm, lo, hi, |_, _| {
+        db.idx.order_line.scan_range(&db.bm, lo, hi, |_, _| {
             n += 1;
             true
         });
@@ -612,7 +621,7 @@ mod tests {
 
     #[test]
     fn payment_by_id_updates_balances() {
-        let mut db = db();
+        let db = db();
         let r = db.payment(0, 1, 0, 1, CustomerSelector::ById(3), 42.5);
         assert_eq!(r.c_id, 3);
         assert_eq!(r.rows_matched, 1);
@@ -624,20 +633,20 @@ mod tests {
 
     #[test]
     fn payment_by_name_picks_median_by_first_name() {
-        let mut db = db();
+        let db = db();
         let r = db.payment(0, 0, 0, 0, CustomerSelector::ByName(0), 10.0);
         assert!(r.rows_matched >= 1);
         // the selected customer really has name id 0's last name
         let rec_rid = db
             .pk_lookup(Relation::Customer, keys::customer(0, 0, r.c_id))
             .expect("chosen customer");
-        let rec = CustomerRec::decode(&db.heaps.customer.get(&mut db.bm, rec_rid).expect("live"));
+        let rec = CustomerRec::decode(&db.heaps.customer.get(&db.bm, rec_rid).expect("live"));
         assert_eq!(rec.last, crate::names::last_name(0));
     }
 
     #[test]
     fn order_status_sees_latest_order() {
-        let mut db = db();
+        let db = db();
         let placed = db.new_order(0, 4, 8, &lines(&[10, 11]));
         let status = db.order_status(0, 4, CustomerSelector::ById(8));
         assert_eq!(status.o_id, Some(placed.o_id));
@@ -648,11 +657,11 @@ mod tests {
 
     #[test]
     fn delivery_processes_oldest_and_credits_customer() {
-        let mut db = db();
+        let db = db();
         let oldest = db
             .idx
             .new_order
-            .min_at_or_after(&mut db.bm, keys::order_lo(0, 0))
+            .min_at_or_after(&db.bm, keys::order_lo(0, 0))
             .map(|(k, _)| keys::order_number(k))
             .expect("pending orders loaded");
         let r = db.delivery(0, 3);
@@ -662,7 +671,7 @@ mod tests {
         let o_rid = db
             .pk_lookup(Relation::Order, keys::order(0, 0, oldest))
             .expect("order");
-        let order = OrderRec::decode(&db.heaps.order.get(&mut db.bm, o_rid).expect("live"));
+        let order = OrderRec::decode(&db.heaps.order.get(&db.bm, o_rid).expect("live"));
         assert_eq!(order.carrier_id, 3);
         let status = db.order_status(0, 0, CustomerSelector::ById(u64::from(order.c_id)));
         if status.o_id == Some(oldest) {
@@ -672,8 +681,8 @@ mod tests {
 
     #[test]
     fn delivery_on_drained_district_skips() {
-        let mut db = db();
-        let pending = db.idx.new_order.len(&mut db.bm) as u64;
+        let db = db();
+        let pending = db.idx.new_order.len(&db.bm) as u64;
         let mut total = 0;
         for _ in 0..((pending / 10) + 2) {
             total += db.delivery(0, 1).delivered;
@@ -686,7 +695,7 @@ mod tests {
 
     #[test]
     fn stock_level_counts_distinct_low_items() {
-        let mut db = db();
+        let db = db();
         let all = db.stock_level(0, 0, i32::MAX);
         let none = db.stock_level(0, 0, 0);
         assert_eq!(none.low_stock, 0);
@@ -699,7 +708,7 @@ mod tests {
 
     #[test]
     fn stock_level_reflects_new_orders() {
-        let mut db = db();
+        let db = db();
         // drain item 42's stock low via repeated big orders
         for _ in 0..3 {
             db.new_order(
@@ -719,11 +728,11 @@ mod tests {
 
     #[test]
     fn checked_new_order_aborts_on_unused_item_without_writes() {
-        let mut db = db();
+        let db = db();
         let d_rid = db
             .pk_lookup(Relation::District, keys::district(0, 2))
             .expect("district");
-        let before = DistrictRec::decode(&db.heaps.district.get(&mut db.bm, d_rid).expect("live"));
+        let before = DistrictRec::decode(&db.heaps.district.get(&db.bm, d_rid).expect("live"));
         let mut bad = lines(&[1, 2]);
         bad.push(OrderLineReq {
             item: db.config().items + 7, // unused item number
@@ -733,7 +742,7 @@ mod tests {
         let err = db.new_order_checked(0, 2, 5, &bad).expect_err("must abort");
         assert_eq!(err.bad_line, 2);
         // no writes: next_o_id unchanged, no order row appeared
-        let after = DistrictRec::decode(&db.heaps.district.get(&mut db.bm, d_rid).expect("live"));
+        let after = DistrictRec::decode(&db.heaps.district.get(&db.bm, d_rid).expect("live"));
         assert_eq!(after.next_o_id, before.next_o_id);
         assert!(db
             .pk_lookup(
@@ -745,7 +754,7 @@ mod tests {
 
     #[test]
     fn checked_new_order_succeeds_on_valid_items() {
-        let mut db = db();
+        let db = db();
         let r = db
             .new_order_checked(0, 1, 3, &lines(&[5, 6]))
             .expect("valid");
@@ -755,7 +764,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "beyond scale")]
     fn scale_violation_caught() {
-        let mut db = db();
+        let db = db();
         let _ = db.new_order(5, 0, 0, &lines(&[1]));
     }
 }

@@ -33,7 +33,7 @@ impl TpccDb {
     /// 3. New-Order order ids are contiguous per district
     ///    (`max − min + 1 = count`).
     /// 4. `Σ O_OL_CNT = count(Order-Line rows)` per district.
-    pub fn verify_consistency(&mut self) -> ConsistencyReport {
+    pub fn verify_consistency(&self) -> ConsistencyReport {
         let mut report = ConsistencyReport::default();
         let warehouses = self.config().warehouses;
         for w in 0..warehouses {
@@ -47,12 +47,12 @@ impl TpccDb {
     }
 
     /// Condition 1: warehouse YTD equals the sum of its districts'.
-    fn check_c1(&mut self, w: u64, report: &mut ConsistencyReport) {
+    fn check_c1(&self, w: u64, report: &mut ConsistencyReport) {
         let w_rid = self
             .pk_lookup(Relation::Warehouse, keys::warehouse(w))
             .expect("warehouse exists");
         let warehouse =
-            WarehouseRec::decode(&self.heaps.warehouse.get(&mut self.bm, w_rid).expect("live"));
+            WarehouseRec::decode(&self.heaps.warehouse.get(&self.bm, w_rid).expect("live"));
         let mut district_sum = 0.0;
         for d in 0..10 {
             district_sum += self.district(w, d).ytd;
@@ -66,14 +66,14 @@ impl TpccDb {
     }
 
     /// Conditions 2 and 3 for one district.
-    fn check_c2_c3(&mut self, w: u64, d: u64, report: &mut ConsistencyReport) {
+    fn check_c2_c3(&self, w: u64, d: u64, report: &mut ConsistencyReport) {
         let district = self.district(w, d);
         let next = u64::from(district.next_o_id);
 
         // max order id in the Order relation
         let mut max_order = None;
         self.idx.order.scan_range(
-            &mut self.bm,
+            &self.bm,
             keys::order_lo(w, d),
             keys::order_hi(w, d),
             |k, _| {
@@ -94,7 +94,7 @@ impl TpccDb {
         // New-Order contiguity + max
         let mut no_ids: Vec<u64> = Vec::new();
         self.idx.new_order.scan_range(
-            &mut self.bm,
+            &self.bm,
             keys::order_lo(w, d),
             keys::order_hi(w, d),
             |k, _| {
@@ -118,11 +118,11 @@ impl TpccDb {
     }
 
     /// Condition 4: order-line counts match the orders' `ol_cnt`.
-    fn check_c4(&mut self, w: u64, d: u64, report: &mut ConsistencyReport) {
+    fn check_c4(&self, w: u64, d: u64, report: &mut ConsistencyReport) {
         let mut declared = 0u64;
         let mut order_rids: Vec<RecordId> = Vec::new();
         self.idx.order.scan_range(
-            &mut self.bm,
+            &self.bm,
             keys::order_lo(w, d),
             keys::order_hi(w, d),
             |_, v| {
@@ -131,12 +131,12 @@ impl TpccDb {
             },
         );
         for rid in order_rids {
-            let order = OrderRec::decode(&self.heaps.order.get(&mut self.bm, rid).expect("live"));
+            let order = OrderRec::decode(&self.heaps.order.get(&self.bm, rid).expect("live"));
             declared += u64::from(order.ol_cnt);
         }
         let mut stored = 0u64;
         self.idx.order_line.scan_range(
-            &mut self.bm,
+            &self.bm,
             keys::order_line(w, d, 0, 0),
             keys::order_hi(w, d) << 4,
             |_, _| {
@@ -151,37 +151,36 @@ impl TpccDb {
         }
     }
 
-    fn district(&mut self, w: u64, d: u64) -> DistrictRec {
+    fn district(&self, w: u64, d: u64) -> DistrictRec {
         let rid = self
             .pk_lookup(Relation::District, keys::district(w, d))
             .expect("district exists");
-        DistrictRec::decode(&self.heaps.district.get(&mut self.bm, rid).expect("live"))
+        DistrictRec::decode(&self.heaps.district.get(&self.bm, rid).expect("live"))
     }
 
     /// Corrupts one district's YTD (test helper for the verifier
     /// itself): returns the old value.
     #[doc(hidden)]
-    pub fn corrupt_district_ytd(&mut self, w: u64, d: u64, ytd: f64) -> f64 {
+    pub fn corrupt_district_ytd(&self, w: u64, d: u64, ytd: f64) -> f64 {
         let rid = self
             .pk_lookup(Relation::District, keys::district(w, d))
             .expect("district exists");
-        let mut rec =
-            DistrictRec::decode(&self.heaps.district.get(&mut self.bm, rid).expect("live"));
+        let mut rec = DistrictRec::decode(&self.heaps.district.get(&self.bm, rid).expect("live"));
         let old = rec.ytd;
         rec.ytd = ytd;
-        self.heaps.district.update(&mut self.bm, rid, &rec.encode());
+        self.heaps.district.update(&self.bm, rid, &rec.encode());
         old
     }
 
     /// Deletes a pending New-Order marker out of FIFO order (test
     /// helper): breaks contiguity on purpose.
     #[doc(hidden)]
-    pub fn corrupt_pending_queue(&mut self, w: u64, d: u64) -> bool {
+    pub fn corrupt_pending_queue(&self, w: u64, d: u64) -> bool {
         // remove the *second* oldest pending order, leaving a hole
         let mut seen = 0;
         let mut target = None;
         self.idx.new_order.scan_range(
-            &mut self.bm,
+            &self.bm,
             keys::order_lo(w, d),
             keys::order_hi(w, d),
             |k, v| {
@@ -197,10 +196,10 @@ impl TpccDb {
         let Some((key, val)) = target else {
             return false;
         };
-        self.idx.new_order.delete(&mut self.bm, key);
+        self.idx.new_order.delete(&self.bm, key);
         self.heaps
             .new_order
-            .delete(&mut self.bm, RecordId::from_u64(val));
+            .delete(&self.bm, RecordId::from_u64(val));
         true
     }
 }
@@ -210,10 +209,11 @@ mod tests {
     use crate::db::DbConfig;
     use crate::driver::{Driver, DriverConfig};
     use crate::loader;
+    use crate::txns::OrderLineReq;
 
     #[test]
     fn fresh_load_is_consistent() {
-        let mut db = loader::load(DbConfig::small(), 31);
+        let db = loader::load(DbConfig::small(), 31);
         let report = db.verify_consistency();
         assert!(report.is_consistent(), "{:?}", report.violations);
     }
@@ -253,8 +253,60 @@ mod tests {
     }
 
     #[test]
+    fn recovery_replays_only_to_the_last_complete_commit() {
+        let mut cfg = DbConfig::small();
+        cfg.enable_wal = true;
+        let lines: Vec<OrderLineReq> = (0..8)
+            .map(|i| OrderLineReq {
+                item: 10 + i * 7,
+                supply_warehouse: 0,
+                quantity: 3,
+            })
+            .collect();
+
+        // reference: the same load, but only the first order ever runs
+        let ref_db = loader::load(cfg, 91);
+        ref_db.new_order(0, 0, 5, &lines);
+        ref_db.commit();
+        ref_db.flush();
+
+        // torn run: a second order starts but the log is cut mid-flight,
+        // losing its commit marker and a suffix of its page deltas
+        let mut db = loader::load(cfg, 91);
+        db.new_order(0, 0, 5, &lines);
+        db.commit();
+        let committed = db.wal_stats().expect("wal enabled").0;
+        db.new_order(0, 0, 6, &lines);
+        db.commit();
+        let full = db.bm.take_wal().expect("wal enabled");
+        let mut torn = full.clone();
+        assert!(full.len() > committed + 2, "second txn logged real work");
+        torn.truncate(committed + (full.len() - committed) / 2);
+
+        let checkpoint = db.checkpoint.take().expect("checkpoint");
+        let recovered_torn = torn.recover(checkpoint.snapshot());
+        let recovered_full = full.recover(checkpoint);
+
+        assert!(
+            ref_db
+                .bm
+                .with_disk(|disk| recovered_torn.contents_equal(disk)),
+            "torn-log recovery must equal the last complete commit exactly"
+        );
+        db.flush();
+        assert!(
+            db.bm.with_disk(|disk| recovered_full.contents_equal(disk)),
+            "the intact log still recovers the full run"
+        );
+        assert!(
+            !recovered_full.contents_equal(&recovered_torn),
+            "the in-flight transaction's effects must be discarded"
+        );
+    }
+
+    #[test]
     fn verifier_catches_ytd_drift() {
-        let mut db = loader::load(DbConfig::small(), 34);
+        let db = loader::load(DbConfig::small(), 34);
         db.corrupt_district_ytd(0, 3, 1_000_000.0);
         let report = db.verify_consistency();
         assert!(!report.is_consistent());
@@ -263,7 +315,7 @@ mod tests {
 
     #[test]
     fn verifier_catches_pending_queue_hole() {
-        let mut db = loader::load(DbConfig::small(), 35);
+        let db = loader::load(DbConfig::small(), 35);
         assert!(db.corrupt_pending_queue(0, 0));
         let report = db.verify_consistency();
         assert!(

@@ -1,0 +1,151 @@
+//! Wait-for-graph cycle detection.
+//!
+//! Wound-wait *avoids* deadlock, so the engine never needs a detector
+//! at runtime. This one exists to **cross-check** that claim: tests
+//! snapshot the blocking relation (see
+//! [`LockManager::wait_for_snapshot`](crate::LockManager::wait_for_snapshot))
+//! at arbitrary instants under load and assert that no cycle ever
+//! appears.
+
+use tpcc_buffer::fxhash::FxHashMap;
+
+use crate::manager::Ts;
+
+/// A directed graph over transaction timestamps: edge `a → b` means
+/// transaction `a` is blocked waiting for transaction `b`.
+#[derive(Debug, Default, Clone)]
+pub struct WaitForGraph {
+    edges: FxHashMap<Ts, Vec<Ts>>,
+}
+
+impl WaitForGraph {
+    /// Adds the edge `from → to` (self-loops are ignored: a
+    /// transaction never waits on itself).
+    pub fn add_edge(&mut self, from: Ts, to: Ts) {
+        if from == to {
+            return;
+        }
+        let out = self.edges.entry(from).or_default();
+        if !out.contains(&to) {
+            out.push(to);
+        }
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(Vec::len).sum()
+    }
+
+    /// True when no transaction is waiting at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finds a cycle, returned as the sequence of timestamps along it
+    /// (first element repeated at the end); `None` when acyclic.
+    #[must_use]
+    pub fn find_cycle(&self) -> Option<Vec<Ts>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            InProgress,
+            Done,
+        }
+        let mut marks: FxHashMap<Ts, Mark> = FxHashMap::default();
+        let mut stack: Vec<Ts> = Vec::new();
+
+        // iterative DFS with an explicit stack of (node, next-child)
+        for &start in self.edges.keys() {
+            if marks.contains_key(&start) {
+                continue;
+            }
+            let mut frames: Vec<(Ts, usize)> = vec![(start, 0)];
+            marks.insert(start, Mark::InProgress);
+            stack.push(start);
+            while let Some(&mut (node, ref mut child)) = frames.last_mut() {
+                let out = self.edges.get(&node).map_or(&[][..], Vec::as_slice);
+                if *child < out.len() {
+                    let next = out[*child];
+                    *child += 1;
+                    match marks.get(&next) {
+                        Some(Mark::InProgress) => {
+                            // cycle: slice the stack from `next` onward
+                            let pos = stack
+                                .iter()
+                                .position(|&t| t == next)
+                                .expect("in-progress node is on the stack");
+                            let mut cycle = stack[pos..].to_vec();
+                            cycle.push(next);
+                            return Some(cycle);
+                        }
+                        Some(Mark::Done) => {}
+                        None => {
+                            marks.insert(next, Mark::InProgress);
+                            stack.push(next);
+                            frames.push((next, 0));
+                        }
+                    }
+                } else {
+                    marks.insert(node, Mark::Done);
+                    stack.pop();
+                    frames.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_acyclic_graphs_have_no_cycle() {
+        let mut g = WaitForGraph::default();
+        assert!(g.is_empty());
+        assert!(g.find_cycle().is_none());
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(1, 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn two_cycle_is_found() {
+        let mut g = WaitForGraph::default();
+        g.add_edge(7, 9);
+        g.add_edge(9, 7);
+        let cycle = g.find_cycle().expect("cycle");
+        assert_eq!(cycle.len(), 3);
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.contains(&7) && cycle.contains(&9));
+    }
+
+    #[test]
+    fn long_cycle_through_a_tail_is_found() {
+        let mut g = WaitForGraph::default();
+        // tail 100 → 1, then ring 1 → 2 → 3 → 4 → 1
+        g.add_edge(100, 1);
+        for (a, b) in [(1, 2), (2, 3), (3, 4), (4, 1)] {
+            g.add_edge(a, b);
+        }
+        let cycle = g.find_cycle().expect("cycle");
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(!cycle.contains(&100), "tail is not part of the cycle");
+        assert_eq!(cycle.len(), 5, "ring of four plus the repeat");
+    }
+
+    #[test]
+    fn self_loops_and_duplicate_edges_are_ignored() {
+        let mut g = WaitForGraph::default();
+        g.add_edge(5, 5);
+        assert!(g.is_empty());
+        g.add_edge(5, 6);
+        g.add_edge(5, 6);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.find_cycle().is_none());
+    }
+}

@@ -37,11 +37,13 @@
 #![warn(missing_docs)]
 
 mod export;
+mod handle;
 mod hist;
 mod memory;
 mod recorder;
 
 pub use export::{top_level_totals, SnapshotWriter};
+pub use handle::{CounterHandle, GaugeHandle, HandleTimer, HistogramHandle};
 pub use hist::{bucket_bounds, bucket_index, HistSummary, LogHistogram, BUCKETS};
 pub use memory::{MemoryRecorder, Snapshot, SpanEvent, SpanStat, DEFAULT_SPAN_RING};
 pub use recorder::{Label, LatencyTimer, NoopRecorder, Obs, Recorder, SpanGuard};

@@ -305,6 +305,33 @@ impl Recorder for MemoryRecorder {
             .expect("obs map lock")
             .insert(idx, name.to_string());
     }
+
+    fn counter_slot(&self, name: &'static str, label: Label) -> Option<Arc<AtomicU64>> {
+        Some(with_slot(
+            &self.counters,
+            (name, label),
+            || Arc::new(AtomicU64::new(0)),
+            Arc::clone,
+        ))
+    }
+
+    fn gauge_slot(&self, name: &'static str, label: Label) -> Option<Arc<AtomicU64>> {
+        Some(with_slot(
+            &self.gauges,
+            (name, label),
+            || Arc::new(AtomicU64::new(0)),
+            Arc::clone,
+        ))
+    }
+
+    fn histogram_slot(&self, name: &'static str, label: Label) -> Option<Arc<Mutex<LogHistogram>>> {
+        Some(with_slot(
+            &self.hists,
+            (name, label),
+            || Arc::new(Mutex::new(LogHistogram::new())),
+            Arc::clone,
+        ))
+    }
 }
 
 /// A point-in-time copy of everything a [`MemoryRecorder`] holds, with

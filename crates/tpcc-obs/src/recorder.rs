@@ -48,6 +48,38 @@ pub trait Recorder: Send + Sync {
     fn span_record(&self, path: &str, nanos: u64);
     /// Associates a human-readable name with a numeric label index.
     fn register_index(&self, idx: u32, name: &str);
+
+    /// The shared atomic behind a counter, if this recorder exposes
+    /// slots (see [`Obs::counter_handle`](crate::CounterHandle)). The
+    /// default (`None`) makes handles fall back to dynamic dispatch.
+    fn counter_slot(
+        &self,
+        name: &'static str,
+        label: Label,
+    ) -> Option<std::sync::Arc<std::sync::atomic::AtomicU64>> {
+        let _ = (name, label);
+        None
+    }
+
+    /// The shared atomic (f64 bits) behind a gauge, if exposed.
+    fn gauge_slot(
+        &self,
+        name: &'static str,
+        label: Label,
+    ) -> Option<std::sync::Arc<std::sync::atomic::AtomicU64>> {
+        let _ = (name, label);
+        None
+    }
+
+    /// The shared histogram behind `(name, label)`, if exposed.
+    fn histogram_slot(
+        &self,
+        name: &'static str,
+        label: Label,
+    ) -> Option<std::sync::Arc<std::sync::Mutex<crate::LogHistogram>>> {
+        let _ = (name, label);
+        None
+    }
 }
 
 /// A recorder that discards everything. Used to measure (and to keep
@@ -104,6 +136,11 @@ impl Obs {
     #[must_use]
     pub fn enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The attached recorder, if any (used by handle resolution).
+    pub(crate) fn recorder(&self) -> Option<&Arc<dyn Recorder>> {
+        self.inner.as_ref()
     }
 
     /// Adds `delta` to a counter.

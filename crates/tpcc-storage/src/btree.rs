@@ -20,7 +20,7 @@
 
 use crate::bufmgr::BufferManager;
 use crate::disk::FileId;
-use tpcc_obs::Label;
+use tpcc_obs::{CounterHandle, Label, Obs};
 
 const HEADER: usize = 8;
 const LEAF: u8 = 0;
@@ -34,6 +34,11 @@ pub struct BTree {
     root: u32,
     leaf_cap: usize,
     internal_cap: usize,
+    /// Pre-resolved structure-event counters (disabled until
+    /// [`BTree::attach_obs`]); avoids a recorder map lookup per node
+    /// visit on the hot path.
+    visits: CounterHandle,
+    splits: CounterHandle,
 }
 
 #[derive(Debug, Clone)]
@@ -51,9 +56,9 @@ enum Node {
 
 impl BTree {
     /// Creates an empty tree in a fresh file.
-    pub fn create(bm: &mut BufferManager) -> Self {
-        let page_size = bm.disk().page_size();
-        let file = bm.disk_mut().create_file();
+    pub fn create(bm: &BufferManager) -> Self {
+        let page_size = bm.page_size();
+        let file = bm.create_file();
         let leaf_cap = (page_size - HEADER) / 16;
         let internal_cap = (page_size - HEADER - 4) / 12;
         assert!(
@@ -75,7 +80,16 @@ impl BTree {
             root,
             leaf_cap,
             internal_cap,
+            visits: CounterHandle::disabled(),
+            splits: CounterHandle::disabled(),
         }
+    }
+
+    /// Resolves per-tree structure-event counters against `obs`
+    /// (`btree_node_visits` / `btree_splits`, labelled by file id).
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.visits = obs.counter_handle("btree_node_visits", Label::Idx(self.file.0));
+        self.splits = obs.counter_handle("btree_splits", Label::Idx(self.file.0));
     }
 
     /// The index file id (for buffer statistics).
@@ -85,7 +99,7 @@ impl BTree {
     }
 
     /// Looks up a key.
-    pub fn get(&self, bm: &mut BufferManager, key: u64) -> Option<u64> {
+    pub fn get(&self, bm: &BufferManager, key: u64) -> Option<u64> {
         let mut page = self.root;
         loop {
             match self.read(bm, page) {
@@ -100,7 +114,7 @@ impl BTree {
     }
 
     /// Inserts or overwrites; returns the previous value if any.
-    pub fn insert(&mut self, bm: &mut BufferManager, key: u64, value: u64) -> Option<u64> {
+    pub fn insert(&mut self, bm: &BufferManager, key: u64, value: u64) -> Option<u64> {
         let (old, split) = self.insert_rec(bm, self.root, key, value);
         if let Some((sep, right)) = split {
             let old_root = self.root;
@@ -120,7 +134,7 @@ impl BTree {
 
     /// Removes a key; returns its value if it was present. Lazy: leaves
     /// are never rebalanced or merged.
-    pub fn delete(&mut self, bm: &mut BufferManager, key: u64) -> Option<u64> {
+    pub fn delete(&mut self, bm: &BufferManager, key: u64) -> Option<u64> {
         let mut page = self.root;
         loop {
             match self.read(bm, page) {
@@ -148,7 +162,7 @@ impl BTree {
     /// key order; stop early by returning `false` from the visitor.
     pub fn scan_range(
         &self,
-        bm: &mut BufferManager,
+        bm: &BufferManager,
         lo: u64,
         hi: u64,
         mut visit: impl FnMut(u64, u64) -> bool,
@@ -182,7 +196,7 @@ impl BTree {
 
     /// The smallest `(key, value)` with `key >= lo` (e.g. the oldest
     /// pending order of a district when keys are `(w, d, order-no)`).
-    pub fn min_at_or_after(&self, bm: &mut BufferManager, lo: u64) -> Option<(u64, u64)> {
+    pub fn min_at_or_after(&self, bm: &BufferManager, lo: u64) -> Option<(u64, u64)> {
         let mut found = None;
         self.scan_range(bm, lo, u64::MAX, |k, v| {
             found = Some((k, v));
@@ -192,7 +206,7 @@ impl BTree {
     }
 
     /// Total live entries (full scan; test/diagnostic helper).
-    pub fn len(&self, bm: &mut BufferManager) -> usize {
+    pub fn len(&self, bm: &BufferManager) -> usize {
         let mut n = 0;
         self.scan_range(bm, 0, u64::MAX, |_, _| {
             n += 1;
@@ -202,13 +216,13 @@ impl BTree {
     }
 
     /// True when the tree holds no entries.
-    pub fn is_empty(&self, bm: &mut BufferManager) -> bool {
+    pub fn is_empty(&self, bm: &BufferManager) -> bool {
         self.min_at_or_after(bm, 0).is_none()
     }
 
     fn insert_rec(
         &mut self,
-        bm: &mut BufferManager,
+        bm: &BufferManager,
         page: u32,
         key: u64,
         value: u64,
@@ -237,7 +251,7 @@ impl BTree {
                     return (old, None);
                 }
                 // split: upper half to a fresh right sibling
-                self.note_split(bm);
+                self.note_split();
                 let mid = keys.len() / 2;
                 let right_keys = keys.split_off(mid);
                 let right_vals = vals.split_off(mid);
@@ -279,7 +293,7 @@ impl BTree {
                     return (old, None);
                 }
                 // split internal: middle key promotes
-                self.note_split(bm);
+                self.note_split();
                 let mid = keys.len() / 2;
                 let promoted = keys[mid];
                 let right_keys = keys.split_off(mid + 1);
@@ -300,18 +314,17 @@ impl BTree {
         }
     }
 
-    fn read(&self, bm: &mut BufferManager, page: u32) -> Node {
-        bm.obs()
-            .counter("btree_node_visits", Label::Idx(self.file.0), 1);
+    fn read(&self, bm: &BufferManager, page: u32) -> Node {
+        self.visits.add(1);
         bm.with_page(self.file, page, decode)
     }
 
-    fn write(&self, bm: &mut BufferManager, page: u32, node: &Node) {
+    fn write(&self, bm: &BufferManager, page: u32, node: &Node) {
         bm.with_page_mut(self.file, page, |data| encode(data, node));
     }
 
-    fn note_split(&self, bm: &BufferManager) {
-        bm.obs().counter("btree_splits", Label::Idx(self.file.0), 1);
+    fn note_split(&self) {
+        self.splits.add(1);
     }
 }
 
@@ -395,49 +408,49 @@ mod tests {
 
     fn setup(page_size: usize, frames: usize) -> (BufferManager, BTree) {
         let disk = DiskManager::new(page_size);
-        let mut bm = BufferManager::new(disk, frames, Replacement::Lru);
-        let tree = BTree::create(&mut bm);
+        let bm = BufferManager::new(disk, frames, Replacement::Lru);
+        let tree = BTree::create(&bm);
         (bm, tree)
     }
 
     #[test]
     fn insert_get_small() {
-        let (mut bm, mut t) = setup(256, 16);
-        assert_eq!(t.insert(&mut bm, 5, 50), None);
-        assert_eq!(t.insert(&mut bm, 3, 30), None);
-        assert_eq!(t.insert(&mut bm, 9, 90), None);
-        assert_eq!(t.get(&mut bm, 5), Some(50));
-        assert_eq!(t.get(&mut bm, 3), Some(30));
-        assert_eq!(t.get(&mut bm, 9), Some(90));
-        assert_eq!(t.get(&mut bm, 4), None);
+        let (bm, mut t) = setup(256, 16);
+        assert_eq!(t.insert(&bm, 5, 50), None);
+        assert_eq!(t.insert(&bm, 3, 30), None);
+        assert_eq!(t.insert(&bm, 9, 90), None);
+        assert_eq!(t.get(&bm, 5), Some(50));
+        assert_eq!(t.get(&bm, 3), Some(30));
+        assert_eq!(t.get(&bm, 9), Some(90));
+        assert_eq!(t.get(&bm, 4), None);
     }
 
     #[test]
     fn overwrite_returns_old() {
-        let (mut bm, mut t) = setup(256, 16);
-        t.insert(&mut bm, 7, 1);
-        assert_eq!(t.insert(&mut bm, 7, 2), Some(1));
-        assert_eq!(t.get(&mut bm, 7), Some(2));
-        assert_eq!(t.len(&mut bm), 1);
+        let (bm, mut t) = setup(256, 16);
+        t.insert(&bm, 7, 1);
+        assert_eq!(t.insert(&bm, 7, 2), Some(1));
+        assert_eq!(t.get(&bm, 7), Some(2));
+        assert_eq!(t.len(&bm), 1);
     }
 
     #[test]
     fn many_inserts_with_splits_sequential() {
         // small pages force deep trees
-        let (mut bm, mut t) = setup(256, 64);
+        let (bm, mut t) = setup(256, 64);
         let n = 5000u64;
         for k in 0..n {
-            t.insert(&mut bm, k, k * 2);
+            t.insert(&bm, k, k * 2);
         }
         for k in 0..n {
-            assert_eq!(t.get(&mut bm, k), Some(k * 2), "key {k}");
+            assert_eq!(t.get(&bm, k), Some(k * 2), "key {k}");
         }
-        assert_eq!(t.len(&mut bm), n as usize);
+        assert_eq!(t.len(&bm), n as usize);
     }
 
     #[test]
     fn many_inserts_random_order() {
-        let (mut bm, mut t) = setup(256, 64);
+        let (bm, mut t) = setup(256, 64);
         let mut rng = Xoshiro256::seed_from_u64(42);
         let mut keys: Vec<u64> = (0..4000).map(|_| rng.next_u64() >> 16).collect();
         keys.sort_unstable();
@@ -448,21 +461,21 @@ mod tests {
             keys.swap(i, j);
         }
         for &k in &keys {
-            t.insert(&mut bm, k, !k);
+            t.insert(&bm, k, !k);
         }
         for &k in &keys {
-            assert_eq!(t.get(&mut bm, k), Some(!k));
+            assert_eq!(t.get(&bm, k), Some(!k));
         }
     }
 
     #[test]
     fn scan_range_is_sorted_and_bounded() {
-        let (mut bm, mut t) = setup(256, 64);
+        let (bm, mut t) = setup(256, 64);
         for k in (0..1000u64).rev() {
-            t.insert(&mut bm, k * 3, k);
+            t.insert(&bm, k * 3, k);
         }
         let mut seen = Vec::new();
-        t.scan_range(&mut bm, 90, 150, |k, _| {
+        t.scan_range(&bm, 90, 150, |k, _| {
             seen.push(k);
             true
         });
@@ -477,12 +490,12 @@ mod tests {
 
     #[test]
     fn scan_early_stop() {
-        let (mut bm, mut t) = setup(256, 64);
+        let (bm, mut t) = setup(256, 64);
         for k in 0..100u64 {
-            t.insert(&mut bm, k, k);
+            t.insert(&bm, k, k);
         }
         let mut count = 0;
-        t.scan_range(&mut bm, 0, u64::MAX, |_, _| {
+        t.scan_range(&bm, 0, u64::MAX, |_, _| {
             count += 1;
             count < 5
         });
@@ -491,60 +504,60 @@ mod tests {
 
     #[test]
     fn min_at_or_after_finds_oldest() {
-        let (mut bm, mut t) = setup(256, 32);
+        let (bm, mut t) = setup(256, 32);
         for k in [50u64, 20, 80, 35] {
-            t.insert(&mut bm, k, k + 1);
+            t.insert(&bm, k, k + 1);
         }
-        assert_eq!(t.min_at_or_after(&mut bm, 0), Some((20, 21)));
-        assert_eq!(t.min_at_or_after(&mut bm, 21), Some((35, 36)));
-        assert_eq!(t.min_at_or_after(&mut bm, 81), None);
+        assert_eq!(t.min_at_or_after(&bm, 0), Some((20, 21)));
+        assert_eq!(t.min_at_or_after(&bm, 21), Some((35, 36)));
+        assert_eq!(t.min_at_or_after(&bm, 81), None);
     }
 
     #[test]
     fn delete_removes_and_scan_skips() {
-        let (mut bm, mut t) = setup(256, 64);
+        let (bm, mut t) = setup(256, 64);
         for k in 0..500u64 {
-            t.insert(&mut bm, k, k);
+            t.insert(&bm, k, k);
         }
         for k in (0..500).step_by(2) {
-            assert_eq!(t.delete(&mut bm, k), Some(k));
+            assert_eq!(t.delete(&bm, k), Some(k));
         }
-        assert_eq!(t.delete(&mut bm, 0), None, "double delete");
+        assert_eq!(t.delete(&bm, 0), None, "double delete");
         for k in 0..500u64 {
             let expect = (k % 2 == 1).then_some(k);
-            assert_eq!(t.get(&mut bm, k), expect, "key {k}");
+            assert_eq!(t.get(&bm, k), expect, "key {k}");
         }
-        assert_eq!(t.len(&mut bm), 250);
+        assert_eq!(t.len(&bm), 250);
     }
 
     #[test]
     fn fifo_queue_pattern_like_new_order() {
         // insert at the tail, delete at the head — the New-Order usage
-        let (mut bm, mut t) = setup(256, 32);
+        let (bm, mut t) = setup(256, 32);
         let mut head = 0u64;
         let mut tail = 0u64;
         for _ in 0..2000 {
-            t.insert(&mut bm, tail, tail);
+            t.insert(&bm, tail, tail);
             tail += 1;
             if tail - head > 30 {
-                let (k, _) = t.min_at_or_after(&mut bm, 0).expect("nonempty");
+                let (k, _) = t.min_at_or_after(&bm, 0).expect("nonempty");
                 assert_eq!(k, head);
-                t.delete(&mut bm, k);
+                t.delete(&bm, k);
                 head += 1;
             }
         }
-        assert_eq!(t.len(&mut bm), (tail - head) as usize);
+        assert_eq!(t.len(&bm), (tail - head) as usize);
     }
 
     #[test]
     fn survives_tiny_buffer_pool() {
         // 4 frames, tree of thousands of keys: exercises write-back
-        let (mut bm, mut t) = setup(256, 4);
+        let (bm, mut t) = setup(256, 4);
         for k in 0..3000u64 {
-            t.insert(&mut bm, k, k ^ 0xAB);
+            t.insert(&bm, k, k ^ 0xAB);
         }
         for k in (0..3000u64).step_by(97) {
-            assert_eq!(t.get(&mut bm, k), Some(k ^ 0xAB));
+            assert_eq!(t.get(&bm, k), Some(k ^ 0xAB));
         }
     }
 }

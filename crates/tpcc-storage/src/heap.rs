@@ -56,8 +56,8 @@ pub struct HeapFile {
 
 impl HeapFile {
     /// Creates a new heap file with one empty page.
-    pub fn create(bm: &mut BufferManager) -> Self {
-        let file = bm.disk_mut().create_file();
+    pub fn create(bm: &BufferManager) -> Self {
+        let file = bm.create_file();
         bm.allocate_page(file, |data| {
             SlottedPage::init(data);
         });
@@ -75,7 +75,7 @@ impl HeapFile {
 
     /// Inserts a record, preferring pages the free-space map knows have
     /// room, then the newest page, then a fresh allocation.
-    pub fn insert(&mut self, bm: &mut BufferManager, record: &[u8]) -> RecordId {
+    pub fn insert(&mut self, bm: &BufferManager, record: &[u8]) -> RecordId {
         // 1. free-map candidates (deletes happened there)
         let candidates: Vec<u32> = self.free.iter().take(FSM_PROBES).copied().collect();
         for page in candidates {
@@ -86,7 +86,7 @@ impl HeapFile {
             self.free.remove(&page);
         }
         // 2. the append page
-        let last = bm.disk().pages(self.file) - 1;
+        let last = bm.file_pages(self.file) - 1;
         if let Some(slot) = self.try_insert(bm, last, record) {
             return RecordId { page: last, slot };
         }
@@ -99,14 +99,14 @@ impl HeapFile {
         RecordId { page, slot }
     }
 
-    fn try_insert(&mut self, bm: &mut BufferManager, page: u32, record: &[u8]) -> Option<u16> {
+    fn try_insert(&mut self, bm: &BufferManager, page: u32, record: &[u8]) -> Option<u16> {
         bm.with_page_mut(self.file, page, |data| {
             SlottedPage::attach(data).insert(record)
         })
     }
 
     /// Reads a record into an owned buffer; `None` for a dead record.
-    pub fn get(&self, bm: &mut BufferManager, rid: RecordId) -> Option<Vec<u8>> {
+    pub fn get(&self, bm: &BufferManager, rid: RecordId) -> Option<Vec<u8>> {
         bm.with_page(self.file, rid.page, |data| {
             read_slot(data, rid.slot).map(<[u8]>::to_vec)
         })
@@ -115,7 +115,7 @@ impl HeapFile {
     /// Reads a record and passes it to `f` without copying the page.
     pub fn read_with<R>(
         &self,
-        bm: &mut BufferManager,
+        bm: &BufferManager,
         rid: RecordId,
         f: impl FnOnce(Option<&[u8]>) -> R,
     ) -> R {
@@ -123,7 +123,7 @@ impl HeapFile {
     }
 
     /// Updates a record in place (same length); `false` if dead.
-    pub fn update(&self, bm: &mut BufferManager, rid: RecordId, record: &[u8]) -> bool {
+    pub fn update(&self, bm: &BufferManager, rid: RecordId, record: &[u8]) -> bool {
         bm.with_page_mut(self.file, rid.page, |data| {
             SlottedPage::attach(data).update(rid.slot, record)
         })
@@ -131,7 +131,7 @@ impl HeapFile {
 
     /// Deletes a record and remembers the page in the free-space map;
     /// `false` if already dead.
-    pub fn delete(&mut self, bm: &mut BufferManager, rid: RecordId) -> bool {
+    pub fn delete(&mut self, bm: &BufferManager, rid: RecordId) -> bool {
         let deleted = bm.with_page_mut(self.file, rid.page, |data| {
             SlottedPage::attach(data).delete(rid.slot)
         });
@@ -144,7 +144,7 @@ impl HeapFile {
     /// Number of pages in the file.
     #[must_use]
     pub fn pages(&self, bm: &BufferManager) -> u32 {
-        bm.disk().pages(self.file)
+        bm.file_pages(self.file)
     }
 
     /// Pages currently tracked as having free space.
@@ -178,8 +178,8 @@ mod tests {
 
     fn setup() -> (BufferManager, HeapFile) {
         let disk = DiskManager::new(256);
-        let mut bm = BufferManager::new(disk, 8, Replacement::Lru);
-        let heap = HeapFile::create(&mut bm);
+        let bm = BufferManager::new(disk, 8, Replacement::Lru);
+        let heap = HeapFile::create(&bm);
         (bm, heap)
     }
 
@@ -194,45 +194,45 @@ mod tests {
 
     #[test]
     fn insert_spills_to_new_pages() {
-        let (mut bm, mut heap) = setup();
-        let rids: Vec<RecordId> = (0..40u8).map(|i| heap.insert(&mut bm, &[i; 30])).collect();
+        let (bm, mut heap) = setup();
+        let rids: Vec<RecordId> = (0..40u8).map(|i| heap.insert(&bm, &[i; 30])).collect();
         assert!(heap.pages(&bm) > 1, "records spill past one 256B page");
         for (i, rid) in rids.iter().enumerate() {
-            let rec = heap.get(&mut bm, *rid).expect("live");
+            let rec = heap.get(&bm, *rid).expect("live");
             assert_eq!(rec, vec![i as u8; 30]);
         }
     }
 
     #[test]
     fn update_and_delete() {
-        let (mut bm, mut heap) = setup();
-        let rid = heap.insert(&mut bm, &[1u8; 16]);
-        assert!(heap.update(&mut bm, rid, &[2u8; 16]));
-        assert_eq!(heap.get(&mut bm, rid).expect("live"), vec![2u8; 16]);
-        assert!(heap.delete(&mut bm, rid));
-        assert!(heap.get(&mut bm, rid).is_none());
-        assert!(!heap.update(&mut bm, rid, &[3u8; 16]));
+        let (bm, mut heap) = setup();
+        let rid = heap.insert(&bm, &[1u8; 16]);
+        assert!(heap.update(&bm, rid, &[2u8; 16]));
+        assert_eq!(heap.get(&bm, rid).expect("live"), vec![2u8; 16]);
+        assert!(heap.delete(&bm, rid));
+        assert!(heap.get(&bm, rid).is_none());
+        assert!(!heap.update(&bm, rid, &[3u8; 16]));
     }
 
     #[test]
     fn read_with_avoids_copy_semantics() {
-        let (mut bm, mut heap) = setup();
-        let rid = heap.insert(&mut bm, b"zero-copy read");
-        let len = heap.read_with(&mut bm, rid, |r| r.map(<[u8]>::len));
+        let (bm, mut heap) = setup();
+        let rid = heap.insert(&bm, b"zero-copy read");
+        let len = heap.read_with(&bm, rid, |r| r.map(<[u8]>::len));
         assert_eq!(len, Some(14));
         let dead = RecordId { page: 0, slot: 99 };
-        assert!(heap.read_with(&mut bm, dead, |r| r.is_none()));
+        assert!(heap.read_with(&bm, dead, |r| r.is_none()));
     }
 
     #[test]
     fn records_survive_buffer_pressure() {
         let disk = DiskManager::new(256);
-        let mut bm = BufferManager::new(disk, 2, Replacement::Lru);
-        let mut heap = HeapFile::create(&mut bm);
-        let rids: Vec<RecordId> = (0..60u8).map(|i| heap.insert(&mut bm, &[i; 30])).collect();
+        let bm = BufferManager::new(disk, 2, Replacement::Lru);
+        let mut heap = HeapFile::create(&bm);
+        let rids: Vec<RecordId> = (0..60u8).map(|i| heap.insert(&bm, &[i; 30])).collect();
         for (i, rid) in rids.iter().enumerate() {
             assert_eq!(
-                heap.get(&mut bm, *rid).expect("live"),
+                heap.get(&bm, *rid).expect("live"),
                 vec![i as u8; 30],
                 "record {i} lost under eviction"
             );
@@ -241,17 +241,17 @@ mod tests {
 
     #[test]
     fn deleted_space_is_reused() {
-        let (mut bm, mut heap) = setup();
+        let (bm, mut heap) = setup();
         // fill a few pages
-        let rids: Vec<RecordId> = (0..30u8).map(|i| heap.insert(&mut bm, &[i; 30])).collect();
+        let rids: Vec<RecordId> = (0..30u8).map(|i| heap.insert(&bm, &[i; 30])).collect();
         let pages_before = heap.pages(&bm);
         // delete everything, then insert the same volume again
         for rid in rids {
-            assert!(heap.delete(&mut bm, rid));
+            assert!(heap.delete(&bm, rid));
         }
         assert!(heap.free_map_len() > 0);
         for i in 0..30u8 {
-            heap.insert(&mut bm, &[i; 30]);
+            heap.insert(&bm, &[i; 30]);
         }
         assert_eq!(
             heap.pages(&bm),
@@ -263,13 +263,13 @@ mod tests {
     #[test]
     fn fifo_churn_keeps_file_bounded() {
         // the New-Order pattern: insert at the tail, delete the oldest
-        let (mut bm, mut heap) = setup();
+        let (bm, mut heap) = setup();
         let mut queue = std::collections::VecDeque::new();
         for i in 0..2000u32 {
-            queue.push_back(heap.insert(&mut bm, &(i.to_le_bytes().repeat(5))));
+            queue.push_back(heap.insert(&bm, &(i.to_le_bytes().repeat(5))));
             if queue.len() > 20 {
                 let old = queue.pop_front().expect("nonempty");
-                assert!(heap.delete(&mut bm, old));
+                assert!(heap.delete(&bm, old));
             }
         }
         // 20 live × 20 bytes fits in a handful of 256-byte pages; without
@@ -281,20 +281,20 @@ mod tests {
         );
         // all queued records still readable
         for rid in queue {
-            assert!(heap.get(&mut bm, rid).is_some());
+            assert!(heap.get(&bm, rid).is_some());
         }
     }
 
     #[test]
     fn full_free_candidates_are_pruned() {
-        let (mut bm, mut heap) = setup();
-        let rid = heap.insert(&mut bm, &[1u8; 8]);
-        heap.delete(&mut bm, rid);
+        let (bm, mut heap) = setup();
+        let rid = heap.insert(&bm, &[1u8; 8]);
+        heap.delete(&bm, rid);
         assert_eq!(heap.free_map_len(), 1);
         // an oversized record cannot reuse the freed slot's page if the
         // page lacks room; map self-heals by pruning the candidate
         for i in 0..40u8 {
-            heap.insert(&mut bm, &[i; 60]);
+            heap.insert(&bm, &[i; 60]);
         }
         // no stale full pages accumulate beyond the probe window
         assert!(heap.free_map_len() <= FSM_PROBES + 1);

@@ -41,7 +41,10 @@ pub enum WalEntry {
         /// The new bytes.
         data: Vec<u8>,
     },
-    /// A transaction committed (marker; informative for statistics).
+    /// A transaction committed. Recovery replays the log only up to
+    /// (and including) the **last** commit marker: anything after it
+    /// belongs to a transaction that was still in flight at the crash
+    /// and is discarded.
     Commit {
         /// Logical transaction timestamp.
         txn: u64,
@@ -103,8 +106,28 @@ impl Wal {
         &self.entries
     }
 
+    /// Discards every entry past the first `keep` (crash injection for
+    /// atomicity tests: a log truncated mid-transaction must recover
+    /// to the last complete commit, never a partial one).
+    pub fn truncate(&mut self, keep: usize) {
+        if keep >= self.entries.len() {
+            return;
+        }
+        for entry in &self.entries[keep..] {
+            if let WalEntry::PageDelta { data, .. } = entry {
+                self.delta_bytes -= data.len() as u64;
+            }
+        }
+        self.entries.truncate(keep);
+    }
+
     /// Replays the log over a checkpoint image of the disk, producing
     /// the crash-recovered state.
+    ///
+    /// Only the **committed prefix** is replayed: entries after the
+    /// last [`WalEntry::Commit`] marker belong to a transaction that
+    /// never committed, and redo-only recovery must not apply them (a
+    /// log with no commit marker at all replays nothing).
     ///
     /// # Panics
     /// Panics if the log does not apply (wrong checkpoint: file/page
@@ -112,9 +135,14 @@ impl Wal {
     /// loud, never silent corruption.
     #[must_use]
     pub fn recover(&self, mut checkpoint: DiskManager) -> DiskManager {
+        let committed = self
+            .entries
+            .iter()
+            .rposition(|e| matches!(e, WalEntry::Commit { .. }))
+            .map_or(0, |i| i + 1);
         let page_size = checkpoint.page_size();
         let mut scratch = vec![0u8; page_size];
-        for entry in &self.entries {
+        for entry in &self.entries[..committed] {
             match entry {
                 WalEntry::CreateFile { file } => {
                     let created = checkpoint.create_file();
@@ -221,10 +249,88 @@ mod tests {
             file: FileId(0),
             page: 0,
         });
+        wal.append(WalEntry::Commit { txn: 1 });
         // checkpoint already has that page: replay would double-allocate
         let mut checkpoint = DiskManager::new(64);
         let f = checkpoint.create_file();
         checkpoint.allocate_page(f);
         let _ = wal.recover(checkpoint);
+    }
+
+    #[test]
+    fn recovery_ignores_entries_after_the_last_commit() {
+        let mut disk = DiskManager::new(64);
+        let f = disk.create_file();
+        let p = disk.allocate_page(f);
+        let checkpoint = disk.snapshot();
+
+        let mut wal = Wal::new();
+        wal.append(WalEntry::PageDelta {
+            file: f,
+            page: p,
+            offset: 0,
+            data: vec![1],
+        });
+        wal.append(WalEntry::Commit { txn: 1 });
+        // a second transaction crashes mid-flight: delta logged, no commit
+        wal.append(WalEntry::PageDelta {
+            file: f,
+            page: p,
+            offset: 1,
+            data: vec![2],
+        });
+        wal.append(WalEntry::AllocPage { file: f, page: 1 });
+
+        let mut recovered = wal.recover(checkpoint);
+        let mut buf = vec![0u8; 64];
+        recovered.read_page(f, p, &mut buf);
+        assert_eq!(buf[0], 1, "committed transaction replayed");
+        assert_eq!(buf[1], 0, "uncommitted delta discarded");
+        assert_eq!(recovered.pages(f), 1, "uncommitted allocation discarded");
+    }
+
+    #[test]
+    fn log_with_no_commit_replays_nothing() {
+        let mut disk = DiskManager::new(64);
+        let f = disk.create_file();
+        let p = disk.allocate_page(f);
+        let checkpoint = disk.snapshot();
+
+        let mut wal = Wal::new();
+        wal.append(WalEntry::PageDelta {
+            file: f,
+            page: p,
+            offset: 0,
+            data: vec![9],
+        });
+        let mut recovered = wal.recover(checkpoint);
+        let mut buf = vec![0u8; 64];
+        recovered.read_page(f, p, &mut buf);
+        assert_eq!(buf[0], 0, "no commit marker, nothing applies");
+    }
+
+    #[test]
+    fn truncate_simulates_a_torn_log_tail() {
+        let mut wal = Wal::new();
+        wal.append(WalEntry::PageDelta {
+            file: FileId(0),
+            page: 0,
+            offset: 0,
+            data: vec![1, 2, 3],
+        });
+        wal.append(WalEntry::Commit { txn: 1 });
+        wal.append(WalEntry::PageDelta {
+            file: FileId(0),
+            page: 0,
+            offset: 4,
+            data: vec![4, 5],
+        });
+        assert_eq!(wal.delta_bytes(), 5);
+        wal.truncate(2);
+        assert_eq!(wal.len(), 2);
+        assert_eq!(wal.delta_bytes(), 3, "accounting follows the truncation");
+        assert_eq!(wal.commits(), 1);
+        wal.truncate(10); // past the end: no-op
+        assert_eq!(wal.len(), 2);
     }
 }

@@ -11,6 +11,8 @@
 //! * [`cost`] — the throughput / price-performance / scale-up model.
 //! * [`storage`] + [`db`] — the page-based engine and the executable
 //!   TPC-C database built on it.
+//! * [`lock`] + [`db::parallel`] — strict-2PL concurrency control and
+//!   the multi-terminal driver.
 //!
 //! ```
 //! use tpcc_suite::nurand::{LorenzCurve, NuRand, Pmf};
@@ -28,6 +30,7 @@
 pub use tpcc_buffer as buffer;
 pub use tpcc_cost as cost;
 pub use tpcc_db as db;
+pub use tpcc_lock as lock;
 pub use tpcc_model as model;
 pub use tpcc_rand as nurand;
 pub use tpcc_schema as schema;

@@ -118,7 +118,7 @@ fn database_respects_paper_mix_stability() {
 fn stock_level_join_scans_paper_scale_rows() {
     // §2.2: "an average of 200 Order-Line and Stock tuples each being
     // fetched" — the executable join must touch the same scale.
-    let mut db = loaded_db(512);
+    let db = loaded_db(512);
     let r = db.stock_level(0, 0, 15);
     assert!(
         (100..=320).contains(&r.lines_scanned),
@@ -132,7 +132,7 @@ fn payment_by_name_matches_three_rows_on_average() {
     // The spec's load rule (3000 customers, 1000 names) is what makes
     // the paper model a by-name select as 3 selects; verify the
     // executable path reproduces that average.
-    let mut db = loaded_db(512);
+    let db = loaded_db(512);
     let mut total_rows = 0usize;
     let n = 300;
     for k in 0..n {

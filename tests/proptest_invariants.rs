@@ -245,29 +245,29 @@ fn btree_matches_std_model() {
     for _ in 0..24 {
         let ops = draw(&mut rng, 1, 400) as usize;
         let disk = DiskManager::new(256);
-        let mut bm = BufferManager::new(disk, 16, Replacement::Lru);
-        let mut tree = BTree::create(&mut bm);
+        let bm = BufferManager::new(disk, 16, Replacement::Lru);
+        let mut tree = BTree::create(&bm);
         let mut model: BTreeMap<u64, u64> = BTreeMap::new();
         for _ in 0..ops {
             let op = draw(&mut rng, 0, 3);
             let key = draw(&mut rng, 0, 500);
             match op {
                 0 => {
-                    let got = tree.insert(&mut bm, key, key * 3);
+                    let got = tree.insert(&bm, key, key * 3);
                     assert_eq!(got, model.insert(key, key * 3));
                 }
                 1 => {
-                    let got = tree.delete(&mut bm, key);
+                    let got = tree.delete(&bm, key);
                     assert_eq!(got, model.remove(&key));
                 }
                 _ => {
-                    assert_eq!(tree.get(&mut bm, key), model.get(&key).copied());
+                    assert_eq!(tree.get(&bm, key), model.get(&key).copied());
                 }
             }
         }
         // final range scan agrees with the model's ordered iteration
         let mut scanned = Vec::new();
-        tree.scan_range(&mut bm, 0, u64::MAX, |k, v| {
+        tree.scan_range(&bm, 0, u64::MAX, |k, v| {
             scanned.push((k, v));
             true
         });
