@@ -1,31 +1,42 @@
-//! Multi-terminal scaling sweep: throughput and abort rate of the
-//! [`ParallelDriver`] across thread counts × warehouse counts.
+//! Multi-terminal scaling sweep: throughput, abort rate, and per-type
+//! latency percentiles of the [`ParallelDriver`] across thread counts
+//! × warehouse counts.
 //!
 //! The paper's closed model predicts throughput as a function of
 //! multiprogramming level; this harness measures the executable
 //! counterpart, where the limit is real lock contention (wound-wait
 //! retries concentrate on the 10 district rows per warehouse).
 //!
+//! Each cell runs a discarded warmup phase first (faults the working
+//! set into the buffer pool and lets the allocator settle), then a
+//! measured phase of `transactions` transactions — the default of
+//! 20 000 per cell keeps the relative error of a cell's throughput
+//! well under the thread-to-thread differences the sweep is after.
+//!
 //! Emits one JSON object per line to `results/scaling.jsonl` (and
-//! stdout), one line per (threads, warehouses) cell:
+//! stdout), one line per (threads, warehouses) cell, including p50/p95
+//! latency in microseconds for each transaction type:
 //!
 //! ```text
-//! cargo run --release -p tpcc-bench --bin scaling -- [transactions] [max_threads] [seed]
+//! cargo run --release -p tpcc-bench --bin scaling -- \
+//!     [transactions] [max_threads] [seed] [warmup]
 //! ```
 
 use std::io::Write as _;
 use tpcc_db::db::DbConfig;
-use tpcc_db::driver::DriverConfig;
+use tpcc_db::driver::{DriverConfig, TX_NAMES};
 use tpcc_db::{loader, ParallelDriver};
 
 const WAREHOUSE_COUNTS: [u64; 4] = [1, 2, 4, 8];
+/// Simulated read-I/O service time per page fault (µs).
+const IO_DELAY_US: u64 = 100;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let transactions: u64 = args
         .next()
         .map(|s| s.parse().expect("transactions must be a u64"))
-        .unwrap_or(4000);
+        .unwrap_or(20_000);
     let max_threads: u64 = args
         .next()
         .map(|s| s.parse().expect("max_threads must be a u64"))
@@ -34,6 +45,10 @@ fn main() {
         .next()
         .map(|s| s.parse().expect("seed must be a u64"))
         .unwrap_or(42);
+    let warmup: u64 = args
+        .next()
+        .map(|s| s.parse().expect("warmup must be a u64"))
+        .unwrap_or(transactions / 10);
 
     std::fs::create_dir_all("results").expect("create results/");
     let mut out =
@@ -46,7 +61,14 @@ fn main() {
         // keeps the sweep fast enough to run per-commit
         let mut cfg = DbConfig::small();
         cfg.warehouses = warehouses;
-        cfg.buffer_frames = 1024 * warehouses as usize;
+        // the paper's operating region: the pool holds only part of
+        // the working set and every fault pays a synchronous read-I/O
+        // service time, so a single terminal is I/O-bound and extra
+        // terminals overlap their waits (the closed model's MPL axis).
+        // Latch crabbing is what makes the overlap real — a faulting
+        // thread sleeps holding one frame latch, not a whole index.
+        cfg.buffer_frames = 256 * warehouses as usize;
+        cfg.io_delay_us = IO_DELAY_US;
         // the paper-faithful default of one LRU shard serializes every
         // page access; give the threaded sweep a sharded pool so the
         // curve shows lock contention, not buffer-latch contention
@@ -55,13 +77,31 @@ fn main() {
 
         for threads in 1..=max_threads {
             let driver = ParallelDriver::new(DriverConfig::default(), threads, seed + threads);
+            if warmup > 0 {
+                driver.run(&db, warmup); // discarded
+            }
             let report = driver.run(&db, transactions);
             let retries: u64 = report.retries.iter().sum();
+            let latencies = TX_NAMES
+                .iter()
+                .enumerate()
+                .map(|(t, name)| {
+                    let h = &report.latency_ns[t];
+                    format!(
+                        "\"{name}\":{{\"p50_us\":{:.1},\"p95_us\":{:.1}}}",
+                        h.quantile(0.50) / 1000.0,
+                        h.quantile(0.95) / 1000.0,
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
             let line = format!(
                 "{{\"threads\":{threads},\"warehouses\":{warehouses},\
-                 \"transactions\":{},\"elapsed_s\":{:.6},\
+                 \"io_delay_us\":{IO_DELAY_US},\
+                 \"transactions\":{},\"warmup\":{warmup},\"elapsed_s\":{:.6},\
                  \"throughput_tps\":{:.1},\"abort_rate\":{:.6},\
-                 \"retries\":{retries},\"new_orders\":{},\"deliveries\":{}}}",
+                 \"retries\":{retries},\"new_orders\":{},\"deliveries\":{},\
+                 \"latency\":{{{latencies}}}}}",
                 report.total(),
                 report.elapsed.as_secs_f64(),
                 report.throughput(),

@@ -1,0 +1,103 @@
+//! Buffer-pool shard sweep: throughput, miss ratio, and frame-latch
+//! contention of the [`ParallelDriver`] across `buffer_shards` ×
+//! thread counts, answering the ROADMAP's per-shard-LRU question with
+//! data.
+//!
+//! One shard preserves the paper's exact global LRU order but funnels
+//! every page fix through a single mutex; more shards relax the
+//! replacement order (per-shard approximate LRU) in exchange for
+//! mapping-latch parallelism. Cells run in the same I/O-bound regime
+//! as the scaling bench (tight pool + simulated read service time),
+//! so a worse replacement decision costs a visible fault — the sweep
+//! therefore measures both sides of the trade: `latch_contended`
+//! falls with shards while `misses` (approximate-LRU quality) may
+//! rise. Warehouse count is fixed at 4 so lock contention stays
+//! constant across cells and only the buffer pool varies.
+//!
+//! Emits one JSON object per line to `results/shard_sweep.jsonl`
+//! (and stdout), one line per (shards, threads) cell:
+//!
+//! ```text
+//! cargo run --release -p tpcc-bench --bin shard_sweep -- \
+//!     [transactions] [max_threads] [seed] [warmup]
+//! ```
+
+use std::io::Write as _;
+use tpcc_db::db::DbConfig;
+use tpcc_db::driver::DriverConfig;
+use tpcc_db::{loader, ParallelDriver};
+use tpcc_schema::relation::Relation;
+
+const SHARD_COUNTS: [usize; 4] = [1, 4, 16, 64];
+const WAREHOUSES: u64 = 4;
+/// Simulated read-I/O service time per page fault (µs); matches the
+/// scaling bench so cells are comparable across the two sweeps.
+const IO_DELAY_US: u64 = 100;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let transactions: u64 = args
+        .next()
+        .map(|s| s.parse().expect("transactions must be a u64"))
+        .unwrap_or(20_000);
+    let max_threads: u64 = args
+        .next()
+        .map(|s| s.parse().expect("max_threads must be a u64"))
+        .unwrap_or(8);
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(42);
+    let warmup: u64 = args
+        .next()
+        .map(|s| s.parse().expect("warmup must be a u64"))
+        .unwrap_or(transactions / 10);
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let mut out =
+        std::fs::File::create("results/shard_sweep.jsonl").expect("open results/shard_sweep.jsonl");
+
+    for shards in SHARD_COUNTS {
+        // fresh load per shard count: buffer_shards is fixed at pool
+        // construction, and a fresh database keeps cells comparable
+        let mut cfg = DbConfig::small();
+        cfg.warehouses = WAREHOUSES;
+        cfg.buffer_frames = 256 * WAREHOUSES as usize;
+        cfg.buffer_shards = shards;
+        cfg.io_delay_us = IO_DELAY_US;
+        let mut db = loader::load(cfg, seed);
+
+        for threads in 1..=max_threads {
+            let driver = ParallelDriver::new(DriverConfig::default(), threads, seed + threads);
+            if warmup > 0 {
+                driver.run(&db, warmup); // discarded
+            }
+            db.reset_stats();
+            let report = driver.run(&db, transactions);
+            let retries: u64 = report.retries.iter().sum();
+            let buf = Relation::ALL
+                .iter()
+                .map(|&r| db.relation_stats(r))
+                .fold(db.index_stats(), |a, s| a.merged(s));
+            let latch = db.latch_stats();
+            let line = format!(
+                "{{\"shards\":{shards},\"threads\":{threads},\
+                 \"warehouses\":{WAREHOUSES},\"io_delay_us\":{IO_DELAY_US},\
+                 \"transactions\":{},\"warmup\":{warmup},\"elapsed_s\":{:.6},\
+                 \"throughput_tps\":{:.1},\"abort_rate\":{:.6},\
+                 \"retries\":{retries},\"misses\":{},\"miss_ratio\":{:.6},\
+                 \"latch_acquisitions\":{},\"latch_contended\":{}}}",
+                report.total(),
+                report.elapsed.as_secs_f64(),
+                report.throughput(),
+                report.abort_rate(),
+                buf.misses,
+                buf.miss_ratio(),
+                latch.acquisitions,
+                latch.contended,
+            );
+            println!("{line}");
+            writeln!(out, "{line}").expect("write results/shard_sweep.jsonl");
+        }
+    }
+}

@@ -1,12 +1,11 @@
 //! The database instance: heap files, indexes, buffer pool, catalog.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
 
 use tpcc_obs::Obs;
 use tpcc_schema::relation::Relation;
 use tpcc_storage::{
-    BTree, BufferManager, BufferStats, DiskManager, FileId, HeapFile, RecordId, Replacement,
+    BTree, BufferManager, BufferStats, DiskManager, HeapFile, RecordId, Replacement,
 };
 
 /// Scale and resource configuration.
@@ -39,6 +38,11 @@ pub struct DbConfig {
     /// larger values trade that for less latch contention under a
     /// multi-terminal driver (per-shard approximate LRU).
     pub buffer_shards: usize,
+    /// Simulated read-I/O service time in microseconds per page fault
+    /// (0 = in-memory, the default). Applied after load; puts the
+    /// workload in the paper's I/O-bound operating region, where
+    /// multiple terminals overlap their I/O waits.
+    pub io_delay_us: u64,
 }
 
 impl DbConfig {
@@ -56,6 +60,7 @@ impl DbConfig {
             replacement: Replacement::Lru,
             enable_wal: false,
             buffer_shards: 1,
+            io_delay_us: 0,
         }
     }
 
@@ -74,6 +79,7 @@ impl DbConfig {
             replacement: Replacement::Lru,
             enable_wal: false,
             buffer_shards: 1,
+            io_delay_us: 0,
         }
     }
 
@@ -85,132 +91,20 @@ impl DbConfig {
     }
 }
 
-/// A heap file behind a read-write latch, so transactions can run from
-/// many threads: record reads/in-place updates share the latch (page
-/// contents are protected by the buffer pool's frame latches and the
-/// caller's logical locks), while structural changes (insert/delete
-/// touch the free map) take it exclusively.
-pub(crate) struct Table {
-    file: FileId,
-    inner: RwLock<HeapFile>,
-}
-
-impl Table {
-    fn new(heap: HeapFile) -> Self {
-        Self {
-            file: heap.file(),
-            inner: RwLock::new(heap),
-        }
-    }
-
-    pub(crate) fn file(&self) -> FileId {
-        self.file
-    }
-
-    pub(crate) fn insert(&self, bm: &BufferManager, record: &[u8]) -> RecordId {
-        self.inner.write().expect("table latch").insert(bm, record)
-    }
-
-    pub(crate) fn get(&self, bm: &BufferManager, rid: RecordId) -> Option<Vec<u8>> {
-        self.inner.read().expect("table latch").get(bm, rid)
-    }
-
-    pub(crate) fn update(&self, bm: &BufferManager, rid: RecordId, record: &[u8]) -> bool {
-        self.inner
-            .read()
-            .expect("table latch")
-            .update(bm, rid, record)
-    }
-
-    pub(crate) fn delete(&self, bm: &BufferManager, rid: RecordId) -> bool {
-        self.inner.write().expect("table latch").delete(bm, rid)
-    }
-
-    pub(crate) fn pages(&self, bm: &BufferManager) -> u32 {
-        self.inner.read().expect("table latch").pages(bm)
-    }
-}
-
-/// A B+Tree behind a read-write latch: the tree-level latch is the
-/// first-cut concurrency story for indexes (readers share, any insert
-/// or delete is exclusive). Lookups and scans copy what they need
-/// while holding the latch, so no descent ever observes a half-split.
-pub(crate) struct Index {
-    file: FileId,
-    inner: RwLock<BTree>,
-}
-
-impl Index {
-    fn new(tree: BTree) -> Self {
-        Self {
-            file: tree.file(),
-            inner: RwLock::new(tree),
-        }
-    }
-
-    pub(crate) fn file(&self) -> FileId {
-        self.file
-    }
-
-    pub(crate) fn attach_obs(&self, obs: &Obs) {
-        self.inner.write().expect("index latch").attach_obs(obs);
-    }
-
-    pub(crate) fn get(&self, bm: &BufferManager, key: u64) -> Option<u64> {
-        self.inner.read().expect("index latch").get(bm, key)
-    }
-
-    pub(crate) fn insert(&self, bm: &BufferManager, key: u64, value: u64) -> Option<u64> {
-        self.inner
-            .write()
-            .expect("index latch")
-            .insert(bm, key, value)
-    }
-
-    pub(crate) fn delete(&self, bm: &BufferManager, key: u64) -> Option<u64> {
-        self.inner.write().expect("index latch").delete(bm, key)
-    }
-
-    pub(crate) fn scan_range(
-        &self,
-        bm: &BufferManager,
-        lo: u64,
-        hi: u64,
-        visit: impl FnMut(u64, u64) -> bool,
-    ) {
-        self.inner
-            .read()
-            .expect("index latch")
-            .scan_range(bm, lo, hi, visit);
-    }
-
-    pub(crate) fn min_at_or_after(&self, bm: &BufferManager, lo: u64) -> Option<(u64, u64)> {
-        self.inner
-            .read()
-            .expect("index latch")
-            .min_at_or_after(bm, lo)
-    }
-
-    #[cfg_attr(not(test), allow(dead_code))] // load-verification helper
-    pub(crate) fn len(&self, bm: &BufferManager) -> usize {
-        self.inner.read().expect("index latch").len(bm)
-    }
-}
-
 pub(crate) struct Heaps {
-    pub warehouse: Table,
-    pub district: Table,
-    pub customer: Table,
-    pub stock: Table,
-    pub item: Table,
-    pub order: Table,
-    pub new_order: Table,
-    pub order_line: Table,
-    pub history: Table,
+    pub warehouse: HeapFile,
+    pub district: HeapFile,
+    pub customer: HeapFile,
+    pub stock: HeapFile,
+    pub item: HeapFile,
+    pub order: HeapFile,
+    pub new_order: HeapFile,
+    pub order_line: HeapFile,
+    pub history: HeapFile,
 }
 
 impl Heaps {
-    pub(crate) fn for_relation(&self, relation: Relation) -> &Table {
+    pub(crate) fn for_relation(&self, relation: Relation) -> &HeapFile {
         match relation {
             Relation::Warehouse => &self.warehouse,
             Relation::District => &self.district,
@@ -227,26 +121,26 @@ impl Heaps {
 
 pub(crate) struct Indexes {
     /// `(w)` → warehouse rid.
-    pub warehouse: Index,
+    pub warehouse: BTree,
     /// `(w, d)` → district rid.
-    pub district: Index,
+    pub district: BTree,
     /// `(w, d, c)` → customer rid.
-    pub customer: Index,
+    pub customer: BTree,
     /// `(w, d, name, c)` → customer rid (the by-name access path).
-    pub customer_name: Index,
+    pub customer_name: BTree,
     /// `(w, i)` → stock rid.
-    pub stock: Index,
+    pub stock: BTree,
     /// `(i)` → item rid.
-    pub item: Index,
+    pub item: BTree,
     /// `(w, d, o)` → order rid.
-    pub order: Index,
+    pub order: BTree,
     /// `(w, d, o)` → new-order rid (min scan = oldest pending).
-    pub new_order: Index,
+    pub new_order: BTree,
     /// `(w, d, o, line)` → order-line rid.
-    pub order_line: Index,
+    pub order_line: BTree,
     /// `(w, d, c)` → last order number (the multi-key index behind the
     /// paper's one-call `Max(order-id)` assumption).
-    pub last_order: Index,
+    pub last_order: BTree,
 }
 
 /// An open TPC-C database.
@@ -288,27 +182,27 @@ impl TpccDb {
         let bm =
             BufferManager::new_sharded(disk, cfg.buffer_frames, cfg.replacement, cfg.buffer_shards);
         let heaps = Heaps {
-            warehouse: Table::new(HeapFile::create(&bm)),
-            district: Table::new(HeapFile::create(&bm)),
-            customer: Table::new(HeapFile::create(&bm)),
-            stock: Table::new(HeapFile::create(&bm)),
-            item: Table::new(HeapFile::create(&bm)),
-            order: Table::new(HeapFile::create(&bm)),
-            new_order: Table::new(HeapFile::create(&bm)),
-            order_line: Table::new(HeapFile::create(&bm)),
-            history: Table::new(HeapFile::create(&bm)),
+            warehouse: HeapFile::create(&bm),
+            district: HeapFile::create(&bm),
+            customer: HeapFile::create(&bm),
+            stock: HeapFile::create(&bm),
+            item: HeapFile::create(&bm),
+            order: HeapFile::create(&bm),
+            new_order: HeapFile::create(&bm),
+            order_line: HeapFile::create(&bm),
+            history: HeapFile::create(&bm),
         };
         let idx = Indexes {
-            warehouse: Index::new(BTree::create(&bm)),
-            district: Index::new(BTree::create(&bm)),
-            customer: Index::new(BTree::create(&bm)),
-            customer_name: Index::new(BTree::create(&bm)),
-            stock: Index::new(BTree::create(&bm)),
-            item: Index::new(BTree::create(&bm)),
-            order: Index::new(BTree::create(&bm)),
-            new_order: Index::new(BTree::create(&bm)),
-            order_line: Index::new(BTree::create(&bm)),
-            last_order: Index::new(BTree::create(&bm)),
+            warehouse: BTree::create(&bm),
+            district: BTree::create(&bm),
+            customer: BTree::create(&bm),
+            customer_name: BTree::create(&bm),
+            stock: BTree::create(&bm),
+            item: BTree::create(&bm),
+            order: BTree::create(&bm),
+            new_order: BTree::create(&bm),
+            order_line: BTree::create(&bm),
+            last_order: BTree::create(&bm),
         };
         Self {
             bm,
@@ -418,6 +312,13 @@ impl TpccDb {
         self.bm.reset_stats();
     }
 
+    /// Frame-latch acquisition/contention counters since the last
+    /// [`TpccDb::reset_stats`].
+    #[must_use]
+    pub fn latch_stats(&self) -> tpcc_storage::LatchStats {
+        self.bm.latch_stats()
+    }
+
     /// Attaches an observability handle to the storage layer and
     /// registers every file's display name with it, so per-file
     /// metrics export as `buf_hits/stock` or `buf_misses/idx_customer`
@@ -426,7 +327,7 @@ impl TpccDb {
         for r in Relation::ALL {
             obs.register_index(self.heaps.for_relation(r).file().0, r.name());
         }
-        let named_indexes: [(&Index, &str); 10] = [
+        let named_indexes: [(&BTree, &str); 10] = [
             (&self.idx.warehouse, "idx_warehouse"),
             (&self.idx.district, "idx_district"),
             (&self.idx.customer, "idx_customer"),
@@ -444,7 +345,18 @@ impl TpccDb {
         self.bm.set_obs(obs);
         // pre-resolve per-index counters against the new recorder
         let obs = self.bm.obs().clone();
-        for (tree, _) in named_indexes {
+        for tree in [
+            &mut self.idx.warehouse,
+            &mut self.idx.district,
+            &mut self.idx.customer,
+            &mut self.idx.customer_name,
+            &mut self.idx.stock,
+            &mut self.idx.item,
+            &mut self.idx.order,
+            &mut self.idx.new_order,
+            &mut self.idx.order_line,
+            &mut self.idx.last_order,
+        ] {
             tree.attach_obs(&obs);
         }
     }

@@ -32,6 +32,9 @@ pub fn load(cfg: DbConfig, seed: u64) -> TpccDb {
         db.checkpoint = Some(db.bm.disk_snapshot());
         db.bm.enable_wal();
     }
+    // the simulated I/O service time applies to the measured workload
+    // only, never to the (serial, write-mostly) load itself
+    db.bm.set_io_delay_us(cfg.io_delay_us);
     db
 }
 

@@ -17,9 +17,38 @@
 //! `< kᵢ`. Deletes are *lazy* (no rebalancing): entries are removed and
 //! leaves may underflow, which is harmless for lookups and scans and
 //! matches the benchmark's delete pattern (oldest New-Order rows only).
+//!
+//! # Latching (crabbing)
+//!
+//! All operations take `&self`; concurrency control is per-page latch
+//! **crabbing** over [`BufferManager`] page guards, in the discipline of
+//! Bayer & Schkolnick (1977):
+//!
+//! * **Reads** (`get`, `scan_range`) descend with shared coupling —
+//!   latch the child, then release the parent — and scans crab
+//!   left-to-right along the leaf chain.
+//! * **`delete`** and the common-case `insert` descend shared and take
+//!   only the *leaf* exclusively. The parent stays share-latched while
+//!   the leaf latch is upgraded, so the leaf cannot be split between
+//!   the shared and exclusive fix (splits require the parent latched
+//!   exclusively). Deletes are lazy and never restructure, so this
+//!   path never restarts.
+//! * **`insert` into a full leaf** restarts as a *pessimistic* descent
+//!   with exclusive coupling that splits any full node top-down while
+//!   holding only parent + child (at most three page latches with the
+//!   transient sibling allocation), so the parent always has room for
+//!   the separator and splits never propagate upward.
+//!
+//! The `root` field is the **structure latch**: a `RwLock` around the
+//! root page number. Every descent acquires it shared just long enough
+//! to latch the root page; only a root split takes it exclusively (and
+//! acquires it *before* any page latch, preserving the
+//! structure-before-page order that keeps the hierarchy acyclic). See
+//! DESIGN.md §8 for the deadlock-freedom argument.
 
-use crate::bufmgr::BufferManager;
+use crate::bufmgr::{BufferManager, PageWriteGuard};
 use crate::disk::FileId;
+use std::sync::RwLock;
 use tpcc_obs::{CounterHandle, Label, Obs};
 
 const HEADER: usize = 8;
@@ -31,7 +60,10 @@ const NO_LEAF: u32 = u32::MAX;
 #[derive(Debug)]
 pub struct BTree {
     file: FileId,
-    root: u32,
+    /// Structure latch: guards the root page *number*. Shared by every
+    /// descent until the root page itself is latched; exclusive only
+    /// while a root split swaps the pointer.
+    root: RwLock<u32>,
     leaf_cap: usize,
     internal_cap: usize,
     /// Pre-resolved structure-event counters (disabled until
@@ -39,6 +71,7 @@ pub struct BTree {
     /// visit on the hot path.
     visits: CounterHandle,
     splits: CounterHandle,
+    restarts: CounterHandle,
 }
 
 #[derive(Debug, Clone)]
@@ -77,19 +110,22 @@ impl BTree {
         });
         Self {
             file,
-            root,
+            root: RwLock::new(root),
             leaf_cap,
             internal_cap,
             visits: CounterHandle::disabled(),
             splits: CounterHandle::disabled(),
+            restarts: CounterHandle::disabled(),
         }
     }
 
     /// Resolves per-tree structure-event counters against `obs`
-    /// (`btree_node_visits` / `btree_splits`, labelled by file id).
+    /// (`btree_node_visits` / `btree_splits` / `btree_restarts`,
+    /// labelled by file id).
     pub fn attach_obs(&mut self, obs: &Obs) {
         self.visits = obs.counter_handle("btree_node_visits", Label::Idx(self.file.0));
         self.splits = obs.counter_handle("btree_splits", Label::Idx(self.file.0));
+        self.restarts = obs.counter_handle("btree_restarts", Label::Idx(self.file.0));
     }
 
     /// The index file id (for buffer statistics).
@@ -98,68 +134,68 @@ impl BTree {
         self.file
     }
 
-    /// Looks up a key.
+    /// Looks up a key (shared latch coupling down the tree).
     pub fn get(&self, bm: &BufferManager, key: u64) -> Option<u64> {
-        let mut page = self.root;
-        loop {
-            match self.read(bm, page) {
-                Node::Internal { keys, children } => {
-                    page = children[child_index(&keys, key)];
-                }
-                Node::Leaf { keys, vals, .. } => {
-                    return keys.binary_search(&key).ok().map(|i| vals[i]);
-                }
-            }
+        let root = self.root.read().expect("root latch");
+        let mut guard = bm.fix_shared(self.file, *root);
+        drop(root);
+        self.visits.add(1);
+        while !is_leaf(&guard) {
+            let (_, child) = internal_lookup(&guard, key);
+            guard = bm.fix_shared(self.file, child); // crab: child, then drop parent
+            self.visits.add(1);
         }
+        leaf_search(&guard, key).ok().map(|i| leaf_val(&guard, i))
     }
 
     /// Inserts or overwrites; returns the previous value if any.
-    pub fn insert(&mut self, bm: &BufferManager, key: u64, value: u64) -> Option<u64> {
-        let (old, split) = self.insert_rec(bm, self.root, key, value);
-        if let Some((sep, right)) = split {
-            let old_root = self.root;
-            let (new_root, ()) = bm.allocate_page(self.file, |data| {
-                encode(
-                    data,
-                    &Node::Internal {
-                        keys: vec![sep],
-                        children: vec![old_root, right],
-                    },
-                );
-            });
-            self.root = new_root;
+    ///
+    /// Optimistic first: shared descent with an exclusive leaf latch.
+    /// Only a full leaf (a real split) restarts into the pessimistic
+    /// exclusive-coupled descent.
+    pub fn insert(&self, bm: &BufferManager, key: u64, value: u64) -> Option<u64> {
+        {
+            let mut leaf = self.leaf_exclusive(bm, key);
+            match leaf_search(&leaf, key) {
+                Ok(i) => {
+                    let old = leaf_val(&leaf, i);
+                    leaf_set_val(&mut leaf, i, value);
+                    return Some(old);
+                }
+                Err(i) => {
+                    if entry_count(&leaf) < self.leaf_cap {
+                        leaf_insert_at(&mut leaf, i, key, value);
+                        return None;
+                    }
+                }
+            }
+            // full leaf: a split is needed — release every latch first
         }
-        old
+        self.restarts.add(1);
+        self.insert_pessimistic(bm, key, value)
     }
 
     /// Removes a key; returns its value if it was present. Lazy: leaves
-    /// are never rebalanced or merged.
-    pub fn delete(&mut self, bm: &BufferManager, key: u64) -> Option<u64> {
-        let mut page = self.root;
-        loop {
-            match self.read(bm, page) {
-                Node::Internal { keys, children } => {
-                    page = children[child_index(&keys, key)];
-                }
-                Node::Leaf {
-                    mut keys,
-                    mut vals,
-                    next,
-                } => {
-                    let Ok(i) = keys.binary_search(&key) else {
-                        return None;
-                    };
-                    keys.remove(i);
-                    let old = vals.remove(i);
-                    self.write(bm, page, &Node::Leaf { keys, vals, next });
-                    return Some(old);
-                }
+    /// are never rebalanced or merged, so a delete never restructures
+    /// and the optimistic descent always suffices.
+    pub fn delete(&self, bm: &BufferManager, key: u64) -> Option<u64> {
+        let mut leaf = self.leaf_exclusive(bm, key);
+        match leaf_search(&leaf, key) {
+            Ok(i) => {
+                let old = leaf_val(&leaf, i);
+                leaf_remove_at(&mut leaf, i);
+                Some(old)
             }
+            Err(_) => None,
         }
     }
 
     /// Visits `(key, value)` pairs with `lo <= key < hi` in ascending
     /// key order; stop early by returning `false` from the visitor.
+    ///
+    /// The visitor runs with the current leaf share-latched: it must
+    /// not re-enter this tree (or fix pages that would violate the
+    /// top-down / left-to-right latch order).
     pub fn scan_range(
         &self,
         bm: &BufferManager,
@@ -167,30 +203,35 @@ impl BTree {
         hi: u64,
         mut visit: impl FnMut(u64, u64) -> bool,
     ) {
-        let mut page = self.root;
+        let root = self.root.read().expect("root latch");
+        let mut guard = bm.fix_shared(self.file, *root);
+        drop(root);
+        self.visits.add(1);
         // descend to the leaf that would hold `lo`
-        while let Node::Internal { keys, children } = self.read(bm, page) {
-            page = children[child_index(&keys, lo)];
+        while !is_leaf(&guard) {
+            let (_, child) = internal_lookup(&guard, lo);
+            guard = bm.fix_shared(self.file, child);
+            self.visits.add(1);
         }
         loop {
-            let Node::Leaf { keys, vals, next } = self.read(bm, page) else {
-                unreachable!("leaf chain only contains leaves");
-            };
-            for (k, v) in keys.iter().zip(&vals) {
-                if *k < lo {
+            for i in 0..entry_count(&guard) {
+                let k = leaf_key(&guard, i);
+                if k < lo {
                     continue;
                 }
-                if *k >= hi {
+                if k >= hi {
                     return;
                 }
-                if !visit(*k, *v) {
+                if !visit(k, leaf_val(&guard, i)) {
                     return;
                 }
             }
+            let next = leaf_next(&guard);
             if next == NO_LEAF {
                 return;
             }
-            page = next;
+            guard = bm.fix_shared(self.file, next); // crab along the chain
+            self.visits.add(1);
         }
     }
 
@@ -220,117 +261,277 @@ impl BTree {
         self.min_at_or_after(bm, 0).is_none()
     }
 
-    fn insert_rec(
-        &mut self,
-        bm: &BufferManager,
-        page: u32,
-        key: u64,
-        value: u64,
-    ) -> (Option<u64>, Option<(u64, u32)>) {
-        match self.read(bm, page) {
+    /// Descends with shared coupling and returns the target leaf
+    /// write-latched. The parent (or, for a leaf root, the structure
+    /// latch) stays share-held across the leaf's shared→exclusive
+    /// re-fix: a split of that leaf would need the parent exclusively
+    /// (or the structure latch exclusively), so the leaf located by the
+    /// descent is still the right one when the write latch lands.
+    fn leaf_exclusive<'b>(&self, bm: &'b BufferManager, key: u64) -> PageWriteGuard<'b> {
+        let root = self.root.read().expect("root latch");
+        let root_page = *root;
+        let first = bm.fix_shared(self.file, root_page);
+        self.visits.add(1);
+        if is_leaf(&first) {
+            drop(first);
+            return bm.fix_exclusive(self.file, root_page); // root lock still read-held
+        }
+        drop(root);
+        let mut parent = first;
+        loop {
+            let (_, child_page) = internal_lookup(&parent, key);
+            let child = bm.fix_shared(self.file, child_page);
+            self.visits.add(1);
+            if is_leaf(&child) {
+                drop(child);
+                return bm.fix_exclusive(self.file, child_page); // parent still read-held
+            }
+            parent = child;
+        }
+    }
+
+    /// Exclusive-coupled descent with preemptive top-down splits: any
+    /// full node on the path is split while its (non-full, by
+    /// induction) parent is still write-latched, so separators always
+    /// have room and nothing propagates back up. At most parent + child
+    /// + one freshly allocated sibling are latched at any moment.
+    fn insert_pessimistic(&self, bm: &BufferManager, key: u64, value: u64) -> Option<u64> {
+        let mut root_lock = self.root.write().expect("root latch");
+        let mut node = bm.fix_exclusive(self.file, *root_lock);
+        self.visits.add(1);
+        if self.node_full(&node) {
+            // grow the tree while holding the structure latch exclusively
+            let (sep, right_page, right, left) = self.split_node(bm, node);
+            let left_page = left.page();
+            let (new_root, mut root_guard) = bm.allocate_fixed(self.file);
+            encode(
+                &mut root_guard,
+                &Node::Internal {
+                    keys: vec![sep],
+                    children: vec![left_page, right_page],
+                },
+            );
+            drop(root_guard);
+            *root_lock = new_root;
+            node = if key >= sep {
+                drop(left);
+                right
+            } else {
+                drop(right);
+                left
+            };
+        }
+        drop(root_lock);
+        loop {
+            if is_leaf(&node) {
+                let mut leaf = node;
+                return match leaf_search(&leaf, key) {
+                    Ok(i) => {
+                        let old = leaf_val(&leaf, i);
+                        leaf_set_val(&mut leaf, i, value);
+                        Some(old)
+                    }
+                    Err(i) => {
+                        leaf_insert_at(&mut leaf, i, key, value);
+                        None
+                    }
+                };
+            }
+            let (child_idx, child_page) = internal_lookup(&node, key);
+            let mut child = bm.fix_exclusive(self.file, child_page);
+            self.visits.add(1);
+            if self.node_full(&child) {
+                let (sep, right_page, right, left) = self.split_node(bm, child);
+                let Node::Internal {
+                    mut keys,
+                    mut children,
+                } = decode(&node)
+                else {
+                    unreachable!("descent parent is internal");
+                };
+                keys.insert(child_idx, sep);
+                children.insert(child_idx + 1, right_page);
+                encode(&mut node, &Node::Internal { keys, children });
+                child = if key >= sep {
+                    drop(left);
+                    right
+                } else {
+                    drop(right);
+                    left
+                };
+            }
+            node = child; // crab: drop the parent, descend
+        }
+    }
+
+    fn node_full(&self, data: &[u8]) -> bool {
+        let cap = if is_leaf(data) {
+            self.leaf_cap
+        } else {
+            self.internal_cap
+        };
+        entry_count(data) >= cap
+    }
+
+    /// Splits a full node in place: the upper half moves to a freshly
+    /// allocated right sibling. Returns `(separator, right page, right
+    /// guard, left guard)` — both halves still write-latched so the
+    /// caller can link them before anyone can observe the split.
+    fn split_node<'b>(
+        &self,
+        bm: &'b BufferManager,
+        mut left: PageWriteGuard<'b>,
+    ) -> (u64, u32, PageWriteGuard<'b>, PageWriteGuard<'b>) {
+        self.splits.add(1);
+        let node = decode(&left);
+        let (right_page, mut right) = bm.allocate_fixed(self.file);
+        let sep = match node {
             Node::Leaf {
                 mut keys,
                 mut vals,
                 next,
             } => {
-                let old = match keys.binary_search(&key) {
-                    Ok(i) => {
-                        let old = vals[i];
-                        vals[i] = value;
-                        self.write(bm, page, &Node::Leaf { keys, vals, next });
-                        return (Some(old), None);
-                    }
-                    Err(i) => {
-                        keys.insert(i, key);
-                        vals.insert(i, value);
-                        None
-                    }
-                };
-                if keys.len() <= self.leaf_cap {
-                    self.write(bm, page, &Node::Leaf { keys, vals, next });
-                    return (old, None);
-                }
-                // split: upper half to a fresh right sibling
-                self.note_split();
                 let mid = keys.len() / 2;
                 let right_keys = keys.split_off(mid);
                 let right_vals = vals.split_off(mid);
                 let sep = right_keys[0];
-                let (right_page, ()) = bm.allocate_page(self.file, |data| {
-                    encode(
-                        data,
-                        &Node::Leaf {
-                            keys: right_keys,
-                            vals: right_vals,
-                            next,
-                        },
-                    );
-                });
-                self.write(
-                    bm,
-                    page,
+                encode(
+                    &mut right,
+                    &Node::Leaf {
+                        keys: right_keys,
+                        vals: right_vals,
+                        next,
+                    },
+                );
+                encode(
+                    &mut left,
                     &Node::Leaf {
                         keys,
                         vals,
                         next: right_page,
                     },
                 );
-                (old, Some((sep, right_page)))
+                sep
             }
             Node::Internal {
                 mut keys,
                 mut children,
             } => {
-                let idx = child_index(&keys, key);
-                let (old, split) = self.insert_rec(bm, children[idx], key, value);
-                let Some((sep, right)) = split else {
-                    return (old, None);
-                };
-                keys.insert(idx, sep);
-                children.insert(idx + 1, right);
-                if keys.len() <= self.internal_cap {
-                    self.write(bm, page, &Node::Internal { keys, children });
-                    return (old, None);
-                }
-                // split internal: middle key promotes
-                self.note_split();
                 let mid = keys.len() / 2;
                 let promoted = keys[mid];
                 let right_keys = keys.split_off(mid + 1);
                 keys.pop(); // remove promoted
                 let right_children = children.split_off(mid + 1);
-                let (right_page, ()) = bm.allocate_page(self.file, |data| {
-                    encode(
-                        data,
-                        &Node::Internal {
-                            keys: right_keys,
-                            children: right_children,
-                        },
-                    );
-                });
-                self.write(bm, page, &Node::Internal { keys, children });
-                (old, Some((promoted, right_page)))
+                encode(
+                    &mut right,
+                    &Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    },
+                );
+                encode(&mut left, &Node::Internal { keys, children });
+                promoted
             }
-        }
-    }
-
-    fn read(&self, bm: &BufferManager, page: u32) -> Node {
-        self.visits.add(1);
-        bm.with_page(self.file, page, decode)
-    }
-
-    fn write(&self, bm: &BufferManager, page: u32, node: &Node) {
-        bm.with_page_mut(self.file, page, |data| encode(data, node));
-    }
-
-    fn note_split(&self) {
-        self.splits.add(1);
+        };
+        (sep, right_page, right, left)
     }
 }
 
-/// Index of the child subtree that holds `key`: first separator > key.
-fn child_index(keys: &[u64], key: u64) -> usize {
-    keys.partition_point(|&k| k <= key)
+// ---- raw page accessors (allocation-free hot paths) ----
+
+fn is_leaf(data: &[u8]) -> bool {
+    data[0] == LEAF
+}
+
+fn entry_count(data: &[u8]) -> usize {
+    u16::from_le_bytes([data[2], data[3]]) as usize
+}
+
+fn set_entry_count(data: &mut [u8], n: usize) {
+    data[2..4].copy_from_slice(&(n as u16).to_le_bytes());
+}
+
+fn leaf_next(data: &[u8]) -> u32 {
+    u32::from_le_bytes(data[4..8].try_into().expect("header"))
+}
+
+fn leaf_key(data: &[u8], i: usize) -> u64 {
+    let off = HEADER + i * 16;
+    u64::from_le_bytes(data[off..off + 8].try_into().expect("key"))
+}
+
+fn leaf_val(data: &[u8], i: usize) -> u64 {
+    let off = HEADER + i * 16 + 8;
+    u64::from_le_bytes(data[off..off + 8].try_into().expect("val"))
+}
+
+fn leaf_set_val(data: &mut [u8], i: usize, value: u64) {
+    let off = HEADER + i * 16 + 8;
+    data[off..off + 8].copy_from_slice(&value.to_le_bytes());
+}
+
+/// Binary search over a leaf's keys.
+fn leaf_search(data: &[u8], key: u64) -> Result<usize, usize> {
+    let (mut lo, mut hi) = (0usize, entry_count(data));
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let k = leaf_key(data, mid);
+        if k < key {
+            lo = mid + 1;
+        } else if k > key {
+            hi = mid;
+        } else {
+            return Ok(mid);
+        }
+    }
+    Err(lo)
+}
+
+/// Inserts `(key, value)` at position `i`, shifting later entries.
+fn leaf_insert_at(data: &mut [u8], i: usize, key: u64, value: u64) {
+    let n = entry_count(data);
+    let start = HEADER + i * 16;
+    data.copy_within(start..HEADER + n * 16, start + 16);
+    data[start..start + 8].copy_from_slice(&key.to_le_bytes());
+    data[start + 8..start + 16].copy_from_slice(&value.to_le_bytes());
+    set_entry_count(data, n + 1);
+}
+
+/// Removes the entry at position `i`, shifting later entries down.
+fn leaf_remove_at(data: &mut [u8], i: usize) {
+    let n = entry_count(data);
+    let start = HEADER + i * 16;
+    data.copy_within(start + 16..HEADER + n * 16, start);
+    set_entry_count(data, n - 1);
+}
+
+fn internal_key(data: &[u8], i: usize) -> u64 {
+    let off = HEADER + 4 + i * 12;
+    u64::from_le_bytes(data[off..off + 8].try_into().expect("key"))
+}
+
+fn internal_child_at(data: &[u8], i: usize) -> u32 {
+    let off = if i == 0 {
+        HEADER
+    } else {
+        HEADER + 4 + (i - 1) * 12 + 8
+    };
+    u32::from_le_bytes(data[off..off + 4].try_into().expect("child"))
+}
+
+/// The child subtree holding `key`: index of the first separator
+/// `> key`, and that child's page number.
+fn internal_lookup(data: &[u8], key: u64) -> (usize, u32) {
+    let (mut lo, mut hi) = (0usize, entry_count(data));
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if internal_key(data, mid) <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo, internal_child_at(data, lo))
 }
 
 fn encode(data: &mut [u8], node: &Node) {
@@ -415,7 +616,7 @@ mod tests {
 
     #[test]
     fn insert_get_small() {
-        let (bm, mut t) = setup(256, 16);
+        let (bm, t) = setup(256, 16);
         assert_eq!(t.insert(&bm, 5, 50), None);
         assert_eq!(t.insert(&bm, 3, 30), None);
         assert_eq!(t.insert(&bm, 9, 90), None);
@@ -427,7 +628,7 @@ mod tests {
 
     #[test]
     fn overwrite_returns_old() {
-        let (bm, mut t) = setup(256, 16);
+        let (bm, t) = setup(256, 16);
         t.insert(&bm, 7, 1);
         assert_eq!(t.insert(&bm, 7, 2), Some(1));
         assert_eq!(t.get(&bm, 7), Some(2));
@@ -437,7 +638,7 @@ mod tests {
     #[test]
     fn many_inserts_with_splits_sequential() {
         // small pages force deep trees
-        let (bm, mut t) = setup(256, 64);
+        let (bm, t) = setup(256, 64);
         let n = 5000u64;
         for k in 0..n {
             t.insert(&bm, k, k * 2);
@@ -450,7 +651,7 @@ mod tests {
 
     #[test]
     fn many_inserts_random_order() {
-        let (bm, mut t) = setup(256, 64);
+        let (bm, t) = setup(256, 64);
         let mut rng = Xoshiro256::seed_from_u64(42);
         let mut keys: Vec<u64> = (0..4000).map(|_| rng.next_u64() >> 16).collect();
         keys.sort_unstable();
@@ -470,7 +671,7 @@ mod tests {
 
     #[test]
     fn scan_range_is_sorted_and_bounded() {
-        let (bm, mut t) = setup(256, 64);
+        let (bm, t) = setup(256, 64);
         for k in (0..1000u64).rev() {
             t.insert(&bm, k * 3, k);
         }
@@ -490,7 +691,7 @@ mod tests {
 
     #[test]
     fn scan_early_stop() {
-        let (bm, mut t) = setup(256, 64);
+        let (bm, t) = setup(256, 64);
         for k in 0..100u64 {
             t.insert(&bm, k, k);
         }
@@ -504,7 +705,7 @@ mod tests {
 
     #[test]
     fn min_at_or_after_finds_oldest() {
-        let (bm, mut t) = setup(256, 32);
+        let (bm, t) = setup(256, 32);
         for k in [50u64, 20, 80, 35] {
             t.insert(&bm, k, k + 1);
         }
@@ -515,7 +716,7 @@ mod tests {
 
     #[test]
     fn delete_removes_and_scan_skips() {
-        let (bm, mut t) = setup(256, 64);
+        let (bm, t) = setup(256, 64);
         for k in 0..500u64 {
             t.insert(&bm, k, k);
         }
@@ -533,7 +734,7 @@ mod tests {
     #[test]
     fn fifo_queue_pattern_like_new_order() {
         // insert at the tail, delete at the head — the New-Order usage
-        let (bm, mut t) = setup(256, 32);
+        let (bm, t) = setup(256, 32);
         let mut head = 0u64;
         let mut tail = 0u64;
         for _ in 0..2000 {
@@ -552,12 +753,52 @@ mod tests {
     #[test]
     fn survives_tiny_buffer_pool() {
         // 4 frames, tree of thousands of keys: exercises write-back
-        let (bm, mut t) = setup(256, 4);
+        let (bm, t) = setup(256, 4);
         for k in 0..3000u64 {
             t.insert(&bm, k, k ^ 0xAB);
         }
         for k in (0..3000u64).step_by(97) {
             assert_eq!(t.get(&bm, k), Some(k ^ 0xAB));
         }
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers_and_readers() {
+        // four threads own disjoint key stripes; a scan thread sweeps
+        // the whole range concurrently. Crabbing must keep every stripe
+        // intact with no lost inserts.
+        let disk = DiskManager::new(256);
+        let bm = BufferManager::new_sharded(disk, 256, Replacement::Lru, 8);
+        let t = BTree::create(&bm);
+        const PER: u64 = 2000;
+        std::thread::scope(|scope| {
+            for stripe in 0..4u64 {
+                let (t, bm) = (&t, &bm);
+                scope.spawn(move || {
+                    for i in 0..PER {
+                        let k = stripe * 1_000_000 + i;
+                        t.insert(bm, k, !k);
+                    }
+                });
+            }
+            let (t, bm) = (&t, &bm);
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    let mut last = 0;
+                    t.scan_range(bm, 0, u64::MAX, |k, _| {
+                        assert!(k >= last, "scan out of order");
+                        last = k;
+                        true
+                    });
+                }
+            });
+        });
+        for stripe in 0..4u64 {
+            for i in 0..PER {
+                let k = stripe * 1_000_000 + i;
+                assert_eq!(t.get(&bm, k), Some(!k), "stripe {stripe} key {i}");
+            }
+        }
+        assert_eq!(t.len(&bm), 4 * PER as usize);
     }
 }

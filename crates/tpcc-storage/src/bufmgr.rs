@@ -2,33 +2,46 @@
 //! with pluggable replacement (LRU as the paper assumes, or Clock),
 //! dirty-page write-back and hit/miss accounting per file.
 //!
-//! Access is closure-scoped (`with_page` / `with_page_mut`), which
-//! makes pinning implicit: a frame can only be replaced between
-//! accesses, never during one.
+//! # Fix / latch protocol
 //!
-//! # Concurrency
+//! Every frame carries an embedded reader-writer **latch** plus a pin
+//! count. [`BufferManager::fix_shared`] / [`BufferManager::fix_exclusive`]
+//! return RAII guards ([`PageReadGuard`] / [`PageWriteGuard`]) that hold
+//! the frame pinned (safe from replacement) and latched (safe from
+//! concurrent mutation) for the guard's lifetime. This is the substrate
+//! for latch *crabbing* in the B+Tree and heap layers: a caller may hold
+//! one page guard while fixing another (parent → child, leaf → next
+//! leaf), which the closure-scoped API of earlier revisions forbade.
+//! The closure API (`with_page` / `with_page_mut`) survives as a thin
+//! wrapper over single-page guards.
 //!
-//! The pool is safe for concurrent use through `&self`. Frames are
-//! partitioned into **shards**, each guarded by its own mutex; a page
-//! access latches only the shard that `(file, page)` hashes to. The
-//! disk and the WAL sit behind their own mutexes, acquired strictly
-//! *after* a shard latch (latch order: shard → disk, shard → wal,
-//! wal → disk; never the reverse), so the hierarchy is cycle-free.
+//! # Concurrency and latch ordering
+//!
+//! Frame *mapping* and replacement state is partitioned into **shards**,
+//! each guarded by its own mutex; the frames themselves live outside the
+//! shard mutexes so page content is protected only by the per-frame
+//! latch. The ordering rules that keep the hierarchy deadlock-free:
+//!
+//! * shard mutex → frame latch: **try-only** (victim search skips
+//!   latched or pinned frames, never blocks);
+//! * frame latch → shard mutex / WAL mutex / disk mutex: may block —
+//!   safe because shard/WAL/disk holders never block on a frame latch;
+//! * WAL mutex → disk mutex (allocation logging), never the reverse.
+//!
+//! Page-level ordering (who may hold two frame latches at once) is the
+//! caller's contract: the B+Tree acquires top-down / left-to-right and
+//! the heap holds at most one page latch, so frame-latch cycles cannot
+//! form (see DESIGN.md §8).
 //!
 //! [`BufferManager::new`] builds a **single** shard, which preserves
 //! the exact global LRU/Clock behaviour the paper's miss-ratio figures
-//! depend on — serial experiments are bit-for-bit unchanged. Parallel
-//! callers use [`BufferManager::new_sharded`]; each shard then runs
-//! its replacement policy over its own frames (an approximation of
-//! global LRU, as in any production sharded pool).
-//!
-//! A closure passed to `with_page`/`with_page_mut` runs while the
-//! shard latch is held: it must not re-enter the buffer manager (the
-//! tree and heap layers decode a node to an owned value before
-//! touching another page, so this never arises in practice).
+//! depend on — uncontended victim choice is identical to a serial pool.
+//! Parallel callers use [`BufferManager::new_sharded`].
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
 
 use crate::disk::{DiskManager, FileId};
 use crate::wal::{page_delta, Wal, WalEntry};
@@ -83,18 +96,37 @@ impl BufferStats {
     }
 }
 
-#[derive(Debug)]
-struct Frame {
-    key: Option<(FileId, u32)>,
-    data: Box<[u8]>,
-    dirty: bool,
-    ref_bit: bool,
-    /// LRU timestamp (monotone counter, per shard).
-    last_used: u64,
+/// Frame-latch traffic across the pool (see
+/// [`BufferManager::latch_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatchStats {
+    /// Frame latches taken (shared + exclusive).
+    pub acquisitions: u64,
+    /// Acquisitions that found the latch held and had to wait.
+    pub contended: u64,
 }
 
-/// Pre-resolved per-file counter handles, cached per shard so the
-/// fault path never touches the recorder's shared slot map.
+/// Page content and persistence state, protected by the frame latch.
+#[derive(Debug)]
+struct FrameData {
+    key: Option<(FileId, u32)>,
+    bytes: Box<[u8]>,
+    dirty: bool,
+}
+
+/// One buffer frame: latched content plus a pin count. The pin count
+/// is written under the owning shard's mutex (fix / victim search) and
+/// read there too; guard drop decrements it without the shard mutex,
+/// which can only delay an eviction, never corrupt one.
+#[derive(Debug)]
+struct FrameCell {
+    data: RwLock<FrameData>,
+    pins: AtomicU64,
+}
+
+/// Pre-resolved per-file counter handles, cached per shard (indexed by
+/// dense [`FileId`]) so the fault path never touches the recorder's
+/// shared slot map — and never hashes a key either.
 #[derive(Debug, Clone, Default)]
 struct FileCounters {
     hits: CounterHandle,
@@ -103,21 +135,43 @@ struct FileCounters {
     writebacks: CounterHandle,
 }
 
+/// Replacement metadata for one frame, owned by its shard.
+#[derive(Debug, Clone, Copy, Default)]
+struct FrameMeta {
+    key: Option<(FileId, u32)>,
+    ref_bit: bool,
+    /// LRU timestamp (monotone counter, per shard).
+    last_used: u64,
+}
+
 #[derive(Debug)]
 struct Shard {
-    frames: Vec<Frame>,
+    /// Global index of this shard's first frame.
+    base: usize,
+    meta: Vec<FrameMeta>,
     table: FxHashMap<(FileId, u32), u32>,
     hand: usize,
     tick: u64,
-    per_file: FxHashMap<FileId, BufferStats>,
-    counters: FxHashMap<FileId, FileCounters>,
-    /// Before-image scratch for WAL delta computation.
-    scratch: Vec<u8>,
+    /// Per-file traffic, indexed by `FileId.0` (file ids are dense).
+    per_file: Vec<BufferStats>,
+    counters: Vec<Option<FileCounters>>,
 }
 
 impl Shard {
+    fn stat_mut(&mut self, file: FileId) -> &mut BufferStats {
+        let i = file.0 as usize;
+        if i >= self.per_file.len() {
+            self.per_file.resize(i + 1, BufferStats::default());
+        }
+        &mut self.per_file[i]
+    }
+
     fn counters_for(&mut self, obs: &Obs, file: FileId) -> &FileCounters {
-        self.counters.entry(file).or_insert_with(|| {
+        let i = file.0 as usize;
+        if i >= self.counters.len() {
+            self.counters.resize_with(i + 1, || None);
+        }
+        self.counters[i].get_or_insert_with(|| {
             if obs.enabled() {
                 FileCounters {
                     hits: obs.counter_handle("buf_hits", Label::Idx(file.0)),
@@ -132,18 +186,65 @@ impl Shard {
     }
 }
 
+thread_local! {
+    /// Reusable before-image buffers for WAL delta computation, so an
+    /// exclusive fix with logging enabled does not allocate per call.
+    static WAL_SCRATCH: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn scratch_copy(src: &[u8]) -> Vec<u8> {
+    let mut buf = WAL_SCRATCH
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_default();
+    buf.clear();
+    buf.extend_from_slice(src);
+    buf
+}
+
+fn scratch_return(buf: Vec<u8>) {
+    WAL_SCRATCH.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < 8 {
+            pool.push(buf);
+        }
+    });
+}
+
+/// Outcome of mapping `(file, page)` to a resident frame.
+enum Fixed<'a> {
+    /// The page was resident; the frame is pinned but not yet latched.
+    Hit(usize),
+    /// The page was loaded by this call; the loader still holds the
+    /// frame's write latch from the victim claim.
+    Loaded(usize, RwLockWriteGuard<'a, FrameData>),
+}
+
 /// The frame pool.
 #[derive(Debug)]
 pub struct BufferManager {
     page_size: usize,
     policy: Replacement,
     disk: Mutex<DiskManager>,
+    /// All frames, outside the shard mutexes so page guards can borrow
+    /// them directly. Shard `i` owns the contiguous range recorded in
+    /// its `base`/`meta.len()`.
+    frames: Box<[FrameCell]>,
     shards: Box<[Mutex<Shard>]>,
     wal: Mutex<Option<Wal>>,
     wal_on: AtomicBool,
     obs: Obs,
     wal_bytes: CounterHandle,
     wal_records: CounterHandle,
+    latch_acquisitions: AtomicU64,
+    latch_contended: AtomicU64,
+    latch_acq_h: CounterHandle,
+    latch_cont_h: CounterHandle,
+    /// Simulated read-I/O service time in microseconds (0 = off). The
+    /// faulting thread sleeps *after* releasing the disk mutex, holding
+    /// only the target frame's latch — so independent faults overlap,
+    /// the way the paper's closed model overlaps terminal I/O waits.
+    /// Write-back is not delayed (modeled as background flushing).
+    io_delay_us: AtomicU64,
 }
 
 impl BufferManager {
@@ -158,7 +259,7 @@ impl BufferManager {
     }
 
     /// Creates a pool of `capacity` frames split over `shards` latches
-    /// (clamped to `1..=capacity`). More shards means less latch
+    /// (clamped to `1..=capacity`). More shards means less mapping
     /// contention but per-shard (approximate) replacement.
     ///
     /// # Panics
@@ -173,39 +274,58 @@ impl BufferManager {
         assert!(capacity > 0, "need at least one frame");
         let page_size = disk.page_size();
         let n = shards.clamp(1, capacity);
+        let frames = (0..capacity)
+            .map(|_| FrameCell {
+                data: RwLock::new(FrameData {
+                    key: None,
+                    bytes: vec![0u8; page_size].into_boxed_slice(),
+                    dirty: false,
+                }),
+                pins: AtomicU64::new(0),
+            })
+            .collect();
+        let mut base = 0usize;
         let shards = (0..n)
             .map(|i| {
-                let frames = capacity / n + usize::from(i < capacity % n);
-                Mutex::new(Shard {
-                    frames: (0..frames)
-                        .map(|_| Frame {
-                            key: None,
-                            data: vec![0u8; page_size].into_boxed_slice(),
-                            dirty: false,
-                            ref_bit: false,
-                            last_used: 0,
-                        })
-                        .collect(),
+                let len = capacity / n + usize::from(i < capacity % n);
+                let shard = Mutex::new(Shard {
+                    base,
+                    meta: vec![FrameMeta::default(); len],
                     table: FxHashMap::default(),
                     hand: 0,
                     tick: 0,
-                    per_file: FxHashMap::default(),
-                    counters: FxHashMap::default(),
-                    scratch: vec![0u8; page_size],
-                })
+                    per_file: Vec::new(),
+                    counters: Vec::new(),
+                });
+                base += len;
+                shard
             })
             .collect();
         Self {
             page_size,
             policy,
             disk: Mutex::new(disk),
+            frames,
             shards,
             wal: Mutex::new(None),
             wal_on: AtomicBool::new(false),
             obs: Obs::disabled(),
             wal_bytes: CounterHandle::disabled(),
             wal_records: CounterHandle::disabled(),
+            latch_acquisitions: AtomicU64::new(0),
+            latch_contended: AtomicU64::new(0),
+            latch_acq_h: CounterHandle::disabled(),
+            latch_cont_h: CounterHandle::disabled(),
+            io_delay_us: AtomicU64::new(0),
         }
+    }
+
+    /// Sets the simulated read-I/O service time (microseconds per page
+    /// fault; 0 disables). Lets the benchmarks reproduce the paper's
+    /// I/O-bound operating region on an in-memory "disk": a faulting
+    /// terminal blocks for the service time while others keep the CPU.
+    pub fn set_io_delay_us(&self, us: u64) {
+        self.io_delay_us.store(us, Ordering::Relaxed);
     }
 
     #[inline]
@@ -217,13 +337,15 @@ impl BufferManager {
         &self.shards[(h >> 33) as usize % self.shards.len()]
     }
 
-    /// Attaches an observability handle; buffer traffic, WAL volume
-    /// and B+Tree structure events are recorded through it (per file,
-    /// labelled by [`FileId`] — register display names on the recorder
-    /// to get relation names in exports).
+    /// Attaches an observability handle; buffer traffic, WAL volume,
+    /// frame-latch contention and B+Tree structure events are recorded
+    /// through it (per file, labelled by [`FileId`] — register display
+    /// names on the recorder to get relation names in exports).
     pub fn set_obs(&mut self, obs: Obs) {
         self.wal_bytes = obs.counter_handle("wal_bytes_appended", Label::None);
         self.wal_records = obs.counter_handle("wal_records", Label::None);
+        self.latch_acq_h = obs.counter_handle("latch_acquisitions", Label::None);
+        self.latch_cont_h = obs.counter_handle("latch_contended", Label::None);
         // drop any handles resolved against the previous recorder
         for shard in self.shards.iter_mut() {
             shard.get_mut().expect("shard latch").counters.clear();
@@ -240,7 +362,7 @@ impl BufferManager {
     /// Turns on redo logging: from now on every page mutation, file
     /// creation and page allocation is recorded, upholding the WAL
     /// protocol (the delta is logged while the dirty page is still
-    /// pinned in the pool, before it can reach disk).
+    /// latched in the pool, before it can reach disk).
     pub fn enable_wal(&mut self) {
         let mut wal = self.wal.lock().expect("wal lock");
         if wal.is_none() {
@@ -318,13 +440,10 @@ impl BufferManager {
     /// Frame capacity across all shards.
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("shard latch").frames.len())
-            .sum()
+        self.frames.len()
     }
 
-    /// Number of latch shards the pool was built with.
+    /// Number of mapping shards the pool was built with.
     #[must_use]
     pub fn shard_count(&self) -> usize {
         self.shards.len()
@@ -335,7 +454,13 @@ impl BufferManager {
     pub fn stats(&self, file: FileId) -> BufferStats {
         self.shards.iter().fold(BufferStats::default(), |acc, s| {
             let shard = s.lock().expect("shard latch");
-            acc.merged(shard.per_file.get(&file).copied().unwrap_or_default())
+            acc.merged(
+                shard
+                    .per_file
+                    .get(file.0 as usize)
+                    .copied()
+                    .unwrap_or_default(),
+            )
         })
     }
 
@@ -344,11 +469,17 @@ impl BufferManager {
     pub fn total_stats(&self) -> BufferStats {
         self.shards.iter().fold(BufferStats::default(), |acc, s| {
             let shard = s.lock().expect("shard latch");
-            shard
-                .per_file
-                .values()
-                .fold(acc, |a, stats| a.merged(*stats))
+            shard.per_file.iter().fold(acc, |a, stats| a.merged(*stats))
         })
+    }
+
+    /// Frame-latch acquisition / contention counters since creation.
+    #[must_use]
+    pub fn latch_stats(&self) -> LatchStats {
+        LatchStats {
+            acquisitions: self.latch_acquisitions.load(Ordering::Relaxed),
+            contended: self.latch_contended.load(Ordering::Relaxed),
+        }
     }
 
     /// Clears hit/miss counters (keeps pool contents — useful between
@@ -357,46 +488,90 @@ impl BufferManager {
         for s in self.shards.iter() {
             s.lock().expect("shard latch").per_file.clear();
         }
+        self.latch_acquisitions.store(0, Ordering::Relaxed);
+        self.latch_contended.store(0, Ordering::Relaxed);
+    }
+
+    /// Fixes `(file, page)` shared: pins the frame and takes its latch
+    /// in read mode. Hold the guard only as long as the page is needed;
+    /// holding guards on two pages is allowed when the caller follows a
+    /// global acquisition order (see module docs).
+    pub fn fix_shared(&self, file: FileId, page: u32) -> PageReadGuard<'_> {
+        let idx = match self.fix(file, page) {
+            Fixed::Hit(idx) => idx,
+            Fixed::Loaded(idx, loading) => {
+                // downgrade: the pin keeps the frame ours across the gap
+                drop(loading);
+                idx
+            }
+        };
+        let guard = match self.frames[idx].data.try_read() {
+            Ok(g) => g,
+            Err(TryLockError::WouldBlock) => {
+                self.note_contended();
+                self.frames[idx].data.read().expect("frame latch")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("frame latch poisoned"),
+        };
+        self.note_acquired();
+        PageReadGuard {
+            bm: self,
+            idx,
+            guard: Some(guard),
+        }
+    }
+
+    /// Fixes `(file, page)` exclusive: pins the frame, takes its latch
+    /// in write mode and marks the page dirty. With logging enabled the
+    /// byte-range delta of the mutation is appended to the WAL when the
+    /// guard drops.
+    pub fn fix_exclusive(&self, file: FileId, page: u32) -> PageWriteGuard<'_> {
+        let (idx, mut guard) = match self.fix(file, page) {
+            Fixed::Loaded(idx, g) => (idx, g),
+            Fixed::Hit(idx) => {
+                let g = match self.frames[idx].data.try_write() {
+                    Ok(g) => g,
+                    Err(TryLockError::WouldBlock) => {
+                        self.note_contended();
+                        self.frames[idx].data.write().expect("frame latch")
+                    }
+                    Err(TryLockError::Poisoned(_)) => panic!("frame latch poisoned"),
+                };
+                (idx, g)
+            }
+        };
+        self.note_acquired();
+        guard.dirty = true;
+        let before = self
+            .wal_on
+            .load(Ordering::Acquire)
+            .then(|| scratch_copy(&guard.bytes));
+        PageWriteGuard {
+            bm: self,
+            file,
+            page,
+            idx,
+            before,
+            guard: Some(guard),
+        }
     }
 
     /// Reads page `(file, page)` through the pool.
     pub fn with_page<R>(&self, file: FileId, page: u32, f: impl FnOnce(&[u8]) -> R) -> R {
-        let mut shard = self.shard_for(file, page).lock().expect("shard latch");
-        let frame = self.fault_in(&mut shard, file, page);
-        f(&shard.frames[frame].data)
+        f(&self.fix_shared(file, page))
     }
 
     /// Reads and modifies page `(file, page)`, marking it dirty. With
     /// logging enabled, the byte-range delta of the mutation is
     /// appended to the WAL.
     pub fn with_page_mut<R>(&self, file: FileId, page: u32, f: impl FnOnce(&mut [u8]) -> R) -> R {
-        let mut shard = self.shard_for(file, page).lock().expect("shard latch");
-        let frame = self.fault_in(&mut shard, file, page);
-        let shard = &mut *shard;
-        shard.frames[frame].dirty = true;
-        if !self.wal_on.load(Ordering::Acquire) {
-            return f(&mut shard.frames[frame].data);
-        }
-        shard.scratch.copy_from_slice(&shard.frames[frame].data);
-        let r = f(&mut shard.frames[frame].data);
-        if let Some((offset, data)) = page_delta(&shard.scratch, &shard.frames[frame].data) {
-            self.wal_bytes.add(data.len() as u64);
-            self.wal_records.add(1);
-            if let Some(wal) = self.wal.lock().expect("wal lock").as_mut() {
-                wal.append(WalEntry::PageDelta {
-                    file,
-                    page,
-                    offset,
-                    data,
-                });
-            }
-        }
-        r
+        f(&mut self.fix_exclusive(file, page))
     }
 
-    /// Allocates a fresh page in `file` and runs `f` on its (zeroed,
-    /// resident, dirty) bytes; returns the page number and `f`'s result.
-    pub fn allocate_page<R>(&self, file: FileId, f: impl FnOnce(&mut [u8]) -> R) -> (u32, R) {
+    /// Allocates a fresh page in `file` and returns it fixed exclusive
+    /// (zeroed, resident, dirty). The crabbing split path uses this to
+    /// keep a new sibling latched until it is linked into the tree.
+    pub fn allocate_fixed(&self, file: FileId) -> (u32, PageWriteGuard<'_>) {
         let page = {
             // wal → disk so concurrent allocations log in page order
             let mut wal = self.wal.lock().expect("wal lock");
@@ -406,99 +581,298 @@ impl BufferManager {
             }
             page
         };
-        let r = self.with_page_mut(file, page, f);
+        (page, self.fix_exclusive(file, page))
+    }
+
+    /// Allocates a fresh page in `file` and runs `f` on its (zeroed,
+    /// resident, dirty) bytes; returns the page number and `f`'s result.
+    pub fn allocate_page<R>(&self, file: FileId, f: impl FnOnce(&mut [u8]) -> R) -> (u32, R) {
+        let (page, mut guard) = self.allocate_fixed(file);
+        let r = f(&mut guard);
+        drop(guard);
         (page, r)
     }
 
-    /// Writes every dirty frame back to disk.
+    /// Writes every dirty frame back to disk. Latches each frame in
+    /// turn (frame → shard / disk order, which never deadlocks because
+    /// shard holders only *try* frame latches).
     pub fn flush_all(&self) {
         for s in self.shards.iter() {
-            let mut shard = s.lock().expect("shard latch");
-            let shard = &mut *shard;
-            for i in 0..shard.frames.len() {
-                if shard.frames[i].dirty {
-                    if let Some((file, page)) = shard.frames[i].key {
-                        self.disk.lock().expect("disk lock").write_page(
-                            file,
-                            page,
-                            &shard.frames[i].data,
-                        );
-                        shard.per_file.entry(file).or_default().writebacks += 1;
+            let (base, len) = {
+                let shard = s.lock().expect("shard latch");
+                (shard.base, shard.meta.len())
+            };
+            for idx in base..base + len {
+                let mut fd = self.frames[idx].data.write().expect("frame latch");
+                if fd.dirty {
+                    if let Some((file, page)) = fd.key {
+                        self.disk
+                            .lock()
+                            .expect("disk lock")
+                            .write_page(file, page, &fd.bytes);
+                        let mut shard = s.lock().expect("shard latch");
+                        shard.stat_mut(file).writebacks += 1;
                         shard.counters_for(&self.obs, file).writebacks.add(1);
                     }
-                    shard.frames[i].dirty = false;
+                    fd.dirty = false;
                 }
             }
         }
     }
 
-    fn fault_in(&self, shard: &mut Shard, file: FileId, page: u32) -> usize {
-        shard.tick += 1;
-        let tick = shard.tick;
-        if let Some(&idx) = shard.table.get(&(file, page)) {
-            shard.per_file.entry(file).or_default().hits += 1;
-            shard.counters_for(&self.obs, file).hits.add(1);
-            let frame = &mut shard.frames[idx as usize];
-            frame.ref_bit = true;
-            frame.last_used = tick;
-            return idx as usize;
-        }
-        shard.per_file.entry(file).or_default().misses += 1;
-        shard.counters_for(&self.obs, file).misses.add(1);
-        let victim = Self::pick_victim(shard, self.policy);
-        if shard.frames[victim].dirty {
-            if let Some((vf, vp)) = shard.frames[victim].key {
+    #[inline]
+    fn note_acquired(&self) {
+        self.latch_acquisitions.fetch_add(1, Ordering::Relaxed);
+        self.latch_acq_h.add(1);
+    }
+
+    #[inline]
+    fn note_contended(&self) {
+        self.latch_contended.fetch_add(1, Ordering::Relaxed);
+        self.latch_cont_h.add(1);
+    }
+
+    /// Maps `(file, page)` to a pinned frame, faulting it in from disk
+    /// on a miss. On a hit the frame is pinned but not latched; on a
+    /// miss the returned write guard (held since the victim claim)
+    /// covers the load, so concurrent fixers of the same page block on
+    /// the latch until the content is valid.
+    fn fix(&self, file: FileId, page: u32) -> Fixed<'_> {
+        let shard_mutex = self.shard_for(file, page);
+        let mut attempts = 0u32;
+        loop {
+            let mut shard = shard_mutex.lock().expect("shard latch");
+            shard.tick += 1;
+            let tick = shard.tick;
+            if let Some(&idx) = shard.table.get(&(file, page)) {
+                let idx = idx as usize;
+                let local = idx - shard.base;
+                shard.meta[local].ref_bit = true;
+                shard.meta[local].last_used = tick;
+                shard.stat_mut(file).hits += 1;
+                shard.counters_for(&self.obs, file).hits.add(1);
+                self.frames[idx].pins.fetch_add(1, Ordering::AcqRel);
+                return Fixed::Hit(idx);
+            }
+            if let Some((idx, mut fd)) = self.claim_victim(&mut shard) {
+                let local = idx - shard.base;
+                shard.stat_mut(file).misses += 1;
+                shard.counters_for(&self.obs, file).misses.add(1);
+                // write back and unmap the old occupant while the shard
+                // is still locked, so a concurrent re-fault of the old
+                // page cannot read a stale disk image
+                if let Some(old) = shard.meta[local].key.take() {
+                    if fd.dirty {
+                        self.disk
+                            .lock()
+                            .expect("disk lock")
+                            .write_page(old.0, old.1, &fd.bytes);
+                        shard.stat_mut(old.0).writebacks += 1;
+                        shard.counters_for(&self.obs, old.0).writebacks.add(1);
+                    }
+                    shard.table.remove(&old);
+                    shard.stat_mut(old.0).evictions += 1;
+                    shard.counters_for(&self.obs, old.0).evictions.add(1);
+                }
+                shard.table.insert((file, page), idx as u32);
+                shard.meta[local].key = Some((file, page));
+                shard.meta[local].ref_bit = true;
+                shard.meta[local].last_used = tick;
+                self.frames[idx].pins.fetch_add(1, Ordering::AcqRel);
+                drop(shard);
                 self.disk
                     .lock()
                     .expect("disk lock")
-                    .write_page(vf, vp, &shard.frames[victim].data);
-                shard.per_file.entry(vf).or_default().writebacks += 1;
-                shard.counters_for(&self.obs, vf).writebacks.add(1);
+                    .read_page(file, page, &mut fd.bytes);
+                let delay = self.io_delay_us.load(Ordering::Relaxed);
+                if delay > 0 {
+                    // simulated I/O wait: only this frame's latch is
+                    // held, so other terminals' faults and hits proceed
+                    std::thread::sleep(std::time::Duration::from_micros(delay));
+                }
+                fd.key = Some((file, page));
+                fd.dirty = false;
+                return Fixed::Loaded(idx, fd);
             }
+            // every frame in the shard is pinned or latched: release the
+            // shard and let the holders finish
+            drop(shard);
+            attempts += 1;
+            assert!(
+                attempts < 1_000_000,
+                "buffer pool exhausted: all frames of a shard stayed pinned \
+                 (pool too small for the number of concurrently held page guards)"
+            );
+            std::thread::yield_now();
         }
-        if let Some(old) = shard.frames[victim].key.take() {
-            shard.table.remove(&old);
-            shard.per_file.entry(old.0).or_default().evictions += 1;
-            shard.counters_for(&self.obs, old.0).evictions.add(1);
-        }
-        self.disk
-            .lock()
-            .expect("disk lock")
-            .read_page(file, page, &mut shard.frames[victim].data);
-        let f = &mut shard.frames[victim];
-        f.key = Some((file, page));
-        f.dirty = false;
-        f.ref_bit = true;
-        f.last_used = tick;
-        shard.table.insert((file, page), victim as u32);
-        victim
     }
 
-    fn pick_victim(shard: &mut Shard, policy: Replacement) -> usize {
+    /// Picks and claims a replacement victim: an unpinned frame whose
+    /// latch can be taken without blocking. Runs under the shard mutex;
+    /// uncontended (no pins, free latches) the choice is exactly the
+    /// serial LRU/Clock victim.
+    fn claim_victim<'a>(
+        &'a self,
+        shard: &mut Shard,
+    ) -> Option<(usize, RwLockWriteGuard<'a, FrameData>)> {
+        let n = shard.meta.len();
+        let claim = |local: usize| -> Option<(usize, RwLockWriteGuard<'a, FrameData>)> {
+            let idx = shard.base + local;
+            if self.frames[idx].pins.load(Ordering::Acquire) != 0 {
+                return None;
+            }
+            match self.frames[idx].data.try_write() {
+                Ok(g) => Some((idx, g)),
+                Err(_) => None,
+            }
+        };
         // prefer an empty frame
-        if shard.table.len() < shard.frames.len() {
-            if let Some(i) = shard.frames.iter().position(|f| f.key.is_none()) {
-                return i;
+        if shard.table.len() < n {
+            if let Some(found) = (0..n)
+                .filter(|&l| shard.meta[l].key.is_none())
+                .find_map(claim)
+            {
+                return Some(found);
             }
         }
-        match policy {
-            Replacement::Lru => shard
-                .frames
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, f)| f.last_used)
-                .map(|(i, _)| i)
-                .expect("nonempty pool"),
-            Replacement::Clock => loop {
-                let i = shard.hand;
-                shard.hand = (shard.hand + 1) % shard.frames.len();
-                if shard.frames[i].ref_bit {
-                    shard.frames[i].ref_bit = false;
-                } else {
-                    break i;
+        match self.policy {
+            Replacement::Lru => {
+                // fast path: the exact LRU frame
+                if let Some(best) = (0..n).min_by_key(|&l| shard.meta[l].last_used) {
+                    if let Some(found) = claim(best) {
+                        return Some(found);
+                    }
                 }
-            },
+                // contended: oldest claimable frame
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by_key(|&l| shard.meta[l].last_used);
+                order.into_iter().find_map(claim)
+            }
+            Replacement::Clock => {
+                for _ in 0..2 * n {
+                    let local = shard.hand;
+                    shard.hand = (shard.hand + 1) % n;
+                    if self.frames[shard.base + local].pins.load(Ordering::Acquire) != 0 {
+                        continue;
+                    }
+                    if shard.meta[local].ref_bit {
+                        shard.meta[local].ref_bit = false;
+                        continue;
+                    }
+                    if let Some(found) = claim(local) {
+                        return Some(found);
+                    }
+                }
+                // fallback: any claimable frame
+                (0..n).find_map(claim)
+            }
         }
+    }
+}
+
+/// Shared (read-latched, pinned) access to one page's bytes.
+/// Dereferences to `&[u8]`; unpins and unlatches on drop.
+pub struct PageReadGuard<'a> {
+    bm: &'a BufferManager,
+    idx: usize,
+    guard: Option<RwLockReadGuard<'a, FrameData>>,
+}
+
+impl Deref for PageReadGuard<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.guard.as_ref().expect("guard live").bytes
+    }
+}
+
+impl std::fmt::Debug for PageReadGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageReadGuard")
+            .field("frame", &self.idx)
+            .finish()
+    }
+}
+
+impl Drop for PageReadGuard<'_> {
+    fn drop(&mut self) {
+        // release the latch before publishing the unpin so a victim
+        // search seeing pins == 0 also sees a free latch
+        drop(self.guard.take());
+        self.bm.frames[self.idx]
+            .pins
+            .fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Exclusive (write-latched, pinned) access to one page's bytes.
+/// Dereferences to `&mut [u8]`. The page is marked dirty at fix time;
+/// with logging enabled the guard captured a before-image and appends
+/// the byte-range delta to the WAL on drop — while still holding the
+/// latch, so the delta is logged before the page can reach disk.
+pub struct PageWriteGuard<'a> {
+    bm: &'a BufferManager,
+    file: FileId,
+    page: u32,
+    idx: usize,
+    before: Option<Vec<u8>>,
+    guard: Option<RwLockWriteGuard<'a, FrameData>>,
+}
+
+impl PageWriteGuard<'_> {
+    /// The page number this guard covers.
+    #[must_use]
+    pub fn page(&self) -> u32 {
+        self.page
+    }
+}
+
+impl Deref for PageWriteGuard<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.guard.as_ref().expect("guard live").bytes
+    }
+}
+
+impl DerefMut for PageWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.guard.as_mut().expect("guard live").bytes
+    }
+}
+
+impl std::fmt::Debug for PageWriteGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageWriteGuard")
+            .field("file", &self.file)
+            .field("page", &self.page)
+            .field("frame", &self.idx)
+            .finish()
+    }
+}
+
+impl Drop for PageWriteGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(before) = self.before.take() {
+            let fd = self.guard.as_ref().expect("guard live");
+            if let Some((offset, data)) = page_delta(&before, &fd.bytes) {
+                self.bm.wal_bytes.add(data.len() as u64);
+                self.bm.wal_records.add(1);
+                if let Some(wal) = self.bm.wal.lock().expect("wal lock").as_mut() {
+                    wal.append(WalEntry::PageDelta {
+                        file: self.file,
+                        page: self.page,
+                        offset,
+                        data,
+                    });
+                }
+            }
+            scratch_return(before);
+        }
+        drop(self.guard.take());
+        self.bm.frames[self.idx]
+            .pins
+            .fetch_sub(1, Ordering::Release);
     }
 }
 
@@ -577,6 +951,45 @@ mod tests {
         let (page, ()) = bm.allocate_page(f, |d| d[0] = 5);
         let v = bm.with_page(f, page, |d| d[0]);
         assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn guards_allow_concurrent_readers_and_crabbing() {
+        let (bm, f) = manager(4, Replacement::Lru);
+        bm.with_page_mut(f, 0, |d| d[0] = 1);
+        bm.with_page_mut(f, 1, |d| d[0] = 2);
+        // two shared guards on the same page coexist
+        let a = bm.fix_shared(f, 0);
+        let b = bm.fix_shared(f, 0);
+        assert_eq!((a[0], b[0]), (1, 1));
+        // crabbing: hold page 0 while fixing page 1
+        let c = bm.fix_shared(f, 1);
+        assert_eq!(c[0], 2);
+        drop(a);
+        drop(b);
+        drop(c);
+        // a pinned frame is never chosen as a victim
+        let held = bm.fix_shared(f, 0);
+        for p in 1..10u32 {
+            bm.with_page(f, p, |_| ());
+        }
+        assert_eq!(held[0], 1, "pinned page survived heavy fault traffic");
+        drop(held);
+        let s = bm.latch_stats();
+        assert!(s.acquisitions > 0);
+    }
+
+    #[test]
+    fn exclusive_guard_blocks_writers_not_stats() {
+        let (bm, f) = manager(4, Replacement::Lru);
+        {
+            let mut g = bm.fix_exclusive(f, 0);
+            g[0] = 77;
+            assert_eq!(g.page(), 0);
+            // stats remain reachable while a guard is held
+            let _ = bm.stats(f);
+        }
+        assert_eq!(bm.with_page(f, 0, |d| d[0]), 77);
     }
 
     #[test]
@@ -725,6 +1138,23 @@ mod tests {
         for p in 0..64u32 {
             total += bm.with_page(f, p, |d| u32::from_le_bytes(d[0..4].try_into().unwrap()));
         }
-        assert_eq!(total, 4 * 200, "no lost updates under the shard latches");
+        assert_eq!(total, 4 * 200, "no lost updates under the frame latches");
+    }
+
+    #[test]
+    fn concurrent_shared_fixes_do_not_contend_on_content() {
+        let (bm, f) = manager(8, Replacement::Lru);
+        bm.with_page_mut(f, 0, |d| d[0] = 123);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let bm = &bm;
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        let g = bm.fix_shared(f, 0);
+                        assert_eq!(g[0], 123);
+                    }
+                });
+            }
+        });
     }
 }

@@ -10,11 +10,25 @@
 //! would persist an FSM fork alongside the file); it is conservative —
 //! a page listed there may turn out full, in which case the insert
 //! falls through to allocation.
+//!
+//! # Concurrency
+//!
+//! All operations take `&self`. Record-level integrity comes from the
+//! buffer manager's per-page latches (each operation holds exactly one
+//! page latch, so heap accesses can never form a latch cycle). The side
+//! structures are latched independently: the free-space map behind a
+//! mutex held only around map reads/updates (never across a page
+//! latch), an **atomic append cursor** tracking the newest page so
+//! concurrent inserts race to distinct pages instead of queueing on a
+//! table lock, and a grow mutex so only one thread extends the file at
+//! a time while late arrivals retry the page it just added.
 
 use crate::bufmgr::BufferManager;
 use crate::disk::FileId;
 use crate::page::SlottedPage;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 
 /// Physical record address: page number and slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -47,23 +61,32 @@ impl RecordId {
 const FSM_PROBES: usize = 4;
 
 /// A heap file with a free-space map.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct HeapFile {
     file: FileId,
     /// Pages believed to have room (conservative).
-    free: BTreeSet<u32>,
+    free: Mutex<BTreeSet<u32>>,
+    /// The newest page — the append target. Kept out of the disk mutex
+    /// so the hot insert path reads one atomic instead of locking the
+    /// disk for a page count.
+    last_page: AtomicU32,
+    /// Serializes file growth; a thread that lost the race re-probes
+    /// the winner's fresh page before allocating another.
+    grow: Mutex<()>,
 }
 
 impl HeapFile {
     /// Creates a new heap file with one empty page.
     pub fn create(bm: &BufferManager) -> Self {
         let file = bm.create_file();
-        bm.allocate_page(file, |data| {
+        let (page, ()) = bm.allocate_page(file, |data| {
             SlottedPage::init(data);
         });
         Self {
             file,
-            free: BTreeSet::new(),
+            free: Mutex::new(BTreeSet::new()),
+            last_page: AtomicU32::new(page),
+            grow: Mutex::new(()),
         }
     }
 
@@ -75,31 +98,46 @@ impl HeapFile {
 
     /// Inserts a record, preferring pages the free-space map knows have
     /// room, then the newest page, then a fresh allocation.
-    pub fn insert(&mut self, bm: &BufferManager, record: &[u8]) -> RecordId {
+    pub fn insert(&self, bm: &BufferManager, record: &[u8]) -> RecordId {
         // 1. free-map candidates (deletes happened there)
-        let candidates: Vec<u32> = self.free.iter().take(FSM_PROBES).copied().collect();
+        let candidates: Vec<u32> = {
+            let free = self.free.lock().expect("free map");
+            free.iter().take(FSM_PROBES).copied().collect()
+        };
         for page in candidates {
             if let Some(slot) = self.try_insert(bm, page, record) {
                 return RecordId { page, slot };
             }
             // candidate turned out too full for this record
-            self.free.remove(&page);
+            self.free.lock().expect("free map").remove(&page);
         }
         // 2. the append page
-        let last = bm.file_pages(self.file) - 1;
+        let last = self.last_page.load(Ordering::Acquire);
         if let Some(slot) = self.try_insert(bm, last, record) {
             return RecordId { page: last, slot };
         }
-        // 3. grow the file
+        // 3. grow the file — one thread at a time; losers of the race
+        // retry the page the winner just added before growing again
+        let _grow = self.grow.lock().expect("grow latch");
+        let current = self.last_page.load(Ordering::Acquire);
+        if current != last {
+            if let Some(slot) = self.try_insert(bm, current, record) {
+                return RecordId {
+                    page: current,
+                    slot,
+                };
+            }
+        }
         let (page, slot) = bm.allocate_page(self.file, |data| {
             SlottedPage::init(data)
                 .insert(record)
                 .expect("record fits an empty page")
         });
+        self.last_page.store(page, Ordering::Release);
         RecordId { page, slot }
     }
 
-    fn try_insert(&mut self, bm: &BufferManager, page: u32, record: &[u8]) -> Option<u16> {
+    fn try_insert(&self, bm: &BufferManager, page: u32, record: &[u8]) -> Option<u16> {
         bm.with_page_mut(self.file, page, |data| {
             SlottedPage::attach(data).insert(record)
         })
@@ -131,12 +169,12 @@ impl HeapFile {
 
     /// Deletes a record and remembers the page in the free-space map;
     /// `false` if already dead.
-    pub fn delete(&mut self, bm: &BufferManager, rid: RecordId) -> bool {
+    pub fn delete(&self, bm: &BufferManager, rid: RecordId) -> bool {
         let deleted = bm.with_page_mut(self.file, rid.page, |data| {
             SlottedPage::attach(data).delete(rid.slot)
         });
         if deleted {
-            self.free.insert(rid.page);
+            self.free.lock().expect("free map").insert(rid.page);
         }
         deleted
     }
@@ -150,7 +188,7 @@ impl HeapFile {
     /// Pages currently tracked as having free space.
     #[must_use]
     pub fn free_map_len(&self) -> usize {
-        self.free.len()
+        self.free.lock().expect("free map").len()
     }
 }
 
@@ -194,7 +232,7 @@ mod tests {
 
     #[test]
     fn insert_spills_to_new_pages() {
-        let (bm, mut heap) = setup();
+        let (bm, heap) = setup();
         let rids: Vec<RecordId> = (0..40u8).map(|i| heap.insert(&bm, &[i; 30])).collect();
         assert!(heap.pages(&bm) > 1, "records spill past one 256B page");
         for (i, rid) in rids.iter().enumerate() {
@@ -205,7 +243,7 @@ mod tests {
 
     #[test]
     fn update_and_delete() {
-        let (bm, mut heap) = setup();
+        let (bm, heap) = setup();
         let rid = heap.insert(&bm, &[1u8; 16]);
         assert!(heap.update(&bm, rid, &[2u8; 16]));
         assert_eq!(heap.get(&bm, rid).expect("live"), vec![2u8; 16]);
@@ -216,7 +254,7 @@ mod tests {
 
     #[test]
     fn read_with_avoids_copy_semantics() {
-        let (bm, mut heap) = setup();
+        let (bm, heap) = setup();
         let rid = heap.insert(&bm, b"zero-copy read");
         let len = heap.read_with(&bm, rid, |r| r.map(<[u8]>::len));
         assert_eq!(len, Some(14));
@@ -228,7 +266,7 @@ mod tests {
     fn records_survive_buffer_pressure() {
         let disk = DiskManager::new(256);
         let bm = BufferManager::new(disk, 2, Replacement::Lru);
-        let mut heap = HeapFile::create(&bm);
+        let heap = HeapFile::create(&bm);
         let rids: Vec<RecordId> = (0..60u8).map(|i| heap.insert(&bm, &[i; 30])).collect();
         for (i, rid) in rids.iter().enumerate() {
             assert_eq!(
@@ -241,7 +279,7 @@ mod tests {
 
     #[test]
     fn deleted_space_is_reused() {
-        let (bm, mut heap) = setup();
+        let (bm, heap) = setup();
         // fill a few pages
         let rids: Vec<RecordId> = (0..30u8).map(|i| heap.insert(&bm, &[i; 30])).collect();
         let pages_before = heap.pages(&bm);
@@ -263,7 +301,7 @@ mod tests {
     #[test]
     fn fifo_churn_keeps_file_bounded() {
         // the New-Order pattern: insert at the tail, delete the oldest
-        let (bm, mut heap) = setup();
+        let (bm, heap) = setup();
         let mut queue = std::collections::VecDeque::new();
         for i in 0..2000u32 {
             queue.push_back(heap.insert(&bm, &(i.to_le_bytes().repeat(5))));
@@ -287,7 +325,7 @@ mod tests {
 
     #[test]
     fn full_free_candidates_are_pruned() {
-        let (bm, mut heap) = setup();
+        let (bm, heap) = setup();
         let rid = heap.insert(&bm, &[1u8; 8]);
         heap.delete(&bm, rid);
         assert_eq!(heap.free_map_len(), 1);
@@ -298,5 +336,37 @@ mod tests {
         }
         // no stale full pages accumulate beyond the probe window
         assert!(heap.free_map_len() <= FSM_PROBES + 1);
+    }
+
+    #[test]
+    fn concurrent_inserts_land_without_loss() {
+        let disk = DiskManager::new(256);
+        let bm = BufferManager::new_sharded(disk, 64, Replacement::Lru, 8);
+        let heap = HeapFile::create(&bm);
+        let rids: Vec<Vec<RecordId>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u8)
+                .map(|t| {
+                    let (heap, bm) = (&heap, &bm);
+                    scope.spawn(move || {
+                        (0..200u8)
+                            .map(|i| heap.insert(bm, &[t.wrapping_mul(200).wrapping_add(i); 24]))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // every record readable, all rids distinct
+        let mut all: Vec<RecordId> = rids.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let before = all.len();
+        all.dedup();
+        assert_eq!(all.len(), before, "two inserts returned the same rid");
+        for (t, per_thread) in rids.iter().enumerate() {
+            for (i, rid) in per_thread.iter().enumerate() {
+                let expect = (t as u8).wrapping_mul(200).wrapping_add(i as u8);
+                assert_eq!(heap.get(&bm, *rid).expect("live"), vec![expect; 24]);
+            }
+        }
     }
 }

@@ -28,7 +28,9 @@ pub mod page;
 pub mod wal;
 
 pub use btree::BTree;
-pub use bufmgr::{BufferManager, BufferStats, Replacement};
+pub use bufmgr::{
+    BufferManager, BufferStats, LatchStats, PageReadGuard, PageWriteGuard, Replacement,
+};
 pub use disk::{DiskManager, FileId};
 pub use heap::{HeapFile, RecordId};
 pub use page::SlottedPage;

@@ -246,7 +246,7 @@ fn btree_matches_std_model() {
         let ops = draw(&mut rng, 1, 400) as usize;
         let disk = DiskManager::new(256);
         let bm = BufferManager::new(disk, 16, Replacement::Lru);
-        let mut tree = BTree::create(&bm);
+        let tree = BTree::create(&bm);
         let mut model: BTreeMap<u64, u64> = BTreeMap::new();
         for _ in 0..ops {
             let op = draw(&mut rng, 0, 3);
