@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use tpcc_obs::Obs;
 use tpcc_schema::relation::Relation;
 use tpcc_storage::{
-    BTree, BufferManager, BufferStats, DiskManager, HeapFile, RecordId, Replacement,
+    BTree, BufferManager, BufferStats, DiskManager, HeapFile, RecordId, RecoveryError, Replacement,
 };
 
 /// Scale and resource configuration.
@@ -229,8 +229,27 @@ impl TpccDb {
     /// checkpoint.
     ///
     /// # Panics
-    /// Panics if the database was not loaded with `enable_wal`.
+    /// Panics if the database was not loaded with `enable_wal`, or if
+    /// the log fails to apply (see
+    /// [`TpccDb::try_crash_recovery_check`] for the non-panicking
+    /// variant).
     pub fn crash_recovery_check(&mut self) -> bool {
+        match self.try_crash_recovery_check() {
+            Ok(equal) => equal,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`TpccDb::crash_recovery_check`], but a log that fails to
+    /// apply (torn tail, mismatched checkpoint) surfaces as a typed
+    /// [`RecoveryError`] instead of a panic deep inside replay.
+    ///
+    /// # Errors
+    /// Returns the [`RecoveryError`] that stopped replay.
+    ///
+    /// # Panics
+    /// Panics if the database was not loaded with `enable_wal`.
+    pub fn try_crash_recovery_check(&mut self) -> Result<bool, RecoveryError> {
         let wal = self
             .bm
             .take_wal()
@@ -239,13 +258,13 @@ impl TpccDb {
             .checkpoint
             .take()
             .expect("WAL mode always holds a checkpoint");
-        let recovered = wal.recover(checkpoint);
+        let recovered = wal.try_recover(checkpoint)?;
         self.bm.flush_all();
         let equal = self.bm.with_disk(|disk| recovered.contents_equal(disk));
         // re-arm for continued use
         self.checkpoint = Some(self.bm.disk_snapshot());
         self.bm.enable_wal();
-        equal
+        Ok(equal)
     }
 
     /// Redo-log statistics, when logging is enabled: `(entries,
@@ -368,15 +387,52 @@ impl TpccDb {
         self.bm.obs()
     }
 
-    /// Pages currently allocated to a relation's heap file.
+    /// Pages in a relation's heap-file extent (high-water mark; never
+    /// shrinks).
     #[must_use]
     pub fn relation_pages(&self, relation: Relation) -> u32 {
         self.heaps.for_relation(relation).pages(&self.bm)
     }
 
-    /// Looks up one record rid by primary key in the relation's index.
-    pub(crate) fn pk_lookup(&self, relation: Relation, key: u64) -> Option<RecordId> {
-        let tree = match relation {
+    /// Live pages of a relation's heap file (extent minus pages freed
+    /// by drain deletes).
+    #[must_use]
+    pub fn relation_allocated_pages(&self, relation: Relation) -> u32 {
+        self.heaps.for_relation(relation).allocated_pages(&self.bm)
+    }
+
+    /// Live pages and height of a relation's primary-key index — the
+    /// steady-state footprint the Delivery soak asserts on.
+    ///
+    /// # Panics
+    /// Panics for `History` (no index).
+    #[must_use]
+    pub fn index_footprint(&self, relation: Relation) -> (u32, usize) {
+        let tree = self.pk_tree(relation);
+        (tree.allocated_pages(&self.bm), tree.height(&self.bm))
+    }
+
+    /// Live pages summed across every heap and index file.
+    #[must_use]
+    pub fn total_allocated_pages(&self) -> u64 {
+        self.bm.total_allocated_pages()
+    }
+
+    /// Pages returned to the free list over the run (leaf merges, root
+    /// collapses, drained heap pages).
+    #[must_use]
+    pub fn pages_freed(&self) -> u64 {
+        self.bm.pages_freed()
+    }
+
+    /// Freed pages later handed back out by the allocator.
+    #[must_use]
+    pub fn pages_reused(&self) -> u64 {
+        self.bm.pages_reused()
+    }
+
+    fn pk_tree(&self, relation: Relation) -> &BTree {
+        match relation {
             Relation::Warehouse => &self.idx.warehouse,
             Relation::District => &self.idx.district,
             Relation::Customer => &self.idx.customer,
@@ -386,7 +442,12 @@ impl TpccDb {
             Relation::NewOrder => &self.idx.new_order,
             Relation::OrderLine => &self.idx.order_line,
             Relation::History => panic!("history has no index"),
-        };
+        }
+    }
+
+    /// Looks up one record rid by primary key in the relation's index.
+    pub(crate) fn pk_lookup(&self, relation: Relation, key: u64) -> Option<RecordId> {
+        let tree = self.pk_tree(relation);
         let _span = self.bm.obs().span("btree_lookup");
         tree.get(&self.bm, key).map(RecordId::from_u64)
     }

@@ -1,0 +1,99 @@
+//! Long-run Delivery soak: under the paper's 43/44/4/5/4 mix the
+//! Delivery stream continuously deletes the oldest NEW-ORDER row per
+//! district while New-Order inserts at the head — the FIFO churn that
+//! leaked pages before delete-side restructuring. With leaf merging
+//! and the page free-list, the NEW-ORDER footprint (heap pages, index
+//! pages, index height) must reach a steady state and stay within
+//! ±1 page of it, and no *other* file may quietly leak: total
+//! allocated pages minus the by-design-growing history tables
+//! (ORDER, ORDER-LINE, HISTORY) must be flat too.
+
+use tpcc_db::{loader, DbConfig, Driver, DriverConfig, TpccDb};
+use tpcc_schema::relation::Relation;
+
+/// Live pages not attributable to the relations that grow by design
+/// under the TPC-C mix (ORDER / ORDER-LINE heaps and indexes, HISTORY
+/// heap). Everything left — NEW-ORDER plus the static catalog
+/// relations — must be flat at steady state.
+fn stable_footprint(db: &TpccDb) -> u64 {
+    let growing = u64::from(db.relation_allocated_pages(Relation::Order))
+        + u64::from(db.relation_allocated_pages(Relation::OrderLine))
+        + u64::from(db.relation_allocated_pages(Relation::History))
+        + u64::from(db.index_footprint(Relation::Order).0)
+        + u64::from(db.index_footprint(Relation::OrderLine).0);
+    db.total_allocated_pages() - growing
+}
+
+fn band(label: &str, samples: &[u64], tolerance: u64) {
+    let lo = *samples.iter().min().expect("samples");
+    let hi = *samples.iter().max().expect("samples");
+    assert!(
+        hi - lo <= tolerance,
+        "{label} drifts at steady state: min {lo}, max {hi} (tolerance {tolerance}) — {samples:?}"
+    );
+}
+
+fn delivery_soak(seed: u64, pending_per_district: u64, transactions: u64, warmup: u64) {
+    // a deep initial pending queue (the paper's Table 1 is ~900 per
+    // district at full scale): the NEW-ORDER index starts several
+    // leaves tall and the heap several pages deep, and the standard
+    // mix drains it at ~0.07 rows/txn — the warmup IS the leak
+    // scenario, pages must come back as the queue shrinks
+    let mut cfg = DbConfig::small();
+    cfg.initial_pending_per_district = pending_per_district;
+    cfg.initial_orders_per_district = pending_per_district + 60;
+    let mut db = loader::load(cfg, seed);
+    let mut driver = Driver::new(&db, DriverConfig::default(), seed);
+
+    driver.run(&mut db, warmup);
+
+    let samples = 10u64;
+    let chunk = (transactions - warmup) / samples;
+    let mut heap_pages = Vec::new();
+    let mut index_pages = Vec::new();
+    let mut heights = Vec::new();
+    let mut stable = Vec::new();
+    for _ in 0..samples {
+        driver.run(&mut db, chunk);
+        heap_pages.push(u64::from(db.relation_allocated_pages(Relation::NewOrder)));
+        let (pages, height) = db.index_footprint(Relation::NewOrder);
+        index_pages.push(u64::from(pages));
+        heights.push(height as u64);
+        stable.push(stable_footprint(&db));
+    }
+
+    band("NEW-ORDER heap pages", &heap_pages, 1);
+    band("NEW-ORDER index pages", &index_pages, 1);
+    band("NEW-ORDER index height", &heights, 0);
+    band("non-growing footprint", &stable, 2);
+
+    // the steady state must come from reclamation, not from deletes
+    // quietly not happening
+    assert!(
+        db.pages_freed() > 0,
+        "a Delivery-heavy run must return pages to the free list"
+    );
+    assert!(
+        db.pages_reused() > 0,
+        "freed pages must cycle back through the allocator"
+    );
+}
+
+#[test]
+fn delivery_soak_reaches_steady_state() {
+    // 1000 pending rows drain in ~14k transactions; sample the 5k after
+    delivery_soak(7, 100, 20_000, 15_000);
+}
+
+/// Release-mode stress variant (CI runs `--ignored stress` with a seed
+/// matrix via `TPCC_STRESS_SEED`): >= 50k transactions, the footprint
+/// horizon of the ISSUE's acceptance bar.
+#[test]
+#[ignore = "stress: run with --ignored, seeded via TPCC_STRESS_SEED"]
+fn stress_delivery_soak_stays_flat_over_50k_txns() {
+    let seed = std::env::var("TPCC_STRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    delivery_soak(seed, 150, 50_000, 25_000);
+}

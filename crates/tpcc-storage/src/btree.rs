@@ -14,9 +14,14 @@
 //! ```
 //!
 //! Internal separator `kᵢ` bounds its left child: subtree `i` holds keys
-//! `< kᵢ`. Deletes are *lazy* (no rebalancing): entries are removed and
-//! leaves may underflow, which is harmless for lookups and scans and
-//! matches the benchmark's delete pattern (oldest New-Order rows only).
+//! `< kᵢ`. Deletes *rebalance*: when a removal drops a non-root leaf
+//! below half occupancy, the delete restarts as a pessimistic top-down
+//! descent that merges the deficient node with an adjacent sibling
+//! (when the combined entries fit on one page, freeing the emptied
+//! page back to the buffer manager) or borrows from it (balancing the
+//! two evenly), so the benchmark's FIFO delete pattern (oldest
+//! New-Order rows) returns its pages instead of leaking half-empty
+//! leaves forever.
 //!
 //! # Latching (crabbing)
 //!
@@ -29,15 +34,23 @@
 //!   left-to-right along the leaf chain.
 //! * **`delete`** and the common-case `insert` descend shared and take
 //!   only the *leaf* exclusively. The parent stays share-latched while
-//!   the leaf latch is upgraded, so the leaf cannot be split between
-//!   the shared and exclusive fix (splits require the parent latched
-//!   exclusively). Deletes are lazy and never restructure, so this
-//!   path never restarts.
+//!   the leaf latch is upgraded, so the leaf cannot be split or merged
+//!   between the shared and exclusive fix (both require the parent
+//!   latched exclusively). A delete that leaves the leaf at least half
+//!   full ends here.
 //! * **`insert` into a full leaf** restarts as a *pessimistic* descent
 //!   with exclusive coupling that splits any full node top-down while
 //!   holding only parent + child (at most three page latches with the
 //!   transient sibling allocation), so the parent always has room for
 //!   the separator and splits never propagate upward.
+//! * **`delete` that underflows the leaf** restarts symmetrically: a
+//!   pessimistic exclusive-coupled descent fixes any deficient node
+//!   top-down by merging it with, or borrowing from, an adjacent
+//!   sibling while the parent is still write-latched (at most three
+//!   page latches: parent + both siblings; sibling latches are taken
+//!   left-to-right), so deficiencies never propagate upward either. A
+//!   single-child internal root is collapsed under the exclusive
+//!   structure latch, shrinking the tree.
 //!
 //! The `root` field is the **structure latch**: a `RwLock` around the
 //! root page number. Every descent acquires it shared just long enough
@@ -66,12 +79,21 @@ pub struct BTree {
     root: RwLock<u32>,
     leaf_cap: usize,
     internal_cap: usize,
+    /// Underflow threshold: a non-root leaf with fewer entries is
+    /// merged or rebalanced.
+    min_leaf: usize,
+    /// Underflow threshold for non-root internal nodes (in separator
+    /// keys; chosen so two merging siblings plus the pulled-down
+    /// separator always fit).
+    min_internal: usize,
     /// Pre-resolved structure-event counters (disabled until
     /// [`BTree::attach_obs`]); avoids a recorder map lookup per node
     /// visit on the hot path.
     visits: CounterHandle,
     splits: CounterHandle,
     restarts: CounterHandle,
+    merges: CounterHandle,
+    borrows: CounterHandle,
 }
 
 #[derive(Debug, Clone)]
@@ -113,19 +135,25 @@ impl BTree {
             root: RwLock::new(root),
             leaf_cap,
             internal_cap,
+            min_leaf: leaf_cap / 2,
+            min_internal: (internal_cap - 1) / 2,
             visits: CounterHandle::disabled(),
             splits: CounterHandle::disabled(),
             restarts: CounterHandle::disabled(),
+            merges: CounterHandle::disabled(),
+            borrows: CounterHandle::disabled(),
         }
     }
 
     /// Resolves per-tree structure-event counters against `obs`
-    /// (`btree_node_visits` / `btree_splits` / `btree_restarts`,
-    /// labelled by file id).
+    /// (`btree_node_visits` / `btree_splits` / `btree_restarts` /
+    /// `btree_merges` / `btree_borrows`, labelled by file id).
     pub fn attach_obs(&mut self, obs: &Obs) {
         self.visits = obs.counter_handle("btree_node_visits", Label::Idx(self.file.0));
         self.splits = obs.counter_handle("btree_splits", Label::Idx(self.file.0));
         self.restarts = obs.counter_handle("btree_restarts", Label::Idx(self.file.0));
+        self.merges = obs.counter_handle("btree_merges", Label::Idx(self.file.0));
+        self.borrows = obs.counter_handle("btree_borrows", Label::Idx(self.file.0));
     }
 
     /// The index file id (for buffer statistics).
@@ -155,7 +183,7 @@ impl BTree {
     /// exclusive-coupled descent.
     pub fn insert(&self, bm: &BufferManager, key: u64, value: u64) -> Option<u64> {
         {
-            let mut leaf = self.leaf_exclusive(bm, key);
+            let (mut leaf, _) = self.leaf_exclusive(bm, key);
             match leaf_search(&leaf, key) {
                 Ok(i) => {
                     let old = leaf_val(&leaf, i);
@@ -175,19 +203,33 @@ impl BTree {
         self.insert_pessimistic(bm, key, value)
     }
 
-    /// Removes a key; returns its value if it was present. Lazy: leaves
-    /// are never rebalanced or merged, so a delete never restructures
-    /// and the optimistic descent always suffices.
+    /// Removes a key; returns its value if it was present.
+    ///
+    /// Optimistic first: shared descent with an exclusive leaf latch.
+    /// If the removal drops a non-root leaf below half occupancy the
+    /// delete restarts into the pessimistic rebalancing descent, which
+    /// merges or rebalances deficient nodes top-down and returns freed
+    /// pages to the buffer manager.
     pub fn delete(&self, bm: &BufferManager, key: u64) -> Option<u64> {
-        let mut leaf = self.leaf_exclusive(bm, key);
-        match leaf_search(&leaf, key) {
-            Ok(i) => {
-                let old = leaf_val(&leaf, i);
-                leaf_remove_at(&mut leaf, i);
-                Some(old)
+        let old = {
+            let (mut leaf, is_root) = self.leaf_exclusive(bm, key);
+            match leaf_search(&leaf, key) {
+                Ok(i) => {
+                    let old = leaf_val(&leaf, i);
+                    leaf_remove_at(&mut leaf, i);
+                    if is_root || entry_count(&leaf) >= self.min_leaf {
+                        return Some(old);
+                    }
+                    old
+                }
+                Err(_) => return None,
             }
-            Err(_) => None,
-        }
+            // leaf underflow: rebalancing is needed — release every
+            // latch first, then restart pessimistically
+        };
+        self.restarts.add(1);
+        self.rebalance(bm, key);
+        Some(old)
     }
 
     /// Visits `(key, value)` pairs with `lo <= key < hi` in ascending
@@ -261,20 +303,44 @@ impl BTree {
         self.min_at_or_after(bm, 0).is_none()
     }
 
+    /// Tree height in levels (1 = a lone leaf root), following the
+    /// leftmost spine with shared coupling.
+    pub fn height(&self, bm: &BufferManager) -> usize {
+        let root = self.root.read().expect("root latch");
+        let mut guard = bm.fix_shared(self.file, *root);
+        drop(root);
+        let mut h = 1;
+        while !is_leaf(&guard) {
+            let child = internal_child_at(&guard, 0);
+            guard = bm.fix_shared(self.file, child);
+            h += 1;
+        }
+        h
+    }
+
+    /// Live pages of the index file: allocated minus freed-by-merges.
+    /// The steady-state footprint the soak tests assert on.
+    #[must_use]
+    pub fn allocated_pages(&self, bm: &BufferManager) -> u32 {
+        bm.allocated_pages(self.file)
+    }
+
     /// Descends with shared coupling and returns the target leaf
-    /// write-latched. The parent (or, for a leaf root, the structure
-    /// latch) stays share-held across the leaf's shared→exclusive
-    /// re-fix: a split of that leaf would need the parent exclusively
-    /// (or the structure latch exclusively), so the leaf located by the
-    /// descent is still the right one when the write latch lands.
-    fn leaf_exclusive<'b>(&self, bm: &'b BufferManager, key: u64) -> PageWriteGuard<'b> {
+    /// write-latched, plus whether that leaf is the root. The parent
+    /// (or, for a leaf root, the structure latch) stays share-held
+    /// across the leaf's shared→exclusive re-fix: a split or merge of
+    /// that leaf would need the parent exclusively (or the structure
+    /// latch exclusively), so the leaf located by the descent is still
+    /// the right one when the write latch lands.
+    fn leaf_exclusive<'b>(&self, bm: &'b BufferManager, key: u64) -> (PageWriteGuard<'b>, bool) {
         let root = self.root.read().expect("root latch");
         let root_page = *root;
         let first = bm.fix_shared(self.file, root_page);
         self.visits.add(1);
         if is_leaf(&first) {
             drop(first);
-            return bm.fix_exclusive(self.file, root_page); // root lock still read-held
+            // root lock still read-held
+            return (bm.fix_exclusive(self.file, root_page), true);
         }
         drop(root);
         let mut parent = first;
@@ -284,7 +350,8 @@ impl BTree {
             self.visits.add(1);
             if is_leaf(&child) {
                 drop(child);
-                return bm.fix_exclusive(self.file, child_page); // parent still read-held
+                // parent still read-held
+                return (bm.fix_exclusive(self.file, child_page), false);
             }
             parent = child;
         }
@@ -362,6 +429,245 @@ impl BTree {
             }
             node = child; // crab: drop the parent, descend
         }
+    }
+
+    /// Exclusive-coupled descent with top-down rebalancing: any
+    /// deficient node on the path is merged with or borrows from an
+    /// adjacent sibling while its parent is still write-latched, so
+    /// deficiencies never propagate back up. Mirrors
+    /// [`BTree::insert_pessimistic`]; at most parent + two siblings
+    /// (three page latches) are held at any moment, acquired top-down
+    /// and left-to-right.
+    ///
+    /// The structure latch is held exclusively while the root can
+    /// still change: a single-child internal root is collapsed (its
+    /// page freed) and, while the root has exactly one separator, a
+    /// child merge could empty it — so the latch is kept until the
+    /// descent is past every root-changing case.
+    fn rebalance(&self, bm: &BufferManager, key: u64) {
+        let mut root_lock = self.root.write().expect("root latch");
+        let mut node = bm.fix_exclusive(self.file, *root_lock);
+        self.visits.add(1);
+        let mut node = loop {
+            if is_leaf(&node) {
+                // a root leaf may hold any entry count
+                return;
+            }
+            if entry_count(&node) == 0 {
+                // single-child internal root: the child takes over
+                let child = internal_child_at(&node, 0);
+                bm.free_fixed(node);
+                *root_lock = child;
+                node = bm.fix_exclusive(self.file, child);
+                self.visits.add(1);
+                continue;
+            }
+            if entry_count(&node) >= 2 {
+                break node; // no merge below can empty this root
+            }
+            // exactly one separator: fixing a deficient child may merge
+            // the root's two children and empty it
+            let (child_idx, child_page) = internal_lookup(&node, key);
+            let mut child = bm.fix_exclusive(self.file, child_page);
+            self.visits.add(1);
+            if self.node_deficient(&child) {
+                child = self.fix_deficient(bm, &mut node, child_idx, child, key);
+            }
+            if entry_count(&node) == 0 {
+                let merged = child.page();
+                bm.free_fixed(node);
+                *root_lock = merged;
+                node = child;
+                continue; // the new root may itself need collapsing
+            }
+            break child; // root settled at ≥1 separator: descend
+        };
+        drop(root_lock);
+        while !is_leaf(&node) {
+            let (child_idx, child_page) = internal_lookup(&node, key);
+            let mut child = bm.fix_exclusive(self.file, child_page);
+            self.visits.add(1);
+            // a parent merge can (at tiny fan-outs) leave this node
+            // with zero separators and thus no sibling to fix the
+            // child with; leave the deficiency for a later descent
+            if self.node_deficient(&child) && entry_count(&node) >= 1 {
+                child = self.fix_deficient(bm, &mut node, child_idx, child, key);
+            }
+            node = child; // crab: drop the parent, descend
+        }
+    }
+
+    /// Restores occupancy of the `child_idx`-th child of the
+    /// write-latched `parent` by merging it with an adjacent sibling
+    /// (when the combined entries fit on one page; the emptied right
+    /// page is freed) or borrowing from it (the two split their
+    /// entries evenly and the parent separator is updated). Prefers
+    /// the left sibling; to honour the left-to-right latch order the
+    /// child latch is dropped and re-taken after the sibling's — safe
+    /// because the write-latched parent excludes every other descent
+    /// into either page. Returns the surviving guard covering `key`'s
+    /// search path.
+    ///
+    /// The parent must have at least one separator (a sibling exists).
+    fn fix_deficient<'b>(
+        &self,
+        bm: &'b BufferManager,
+        parent: &mut PageWriteGuard<'b>,
+        child_idx: usize,
+        child: PageWriteGuard<'b>,
+        key: u64,
+    ) -> PageWriteGuard<'b> {
+        let child_page = child.page();
+        let use_left = child_idx > 0;
+        let (sep_idx, left, right) = if use_left {
+            let left_page = internal_child_at(parent, child_idx - 1);
+            drop(child); // re-acquire in left-to-right order
+            let left = bm.fix_exclusive(self.file, left_page);
+            let right = bm.fix_exclusive(self.file, child_page);
+            (child_idx - 1, left, right)
+        } else {
+            let right_page = internal_child_at(parent, child_idx + 1);
+            let right = bm.fix_exclusive(self.file, right_page);
+            (child_idx, child, right)
+        };
+        self.visits.add(1);
+        let (mut left, mut right) = (left, right);
+        let sep = internal_key(parent, sep_idx);
+        match (decode(&left), decode(&right)) {
+            (
+                Node::Leaf {
+                    keys: mut lk,
+                    vals: mut lv,
+                    ..
+                },
+                Node::Leaf {
+                    keys: rk,
+                    vals: rv,
+                    next: rnext,
+                },
+            ) => {
+                if lk.len() + rk.len() <= self.leaf_cap {
+                    self.merges.add(1);
+                    lk.extend(rk);
+                    lv.extend(rv);
+                    encode(
+                        &mut left,
+                        &Node::Leaf {
+                            keys: lk,
+                            vals: lv,
+                            next: rnext,
+                        },
+                    );
+                    internal_remove_entry(parent, sep_idx);
+                    bm.free_fixed(right);
+                    left
+                } else {
+                    self.borrows.add(1);
+                    let mut all_k = lk;
+                    let mut all_v = lv;
+                    all_k.extend(rk);
+                    all_v.extend(rv);
+                    let keep = all_k.len() / 2;
+                    let rk = all_k.split_off(keep);
+                    let rv = all_v.split_off(keep);
+                    let new_sep = rk[0];
+                    encode(
+                        &mut left,
+                        &Node::Leaf {
+                            keys: all_k,
+                            vals: all_v,
+                            next: right.page(),
+                        },
+                    );
+                    encode(
+                        &mut right,
+                        &Node::Leaf {
+                            keys: rk,
+                            vals: rv,
+                            next: rnext,
+                        },
+                    );
+                    internal_set_key(parent, sep_idx, new_sep);
+                    if key < new_sep {
+                        left
+                    } else {
+                        right
+                    }
+                }
+            }
+            (
+                Node::Internal {
+                    keys: mut lk,
+                    children: mut lc,
+                },
+                Node::Internal {
+                    keys: rk,
+                    children: rc,
+                },
+            ) => {
+                // the merged node holds both key sets plus the
+                // pulled-down separator
+                if lk.len() + rk.len() < self.internal_cap {
+                    // merge: the separator is pulled down between the halves
+                    self.merges.add(1);
+                    lk.push(sep);
+                    lk.extend(rk);
+                    lc.extend(rc);
+                    encode(
+                        &mut left,
+                        &Node::Internal {
+                            keys: lk,
+                            children: lc,
+                        },
+                    );
+                    internal_remove_entry(parent, sep_idx);
+                    bm.free_fixed(right);
+                    left
+                } else {
+                    // borrow: rotate entries through the separator
+                    self.borrows.add(1);
+                    let mut all_k = lk;
+                    let mut all_c = lc;
+                    all_k.push(sep);
+                    all_k.extend(rk);
+                    all_c.extend(rc);
+                    let keep = all_k.len() / 2;
+                    let mut rk = all_k.split_off(keep);
+                    let new_sep = rk.remove(0);
+                    let rc = all_c.split_off(keep + 1);
+                    encode(
+                        &mut left,
+                        &Node::Internal {
+                            keys: all_k,
+                            children: all_c,
+                        },
+                    );
+                    encode(
+                        &mut right,
+                        &Node::Internal {
+                            keys: rk,
+                            children: rc,
+                        },
+                    );
+                    internal_set_key(parent, sep_idx, new_sep);
+                    if key < new_sep {
+                        left
+                    } else {
+                        right
+                    }
+                }
+            }
+            _ => unreachable!("siblings at one level share a kind"),
+        }
+    }
+
+    fn node_deficient(&self, data: &[u8]) -> bool {
+        let min = if is_leaf(data) {
+            self.min_leaf
+        } else {
+            self.min_internal
+        };
+        entry_count(data) < min
     }
 
     fn node_full(&self, data: &[u8]) -> bool {
@@ -508,6 +814,21 @@ fn leaf_remove_at(data: &mut [u8], i: usize) {
 fn internal_key(data: &[u8], i: usize) -> u64 {
     let off = HEADER + 4 + i * 12;
     u64::from_le_bytes(data[off..off + 8].try_into().expect("key"))
+}
+
+/// Overwrites separator `i` in place.
+fn internal_set_key(data: &mut [u8], i: usize, key: u64) {
+    let off = HEADER + 4 + i * 12;
+    data[off..off + 8].copy_from_slice(&key.to_le_bytes());
+}
+
+/// Removes separator `i` and child `i + 1` (one 12-byte entry),
+/// shifting later entries down — the post-merge parent update.
+fn internal_remove_entry(data: &mut [u8], i: usize) {
+    let n = entry_count(data);
+    let start = HEADER + 4 + i * 12;
+    data.copy_within(start + 12..HEADER + 4 + n * 12, start);
+    set_entry_count(data, n - 1);
 }
 
 fn internal_child_at(data: &[u8], i: usize) -> u32 {
@@ -748,6 +1069,127 @@ mod tests {
             }
         }
         assert_eq!(t.len(&bm), (tail - head) as usize);
+    }
+
+    #[test]
+    fn fifo_churn_keeps_the_footprint_bounded() {
+        // The Delivery leak in miniature: without merges the head
+        // leaves of the FIFO queue stay allocated forever and the
+        // index grows without bound. With them the footprint must
+        // plateau near the live-entry working set.
+        let (bm, t) = setup(256, 64);
+        let mut head = 0u64;
+        let mut tail = 0u64;
+        let mut plateau = Vec::new();
+        for round in 0..40_000u64 {
+            t.insert(&bm, tail, tail);
+            tail += 1;
+            if tail - head > 30 {
+                assert_eq!(t.delete(&bm, head), Some(head));
+                head += 1;
+            }
+            if round >= 10_000 && round % 2_000 == 0 {
+                plateau.push(t.allocated_pages(&bm));
+            }
+        }
+        let (lo, hi) = (
+            *plateau.iter().min().expect("samples"),
+            *plateau.iter().max().expect("samples"),
+        );
+        assert!(
+            hi - lo <= 1,
+            "footprint must be flat in steady state: {plateau:?}"
+        );
+        // 30 live entries fit in a handful of 15-entry leaves + spine
+        assert!(hi <= 8, "steady-state footprint too large: {hi} pages");
+        assert!(t.height(&bm) <= 3);
+        assert_eq!(t.len(&bm), (tail - head) as usize);
+    }
+
+    #[test]
+    fn delete_everything_collapses_the_tree() {
+        let (bm, t) = setup(256, 64);
+        let n = 3000u64;
+        for k in 0..n {
+            t.insert(&bm, k, k);
+        }
+        let grown = t.allocated_pages(&bm);
+        assert!(grown > 100, "tree grew: {grown} pages");
+        assert!(t.height(&bm) >= 3);
+        for k in 0..n {
+            assert_eq!(t.delete(&bm, k), Some(k), "key {k}");
+        }
+        assert!(t.is_empty(&bm));
+        assert_eq!(t.height(&bm), 1, "root collapsed back to a lone leaf");
+        assert!(
+            t.allocated_pages(&bm) <= 2,
+            "pages returned: {} still allocated",
+            t.allocated_pages(&bm)
+        );
+        // the tree is still fully usable after total collapse
+        for k in 0..200u64 {
+            t.insert(&bm, k, !k);
+        }
+        for k in 0..200u64 {
+            assert_eq!(t.get(&bm, k), Some(!k));
+        }
+    }
+
+    #[test]
+    fn random_delete_heavy_churn_matches_model() {
+        // interleaved inserts/deletes against a BTreeMap oracle, with
+        // scans — exercises borrow (balance) paths, not just the
+        // FIFO merge pattern
+        use std::collections::BTreeMap;
+        let (bm, t) = setup(256, 64);
+        let mut oracle = BTreeMap::new();
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        for _ in 0..30_000 {
+            let k = rng.uniform_inclusive(0, 999);
+            if rng.uniform_inclusive(0, 99) < 55 {
+                // delete-heavy mix drives occupancy down into the
+                // rebalance threshold constantly
+                assert_eq!(t.delete(&bm, k), oracle.remove(&k), "delete {k}");
+            } else {
+                let v = rng.next_u64();
+                assert_eq!(t.insert(&bm, k, v), oracle.insert(k, v), "insert {k}");
+            }
+        }
+        let mut actual = Vec::new();
+        t.scan_range(&bm, 0, u64::MAX, |k, v| {
+            actual.push((k, v));
+            true
+        });
+        let expected: Vec<(u64, u64)> = oracle.into_iter().collect();
+        assert_eq!(actual, expected, "contents diverge from oracle");
+    }
+
+    #[test]
+    fn merges_free_pages_and_log_replays() {
+        // grow, shrink, and crash-recover: the WAL must replay the
+        // merge-driven frees to the same image a clean run produced
+        let disk = DiskManager::new(256);
+        let mut bm = BufferManager::new(disk, 64, Replacement::Lru);
+        bm.enable_wal();
+        let checkpoint = bm.disk_snapshot();
+        let t = BTree::create(&bm);
+        for k in 0..1500u64 {
+            t.insert(&bm, k, k);
+        }
+        for k in 0..1400u64 {
+            t.delete(&bm, k);
+        }
+        bm.log_commit(1);
+        bm.flush_all();
+        assert!(bm.pages_freed() > 0, "merges freed pages");
+
+        let wal = bm.take_wal().expect("enabled");
+        let clean = bm.disk_snapshot();
+        let recovered = wal.recover(checkpoint);
+        assert!(
+            recovered.contents_equal(&clean),
+            "recovery replays merges and frees identically"
+        );
     }
 
     #[test]

@@ -26,6 +26,8 @@
 //!   latched or pinned frames, never blocks);
 //! * frame latch → shard mutex / WAL mutex / disk mutex: may block —
 //!   safe because shard/WAL/disk holders never block on a frame latch;
+//! * shard mutex → WAL mutex (page deallocation unmaps, frees and logs
+//!   atomically) — safe because no WAL holder ever takes a shard mutex;
 //! * WAL mutex → disk mutex (allocation logging), never the reverse.
 //!
 //! Page-level ordering (who may hold two frame latches at once) is the
@@ -239,6 +241,8 @@ pub struct BufferManager {
     latch_contended: AtomicU64,
     latch_acq_h: CounterHandle,
     latch_cont_h: CounterHandle,
+    pages_freed_h: CounterHandle,
+    pages_reused_h: CounterHandle,
     /// Simulated read-I/O service time in microseconds (0 = off). The
     /// faulting thread sleeps *after* releasing the disk mutex, holding
     /// only the target frame's latch — so independent faults overlap,
@@ -316,6 +320,8 @@ impl BufferManager {
             latch_contended: AtomicU64::new(0),
             latch_acq_h: CounterHandle::disabled(),
             latch_cont_h: CounterHandle::disabled(),
+            pages_freed_h: CounterHandle::disabled(),
+            pages_reused_h: CounterHandle::disabled(),
             io_delay_us: AtomicU64::new(0),
         }
     }
@@ -346,6 +352,8 @@ impl BufferManager {
         self.wal_records = obs.counter_handle("wal_records", Label::None);
         self.latch_acq_h = obs.counter_handle("latch_acquisitions", Label::None);
         self.latch_cont_h = obs.counter_handle("latch_contended", Label::None);
+        self.pages_freed_h = obs.counter_handle("pages_freed", Label::None);
+        self.pages_reused_h = obs.counter_handle("pages_reused", Label::None);
         // drop any handles resolved against the previous recorder
         for shard in self.shards.iter_mut() {
             shard.get_mut().expect("shard latch").counters.clear();
@@ -575,13 +583,91 @@ impl BufferManager {
         let page = {
             // wal → disk so concurrent allocations log in page order
             let mut wal = self.wal.lock().expect("wal lock");
-            let page = self.disk.lock().expect("disk lock").allocate_page(file);
+            let mut disk = self.disk.lock().expect("disk lock");
+            let extent = disk.pages(file);
+            let page = disk.allocate_page(file);
+            drop(disk);
+            if page < extent {
+                // served from the free set, not extent growth
+                self.pages_reused_h.add(1);
+            }
             if let Some(wal) = wal.as_mut() {
                 wal.append(WalEntry::AllocPage { file, page });
             }
             page
         };
         (page, self.fix_exclusive(file, page))
+    }
+
+    /// Deallocates the page covered by `guard`: unmaps the frame,
+    /// returns the page (zeroed) to its file's free set for reuse by
+    /// [`BufferManager::allocate_fixed`], and logs a
+    /// [`WalEntry::FreePage`] record. Consumes the guard; any captured
+    /// before-image is discarded — the zeroing supersedes the
+    /// mutation, so no delta is logged for the dying page.
+    ///
+    /// The unmap, disk free and WAL append all happen under the page's
+    /// shard mutex, so a concurrent `fix` of the same page either maps
+    /// the pre-free frame (and blocks on our exclusive latch) or
+    /// faults in the already-zeroed disk image — it can never read the
+    /// stale pre-free bytes from disk. (New lock edge: shard → WAL,
+    /// safe because no WAL holder ever takes a shard mutex.)
+    pub fn free_fixed(&self, mut guard: PageWriteGuard<'_>) {
+        let (file, page, idx) = (guard.file, guard.page, guard.idx);
+        if let Some(before) = guard.before.take() {
+            scratch_return(before);
+        }
+        {
+            // zero the frame too: a racing latch-waiter that pinned the
+            // frame before the unmap sees the same empty image a
+            // post-free fault would
+            let fd = guard.guard.as_mut().expect("guard live");
+            fd.bytes.fill(0);
+            fd.dirty = false;
+            fd.key = None;
+        }
+        let shard_mutex = self.shard_for(file, page);
+        {
+            let mut shard = shard_mutex.lock().expect("shard latch");
+            let local = idx - shard.base;
+            shard.table.remove(&(file, page));
+            shard.meta[local].key = None;
+            shard.meta[local].ref_bit = false;
+            let mut wal = self.wal.lock().expect("wal lock");
+            self.disk.lock().expect("disk lock").free_page(file, page);
+            if let Some(wal) = wal.as_mut() {
+                wal.append(WalEntry::FreePage { file, page });
+            }
+        }
+        self.pages_freed_h.add(1);
+        drop(guard);
+    }
+
+    /// Live (allocated, not freed) pages in `file`.
+    ///
+    /// # Panics
+    /// Panics on an unknown file.
+    #[must_use]
+    pub fn allocated_pages(&self, file: FileId) -> u32 {
+        self.disk.lock().expect("disk lock").allocated_pages(file)
+    }
+
+    /// Live pages summed across every file on the disk.
+    #[must_use]
+    pub fn total_allocated_pages(&self) -> u64 {
+        self.disk.lock().expect("disk lock").total_allocated_pages()
+    }
+
+    /// Pages deallocated through the pool over the disk's lifetime.
+    #[must_use]
+    pub fn pages_freed(&self) -> u64 {
+        self.disk.lock().expect("disk lock").pages_freed()
+    }
+
+    /// Allocations served from a free set instead of extent growth.
+    #[must_use]
+    pub fn pages_reused(&self) -> u64 {
+        self.disk.lock().expect("disk lock").pages_reused()
     }
 
     /// Allocates a fresh page in `file` and runs `f` on its (zeroed,
@@ -990,6 +1076,75 @@ mod tests {
             let _ = bm.stats(f);
         }
         assert_eq!(bm.with_page(f, 0, |d| d[0]), 77);
+    }
+
+    #[test]
+    fn free_fixed_returns_pages_for_reuse() {
+        let (bm, f) = manager(4, Replacement::Lru);
+        let extent = bm.file_pages(f);
+        bm.with_page_mut(f, 3, |d| d[0] = 9);
+        let g = bm.fix_exclusive(f, 3);
+        bm.free_fixed(g);
+        assert_eq!(bm.allocated_pages(f), extent - 1);
+        assert_eq!(bm.pages_freed(), 1);
+
+        // next allocation reuses page 3, zeroed
+        let (page, g) = bm.allocate_fixed(f);
+        assert_eq!(page, 3);
+        assert!(g.iter().all(|&b| b == 0), "reused page starts zeroed");
+        drop(g);
+        assert_eq!(bm.pages_reused(), 1);
+        assert_eq!(bm.file_pages(f), extent, "extent unchanged by the cycle");
+    }
+
+    #[test]
+    fn free_fixed_logs_a_replayable_dealloc() {
+        let mut disk = DiskManager::new(128);
+        let f = disk.create_file();
+        for _ in 0..3 {
+            disk.allocate_page(f);
+        }
+        let checkpoint = disk.snapshot();
+
+        let mut bm = BufferManager::new(disk, 4, Replacement::Lru);
+        bm.enable_wal();
+        bm.with_page_mut(f, 1, |d| d[0] = 7);
+        let g = bm.fix_exclusive(f, 1);
+        bm.free_fixed(g);
+        let (p, ()) = bm.allocate_page(f, |d| d[5] = 8);
+        assert_eq!(p, 1, "allocation reuses the freed page");
+        bm.log_commit(1);
+        bm.flush_all();
+
+        let wal = bm.take_wal().expect("enabled");
+        let clean = bm.disk_snapshot();
+        let recovered = wal.recover(checkpoint);
+        assert!(
+            recovered.contents_equal(&clean),
+            "replayed free + realloc equals the clean image"
+        );
+    }
+
+    #[test]
+    fn freed_page_delta_is_not_logged() {
+        let (mut bm, f) = manager(4, Replacement::Lru);
+        bm.enable_wal();
+        let mut g = bm.fix_exclusive(f, 2);
+        g[0] = 55; // mutation that would normally produce a delta
+        bm.free_fixed(g);
+        let wal = bm.take_wal().expect("enabled");
+        let deltas = wal
+            .entries()
+            .iter()
+            .filter(|e| matches!(e, WalEntry::PageDelta { .. }))
+            .count();
+        assert_eq!(deltas, 0, "the dying page's delta is superseded");
+        let frees = wal
+            .entries()
+            .iter()
+            .filter(|e| matches!(e, WalEntry::FreePage { .. }))
+            .count();
+        assert_eq!(frees, 1);
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //! accounting, standing in for the 25 ms-per-I/O device of the paper's
 //! throughput model.
 
+use std::collections::BTreeSet;
+
 /// Identifies one page file (one relation or index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FileId(pub u32);
@@ -16,11 +18,19 @@ pub struct IoStats {
 }
 
 /// An in-memory collection of page files.
+///
+/// Each file keeps a free set of deallocated page numbers; allocation
+/// reuses the lowest free page before growing the extent, so the file
+/// footprint (`allocated_pages`) can shrink back to steady state under
+/// delete-heavy workloads even though the extent (`pages`) never does.
 #[derive(Debug)]
 pub struct DiskManager {
     page_size: usize,
     files: Vec<Vec<Box<[u8]>>>,
+    free: Vec<BTreeSet<u32>>,
     stats: Vec<IoStats>,
+    pages_freed: u64,
+    pages_reused: u64,
 }
 
 impl DiskManager {
@@ -34,7 +44,10 @@ impl DiskManager {
         Self {
             page_size,
             files: Vec::new(),
+            free: Vec::new(),
             stats: Vec::new(),
+            pages_freed: 0,
+            pages_reused: 0,
         }
     }
 
@@ -47,27 +60,98 @@ impl DiskManager {
     /// Creates an empty file.
     pub fn create_file(&mut self) -> FileId {
         self.files.push(Vec::new());
+        self.free.push(BTreeSet::new());
         self.stats.push(IoStats::default());
         FileId((self.files.len() - 1) as u32)
     }
 
-    /// Appends a zeroed page to `file`, returning its page number.
+    /// Number of files created.
+    #[must_use]
+    pub fn file_count(&self) -> u32 {
+        self.files.len() as u32
+    }
+
+    /// Allocates a page in `file`: reuses the lowest-numbered free page
+    /// if the file has one, otherwise appends a zeroed page. Returns the
+    /// page number.
+    ///
+    /// Reuse-lowest-first keeps allocation deterministic, which WAL
+    /// replay depends on: `AllocPage` records assert the replayed
+    /// allocation lands on the logged page number.
     ///
     /// # Panics
     /// Panics on an unknown file.
     pub fn allocate_page(&mut self, file: FileId) -> u32 {
+        if let Some(page) = self.free[file.0 as usize].pop_first() {
+            self.pages_reused += 1;
+            return page;
+        }
         let f = &mut self.files[file.0 as usize];
         f.push(vec![0u8; self.page_size].into_boxed_slice());
         (f.len() - 1) as u32
     }
 
-    /// Number of pages in `file`.
+    /// Returns `page` of `file` to the free set, zeroing its contents
+    /// (so recovered and clean-run disks compare byte-identical, and a
+    /// stale read of a freed page cannot see ghost records).
+    ///
+    /// # Panics
+    /// Panics on an unknown file/page or a double free.
+    pub fn free_page(&mut self, file: FileId, page: u32) {
+        let f = &mut self.files[file.0 as usize];
+        assert!((page as usize) < f.len(), "freeing unallocated page");
+        f[page as usize].fill(0);
+        let inserted = self.free[file.0 as usize].insert(page);
+        assert!(inserted, "double free of page {page} in file {}", file.0);
+        self.pages_freed += 1;
+    }
+
+    /// True when `page` of `file` sits on the free set.
+    ///
+    /// # Panics
+    /// Panics on an unknown file.
+    #[must_use]
+    pub fn is_free(&self, file: FileId, page: u32) -> bool {
+        self.free[file.0 as usize].contains(&page)
+    }
+
+    /// Number of pages in `file`'s extent (high-water mark; never
+    /// shrinks, includes freed pages).
     ///
     /// # Panics
     /// Panics on an unknown file.
     #[must_use]
     pub fn pages(&self, file: FileId) -> u32 {
         self.files[file.0 as usize].len() as u32
+    }
+
+    /// Number of live (allocated, not freed) pages in `file`.
+    ///
+    /// # Panics
+    /// Panics on an unknown file.
+    #[must_use]
+    pub fn allocated_pages(&self, file: FileId) -> u32 {
+        self.pages(file) - self.free[file.0 as usize].len() as u32
+    }
+
+    /// Live pages summed across all files.
+    #[must_use]
+    pub fn total_allocated_pages(&self) -> u64 {
+        (0..self.files.len() as u32)
+            .map(|f| u64::from(self.allocated_pages(FileId(f))))
+            .sum()
+    }
+
+    /// Pages handed to `free_page` over this disk's lifetime.
+    #[must_use]
+    pub fn pages_freed(&self) -> u64 {
+        self.pages_freed
+    }
+
+    /// Allocations served from the free set instead of extent growth.
+    #[must_use]
+    pub fn pages_reused(&self) -> u64 {
+        self.pages_reused
     }
 
     /// Reads a page into `buf` (counted as one physical read).
@@ -116,15 +200,20 @@ impl DiskManager {
         DiskManager {
             page_size: self.page_size,
             files: self.files.clone(),
+            free: self.free.clone(),
             stats: vec![IoStats::default(); self.stats.len()],
+            pages_freed: 0,
+            pages_reused: 0,
         }
     }
 
-    /// True when both disks hold byte-identical files (test helper for
-    /// recovery equivalence).
+    /// True when both disks hold byte-identical files *and* identical
+    /// free sets (test helper for recovery equivalence — a page that is
+    /// zeroed-but-allocated on one disk and free on the other would
+    /// diverge on the next allocation).
     #[must_use]
     pub fn contents_equal(&self, other: &DiskManager) -> bool {
-        self.page_size == other.page_size && self.files == other.files
+        self.page_size == other.page_size && self.files == other.files && self.free == other.free
     }
 
     /// Resets all I/O counters (e.g. after load, before measurement).
@@ -184,6 +273,63 @@ mod tests {
         d.read_page(f, 0, &mut buf);
         d.reset_stats();
         assert_eq!(d.total_stats(), IoStats::default());
+    }
+
+    #[test]
+    fn freed_pages_are_reused_lowest_first() {
+        let mut d = DiskManager::new(128);
+        let f = d.create_file();
+        for _ in 0..4 {
+            d.allocate_page(f);
+        }
+        d.write_page(f, 2, &[7u8; 128]);
+        d.free_page(f, 2);
+        d.free_page(f, 1);
+        assert_eq!(d.pages(f), 4, "extent never shrinks");
+        assert_eq!(d.allocated_pages(f), 2);
+        assert!(d.is_free(f, 1) && d.is_free(f, 2));
+
+        // reuse lowest first, then grow once the free set is empty
+        assert_eq!(d.allocate_page(f), 1);
+        assert_eq!(d.allocate_page(f), 2);
+        assert_eq!(d.allocate_page(f), 4);
+        assert_eq!(d.pages_freed(), 2);
+        assert_eq!(d.pages_reused(), 2);
+
+        // the freed-then-reused page came back zeroed
+        let mut buf = vec![1u8; 128];
+        d.read_page(f, 2, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0), "freed page was zeroed");
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut d = DiskManager::new(128);
+        let f = d.create_file();
+        d.allocate_page(f);
+        d.free_page(f, 0);
+        d.free_page(f, 0);
+    }
+
+    #[test]
+    fn snapshot_carries_the_free_set() {
+        let mut d = DiskManager::new(128);
+        let f = d.create_file();
+        d.allocate_page(f);
+        d.allocate_page(f);
+        d.free_page(f, 0);
+        let mut snap = d.snapshot();
+        assert!(d.contents_equal(&snap));
+        assert_eq!(
+            snap.allocate_page(f),
+            0,
+            "snapshot reuses like the original"
+        );
+        assert!(
+            !d.contents_equal(&snap),
+            "free sets now differ even though bytes match"
+        );
     }
 
     #[test]

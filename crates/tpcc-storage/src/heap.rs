@@ -3,7 +3,10 @@
 //! Inserts fill the most recent page and, via a free-space map, pages
 //! that deletes have opened up — so a steady-state insert/delete
 //! workload (TPC-C's New-Order relation) keeps a bounded file instead
-//! of leaking one page per churn cycle. Reads, updates and deletes
+//! of leaking one page per churn cycle. A delete that drains a page's
+//! last live record hands the whole page back to the buffer manager's
+//! free list (instead of parking it in the free-space map forever), so
+//! the file's live footprint shrinks too. Reads, updates and deletes
 //! address records by [`RecordId`].
 //!
 //! The free-space map is an in-memory side structure (a real engine
@@ -17,8 +20,9 @@
 //! buffer manager's per-page latches (each operation holds exactly one
 //! page latch, so heap accesses can never form a latch cycle). The side
 //! structures are latched independently: the free-space map behind a
-//! mutex held only around map reads/updates (never across a page
-//! latch), an **atomic append cursor** tracking the newest page so
+//! mutex held only around map reads/updates (taken *after* a page
+//! latch on the delete path, which is safe because no free-map holder
+//! ever blocks on a page latch), an **atomic append cursor** tracking the newest page so
 //! concurrent inserts race to distinct pages instead of queueing on a
 //! table lock, and a grow mutex so only one thread extends the file at
 //! a time while late arrivals retry the page it just added.
@@ -139,6 +143,11 @@ impl HeapFile {
 
     fn try_insert(&self, bm: &BufferManager, page: u32, record: &[u8]) -> Option<u16> {
         bm.with_page_mut(self.file, page, |data| {
+            // a stale free-map candidate may have been deallocated (and
+            // zeroed) out from under us — never insert into one
+            if !SlottedPage::is_formatted(data) {
+                return None;
+            }
             SlottedPage::attach(data).insert(record)
         })
     }
@@ -167,22 +176,48 @@ impl HeapFile {
         })
     }
 
-    /// Deletes a record and remembers the page in the free-space map;
-    /// `false` if already dead.
+    /// Deletes a record; `false` if already dead.
+    ///
+    /// A page still holding live records is remembered in the
+    /// free-space map for reuse; a page drained of its *last* live
+    /// record is deallocated outright through
+    /// [`BufferManager::free_fixed`] (unless it is the current append
+    /// target), so drained pages return to the file's free list
+    /// instead of idling half-claimed in the map forever.
     pub fn delete(&self, bm: &BufferManager, rid: RecordId) -> bool {
-        let deleted = bm.with_page_mut(self.file, rid.page, |data| {
-            SlottedPage::attach(data).delete(rid.slot)
-        });
-        if deleted {
+        let mut guard = bm.fix_exclusive(self.file, rid.page);
+        let (deleted, emptied) = {
+            let mut page = SlottedPage::attach(&mut guard);
+            let deleted = page.delete(rid.slot);
+            (deleted, deleted && page.live_records() == 0)
+        };
+        if !deleted {
+            return false;
+        }
+        if emptied && rid.page != self.last_page.load(Ordering::Acquire) {
+            // unlist before the page vanishes so a concurrent insert
+            // cannot re-probe it (and the formatted-page check catches
+            // any candidate captured before this line)
+            self.free.lock().expect("free map").remove(&rid.page);
+            bm.free_fixed(guard);
+        } else {
+            drop(guard);
             self.free.lock().expect("free map").insert(rid.page);
         }
-        deleted
+        true
     }
 
-    /// Number of pages in the file.
+    /// Number of pages in the file's extent (high-water mark).
     #[must_use]
     pub fn pages(&self, bm: &BufferManager) -> u32 {
         bm.file_pages(self.file)
+    }
+
+    /// Live pages of the file (extent minus pages freed by drain
+    /// deletes) — the footprint the soak tests assert on.
+    #[must_use]
+    pub fn allocated_pages(&self, bm: &BufferManager) -> u32 {
+        bm.allocated_pages(self.file)
     }
 
     /// Pages currently tracked as having free space.
@@ -318,6 +353,57 @@ mod tests {
             heap.pages(&bm)
         );
         // all queued records still readable
+        for rid in queue {
+            assert!(heap.get(&bm, rid).is_some());
+        }
+    }
+
+    #[test]
+    fn drained_pages_are_deallocated_and_reused() {
+        let (bm, heap) = setup();
+        let rids: Vec<RecordId> = (0..30u8).map(|i| heap.insert(&bm, &[i; 30])).collect();
+        let extent = heap.pages(&bm);
+        assert!(extent > 2);
+        for rid in rids {
+            assert!(heap.delete(&bm, rid));
+        }
+        // every page except the append target was drained and freed
+        assert!(
+            heap.allocated_pages(&bm) <= 2,
+            "drained pages still allocated: {}",
+            heap.allocated_pages(&bm)
+        );
+        assert!(bm.pages_freed() > 0);
+        // reinsertion reuses the freed pages without growing the extent
+        for i in 0..30u8 {
+            let rid = heap.insert(&bm, &[i; 30]);
+            assert_eq!(heap.get(&bm, rid).expect("live"), vec![i; 30]);
+        }
+        assert_eq!(heap.pages(&bm), extent, "extent unchanged by the cycle");
+    }
+
+    #[test]
+    fn fifo_churn_keeps_live_footprint_flat() {
+        // the Delivery pattern with footprint accounting: live pages
+        // must plateau, not just the extent
+        let (bm, heap) = setup();
+        let mut queue = std::collections::VecDeque::new();
+        let mut plateau = Vec::new();
+        for i in 0..3000u32 {
+            queue.push_back(heap.insert(&bm, &(i.to_le_bytes().repeat(5))));
+            if queue.len() > 20 {
+                let old = queue.pop_front().expect("nonempty");
+                assert!(heap.delete(&bm, old));
+            }
+            if i >= 1000 && i % 200 == 0 {
+                plateau.push(heap.allocated_pages(&bm));
+            }
+        }
+        let (lo, hi) = (
+            *plateau.iter().min().expect("samples"),
+            *plateau.iter().max().expect("samples"),
+        );
+        assert!(hi - lo <= 1, "live pages must be flat: {plateau:?}");
         for rid in queue {
             assert!(heap.get(&bm, rid).is_some());
         }

@@ -34,4 +34,4 @@ pub use bufmgr::{
 pub use disk::{DiskManager, FileId};
 pub use heap::{HeapFile, RecordId};
 pub use page::SlottedPage;
-pub use wal::{page_delta, Wal, WalEntry};
+pub use wal::{page_delta, RecoveryError, Wal, WalEntry};

@@ -47,6 +47,20 @@ impl<'a> SlottedPage<'a> {
         Self { data }
     }
 
+    /// True when `data` carries a formatted slotted page. A deallocated
+    /// page is all zeros, and a `free_end` of 0 can never occur on a
+    /// formatted page ([`SlottedPage::init`] sets it to the page
+    /// length, and records only ever move it down to the directory
+    /// end, which is ≥ the 6-byte header). Guards insert paths against
+    /// racing onto a page that was freed out from under a stale
+    /// free-space-map candidate: without this check, `insert` would
+    /// happily treat the zero header as "0 slots" and resurrect the
+    /// dead page.
+    #[must_use]
+    pub fn is_formatted(data: &[u8]) -> bool {
+        u16::from_le_bytes([data[2], data[3]]) != 0
+    }
+
     fn n_slots(&self) -> usize {
         u16::from_le_bytes([self.data[0], self.data[1]]) as usize
     }

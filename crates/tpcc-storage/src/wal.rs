@@ -13,7 +13,108 @@
 //! unless it is certain to commit (see `tpcc-db`'s New-Order rollback,
 //! which aborts before its first write).
 
+use std::fmt;
+
 use crate::disk::{DiskManager, FileId};
+
+/// Why a log failed to apply to a checkpoint image.
+///
+/// A torn or short log (crash mid-write), or a log paired with the
+/// wrong checkpoint, surfaces here as a typed error instead of a panic,
+/// so callers can refuse the recovery rather than die inside it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// A `CreateFile` replayed onto a different file id than logged.
+    FileIdMismatch {
+        /// Id in the log.
+        logged: FileId,
+        /// Id the checkpoint handed out.
+        created: FileId,
+    },
+    /// An `AllocPage` replayed onto a different page number than
+    /// logged (checkpoint extent or free set diverges from the log).
+    PageMismatch {
+        /// File being grown.
+        file: FileId,
+        /// Page number in the log.
+        logged: u32,
+        /// Page number the checkpoint handed out.
+        allocated: u32,
+    },
+    /// An entry names a file the checkpoint does not have.
+    UnknownFile {
+        /// The missing file.
+        file: FileId,
+    },
+    /// An entry names a page past its file's extent.
+    UnknownPage {
+        /// File the page should live in.
+        file: FileId,
+        /// The out-of-range page number.
+        page: u32,
+    },
+    /// A `PageDelta` extends past the end of its page.
+    DeltaOutOfBounds {
+        /// File containing the page.
+        file: FileId,
+        /// Page number.
+        page: u32,
+        /// First byte of the delta.
+        offset: u32,
+        /// Delta length in bytes.
+        len: usize,
+    },
+    /// A `FreePage` names a page that is already free.
+    DoubleFree {
+        /// File owning the page.
+        file: FileId,
+        /// The already-free page.
+        page: u32,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::FileIdMismatch { logged, created } => write!(
+                f,
+                "log/checkpoint divergence: file id mismatch (logged {}, created {})",
+                logged.0, created.0
+            ),
+            Self::PageMismatch {
+                file,
+                logged,
+                allocated,
+            } => write!(
+                f,
+                "log/checkpoint divergence: page number mismatch \
+                 (file {}, logged {logged}, allocated {allocated})",
+                file.0
+            ),
+            Self::UnknownFile { file } => {
+                write!(f, "log names unknown file {}", file.0)
+            }
+            Self::UnknownPage { file, page } => {
+                write!(f, "log names unknown page {page} in file {}", file.0)
+            }
+            Self::DeltaOutOfBounds {
+                file,
+                page,
+                offset,
+                len,
+            } => write!(
+                f,
+                "delta out of bounds: file {} page {page} offset {offset} len {len}",
+                file.0
+            ),
+            Self::DoubleFree { file, page } => {
+                write!(f, "double free of page {page} in file {}", file.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
 
 /// One logged event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +129,15 @@ pub enum WalEntry {
         /// File grown.
         file: FileId,
         /// The page number it received.
+        page: u32,
+    },
+    /// A page was deallocated (leaf merge, emptied heap page) and
+    /// returned to its file's free set. Replay re-frees it, so a
+    /// recovered disk reuses the same page numbers a clean run would.
+    FreePage {
+        /// File owning the page.
+        file: FileId,
+        /// The page number returned to the free set.
         page: u32,
     },
     /// Bytes `offset .. offset + data.len()` of a page changed.
@@ -132,9 +242,27 @@ impl Wal {
     /// # Panics
     /// Panics if the log does not apply (wrong checkpoint: file/page
     /// ids diverge) — recovering from a mismatched checkpoint must be
-    /// loud, never silent corruption.
+    /// loud, never silent corruption. Use [`Wal::try_recover`] for the
+    /// non-panicking variant.
     #[must_use]
-    pub fn recover(&self, mut checkpoint: DiskManager) -> DiskManager {
+    pub fn recover(&self, checkpoint: DiskManager) -> DiskManager {
+        match self.try_recover(checkpoint) {
+            Ok(disk) => disk,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Replays the committed prefix over a checkpoint image, returning
+    /// a [`RecoveryError`] instead of panicking when the log does not
+    /// apply. Every entry is validated against the evolving checkpoint
+    /// *before* it mutates anything, so a torn/mismatched log is
+    /// rejected cleanly.
+    ///
+    /// # Errors
+    /// Returns a [`RecoveryError`] when an entry names an unknown file
+    /// or page, a delta overruns its page, an allocation lands on a
+    /// different page number than logged, or a free is a double free.
+    pub fn try_recover(&self, mut checkpoint: DiskManager) -> Result<DiskManager, RecoveryError> {
         let committed = self
             .entries
             .iter()
@@ -146,17 +274,43 @@ impl Wal {
             match entry {
                 WalEntry::CreateFile { file } => {
                     let created = checkpoint.create_file();
-                    assert_eq!(
-                        created, *file,
-                        "log/checkpoint divergence: file id mismatch"
-                    );
+                    if created != *file {
+                        return Err(RecoveryError::FileIdMismatch {
+                            logged: *file,
+                            created,
+                        });
+                    }
                 }
                 WalEntry::AllocPage { file, page } => {
+                    if file.0 >= checkpoint.file_count() {
+                        return Err(RecoveryError::UnknownFile { file: *file });
+                    }
                     let allocated = checkpoint.allocate_page(*file);
-                    assert_eq!(
-                        allocated, *page,
-                        "log/checkpoint divergence: page number mismatch"
-                    );
+                    if allocated != *page {
+                        return Err(RecoveryError::PageMismatch {
+                            file: *file,
+                            logged: *page,
+                            allocated,
+                        });
+                    }
+                }
+                WalEntry::FreePage { file, page } => {
+                    if file.0 >= checkpoint.file_count() {
+                        return Err(RecoveryError::UnknownFile { file: *file });
+                    }
+                    if *page >= checkpoint.pages(*file) {
+                        return Err(RecoveryError::UnknownPage {
+                            file: *file,
+                            page: *page,
+                        });
+                    }
+                    if checkpoint.is_free(*file, *page) {
+                        return Err(RecoveryError::DoubleFree {
+                            file: *file,
+                            page: *page,
+                        });
+                    }
+                    checkpoint.free_page(*file, *page);
                 }
                 WalEntry::PageDelta {
                     file,
@@ -164,8 +318,25 @@ impl Wal {
                     offset,
                     data,
                 } => {
-                    checkpoint.read_page(*file, *page, &mut scratch);
+                    if file.0 >= checkpoint.file_count() {
+                        return Err(RecoveryError::UnknownFile { file: *file });
+                    }
+                    if *page >= checkpoint.pages(*file) {
+                        return Err(RecoveryError::UnknownPage {
+                            file: *file,
+                            page: *page,
+                        });
+                    }
                     let start = *offset as usize;
+                    if start + data.len() > page_size {
+                        return Err(RecoveryError::DeltaOutOfBounds {
+                            file: *file,
+                            page: *page,
+                            offset: *offset,
+                            len: data.len(),
+                        });
+                    }
+                    checkpoint.read_page(*file, *page, &mut scratch);
                     scratch[start..start + data.len()].copy_from_slice(data);
                     checkpoint.write_page(*file, *page, &scratch);
                 }
@@ -173,7 +344,7 @@ impl Wal {
             }
         }
         checkpoint.reset_stats();
-        checkpoint
+        Ok(checkpoint)
     }
 }
 
@@ -307,6 +478,99 @@ mod tests {
         let mut buf = vec![0u8; 64];
         recovered.read_page(f, p, &mut buf);
         assert_eq!(buf[0], 0, "no commit marker, nothing applies");
+    }
+
+    #[test]
+    fn free_and_realloc_replay_deterministically() {
+        let mut disk = DiskManager::new(64);
+        let mut wal = Wal::new();
+        let checkpoint = disk.snapshot();
+
+        let f = disk.create_file();
+        wal.append(WalEntry::CreateFile { file: f });
+        for i in 0..3 {
+            let p = disk.allocate_page(f);
+            assert_eq!(p, i);
+            wal.append(WalEntry::AllocPage { file: f, page: p });
+        }
+        disk.write_page(f, 1, &[5u8; 64]);
+        wal.append(WalEntry::PageDelta {
+            file: f,
+            page: 1,
+            offset: 0,
+            data: vec![5u8; 64],
+        });
+        disk.free_page(f, 1);
+        wal.append(WalEntry::FreePage { file: f, page: 1 });
+        // reallocation lands on the freed page, and replay must agree
+        let p = disk.allocate_page(f);
+        assert_eq!(p, 1, "allocation reuses the freed page");
+        wal.append(WalEntry::AllocPage { file: f, page: p });
+        wal.append(WalEntry::Commit { txn: 1 });
+
+        let recovered = wal.recover(checkpoint);
+        assert!(
+            recovered.contents_equal(&disk.snapshot()),
+            "replayed free/realloc converges to the live disk"
+        );
+    }
+
+    #[test]
+    fn try_recover_rejects_torn_logs_without_panicking() {
+        let checkpoint = DiskManager::new(64);
+
+        // unknown file
+        let mut wal = Wal::new();
+        wal.append(WalEntry::AllocPage {
+            file: FileId(3),
+            page: 0,
+        });
+        wal.append(WalEntry::Commit { txn: 1 });
+        assert_eq!(
+            wal.try_recover(checkpoint.snapshot()).unwrap_err(),
+            RecoveryError::UnknownFile { file: FileId(3) }
+        );
+
+        // delta past the end of the page
+        let mut wal = Wal::new();
+        wal.append(WalEntry::CreateFile { file: FileId(0) });
+        wal.append(WalEntry::AllocPage {
+            file: FileId(0),
+            page: 0,
+        });
+        wal.append(WalEntry::PageDelta {
+            file: FileId(0),
+            page: 0,
+            offset: 60,
+            data: vec![0u8; 8],
+        });
+        wal.append(WalEntry::Commit { txn: 1 });
+        let err = wal.try_recover(checkpoint.snapshot()).unwrap_err();
+        assert!(matches!(err, RecoveryError::DeltaOutOfBounds { .. }));
+
+        // double free
+        let mut wal = Wal::new();
+        wal.append(WalEntry::CreateFile { file: FileId(0) });
+        wal.append(WalEntry::AllocPage {
+            file: FileId(0),
+            page: 0,
+        });
+        wal.append(WalEntry::FreePage {
+            file: FileId(0),
+            page: 0,
+        });
+        wal.append(WalEntry::FreePage {
+            file: FileId(0),
+            page: 0,
+        });
+        wal.append(WalEntry::Commit { txn: 1 });
+        assert_eq!(
+            wal.try_recover(checkpoint.snapshot()).unwrap_err(),
+            RecoveryError::DoubleFree {
+                file: FileId(0),
+                page: 0
+            }
+        );
     }
 
     #[test]

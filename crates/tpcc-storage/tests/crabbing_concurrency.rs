@@ -131,6 +131,93 @@ fn crabbing_matches_oracle(seed: u64, writers: u64, ops: usize, frames: usize, s
     }
 }
 
+/// FIFO churn under concurrency: every writer inserts at the head of
+/// its stripe and deletes at the tail once its window fills — the
+/// NEW-ORDER access pattern that drives leaf merges at the drained end
+/// while the head still splits. Readers scan across the merging region
+/// the whole time. Verifies the delete-side restructuring protocol
+/// (merge/borrow under the pessimistic restart path) against a serial
+/// oracle, and that merges actually return pages to the free list so
+/// the live footprint stays bounded.
+fn fifo_churn_matches_oracle(
+    seed: u64,
+    writers: u64,
+    ops: u64,
+    window: u64,
+    frames: usize,
+    shards: usize,
+) {
+    // small pages (~15 entries per leaf) so the live window spans many
+    // leaves and the drained end actually merges; at 4KiB the whole
+    // window fits in two leaves that only ever borrow from each other
+    let disk = DiskManager::new(256);
+    let bm = BufferManager::new_sharded(disk, frames, Replacement::Lru, shards);
+    let tree = BTree::create(&bm);
+
+    std::thread::scope(|scope| {
+        for id in 0..writers {
+            let (bm, tree) = (&bm, &tree);
+            scope.spawn(move || {
+                for i in 0..ops {
+                    let key = i * writers + id;
+                    tree.insert(bm, key, key ^ seed);
+                    if i >= window {
+                        let old = (i - window) * writers + id;
+                        // stripes are disjoint, so the delete must
+                        // observe exactly what this thread inserted
+                        assert_eq!(tree.delete(bm, old), Some(old ^ seed));
+                    }
+                }
+            });
+        }
+        // scans sweep the low-key region where leaves are merging
+        for _ in 0..2 {
+            let (bm, tree) = (&bm, &tree);
+            scope.spawn(move || {
+                for _ in 0..40 {
+                    let mut last = None;
+                    tree.scan_range(bm, 0, u64::MAX, |k, _| {
+                        assert!(last < Some(k), "scan out of order: {last:?} then {k}");
+                        last = Some(k);
+                        true
+                    });
+                }
+            });
+        }
+    });
+
+    // oracle: the last `window` keys of every stripe survive
+    let mut expected = Vec::new();
+    for id in 0..writers {
+        for i in (ops - window)..ops {
+            let key = i * writers + id;
+            expected.push((key, key ^ seed));
+        }
+    }
+    expected.sort_unstable();
+
+    let mut actual = Vec::with_capacity(expected.len());
+    tree.scan_range(&bm, 0, u64::MAX, |k, v| {
+        actual.push((k, v));
+        true
+    });
+    assert_eq!(actual, expected, "final contents diverge from FIFO oracle");
+
+    // the churn must have exercised merges, and the reclaimed pages
+    // must keep the live index far below its cumulative insert volume
+    assert!(bm.pages_freed() > 0, "FIFO churn produced no merges");
+    // post-merge leaves hold >= ~7 entries each, so the live tree needs
+    // at most ~live/4 pages; without reclamation the cumulative insert
+    // volume would leave hundreds of half-dead pages allocated
+    let live = tree.allocated_pages(&bm);
+    let bound = (expected.len() as u32) / 4 + 16;
+    assert!(
+        live <= bound,
+        "live index footprint {live} pages (> {bound}) for {} live entries — merges not reclaiming",
+        expected.len()
+    );
+}
+
 fn stress_seed() -> u64 {
     std::env::var("TPCC_STRESS_SEED")
         .ok()
@@ -150,6 +237,11 @@ fn crabbing_survives_a_tight_buffer_pool() {
     crabbing_matches_oracle(7, 4, 2_000, 64, 4);
 }
 
+#[test]
+fn concurrent_fifo_churn_merges_and_stays_bounded() {
+    fifo_churn_matches_oracle(42, 4, 3_000, 64, 256, 8);
+}
+
 /// Release-mode stress variant (CI runs `--ignored stress` with a seed
 /// matrix via `TPCC_STRESS_SEED`).
 #[test]
@@ -158,4 +250,15 @@ fn stress_crabbing_btree_matches_serial_oracle() {
     let seed = stress_seed();
     crabbing_matches_oracle(seed, 8, 25_000, 1024, 8);
     crabbing_matches_oracle(seed.wrapping_mul(31), 8, 10_000, 96, 4);
+}
+
+/// Release-mode stress variant of the FIFO churn test: 8 writers,
+/// 20k ops each — ~160k inserts and deletes funnelled through a
+/// merging tree under a seed matrix.
+#[test]
+#[ignore = "stress: run with --ignored, seeded via TPCC_STRESS_SEED"]
+fn stress_concurrent_fifo_churn_merges_and_stays_bounded() {
+    let seed = stress_seed();
+    fifo_churn_matches_oracle(seed, 8, 20_000, 128, 512, 8);
+    fifo_churn_matches_oracle(seed.wrapping_mul(31), 8, 8_000, 64, 96, 4);
 }

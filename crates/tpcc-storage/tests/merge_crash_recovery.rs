@@ -1,0 +1,111 @@
+//! Crash-recovery atomicity across delete-side restructuring.
+//!
+//! A leaf merge is several log entries: the optimistic removal's leaf
+//! delta, the `FreePage` record for the absorbed sibling, and the
+//! deltas of the absorbing leaf and the parent (logged when their
+//! write guards drop). A crash can land *between* any of them — in
+//! particular between the merge and its page-dealloc record. Redo-only
+//! recovery must treat the whole transaction as atomic: replaying a
+//! log truncated mid-merge must converge to exactly the image a clean
+//! run of only the committed transactions produces, never a
+//! half-merged tree or a page freed without its merge.
+
+use tpcc_storage::{BTree, BufferManager, DiskManager, Replacement, Wal, WalEntry};
+
+const KEYS: u64 = 800;
+
+/// Runs the canonical workload — insert `KEYS` keys, then delete the
+/// first `deletes` of them, one commit per operation — and returns the
+/// flushed buffer manager.
+fn run_workload(deletes: u64, wal: bool) -> BufferManager {
+    let disk = DiskManager::new(256);
+    let mut bm = BufferManager::new(disk, 64, Replacement::Lru);
+    if wal {
+        bm.enable_wal();
+    }
+    let tree = BTree::create(&bm);
+    let mut txn = 0u64;
+    for k in 0..KEYS {
+        tree.insert(&bm, k, k.wrapping_mul(31));
+        txn += 1;
+        bm.log_commit(txn);
+    }
+    for k in 0..deletes {
+        tree.delete(&bm, k);
+        txn += 1;
+        bm.log_commit(txn);
+    }
+    bm.flush_all();
+    bm
+}
+
+/// Indices of every `FreePage` record in the log.
+fn free_positions(wal: &Wal) -> Vec<usize> {
+    wal.entries()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, WalEntry::FreePage { .. }))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[test]
+fn crash_between_merge_and_dealloc_recovers_to_clean_image() {
+    let mut bm = run_workload(KEYS, true);
+    let checkpoint_empty = DiskManager::new(256).snapshot();
+    let wal = bm.take_wal().expect("enabled");
+    let frees = free_positions(&wal);
+    assert!(
+        frees.len() > 10,
+        "the FIFO delete phase must drive many merges (got {})",
+        frees.len()
+    );
+
+    // crash just before and just after a page-dealloc record, at the
+    // first / a middle / the last merge of the run
+    let picks = [
+        frees[0],
+        frees[frees.len() / 2],
+        *frees.last().expect("nonempty"),
+    ];
+    for &i in &picks {
+        for cut in [i, i + 1] {
+            let mut torn = wal.clone();
+            torn.truncate(cut);
+            // committed transactions in the torn log: inserts first,
+            // then deletes — everything past the last commit marker
+            // (the in-flight merge) must be discarded by replay
+            let committed_deletes = torn.commits().saturating_sub(KEYS);
+            let recovered = torn
+                .try_recover(checkpoint_empty.snapshot())
+                .expect("a committed prefix always applies");
+
+            // reference: a clean run that executed exactly the
+            // committed transactions, flushed
+            let clean = run_workload(committed_deletes, false);
+            let equal = clean.with_disk(|d| recovered.contents_equal(d));
+            assert!(
+                equal,
+                "cut at {cut} ({committed_deletes} committed deletes): \
+                 torn-merge recovery diverges from the clean image"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_log_recovery_replays_every_merge_and_free() {
+    let mut bm = run_workload(KEYS, true);
+    let wal = bm.take_wal().expect("enabled");
+    assert!(bm.pages_freed() > 0, "merges freed pages");
+    let recovered = wal
+        .try_recover(DiskManager::new(256).snapshot())
+        .expect("full log applies");
+    let equal = bm.with_disk(|d| recovered.contents_equal(d));
+    assert!(equal, "full replay equals the live flushed disk");
+    assert_eq!(
+        recovered.pages_freed(),
+        bm.pages_freed(),
+        "replay re-freed the same number of pages"
+    );
+}
