@@ -1,0 +1,134 @@
+//! Crash-point sweep: enumerate every fault site a seeded workload
+//! passes through and prove recovery converges at each one.
+//!
+//! Three passes, each emitting one JSON object per line to
+//! `results/crashpoints.jsonl` (and stdout):
+//!
+//! 1. `sweep` — the full enumerated crash sweep: record every WAL
+//!    append / page free / write-back / miss-load site, verify each
+//!    site's frozen-WAL crash image against a serial oracle replayed
+//!    to the last complete commit (contents, free lists, footprints),
+//!    cross-check sampled prefixes through the literal `try_recover`
+//!    path, and re-run sampled sites live with a `crash_at` plan.
+//! 2. `soft` — the same workload under transient write-back I/O
+//!    errors and torn (64-byte-boundary) page writes: the bounded
+//!    retry must absorb every fault, the consistency checks must pass,
+//!    and crash recovery must still reproduce the flushed image.
+//! 3. `boundaries` — the WAL truncated at every record boundary.
+//!
+//! Exits non-zero if any site fails to recover, fewer than 200 sites
+//! are enumerated, or the soft-fault run diverges — CI runs this
+//! across a seed matrix (see `.github/workflows/ci.yml`).
+//!
+//! ```text
+//! cargo run --release -p tpcc-bench --bin crashpoint -- [transactions] [seed]
+//! ```
+//!
+//! `seed` defaults to `TPCC_STRESS_SEED`, then 42.
+
+use std::io::Write as _;
+use tpcc_db::db::DbConfig;
+use tpcc_db::driver::DriverConfig;
+use tpcc_db::{
+    crashpoint_sweep, loader, verify_record_boundaries, FaultPlan, FaultSite, SweepConfig,
+};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let transactions: u64 = args
+        .next()
+        .map(|s| s.parse().expect("transactions must be a u64"))
+        .unwrap_or(5_000);
+    let seed: u64 = args
+        .next()
+        .or_else(|| std::env::var("TPCC_STRESS_SEED").ok())
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(42);
+
+    // small scale with a buffer pool below the working set, so the run
+    // itself evicts (write-back and miss-load sites fire mid-txn), and
+    // a deep pending queue so the Delivery drain frees pages (leaf
+    // merges and heap reclamation — the page-free sites)
+    let mut dbcfg = DbConfig::small();
+    dbcfg.buffer_frames = 96;
+    dbcfg.enable_wal = true;
+    dbcfg.initial_pending_per_district = 150;
+    dbcfg.initial_orders_per_district = 210;
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let mut out =
+        std::fs::File::create("results/crashpoints.jsonl").expect("open results/crashpoints.jsonl");
+    let mut emit = |line: String| {
+        println!("{line}");
+        writeln!(out, "{line}").expect("write results/crashpoints.jsonl");
+    };
+
+    let mut cfg = SweepConfig::new(dbcfg, transactions, seed);
+    cfg.live_reruns = 3;
+    cfg.recover_samples = 32;
+
+    // 1. enumerated crash sweep
+    let sweep = crashpoint_sweep(&cfg);
+    let per_site: Vec<String> = FaultSite::ALL
+        .iter()
+        .map(|s| format!("\"{}\":{}", s.name(), sweep.per_site[s.idx()]))
+        .collect();
+    emit(format!(
+        "{{\"pass\":\"sweep\",\"seed\":{seed},\"transactions\":{transactions},\
+         \"sites\":{},{},\"wal_entries\":{},\"wal_commits\":{},\
+         \"distinct_prefixes\":{},\"recoveries_verified\":{},\
+         \"recover_checks\":{},\"live_reruns\":{},\"failures\":{}}}",
+        sweep.sites_total,
+        per_site.join(","),
+        sweep.wal_entries,
+        sweep.wal_commits,
+        sweep.distinct_prefixes,
+        sweep.distinct_prefixes + sweep.live_reruns,
+        sweep.recover_checks,
+        sweep.live_reruns,
+        sweep.failures.len(),
+    ));
+
+    // 2. soft-fault convergence
+    let mut db = loader::load(dbcfg, seed);
+    let soft = db.run_with_faults(
+        DriverConfig::default(),
+        cfg.driver_seed,
+        transactions,
+        FaultPlan::soft(seed, 3, 5),
+    );
+    let consistent = db.verify_consistency().is_consistent();
+    let recovered = db.try_crash_recovery_check().unwrap_or(false);
+    emit(format!(
+        "{{\"pass\":\"soft\",\"seed\":{seed},\"transactions\":{transactions},\
+         \"io_errors\":{},\"torn_writes\":{},\"retries_taken\":{},\
+         \"consistent\":{consistent},\"recovered\":{recovered}}}",
+        soft.faults.io_errors, soft.faults.torn_writes, soft.faults.retries,
+    ));
+
+    // 3. every WAL record boundary
+    let boundaries = verify_record_boundaries(&cfg);
+    emit(format!(
+        "{{\"pass\":\"boundaries\",\"seed\":{seed},\"boundaries\":{},\
+         \"committed_prefixes\":{},\"recover_checks\":{},\"failures\":{}}}",
+        boundaries.boundaries,
+        boundaries.committed_prefixes,
+        boundaries.recover_checks,
+        boundaries.failures,
+    ));
+
+    let ok = sweep.all_recovered()
+        && sweep.sites_total >= 200
+        && soft.faults.retries > 0
+        && consistent
+        && recovered
+        && boundaries.failures == 0;
+    if !ok {
+        eprintln!("crashpoint: FAILED (see results/crashpoints.jsonl)");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "crashpoint: {} sites, {} prefixes, {} boundaries — all recovered",
+        sweep.sites_total, sweep.distinct_prefixes, boundaries.boundaries
+    );
+}

@@ -8,7 +8,12 @@
 //! 2. the same workload with an attached [`MemoryRecorder`];
 //! 3. the per-call cost of disabled `counter()` / `span()` calls, so
 //!    the disabled path's cost can be bounded analytically as
-//!    `calls-per-transaction x per-call-cost / transaction-latency`.
+//!    `calls-per-transaction x per-call-cost / transaction-latency`;
+//! 4. fault-injection hook overhead on a WAL-enabled run: with **no
+//!    plan installed** every fault site is a branch on a `None`
+//!    option (the zero-cost claim — must be within noise of the
+//!    baseline), and with an observe plan installed each site is an
+//!    atomic bump plus a site record.
 //!
 //! ```text
 //! cargo run --release -p tpcc-bench --bin obs_overhead -- [transactions] [reps]
@@ -18,7 +23,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use tpcc_db::db::DbConfig;
 use tpcc_db::driver::DriverConfig;
-use tpcc_db::{loader, Driver};
+use tpcc_db::{loader, Driver, FaultPlan};
 use tpcc_obs::{Label, MemoryRecorder, Obs};
 
 fn run_once(transactions: u64, obs: Obs, seed: u64) -> f64 {
@@ -26,6 +31,21 @@ fn run_once(transactions: u64, obs: Obs, seed: u64) -> f64 {
     cfg.buffer_frames = 128;
     let mut db = loader::load(cfg, 11);
     db.set_obs(obs);
+    let mut driver = Driver::new(&db, DriverConfig::default(), seed);
+    let start = Instant::now();
+    let _ = driver.run(&mut db, transactions);
+    start.elapsed().as_secs_f64()
+}
+
+fn run_once_faulted(transactions: u64, plan: Option<FaultPlan>, seed: u64) -> f64 {
+    // WAL on and a tight pool, so every site class is on the hot path
+    let mut cfg = DbConfig::small();
+    cfg.buffer_frames = 128;
+    cfg.enable_wal = true;
+    let mut db = loader::load(cfg, 11);
+    if let Some(plan) = plan {
+        db.install_fault_plan(plan);
+    }
     let mut driver = Driver::new(&db, DriverConfig::default(), seed);
     let start = Instant::now();
     let _ = driver.run(&mut db, transactions);
@@ -72,6 +92,35 @@ fn main() {
         transactions as f64 / d,
         transactions as f64 / e,
         (e / d - 1.0) * 100.0
+    );
+
+    // fault-site overhead on a WAL-enabled run: uninstalled (the
+    // default — every site is one `None` branch) vs. an observe plan
+    // (atomic bumps + a site record per fire), interleaved like above
+    let mut uninstalled = Vec::with_capacity(reps);
+    let mut observing = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        uninstalled.push(run_once_faulted(transactions, None, 12));
+        observing.push(run_once_faulted(
+            transactions,
+            Some(FaultPlan::observe(12)),
+            12,
+        ));
+        eprintln!(
+            "fault rep {}: uninstalled {:.3}s, observe {:.3}s",
+            rep + 1,
+            uninstalled[rep],
+            observing[rep]
+        );
+    }
+    let u = median(uninstalled);
+    let o = median(observing);
+    println!(
+        "fault sites, {transactions} txns, median of {reps}: uninstalled {:.0} txn/s, \
+         observe-hook {:.0} txn/s, observe overhead {:+.2}%",
+        transactions as f64 / u,
+        transactions as f64 / o,
+        (o / u - 1.0) * 100.0
     );
 
     // per-call cost of the disabled fast path (black_box keeps the

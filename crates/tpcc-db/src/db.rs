@@ -1,11 +1,13 @@
 //! The database instance: heap files, indexes, buffer pool, catalog.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use tpcc_obs::Obs;
 use tpcc_schema::relation::Relation;
 use tpcc_storage::{
-    BTree, BufferManager, BufferStats, DiskManager, HeapFile, RecordId, RecoveryError, Replacement,
+    BTree, BufferManager, BufferStats, DiskManager, FaultHook, FaultPlan, FaultStats, HeapFile,
+    RecordId, RecoveryError, Replacement, Wal,
 };
 
 /// Scale and resource configuration.
@@ -267,12 +269,48 @@ impl TpccDb {
         Ok(equal)
     }
 
+    /// Installs a fault-injection plan on the storage layer (WAL,
+    /// disk, and buffer pool) and returns the shared hook for
+    /// inspecting what fired. Install after `loader::load` so load-time
+    /// I/O is not counted as fault sites; see [`crate::inject`] for the
+    /// sweep harnesses built on top.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) -> Arc<FaultHook> {
+        self.bm.install_fault_hook(plan)
+    }
+
+    /// Fault counters from the installed hook (`None` when no plan has
+    /// been installed).
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.bm.fault_hook().map(|h| h.stats())
+    }
+
     /// Redo-log statistics, when logging is enabled: `(entries,
     /// delta bytes, commits)`.
     #[must_use]
     pub fn wal_stats(&self) -> Option<(usize, u64, u64)> {
         self.bm
             .with_wal(|w| (w.len(), w.delta_bytes(), w.commits()))
+    }
+
+    /// Detaches and returns the redo log (fault harnesses recover from
+    /// it offline; [`TpccDb::try_crash_recovery_check`] re-arms
+    /// logging).
+    pub fn take_wal(&mut self) -> Option<Wal> {
+        self.bm.take_wal()
+    }
+
+    /// Detaches and returns the post-load checkpoint image (WAL mode
+    /// only — the base recovery replays over).
+    pub fn take_checkpoint(&mut self) -> Option<DiskManager> {
+        self.checkpoint.take()
+    }
+
+    /// True when this database's flushed disk image equals `disk`
+    /// (flush first; used to compare against a recovered image).
+    #[must_use]
+    pub fn disk_contents_equal(&self, disk: &DiskManager) -> bool {
+        self.bm.with_disk(|d| d.contents_equal(disk))
     }
 
     /// The configuration.

@@ -17,6 +17,7 @@
 
 pub mod db;
 pub mod driver;
+pub mod inject;
 pub mod keys;
 pub mod loader;
 pub mod names;
@@ -27,9 +28,17 @@ pub mod verify;
 
 pub use db::{DbConfig, TpccDb};
 pub use driver::{Driver, DriverConfig, DriverReport, InputGen, TxnInput};
+pub use inject::{
+    crashpoint_sweep, torn_tail_byte_sweep, verify_record_boundaries, BoundaryReport,
+    FaultRunReport, SweepConfig, SweepReport, TornTailReport,
+};
 pub use parallel::{ParallelDriver, ParallelReport};
 pub use txns::{
     DeliveryResult, NewOrderAborted, NewOrderResult, OrderStatusResult, PaymentResult,
     StockLevelResult,
 };
 pub use verify::ConsistencyReport;
+
+// Fault-injection vocabulary, re-exported so harness users don't need
+// a direct `tpcc-storage` dependency.
+pub use tpcc_storage::{FaultHook, FaultPlan, FaultSite, FaultStats, SiteRecord};

@@ -43,9 +43,10 @@
 use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
 
 use crate::disk::{DiskManager, FileId};
+use crate::fault::{FaultHook, FaultPlan, FaultSite, SoftFault};
 use crate::wal::{page_delta, Wal, WalEntry};
 use tpcc_buffer::fxhash::FxHashMap;
 use tpcc_obs::{CounterHandle, Label, Obs};
@@ -234,6 +235,9 @@ pub struct BufferManager {
     shards: Box<[Mutex<Shard>]>,
     wal: Mutex<Option<Wal>>,
     wal_on: AtomicBool,
+    /// Installed fault hook; `None` (the default) keeps every fault
+    /// site a single branch — see [`BufferManager::install_fault_hook`].
+    fault: Option<Arc<FaultHook>>,
     obs: Obs,
     wal_bytes: CounterHandle,
     wal_records: CounterHandle,
@@ -313,6 +317,7 @@ impl BufferManager {
             shards,
             wal: Mutex::new(None),
             wal_on: AtomicBool::new(false),
+            fault: None,
             obs: Obs::disabled(),
             wal_bytes: CounterHandle::disabled(),
             wal_records: CounterHandle::disabled(),
@@ -373,10 +378,37 @@ impl BufferManager {
     /// latched in the pool, before it can reach disk).
     pub fn enable_wal(&mut self) {
         let mut wal = self.wal.lock().expect("wal lock");
-        if wal.is_none() {
-            *wal = Some(Wal::new());
+        let wal = wal.get_or_insert_with(Wal::new);
+        if let Some(hook) = &self.fault {
+            // a re-enabled WAL (e.g. after try_crash_recovery_check
+            // detached the old one) keeps the installed fault hook
+            wal.set_fault_hook(Arc::clone(hook));
         }
         self.wal_on.store(true, Ordering::Release);
+    }
+
+    /// Installs a fault plan: builds a [`FaultHook`] and threads it
+    /// through the disk, the WAL and the pool's write-back / miss-load
+    /// paths, turning every durability-relevant action into a numbered
+    /// fault site (see the `fault` module). Returns the hook for
+    /// inspection; installing replaces any previous hook.
+    pub fn install_fault_hook(&mut self, plan: FaultPlan) -> Arc<FaultHook> {
+        let hook = Arc::new(FaultHook::new(plan));
+        self.disk
+            .get_mut()
+            .expect("disk lock")
+            .set_fault_hook(Arc::clone(&hook));
+        if let Some(wal) = self.wal.get_mut().expect("wal lock").as_mut() {
+            wal.set_fault_hook(Arc::clone(&hook));
+        }
+        self.fault = Some(Arc::clone(&hook));
+        hook
+    }
+
+    /// The installed fault hook, if any.
+    #[must_use]
+    pub fn fault_hook(&self) -> Option<&Arc<FaultHook>> {
+        self.fault.as_ref()
     }
 
     /// Runs `f` on the live log; `None` when logging is disabled.
@@ -692,10 +724,7 @@ impl BufferManager {
                 let mut fd = self.frames[idx].data.write().expect("frame latch");
                 if fd.dirty {
                     if let Some((file, page)) = fd.key {
-                        self.disk
-                            .lock()
-                            .expect("disk lock")
-                            .write_page(file, page, &fd.bytes);
+                        self.write_back(file, page, &fd.bytes);
                         let mut shard = s.lock().expect("shard latch");
                         shard.stat_mut(file).writebacks += 1;
                         shard.counters_for(&self.obs, file).writebacks.add(1);
@@ -703,6 +732,50 @@ impl BufferManager {
                     fd.dirty = false;
                 }
             }
+        }
+    }
+
+    /// Writes one page image back to the device. With no fault hook
+    /// this is exactly one `write_page`; with a hook it is a
+    /// [`FaultSite::WriteBack`] site and any injected soft fault
+    /// (transient I/O error, torn write) is driven through a bounded
+    /// retry loop. The backoff is a spin hint, never a sleep — callers
+    /// may hold a shard mutex, and the simulated device clears
+    /// transient faults deterministically within
+    /// [`FaultHook::max_retries`] attempts.
+    fn write_back(&self, file: FileId, page: u32, bytes: &[u8]) {
+        let mut disk = self.disk.lock().expect("disk lock");
+        let Some(hook) = &self.fault else {
+            disk.write_page(file, page, bytes);
+            return;
+        };
+        let site = hook.fire(FaultSite::WriteBack);
+        if site.crash {
+            // recovery replays the frozen WAL over a pre-workload
+            // checkpoint and never reads this device image, so the
+            // write may complete and the in-memory run continues
+            disk.write_page(file, page, bytes);
+            return;
+        }
+        let mut attempt = 0u32;
+        loop {
+            match hook.writeback_fault(site.nth, attempt, bytes.len()) {
+                None => {
+                    disk.write_page(file, page, bytes);
+                    return;
+                }
+                Some(SoftFault::IoError) => {} // nothing reached the device
+                Some(SoftFault::Torn { valid }) => {
+                    disk.write_page_prefix(file, page, bytes, valid);
+                }
+            }
+            attempt += 1;
+            assert!(
+                attempt <= hook.max_retries() + 1,
+                "write-back fault on {file:?} page {page} persisted past the retry bound"
+            );
+            hook.note_retry();
+            std::hint::spin_loop();
         }
     }
 
@@ -749,10 +822,7 @@ impl BufferManager {
                 // page cannot read a stale disk image
                 if let Some(old) = shard.meta[local].key.take() {
                     if fd.dirty {
-                        self.disk
-                            .lock()
-                            .expect("disk lock")
-                            .write_page(old.0, old.1, &fd.bytes);
+                        self.write_back(old.0, old.1, &fd.bytes);
                         shard.stat_mut(old.0).writebacks += 1;
                         shard.counters_for(&self.obs, old.0).writebacks.add(1);
                     }
@@ -766,6 +836,11 @@ impl BufferManager {
                 shard.meta[local].last_used = tick;
                 self.frames[idx].pins.fetch_add(1, Ordering::AcqRel);
                 drop(shard);
+                if let Some(hook) = &self.fault {
+                    // the load proceeds either way: a crash here only
+                    // freezes the WAL, the in-memory run continues
+                    let _ = hook.fire(FaultSite::MissLoad);
+                }
                 self.disk
                     .lock()
                     .expect("disk lock")
@@ -1294,6 +1369,70 @@ mod tests {
             total += bm.with_page(f, p, |d| u32::from_le_bytes(d[0..4].try_into().unwrap()));
         }
         assert_eq!(total, 4 * 200, "no lost updates under the frame latches");
+    }
+
+    #[test]
+    fn soft_writeback_faults_retry_to_the_same_disk_image() {
+        // twin pools over the same initial disk, same access pattern:
+        // one with transient I/O errors and torn writes on every few
+        // write-backs, one clean — the retry loop must converge them
+        let run = |plan: Option<FaultPlan>| {
+            let (mut bm, f) = manager(2, Replacement::Lru);
+            let hook = plan.map(|p| bm.install_fault_hook(p));
+            for round in 0..6u32 {
+                for p in 0..8u32 {
+                    bm.with_page_mut(f, p, |d| d[0] = (round * 8 + p) as u8);
+                }
+            }
+            bm.flush_all();
+            (bm, hook)
+        };
+        let (clean, _) = run(None);
+        let (faulty, hook) = run(Some(FaultPlan::soft(42, 2, 3)));
+        let hook = hook.expect("installed");
+        let stats = hook.stats();
+        assert!(stats.io_errors > 0, "transient failures were injected");
+        assert!(stats.torn_writes > 0, "torn writes were injected");
+        assert!(stats.retries > 0, "the pool paid retries to clear them");
+        assert!(stats.fired[FaultSite::WriteBack.idx()] > 0);
+        assert!(stats.fired[FaultSite::MissLoad.idx()] > 0);
+        let equal = clean.with_disk(|cd| faulty.with_disk(|fd| cd.contents_equal(fd)));
+        assert!(equal, "soft faults retried away: identical final disks");
+    }
+
+    #[test]
+    fn crash_mid_run_freezes_the_wal_at_the_site() {
+        // record pass: count sites and capture the full log
+        let (mut bm, f) = manager(2, Replacement::Lru);
+        bm.enable_wal();
+        let hook = bm.install_fault_hook(FaultPlan::observe(7));
+        let workload = |bm: &BufferManager| {
+            for p in 0..6u32 {
+                bm.with_page_mut(f, p, |d| d[1] = p as u8 + 1);
+                bm.log_commit(u64::from(p) + 1);
+            }
+            bm.flush_all();
+        };
+        workload(&bm);
+        let records = hook.take_records();
+        let full = bm.take_wal().expect("enabled");
+        assert!(records.len() > 6, "appends, write-backs and misses fired");
+
+        // crash pass at a mid-run site: the surviving log must be
+        // byte-identical to the recorded durable prefix
+        let pick = &records[records.len() / 2];
+        let (mut bm, f2) = manager(2, Replacement::Lru);
+        assert_eq!(f, f2);
+        bm.enable_wal();
+        let hook = bm.install_fault_hook(FaultPlan::crash_at(7, pick.seq));
+        workload(&bm);
+        assert!(hook.crashed());
+        let frozen = bm.take_wal().expect("enabled");
+        assert_eq!(
+            frozen.entries(),
+            &full.entries()[..pick.wal_len],
+            "the frozen log is exactly the prefix durable at the site"
+        );
     }
 
     #[test]

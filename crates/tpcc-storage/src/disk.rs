@@ -3,6 +3,9 @@
 //! throughput model.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::fault::{FaultHook, FaultSite};
 
 /// Identifies one page file (one relation or index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -31,6 +34,10 @@ pub struct DiskManager {
     stats: Vec<IoStats>,
     pages_freed: u64,
     pages_reused: u64,
+    /// Fault hook for the *live* disk only — [`DiskManager::snapshot`]
+    /// drops it, so replaying a log over a checkpoint image never fires
+    /// fault sites.
+    fault: Option<Arc<FaultHook>>,
 }
 
 impl DiskManager {
@@ -48,7 +55,14 @@ impl DiskManager {
             stats: Vec::new(),
             pages_freed: 0,
             pages_reused: 0,
+            fault: None,
         }
+    }
+
+    /// Attaches a fault hook: every [`DiskManager::free_page`] becomes
+    /// a [`FaultSite::PageFree`] fault site.
+    pub fn set_fault_hook(&mut self, hook: Arc<FaultHook>) {
+        self.fault = Some(hook);
     }
 
     /// Page size in bytes.
@@ -98,6 +112,12 @@ impl DiskManager {
     /// # Panics
     /// Panics on an unknown file/page or a double free.
     pub fn free_page(&mut self, file: FileId, page: u32) {
+        if let Some(hook) = &self.fault {
+            // the in-memory free always proceeds; on a crash the hook
+            // has frozen the WAL, so the matching FreePage record is
+            // what gets lost
+            let _ = hook.fire(FaultSite::PageFree);
+        }
         let f = &mut self.files[file.0 as usize];
         assert!((page as usize) < f.len(), "freeing unallocated page");
         f[page as usize].fill(0);
@@ -175,6 +195,23 @@ impl DiskManager {
         self.stats[file.0 as usize].writes += 1;
     }
 
+    /// A torn write: only the first `valid` bytes of `buf` reach the
+    /// page; the tail keeps its previous contents. Counted as one
+    /// physical write (the device attempted the full page). Used by the
+    /// fault-injection layer to model a write interrupted at a 64-byte
+    /// boundary; the buffer manager's retry loop re-issues the full
+    /// write afterwards.
+    ///
+    /// # Panics
+    /// Panics on unknown file/page, a wrong-sized buffer, or
+    /// `valid > page_size`.
+    pub fn write_page_prefix(&mut self, file: FileId, page: u32, buf: &[u8], valid: usize) {
+        assert_eq!(buf.len(), self.page_size, "buffer size mismatch");
+        assert!(valid <= self.page_size, "torn prefix exceeds the page");
+        self.files[file.0 as usize][page as usize][..valid].copy_from_slice(&buf[..valid]);
+        self.stats[file.0 as usize].writes += 1;
+    }
+
     /// I/O counters for one file.
     ///
     /// # Panics
@@ -204,6 +241,9 @@ impl DiskManager {
             stats: vec![IoStats::default(); self.stats.len()],
             pages_freed: 0,
             pages_reused: 0,
+            // never carried into a snapshot: recovery replay over a
+            // checkpoint image must not fire fault sites
+            fault: None,
         }
     }
 
@@ -300,6 +340,20 @@ mod tests {
         let mut buf = vec![1u8; 128];
         d.read_page(f, 2, &mut buf);
         assert!(buf.iter().all(|&b| b == 0), "freed page was zeroed");
+    }
+
+    #[test]
+    fn torn_write_leaves_the_tail_intact() {
+        let mut d = DiskManager::new(128);
+        let f = d.create_file();
+        d.allocate_page(f);
+        d.write_page(f, 0, &[1u8; 128]);
+        d.write_page_prefix(f, 0, &[2u8; 128], 64);
+        let mut buf = vec![0u8; 128];
+        d.read_page(f, 0, &mut buf);
+        assert!(buf[..64].iter().all(|&b| b == 2), "prefix reached the page");
+        assert!(buf[64..].iter().all(|&b| b == 1), "tail kept old contents");
+        assert_eq!(d.stats(f).writes, 2, "the tear still cost a device write");
     }
 
     #[test]

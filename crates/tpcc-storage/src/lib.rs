@@ -12,6 +12,9 @@
 //! * [`heap`] — heap files of records over slotted pages.
 //! * [`btree`] — a page-based B+Tree mapping `u64` keys to `u64`
 //!   values (record ids / encoded payloads), with range scans.
+//! * [`fault`] — deterministic fault injection: numbered fault sites
+//!   at every WAL append, page free, write-back and miss-load, with
+//!   seeded crash and soft-fault plans (zero-cost when uninstalled).
 //!
 //! `tpcc-db` builds the executable TPC-C database on top; its measured
 //! buffer behaviour cross-validates the abstract trace model in
@@ -23,6 +26,7 @@
 pub mod btree;
 pub mod bufmgr;
 pub mod disk;
+pub mod fault;
 pub mod heap;
 pub mod page;
 pub mod wal;
@@ -32,6 +36,7 @@ pub use bufmgr::{
     BufferManager, BufferStats, LatchStats, PageReadGuard, PageWriteGuard, Replacement,
 };
 pub use disk::{DiskManager, FileId};
+pub use fault::{FaultHook, FaultPlan, FaultSite, FaultStats, SiteRecord, SoftFault};
 pub use heap::{HeapFile, RecordId};
 pub use page::SlottedPage;
-pub use wal::{page_delta, RecoveryError, Wal, WalEntry};
+pub use wal::{apply_entry, page_delta, RecoveryError, Wal, WalEntry};

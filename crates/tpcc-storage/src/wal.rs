@@ -14,8 +14,10 @@
 //! which aborts before its first write).
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::disk::{DiskManager, FileId};
+use crate::fault::{FaultHook, FaultSite};
 
 /// Why a log failed to apply to a checkpoint image.
 ///
@@ -161,11 +163,34 @@ pub enum WalEntry {
     },
 }
 
+impl WalEntry {
+    /// Serialized size of this record under the log's framing model:
+    /// an 8-byte header (type tag, payload length, checksum) followed
+    /// by the fixed fields and any delta payload. The log lives in
+    /// memory, but the torn-tail sweep enumerates crash points in this
+    /// byte space — a prefix that ends inside a record loses it (the
+    /// length/checksum check fails on read-back), so every byte offset
+    /// maps to a whole number of surviving records.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        const HEADER: usize = 8;
+        HEADER
+            + match self {
+                WalEntry::CreateFile { .. } => 4,
+                WalEntry::AllocPage { .. } | WalEntry::FreePage { .. } => 8,
+                WalEntry::PageDelta { data, .. } => 12 + data.len(),
+                WalEntry::Commit { .. } => 8,
+            }
+    }
+}
+
 /// An in-memory redo log.
 #[derive(Debug, Clone, Default)]
 pub struct Wal {
     entries: Vec<WalEntry>,
     delta_bytes: u64,
+    commit_count: u64,
+    hook: Option<Arc<FaultHook>>,
 }
 
 impl Wal {
@@ -175,12 +200,30 @@ impl Wal {
         Self::default()
     }
 
+    /// Attaches a fault hook: every append becomes a
+    /// [`FaultSite::WalAppend`] fault site, and once the hook's crash
+    /// trips, appends are silently dropped — the durable log is frozen
+    /// at the crash instant (see the `fault` module's crash model).
+    pub fn set_fault_hook(&mut self, hook: Arc<FaultHook>) {
+        self.hook = Some(hook);
+    }
+
     /// Appends an entry.
     pub fn append(&mut self, entry: WalEntry) {
-        if let WalEntry::PageDelta { data, .. } = &entry {
-            self.delta_bytes += data.len() as u64;
+        if let Some(hook) = &self.hook {
+            if hook.fire(FaultSite::WalAppend).crash {
+                return; // the record never reached the durable log
+            }
+        }
+        match &entry {
+            WalEntry::PageDelta { data, .. } => self.delta_bytes += data.len() as u64,
+            WalEntry::Commit { .. } => self.commit_count += 1,
+            _ => {}
         }
         self.entries.push(entry);
+        if let Some(hook) = &self.hook {
+            hook.note_durable_append();
+        }
     }
 
     /// Entries logged.
@@ -201,13 +244,11 @@ impl Wal {
         self.delta_bytes
     }
 
-    /// Commit markers logged.
+    /// Commit markers logged (maintained counter — O(1), the
+    /// fault-injection oracle polls it per transaction).
     #[must_use]
     pub fn commits(&self) -> u64 {
-        self.entries
-            .iter()
-            .filter(|e| matches!(e, WalEntry::Commit { .. }))
-            .count() as u64
+        self.commit_count
     }
 
     /// The raw entries (for inspection / tests).
@@ -219,16 +260,38 @@ impl Wal {
     /// Discards every entry past the first `keep` (crash injection for
     /// atomicity tests: a log truncated mid-transaction must recover
     /// to the last complete commit, never a partial one).
+    ///
+    /// `keep > len` is a caller bug — a crash cannot preserve records
+    /// that were never written. It debug-asserts, and clamps to the
+    /// full log (a no-op) in release builds.
     pub fn truncate(&mut self, keep: usize) {
+        debug_assert!(
+            keep <= self.entries.len(),
+            "Wal::truncate past the end (keep {keep} > len {})",
+            self.entries.len()
+        );
         if keep >= self.entries.len() {
             return;
         }
         for entry in &self.entries[keep..] {
-            if let WalEntry::PageDelta { data, .. } = entry {
-                self.delta_bytes -= data.len() as u64;
+            match entry {
+                WalEntry::PageDelta { data, .. } => self.delta_bytes -= data.len() as u64,
+                WalEntry::Commit { .. } => self.commit_count -= 1,
+                _ => {}
             }
         }
         self.entries.truncate(keep);
+    }
+
+    /// Length of the committed prefix: the index just past the last
+    /// [`WalEntry::Commit`] marker (0 when no transaction committed).
+    /// Recovery replays exactly `entries()[..committed_len()]`.
+    #[must_use]
+    pub fn committed_len(&self) -> usize {
+        self.entries
+            .iter()
+            .rposition(|e| matches!(e, WalEntry::Commit { .. }))
+            .map_or(0, |i| i + 1)
     }
 
     /// Replays the log over a checkpoint image of the disk, producing
@@ -263,89 +326,131 @@ impl Wal {
     /// or page, a delta overruns its page, an allocation lands on a
     /// different page number than logged, or a free is a double free.
     pub fn try_recover(&self, mut checkpoint: DiskManager) -> Result<DiskManager, RecoveryError> {
-        let committed = self
-            .entries
-            .iter()
-            .rposition(|e| matches!(e, WalEntry::Commit { .. }))
-            .map_or(0, |i| i + 1);
-        let page_size = checkpoint.page_size();
-        let mut scratch = vec![0u8; page_size];
-        for entry in &self.entries[..committed] {
-            match entry {
-                WalEntry::CreateFile { file } => {
-                    let created = checkpoint.create_file();
-                    if created != *file {
-                        return Err(RecoveryError::FileIdMismatch {
-                            logged: *file,
-                            created,
-                        });
-                    }
-                }
-                WalEntry::AllocPage { file, page } => {
-                    if file.0 >= checkpoint.file_count() {
-                        return Err(RecoveryError::UnknownFile { file: *file });
-                    }
-                    let allocated = checkpoint.allocate_page(*file);
-                    if allocated != *page {
-                        return Err(RecoveryError::PageMismatch {
-                            file: *file,
-                            logged: *page,
-                            allocated,
-                        });
-                    }
-                }
-                WalEntry::FreePage { file, page } => {
-                    if file.0 >= checkpoint.file_count() {
-                        return Err(RecoveryError::UnknownFile { file: *file });
-                    }
-                    if *page >= checkpoint.pages(*file) {
-                        return Err(RecoveryError::UnknownPage {
-                            file: *file,
-                            page: *page,
-                        });
-                    }
-                    if checkpoint.is_free(*file, *page) {
-                        return Err(RecoveryError::DoubleFree {
-                            file: *file,
-                            page: *page,
-                        });
-                    }
-                    checkpoint.free_page(*file, *page);
-                }
-                WalEntry::PageDelta {
-                    file,
-                    page,
-                    offset,
-                    data,
-                } => {
-                    if file.0 >= checkpoint.file_count() {
-                        return Err(RecoveryError::UnknownFile { file: *file });
-                    }
-                    if *page >= checkpoint.pages(*file) {
-                        return Err(RecoveryError::UnknownPage {
-                            file: *file,
-                            page: *page,
-                        });
-                    }
-                    let start = *offset as usize;
-                    if start + data.len() > page_size {
-                        return Err(RecoveryError::DeltaOutOfBounds {
-                            file: *file,
-                            page: *page,
-                            offset: *offset,
-                            len: data.len(),
-                        });
-                    }
-                    checkpoint.read_page(*file, *page, &mut scratch);
-                    scratch[start..start + data.len()].copy_from_slice(data);
-                    checkpoint.write_page(*file, *page, &scratch);
-                }
-                WalEntry::Commit { .. } => {}
-            }
+        let mut scratch = vec![0u8; checkpoint.page_size()];
+        for entry in &self.entries[..self.committed_len()] {
+            apply_entry(&mut checkpoint, &mut scratch, entry)?;
         }
         checkpoint.reset_stats();
         Ok(checkpoint)
     }
+
+    /// Serialized size of the whole log under the framing model of
+    /// [`WalEntry::encoded_len`] — the byte space a torn-tail sweep
+    /// enumerates.
+    #[must_use]
+    pub fn encoded_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.encoded_len() as u64).sum()
+    }
+
+    /// Number of *complete* records inside the first `bytes` bytes of
+    /// the serialized log. A record torn mid-encoding fails its length
+    /// / checksum check on read-back and is discarded along with
+    /// everything after it, so a crash after `bytes` durable log bytes
+    /// recovers exactly the first `records_within(bytes)` entries.
+    #[must_use]
+    pub fn records_within(&self, bytes: u64) -> usize {
+        let mut used = 0u64;
+        for (i, entry) in self.entries.iter().enumerate() {
+            used += entry.encoded_len() as u64;
+            if used > bytes {
+                return i;
+            }
+        }
+        self.entries.len()
+    }
+}
+
+/// Applies one log entry to an evolving checkpoint image — the single
+/// replay step shared by [`Wal::try_recover`] and the fault-injection
+/// harness's incremental prefix verifier (`tpcc-db`'s `inject` module),
+/// so both replay paths cannot drift apart. Every entry is validated
+/// against the image *before* it mutates anything.
+///
+/// `scratch` is a reusable page buffer; it is resized to the image's
+/// page size as needed.
+///
+/// # Errors
+/// The same [`RecoveryError`]s as [`Wal::try_recover`], whose replay
+/// loop is exactly this function folded over the committed prefix.
+pub fn apply_entry(
+    checkpoint: &mut DiskManager,
+    scratch: &mut Vec<u8>,
+    entry: &WalEntry,
+) -> Result<(), RecoveryError> {
+    let page_size = checkpoint.page_size();
+    match entry {
+        WalEntry::CreateFile { file } => {
+            let created = checkpoint.create_file();
+            if created != *file {
+                return Err(RecoveryError::FileIdMismatch {
+                    logged: *file,
+                    created,
+                });
+            }
+        }
+        WalEntry::AllocPage { file, page } => {
+            if file.0 >= checkpoint.file_count() {
+                return Err(RecoveryError::UnknownFile { file: *file });
+            }
+            let allocated = checkpoint.allocate_page(*file);
+            if allocated != *page {
+                return Err(RecoveryError::PageMismatch {
+                    file: *file,
+                    logged: *page,
+                    allocated,
+                });
+            }
+        }
+        WalEntry::FreePage { file, page } => {
+            if file.0 >= checkpoint.file_count() {
+                return Err(RecoveryError::UnknownFile { file: *file });
+            }
+            if *page >= checkpoint.pages(*file) {
+                return Err(RecoveryError::UnknownPage {
+                    file: *file,
+                    page: *page,
+                });
+            }
+            if checkpoint.is_free(*file, *page) {
+                return Err(RecoveryError::DoubleFree {
+                    file: *file,
+                    page: *page,
+                });
+            }
+            checkpoint.free_page(*file, *page);
+        }
+        WalEntry::PageDelta {
+            file,
+            page,
+            offset,
+            data,
+        } => {
+            if file.0 >= checkpoint.file_count() {
+                return Err(RecoveryError::UnknownFile { file: *file });
+            }
+            if *page >= checkpoint.pages(*file) {
+                return Err(RecoveryError::UnknownPage {
+                    file: *file,
+                    page: *page,
+                });
+            }
+            let start = *offset as usize;
+            if start + data.len() > page_size {
+                return Err(RecoveryError::DeltaOutOfBounds {
+                    file: *file,
+                    page: *page,
+                    offset: *offset,
+                    len: data.len(),
+                });
+            }
+            scratch.resize(page_size, 0);
+            checkpoint.read_page(*file, *page, scratch);
+            scratch[start..start + data.len()].copy_from_slice(data);
+            checkpoint.write_page(*file, *page, scratch);
+        }
+        WalEntry::Commit { .. } => {}
+    }
+    Ok(())
 }
 
 /// Computes the minimal contiguous byte range that differs between two
@@ -594,7 +699,206 @@ mod tests {
         assert_eq!(wal.len(), 2);
         assert_eq!(wal.delta_bytes(), 3, "accounting follows the truncation");
         assert_eq!(wal.commits(), 1);
-        wal.truncate(10); // past the end: no-op
+    }
+
+    fn two_entry_log() -> Wal {
+        let mut wal = Wal::new();
+        wal.append(WalEntry::PageDelta {
+            file: FileId(0),
+            page: 0,
+            offset: 0,
+            data: vec![1, 2, 3],
+        });
+        wal.append(WalEntry::Commit { txn: 1 });
+        wal
+    }
+
+    #[test]
+    fn truncate_at_exact_len_is_a_noop() {
+        let mut wal = two_entry_log();
+        wal.truncate(2); // keep == len: the boundary is legal
         assert_eq!(wal.len(), 2);
+        assert_eq!(wal.delta_bytes(), 3);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "truncate past the end")]
+    fn truncate_past_len_debug_asserts() {
+        let mut wal = two_entry_log();
+        wal.truncate(3);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn truncate_past_len_clamps_in_release() {
+        let mut wal = two_entry_log();
+        wal.truncate(usize::MAX);
+        assert_eq!(wal.len(), 2, "clamped to the full log");
+        assert_eq!(wal.delta_bytes(), 3, "accounting untouched");
+    }
+
+    #[test]
+    fn committed_len_tracks_the_last_marker() {
+        let mut wal = Wal::new();
+        assert_eq!(wal.committed_len(), 0);
+        wal.append(WalEntry::CreateFile { file: FileId(0) });
+        assert_eq!(wal.committed_len(), 0, "no commit yet");
+        wal.append(WalEntry::Commit { txn: 1 });
+        assert_eq!(wal.committed_len(), 2);
+        wal.append(WalEntry::AllocPage {
+            file: FileId(0),
+            page: 0,
+        });
+        assert_eq!(wal.committed_len(), 2, "in-flight tail excluded");
+    }
+
+    // --- one unit per RecoveryError variant, each from the minimal
+    // --- hand-built corrupt log, asserting the exact variant
+
+    #[test]
+    fn recovery_error_file_id_mismatch() {
+        // checkpoint already owns file 0, so the logged CreateFile
+        // replays onto id 1
+        let mut checkpoint = DiskManager::new(64);
+        checkpoint.create_file();
+        let mut wal = Wal::new();
+        wal.append(WalEntry::CreateFile { file: FileId(0) });
+        wal.append(WalEntry::Commit { txn: 1 });
+        assert_eq!(
+            wal.try_recover(checkpoint).unwrap_err(),
+            RecoveryError::FileIdMismatch {
+                logged: FileId(0),
+                created: FileId(1),
+            }
+        );
+    }
+
+    #[test]
+    fn recovery_error_page_mismatch() {
+        // checkpoint's file already has a page: replay allocates 1, log says 0
+        let mut checkpoint = DiskManager::new(64);
+        let f = checkpoint.create_file();
+        checkpoint.allocate_page(f);
+        let mut wal = Wal::new();
+        wal.append(WalEntry::AllocPage { file: f, page: 0 });
+        wal.append(WalEntry::Commit { txn: 1 });
+        assert_eq!(
+            wal.try_recover(checkpoint).unwrap_err(),
+            RecoveryError::PageMismatch {
+                file: f,
+                logged: 0,
+                allocated: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn recovery_error_unknown_file() {
+        let mut wal = Wal::new();
+        wal.append(WalEntry::FreePage {
+            file: FileId(5),
+            page: 0,
+        });
+        wal.append(WalEntry::Commit { txn: 1 });
+        assert_eq!(
+            wal.try_recover(DiskManager::new(64)).unwrap_err(),
+            RecoveryError::UnknownFile { file: FileId(5) }
+        );
+    }
+
+    #[test]
+    fn recovery_error_unknown_page() {
+        let mut checkpoint = DiskManager::new(64);
+        let f = checkpoint.create_file();
+        let mut wal = Wal::new();
+        wal.append(WalEntry::PageDelta {
+            file: f,
+            page: 9,
+            offset: 0,
+            data: vec![1],
+        });
+        wal.append(WalEntry::Commit { txn: 1 });
+        assert_eq!(
+            wal.try_recover(checkpoint).unwrap_err(),
+            RecoveryError::UnknownPage { file: f, page: 9 }
+        );
+    }
+
+    #[test]
+    fn recovery_error_delta_out_of_bounds() {
+        let mut checkpoint = DiskManager::new(64);
+        let f = checkpoint.create_file();
+        checkpoint.allocate_page(f);
+        let mut wal = Wal::new();
+        wal.append(WalEntry::PageDelta {
+            file: f,
+            page: 0,
+            offset: 60,
+            data: vec![0u8; 8],
+        });
+        wal.append(WalEntry::Commit { txn: 1 });
+        assert_eq!(
+            wal.try_recover(checkpoint).unwrap_err(),
+            RecoveryError::DeltaOutOfBounds {
+                file: f,
+                page: 0,
+                offset: 60,
+                len: 8,
+            }
+        );
+    }
+
+    #[test]
+    fn recovery_error_double_free() {
+        let mut checkpoint = DiskManager::new(64);
+        let f = checkpoint.create_file();
+        checkpoint.allocate_page(f);
+        let mut wal = Wal::new();
+        wal.append(WalEntry::FreePage { file: f, page: 0 });
+        wal.append(WalEntry::FreePage { file: f, page: 0 });
+        wal.append(WalEntry::Commit { txn: 1 });
+        assert_eq!(
+            wal.try_recover(checkpoint).unwrap_err(),
+            RecoveryError::DoubleFree { file: f, page: 0 }
+        );
+    }
+
+    #[test]
+    fn crashed_hook_freezes_the_log() {
+        use crate::fault::{FaultHook, FaultPlan};
+
+        let mut wal = Wal::new();
+        let hook = Arc::new(FaultHook::new(FaultPlan::crash_at(7, 1)));
+        wal.set_fault_hook(Arc::clone(&hook));
+        wal.append(WalEntry::CreateFile { file: FileId(0) }); // site 0: survives
+        wal.append(WalEntry::Commit { txn: 1 }); // site 1: the crash, dropped
+        wal.append(WalEntry::Commit { txn: 2 }); // post-crash, dropped
+        assert_eq!(wal.len(), 1, "log frozen at the crash instant");
+        assert_eq!(wal.commits(), 0);
+        assert!(hook.crashed());
+        assert_eq!(hook.stats().crashed_at, Some(1));
+    }
+
+    #[test]
+    fn byte_framing_maps_offsets_to_whole_records() {
+        let mut wal = Wal::new();
+        wal.append(WalEntry::CreateFile { file: FileId(0) }); // 12 bytes
+        wal.append(WalEntry::PageDelta {
+            file: FileId(0),
+            page: 0,
+            offset: 0,
+            data: vec![7; 10],
+        }); // 30 bytes
+        wal.append(WalEntry::Commit { txn: 1 }); // 16 bytes
+        assert_eq!(wal.encoded_bytes(), 12 + 30 + 16);
+        assert_eq!(wal.records_within(0), 0);
+        assert_eq!(wal.records_within(11), 0, "torn inside the first record");
+        assert_eq!(wal.records_within(12), 1);
+        assert_eq!(wal.records_within(41), 1, "torn inside the delta");
+        assert_eq!(wal.records_within(42), 2);
+        assert_eq!(wal.records_within(57), 2, "torn inside the commit");
+        assert_eq!(wal.records_within(58), 3);
+        assert_eq!(wal.records_within(u64::MAX), 3);
     }
 }
