@@ -1,11 +1,14 @@
 //! Measures the observability layer's overhead for EXPERIMENTS.md.
 //!
-//! Three numbers:
+//! The numbers:
 //!
 //! 1. end-to-end driver throughput with the recorder **disabled**
 //!    (`Obs::disabled()` — every instrumentation site branches on a
 //!    `None` and does nothing else);
-//! 2. the same workload with an attached [`MemoryRecorder`];
+//! 2. the same workload with an attached [`MemoryRecorder`], and
+//!    again with windowed time-series flushing on top (50 windows
+//!    into an `io::sink()` — sketch deltas, counter diffs, JSON
+//!    serialization; everything but the disk write);
 //! 3. the per-call cost of disabled `counter()` / `span()` calls, so
 //!    the disabled path's cost can be bounded analytically as
 //!    `calls-per-transaction x per-call-cost / transaction-latency`;
@@ -23,7 +26,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use tpcc_db::db::DbConfig;
 use tpcc_db::driver::DriverConfig;
-use tpcc_db::{loader, Driver, FaultPlan};
+use tpcc_db::{loader, Driver, FaultPlan, Telemetry, TelemetryConfig};
 use tpcc_obs::{Label, MemoryRecorder, Obs};
 
 fn run_once(transactions: u64, obs: Obs, seed: u64) -> f64 {
@@ -34,6 +37,32 @@ fn run_once(transactions: u64, obs: Obs, seed: u64) -> f64 {
     let mut driver = Driver::new(&db, DriverConfig::default(), seed);
     let start = Instant::now();
     let _ = driver.run(&mut db, transactions);
+    start.elapsed().as_secs_f64()
+}
+
+/// Enabled recorder *plus* windowed time-series flushing: per-txn
+/// shard records, window harvests (sketch deltas + counter diffs) and
+/// JSON serialization every `transactions/50` completions — the
+/// full cost of live telemetry, minus only the file write (the sink
+/// is `io::sink()` so the number isn't about disk speed).
+fn run_once_flushed(transactions: u64, seed: u64) -> f64 {
+    let mut cfg = DbConfig::small();
+    cfg.buffer_frames = 128;
+    let mut db = loader::load(cfg, 11);
+    let recorder = Arc::new(MemoryRecorder::new());
+    db.set_obs(Obs::new(recorder.clone()));
+    let telemetry = Telemetry::new(
+        recorder,
+        Box::new(std::io::sink()),
+        TelemetryConfig {
+            every_txns: (transactions / 50).max(1),
+            ..TelemetryConfig::default()
+        },
+        1,
+    );
+    let mut driver = Driver::new(&db, DriverConfig::default(), seed);
+    let start = Instant::now();
+    let _ = driver.run_timeseries(&mut db, transactions, &telemetry);
     start.elapsed().as_secs_f64()
 }
 
@@ -68,9 +97,10 @@ fn main() {
         .map(|s| s.parse().expect("reps must be a usize"))
         .unwrap_or(5);
 
-    // interleave the two configurations so drift hits both equally
+    // interleave the three configurations so drift hits all equally
     let mut disabled = Vec::with_capacity(reps);
     let mut enabled = Vec::with_capacity(reps);
+    let mut flushed = Vec::with_capacity(reps);
     for rep in 0..reps {
         disabled.push(run_once(transactions, Obs::disabled(), 12));
         enabled.push(run_once(
@@ -78,20 +108,29 @@ fn main() {
             Obs::new(Arc::new(MemoryRecorder::new())),
             12,
         ));
+        flushed.push(run_once_flushed(transactions, 12));
         eprintln!(
-            "rep {}: disabled {:.3}s, enabled {:.3}s",
+            "rep {}: disabled {:.3}s, enabled {:.3}s, enabled+flush {:.3}s",
             rep + 1,
             disabled[rep],
-            enabled[rep]
+            enabled[rep],
+            flushed[rep]
         );
     }
     let d = median(disabled);
     let e = median(enabled);
+    let f = median(flushed);
     println!(
         "driver, {transactions} txns, median of {reps}: disabled {:.0} txn/s, enabled {:.0} txn/s, enabled overhead {:+.2}%",
         transactions as f64 / d,
         transactions as f64 / e,
         (e / d - 1.0) * 100.0
+    );
+    println!(
+        "enabled + 50-window time-series flush: {:.0} txn/s, overhead vs disabled {:+.2}%, vs enabled {:+.2}%",
+        transactions as f64 / f,
+        (f / d - 1.0) * 100.0,
+        (f / e - 1.0) * 100.0
     );
 
     // fault-site overhead on a WAL-enabled run: uninstalled (the

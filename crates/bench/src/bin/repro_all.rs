@@ -97,7 +97,8 @@ fn main() {
     let snap = recorder.snapshot();
     let metrics_path = out_dir.join("metrics.jsonl");
     let mut mf = std::io::BufWriter::new(std::fs::File::create(&metrics_path).expect("metrics"));
-    writeln!(mf, "{}", snap.to_json_line(0, 0)).expect("write metrics");
+    let t_ms = started.elapsed().as_secs_f64() * 1e3;
+    writeln!(mf, "{}", snap.to_json_line(0, 0, t_ms)).expect("write metrics");
     mf.flush().expect("flush metrics");
     eprintln!("{}", snap.render_table());
     eprintln!("wrote {}", metrics_path.display());

@@ -53,6 +53,7 @@ fn main() {
     std::fs::create_dir_all("results").expect("create results/");
     let mut out =
         std::fs::File::create("results/scaling.jsonl").expect("open results/scaling.jsonl");
+    let run_start = std::time::Instant::now();
 
     for warehouses in WAREHOUSE_COUNTS {
         // one load per warehouse count, reused across thread counts:
@@ -95,8 +96,9 @@ fn main() {
                 })
                 .collect::<Vec<_>>()
                 .join(",");
+            let t_ms = run_start.elapsed().as_secs_f64() * 1e3;
             let line = format!(
-                "{{\"threads\":{threads},\"warehouses\":{warehouses},\
+                "{{\"t_ms\":{t_ms:.3},\"threads\":{threads},\"warehouses\":{warehouses},\
                  \"io_delay_us\":{IO_DELAY_US},\
                  \"transactions\":{},\"warmup\":{warmup},\"elapsed_s\":{:.6},\
                  \"throughput_tps\":{:.1},\"abort_rate\":{:.6},\

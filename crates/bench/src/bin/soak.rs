@@ -57,6 +57,7 @@ fn main() {
     let mut out = std::fs::File::create("results/steady_state.jsonl")
         .expect("open results/steady_state.jsonl");
 
+    let run_start = std::time::Instant::now();
     let mut done = 0u64;
     while done < transactions {
         let n = chunk.min(transactions - done);
@@ -74,8 +75,9 @@ fn main() {
 
         let no_heap = db.relation_allocated_pages(Relation::NewOrder);
         let (no_index, no_height) = db.index_footprint(Relation::NewOrder);
+        let t_ms = run_start.elapsed().as_secs_f64() * 1e3;
         let line = format!(
-            "{{\"txns\":{done},\"new_order_heap_pages\":{no_heap},\
+            "{{\"t_ms\":{t_ms:.3},\"txns\":{done},\"new_order_heap_pages\":{no_heap},\
              \"new_order_index_pages\":{no_index},\
              \"new_order_index_height\":{no_height},\
              \"total_allocated_pages\":{},\

@@ -1,0 +1,125 @@
+//! Live time-series telemetry run: N terminals drive one shared
+//! database while windowed telemetry streams to
+//! `results/timeseries.jsonl` — one JSON line per window with
+//! per-transaction-type throughput and p50/p95/p99 latency (from
+//! window-exact quantile-sketch deltas), buffer-miss ppm, lock
+//! wounds/waits, latch contention, and WAL bytes, each stamped with a
+//! run-relative monotonic `t_ms`.
+//!
+//! With `--trace`, every thread additionally records transaction
+//! spans, lock waits, and I/O delays into per-thread ring buffers,
+//! exported after the run as `results/trace.json` — load it in
+//! `chrome://tracing` or <https://ui.perfetto.dev> to see the
+//! cross-thread timeline.
+//!
+//! ```text
+//! cargo run --release -p tpcc-bench --bin timeseries -- \
+//!     [transactions] [threads] [seed] [windows] [--trace] [--every-ms N]
+//! ```
+//!
+//! The default flush mode is every `transactions/windows` completed
+//! transactions (deterministic window boundaries for a given seed);
+//! `--every-ms N` switches to wall-clock windows of N milliseconds.
+
+use std::sync::Arc;
+use tpcc_db::db::DbConfig;
+use tpcc_db::driver::{DriverConfig, TX_NAMES};
+use tpcc_db::{loader, ParallelDriver, Telemetry, TelemetryConfig};
+use tpcc_obs::{MemoryRecorder, Obs, DEFAULT_TRACE_RING};
+
+fn main() {
+    let mut positional: Vec<u64> = Vec::new();
+    let mut trace = false;
+    let mut every_ms = 0u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => trace = true,
+            "--every-ms" => {
+                every_ms = args
+                    .next()
+                    .map(|s| s.parse().expect("--every-ms takes a u64"))
+                    .expect("--every-ms takes a value");
+            }
+            s => positional.push(s.parse().expect("positional args are u64")),
+        }
+    }
+    let transactions = positional.first().copied().unwrap_or(25_000);
+    let threads = positional.get(1).copied().unwrap_or(8);
+    let seed = positional.get(2).copied().unwrap_or(42);
+    let windows = positional.get(3).copied().unwrap_or(25).max(1);
+
+    // the scaling sweep's operating point: a pool that holds only part
+    // of the working set, synchronous read-I/O service time on every
+    // fault, WAL on — so the telemetry has real misses, waits, and
+    // log traffic to show
+    let warehouses = 4;
+    let mut cfg = DbConfig::small();
+    cfg.warehouses = warehouses;
+    cfg.buffer_frames = 256 * warehouses as usize;
+    cfg.buffer_shards = 8;
+    cfg.io_delay_us = 100;
+    cfg.enable_wal = true;
+    let mut db = loader::load(cfg, seed);
+
+    let recorder = Arc::new(MemoryRecorder::new());
+    let collector = trace.then(|| recorder.install_trace(DEFAULT_TRACE_RING));
+    db.set_obs(Obs::new(recorder.clone()));
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let out =
+        std::fs::File::create("results/timeseries.jsonl").expect("open results/timeseries.jsonl");
+    let tel_cfg = TelemetryConfig {
+        every_txns: if every_ms > 0 {
+            0
+        } else {
+            (transactions / windows).max(1)
+        },
+        every_ms,
+        ..TelemetryConfig::default()
+    };
+    let telemetry = Telemetry::new(
+        Arc::clone(&recorder),
+        Box::new(std::io::BufWriter::new(out)),
+        tel_cfg,
+        threads as usize,
+    );
+
+    let driver = ParallelDriver::new(DriverConfig::default(), threads, seed);
+    let report = driver.run_timeseries(&db, transactions, &telemetry);
+
+    eprintln!(
+        "{} transactions on {threads} terminals in {:.2}s ({:.0} tps, abort rate {:.4})",
+        report.total(),
+        report.elapsed.as_secs_f64(),
+        report.throughput(),
+        report.abort_rate(),
+    );
+    for (t, name) in TX_NAMES.iter().enumerate() {
+        let s = &report.latency_ns[t];
+        if s.is_empty() {
+            continue;
+        }
+        eprintln!(
+            "  {name:<14} n={:<6} p50={:>8.1}µs p95={:>8.1}µs p99={:>8.1}µs",
+            s.count(),
+            s.quantile(0.50) / 1e3,
+            s.quantile(0.95) / 1e3,
+            s.quantile(0.99) / 1e3,
+        );
+    }
+    eprintln!(
+        "wrote results/timeseries.jsonl ({} windows)",
+        telemetry.points_written()
+    );
+
+    if let Some(collector) = collector {
+        std::fs::write("results/trace.json", collector.export_chrome())
+            .expect("write results/trace.json");
+        eprintln!(
+            "wrote results/trace.json ({} threads, {} events dropped to ring bounds)",
+            collector.timelines().len(),
+            collector.dropped(),
+        );
+    }
+}

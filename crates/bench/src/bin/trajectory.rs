@@ -1,0 +1,345 @@
+//! Continuous-benchmark trajectory: run a pinned workload matrix and
+//! append one point per commit to `results/BENCH_trajectory.json`, so
+//! the repository accumulates a performance history alongside its
+//! code history.
+//!
+//! The matrix is fixed on purpose — 3 cells spanning the serial
+//! baseline and the contended parallel regime, all in the paper's
+//! operating region (partial working set in the pool, 100 µs
+//! synchronous read-I/O per fault, WAL on):
+//!
+//! | threads | warehouses | what it watches |
+//! |---|---|---|
+//! | 1 | 1 | serial executor + storage engine baseline |
+//! | 4 | 2 | moderate lock + buffer contention |
+//! | 8 | 4 | the scaling sweep's headline cell |
+//!
+//! Per cell: throughput, New-Order / Payment p95 (sketch quantiles),
+//! buffer-miss ppm, and WAL bytes per transaction.
+//!
+//! ```text
+//! cargo run --release -p tpcc-bench --bin trajectory               # append a point
+//! cargo run --release -p tpcc-bench --bin trajectory -- --check    # + regression gate
+//! cargo run --release -p tpcc-bench --bin trajectory -- --rebaseline
+//! ```
+//!
+//! `--check` compares the fresh point against
+//! `results/BENCH_baseline.json` and exits non-zero if any cell
+//! regressed beyond its noise band: wall-clock metrics (tps, p95) get
+//! a wide relative band (default 0.35, `TPCC_TRAJ_BAND` to widen on
+//! noisy runners); count-derived metrics (miss ppm, WAL bytes/txn)
+//! are deterministic for the serial cell (band 0.02) and
+//! interleaving-jittered for parallel cells (band 0.15). Improvements
+//! always pass. `--rebaseline` accepts the fresh numbers as the new
+//! baseline.
+
+use std::sync::Arc;
+
+use tpcc_db::db::DbConfig;
+use tpcc_db::driver::DriverConfig;
+use tpcc_db::{loader, ParallelDriver};
+use tpcc_obs::{MemoryRecorder, Obs};
+
+const SCHEMA: u32 = 1;
+const SEED: u64 = 42;
+const TXNS_PER_CELL: u64 = 10_000;
+const WARMUP: u64 = 1_000;
+/// Replicates per cell; each metric reports its median across them,
+/// which keeps scheduler noise on shared runners out of the gate.
+const REPLICATES: usize = 3;
+const CELLS: [(u64, u64); 3] = [(1, 1), (4, 2), (8, 4)];
+/// new_order, payment — the two types whose p95 the gate watches.
+const P95_TYPES: [usize; 2] = [0, 1];
+
+const TRAJECTORY_PATH: &str = "results/BENCH_trajectory.json";
+const BASELINE_PATH: &str = "results/BENCH_baseline.json";
+
+struct Cell {
+    threads: u64,
+    warehouses: u64,
+    tps: f64,
+    p95_us: [f64; 2],
+    miss_ppm: f64,
+    wal_bytes_per_txn: f64,
+}
+
+impl Cell {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"threads\":{},\"warehouses\":{},\"tps\":{:.1},\
+             \"new_order_p95_us\":{:.1},\"payment_p95_us\":{:.1},\
+             \"miss_ppm\":{:.1},\"wal_bytes_per_txn\":{:.1}}}",
+            self.threads,
+            self.warehouses,
+            self.tps,
+            self.p95_us[0],
+            self.p95_us[1],
+            self.miss_ppm,
+            self.wal_bytes_per_txn,
+        )
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Runs the cell [`REPLICATES`] times and takes the per-metric median.
+fn run_cell(threads: u64, warehouses: u64) -> Cell {
+    let runs: Vec<Cell> = (0..REPLICATES)
+        .map(|_| run_cell_once(threads, warehouses))
+        .collect();
+    let of = |f: &dyn Fn(&Cell) -> f64| median(runs.iter().map(f).collect());
+    Cell {
+        threads,
+        warehouses,
+        tps: of(&|c| c.tps),
+        p95_us: [of(&|c| c.p95_us[0]), of(&|c| c.p95_us[1])],
+        miss_ppm: of(&|c| c.miss_ppm),
+        wal_bytes_per_txn: of(&|c| c.wal_bytes_per_txn),
+    }
+}
+
+fn run_cell_once(threads: u64, warehouses: u64) -> Cell {
+    let mut cfg = DbConfig::small();
+    cfg.warehouses = warehouses;
+    cfg.buffer_frames = 256 * warehouses as usize;
+    cfg.buffer_shards = 8;
+    cfg.io_delay_us = 100;
+    cfg.enable_wal = true;
+    let mut db = loader::load(cfg, SEED);
+    let recorder = Arc::new(MemoryRecorder::new());
+    db.set_obs(Obs::new(recorder.clone()));
+
+    let driver = ParallelDriver::new(DriverConfig::default(), threads, SEED);
+    driver.run(&db, WARMUP); // discarded: fault the working set in
+    let warm_misses = recorder.counter_total("buf_misses");
+    let warm_hits = recorder.counter_total("buf_hits");
+    let warm_wal = recorder.counter_total("wal_bytes_appended");
+
+    let report = driver.run(&db, TXNS_PER_CELL);
+
+    let misses = (recorder.counter_total("buf_misses") - warm_misses) as f64;
+    let hits = (recorder.counter_total("buf_hits") - warm_hits) as f64;
+    let wal = (recorder.counter_total("wal_bytes_appended") - warm_wal) as f64;
+    Cell {
+        threads,
+        warehouses,
+        tps: report.throughput(),
+        p95_us: P95_TYPES.map(|t| report.latency_ns[t].quantile(0.95) / 1e3),
+        miss_ppm: misses / (hits + misses).max(1.0) * 1e6,
+        wal_bytes_per_txn: wal / report.total() as f64,
+    }
+}
+
+fn commit_id() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        return sha;
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "local".to_string())
+}
+
+fn point_json(cells: &[Cell]) -> String {
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let body = cells
+        .iter()
+        .map(Cell::to_json)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"schema\":{SCHEMA},\"commit\":\"{}\",\"unix_ms\":{unix_ms},\
+         \"seed\":{SEED},\"transactions_per_cell\":{TXNS_PER_CELL},\
+         \"cells\":[{body}]}}",
+        commit_id(),
+    )
+}
+
+/// Appends `point` to the JSON-array trajectory file (creating it if
+/// missing), keeping the file a valid single JSON document throughout.
+fn append_point(point: &str) {
+    let new = match std::fs::read_to_string(TRAJECTORY_PATH) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let body = trimmed
+                .strip_suffix(']')
+                .unwrap_or_else(|| panic!("{TRAJECTORY_PATH} is not a JSON array"));
+            format!("{},\n{point}\n]", body.trim_end().trim_end_matches(','))
+        }
+        Err(_) => format!("[\n{point}\n]"),
+    };
+    std::fs::write(TRAJECTORY_PATH, new).expect("write trajectory file");
+}
+
+/// Pulls `"key":<number>` out of a flat JSON object — the files this
+/// binary reads are ones it wrote itself, so a scan is enough.
+fn extract_f64(obj: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\":");
+    let at = obj
+        .find(&pat)
+        .unwrap_or_else(|| panic!("key {key:?} missing from baseline cell"));
+    let rest = &obj[at + pat.len()..];
+    // cells were split on "},{", so the last value of a cell runs to
+    // the end of its fragment
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    rest[..end].trim().parse().expect("numeric baseline field")
+}
+
+/// Splits the `"cells":[...]` array of a point into per-cell object
+/// strings.
+fn split_cells(point: &str) -> Vec<&str> {
+    let at = point.find("\"cells\":[").expect("point has a cells array");
+    let body = &point[at + "\"cells\":[".len()..];
+    let end = body.find(']').expect("cells array closed");
+    body[..end].split("},{").collect()
+}
+
+/// One gated metric: `worse_is` says which direction fails the gate.
+struct Gate {
+    key: &'static str,
+    band: f64,
+    higher_is_worse: bool,
+}
+
+fn check(fresh: &str) -> Result<(), Vec<String>> {
+    let baseline = std::fs::read_to_string(BASELINE_PATH)
+        .unwrap_or_else(|_| panic!("{BASELINE_PATH} missing: run with --rebaseline to create it"));
+    let wall_band: f64 = std::env::var("TPCC_TRAJ_BAND")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.35);
+
+    let fresh_cells = split_cells(fresh);
+    let base_cells = split_cells(&baseline);
+    assert_eq!(
+        fresh_cells.len(),
+        base_cells.len(),
+        "baseline matrix shape drifted: rebaseline"
+    );
+
+    let mut failures = Vec::new();
+    for (f, b) in fresh_cells.iter().zip(&base_cells) {
+        let threads = extract_f64(f, "threads");
+        // count-derived metrics: deterministic serial, jittered parallel
+        let count_band = if threads as u64 == 1 { 0.02 } else { 0.15 };
+        let gates = [
+            Gate {
+                key: "tps",
+                band: wall_band,
+                higher_is_worse: false,
+            },
+            Gate {
+                key: "new_order_p95_us",
+                band: wall_band,
+                higher_is_worse: true,
+            },
+            Gate {
+                key: "payment_p95_us",
+                band: wall_band,
+                higher_is_worse: true,
+            },
+            Gate {
+                key: "miss_ppm",
+                band: count_band,
+                higher_is_worse: true,
+            },
+            Gate {
+                key: "wal_bytes_per_txn",
+                band: count_band,
+                higher_is_worse: true,
+            },
+        ];
+        for g in gates {
+            let fv = extract_f64(f, g.key);
+            let bv = extract_f64(b, g.key);
+            let rel = if bv.abs() > f64::EPSILON {
+                (fv - bv) / bv
+            } else {
+                0.0
+            };
+            let regressed = if g.higher_is_worse {
+                rel > g.band
+            } else {
+                rel < -g.band
+            };
+            let cell = format!(
+                "{}thr×{}wh",
+                threads as u64,
+                extract_f64(f, "warehouses") as u64
+            );
+            if regressed {
+                failures.push(format!(
+                    "REGRESSION {cell} {}: {fv:.1} vs baseline {bv:.1} \
+                     ({:+.1}%, band ±{:.0}%)",
+                    g.key,
+                    rel * 100.0,
+                    g.band * 100.0,
+                ));
+            } else {
+                eprintln!(
+                    "ok {cell} {:<18} {fv:>10.1} vs {bv:>10.1} ({:+6.1}%, band {:.0}%)",
+                    g.key,
+                    rel * 100.0,
+                    g.band * 100.0,
+                );
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let do_check = args.iter().any(|a| a == "--check");
+    let rebaseline = args.iter().any(|a| a == "--rebaseline");
+
+    std::fs::create_dir_all("results").expect("create results/");
+
+    let cells: Vec<Cell> = CELLS
+        .iter()
+        .map(|&(threads, warehouses)| {
+            eprintln!("cell {threads}thr×{warehouses}wh ({TXNS_PER_CELL} txns)...");
+            run_cell(threads, warehouses)
+        })
+        .collect();
+    let point = point_json(&cells);
+    println!("{point}");
+
+    append_point(&point);
+    eprintln!("appended to {TRAJECTORY_PATH}");
+
+    if rebaseline {
+        std::fs::write(BASELINE_PATH, format!("{point}\n")).expect("write baseline");
+        eprintln!("baseline rewritten: {BASELINE_PATH}");
+        return;
+    }
+    if do_check {
+        match check(&point) {
+            Ok(()) => eprintln!("trajectory gate: all cells within the noise band"),
+            Err(failures) => {
+                for f in &failures {
+                    eprintln!("{f}");
+                }
+                eprintln!(
+                    "trajectory gate: {} regression(s); widen TPCC_TRAJ_BAND or \
+                     --rebaseline if intentional",
+                    failures.len()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}

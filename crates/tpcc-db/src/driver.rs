@@ -9,6 +9,7 @@
 //! the tests assert the final database images are byte-identical).
 
 use crate::db::TpccDb;
+use crate::telemetry::Telemetry;
 use crate::txns::{CustomerSelector, OrderLineReq};
 use tpcc_obs::{CounterHandle, HistogramHandle, Label, MemoryRecorder, SnapshotWriter};
 use tpcc_rand::{NuRand, Xoshiro256};
@@ -341,7 +342,7 @@ impl Driver {
     /// (`txn_latency_ns/<type>`) and per-type executed / rollback
     /// counters are kept.
     pub fn run(&mut self, db: &mut TpccDb, transactions: u64) -> DriverReport {
-        self.run_observed(db, transactions, |_| Ok(()))
+        self.run_observed(db, transactions, |_, _, _| Ok(()))
             .expect("no-op sink cannot fail")
     }
 
@@ -361,16 +362,41 @@ impl Driver {
         recorder: &MemoryRecorder,
         writer: &mut SnapshotWriter<W>,
     ) -> std::io::Result<DriverReport> {
-        let report = self.run_observed(db, transactions, |done| writer.tick(recorder, done))?;
+        let report =
+            self.run_observed(db, transactions, |done, _, _| writer.tick(recorder, done))?;
         writer.finish(recorder, transactions)?;
         Ok(report)
+    }
+
+    /// Like [`Driver::run`] with live windowed telemetry: each
+    /// completed transaction lands in `telemetry`'s shard 0, and
+    /// windows flush on every-K-transactions boundaries per the hub's
+    /// [`TelemetryConfig`](crate::TelemetryConfig) (the serial driver
+    /// has no flusher thread, so `every_ms` is ignored). The final
+    /// partial window is flushed before this returns.
+    pub fn run_timeseries(
+        &mut self,
+        db: &mut TpccDb,
+        transactions: u64,
+        telemetry: &std::sync::Arc<Telemetry>,
+    ) -> DriverReport {
+        let shard = telemetry.shard(0);
+        let report = self
+            .run_observed(db, transactions, |_, t, ns| {
+                shard.lock().expect("telemetry shard").record(t, ns);
+                telemetry.note_completion();
+                Ok(())
+            })
+            .expect("no-op sink cannot fail");
+        telemetry.finish();
+        report
     }
 
     fn run_observed(
         &mut self,
         db: &mut TpccDb,
         transactions: u64,
-        mut after_each: impl FnMut(u64) -> std::io::Result<()>,
+        mut after_each: impl FnMut(u64, usize, u64) -> std::io::Result<()>,
     ) -> std::io::Result<DriverReport> {
         // handles are resolved once; the per-transaction hot path is an
         // atomic add / histogram record, not a name lookup
@@ -381,6 +407,7 @@ impl Driver {
             obs.histogram_handle("txn_latency_ns", Label::Name(TX_NAMES[t]))
         });
         let rollback_c = obs.counter_handle("txn_rollbacks", Label::Name(TX_NAMES[0]));
+        let trace = obs.trace_handle("txn");
         let mut executed = [0u64; 5];
         let mut new_orders = 0;
         let mut deliveries = 0;
@@ -390,7 +417,7 @@ impl Driver {
             let t = input.type_index();
             executed[t] += 1;
             executed_c[t].add(1);
-            let timer = latency_h[t].start();
+            let t0 = std::time::Instant::now();
             match input {
                 TxnInput::NewOrder { w, d, c, lines } => {
                     if db.new_order_checked(w, d, c, &lines).is_ok() {
@@ -420,8 +447,10 @@ impl Driver {
                     let _ = db.stock_level(w, d, threshold);
                 }
             }
-            drop(timer);
-            after_each(done)?;
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            latency_h[t].record(ns);
+            trace.record(TX_NAMES[t], t0);
+            after_each(done, t, ns)?;
         }
         Ok(DriverReport {
             executed,

@@ -23,6 +23,7 @@ pub mod loader;
 pub mod names;
 pub mod parallel;
 pub mod records;
+pub mod telemetry;
 pub mod txns;
 pub mod verify;
 
@@ -33,6 +34,7 @@ pub use inject::{
     FaultRunReport, SweepConfig, SweepReport, TornTailReport,
 };
 pub use parallel::{ParallelDriver, ParallelReport};
+pub use telemetry::{Telemetry, TelemetryConfig, WindowAccum};
 pub use txns::{
     DeliveryResult, NewOrderAborted, NewOrderResult, OrderStatusResult, PaymentResult,
     StockLevelResult,

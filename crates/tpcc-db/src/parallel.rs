@@ -32,14 +32,15 @@
 //! of a serial [`Driver`](crate::Driver) run with seed `s`, and the
 //! tests assert the resulting database images are byte-identical.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::db::TpccDb;
 use crate::driver::{DriverConfig, InputGen, TxnInput, TX_NAMES};
 use crate::keys;
+use crate::telemetry::{Telemetry, WindowAccum};
 use tpcc_lock::{LockKey, LockManager, LockMode, Ts};
-use tpcc_obs::{CounterHandle, HistogramHandle, Label, LogHistogram};
+use tpcc_obs::{CounterHandle, HistogramHandle, Label, QuantileSketch, TraceHandle};
 
 /// Lock spaces, one per logically lockable relation. (Item records are
 /// immutable after load and history is append-only with no readers, so
@@ -89,7 +90,10 @@ pub struct ParallelReport {
     pub retries: [u64; 5],
     /// Per-type transaction latency in nanoseconds (lock acquisition
     /// through commit, retries included in the attempt that succeeds).
-    pub latency_ns: [LogHistogram; 5],
+    /// Each terminal records into its private sketch; merging here is
+    /// lossless, so the report is bit-identical to single-sketch
+    /// recording.
+    pub latency_ns: [QuantileSketch; 5],
     /// Wall-clock time of the threaded run.
     pub elapsed: Duration,
 }
@@ -163,21 +167,76 @@ impl ParallelDriver {
     /// manager, so tests can snapshot its wait-for graph while the run
     /// is in flight.
     pub fn run_on(&self, db: &TpccDb, lm: &LockManager, transactions: u64) -> ParallelReport {
+        self.run_inner(db, lm, transactions, None)
+    }
+
+    /// Like [`ParallelDriver::run`] with live windowed telemetry: each
+    /// terminal records into its shard of `telemetry`, and windows
+    /// flush per the hub's [`TelemetryConfig`](crate::TelemetryConfig)
+    /// — inline on every-K-transactions boundaries, and/or from a
+    /// flusher thread every N ms. The final partial window is flushed
+    /// before this returns.
+    pub fn run_timeseries(
+        &self,
+        db: &TpccDb,
+        transactions: u64,
+        telemetry: &Arc<Telemetry>,
+    ) -> ParallelReport {
+        let mut lm = LockManager::new();
+        lm.set_obs(db.obs(), &SPACE_LABELS);
+        let report = self.run_inner(db, &lm, transactions, Some(telemetry));
+        telemetry.finish();
+        report
+    }
+
+    fn run_inner(
+        &self,
+        db: &TpccDb,
+        lm: &LockManager,
+        transactions: u64,
+        telemetry: Option<&Arc<Telemetry>>,
+    ) -> ParallelReport {
+        use std::sync::atomic::{AtomicBool, Ordering};
         let per_thread = transactions / self.threads;
         let remainder = transactions % self.threads;
         let partials: Mutex<Vec<ParallelReport>> = Mutex::new(Vec::new());
+        // time-mode flusher: detached (Telemetry is 'static behind the
+        // Arc), stopped and joined once the terminals finish
+        let flusher = telemetry
+            .filter(|tel| tel.config().every_ms > 0)
+            .map(|tel| {
+                let tel = Arc::clone(tel);
+                let stop = Arc::new(AtomicBool::new(false));
+                let stop2 = Arc::clone(&stop);
+                let every = Duration::from_millis(tel.config().every_ms);
+                let handle = std::thread::spawn(move || {
+                    while !stop2.load(Ordering::Acquire) {
+                        std::thread::sleep(every);
+                        if stop2.load(Ordering::Acquire) {
+                            break; // run_timeseries flushes the tail
+                        }
+                        tel.harvest();
+                    }
+                });
+                (handle, stop)
+            });
         let start = Instant::now();
         std::thread::scope(|scope| {
             for t in 0..self.threads {
                 let share = per_thread + u64::from(t < remainder);
                 let partials = &partials;
+                let shard = telemetry.map(|tel| (Arc::clone(tel), tel.shard(t as usize)));
                 scope.spawn(move || {
-                    let part =
-                        Terminal::new(db, lm, self.cfg, terminal_seed(self.seed, t)).run(share);
+                    let part = Terminal::new(db, lm, self.cfg, terminal_seed(self.seed, t), shard)
+                        .run(share);
                     partials.lock().expect("partials").push(part);
                 });
             }
         });
+        if let Some((handle, stop)) = flusher {
+            stop.store(true, Ordering::Release);
+            handle.join().expect("telemetry flusher");
+        }
         let mut report = ParallelReport {
             elapsed: start.elapsed(),
             ..ParallelReport::default()
@@ -200,10 +259,18 @@ struct Terminal<'a> {
     retries_c: [CounterHandle; 5],
     latency_h: [HistogramHandle; 5],
     rollback_c: CounterHandle,
+    trace: TraceHandle,
+    telemetry: Option<(Arc<Telemetry>, Arc<Mutex<WindowAccum>>)>,
 }
 
 impl<'a> Terminal<'a> {
-    fn new(db: &'a TpccDb, lm: &'a LockManager, cfg: DriverConfig, seed: u64) -> Self {
+    fn new(
+        db: &'a TpccDb,
+        lm: &'a LockManager,
+        cfg: DriverConfig,
+        seed: u64,
+        telemetry: Option<(Arc<Telemetry>, Arc<Mutex<WindowAccum>>)>,
+    ) -> Self {
         let obs = db.obs().clone();
         Self {
             db,
@@ -220,6 +287,8 @@ impl<'a> Terminal<'a> {
                 obs.histogram_handle("txn_latency_ns", Label::Name(TX_NAMES[t]))
             }),
             rollback_c: obs.counter_handle("txn_rollbacks", Label::Name(TX_NAMES[0])),
+            trace: obs.trace_handle("txn"),
+            telemetry,
         }
     }
 
@@ -232,8 +301,20 @@ impl<'a> Terminal<'a> {
             let t0 = Instant::now();
             self.execute(input);
             let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            // latency lands only in this terminal's private sketch —
+            // no shared-slot traffic on the hot path; the recorder
+            // receives a lossless merge after the loop
             self.report.latency_ns[t].record(ns);
-            self.latency_h[t].record(ns);
+            self.trace.record(TX_NAMES[t], t0);
+            if let Some((tel, shard)) = &self.telemetry {
+                shard.lock().expect("telemetry shard").record(t, ns);
+                tel.note_completion();
+            }
+        }
+        for t in 0..5 {
+            if !self.report.latency_ns[t].is_empty() {
+                self.latency_h[t].merge(&self.report.latency_ns[t]);
+            }
         }
         self.report
     }
@@ -263,6 +344,9 @@ impl<'a> Terminal<'a> {
     fn note_retry(&mut self, t: usize) {
         self.report.retries[t] += 1;
         self.retries_c[t].add(1);
+        if let Some((_, shard)) = &self.telemetry {
+            shard.lock().expect("telemetry shard").record_retry();
+        }
     }
 
     fn execute(&mut self, input: TxnInput) {

@@ -1,0 +1,128 @@
+//! Chrome-trace export checks: a golden file for the serial driver's
+//! timeline (fully deterministic once timestamps are normalized) and a
+//! per-thread sequence cross-check for a seeded 4-terminal run (thread
+//! ids race at registration, but each terminal's *transaction name
+//! sequence* is fixed by its seed).
+//!
+//! Regenerate the golden file after an intentional format change with
+//! `TPCC_UPDATE_GOLDEN=1 cargo test -p tpcc-db --test trace_golden`.
+
+use std::sync::Arc;
+
+use tpcc_db::db::DbConfig;
+use tpcc_db::driver::{DriverConfig, InputGen, TX_NAMES};
+use tpcc_db::parallel::terminal_seed;
+use tpcc_db::{loader, Driver, ParallelDriver};
+use tpcc_obs::{MemoryRecorder, Obs};
+
+/// Replaces every `"ts":<num>` / `"dur":<num>` value with `0.000` so
+/// wall-clock jitter doesn't touch the golden comparison. Everything
+/// else — event order, names, categories, tids, metadata — must match
+/// byte-for-byte.
+fn normalize_times(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    loop {
+        let ts = rest.find("\"ts\":");
+        let dur = rest.find("\"dur\":");
+        let (at, keylen) = match (ts, dur) {
+            (Some(a), Some(b)) if a < b => (a, 5),
+            (Some(a), None) => (a, 5),
+            (_, Some(b)) => (b, 6),
+            (None, None) => break,
+        };
+        out.push_str(&rest[..at + keylen]);
+        rest = &rest[at + keylen..];
+        let end = rest.find([',', '}']).expect("number terminated by , or }");
+        out.push_str("0.000");
+        rest = &rest[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// A pool large enough to hold the whole small database, so the serial
+/// run faults nothing and the timeline contains txn events only.
+fn roomy_cfg() -> DbConfig {
+    let mut cfg = DbConfig::small();
+    cfg.buffer_frames = 8192;
+    cfg
+}
+
+#[test]
+fn serial_trace_export_matches_golden_file() {
+    let mut db = loader::load(roomy_cfg(), 31);
+    let recorder = Arc::new(MemoryRecorder::new());
+    let collector = recorder.install_trace(1024);
+    db.set_obs(Obs::new(recorder.clone()));
+    Driver::new(&db, DriverConfig::default(), 9).run(&mut db, 24);
+
+    let exported = normalize_times(&collector.export_chrome());
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/trace_serial.json"
+    );
+    if std::env::var("TPCC_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(golden_path, &exported).expect("update golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing: regenerate with TPCC_UPDATE_GOLDEN=1");
+    assert_eq!(
+        exported, golden,
+        "chrome-trace export drifted from the golden file \
+         (TPCC_UPDATE_GOLDEN=1 to accept an intentional change)"
+    );
+}
+
+#[test]
+fn four_terminal_trace_carries_each_terminals_exact_txn_sequence() {
+    let seed = 83;
+    let transactions = 200u64;
+    let threads = 4u64;
+    let mut db = loader::load(roomy_cfg(), 31);
+    let recorder = Arc::new(MemoryRecorder::new());
+    let collector = recorder.install_trace(4096);
+    db.set_obs(Obs::new(recorder.clone()));
+    ParallelDriver::new(DriverConfig::default(), threads, seed).run(&db, transactions);
+
+    // which thread got which tid races at registration; each
+    // terminal's txn-name *sequence* is deterministic, so compare the
+    // sorted multiset of sequences
+    let mut recorded: Vec<Vec<&'static str>> = collector
+        .timelines()
+        .into_iter()
+        .map(|(_, events)| {
+            events
+                .into_iter()
+                .filter(|e| e.cat == "txn")
+                .map(|e| e.name)
+                .collect()
+        })
+        .collect();
+    recorded.sort();
+
+    let mut expected: Vec<Vec<&'static str>> = (0..threads)
+        .map(|t| {
+            let mut gen = InputGen::new(&db, DriverConfig::default(), terminal_seed(seed, t));
+            (0..transactions / threads)
+                .map(|_| TX_NAMES[gen.next_input().type_index()])
+                .collect()
+        })
+        .collect();
+    expected.sort();
+
+    assert_eq!(
+        recorded.len(),
+        threads as usize,
+        "one timeline per terminal"
+    );
+    assert_eq!(recorded, expected);
+
+    // and the export itself stays structurally sound
+    let json = collector.export_chrome();
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(json.ends_with("]}"));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches("\"ph\":\"M\"").count(), threads as usize);
+}

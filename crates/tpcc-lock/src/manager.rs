@@ -32,7 +32,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use tpcc_buffer::fxhash::FxHashMap;
-use tpcc_obs::{CounterHandle, GaugeHandle, HistogramHandle, Label, Obs};
+use tpcc_obs::{CounterHandle, GaugeHandle, HistogramHandle, Label, Obs, TraceHandle};
 
 /// A transaction timestamp: smaller is older, and older wins conflicts.
 pub type Ts = u64;
@@ -207,6 +207,9 @@ pub struct LockManager {
     wait_hist: HistogramHandle,
     wounds: CounterHandle,
     acquires: CounterHandle,
+    waits: CounterHandle,
+    trace: TraceHandle,
+    wait_names: Box<[&'static str]>,
 }
 
 impl Default for LockManager {
@@ -237,16 +240,31 @@ impl LockManager {
             wait_hist: HistogramHandle::disabled(),
             wounds: CounterHandle::disabled(),
             acquires: CounterHandle::disabled(),
+            waits: CounterHandle::disabled(),
+            trace: TraceHandle::disabled(),
+            wait_names: Box::new([]),
         }
     }
 
     /// Attaches observability: `lock_wait_ns` histogram, `lock_wounds`
-    /// / `lock_acquires` counters, and one `lock_waiters` contention
-    /// gauge per entry of `space_labels` (index = lock space).
+    /// / `lock_acquires` / `lock_waits` counters, one `lock_waiters`
+    /// contention gauge per entry of `space_labels` (index = lock
+    /// space), and — when the recorder carries a trace collector —
+    /// per-wait events on the waiting thread's `lock` timeline, named
+    /// after the space's label.
     pub fn set_obs(&mut self, obs: &Obs, space_labels: &[Label]) {
         self.wait_hist = obs.histogram_handle("lock_wait_ns", Label::None);
         self.wounds = obs.counter_handle("lock_wounds", Label::None);
         self.acquires = obs.counter_handle("lock_acquires", Label::None);
+        self.waits = obs.counter_handle("lock_waits", Label::None);
+        self.trace = obs.trace_handle("lock");
+        self.wait_names = space_labels
+            .iter()
+            .map(|label| match label {
+                Label::Name(n) => *n,
+                _ => "lock_wait",
+            })
+            .collect();
         self.spaces = space_labels
             .iter()
             .map(|label| SpaceObs {
@@ -373,8 +391,16 @@ impl LockManager {
         };
         drop(map);
         self.space_dequeue(key.space);
+        self.waits.add(1);
         self.wait_hist
             .record(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        self.trace.record(
+            self.wait_names
+                .get(key.space as usize)
+                .copied()
+                .unwrap_or("lock_wait"),
+            start,
+        );
         if granted {
             held.push((key, mode));
             self.acquires.add(1);

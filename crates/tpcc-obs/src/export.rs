@@ -7,6 +7,7 @@
 //! any JSON reader line by line.
 
 use std::io::{self, Write};
+use std::time::Instant;
 
 use crate::memory::{MemoryRecorder, Snapshot, SpanStat};
 
@@ -29,7 +30,7 @@ fn json_escape(s: &str) -> String {
 
 /// Formats an `f64` as a JSON number; NaN and infinities become
 /// `null` (JSON has no representation for them).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -39,13 +40,16 @@ fn json_f64(v: f64) -> String {
 
 impl Snapshot {
     /// Serializes this snapshot as a single JSON line (no trailing
-    /// newline). `seq` is the snapshot's ordinal and `transactions`
-    /// the number of transactions completed when it was taken.
+    /// newline). `seq` is the snapshot's ordinal, `transactions` the
+    /// number of transactions completed when it was taken, and `t_ms`
+    /// the run-relative monotonic timestamp in milliseconds (pass 0.0
+    /// for one-shot end-of-run snapshots with no run clock).
     #[must_use]
-    pub fn to_json_line(&self, seq: u64, transactions: u64) -> String {
+    pub fn to_json_line(&self, seq: u64, transactions: u64, t_ms: f64) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str(&format!(
-            "{{\"seq\":{seq},\"transactions\":{transactions},\"counters\":{{"
+            "{{\"seq\":{seq},\"t_ms\":{:.3},\"transactions\":{transactions},\"counters\":{{",
+            if t_ms.is_finite() { t_ms } else { 0.0 },
         ));
         for (i, (k, v)) in self.counters.iter().enumerate() {
             if i > 0 {
@@ -210,10 +214,15 @@ pub fn top_level_totals(snapshot: &Snapshot) -> Vec<(String, SpanStat)> {
 ///
 /// The driver calls [`tick`](SnapshotWriter::tick) after each
 /// transaction; the writer decides when a snapshot is due, takes it
-/// from the recorder, and appends it to the underlying writer.
+/// from the recorder, and appends it to the underlying writer. Each
+/// line carries `t_ms`, the run-relative monotonic milliseconds since
+/// the writer was created. Dropping the writer flushes the sink —
+/// including during a panic unwind — so fault-injected runs keep
+/// their emitted snapshots.
 #[derive(Debug)]
 pub struct SnapshotWriter<W: Write> {
-    out: W,
+    out: Option<W>,
+    start: Instant,
     every: u64,
     seq: u64,
     last_emitted_at: u64,
@@ -221,10 +230,12 @@ pub struct SnapshotWriter<W: Write> {
 
 impl<W: Write> SnapshotWriter<W> {
     /// A writer emitting one snapshot per `every` transactions
-    /// (`every` of 0 is treated as 1).
+    /// (`every` of 0 is treated as 1). The `t_ms` run clock starts
+    /// now.
     pub fn new(out: W, every: u64) -> Self {
         Self {
-            out,
+            out: Some(out),
+            start: Instant::now(),
             every: every.max(1),
             seq: 0,
             last_emitted_at: 0,
@@ -251,14 +262,15 @@ impl<W: Write> SnapshotWriter<W> {
         if transactions_done != self.last_emitted_at || self.seq == 0 {
             self.emit(recorder, transactions_done)?;
         }
-        self.out.flush()
+        self.out.as_mut().expect("writer not consumed").flush()
     }
 
     fn emit(&mut self, recorder: &MemoryRecorder, transactions_done: u64) -> io::Result<()> {
+        let t_ms = self.start.elapsed().as_secs_f64() * 1e3;
         let line = recorder
             .snapshot()
-            .to_json_line(self.seq, transactions_done);
-        writeln!(self.out, "{line}")?;
+            .to_json_line(self.seq, transactions_done, t_ms);
+        writeln!(self.out.as_mut().expect("writer not consumed"), "{line}")?;
         self.seq += 1;
         self.last_emitted_at = transactions_done;
         Ok(())
@@ -270,9 +282,21 @@ impl<W: Write> SnapshotWriter<W> {
         self.seq
     }
 
-    /// Consumes the writer, returning the underlying sink.
-    pub fn into_inner(self) -> W {
-        self.out
+    /// Consumes the writer, returning the underlying sink (flushed).
+    pub fn into_inner(mut self) -> W {
+        let mut out = self.out.take().expect("writer not consumed");
+        let _ = out.flush();
+        out
+    }
+}
+
+impl<W: Write> Drop for SnapshotWriter<W> {
+    /// Best-effort flush so emitted snapshots survive panics and early
+    /// returns; errors are ignored (there is no one left to tell).
+    fn drop(&mut self) {
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
     }
 }
 
@@ -296,8 +320,8 @@ mod tests {
 
     #[test]
     fn json_line_is_wellformed_and_complete() {
-        let line = sample_recorder().snapshot().to_json_line(3, 2000);
-        assert!(line.starts_with("{\"seq\":3,\"transactions\":2000,"));
+        let line = sample_recorder().snapshot().to_json_line(3, 2000, 1250.5);
+        assert!(line.starts_with("{\"seq\":3,\"t_ms\":1250.500,\"transactions\":2000,"));
         assert!(line.contains("\"buf_hits/stock\":10"));
         assert!(line.contains("\"pool\":64"));
         assert!(line.contains("\"lat/new_order\":{\"count\":2,"));
@@ -345,7 +369,51 @@ mod tests {
         let out = String::from_utf8(w.into_inner()).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 3, "at 100, 200, and final 250");
-        assert!(lines[0].contains("\"seq\":0,\"transactions\":100"));
-        assert!(lines[2].contains("\"seq\":2,\"transactions\":250"));
+        assert!(lines[0].starts_with("{\"seq\":0,\"t_ms\":"));
+        assert!(lines[0].contains("\"transactions\":100"));
+        assert!(lines[2].contains("\"seq\":2"));
+        assert!(lines[2].contains("\"transactions\":250"));
+    }
+
+    /// A sink that only counts as "persisted" what was flushed.
+    struct FlushGate {
+        buffered: Vec<u8>,
+        persisted: Arc<std::sync::Mutex<Vec<u8>>>,
+    }
+
+    impl Write for FlushGate {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.buffered.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.persisted
+                .lock()
+                .unwrap()
+                .extend_from_slice(&self.buffered);
+            self.buffered.clear();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn snapshot_writer_flushes_on_panic_unwind() {
+        let rec = sample_recorder();
+        let persisted = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = FlushGate {
+            buffered: Vec::new(),
+            persisted: persisted.clone(),
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut w = SnapshotWriter::new(sink, 10);
+            w.tick(&rec, 10).unwrap();
+            panic!("simulated fault-injected crash");
+        }));
+        assert!(result.is_err());
+        let got = String::from_utf8(persisted.lock().unwrap().clone()).unwrap();
+        assert!(
+            got.contains("\"transactions\":10"),
+            "the emitted snapshot survived the panic: {got:?}"
+        );
     }
 }

@@ -20,8 +20,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::hist::LogHistogram;
 use crate::recorder::{Label, Obs, Recorder};
+use crate::sketch::QuantileSketch;
+use crate::trace::TraceCollector;
 
 /// A pre-resolved counter. `add` is one branch plus one relaxed
 /// `fetch_add` in the slot-backed case.
@@ -115,7 +116,7 @@ pub struct HistogramHandle {
 
 #[derive(Clone)]
 enum HistInner {
-    Slot(Arc<Mutex<LogHistogram>>),
+    Slot(Arc<Mutex<QuantileSketch>>),
     Dynamic(Arc<dyn Recorder>, &'static str, Label),
 }
 
@@ -144,6 +145,16 @@ impl HistogramHandle {
         }
     }
 
+    /// Merges a locally-accumulated sketch into this histogram in one
+    /// lock acquisition — the per-thread-sketch hand-off.
+    pub fn merge(&self, sketch: &QuantileSketch) {
+        match &self.inner {
+            None => {}
+            Some(HistInner::Slot(slot)) => slot.lock().expect("obs hist lock").merge(sketch),
+            Some(HistInner::Dynamic(r, name, label)) => r.histogram_merge(name, *label, sketch),
+        }
+    }
+
     /// Starts a timer that records elapsed nanoseconds into this
     /// histogram when dropped. A disabled handle never reads the clock.
     #[inline]
@@ -151,6 +162,62 @@ impl HistogramHandle {
     pub fn start(&self) -> HandleTimer {
         HandleTimer {
             active: self.inner.as_ref().map(|_| (self.clone(), Instant::now())),
+        }
+    }
+}
+
+/// A pre-resolved trace-event emitter for one category. Inert unless a
+/// [`TraceCollector`] was installed on the recorder **before** the
+/// handle was resolved.
+#[derive(Clone, Default)]
+pub struct TraceHandle {
+    inner: Option<(Arc<TraceCollector>, &'static str)>,
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceHandle")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl TraceHandle {
+    /// A handle that records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether events will actually be recorded.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Reads the clock only when enabled — lets call sites guard the
+    /// `Instant::now()` they need for [`TraceHandle::record`].
+    #[inline]
+    #[must_use]
+    pub fn now(&self) -> Option<Instant> {
+        self.inner.as_ref().map(|_| Instant::now())
+    }
+
+    /// Records a completed occurrence `start → now` on the calling
+    /// thread's timeline.
+    #[inline]
+    pub fn record(&self, name: &'static str, start: Instant) {
+        if let Some((tc, cat)) = &self.inner {
+            tc.record(name, cat, start);
+        }
+    }
+
+    /// Like [`TraceHandle::record`] with the `Option<Instant>` that
+    /// [`TraceHandle::now`] produced; a `None` start is a no-op.
+    #[inline]
+    pub fn record_opt(&self, name: &'static str, start: Option<Instant>) {
+        if let Some(start) = start {
+            self.record(name, start);
         }
     }
 }
@@ -210,6 +277,19 @@ impl Obs {
                     Some(slot) => HistInner::Slot(slot),
                     None => HistInner::Dynamic(Arc::clone(r), name, label),
                 }),
+        }
+    }
+
+    /// Resolves a trace handle for category `cat`. Enabled only when
+    /// the recorder carries an installed trace collector at resolve
+    /// time (`MemoryRecorder::install_trace` first, then attach).
+    #[must_use]
+    pub fn trace_handle(&self, cat: &'static str) -> TraceHandle {
+        TraceHandle {
+            inner: self
+                .recorder()
+                .and_then(|r| r.trace_sink())
+                .map(|tc| (tc, cat)),
         }
     }
 }

@@ -8,6 +8,11 @@
 //! the full `u64` range, the whole structure is a flat 2 KiB array,
 //! and recording is branch-plus-increment — cheap enough for per-
 //! transaction latencies.
+//!
+//! The recorder's managed histograms use the finer-grained
+//! [`QuantileSketch`](crate::QuantileSketch) (1% relative error)
+//! instead; `LogHistogram` remains for callers that want a fixed
+//! 2 KiB footprint over sketch accuracy.
 
 /// Exact unit buckets for values below this bound.
 const LINEAR: u64 = 16;
@@ -149,38 +154,6 @@ impl LogHistogram {
             .enumerate()
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| (bucket_bounds(i).0, c))
-    }
-}
-
-/// The summary row exported for one histogram.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct HistSummary {
-    /// Samples recorded.
-    pub count: u64,
-    /// Exact mean.
-    pub mean: f64,
-    /// Median estimate.
-    pub p50: f64,
-    /// 95th percentile estimate.
-    pub p95: f64,
-    /// 99th percentile estimate.
-    pub p99: f64,
-    /// Exact maximum.
-    pub max: u64,
-}
-
-impl HistSummary {
-    /// Summarizes a histogram.
-    #[must_use]
-    pub fn of(h: &LogHistogram) -> Self {
-        Self {
-            count: h.count(),
-            mean: h.mean(),
-            p50: h.quantile(0.50),
-            p95: h.quantile(0.95),
-            p99: h.quantile(0.99),
-            max: h.max(),
-        }
     }
 }
 

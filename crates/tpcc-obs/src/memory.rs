@@ -2,17 +2,21 @@
 //!
 //! [`MemoryRecorder`] keeps counters as shared atomics behind a
 //! read-mostly map (the write lock is only taken the first time a new
-//! `(metric, label)` pair appears), histograms behind per-histogram
-//! mutexes, and completed spans in a bounded ring buffer plus a running
-//! per-path aggregate. Taking a [`Snapshot`] never disturbs recording
-//! threads beyond those same short locks.
+//! `(metric, label)` pair appears), histogram **quantile sketches**
+//! behind per-slot mutexes, and completed spans in a bounded ring
+//! buffer plus a running per-path aggregate. Taking a [`Snapshot`]
+//! never disturbs recording threads beyond those same short locks.
+//! Hot multi-threaded paths avoid even the per-slot mutex by keeping
+//! thread-local sketches and handing them over through
+//! [`Recorder::histogram_merge`] at merge points.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-use crate::hist::{HistSummary, LogHistogram};
 use crate::recorder::{Label, Recorder};
+use crate::sketch::{HistSummary, QuantileSketch};
+use crate::trace::TraceCollector;
 
 /// Default capacity of the completed-span ring buffer.
 pub const DEFAULT_SPAN_RING: usize = 4096;
@@ -52,9 +56,10 @@ type SlotMap<V> = RwLock<HashMap<(&'static str, Label), V>>;
 pub struct MemoryRecorder {
     counters: SlotMap<Arc<AtomicU64>>,
     gauges: SlotMap<Arc<AtomicU64>>, // f64 bits
-    hists: SlotMap<Arc<Mutex<LogHistogram>>>,
+    hists: SlotMap<Arc<Mutex<QuantileSketch>>>,
     spans: Mutex<SpanStore>,
     index_names: RwLock<HashMap<u32, String>>,
+    trace: RwLock<Option<Arc<TraceCollector>>>,
 }
 
 impl Default for MemoryRecorder {
@@ -110,6 +115,7 @@ impl MemoryRecorder {
                 agg: HashMap::new(),
             }),
             index_names: RwLock::new(HashMap::new()),
+            trace: RwLock::new(None),
         }
     }
 
@@ -123,6 +129,31 @@ impl MemoryRecorder {
             .map_or(0, |c| c.load(Ordering::Relaxed))
     }
 
+    /// Sum of a counter across **all** labels — e.g. total
+    /// `buf_misses` over every per-relation `Idx` label. Used by the
+    /// time-series flusher to compute window deltas of metrics that
+    /// are naturally per-file.
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .expect("obs map lock")
+            .iter()
+            .filter(|((n, _), _)| *n == name)
+            .map(|(_, c)| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Installs (replacing any previous) a [`TraceCollector`] with the
+    /// given per-thread ring capacity and returns it. Install **before**
+    /// attaching the recorder to instrumented components: trace handles
+    /// are resolved once, at attach time.
+    pub fn install_trace(&self, per_thread_capacity: usize) -> Arc<TraceCollector> {
+        let tc = Arc::new(TraceCollector::new(per_thread_capacity));
+        *self.trace.write().expect("obs trace lock") = Some(Arc::clone(&tc));
+        tc
+    }
+
     /// Current value of a gauge, if ever set.
     #[must_use]
     pub fn gauge_value(&self, name: &'static str, label: Label) -> Option<f64> {
@@ -133,9 +164,9 @@ impl MemoryRecorder {
             .map(|g| f64::from_bits(g.load(Ordering::Relaxed)))
     }
 
-    /// A copy of the named histogram, if any samples were recorded.
+    /// A copy of the named histogram sketch, if the slot exists.
     #[must_use]
-    pub fn histogram(&self, name: &'static str, label: Label) -> Option<LogHistogram> {
+    pub fn histogram(&self, name: &'static str, label: Label) -> Option<QuantileSketch> {
         self.hists
             .read()
             .expect("obs map lock")
@@ -264,9 +295,22 @@ impl Recorder for MemoryRecorder {
         with_slot(
             &self.hists,
             (name, label),
-            || Arc::new(Mutex::new(LogHistogram::new())),
+            || Arc::new(Mutex::new(QuantileSketch::default())),
             |h| h.lock().expect("obs hist lock").record(value),
         );
+    }
+
+    fn histogram_merge(&self, name: &'static str, label: Label, sketch: &QuantileSketch) {
+        with_slot(
+            &self.hists,
+            (name, label),
+            || Arc::new(Mutex::new(QuantileSketch::default())),
+            |h| h.lock().expect("obs hist lock").merge(sketch),
+        );
+    }
+
+    fn trace_sink(&self) -> Option<Arc<TraceCollector>> {
+        self.trace.read().expect("obs trace lock").clone()
     }
 
     fn span_record(&self, path: &str, nanos: u64) {
@@ -324,11 +368,15 @@ impl Recorder for MemoryRecorder {
         ))
     }
 
-    fn histogram_slot(&self, name: &'static str, label: Label) -> Option<Arc<Mutex<LogHistogram>>> {
+    fn histogram_slot(
+        &self,
+        name: &'static str,
+        label: Label,
+    ) -> Option<Arc<Mutex<QuantileSketch>>> {
         Some(with_slot(
             &self.hists,
             (name, label),
-            || Arc::new(Mutex::new(LogHistogram::new())),
+            || Arc::new(Mutex::new(QuantileSketch::default())),
             Arc::clone,
         ))
     }

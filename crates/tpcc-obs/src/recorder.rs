@@ -71,13 +71,29 @@ pub trait Recorder: Send + Sync {
         None
     }
 
-    /// The shared histogram behind `(name, label)`, if exposed.
+    /// The shared quantile sketch behind `(name, label)`, if exposed.
     fn histogram_slot(
         &self,
         name: &'static str,
         label: Label,
-    ) -> Option<std::sync::Arc<std::sync::Mutex<crate::LogHistogram>>> {
+    ) -> Option<std::sync::Arc<std::sync::Mutex<crate::QuantileSketch>>> {
         let _ = (name, label);
+        None
+    }
+
+    /// Merges a locally-accumulated sketch into the histogram behind
+    /// `(name, label)`. This is how per-thread sketches reach the
+    /// shared recorder **losslessly at merge points** (window flushes,
+    /// end of run) instead of funneling every sample through the
+    /// shared slot. The default discards.
+    fn histogram_merge(&self, name: &'static str, label: Label, sketch: &crate::QuantileSketch) {
+        let _ = (name, label, sketch);
+    }
+
+    /// The installed trace collector, if this recorder carries one
+    /// (see `MemoryRecorder::install_trace`). Components resolve this
+    /// once at attach time into a `TraceHandle`.
+    fn trace_sink(&self) -> Option<std::sync::Arc<crate::TraceCollector>> {
         None
     }
 }
@@ -171,6 +187,15 @@ impl Obs {
     pub fn register_index(&self, idx: u32, name: &str) {
         if let Some(r) = &self.inner {
             r.register_index(idx, name);
+        }
+    }
+
+    /// Merges a locally-accumulated sketch into the shared histogram
+    /// behind `(name, label)` — the lossless hand-off point for
+    /// per-thread sketches.
+    pub fn merge_sketch(&self, name: &'static str, label: Label, sketch: &crate::QuantileSketch) {
+        if let Some(r) = &self.inner {
+            r.histogram_merge(name, label, sketch);
         }
     }
 

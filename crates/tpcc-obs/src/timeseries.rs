@@ -1,0 +1,255 @@
+//! Windowed time-series telemetry: one JSON line per flush window, so
+//! a run produces a *series* (`results/timeseries.jsonl`) instead of a
+//! single end-of-run row — warmup transients, the I/O-bound knee, and
+//! fault-retry storms become visible.
+//!
+//! The writer is schema-generic: the driving layer assembles a
+//! [`TimeSeriesPoint`] per window (per-transaction-type sketch
+//! quantiles, counter deltas, derived gauges) and the writer stamps it
+//! with a monotonically increasing `seq` and a **run-relative
+//! monotonic timestamp** `t_ms`, then appends one JSON line. Like
+//! [`SnapshotWriter`](crate::SnapshotWriter), it flushes on drop —
+//! including during a panic unwind — so a crashed or fault-injected
+//! run keeps its last complete window on disk.
+
+use std::io::{self, Write};
+use std::time::Instant;
+
+use crate::export::json_f64;
+
+/// Per-series (e.g. per transaction type) window statistics, taken
+/// from a window-delta quantile sketch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SeriesStat {
+    /// Completions in the window.
+    pub txns: u64,
+    /// Completions per second over the window.
+    pub tps: f64,
+    /// Median latency in microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency in microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: f64,
+}
+
+/// One flush window's payload, assembled by the driving layer.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeriesPoint {
+    /// Window length in milliseconds (wall clock).
+    pub window_ms: f64,
+    /// Transactions completed in the window (all series).
+    pub txns: u64,
+    /// Per-series rows, e.g. one per transaction type.
+    pub series: Vec<(&'static str, SeriesStat)>,
+    /// Monotonic-counter deltas over the window (e.g. `buf_misses`,
+    /// `wal_bytes`, `lock_wounds`).
+    pub counters: Vec<(&'static str, u64)>,
+    /// Derived instantaneous values (e.g. `miss_ppm`).
+    pub gauges: Vec<(&'static str, f64)>,
+}
+
+/// Appends one JSON line per window, stamped with `seq` and the
+/// run-relative monotonic `t_ms`.
+#[derive(Debug)]
+pub struct TimeSeriesWriter<W: Write> {
+    out: Option<W>,
+    start: Instant,
+    seq: u64,
+}
+
+impl<W: Write> TimeSeriesWriter<W> {
+    /// A writer whose `t_ms` clock starts now.
+    pub fn new(out: W) -> Self {
+        Self {
+            out: Some(out),
+            start: Instant::now(),
+            seq: 0,
+        }
+    }
+
+    /// Milliseconds since the writer's creation (the run-relative
+    /// clock every emitted point is stamped with).
+    #[must_use]
+    pub fn t_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Appends one point as a JSON line, stamping `seq` and `t_ms`.
+    ///
+    /// # Errors
+    /// Propagates write errors from the underlying sink.
+    pub fn emit(&mut self, point: &TimeSeriesPoint) -> io::Result<()> {
+        let t_ms = self.t_ms();
+        let mut line = String::with_capacity(512);
+        let window_s = (point.window_ms / 1e3).max(f64::MIN_POSITIVE);
+        line.push_str(&format!(
+            "{{\"seq\":{},\"t_ms\":{:.3},\"window_ms\":{:.3},\"txns\":{},\"tps\":{}",
+            self.seq,
+            t_ms,
+            point.window_ms,
+            point.txns,
+            json_f64(point.txns as f64 / window_s),
+        ));
+        line.push_str(",\"types\":{");
+        for (i, (name, s)) in point.series.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!(
+                "\"{name}\":{{\"txns\":{},\"tps\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+                s.txns,
+                json_f64(s.tps),
+                json_f64(s.p50_us),
+                json_f64(s.p95_us),
+                json_f64(s.p99_us),
+            ));
+        }
+        line.push_str("},\"counters\":{");
+        for (i, (name, v)) in point.counters.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("\"{name}\":{v}"));
+        }
+        line.push_str("},\"gauges\":{");
+        for (i, (name, v)) in point.gauges.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("\"{name}\":{}", json_f64(*v)));
+        }
+        line.push_str("}}");
+        let out = self.out.as_mut().expect("writer not consumed");
+        writeln!(out, "{line}")?;
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Points emitted so far.
+    #[must_use]
+    pub fn points_written(&self) -> u64 {
+        self.seq
+    }
+
+    /// Flushes the underlying sink.
+    ///
+    /// # Errors
+    /// Propagates flush errors from the underlying sink.
+    pub fn finish(&mut self) -> io::Result<()> {
+        self.out.as_mut().expect("writer not consumed").flush()
+    }
+
+    /// Consumes the writer, returning the underlying sink (flushed).
+    pub fn into_inner(mut self) -> W {
+        let mut out = self.out.take().expect("writer not consumed");
+        let _ = out.flush();
+        out
+    }
+}
+
+impl<W: Write> Drop for TimeSeriesWriter<W> {
+    /// Best-effort flush so buffered windows survive panics and early
+    /// returns; errors are ignored (there is no one left to tell).
+    fn drop(&mut self) {
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_point() -> TimeSeriesPoint {
+        TimeSeriesPoint {
+            window_ms: 50.0,
+            txns: 120,
+            series: vec![(
+                "new_order",
+                SeriesStat {
+                    txns: 50,
+                    tps: 1000.0,
+                    p50_us: 80.0,
+                    p95_us: 410.0,
+                    p99_us: 900.5,
+                },
+            )],
+            counters: vec![("buf_misses", 17), ("wal_bytes", 4096)],
+            gauges: vec![("miss_ppm", 1234.0)],
+        }
+    }
+
+    #[test]
+    fn emitted_lines_are_stamped_and_wellformed() {
+        let mut w = TimeSeriesWriter::new(Vec::new());
+        w.emit(&sample_point()).unwrap();
+        w.emit(&sample_point()).unwrap();
+        assert_eq!(w.points_written(), 2);
+        let out = String::from_utf8(w.into_inner()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"seq\":0,\"t_ms\":"));
+        assert!(lines[1].starts_with("{\"seq\":1,\"t_ms\":"));
+        for l in &lines {
+            assert!(l.contains("\"window_ms\":50.000"));
+            assert!(l.contains("\"tps\":2400"));
+            assert!(l.contains("\"new_order\":{\"txns\":50,"));
+            assert!(l.contains("\"p95_us\":410"));
+            assert!(l.contains("\"buf_misses\":17"));
+            assert!(l.contains("\"miss_ppm\":1234"));
+            assert_eq!(l.matches('{').count(), l.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn t_ms_is_monotonic() {
+        let mut w = TimeSeriesWriter::new(Vec::new());
+        let a = w.t_ms();
+        w.emit(&sample_point()).unwrap();
+        let b = w.t_ms();
+        assert!(b >= a);
+    }
+
+    /// A sink that only counts as "persisted" what was flushed.
+    struct FlushGate {
+        buffered: Vec<u8>,
+        persisted: std::sync::Arc<std::sync::Mutex<Vec<u8>>>,
+    }
+
+    impl Write for FlushGate {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.buffered.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.persisted
+                .lock()
+                .unwrap()
+                .extend_from_slice(&self.buffered);
+            self.buffered.clear();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn drop_flushes_even_through_panic_unwind() {
+        let persisted = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = FlushGate {
+            buffered: Vec::new(),
+            persisted: persisted.clone(),
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut w = TimeSeriesWriter::new(sink);
+            w.emit(&sample_point()).unwrap();
+            panic!("simulated fault-injected crash");
+        }));
+        assert!(result.is_err());
+        let got = String::from_utf8(persisted.lock().unwrap().clone()).unwrap();
+        assert!(
+            got.contains("\"seq\":0"),
+            "the emitted window survived the panic: {got:?}"
+        );
+    }
+}

@@ -1,0 +1,281 @@
+//! Cross-thread trace timelines: per-thread ring buffers of timed
+//! events, exportable as chrome://tracing JSON.
+//!
+//! A [`TraceCollector`] is installed on a recorder (see
+//! `MemoryRecorder::install_trace`) *before* instrumented components
+//! resolve their handles; each recording thread then lazily registers
+//! a private [`ThreadBuf`] — a bounded ring it alone pushes to, so the
+//! per-event cost is an uncontended mutex plus a `VecDeque` push, and
+//! a full ring drops the **oldest** events (the tail of a run is what
+//! post-mortems want).
+//!
+//! Timestamps are run-relative: nanoseconds since the collector's
+//! creation instant, so timelines from different threads align without
+//! any cross-thread clock traffic. [`TraceCollector::export_chrome`]
+//! renders the standard Trace Event Format (`ph:"X"` complete events
+//! plus thread-name metadata), which loads directly in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default per-thread ring capacity (events kept per thread).
+pub const DEFAULT_TRACE_RING: usize = 65_536;
+
+/// Collector identity source: lets a long-lived thread-local slot
+/// recognise that a *new* collector replaced the one it registered
+/// with.
+static NEXT_COLLECTOR_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One timed occurrence on one thread's timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name (shown on the timeline slice).
+    pub name: &'static str,
+    /// Category, e.g. `txn`, `lock`, `io` (colour/filter group).
+    pub cat: &'static str,
+    /// Start, in nanoseconds since the collector's epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// One thread's bounded event ring. Only the owning thread pushes;
+/// the exporter locks briefly to copy.
+#[derive(Debug)]
+pub struct ThreadBuf {
+    tid: u32,
+    capacity: usize,
+    ring: Mutex<VecDeque<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+impl ThreadBuf {
+    fn push(&self, ev: TraceEvent) {
+        let mut ring = self.ring.lock().expect("trace ring");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(ev);
+    }
+}
+
+thread_local! {
+    /// This thread's registered buffer per collector id. A plain pair:
+    /// threads in this workspace only ever record into one collector
+    /// at a time, and a stale entry is replaced on id mismatch.
+    static THREAD_BUF: RefCell<Option<(u64, Arc<ThreadBuf>)>> = const { RefCell::new(None) };
+}
+
+/// A shared registry of per-thread trace rings with a common epoch.
+#[derive(Debug)]
+pub struct TraceCollector {
+    id: u64,
+    epoch: Instant,
+    per_thread_capacity: usize,
+    next_tid: AtomicU32,
+    threads: Mutex<Vec<Arc<ThreadBuf>>>,
+}
+
+impl TraceCollector {
+    /// A collector whose per-thread rings keep the most recent
+    /// `per_thread_capacity` events (clamped to ≥ 16).
+    #[must_use]
+    pub fn new(per_thread_capacity: usize) -> Self {
+        Self {
+            id: NEXT_COLLECTOR_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: Instant::now(),
+            per_thread_capacity: per_thread_capacity.max(16),
+            next_tid: AtomicU32::new(0),
+            threads: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The collector's epoch: all event timestamps are relative to it.
+    #[must_use]
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Nanoseconds from the epoch to `at` (0 if `at` predates it).
+    #[must_use]
+    pub fn rel_ns(&self, at: Instant) -> u64 {
+        at.checked_duration_since(self.epoch)
+            .map_or(0, |d| d.as_nanos().min(u128::from(u64::MAX)) as u64)
+    }
+
+    /// This thread's ring, registering it on first use (or when the
+    /// thread last recorded into a different collector).
+    fn local_buf(self: &Arc<Self>) -> Arc<ThreadBuf> {
+        THREAD_BUF.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            if let Some((id, buf)) = slot.as_ref() {
+                if *id == self.id {
+                    return Arc::clone(buf);
+                }
+            }
+            let buf = Arc::new(ThreadBuf {
+                tid: self.next_tid.fetch_add(1, Ordering::Relaxed),
+                capacity: self.per_thread_capacity,
+                ring: Mutex::new(VecDeque::with_capacity(self.per_thread_capacity.min(1024))),
+                dropped: AtomicU64::new(0),
+            });
+            self.threads
+                .lock()
+                .expect("trace threads")
+                .push(Arc::clone(&buf));
+            *slot = Some((self.id, Arc::clone(&buf)));
+            buf
+        })
+    }
+
+    /// Records a completed occurrence that started at `start` and ends
+    /// now, on the calling thread's timeline.
+    pub fn record(self: &Arc<Self>, name: &'static str, cat: &'static str, start: Instant) {
+        let ts_ns = self.rel_ns(start);
+        let dur_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.local_buf().push(TraceEvent {
+            name,
+            cat,
+            ts_ns,
+            dur_ns,
+        });
+    }
+
+    /// Total events dropped to ring bounds, across all threads.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.threads
+            .lock()
+            .expect("trace threads")
+            .iter()
+            .map(|b| b.dropped.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// A copy of every thread's events as `(tid, events)` rows, sorted
+    /// by tid; each thread's events are in record order.
+    #[must_use]
+    pub fn timelines(&self) -> Vec<(u32, Vec<TraceEvent>)> {
+        let mut rows: Vec<(u32, Vec<TraceEvent>)> = self
+            .threads
+            .lock()
+            .expect("trace threads")
+            .iter()
+            .map(|b| {
+                (
+                    b.tid,
+                    b.ring.lock().expect("trace ring").iter().cloned().collect(),
+                )
+            })
+            .collect();
+        rows.sort_by_key(|(tid, _)| *tid);
+        rows
+    }
+
+    /// Renders every thread's ring as chrome://tracing JSON (Trace
+    /// Event Format). Events are ordered by `(tid, ts, name)` so the
+    /// export is stable for a given set of recorded events; timestamps
+    /// are microseconds with nanosecond decimals.
+    #[must_use]
+    pub fn export_chrome(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        for (tid, events) in self.timelines() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"terminal-{tid}\"}}}}"
+            ));
+            let mut events = events;
+            events.sort_by(|a, b| a.ts_ns.cmp(&b.ts_ns).then(a.name.cmp(b.name)));
+            for ev in events {
+                out.push_str(&format!(
+                    ",{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"name\":\"{}\",\"cat\":\"{}\",\
+                     \"ts\":{:.3},\"dur\":{:.3}}}",
+                    ev.name,
+                    ev.cat,
+                    ev.ts_ns as f64 / 1e3,
+                    ev.dur_ns as f64 / 1e3,
+                ));
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_land_on_per_thread_timelines() {
+        let tc = Arc::new(TraceCollector::new(64));
+        let t0 = Instant::now();
+        tc.record("alpha", "txn", t0);
+        tc.record("beta", "lock", t0);
+        let tc2 = Arc::clone(&tc);
+        std::thread::spawn(move || {
+            tc2.record("gamma", "io", Instant::now());
+        })
+        .join()
+        .expect("thread");
+        let rows = tc.timelines();
+        assert_eq!(rows.len(), 2, "two threads registered");
+        let main = &rows.iter().find(|(_, evs)| evs.len() == 2).expect("main").1;
+        assert_eq!(main[0].name, "alpha");
+        assert_eq!(main[1].name, "beta");
+        assert!(main[1].ts_ns >= main[0].ts_ns);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_drops_oldest() {
+        let tc = Arc::new(TraceCollector::new(16));
+        for i in 0..40u64 {
+            // names must be 'static; reuse two and count
+            let name = if i % 2 == 0 { "even" } else { "odd" };
+            tc.record(name, "t", Instant::now());
+        }
+        let rows = tc.timelines();
+        assert_eq!(rows[0].1.len(), 16);
+        assert_eq!(tc.dropped(), 24);
+    }
+
+    #[test]
+    fn chrome_export_is_wellformed() {
+        let tc = Arc::new(TraceCollector::new(64));
+        tc.record("new_order", "txn", Instant::now());
+        let json = tc.export_chrome();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"new_order\""));
+        assert!(json.contains("\"cat\":\"txn\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn a_new_collector_replaces_the_thread_slot() {
+        let a = Arc::new(TraceCollector::new(64));
+        a.record("one", "t", Instant::now());
+        let b = Arc::new(TraceCollector::new(64));
+        b.record("two", "t", Instant::now());
+        assert_eq!(a.timelines()[0].1.len(), 1, "a kept its event");
+        assert_eq!(b.timelines()[0].1.len(), 1, "b registered fresh");
+        a.record("three", "t", Instant::now());
+        // returning to a re-registers under a *new* tid: acceptable —
+        // the workspace installs one collector per run
+        assert!(a.timelines().iter().map(|(_, e)| e.len()).sum::<usize>() == 2);
+    }
+}

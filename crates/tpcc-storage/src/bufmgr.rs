@@ -49,7 +49,7 @@ use crate::disk::{DiskManager, FileId};
 use crate::fault::{FaultHook, FaultPlan, FaultSite, SoftFault};
 use crate::wal::{page_delta, Wal, WalEntry};
 use tpcc_buffer::fxhash::FxHashMap;
-use tpcc_obs::{CounterHandle, Label, Obs};
+use tpcc_obs::{CounterHandle, Label, Obs, TraceHandle};
 
 /// Replacement policy for the frame pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -247,6 +247,7 @@ pub struct BufferManager {
     latch_cont_h: CounterHandle,
     pages_freed_h: CounterHandle,
     pages_reused_h: CounterHandle,
+    io_trace: TraceHandle,
     /// Simulated read-I/O service time in microseconds (0 = off). The
     /// faulting thread sleeps *after* releasing the disk mutex, holding
     /// only the target frame's latch — so independent faults overlap,
@@ -327,6 +328,7 @@ impl BufferManager {
             latch_cont_h: CounterHandle::disabled(),
             pages_freed_h: CounterHandle::disabled(),
             pages_reused_h: CounterHandle::disabled(),
+            io_trace: TraceHandle::disabled(),
             io_delay_us: AtomicU64::new(0),
         }
     }
@@ -359,6 +361,7 @@ impl BufferManager {
         self.latch_cont_h = obs.counter_handle("latch_contended", Label::None);
         self.pages_freed_h = obs.counter_handle("pages_freed", Label::None);
         self.pages_reused_h = obs.counter_handle("pages_reused", Label::None);
+        self.io_trace = obs.trace_handle("io");
         // drop any handles resolved against the previous recorder
         for shard in self.shards.iter_mut() {
             shard.get_mut().expect("shard latch").counters.clear();
@@ -744,6 +747,12 @@ impl BufferManager {
     /// transient faults deterministically within
     /// [`FaultHook::max_retries`] attempts.
     fn write_back(&self, file: FileId, page: u32, bytes: &[u8]) {
+        let io_start = self.io_trace.now();
+        self.write_back_inner(file, page, bytes);
+        self.io_trace.record_opt("write_back", io_start);
+    }
+
+    fn write_back_inner(&self, file: FileId, page: u32, bytes: &[u8]) {
         let mut disk = self.disk.lock().expect("disk lock");
         let Some(hook) = &self.fault else {
             disk.write_page(file, page, bytes);
@@ -841,6 +850,7 @@ impl BufferManager {
                     // freezes the WAL, the in-memory run continues
                     let _ = hook.fire(FaultSite::MissLoad);
                 }
+                let io_start = self.io_trace.now();
                 self.disk
                     .lock()
                     .expect("disk lock")
@@ -851,6 +861,7 @@ impl BufferManager {
                     // held, so other terminals' faults and hits proceed
                     std::thread::sleep(std::time::Duration::from_micros(delay));
                 }
+                self.io_trace.record_opt("miss_load", io_start);
                 fd.key = Some((file, page));
                 fd.dirty = false;
                 return Fixed::Loaded(idx, fd);
