@@ -10,11 +10,16 @@
 //!    to the last complete commit (contents, free lists, footprints),
 //!    cross-check sampled prefixes through the literal `try_recover`
 //!    path, and re-run sampled sites live with a `crash_at` plan.
-//! 2. `soft` — the same workload under transient write-back I/O
+//! 2. `gc_sweep` — the same enumerated sweep under group commit
+//!    (deterministic inline flush schedule): `wal_flush` sites mark
+//!    every flush boundary, recorded WAL positions are durable
+//!    watermarks, and a crash between flushes must recover to the last
+//!    *flushed* commit — never losing a flushed one.
+//! 3. `soft` — the same workload under transient write-back I/O
 //!    errors and torn (64-byte-boundary) page writes: the bounded
 //!    retry must absorb every fault, the consistency checks must pass,
 //!    and crash recovery must still reproduce the flushed image.
-//! 3. `boundaries` — the WAL truncated at every record boundary.
+//! 4. `boundaries` — the WAL truncated at every record boundary.
 //!
 //! Exits non-zero if any site fails to recover, fewer than 200 sites
 //! are enumerated, or the soft-fault run diverges — CI runs this
@@ -30,7 +35,8 @@ use std::io::Write as _;
 use tpcc_db::db::DbConfig;
 use tpcc_db::driver::DriverConfig;
 use tpcc_db::{
-    crashpoint_sweep, loader, verify_record_boundaries, FaultPlan, FaultSite, SweepConfig,
+    crashpoint_sweep, loader, verify_record_boundaries, FaultPlan, FaultSite, GroupCommitConfig,
+    SweepConfig, SweepReport,
 };
 
 fn main() {
@@ -67,29 +73,43 @@ fn main() {
     cfg.live_reruns = 3;
     cfg.recover_samples = 32;
 
-    // 1. enumerated crash sweep
-    let sweep = crashpoint_sweep(&cfg);
-    let per_site: Vec<String> = FaultSite::ALL
-        .iter()
-        .map(|s| format!("\"{}\":{}", s.name(), sweep.per_site[s.idx()]))
-        .collect();
-    emit(format!(
-        "{{\"pass\":\"sweep\",\"seed\":{seed},\"transactions\":{transactions},\
-         \"sites\":{},{},\"wal_entries\":{},\"wal_commits\":{},\
-         \"distinct_prefixes\":{},\"recoveries_verified\":{},\
-         \"recover_checks\":{},\"live_reruns\":{},\"failures\":{}}}",
-        sweep.sites_total,
-        per_site.join(","),
-        sweep.wal_entries,
-        sweep.wal_commits,
-        sweep.distinct_prefixes,
-        sweep.distinct_prefixes + sweep.live_reruns,
-        sweep.recover_checks,
-        sweep.live_reruns,
-        sweep.failures.len(),
-    ));
+    let sweep_line = |pass: &str, sweep: &SweepReport| {
+        let per_site: Vec<String> = FaultSite::ALL
+            .iter()
+            .map(|s| format!("\"{}\":{}", s.name(), sweep.per_site[s.idx()]))
+            .collect();
+        format!(
+            "{{\"pass\":\"{pass}\",\"seed\":{seed},\"transactions\":{transactions},\
+             \"sites\":{},{},\"wal_entries\":{},\"wal_commits\":{},\
+             \"distinct_prefixes\":{},\"recoveries_verified\":{},\
+             \"recover_checks\":{},\"live_reruns\":{},\"failures\":{}}}",
+            sweep.sites_total,
+            per_site.join(","),
+            sweep.wal_entries,
+            sweep.wal_commits,
+            sweep.distinct_prefixes,
+            sweep.distinct_prefixes + sweep.live_reruns,
+            sweep.recover_checks,
+            sweep.live_reruns,
+            sweep.failures.len(),
+        )
+    };
 
-    // 2. soft-fault convergence
+    // 1. enumerated crash sweep (synchronous durability)
+    let sweep = crashpoint_sweep(&cfg);
+    emit(sweep_line("sweep", &sweep));
+
+    // 2. the same sweep at every flush boundary: group commit with the
+    // deterministic inline schedule (flush every 4th commit)
+    let mut gc_dbcfg = dbcfg;
+    gc_dbcfg.group_commit = Some(GroupCommitConfig::inline_every(4));
+    let mut gc_cfg = SweepConfig::new(gc_dbcfg, transactions, seed);
+    gc_cfg.live_reruns = cfg.live_reruns;
+    gc_cfg.recover_samples = cfg.recover_samples;
+    let gc_sweep = crashpoint_sweep(&gc_cfg);
+    emit(sweep_line("gc_sweep", &gc_sweep));
+
+    // 3. soft-fault convergence
     let mut db = loader::load(dbcfg, seed);
     let soft = db.run_with_faults(
         DriverConfig::default(),
@@ -106,7 +126,7 @@ fn main() {
         soft.faults.io_errors, soft.faults.torn_writes, soft.faults.retries,
     ));
 
-    // 3. every WAL record boundary
+    // 4. every WAL record boundary
     let boundaries = verify_record_boundaries(&cfg);
     emit(format!(
         "{{\"pass\":\"boundaries\",\"seed\":{seed},\"boundaries\":{},\
@@ -119,6 +139,8 @@ fn main() {
 
     let ok = sweep.all_recovered()
         && sweep.sites_total >= 200
+        && gc_sweep.all_recovered()
+        && gc_sweep.per_site[FaultSite::WalFlush.idx()] > 0
         && soft.faults.retries > 0
         && consistent
         && recovered
@@ -128,7 +150,12 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!(
-        "crashpoint: {} sites, {} prefixes, {} boundaries — all recovered",
-        sweep.sites_total, sweep.distinct_prefixes, boundaries.boundaries
+        "crashpoint: {} sites + {} under group commit ({} flush boundaries), \
+         {} prefixes, {} boundaries — all recovered",
+        sweep.sites_total,
+        gc_sweep.sites_total,
+        gc_sweep.per_site[FaultSite::WalFlush.idx()],
+        sweep.distinct_prefixes,
+        boundaries.boundaries
     );
 }

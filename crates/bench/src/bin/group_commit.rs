@@ -1,0 +1,116 @@
+//! Group-commit sweep: terminals × flush knobs through the threaded
+//! log-manager pipeline, cross-plotted against the §5 log-disk model.
+//!
+//! Each cell loads a fresh database, runs `transactions` transactions
+//! on `terminals` threads with the given [`GroupCommitConfig`], and
+//! emits one JSON line to `results/group_commit.jsonl` (and stdout)
+//! with throughput, commits per flush, p50/p95 commit wait, executed
+//! log volume, and the executed vs §5-predicted log-device utilization
+//! at the measured arrival rate. A `"sync"` baseline cell per terminal
+//! count (no group commit: every commit flushes alone, conceptually)
+//! anchors the batching gain.
+//!
+//! ```text
+//! cargo run --release -p tpcc-bench --bin group_commit -- \
+//!     [transactions] [seed]
+//! ```
+
+use std::io::Write as _;
+use tpcc_cost::logdisk::LogDiskModel;
+use tpcc_db::db::DbConfig;
+use tpcc_db::driver::DriverConfig;
+use tpcc_db::{loader, GroupCommitConfig, ParallelDriver};
+use tpcc_workload::TransactionMix;
+
+const TERMINALS: [u64; 4] = [1, 2, 4, 8];
+/// (flush_window_us, max_batch, log_io_delay_us) cells per terminal
+/// count: a tight window (latency-biased), the CI pinned cell, and a
+/// wide window (throughput-biased, batches aggressively).
+const KNOBS: [(u64, usize, u64); 3] = [(100, 16, 50), (500, 64, 100), (2_000, 128, 100)];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let transactions: u64 = args
+        .next()
+        .map(|s| s.parse().expect("transactions must be a u64"))
+        .unwrap_or(8_000);
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(42);
+
+    let model = LogDiskModel::paper_default();
+    let mix = TransactionMix::paper_default();
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let mut out = std::fs::File::create("results/group_commit.jsonl")
+        .expect("open results/group_commit.jsonl");
+    let run_start = std::time::Instant::now();
+
+    for terminals in TERMINALS {
+        for gc in std::iter::once(None).chain(
+            KNOBS
+                .iter()
+                .map(|&(w, b, d)| Some(GroupCommitConfig::new(w, b, d))),
+        ) {
+            let mut cfg = DbConfig::small();
+            cfg.warehouses = 2;
+            cfg.buffer_frames = 2048;
+            cfg.buffer_shards = 8;
+            cfg.enable_wal = true;
+            cfg.group_commit = gc;
+            let mut db = loader::load(cfg, seed);
+            let driver = ParallelDriver::new(DriverConfig::default(), terminals, seed + terminals);
+            let report = driver.run(&db, transactions);
+            db.flush_log();
+
+            let (flushes, commits_per_flush, p50_us, p95_us) = match db.group_commit_stats() {
+                Some(stats) => {
+                    let waits = db.commit_wait_sketch().expect("group commit on");
+                    (
+                        stats.flushes,
+                        stats.commits_per_flush(),
+                        waits.quantile(0.50) / 1e3,
+                        waits.quantile(0.95) / 1e3,
+                    )
+                }
+                None => (0, 0.0, 0.0, 0.0),
+            };
+            let encoded = db.take_wal().expect("WAL on").encoded_bytes();
+
+            let elapsed = report.elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+            let lambda = report.total() as f64 / elapsed;
+            let executed_util = encoded as f64 / elapsed / model.bandwidth_bytes_per_sec;
+            let predicted_util = model.utilization(&mix, lambda);
+
+            let mode = match gc {
+                Some(g) => format!(
+                    "\"mode\":\"group\",\"flush_window_us\":{},\"max_batch\":{},\
+                     \"log_io_delay_us\":{}",
+                    g.flush_window_us, g.max_batch, g.log_io_delay_us
+                ),
+                None => "\"mode\":\"sync\"".to_owned(),
+            };
+            let t_ms = run_start.elapsed().as_secs_f64() * 1e3;
+            let line = format!(
+                "{{\"t_ms\":{t_ms:.3},\"terminals\":{terminals},{mode},\
+                 \"transactions\":{},\"elapsed_s\":{elapsed:.6},\
+                 \"throughput_tps\":{lambda:.1},\"abort_rate\":{:.6},\
+                 \"wal_flushes\":{flushes},\"commits_per_flush\":{commits_per_flush:.2},\
+                 \"commit_wait_p50_us\":{p50_us:.1},\"commit_wait_p95_us\":{p95_us:.1},\
+                 \"wal_bytes\":{encoded},\"bytes_per_txn\":{:.0},\
+                 \"executed_log_util\":{executed_util:.6},\
+                 \"model_log_util\":{predicted_util:.6}}}",
+                report.total(),
+                report.abort_rate(),
+                encoded as f64 / report.total().max(1) as f64,
+            );
+            println!("{line}");
+            writeln!(out, "{line}").expect("write results/group_commit.jsonl");
+        }
+    }
+    eprintln!(
+        "wrote results/group_commit.jsonl ({} cells)",
+        TERMINALS.len() * (KNOBS.len() + 1)
+    );
+}

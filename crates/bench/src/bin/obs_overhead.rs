@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use tpcc_db::db::DbConfig;
 use tpcc_db::driver::DriverConfig;
-use tpcc_db::{loader, Driver, FaultPlan, Telemetry, TelemetryConfig};
+use tpcc_db::{loader, Driver, FaultPlan, GroupCommitConfig, Telemetry, TelemetryConfig};
 use tpcc_obs::{Label, MemoryRecorder, Obs};
 
 fn run_once(transactions: u64, obs: Obs, seed: u64) -> f64 {
@@ -63,6 +63,24 @@ fn run_once_flushed(transactions: u64, seed: u64) -> f64 {
     let mut driver = Driver::new(&db, DriverConfig::default(), seed);
     let start = Instant::now();
     let _ = driver.run_timeseries(&mut db, transactions, &telemetry);
+    start.elapsed().as_secs_f64()
+}
+
+/// WAL plus the group-commit pipeline on the deterministic inline
+/// schedule (no batcher thread, no simulated device wait): what the
+/// flush-path instrumentation — two counters, the commit-wait
+/// histogram, a trace event per flush — costs when a recorder is
+/// attached vs [`Obs::disabled`].
+fn run_once_grouped(transactions: u64, obs: Obs, seed: u64) -> f64 {
+    let mut cfg = DbConfig::small();
+    cfg.buffer_frames = 128;
+    cfg.enable_wal = true;
+    cfg.group_commit = Some(GroupCommitConfig::inline_every(8));
+    let mut db = loader::load(cfg, 11);
+    db.set_obs(obs);
+    let mut driver = Driver::new(&db, DriverConfig::default(), seed);
+    let start = Instant::now();
+    let _ = driver.run(&mut db, transactions);
     start.elapsed().as_secs_f64()
 }
 
@@ -131,6 +149,36 @@ fn main() {
         transactions as f64 / f,
         (f / d - 1.0) * 100.0,
         (f / e - 1.0) * 100.0
+    );
+
+    // group-commit flush-path instrumentation: the same driver with
+    // WAL + inline group commit (every 8th commit flushes on the
+    // committing thread — no batcher, no simulated device wait, so the
+    // difference is purely the per-flush counters/histogram/trace)
+    let mut gc_disabled = Vec::with_capacity(reps);
+    let mut gc_enabled = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        gc_disabled.push(run_once_grouped(transactions, Obs::disabled(), 12));
+        gc_enabled.push(run_once_grouped(
+            transactions,
+            Obs::new(Arc::new(MemoryRecorder::new())),
+            12,
+        ));
+        eprintln!(
+            "group-commit rep {}: disabled {:.3}s, enabled {:.3}s",
+            rep + 1,
+            gc_disabled[rep],
+            gc_enabled[rep]
+        );
+    }
+    let gd = median(gc_disabled);
+    let ge = median(gc_enabled);
+    println!(
+        "group commit (WAL, inline flush every 8 commits), median of {reps}: \
+         disabled {:.0} txn/s, enabled {:.0} txn/s, enabled overhead {:+.2}%",
+        transactions as f64 / gd,
+        transactions as f64 / ge,
+        (ge / gd - 1.0) * 100.0
     );
 
     // fault-site overhead on a WAL-enabled run: uninstalled (the

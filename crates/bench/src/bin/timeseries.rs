@@ -3,8 +3,9 @@
 //! `results/timeseries.jsonl` — one JSON line per window with
 //! per-transaction-type throughput and p50/p95/p99 latency (from
 //! window-exact quantile-sketch deltas), buffer-miss ppm, lock
-//! wounds/waits, latch contention, and WAL bytes, each stamped with a
-//! run-relative monotonic `t_ms`.
+//! wounds/waits, latch contention, WAL bytes, and the group-commit
+//! columns (`wal_flushes`, `commits_per_flush`, `commit_wait_p95_us`),
+//! each stamped with a run-relative monotonic `t_ms`.
 //!
 //! With `--trace`, every thread additionally records transaction
 //! spans, lock waits, and I/O delays into per-thread ring buffers,
@@ -60,6 +61,8 @@ fn main() {
     cfg.buffer_shards = 8;
     cfg.io_delay_us = 100;
     cfg.enable_wal = true;
+    // group commit on, so the flush/commit-wait columns carry data
+    cfg.group_commit = Some(tpcc_db::GroupCommitConfig::new(200, 32, 50));
     let mut db = loader::load(cfg, seed);
 
     let recorder = Arc::new(MemoryRecorder::new());

@@ -8,14 +8,18 @@
 //! operating region (partial working set in the pool, 100 µs
 //! synchronous read-I/O per fault, WAL on):
 //!
-//! | threads | warehouses | what it watches |
-//! |---|---|---|
-//! | 1 | 1 | serial executor + storage engine baseline |
-//! | 4 | 2 | moderate lock + buffer contention |
-//! | 8 | 4 | the scaling sweep's headline cell |
+//! | threads | warehouses | group commit | what it watches |
+//! |---|---|---|---|
+//! | 1 | 1 | — | serial executor + storage engine baseline |
+//! | 4 | 2 | — | moderate lock + buffer contention |
+//! | 8 | 4 | — | the scaling sweep's headline cell |
+//! | 8 | 4 | 200 µs / 32 / 50 µs | the group-commit flush pipeline |
 //!
 //! Per cell: throughput, New-Order / Payment p95 (sketch quantiles),
-//! buffer-miss ppm, and WAL bytes per transaction.
+//! buffer-miss ppm, WAL bytes per transaction, and — in the
+//! group-commit cell — commits per flush and the p95 commit wait, so
+//! a batching regression (flushes stop grouping) or a wait blow-up
+//! fails the gate like any other slowdown.
 //!
 //! ```text
 //! cargo run --release -p tpcc-bench --bin trajectory               # append a point
@@ -37,17 +41,27 @@ use std::sync::Arc;
 
 use tpcc_db::db::DbConfig;
 use tpcc_db::driver::DriverConfig;
-use tpcc_db::{loader, ParallelDriver};
+use tpcc_db::{loader, GroupCommitConfig, ParallelDriver};
 use tpcc_obs::{MemoryRecorder, Obs};
 
-const SCHEMA: u32 = 1;
+const SCHEMA: u32 = 2;
 const SEED: u64 = 42;
 const TXNS_PER_CELL: u64 = 10_000;
 const WARMUP: u64 = 1_000;
 /// Replicates per cell; each metric reports its median across them,
 /// which keeps scheduler noise on shared runners out of the gate.
 const REPLICATES: usize = 3;
-const CELLS: [(u64, u64); 3] = [(1, 1), (4, 2), (8, 4)];
+/// (threads, warehouses, group commit). The final cell re-runs the
+/// headline parallel cell through the threaded flush pipeline.
+const CELLS: [(u64, u64, bool); 4] = [(1, 1, false), (4, 2, false), (8, 4, false), (8, 4, true)];
+/// The group-commit cell's knobs: window µs, max batch, device µs —
+/// the same operating point the timeseries run pins.
+const GC: GroupCommitConfig = GroupCommitConfig {
+    flush_window_us: 200,
+    max_batch: 32,
+    log_io_delay_us: 50,
+    inline: false,
+};
 /// new_order, payment — the two types whose p95 the gate watches.
 const P95_TYPES: [usize; 2] = [0, 1];
 
@@ -57,25 +71,34 @@ const BASELINE_PATH: &str = "results/BENCH_baseline.json";
 struct Cell {
     threads: u64,
     warehouses: u64,
+    group_commit: bool,
     tps: f64,
     p95_us: [f64; 2],
     miss_ppm: f64,
     wal_bytes_per_txn: f64,
+    /// 0 in sync cells (no flush pipeline to measure).
+    commits_per_flush: f64,
+    /// 0 in sync cells.
+    commit_wait_p95_us: f64,
 }
 
 impl Cell {
     fn to_json(&self) -> String {
         format!(
-            "{{\"threads\":{},\"warehouses\":{},\"tps\":{:.1},\
+            "{{\"threads\":{},\"warehouses\":{},\"group_commit\":{},\"tps\":{:.1},\
              \"new_order_p95_us\":{:.1},\"payment_p95_us\":{:.1},\
-             \"miss_ppm\":{:.1},\"wal_bytes_per_txn\":{:.1}}}",
+             \"miss_ppm\":{:.1},\"wal_bytes_per_txn\":{:.1},\
+             \"commits_per_flush\":{:.2},\"commit_wait_p95_us\":{:.1}}}",
             self.threads,
             self.warehouses,
+            self.group_commit,
             self.tps,
             self.p95_us[0],
             self.p95_us[1],
             self.miss_ppm,
             self.wal_bytes_per_txn,
+            self.commits_per_flush,
+            self.commit_wait_p95_us,
         )
     }
 }
@@ -86,28 +109,32 @@ fn median(mut xs: Vec<f64>) -> f64 {
 }
 
 /// Runs the cell [`REPLICATES`] times and takes the per-metric median.
-fn run_cell(threads: u64, warehouses: u64) -> Cell {
+fn run_cell(threads: u64, warehouses: u64, group_commit: bool) -> Cell {
     let runs: Vec<Cell> = (0..REPLICATES)
-        .map(|_| run_cell_once(threads, warehouses))
+        .map(|_| run_cell_once(threads, warehouses, group_commit))
         .collect();
     let of = |f: &dyn Fn(&Cell) -> f64| median(runs.iter().map(f).collect());
     Cell {
         threads,
         warehouses,
+        group_commit,
         tps: of(&|c| c.tps),
         p95_us: [of(&|c| c.p95_us[0]), of(&|c| c.p95_us[1])],
         miss_ppm: of(&|c| c.miss_ppm),
         wal_bytes_per_txn: of(&|c| c.wal_bytes_per_txn),
+        commits_per_flush: of(&|c| c.commits_per_flush),
+        commit_wait_p95_us: of(&|c| c.commit_wait_p95_us),
     }
 }
 
-fn run_cell_once(threads: u64, warehouses: u64) -> Cell {
+fn run_cell_once(threads: u64, warehouses: u64, group_commit: bool) -> Cell {
     let mut cfg = DbConfig::small();
     cfg.warehouses = warehouses;
     cfg.buffer_frames = 256 * warehouses as usize;
     cfg.buffer_shards = 8;
     cfg.io_delay_us = 100;
     cfg.enable_wal = true;
+    cfg.group_commit = group_commit.then_some(GC);
     let mut db = loader::load(cfg, SEED);
     let recorder = Arc::new(MemoryRecorder::new());
     db.set_obs(Obs::new(recorder.clone()));
@@ -117,19 +144,43 @@ fn run_cell_once(threads: u64, warehouses: u64) -> Cell {
     let warm_misses = recorder.counter_total("buf_misses");
     let warm_hits = recorder.counter_total("buf_hits");
     let warm_wal = recorder.counter_total("wal_bytes_appended");
+    let warm_gc = db.group_commit_stats();
+    let warm_wait = db.commit_wait_sketch();
 
     let report = driver.run(&db, TXNS_PER_CELL);
 
     let misses = (recorder.counter_total("buf_misses") - warm_misses) as f64;
     let hits = (recorder.counter_total("buf_hits") - warm_hits) as f64;
     let wal = (recorder.counter_total("wal_bytes_appended") - warm_wal) as f64;
+    // group-commit metrics over the measured phase only (warmup
+    // flushes and waits subtracted out)
+    let (commits_per_flush, commit_wait_p95_us) = match (db.group_commit_stats(), warm_gc) {
+        (Some(after), Some(before)) => {
+            let flushes = after.flushes - before.flushes;
+            let commits = after.commits_flushed - before.commits_flushed;
+            let waits = db.commit_wait_sketch().expect("group commit on");
+            let delta = waits.delta_since(&warm_wait.expect("group commit on"));
+            (
+                if flushes == 0 {
+                    0.0
+                } else {
+                    commits as f64 / flushes as f64
+                },
+                delta.quantile(0.95) / 1e3,
+            )
+        }
+        _ => (0.0, 0.0),
+    };
     Cell {
         threads,
         warehouses,
+        group_commit,
         tps: report.throughput(),
         p95_us: P95_TYPES.map(|t| report.latency_ns[t].quantile(0.95) / 1e3),
         miss_ppm: misses / (hits + misses).max(1.0) * 1e6,
         wal_bytes_per_txn: wal / report.total() as f64,
+        commits_per_flush,
+        commit_wait_p95_us,
     }
 }
 
@@ -228,6 +279,11 @@ fn check(fresh: &str) -> Result<(), Vec<String>> {
 
     let mut failures = Vec::new();
     for (f, b) in fresh_cells.iter().zip(&base_cells) {
+        let gc_tag = if f.contains("\"group_commit\":true") {
+            "+gc"
+        } else {
+            ""
+        };
         let threads = extract_f64(f, "threads");
         // count-derived metrics: deterministic serial, jittered parallel
         let count_band = if threads as u64 == 1 { 0.02 } else { 0.15 };
@@ -257,6 +313,19 @@ fn check(fresh: &str) -> Result<(), Vec<String>> {
                 band: count_band,
                 higher_is_worse: true,
             },
+            // group-commit cells only (identically 0.0 in sync cells,
+            // where the relative comparison is a no-op): flushes must
+            // keep grouping and the commit wait must stay bounded
+            Gate {
+                key: "commits_per_flush",
+                band: wall_band,
+                higher_is_worse: false,
+            },
+            Gate {
+                key: "commit_wait_p95_us",
+                band: wall_band,
+                higher_is_worse: true,
+            },
         ];
         for g in gates {
             let fv = extract_f64(f, g.key);
@@ -272,7 +341,7 @@ fn check(fresh: &str) -> Result<(), Vec<String>> {
                 rel < -g.band
             };
             let cell = format!(
-                "{}thr×{}wh",
+                "{}thr×{}wh{gc_tag}",
                 threads as u64,
                 extract_f64(f, "warehouses") as u64
             );
@@ -310,9 +379,10 @@ fn main() {
 
     let cells: Vec<Cell> = CELLS
         .iter()
-        .map(|&(threads, warehouses)| {
-            eprintln!("cell {threads}thr×{warehouses}wh ({TXNS_PER_CELL} txns)...");
-            run_cell(threads, warehouses)
+        .map(|&(threads, warehouses, group_commit)| {
+            let tag = if group_commit { "+gc" } else { "" };
+            eprintln!("cell {threads}thr×{warehouses}wh{tag} ({TXNS_PER_CELL} txns)...");
+            run_cell(threads, warehouses, group_commit)
         })
         .collect();
     let point = point_json(&cells);

@@ -6,8 +6,8 @@ use std::sync::Arc;
 use tpcc_obs::Obs;
 use tpcc_schema::relation::Relation;
 use tpcc_storage::{
-    BTree, BufferManager, BufferStats, DiskManager, FaultHook, FaultPlan, FaultStats, HeapFile,
-    RecordId, RecoveryError, Replacement, Wal,
+    BTree, BufferManager, BufferStats, DiskManager, FaultHook, FaultPlan, FaultStats,
+    GroupCommitConfig, GroupCommitStats, HeapFile, RecordId, RecoveryError, Replacement, Wal,
 };
 
 /// Scale and resource configuration.
@@ -45,6 +45,11 @@ pub struct DbConfig {
     /// workload in the paper's I/O-bound operating region, where
     /// multiple terminals overlap their I/O waits.
     pub io_delay_us: u64,
+    /// Group-commit pipeline knobs (`None` = synchronous durability,
+    /// the default). Requires `enable_wal`; applied after load like
+    /// `io_delay_us`, so load-time traffic is not batched. See
+    /// `tpcc_storage::logmgr` for the ticket/batcher protocol.
+    pub group_commit: Option<GroupCommitConfig>,
 }
 
 impl DbConfig {
@@ -63,6 +68,7 @@ impl DbConfig {
             enable_wal: false,
             buffer_shards: 1,
             io_delay_us: 0,
+            group_commit: None,
         }
     }
 
@@ -82,6 +88,7 @@ impl DbConfig {
             enable_wal: false,
             buffer_shards: 1,
             io_delay_us: 0,
+            group_commit: None,
         }
     }
 
@@ -217,10 +224,12 @@ impl TpccDb {
     }
 
     /// Marks a transaction boundary: appends a commit record when
-    /// logging is enabled.
-    pub(crate) fn commit(&self) {
+    /// logging is enabled and, under group commit, blocks until the
+    /// record is in the durably flushed prefix. Returns the
+    /// nanoseconds spent waiting on the commit ticket (0 otherwise).
+    pub(crate) fn commit(&self) -> u64 {
         let txn = self.clock.load(Ordering::Relaxed);
-        self.bm.log_commit(txn);
+        self.bm.log_commit(txn)
     }
 
     /// WAL-mode self-test: "crash" (pretend every unflushed dirty page
@@ -252,6 +261,10 @@ impl TpccDb {
     /// # Panics
     /// Panics if the database was not loaded with `enable_wal`.
     pub fn try_crash_recovery_check(&mut self) -> Result<bool, RecoveryError> {
+        // quiesce the group-commit tail first: the check compares
+        // against a clean flush of the live pool, so every appended
+        // commit must be inside the durable prefix
+        self.bm.flush_log();
         let wal = self
             .bm
             .take_wal()
@@ -291,6 +304,35 @@ impl TpccDb {
     pub fn wal_stats(&self) -> Option<(usize, u64, u64)> {
         self.bm
             .with_wal(|w| (w.len(), w.delta_bytes(), w.commits()))
+    }
+
+    /// Durable-prefix statistics, when logging is enabled:
+    /// `(durable entries, durable commits)`. Equal to the totals under
+    /// synchronous durability; under group commit the volatile tail is
+    /// excluded.
+    #[must_use]
+    pub fn wal_durable_stats(&self) -> Option<(usize, u64)> {
+        self.bm.with_wal(|w| (w.durable_len(), w.durable_commits()))
+    }
+
+    /// Group-commit pipeline counters (`None` when group commit is
+    /// off): flushes, commits flushed, cap-triggered flushes.
+    #[must_use]
+    pub fn group_commit_stats(&self) -> Option<GroupCommitStats> {
+        self.bm.group_commit().map(|lm| lm.stats())
+    }
+
+    /// Clone of the cumulative commit-wait sketch in nanoseconds
+    /// (`None` when group commit is off).
+    #[must_use]
+    pub fn commit_wait_sketch(&self) -> Option<tpcc_obs::QuantileSketch> {
+        self.bm.group_commit().map(|lm| lm.commit_wait_sketch())
+    }
+
+    /// Flushes any pending group-commit tail (quiesce points; no-op
+    /// under synchronous durability).
+    pub fn flush_log(&self) {
+        self.bm.flush_log();
     }
 
     /// Detaches and returns the redo log (fault harnesses recover from

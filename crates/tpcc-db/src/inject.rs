@@ -27,10 +27,28 @@
 //! O(sites × recovery), which is what makes "every crash point" (and
 //! the per-record / per-byte truncation sweeps in the test suite)
 //! tractable.
+//!
+//! # Group-commit (flush-boundary) sweeps
+//!
+//! Setting `SweepConfig::db.group_commit` runs the recorded workload
+//! under deferred durability: commits land in a volatile tail and only
+//! a flush ([`FaultSite::WalFlush`](tpcc_storage::FaultSite) sites)
+//! advances the durable watermark. The harness forces the
+//! deterministic **inline** flush schedule (flush every `max_batch`
+//! commits on the committing thread) so site numbering stays identical
+//! run to run. Recorded `wal_len` values are then durable watermarks:
+//! a crash at any site between two flushes loses the whole tail — the
+//! sweep proves recovery converges at every flush boundary, and the
+//! live re-runs prove the frozen durable prefix byte-matches the
+//! recorded one (a flushed commit is never lost, an unflushed one
+//! always is). The oracle always runs synchronously — it is advanced
+//! by *durable* commit count, and a recovered image must match the
+//! serial execution of exactly those transactions either way.
 
 use tpcc_schema::relation::Relation;
 use tpcc_storage::{
-    apply_entry, DiskManager, FaultPlan, FaultStats, FileId, SiteRecord, Wal, WalEntry,
+    apply_entry, DiskManager, FaultPlan, FaultStats, FileId, GroupCommitConfig, SiteRecord, Wal,
+    WalEntry, FAULT_SITES,
 };
 
 use crate::db::{DbConfig, TpccDb};
@@ -65,6 +83,9 @@ impl TpccDb {
         let mut driver = Driver::new(self, dcfg, seed);
         let driver_report = driver.run(self, transactions);
         self.flush();
+        // quiesce the group-commit tail last, mirroring the sweep's
+        // recording pass so live re-runs see identical site numbering
+        self.flush_log();
         FaultRunReport {
             driver: driver_report,
             faults: hook.stats(),
@@ -117,7 +138,7 @@ pub struct SweepReport {
     /// Fault sites enumerated by the recording run.
     pub sites_total: u64,
     /// Sites per class, indexed like `FaultSite::ALL`.
-    pub per_site: [u64; 4],
+    pub per_site: [u64; FAULT_SITES],
     /// Recorded WAL length (entries) at the end of the run.
     pub wal_entries: usize,
     /// Commit markers in the recorded WAL.
@@ -183,6 +204,9 @@ impl OracleCursor {
     fn new(cfg: &SweepConfig) -> Self {
         let mut dbcfg = cfg.db;
         dbcfg.enable_wal = true;
+        // the oracle is advanced by durable commit count; its own log
+        // can stay synchronous regardless of the sweep's flush schedule
+        dbcfg.group_commit = None;
         let db = loader::load(dbcfg, cfg.load_seed);
         let driver = Driver::new(&db, cfg.driver, cfg.driver_seed);
         Self {
@@ -346,6 +370,10 @@ impl PrefixVerifier {
         );
         let mut prefix = self.wal.clone();
         prefix.truncate(len);
+        // the torn log IS the durable log: pin the watermark to the
+        // truncation point so `try_recover` replays the whole prefix
+        // even when the recording ran under deferred durability
+        prefix.set_deferred(false);
         self.recover_checks += 1;
         match prefix.try_recover(self.checkpoint.snapshot()) {
             Ok(recovered) => self.matches_oracle(&recovered),
@@ -369,8 +397,7 @@ impl PrefixVerifier {
 /// prefix (a determinism violation, not a recovery failure).
 #[must_use]
 pub fn crashpoint_sweep(cfg: &SweepConfig) -> SweepReport {
-    let mut dbcfg = cfg.db;
-    dbcfg.enable_wal = true;
+    let dbcfg = sweep_db_config(cfg);
 
     // 1. Record: observe every site and the WAL length at each.
     let mut db = loader::load(dbcfg, cfg.load_seed);
@@ -378,6 +405,7 @@ pub fn crashpoint_sweep(cfg: &SweepConfig) -> SweepReport {
     let mut driver = Driver::new(&db, cfg.driver, cfg.driver_seed);
     driver.run(&mut db, cfg.transactions);
     db.flush();
+    db.flush_log();
     let records = hook.take_records();
     let stats = hook.stats();
     let wal = db.take_wal().expect("sweep runs with WAL enabled");
@@ -432,9 +460,15 @@ pub fn crashpoint_sweep(cfg: &SweepConfig) -> SweepReport {
         );
         let frozen = crash_db.take_wal().expect("crash run logs");
         assert_eq!(
-            frozen.entries(),
+            frozen.durable_len(),
+            record.wal_len,
+            "the frozen durable watermark must match the recorded one at site {}",
+            record.seq
+        );
+        assert_eq!(
+            &frozen.entries()[..frozen.durable_len()],
             &verifier.wal.entries()[..record.wal_len],
-            "frozen WAL must equal the recorded prefix at site {}",
+            "frozen durable WAL prefix must equal the recorded prefix at site {}",
             record.seq
         );
         let base = crash_db
@@ -544,17 +578,30 @@ pub fn torn_tail_byte_sweep(cfg: &SweepConfig, step: u64) -> TornTailReport {
 /// Runs the sweep workload once with no fault hook and returns its WAL
 /// and post-load checkpoint.
 fn record_plain_run(cfg: &SweepConfig) -> (Wal, DiskManager) {
-    let mut dbcfg = cfg.db;
-    dbcfg.enable_wal = true;
+    let dbcfg = sweep_db_config(cfg);
     let mut db = loader::load(dbcfg, cfg.load_seed);
     let mut driver = Driver::new(&db, cfg.driver, cfg.driver_seed);
     driver.run(&mut db, cfg.transactions);
     db.flush();
+    db.flush_log();
     let wal = db.take_wal().expect("sweep runs with WAL enabled");
     let checkpoint = db
         .take_checkpoint()
         .expect("WAL mode always holds a checkpoint");
     (wal, checkpoint)
+}
+
+/// The database configuration the sweep harnesses actually run: WAL
+/// forced on, and any requested group commit normalised to the
+/// deterministic inline flush schedule (the threaded batcher's timing
+/// would make site numbering non-reproducible).
+fn sweep_db_config(cfg: &SweepConfig) -> DbConfig {
+    let mut dbcfg = cfg.db;
+    dbcfg.enable_wal = true;
+    if let Some(gc) = dbcfg.group_commit {
+        dbcfg.group_commit = Some(GroupCommitConfig::inline_every(gc.max_batch));
+    }
+    dbcfg
 }
 
 /// Sampling stride over distinct prefixes such that about `samples`

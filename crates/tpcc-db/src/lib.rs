@@ -41,6 +41,9 @@ pub use txns::{
 };
 pub use verify::ConsistencyReport;
 
-// Fault-injection vocabulary, re-exported so harness users don't need
-// a direct `tpcc-storage` dependency.
-pub use tpcc_storage::{FaultHook, FaultPlan, FaultSite, FaultStats, SiteRecord};
+// Fault-injection and group-commit vocabulary, re-exported so harness
+// users don't need a direct `tpcc-storage` dependency.
+pub use tpcc_storage::{
+    FaultHook, FaultPlan, FaultSite, FaultStats, GroupCommitConfig, GroupCommitStats, SiteRecord,
+    FAULT_SITES,
+};

@@ -31,6 +31,9 @@ pub fn load(cfg: DbConfig, seed: u64) -> TpccDb {
     if cfg.enable_wal {
         db.checkpoint = Some(db.bm.disk_snapshot());
         db.bm.enable_wal();
+        if let Some(gc) = cfg.group_commit {
+            db.bm.enable_group_commit(gc);
+        }
     }
     // the simulated I/O service time applies to the measured workload
     // only, never to the (serial, write-mostly) load itself

@@ -571,6 +571,52 @@ mod tests {
         assert!(consistency.is_consistent(), "{consistency:?}");
     }
 
+    /// Group-commit liveness and durability property, seeded: eight
+    /// terminals commit through a tight flush window and a small
+    /// `max_batch` (constant cap pressure), and afterwards
+    ///
+    /// - the run completed — no waiter starved under batch pressure
+    ///   (a starved terminal would hang the scoped join);
+    /// - the quiesced durable watermark covers every appended entry
+    ///   and commit — a woken terminal's commit is always inside the
+    ///   durably flushed prefix, never the volatile tail;
+    /// - the batcher flushed exactly the commits the terminals logged
+    ///   (each exactly once), and every commit contributed one wait
+    ///   sample — everyone who enqueued was woken.
+    #[test]
+    fn group_commit_wakes_only_durable_commits_and_starves_no_terminal() {
+        let mut cfg = four_warehouse_cfg();
+        cfg.enable_wal = true;
+        cfg.group_commit = Some(tpcc_storage::GroupCommitConfig::new(150, 4, 30));
+        let db = loader::load(cfg, 81);
+        let report = ParallelDriver::new(DriverConfig::default(), 8, 82).run(&db, 1200);
+        assert_eq!(report.total(), 1200);
+        db.flush_log();
+
+        let (entries, _, commits) = db.wal_stats().expect("WAL on");
+        let (durable_len, durable_commits) = db.wal_durable_stats().expect("WAL on");
+        assert_eq!(durable_len, entries, "quiesced: no volatile tail");
+        assert_eq!(durable_commits, commits, "every commit is durable");
+
+        let stats = db.group_commit_stats().expect("group commit on");
+        assert_eq!(stats.commits_flushed, commits, "flushed exactly once each");
+        assert!(stats.flushes > 0);
+        assert!(
+            stats.commits_per_flush() >= 1.0,
+            "a flush never covers zero commits: {stats:?}"
+        );
+
+        let waits = db.commit_wait_sketch().expect("group commit on");
+        assert_eq!(
+            waits.count(),
+            commits,
+            "every enqueued committer was woken exactly once"
+        );
+
+        let consistency = db.verify_consistency();
+        assert!(consistency.is_consistent(), "{consistency:?}");
+    }
+
     /// Release-mode stress variant (CI runs `--ignored stress` with a
     /// seed matrix via `TPCC_STRESS_SEED`).
     #[test]

@@ -3,8 +3,9 @@
 //! recorder's counters) per flush window and emits one
 //! [`TimeSeriesPoint`] JSON line — live p50/p95/p99 per transaction
 //! type, throughput, buffer-miss ppm, lock wounds/waits, latch
-//! contention, and WAL bytes, all without funneling per-sample traffic
-//! through shared slots.
+//! contention, WAL bytes, and (under group commit) flushes, commits
+//! per flush, and the window's p95 commit wait, all without funneling
+//! per-sample traffic through shared slots.
 //!
 //! # Flush modes
 //!
@@ -36,20 +37,29 @@ use std::time::Instant;
 
 use crate::driver::TX_NAMES;
 use tpcc_obs::{
-    MemoryRecorder, QuantileSketch, SeriesStat, TimeSeriesPoint, TimeSeriesWriter,
+    Label, MemoryRecorder, QuantileSketch, SeriesStat, TimeSeriesPoint, TimeSeriesWriter,
     DEFAULT_SKETCH_ALPHA,
 };
 
 /// Counters whose per-window deltas are exported on every point
 /// (summed across labels via [`MemoryRecorder::counter_total`]).
-const WINDOW_COUNTERS: [&str; 6] = [
+/// `wal_flushes` / `group_commits` stay zero unless the run enables
+/// group commit — the schema is additive over the pre-group-commit one.
+const WINDOW_COUNTERS: [&str; 8] = [
     "buf_hits",
     "buf_misses",
     "wal_bytes_appended",
     "lock_wounds",
     "lock_waits",
     "latch_contended",
+    "wal_flushes",
+    "group_commits",
 ];
+
+/// `WINDOW_COUNTERS` index of `wal_flushes`.
+const IDX_WAL_FLUSHES: usize = 6;
+/// `WINDOW_COUNTERS` index of `group_commits`.
+const IDX_GROUP_COMMITS: usize = 7;
 
 /// When to flush a window.
 #[derive(Debug, Clone, Copy)]
@@ -108,6 +118,9 @@ impl WindowAccum {
 struct HarvestState {
     prev_shards: Vec<WindowAccum>,
     prev_counters: [u64; WINDOW_COUNTERS.len()],
+    /// Previous snapshot of the group-commit wait histogram, so each
+    /// window's `commit_wait_p95_us` covers only that window.
+    prev_commit_wait: QuantileSketch,
     last_flush: Instant,
 }
 
@@ -152,6 +165,7 @@ impl Telemetry {
             harvest_state: Mutex::new(HarvestState {
                 prev_shards: vec![WindowAccum::new(alpha); terminals],
                 prev_counters: [0; WINDOW_COUNTERS.len()],
+                prev_commit_wait: QuantileSketch::default(),
                 last_flush: Instant::now(),
             }),
             cfg,
@@ -243,12 +257,33 @@ impl Telemetry {
             .map(|(&n, &d)| (n, d))
             .collect();
         counters.push(("txn_retries", retries));
+
+        // group-commit window stats: flush batching factor and the
+        // window-local p95 commit wait (zero unless group commit is on)
+        let commit_wait = self
+            .recorder
+            .histogram("commit_wait_ns", Label::None)
+            .unwrap_or_default();
+        let wait_delta = commit_wait.delta_since(&hs.prev_commit_wait);
+        hs.prev_commit_wait = commit_wait;
+        let flushes = deltas[IDX_WAL_FLUSHES];
+        let commits_per_flush = if flushes == 0 {
+            0.0
+        } else {
+            deltas[IDX_GROUP_COMMITS] as f64 / flushes as f64
+        };
+        let commit_wait_p95_us = wait_delta.quantile(0.95) / 1e3;
+
         let point = TimeSeriesPoint {
             window_ms,
             txns: executed.iter().sum(),
             series,
             counters,
-            gauges: vec![("miss_ppm", miss_ppm)],
+            gauges: vec![
+                ("miss_ppm", miss_ppm),
+                ("commits_per_flush", commits_per_flush),
+                ("commit_wait_p95_us", commit_wait_p95_us),
+            ],
         };
         // hold the harvest lock across the emit so points are written
         // in window order
@@ -383,6 +418,55 @@ mod tests {
             lines[1].contains("\"miss_ppm\":100000"),
             "window-local, not cumulative: {}",
             lines[1]
+        );
+    }
+
+    #[test]
+    fn group_commit_columns_are_windowed() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let sink = SharedSink::default();
+        let tel = Telemetry::new(
+            Arc::clone(&rec),
+            Box::new(sink.clone()),
+            TelemetryConfig::default(),
+            1,
+        );
+        let obs = tpcc_obs::Obs::new(rec);
+        let flushes = obs.counter_handle("wal_flushes", tpcc_obs::Label::None);
+        let commits = obs.counter_handle("group_commits", tpcc_obs::Label::None);
+        let wait = obs.histogram_handle("commit_wait_ns", tpcc_obs::Label::None);
+        flushes.add(2);
+        commits.add(10);
+        for _ in 0..50 {
+            wait.record(200_000); // 200 µs
+        }
+        tel.shard(0).lock().unwrap().record(0, 1_000);
+        tel.harvest();
+        // second window: different batching factor, different waits
+        flushes.add(4);
+        commits.add(4);
+        for _ in 0..50 {
+            wait.record(800_000); // 800 µs
+        }
+        tel.shard(0).lock().unwrap().record(0, 1_000);
+        tel.harvest();
+        let out = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"wal_flushes\":2"), "{}", lines[0]);
+        assert!(lines[0].contains("\"commits_per_flush\":5"), "{}", lines[0]);
+        assert!(lines[1].contains("\"wal_flushes\":4"), "{}", lines[1]);
+        assert!(lines[1].contains("\"commits_per_flush\":1"), "{}", lines[1]);
+        let p95 = |l: &str| {
+            let j = l.find("\"commit_wait_p95_us\":").unwrap() + 21;
+            let end = l[j..].find([',', '}']).unwrap() + j;
+            l[j..end].parse::<f64>().unwrap()
+        };
+        let (a, b) = (p95(lines[0]), p95(lines[1]));
+        assert!((a - 200.0).abs() / 200.0 < 0.05, "window 1 p95 {a}");
+        assert!(
+            (b - 800.0).abs() / 800.0 < 0.05,
+            "window-local, not cumulative: {b}"
         );
     }
 

@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use tpcc_db::{
     crashpoint_sweep, loader, torn_tail_byte_sweep, verify_record_boundaries, DbConfig,
-    DriverConfig, FaultPlan, FaultSite, ParallelDriver, SweepConfig,
+    DriverConfig, FaultPlan, FaultSite, GroupCommitConfig, ParallelDriver, SweepConfig,
 };
 use tpcc_lock::LockManager;
 
@@ -30,6 +30,15 @@ fn tight_cfg() -> DbConfig {
     cfg.enable_wal = true;
     cfg.initial_pending_per_district = 150;
     cfg.initial_orders_per_district = 210;
+    cfg
+}
+
+/// `tight_cfg` under deferred durability: commits gather in a volatile
+/// tail and every fourth one flushes (inline schedule), so the sweep
+/// enumerates `wal_flush` sites — the flush-boundary crash points.
+fn group_commit_cfg() -> DbConfig {
+    let mut cfg = tight_cfg();
+    cfg.group_commit = Some(GroupCommitConfig::inline_every(4));
     cfg
 }
 
@@ -55,6 +64,47 @@ fn crashpoint_sweep_recovers_at_every_site() {
     assert!(report.distinct_prefixes > 0);
     assert!(report.recover_checks > 0);
     assert_eq!(report.live_reruns, 2);
+}
+
+/// Satellite: the crash sweep at every flush boundary. Under group
+/// commit the recorded `wal_len` is the durable watermark, so a crash
+/// at any site between two flushes must recover to the last *flushed*
+/// commit — the volatile tail is lost, a flushed commit never is. The
+/// live re-runs additionally prove the frozen durable prefix
+/// byte-matches the recorded one.
+#[test]
+fn flush_boundary_sweep_recovers_at_every_site() {
+    let mut cfg = SweepConfig::new(group_commit_cfg(), 250, 7);
+    cfg.live_reruns = 2;
+    cfg.recover_samples = 8;
+    let report = crashpoint_sweep(&cfg);
+    assert!(
+        report.all_recovered(),
+        "unrecovered flush-boundary sites: {:?}",
+        report.failures
+    );
+    assert!(
+        report.per_site[FaultSite::WalFlush.idx()] > 0,
+        "no flush boundaries enumerated: {:?}",
+        report.per_site
+    );
+    assert!(
+        report.distinct_prefixes < report.sites_total as usize,
+        "deferred durability must coalesce crash images between flushes"
+    );
+    assert_eq!(report.live_reruns, 2);
+}
+
+/// Satellite: torn flushes. The byte sweep tears the encoded log at
+/// every sampled offset of a group-commit run — offsets inside a flush
+/// batch model a device that persisted only part of the batch, and
+/// each must recover to the last whole record's commit prefix.
+#[test]
+fn torn_flush_byte_sweep_converges_under_group_commit() {
+    let cfg = SweepConfig::new(group_commit_cfg(), 300, 31);
+    let report = torn_tail_byte_sweep(&cfg, 997);
+    assert_eq!(report.failures, 0, "{report:?}");
+    assert!(report.bytes_checked > 100, "{report:?}");
 }
 
 /// The recording pass is deterministic: identical seeds enumerate
@@ -117,11 +167,12 @@ fn stress_torn_tail_every_byte() {
 
 /// Stress: the full crash-point sweep at 5000 transactions — the
 /// CI acceptance gate (every site recovers, ≥ 200 sites enumerated,
-/// all four site classes represented).
+/// all five site classes represented). Runs under group commit so the
+/// `wal_flush` class fires alongside the original four.
 #[test]
 #[ignore = "stress: run with --ignored, seeded via TPCC_STRESS_SEED"]
 fn stress_crashpoint_sweep_5k_txns() {
-    let mut cfg = SweepConfig::new(tight_cfg(), 5000, stress_seed());
+    let mut cfg = SweepConfig::new(group_commit_cfg(), 5000, stress_seed());
     cfg.live_reruns = 3;
     cfg.recover_samples = 32;
     let report = crashpoint_sweep(&cfg);

@@ -28,7 +28,11 @@
 //!   safe because shard/WAL/disk holders never block on a frame latch;
 //! * shard mutex → WAL mutex (page deallocation unmaps, frees and logs
 //!   atomically) — safe because no WAL holder ever takes a shard mutex;
-//! * WAL mutex → disk mutex (allocation logging), never the reverse.
+//! * WAL mutex → disk mutex (allocation logging), never the reverse;
+//! * WAL mutex → group-commit state mutex (the `logmgr` batcher and
+//!   ticket waiters), never the reverse — the batcher thread sits at
+//!   the bottom of the hierarchy and never touches a shard mutex or a
+//!   frame latch (see DESIGN.md §10).
 //!
 //! Page-level ordering (who may hold two frame latches at once) is the
 //! caller's contract: the B+Tree acquires top-down / left-to-right and
@@ -47,7 +51,8 @@ use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockEr
 
 use crate::disk::{DiskManager, FileId};
 use crate::fault::{FaultHook, FaultPlan, FaultSite, SoftFault};
-use crate::wal::{page_delta, Wal, WalEntry};
+use crate::logmgr::{GroupCommitConfig, LogManager};
+use crate::wal::{page_deltas, Wal, WalEntry};
 use tpcc_buffer::fxhash::FxHashMap;
 use tpcc_obs::{CounterHandle, Label, Obs, TraceHandle};
 
@@ -233,8 +238,13 @@ pub struct BufferManager {
     /// its `base`/`meta.len()`.
     frames: Box<[FrameCell]>,
     shards: Box<[Mutex<Shard>]>,
-    wal: Mutex<Option<Wal>>,
+    /// The redo log, behind an `Arc` so the group-commit batcher thread
+    /// (when enabled) can share it with the pool.
+    wal: Arc<Mutex<Option<Wal>>>,
     wal_on: AtomicBool,
+    /// Group-commit pipeline; `None` (the default) keeps every commit
+    /// synchronously durable — see [`BufferManager::enable_group_commit`].
+    logmgr: Option<LogManager>,
     /// Installed fault hook; `None` (the default) keeps every fault
     /// site a single branch — see [`BufferManager::install_fault_hook`].
     fault: Option<Arc<FaultHook>>,
@@ -316,8 +326,9 @@ impl BufferManager {
             disk: Mutex::new(disk),
             frames,
             shards,
-            wal: Mutex::new(None),
+            wal: Arc::new(Mutex::new(None)),
             wal_on: AtomicBool::new(false),
+            logmgr: None,
             fault: None,
             obs: Obs::disabled(),
             wal_bytes: CounterHandle::disabled(),
@@ -366,6 +377,9 @@ impl BufferManager {
         for shard in self.shards.iter_mut() {
             shard.get_mut().expect("shard latch").counters.clear();
         }
+        if let Some(lm) = &self.logmgr {
+            lm.set_obs(&obs);
+        }
         self.obs = obs;
     }
 
@@ -387,7 +401,45 @@ impl BufferManager {
             // detached the old one) keeps the installed fault hook
             wal.set_fault_hook(Arc::clone(hook));
         }
+        if self.logmgr.is_some() {
+            // a re-enabled WAL under group commit stays on deferred
+            // (flushed-prefix) durability
+            wal.set_deferred(true);
+        }
         self.wal_on.store(true, Ordering::Release);
+    }
+
+    /// Turns on group commit: the WAL switches to deferred
+    /// (flushed-prefix) durability and every [`BufferManager::log_commit`]
+    /// goes through the [`LogManager`] ticket pipeline — blocking until
+    /// a batcher flush covers the commit (threaded mode) or following
+    /// the inline flush schedule (deterministic sweeps). Enables the
+    /// WAL if it was not already on. Replaces any previous pipeline.
+    pub fn enable_group_commit(&mut self, cfg: GroupCommitConfig) {
+        self.logmgr = None; // shut a previous batcher down first
+        self.enable_wal();
+        if let Some(wal) = self.wal.lock().expect("wal lock").as_mut() {
+            wal.set_deferred(true);
+        }
+        let lm = LogManager::new(cfg, Arc::clone(&self.wal));
+        lm.set_obs(&self.obs);
+        self.logmgr = Some(lm);
+    }
+
+    /// The group-commit pipeline, when enabled.
+    #[must_use]
+    pub fn group_commit(&self) -> Option<&LogManager> {
+        self.logmgr.as_ref()
+    }
+
+    /// Flushes any pending WAL tail through the group-commit pipeline
+    /// (no-op when group commit is off — synchronous durability never
+    /// has a tail). Quiesce points call this so the durable prefix
+    /// catches up with the log end.
+    pub fn flush_log(&self) {
+        if let Some(lm) = &self.logmgr {
+            lm.flush_now();
+        }
     }
 
     /// Installs a fault plan: builds a [`FaultHook`] and threads it
@@ -401,7 +453,7 @@ impl BufferManager {
             .get_mut()
             .expect("disk lock")
             .set_fault_hook(Arc::clone(&hook));
-        if let Some(wal) = self.wal.get_mut().expect("wal lock").as_mut() {
+        if let Some(wal) = self.wal.lock().expect("wal lock").as_mut() {
             wal.set_fault_hook(Arc::clone(&hook));
         }
         self.fault = Some(Arc::clone(&hook));
@@ -425,13 +477,21 @@ impl BufferManager {
         self.wal.lock().expect("wal lock").take()
     }
 
-    /// Appends a commit marker for logical transaction `txn`.
-    pub fn log_commit(&self, txn: u64) {
-        if self.wal_on.load(Ordering::Acquire) {
-            if let Some(wal) = self.wal.lock().expect("wal lock").as_mut() {
-                wal.append(WalEntry::Commit { txn });
-            }
+    /// Appends a commit marker for logical transaction `txn` and, under
+    /// group commit, blocks until the marker is in the durably flushed
+    /// prefix. Returns the nanoseconds spent waiting on the commit
+    /// ticket (0 under synchronous durability or inline group commit).
+    pub fn log_commit(&self, txn: u64) -> u64 {
+        if !self.wal_on.load(Ordering::Acquire) {
+            return 0;
         }
+        if let Some(lm) = &self.logmgr {
+            return lm.commit(txn).wait_ns;
+        }
+        if let Some(wal) = self.wal.lock().expect("wal lock").as_mut() {
+            wal.append(WalEntry::Commit { txn });
+        }
+        0
     }
 
     /// Creates an empty file, logging the event when the WAL is on so
@@ -1027,16 +1087,20 @@ impl Drop for PageWriteGuard<'_> {
     fn drop(&mut self) {
         if let Some(before) = self.before.take() {
             let fd = self.guard.as_ref().expect("guard live");
-            if let Some((offset, data)) = page_delta(&before, &fd.bytes) {
-                self.bm.wal_bytes.add(data.len() as u64);
-                self.bm.wal_records.add(1);
-                if let Some(wal) = self.bm.wal.lock().expect("wal lock").as_mut() {
-                    wal.append(WalEntry::PageDelta {
-                        file: self.file,
-                        page: self.page,
-                        offset,
-                        data,
-                    });
+            let segments = page_deltas(&before, &fd.bytes);
+            if !segments.is_empty() {
+                let mut wal = self.bm.wal.lock().expect("wal lock");
+                for (offset, data) in segments {
+                    self.bm.wal_bytes.add(data.len() as u64);
+                    self.bm.wal_records.add(1);
+                    if let Some(wal) = wal.as_mut() {
+                        wal.append(WalEntry::PageDelta {
+                            file: self.file,
+                            page: self.page,
+                            offset,
+                            data,
+                        });
+                    }
                 }
             }
             scratch_return(before);

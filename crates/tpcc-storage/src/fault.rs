@@ -11,6 +11,7 @@
 //! | [`FaultSite::PageFree`]  | [`DiskManager::free_page`] on the live disk | the following `FreePage` record is lost |
 //! | [`FaultSite::WriteBack`] | each dirty-page write-back (eviction or flush) | the log freezes mid-flush |
 //! | [`FaultSite::MissLoad`]  | each buffer-pool miss, before the disk read | the log freezes mid-read |
+//! | [`FaultSite::WalFlush`]  | top of [`Wal::flush`], before the device write | the whole unflushed tail is lost |
 //!
 //! # Crash model
 //!
@@ -55,15 +56,22 @@ pub enum FaultSite {
     WriteBack,
     /// A buffer-pool miss is about to read a page from the device.
     MissLoad,
+    /// A group-commit flush is about to push the WAL tail to the log
+    /// device ([`Wal::flush`]). Only fires under deferred durability.
+    WalFlush,
 }
+
+/// Number of distinct fault-site classes ([`FaultSite::ALL`] length).
+pub const FAULT_SITES: usize = 5;
 
 impl FaultSite {
     /// Every site class, in display order.
-    pub const ALL: [FaultSite; 4] = [
+    pub const ALL: [FaultSite; FAULT_SITES] = [
         FaultSite::WalAppend,
         FaultSite::PageFree,
         FaultSite::WriteBack,
         FaultSite::MissLoad,
+        FaultSite::WalFlush,
     ];
 
     /// Dense index (for per-site counter arrays).
@@ -74,6 +82,7 @@ impl FaultSite {
             FaultSite::PageFree => 1,
             FaultSite::WriteBack => 2,
             FaultSite::MissLoad => 3,
+            FaultSite::WalFlush => 4,
         }
     }
 
@@ -85,6 +94,7 @@ impl FaultSite {
             FaultSite::PageFree => "page_free",
             FaultSite::WriteBack => "write_back",
             FaultSite::MissLoad => "miss_load",
+            FaultSite::WalFlush => "wal_flush",
         }
     }
 }
@@ -199,7 +209,7 @@ pub struct SiteOutcome {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultStats {
     /// Firings per site class, indexed by [`FaultSite::idx`].
-    pub fired: [u64; 4],
+    pub fired: [u64; FAULT_SITES],
     /// Global sequence number the crash tripped at, if one did.
     pub crashed_at: Option<u64>,
     /// Transient write-back failures injected.
@@ -226,10 +236,11 @@ const NO_CRASH: u64 = u64::MAX;
 pub struct FaultHook {
     plan: FaultPlan,
     seq: AtomicU64,
-    fired: [AtomicU64; 4],
+    fired: [AtomicU64; FAULT_SITES],
     crashed: AtomicBool,
     crashed_at: AtomicU64,
-    /// Durable WAL length — maintained by `Wal::append` so non-WAL
+    /// Durable WAL length — maintained by `Wal::append` (synchronous
+    /// durability) or `Wal::flush` (deferred durability) so non-WAL
     /// sites can capture it without touching the WAL mutex (which would
     /// invert the wal → disk lock order).
     wal_len: AtomicU64,
@@ -253,12 +264,7 @@ impl FaultHook {
         Self {
             plan,
             seq: AtomicU64::new(0),
-            fired: [
-                AtomicU64::new(0),
-                AtomicU64::new(0),
-                AtomicU64::new(0),
-                AtomicU64::new(0),
-            ],
+            fired: std::array::from_fn(|_| AtomicU64::new(0)),
             crashed: AtomicBool::new(false),
             crashed_at: AtomicU64::new(NO_CRASH),
             wal_len: AtomicU64::new(0),
@@ -310,9 +316,17 @@ impl FaultHook {
         self.crashed.load(Ordering::Acquire)
     }
 
-    /// Called by `Wal::append` after a record durably lands.
+    /// Called by `Wal::append` after a record durably lands
+    /// (synchronous durability only).
     pub(crate) fn note_durable_append(&self) {
         self.wal_len.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Called by `Wal::flush` after a flush advances the durable
+    /// watermark (deferred durability): the durable length jumps to the
+    /// flushed prefix in one step.
+    pub(crate) fn note_durable_flush(&self, len: usize) {
+        self.wal_len.store(len as u64, Ordering::Release);
     }
 
     /// Called by the buffer manager for each retry a soft fault costs.
@@ -369,12 +383,7 @@ impl FaultHook {
     pub fn stats(&self) -> FaultStats {
         let crashed_at = self.crashed_at.load(Ordering::Acquire);
         FaultStats {
-            fired: [
-                self.fired[0].load(Ordering::Acquire),
-                self.fired[1].load(Ordering::Acquire),
-                self.fired[2].load(Ordering::Acquire),
-                self.fired[3].load(Ordering::Acquire),
-            ],
+            fired: std::array::from_fn(|i| self.fired[i].load(Ordering::Acquire)),
             crashed_at: (crashed_at != NO_CRASH).then_some(crashed_at),
             io_errors: self.io_errors.load(Ordering::Acquire),
             torn_writes: self.torn_writes.load(Ordering::Acquire),

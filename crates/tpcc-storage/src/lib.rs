@@ -13,8 +13,12 @@
 //! * [`btree`] — a page-based B+Tree mapping `u64` keys to `u64`
 //!   values (record ids / encoded payloads), with range scans.
 //! * [`fault`] — deterministic fault injection: numbered fault sites
-//!   at every WAL append, page free, write-back and miss-load, with
-//!   seeded crash and soft-fault plans (zero-cost when uninstalled).
+//!   at every WAL append, page free, write-back, miss-load and WAL
+//!   flush, with seeded crash and soft-fault plans (zero-cost when
+//!   uninstalled).
+//! * [`logmgr`] — group-commit log manager: commit tickets, a
+//!   window/batch flush pipeline over a simulated log device, and
+//!   deferred (flushed-prefix) durability semantics.
 //!
 //! `tpcc-db` builds the executable TPC-C database on top; its measured
 //! buffer behaviour cross-validates the abstract trace model in
@@ -28,6 +32,7 @@ pub mod bufmgr;
 pub mod disk;
 pub mod fault;
 pub mod heap;
+pub mod logmgr;
 pub mod page;
 pub mod wal;
 
@@ -36,7 +41,8 @@ pub use bufmgr::{
     BufferManager, BufferStats, LatchStats, PageReadGuard, PageWriteGuard, Replacement,
 };
 pub use disk::{DiskManager, FileId};
-pub use fault::{FaultHook, FaultPlan, FaultSite, FaultStats, SiteRecord, SoftFault};
+pub use fault::{FaultHook, FaultPlan, FaultSite, FaultStats, SiteRecord, SoftFault, FAULT_SITES};
 pub use heap::{HeapFile, RecordId};
+pub use logmgr::{CommitReceipt, GroupCommitConfig, GroupCommitStats, LogManager};
 pub use page::SlottedPage;
-pub use wal::{apply_entry, page_delta, RecoveryError, Wal, WalEntry};
+pub use wal::{apply_entry, page_delta, page_deltas, RecoveryError, Wal, WalEntry};

@@ -185,11 +185,30 @@ impl WalEntry {
 }
 
 /// An in-memory redo log.
+///
+/// # Durability modes
+///
+/// In the default **synchronous** mode every append is immediately
+/// durable — the historical behaviour, where `committed_len()` is the
+/// last commit marker *in memory*. Under **deferred** durability
+/// ([`Wal::set_deferred`], the group-commit regime) appends land only
+/// in the volatile tail; [`Wal::flush`] pushes the whole tail through
+/// the simulated log device and advances the **durable watermark**
+/// ([`Wal::durable_len`]). Recovery then replays only the committed
+/// prefix *of the durable watermark*: a crash between an append and the
+/// next flush loses the tail, never a flushed commit.
 #[derive(Debug, Clone, Default)]
 pub struct Wal {
     entries: Vec<WalEntry>,
     delta_bytes: u64,
     commit_count: u64,
+    /// Deferred durability (group commit) on?
+    deferred: bool,
+    /// Durable watermark: entries `[..durable_len]` survived the last
+    /// flush. Synchronous mode keeps it pinned to `entries.len()`.
+    durable_len: usize,
+    /// Commit markers inside the durable watermark.
+    durable_commits: u64,
     hook: Option<Arc<FaultHook>>,
 }
 
@@ -201,11 +220,32 @@ impl Wal {
     }
 
     /// Attaches a fault hook: every append becomes a
-    /// [`FaultSite::WalAppend`] fault site, and once the hook's crash
-    /// trips, appends are silently dropped — the durable log is frozen
-    /// at the crash instant (see the `fault` module's crash model).
+    /// [`FaultSite::WalAppend`] fault site (and under deferred
+    /// durability every flush a [`FaultSite::WalFlush`] site), and once
+    /// the hook's crash trips, appends are silently dropped and flushes
+    /// stop advancing the watermark — the durable log is frozen at the
+    /// crash instant (see the `fault` module's crash model).
     pub fn set_fault_hook(&mut self, hook: Arc<FaultHook>) {
         self.hook = Some(hook);
+    }
+
+    /// Switches between synchronous (`false`, the default) and deferred
+    /// (`true`, group-commit) durability. Leaving deferred mode
+    /// promotes the current tail to durable in one step — callers
+    /// should [`Wal::flush`] first if they want the promotion counted
+    /// as a flush.
+    pub fn set_deferred(&mut self, deferred: bool) {
+        self.deferred = deferred;
+        if !deferred {
+            self.durable_len = self.entries.len();
+            self.durable_commits = self.commit_count;
+        }
+    }
+
+    /// True when running under deferred (group-commit) durability.
+    #[must_use]
+    pub fn is_deferred(&self) -> bool {
+        self.deferred
     }
 
     /// Appends an entry.
@@ -221,9 +261,59 @@ impl Wal {
             _ => {}
         }
         self.entries.push(entry);
+        if self.deferred {
+            return; // volatile tail: durable only after the next flush
+        }
+        self.durable_len = self.entries.len();
+        self.durable_commits = self.commit_count;
         if let Some(hook) = &self.hook {
             hook.note_durable_append();
         }
+    }
+
+    /// Pushes the volatile tail to the log device, advancing the
+    /// durable watermark to the current end of the log. Fires a
+    /// [`FaultSite::WalFlush`] fault site *before* the device write: a
+    /// crash tripped there loses the whole unflushed tail. Returns
+    /// `false` when the crash (this one or an earlier one) kept the
+    /// watermark where it was. A flush with nothing pending is a no-op
+    /// (no fault site, returns `true`).
+    pub fn flush(&mut self) -> bool {
+        if self.durable_len == self.entries.len() {
+            return true;
+        }
+        if let Some(hook) = &self.hook {
+            if hook.fire(FaultSite::WalFlush).crash {
+                return false; // tail lost: watermark frozen
+            }
+        }
+        self.durable_len = self.entries.len();
+        self.durable_commits = self.commit_count;
+        if let Some(hook) = &self.hook {
+            hook.note_durable_flush(self.durable_len);
+        }
+        true
+    }
+
+    /// Durable watermark: number of entries that survived the last
+    /// flush (equals [`Wal::len`] under synchronous durability).
+    #[must_use]
+    pub fn durable_len(&self) -> usize {
+        self.durable_len
+    }
+
+    /// Commit markers inside the durable watermark (equals
+    /// [`Wal::commits`] under synchronous durability).
+    #[must_use]
+    pub fn durable_commits(&self) -> u64 {
+        self.durable_commits
+    }
+
+    /// Entries appended but not yet flushed (always 0 under synchronous
+    /// durability).
+    #[must_use]
+    pub fn unflushed(&self) -> usize {
+        self.entries.len() - self.durable_len
     }
 
     /// Entries logged.
@@ -281,14 +371,24 @@ impl Wal {
             }
         }
         self.entries.truncate(keep);
+        if !self.deferred || self.durable_len > keep {
+            // sync mode pins the watermark to the log end; deferred mode
+            // only pulls it back when the cut removed durable entries
+            self.durable_len = keep;
+            self.durable_commits = self.commit_count;
+        }
     }
 
     /// Length of the committed prefix: the index just past the last
-    /// [`WalEntry::Commit`] marker (0 when no transaction committed).
-    /// Recovery replays exactly `entries()[..committed_len()]`.
+    /// [`WalEntry::Commit`] marker inside the **durable watermark** (0
+    /// when no transaction durably committed). Recovery replays exactly
+    /// `entries()[..committed_len()]`. Under synchronous durability the
+    /// watermark is the whole log, so this is the historical "last
+    /// commit marker in memory"; under deferred durability commits in
+    /// the unflushed tail do not count.
     #[must_use]
     pub fn committed_len(&self) -> usize {
-        self.entries
+        self.entries[..self.durable_len]
             .iter()
             .rposition(|e| matches!(e, WalEntry::Commit { .. }))
             .map_or(0, |i| i + 1)
@@ -467,6 +567,58 @@ pub fn page_delta(before: &[u8], after: &[u8]) -> Option<(u32, Vec<u8>)> {
     Some((first as u32, after[first..=last].to_vec()))
 }
 
+/// Minimum run of unchanged bytes that splits one page mutation into
+/// two `PageDelta` records. A record costs 20 bytes of framing, so
+/// carrying an unchanged gap shorter than this inline is cheaper than
+/// a second record.
+pub const DELTA_SPLIT_GAP: usize = 32;
+
+/// Computes the changed byte ranges between two page images as
+/// `(offset, bytes)` segments, splitting wherever at least
+/// [`DELTA_SPLIT_GAP`] unchanged bytes separate two changes. A slotted
+/// page mutates its slot directory near the front and the record bytes
+/// near the back; a single spanning delta would log the untouched
+/// middle of the page — on TPC-C heaps that dead weight is an order of
+/// magnitude over the live bytes. Empty when the images are identical.
+#[must_use]
+pub fn page_deltas(before: &[u8], after: &[u8]) -> Vec<(u32, Vec<u8>)> {
+    debug_assert_eq!(before.len(), after.len());
+    let n = before.len();
+    let mut segments = Vec::new();
+    let mut i = 0;
+    while i < n {
+        if before[i] == after[i] {
+            i += 1;
+            continue;
+        }
+        // a changed run starts here; absorb unchanged gaps shorter
+        // than the split threshold, stop at a long gap or page end
+        let start = i;
+        let mut end = i + 1;
+        let mut j = i + 1;
+        while j < n {
+            if before[j] != after[j] {
+                j += 1;
+                end = j;
+            } else {
+                let gap_start = j;
+                while j < n && before[j] == after[j] {
+                    j += 1;
+                    if j - gap_start >= DELTA_SPLIT_GAP {
+                        break;
+                    }
+                }
+                if j - gap_start >= DELTA_SPLIT_GAP || j == n {
+                    break;
+                }
+            }
+        }
+        segments.push((start as u32, after[start..end].to_vec()));
+        i = j;
+    }
+    segments
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,6 +635,46 @@ mod tests {
         assert_eq!(data[0], 1);
         assert_eq!(data[10], 2);
         assert!(page_delta(&before, &before).is_none());
+    }
+
+    #[test]
+    fn page_deltas_split_on_long_gaps_only() {
+        let before = vec![0u8; 512];
+
+        // two changes separated by less than the split gap: one segment
+        let mut after = before.clone();
+        after[10] = 1;
+        after[10 + DELTA_SPLIT_GAP] = 2;
+        let segs = page_deltas(&before, &after);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].0, 10);
+        assert_eq!(segs[0].1.len(), DELTA_SPLIT_GAP + 1);
+
+        // slot directory at the front, record at the back: two segments
+        // that skip the untouched middle
+        let mut after = before.clone();
+        after[4..8].fill(7);
+        after[400..460].fill(9);
+        let segs = page_deltas(&before, &after);
+        assert_eq!(segs.len(), 2);
+        assert_eq!((segs[0].0, segs[0].1.len()), (4, 4));
+        assert_eq!((segs[1].0, segs[1].1.len()), (400, 60));
+
+        // replaying the segments reconstructs the after-image
+        let mut replayed = before.clone();
+        for (off, data) in &segs {
+            replayed[*off as usize..*off as usize + data.len()].copy_from_slice(data);
+        }
+        assert_eq!(replayed, after);
+
+        assert!(page_deltas(&before, &before).is_empty());
+
+        // change running to the page end terminates cleanly
+        let mut after = before.clone();
+        after[508..].fill(3);
+        let segs = page_deltas(&before, &after);
+        assert_eq!(segs.len(), 1);
+        assert_eq!((segs[0].0, segs[0].1.len()), (508, 4));
     }
 
     #[test]
@@ -878,6 +1070,79 @@ mod tests {
         assert_eq!(wal.commits(), 0);
         assert!(hook.crashed());
         assert_eq!(hook.stats().crashed_at, Some(1));
+    }
+
+    #[test]
+    fn deferred_durability_gates_committed_len_on_flush() {
+        let mut wal = Wal::new();
+        wal.set_deferred(true);
+        wal.append(WalEntry::CreateFile { file: FileId(0) });
+        wal.append(WalEntry::Commit { txn: 1 });
+        assert_eq!(wal.len(), 2);
+        assert_eq!(wal.durable_len(), 0, "nothing flushed yet");
+        assert_eq!(wal.unflushed(), 2);
+        assert_eq!(
+            wal.committed_len(),
+            0,
+            "a commit in the volatile tail is not recoverable"
+        );
+        assert!(wal.flush());
+        assert_eq!(wal.durable_len(), 2);
+        assert_eq!(wal.durable_commits(), 1);
+        assert_eq!(wal.committed_len(), 2, "flushed commit is recoverable");
+        // a second transaction stays volatile until the next flush
+        wal.append(WalEntry::Commit { txn: 2 });
+        assert_eq!(wal.committed_len(), 2);
+        assert!(wal.flush());
+        assert_eq!(wal.committed_len(), 3);
+        assert!(wal.flush(), "empty flush is a no-op");
+    }
+
+    #[test]
+    fn crash_at_flush_loses_the_tail_never_a_flushed_commit() {
+        use crate::fault::{FaultHook, FaultPlan};
+
+        let mut wal = Wal::new();
+        wal.set_deferred(true);
+        // sites: 0,1 appends · 2 flush · 3,4 appends · 5 flush (crash)
+        let hook = Arc::new(FaultHook::new(FaultPlan::crash_at(7, 5)));
+        wal.set_fault_hook(Arc::clone(&hook));
+        wal.append(WalEntry::CreateFile { file: FileId(0) });
+        wal.append(WalEntry::Commit { txn: 1 });
+        assert!(wal.flush(), "first flush survives");
+        wal.append(WalEntry::AllocPage {
+            file: FileId(0),
+            page: 0,
+        });
+        wal.append(WalEntry::Commit { txn: 2 });
+        assert!(!wal.flush(), "second flush trips the crash");
+        assert!(hook.crashed());
+        assert_eq!(wal.durable_len(), 2, "watermark frozen at the last flush");
+        assert_eq!(wal.durable_commits(), 1, "txn 2's commit is lost");
+        assert_eq!(wal.committed_len(), 2);
+        // post-crash traffic changes nothing durable
+        wal.append(WalEntry::Commit { txn: 3 });
+        assert!(!wal.flush());
+        assert_eq!(wal.durable_len(), 2);
+        assert_eq!(hook.stats().fired[FaultSite::WalFlush.idx()], 2);
+    }
+
+    #[test]
+    fn deferred_truncate_clamps_the_watermark() {
+        let mut wal = Wal::new();
+        wal.set_deferred(true);
+        wal.append(WalEntry::Commit { txn: 1 });
+        wal.flush();
+        wal.append(WalEntry::Commit { txn: 2 });
+        wal.append(WalEntry::Commit { txn: 3 });
+        // cut inside the volatile tail: watermark untouched
+        wal.truncate(2);
+        assert_eq!(wal.durable_len(), 1);
+        assert_eq!(wal.durable_commits(), 1);
+        // cut below the watermark: watermark follows
+        wal.truncate(0);
+        assert_eq!(wal.durable_len(), 0);
+        assert_eq!(wal.durable_commits(), 0);
     }
 
     #[test]
