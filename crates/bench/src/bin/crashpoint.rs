@@ -15,11 +15,15 @@
 //!    every flush boundary, recorded WAL positions are durable
 //!    watermarks, and a crash between flushes must recover to the last
 //!    *flushed* commit — never losing a flushed one.
-//! 3. `soft` — the same workload under transient write-back I/O
+//! 3. `mvcc_sweep` — the enumerated sweep with `DbConfig::mvcc` on and
+//!    spec-rate (1%) New-Order rollbacks live: `undo_append` sites mark
+//!    every chained pre-image, and an aborted transaction's forward +
+//!    compensating page deltas must replay to the exact oracle image.
+//! 4. `soft` — the same workload under transient write-back I/O
 //!    errors and torn (64-byte-boundary) page writes: the bounded
 //!    retry must absorb every fault, the consistency checks must pass,
 //!    and crash recovery must still reproduce the flushed image.
-//! 4. `boundaries` — the WAL truncated at every record boundary.
+//! 5. `boundaries` — the WAL truncated at every record boundary.
 //!
 //! Exits non-zero if any site fails to recover, fewer than 200 sites
 //! are enumerated, or the soft-fault run diverges — CI runs this
@@ -109,7 +113,20 @@ fn main() {
     let gc_sweep = crashpoint_sweep(&gc_cfg);
     emit(sweep_line("gc_sweep", &gc_sweep));
 
-    // 3. soft-fault convergence
+    // 3. the enumerated sweep with MVCC on and spec rollbacks in the
+    // input streams: undo_append sites fire on every chained pre-image,
+    // and the oracle (same config) replays the aborts' forward +
+    // compensating deltas to the identical committed image
+    let mut mvcc_dbcfg = dbcfg;
+    mvcc_dbcfg.mvcc = true;
+    let mut mvcc_cfg = SweepConfig::new(mvcc_dbcfg, transactions, seed);
+    mvcc_cfg.driver = DriverConfig::default().with_spec_rollbacks();
+    mvcc_cfg.live_reruns = cfg.live_reruns;
+    mvcc_cfg.recover_samples = cfg.recover_samples;
+    let mvcc_sweep = crashpoint_sweep(&mvcc_cfg);
+    emit(sweep_line("mvcc_sweep", &mvcc_sweep));
+
+    // 4. soft-fault convergence
     let mut db = loader::load(dbcfg, seed);
     let soft = db.run_with_faults(
         DriverConfig::default(),
@@ -126,7 +143,7 @@ fn main() {
         soft.faults.io_errors, soft.faults.torn_writes, soft.faults.retries,
     ));
 
-    // 4. every WAL record boundary
+    // 5. every WAL record boundary
     let boundaries = verify_record_boundaries(&cfg);
     emit(format!(
         "{{\"pass\":\"boundaries\",\"seed\":{seed},\"boundaries\":{},\
@@ -141,6 +158,8 @@ fn main() {
         && sweep.sites_total >= 200
         && gc_sweep.all_recovered()
         && gc_sweep.per_site[FaultSite::WalFlush.idx()] > 0
+        && mvcc_sweep.all_recovered()
+        && mvcc_sweep.per_site[FaultSite::UndoAppend.idx()] > 0
         && soft.faults.retries > 0
         && consistent
         && recovered
@@ -150,11 +169,13 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!(
-        "crashpoint: {} sites + {} under group commit ({} flush boundaries), \
-         {} prefixes, {} boundaries — all recovered",
+        "crashpoint: {} sites + {} under group commit ({} flush boundaries) \
+         + {} under MVCC ({} undo appends), {} prefixes, {} boundaries — all recovered",
         sweep.sites_total,
         gc_sweep.sites_total,
         gc_sweep.per_site[FaultSite::WalFlush.idx()],
+        mvcc_sweep.sites_total,
+        mvcc_sweep.per_site[FaultSite::UndoAppend.idx()],
         sweep.distinct_prefixes,
         boundaries.boundaries
     );

@@ -1,0 +1,221 @@
+//! Reader/writer interference sweep for MVCC snapshot reads: pinned
+//! read-only terminals (Order-Status + Stock-Level) against a scaled
+//! writer population, with and without `DbConfig::mvcc`.
+//!
+//! Under strict 2PL the readers' S-locks queue behind the writers'
+//! X-locks on the hot district and stock rows, so reader latency grows
+//! with the writer count. Under MVCC the readers pin a snapshot and
+//! never touch the lock manager, so their latency should be flat in
+//! the writer count — the tentpole claim this binary gates:
+//!
+//! * with MVCC on, Stock-Level p95 at 8 write terminals must stay
+//!   within 1.5× of its 1-write-terminal value, and
+//! * a pure read-only MVCC run must acquire exactly **zero** locks
+//!   (asserted via the lock-manager counters), while resolving reads
+//!   through the version chains (`snapshot_reads > 0`).
+//!
+//! Writers run the spec's §2.4.1.4 1% New-Order rollbacks in both
+//! modes (probe-validated without MVCC, real undo-backed aborts with
+//! it), so the comparison is apples-to-apples and every cell exercises
+//! the abort path.
+//!
+//! Emits one JSON object per line to `results/snapshot_scaling.jsonl`
+//! (and stdout): one line per (mvcc, write_terminals) cell plus one
+//! `read_only` line. Exits non-zero if a gate fails.
+//!
+//! ```text
+//! cargo run --release -p tpcc-bench --bin snapshot_scaling -- \
+//!     [transactions_per_terminal] [seed]
+//! ```
+
+use std::io::Write as _;
+use std::sync::Arc;
+use tpcc_db::db::DbConfig;
+use tpcc_db::driver::DriverConfig;
+use tpcc_db::{loader, ParallelDriver, TerminalGroup};
+use tpcc_obs::{MemoryRecorder, Obs};
+
+const WRITE_TERMINALS: [u64; 4] = [1, 2, 4, 8];
+const READER_TERMINALS: u64 = 2;
+/// Writer keying/think time (µs). The sweep runs on whatever CPU count
+/// the box has — think time keeps total utilization below saturation
+/// even at 8 writers on one core, so reader latency measures data
+/// contention (lock waits vs snapshot reads), not run-queue depth.
+const WRITER_THINK_US: u64 = 10_000;
+/// Reader think time (µs).
+const READER_THINK_US: u64 = 8_000;
+/// Readers' p95 at 8 write terminals vs 1, MVCC on (the tentpole gate).
+const MAX_P95_BLOWUP: f64 = 1.5;
+
+/// Per-cell deltas of the MVCC/lock counters (the database is reused
+/// within a sweep, so totals are diffed).
+struct CounterProbe {
+    rec: Arc<MemoryRecorder>,
+    names: [&'static str; 6],
+    prev: [u64; 6],
+}
+
+impl CounterProbe {
+    fn new(rec: Arc<MemoryRecorder>) -> Self {
+        let names = [
+            "lock_acquires",
+            "lock_waits",
+            "snapshot_reads",
+            "versions_traversed",
+            "undo_bytes",
+            "aborts",
+        ];
+        Self {
+            rec,
+            names,
+            prev: [0; 6],
+        }
+    }
+
+    fn delta(&mut self) -> [u64; 6] {
+        let now: [u64; 6] = std::array::from_fn(|i| self.rec.counter_total(self.names[i]));
+        let d = std::array::from_fn(|i| now[i] - self.prev[i]);
+        self.prev = now;
+        d
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let per_terminal: u64 = args
+        .next()
+        .map(|s| s.parse().expect("transactions_per_terminal must be a u64"))
+        .unwrap_or(600);
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(42);
+
+    let writer_cfg = DriverConfig {
+        mix: [0.47, 0.48, 0.0, 0.05, 0.0],
+        ..DriverConfig::default().with_spec_rollbacks()
+    };
+    let reader_cfg = DriverConfig {
+        mix: [0.0, 0.0, 0.5, 0.0, 0.5],
+        ..DriverConfig::default()
+    };
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let mut out = std::fs::File::create("results/snapshot_scaling.jsonl")
+        .expect("open results/snapshot_scaling.jsonl");
+    let mut emit = |line: String| {
+        println!("{line}");
+        writeln!(out, "{line}").expect("write results/snapshot_scaling.jsonl");
+    };
+
+    let mut gates_ok = true;
+
+    for mvcc in [false, true] {
+        // one load per mode, reused across writer counts (append-only
+        // workload; same trade as the scaling sweep)
+        let mut cfg = DbConfig::small();
+        cfg.warehouses = 2;
+        cfg.mvcc = mvcc;
+        cfg.enable_wal = true;
+        // fully buffer-resident: the interference under study is
+        // lock-vs-snapshot, not buffer churn
+        cfg.buffer_frames = 4096;
+        cfg.buffer_shards = 8;
+        let mut db = loader::load(cfg, seed);
+        let rec = Arc::new(MemoryRecorder::new());
+        db.set_obs(Obs::new(rec.clone()));
+        let mut probe = CounterProbe::new(rec.clone());
+
+        let mut p95_w1 = f64::NAN;
+        let mut sweep_rollbacks = 0u64;
+        for writers in WRITE_TERMINALS {
+            probe.delta(); // rebase
+            let reports = ParallelDriver::run_mixed(
+                &db,
+                &[
+                    TerminalGroup {
+                        cfg: writer_cfg,
+                        terminals: writers,
+                        transactions_per_terminal: per_terminal,
+                        think_us: WRITER_THINK_US,
+                    },
+                    TerminalGroup {
+                        cfg: reader_cfg,
+                        terminals: READER_TERMINALS,
+                        transactions_per_terminal: per_terminal,
+                        think_us: READER_THINK_US,
+                    },
+                ],
+                seed + writers,
+            );
+            let (w, r) = (&reports[0], &reports[1]);
+            let [_, lock_waits, snap_reads, hops, undo_bytes, aborts] = probe.delta();
+            let sl_p95 = r.latency_ns[4].quantile(0.95) / 1000.0;
+            let os_p95 = r.latency_ns[2].quantile(0.95) / 1000.0;
+            if writers == 1 {
+                p95_w1 = sl_p95;
+            }
+            emit(format!(
+                "{{\"cell\":\"sweep\",\"mvcc\":{mvcc},\"write_terminals\":{writers},\
+                 \"reader_terminals\":{READER_TERMINALS},\"per_terminal\":{per_terminal},\
+                 \"seed\":{seed},\"elapsed_s\":{:.6},\"writer_tps\":{:.1},\
+                 \"rollbacks\":{},\"writer_retries\":{},\
+                 \"stock_level_p95_us\":{sl_p95:.1},\"order_status_p95_us\":{os_p95:.1},\
+                 \"lock_waits\":{lock_waits},\"snapshot_reads\":{snap_reads},\
+                 \"versions_traversed\":{hops},\"undo_bytes\":{undo_bytes},\
+                 \"aborts\":{aborts}}}",
+                w.elapsed.as_secs_f64(),
+                w.total() as f64 / w.elapsed.as_secs_f64(),
+                w.rollbacks,
+                w.retries.iter().sum::<u64>(),
+            ));
+            sweep_rollbacks += w.rollbacks;
+            if mvcc && writers == 8 && sl_p95 > MAX_P95_BLOWUP * p95_w1 {
+                eprintln!(
+                    "GATE: Stock-Level p95 {sl_p95:.1}µs at W=8 exceeds \
+                     {MAX_P95_BLOWUP}× the W=1 value {p95_w1:.1}µs"
+                );
+                gates_ok = false;
+            }
+        }
+        if sweep_rollbacks == 0 {
+            eprintln!("GATE: expected 1% New-Order rollbacks to fire (mvcc={mvcc})");
+            gates_ok = false;
+        }
+
+        if mvcc {
+            // the zero-lock criterion: a pure read-only run must not
+            // drive the lock manager at all
+            probe.delta(); // rebase
+            let report =
+                ParallelDriver::new(reader_cfg, 4, seed ^ 0xdead_beef).run(&db, 4 * per_terminal);
+            let [locks, waits, snap_reads, ..] = probe.delta();
+            emit(format!(
+                "{{\"cell\":\"read_only\",\"mvcc\":true,\"terminals\":4,\
+                 \"transactions\":{},\"seed\":{seed},\"lock_acquires\":{locks},\
+                 \"lock_waits\":{waits},\"snapshot_reads\":{snap_reads}}}",
+                report.total(),
+            ));
+            if locks != 0 || waits != 0 {
+                eprintln!("GATE: read-only MVCC run acquired {locks} locks ({waits} waits)");
+                gates_ok = false;
+            }
+            if snap_reads == 0 {
+                eprintln!("GATE: read-only MVCC run resolved no snapshot reads");
+                gates_ok = false;
+            }
+        }
+
+        let consistency = db.verify_consistency();
+        if !consistency.is_consistent() {
+            eprintln!("GATE: consistency check failed (mvcc={mvcc}): {consistency:?}");
+            gates_ok = false;
+        }
+    }
+
+    if !gates_ok {
+        eprintln!("snapshot_scaling: FAILED (see results/snapshot_scaling.jsonl)");
+        std::process::exit(1);
+    }
+    eprintln!("snapshot_scaling: all gates passed");
+}

@@ -14,12 +14,17 @@
 //! | 4 | 2 | — | moderate lock + buffer contention |
 //! | 8 | 4 | — | the scaling sweep's headline cell |
 //! | 8 | 4 | 200 µs / 32 / 50 µs | the group-commit flush pipeline |
+//! | 8 | 4 (MVCC) | — | snapshot reads + 1% undo-backed rollbacks |
 //!
-//! Per cell: throughput, New-Order / Payment p95 (sketch quantiles),
-//! buffer-miss ppm, WAL bytes per transaction, and — in the
-//! group-commit cell — commits per flush and the p95 commit wait, so
-//! a batching regression (flushes stop grouping) or a wait blow-up
-//! fails the gate like any other slowdown.
+//! Per cell: throughput, New-Order / Payment / Stock-Level p95 (sketch
+//! quantiles), buffer-miss ppm, WAL bytes per transaction, and — in
+//! the group-commit cell — commits per flush and the p95 commit wait,
+//! so a batching regression (flushes stop grouping) or a wait blow-up
+//! fails the gate like any other slowdown. The MVCC cell runs the
+//! spec's 1% New-Order rollback rate and additionally gates the
+//! rollback count (deterministic in the seeded input streams) and the
+//! Stock-Level p95 — a snapshot-read slowdown or an abort-path
+//! explosion fails like any other regression.
 //!
 //! ```text
 //! cargo run --release -p tpcc-bench --bin trajectory               # append a point
@@ -44,16 +49,23 @@ use tpcc_db::driver::DriverConfig;
 use tpcc_db::{loader, GroupCommitConfig, ParallelDriver};
 use tpcc_obs::{MemoryRecorder, Obs};
 
-const SCHEMA: u32 = 2;
+const SCHEMA: u32 = 3;
 const SEED: u64 = 42;
 const TXNS_PER_CELL: u64 = 10_000;
 const WARMUP: u64 = 1_000;
 /// Replicates per cell; each metric reports its median across them,
 /// which keeps scheduler noise on shared runners out of the gate.
 const REPLICATES: usize = 3;
-/// (threads, warehouses, group commit). The final cell re-runs the
-/// headline parallel cell through the threaded flush pipeline.
-const CELLS: [(u64, u64, bool); 4] = [(1, 1, false), (4, 2, false), (8, 4, false), (8, 4, true)];
+/// (threads, warehouses, group commit, mvcc). The fourth cell re-runs
+/// the headline parallel cell through the threaded flush pipeline; the
+/// fifth re-runs it with snapshot reads and spec-rate rollbacks on.
+const CELLS: [(u64, u64, bool, bool); 5] = [
+    (1, 1, false, false),
+    (4, 2, false, false),
+    (8, 4, false, false),
+    (8, 4, true, false),
+    (8, 4, false, true),
+];
 /// The group-commit cell's knobs: window µs, max batch, device µs —
 /// the same operating point the timeseries run pins.
 const GC: GroupCommitConfig = GroupCommitConfig {
@@ -62,8 +74,9 @@ const GC: GroupCommitConfig = GroupCommitConfig {
     log_io_delay_us: 50,
     inline: false,
 };
-/// new_order, payment — the two types whose p95 the gate watches.
-const P95_TYPES: [usize; 2] = [0, 1];
+/// new_order, payment, stock_level — the types whose p95 the gate
+/// watches (stock_level is the snapshot-read path in the MVCC cell).
+const P95_TYPES: [usize; 3] = [0, 1, 4];
 
 const TRAJECTORY_PATH: &str = "results/BENCH_trajectory.json";
 const BASELINE_PATH: &str = "results/BENCH_baseline.json";
@@ -72,33 +85,42 @@ struct Cell {
     threads: u64,
     warehouses: u64,
     group_commit: bool,
+    mvcc: bool,
     tps: f64,
-    p95_us: [f64; 2],
+    p95_us: [f64; 3],
     miss_ppm: f64,
     wal_bytes_per_txn: f64,
     /// 0 in sync cells (no flush pipeline to measure).
     commits_per_flush: f64,
     /// 0 in sync cells.
     commit_wait_p95_us: f64,
+    /// 0 outside the MVCC cell (rollback rate is 0 elsewhere).
+    rollbacks: f64,
 }
 
 impl Cell {
     fn to_json(&self) -> String {
         format!(
-            "{{\"threads\":{},\"warehouses\":{},\"group_commit\":{},\"tps\":{:.1},\
+            "{{\"threads\":{},\"warehouses\":{},\"group_commit\":{},\"mvcc\":{},\
+             \"tps\":{:.1},\
              \"new_order_p95_us\":{:.1},\"payment_p95_us\":{:.1},\
+             \"stock_level_p95_us\":{:.1},\
              \"miss_ppm\":{:.1},\"wal_bytes_per_txn\":{:.1},\
-             \"commits_per_flush\":{:.2},\"commit_wait_p95_us\":{:.1}}}",
+             \"commits_per_flush\":{:.2},\"commit_wait_p95_us\":{:.1},\
+             \"rollbacks\":{:.0}}}",
             self.threads,
             self.warehouses,
             self.group_commit,
+            self.mvcc,
             self.tps,
             self.p95_us[0],
             self.p95_us[1],
+            self.p95_us[2],
             self.miss_ppm,
             self.wal_bytes_per_txn,
             self.commits_per_flush,
             self.commit_wait_p95_us,
+            self.rollbacks,
         )
     }
 }
@@ -109,25 +131,31 @@ fn median(mut xs: Vec<f64>) -> f64 {
 }
 
 /// Runs the cell [`REPLICATES`] times and takes the per-metric median.
-fn run_cell(threads: u64, warehouses: u64, group_commit: bool) -> Cell {
+fn run_cell(threads: u64, warehouses: u64, group_commit: bool, mvcc: bool) -> Cell {
     let runs: Vec<Cell> = (0..REPLICATES)
-        .map(|_| run_cell_once(threads, warehouses, group_commit))
+        .map(|_| run_cell_once(threads, warehouses, group_commit, mvcc))
         .collect();
     let of = |f: &dyn Fn(&Cell) -> f64| median(runs.iter().map(f).collect());
     Cell {
         threads,
         warehouses,
         group_commit,
+        mvcc,
         tps: of(&|c| c.tps),
-        p95_us: [of(&|c| c.p95_us[0]), of(&|c| c.p95_us[1])],
+        p95_us: [
+            of(&|c| c.p95_us[0]),
+            of(&|c| c.p95_us[1]),
+            of(&|c| c.p95_us[2]),
+        ],
         miss_ppm: of(&|c| c.miss_ppm),
         wal_bytes_per_txn: of(&|c| c.wal_bytes_per_txn),
         commits_per_flush: of(&|c| c.commits_per_flush),
         commit_wait_p95_us: of(&|c| c.commit_wait_p95_us),
+        rollbacks: of(&|c| c.rollbacks),
     }
 }
 
-fn run_cell_once(threads: u64, warehouses: u64, group_commit: bool) -> Cell {
+fn run_cell_once(threads: u64, warehouses: u64, group_commit: bool, mvcc: bool) -> Cell {
     let mut cfg = DbConfig::small();
     cfg.warehouses = warehouses;
     cfg.buffer_frames = 256 * warehouses as usize;
@@ -135,11 +163,19 @@ fn run_cell_once(threads: u64, warehouses: u64, group_commit: bool) -> Cell {
     cfg.io_delay_us = 100;
     cfg.enable_wal = true;
     cfg.group_commit = group_commit.then_some(GC);
+    cfg.mvcc = mvcc;
     let mut db = loader::load(cfg, SEED);
     let recorder = Arc::new(MemoryRecorder::new());
     db.set_obs(Obs::new(recorder.clone()));
 
-    let driver = ParallelDriver::new(DriverConfig::default(), threads, SEED);
+    let dcfg = if mvcc {
+        // the MVCC cell runs the spec's 1% rollback rate, so the
+        // undo-backed abort path is on the gated hot path
+        DriverConfig::default().with_spec_rollbacks()
+    } else {
+        DriverConfig::default()
+    };
+    let driver = ParallelDriver::new(dcfg, threads, SEED);
     driver.run(&db, WARMUP); // discarded: fault the working set in
     let warm_misses = recorder.counter_total("buf_misses");
     let warm_hits = recorder.counter_total("buf_hits");
@@ -175,12 +211,14 @@ fn run_cell_once(threads: u64, warehouses: u64, group_commit: bool) -> Cell {
         threads,
         warehouses,
         group_commit,
+        mvcc,
         tps: report.throughput(),
         p95_us: P95_TYPES.map(|t| report.latency_ns[t].quantile(0.95) / 1e3),
         miss_ppm: misses / (hits + misses).max(1.0) * 1e6,
         wal_bytes_per_txn: wal / report.total() as f64,
         commits_per_flush,
         commit_wait_p95_us,
+        rollbacks: report.rollbacks as f64,
     }
 }
 
@@ -281,6 +319,8 @@ fn check(fresh: &str) -> Result<(), Vec<String>> {
     for (f, b) in fresh_cells.iter().zip(&base_cells) {
         let gc_tag = if f.contains("\"group_commit\":true") {
             "+gc"
+        } else if f.contains("\"mvcc\":true") {
+            "+mvcc"
         } else {
             ""
         };
@@ -300,6 +340,11 @@ fn check(fresh: &str) -> Result<(), Vec<String>> {
             },
             Gate {
                 key: "payment_p95_us",
+                band: wall_band,
+                higher_is_worse: true,
+            },
+            Gate {
+                key: "stock_level_p95_us",
                 band: wall_band,
                 higher_is_worse: true,
             },
@@ -324,6 +369,14 @@ fn check(fresh: &str) -> Result<(), Vec<String>> {
             Gate {
                 key: "commit_wait_p95_us",
                 band: wall_band,
+                higher_is_worse: true,
+            },
+            // MVCC cell only (identically 0 elsewhere): rollback
+            // draws live in the seeded input streams, so the count is
+            // stable — an explosion means the abort path broke
+            Gate {
+                key: "rollbacks",
+                band: count_band,
                 higher_is_worse: true,
             },
         ];
@@ -379,10 +432,14 @@ fn main() {
 
     let cells: Vec<Cell> = CELLS
         .iter()
-        .map(|&(threads, warehouses, group_commit)| {
-            let tag = if group_commit { "+gc" } else { "" };
+        .map(|&(threads, warehouses, group_commit, mvcc)| {
+            let tag = match (group_commit, mvcc) {
+                (true, _) => "+gc",
+                (_, true) => "+mvcc",
+                _ => "",
+            };
             eprintln!("cell {threads}thr×{warehouses}wh{tag} ({TXNS_PER_CELL} txns)...");
-            run_cell(threads, warehouses, group_commit)
+            run_cell(threads, warehouses, group_commit, mvcc)
         })
         .collect();
     let point = point_json(&cells);

@@ -7,7 +7,8 @@ use tpcc_obs::Obs;
 use tpcc_schema::relation::Relation;
 use tpcc_storage::{
     BTree, BufferManager, BufferStats, DiskManager, FaultHook, FaultPlan, FaultStats,
-    GroupCommitConfig, GroupCommitStats, HeapFile, RecordId, RecoveryError, Replacement, Wal,
+    GroupCommitConfig, GroupCommitStats, HeapFile, RecordId, RecoveryError, Replacement, UndoStore,
+    Wal,
 };
 
 /// Scale and resource configuration.
@@ -50,6 +51,15 @@ pub struct DbConfig {
     /// `io_delay_us`, so load-time traffic is not batched. See
     /// `tpcc_storage::logmgr` for the ticket/batcher protocol.
     pub group_commit: Option<GroupCommitConfig>,
+    /// Enable MVCC snapshot reads (off by default, preserving the
+    /// historical execution byte-for-byte). When on, writers stamp
+    /// pre-images into undo version chains at commit, read-only
+    /// transactions ([`TpccDb::order_status_at`],
+    /// [`TpccDb::stock_level_at`]) run against a pinned snapshot with
+    /// zero lock acquisitions, and `new_order_checked` rolls back via
+    /// a real undo-backed abort instead of validate-then-apply. See
+    /// `tpcc_storage::undo` and DESIGN.md §11.
+    pub mvcc: bool,
 }
 
 impl DbConfig {
@@ -69,6 +79,7 @@ impl DbConfig {
             buffer_shards: 1,
             io_delay_us: 0,
             group_commit: None,
+            mvcc: false,
         }
     }
 
@@ -89,6 +100,7 @@ impl DbConfig {
             buffer_shards: 1,
             io_delay_us: 0,
             group_commit: None,
+            mvcc: false,
         }
     }
 
@@ -181,6 +193,8 @@ pub struct TpccDb {
     pub(crate) clock: AtomicU64,
     /// Post-load disk image for crash recovery (WAL mode only).
     pub(crate) checkpoint: Option<DiskManager>,
+    /// MVCC undo version chains (unused unless `cfg.mvcc`).
+    pub(crate) undo: UndoStore,
 }
 
 impl TpccDb {
@@ -220,6 +234,7 @@ impl TpccDb {
             idx,
             clock: AtomicU64::new(0),
             checkpoint: None,
+            undo: UndoStore::new(16),
         }
     }
 
@@ -229,7 +244,11 @@ impl TpccDb {
     /// nanoseconds spent waiting on the commit ticket (0 otherwise).
     pub(crate) fn commit(&self) -> u64 {
         let txn = self.clock.load(Ordering::Relaxed);
-        self.bm.log_commit(txn)
+        let wait = self.bm.log_commit(txn);
+        // durable first, visible second: the undo clock publishes this
+        // transaction's versions only after its commit record is logged
+        self.finish_write();
+        wait
     }
 
     /// WAL-mode self-test: "crash" (pretend every unflushed dirty page
@@ -288,7 +307,9 @@ impl TpccDb {
     /// I/O is not counted as fault sites; see [`crate::inject`] for the
     /// sweep harnesses built on top.
     pub fn install_fault_plan(&mut self, plan: FaultPlan) -> Arc<FaultHook> {
-        self.bm.install_fault_hook(plan)
+        let hook = self.bm.install_fault_hook(plan);
+        self.undo.set_fault_hook(hook.clone());
+        hook
     }
 
     /// Fault counters from the installed hook (`None` when no plan has
@@ -458,6 +479,7 @@ impl TpccDb {
         ] {
             tree.attach_obs(&obs);
         }
+        self.undo.attach_obs(&obs);
     }
 
     /// The attached observability handle (disabled unless

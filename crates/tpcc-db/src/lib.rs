@@ -20,6 +20,7 @@ pub mod driver;
 pub mod inject;
 pub mod keys;
 pub mod loader;
+pub mod mvcc;
 pub mod names;
 pub mod parallel;
 pub mod records;
@@ -33,7 +34,7 @@ pub use inject::{
     crashpoint_sweep, torn_tail_byte_sweep, verify_record_boundaries, BoundaryReport,
     FaultRunReport, SweepConfig, SweepReport, TornTailReport,
 };
-pub use parallel::{ParallelDriver, ParallelReport};
+pub use parallel::{ParallelDriver, ParallelReport, TerminalGroup};
 pub use telemetry::{Telemetry, TelemetryConfig, WindowAccum};
 pub use txns::{
     DeliveryResult, NewOrderAborted, NewOrderResult, OrderStatusResult, PaymentResult,
@@ -41,9 +42,9 @@ pub use txns::{
 };
 pub use verify::ConsistencyReport;
 
-// Fault-injection and group-commit vocabulary, re-exported so harness
-// users don't need a direct `tpcc-storage` dependency.
+// Fault-injection, group-commit, and MVCC vocabulary, re-exported so
+// harness users don't need a direct `tpcc-storage` dependency.
 pub use tpcc_storage::{
     FaultHook, FaultPlan, FaultSite, FaultStats, GroupCommitConfig, GroupCommitStats, SiteRecord,
-    FAULT_SITES,
+    Snapshot, UndoStore, FAULT_SITES,
 };

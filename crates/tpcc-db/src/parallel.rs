@@ -16,9 +16,17 @@
 //! |---|---|
 //! | New-Order | S warehouse; X district; X customer; X each supplying stock row |
 //! | Payment | X warehouse; X district; X customer (pre-resolved for by-name) |
-//! | Order-Status | S customer (pre-resolved) |
+//! | Order-Status | S customer (pre-resolved) — **empty** under MVCC |
 //! | Delivery | per district: X district, then X order + X customer of the peeked oldest pending order |
-//! | Stock-Level | S district |
+//! | Stock-Level | S district — **empty** under MVCC |
+//!
+//! With [`DbConfig::mvcc`](crate::DbConfig) on, the two read-only
+//! types bypass the lock manager entirely: they pin a snapshot
+//! ([`TpccDb::snapshot`]) and run `order_status_at` /
+//! `stock_level_at` against the undo version chains — zero lock
+//! acquisitions, no wound/wait traffic, and no interference with the
+//! writer types (the §4 response-time model's assumption, which
+//! S-locks could not honor).
 //!
 //! Delivery runs as ten per-district sub-transactions (the spec frames
 //! deferred delivery that way); each peeks the oldest pending order
@@ -248,6 +256,71 @@ impl ParallelDriver {
     }
 }
 
+/// One homogeneous slice of a heterogeneous run: `terminals` threads
+/// all drawing from `cfg`'s transaction mix. Used by
+/// [`ParallelDriver::run_mixed`] to pin dedicated reader terminals
+/// against a scaled writer population (the `snapshot_scaling` bench).
+#[derive(Debug, Clone, Copy)]
+pub struct TerminalGroup {
+    /// The mix and knobs this group's terminals draw inputs from.
+    pub cfg: DriverConfig,
+    /// Threads in the group.
+    pub terminals: u64,
+    /// Transactions each thread executes.
+    pub transactions_per_terminal: u64,
+    /// Sleep between transactions (µs), outside the timed window — the
+    /// spec's keying/think time (§5.2.5.7), collapsed to a constant.
+    /// Keeps a sweep below CPU saturation so latency measures data
+    /// contention, not run-queue depth. 0 = closed loop at full speed.
+    pub think_us: u64,
+}
+
+impl ParallelDriver {
+    /// Runs heterogeneous terminal groups concurrently against one
+    /// database and lock manager, returning one merged report **per
+    /// group** (group reports share the run's wall-clock `elapsed`).
+    /// Terminal seeds are global across groups
+    /// ([`terminal_seed`]`(seed, t)` for the t-th thread overall), so
+    /// reshaping group sizes reshuffles streams deterministically.
+    pub fn run_mixed(db: &TpccDb, groups: &[TerminalGroup], seed: u64) -> Vec<ParallelReport> {
+        let mut lm = LockManager::new();
+        lm.set_obs(db.obs(), &SPACE_LABELS);
+        let partials: Vec<Mutex<Vec<ParallelReport>>> =
+            groups.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            let lm = &lm;
+            let mut t = 0u64;
+            for (slot, group) in partials.iter().zip(groups) {
+                for _ in 0..group.terminals {
+                    let term_seed = terminal_seed(seed, t);
+                    t += 1;
+                    scope.spawn(move || {
+                        let mut term = Terminal::new(db, lm, group.cfg, term_seed, None);
+                        term.think_us = group.think_us;
+                        let part = term.run(group.transactions_per_terminal);
+                        slot.lock().expect("partials").push(part);
+                    });
+                }
+            }
+        });
+        let elapsed = start.elapsed();
+        partials
+            .into_iter()
+            .map(|slot| {
+                let mut report = ParallelReport {
+                    elapsed,
+                    ..ParallelReport::default()
+                };
+                for part in slot.into_inner().expect("partials") {
+                    report.absorb(&part);
+                }
+                report
+            })
+            .collect()
+    }
+}
+
 /// One terminal thread's execution context: its input stream, its
 /// pre-resolved metric handles, and its running counts.
 struct Terminal<'a> {
@@ -261,6 +334,8 @@ struct Terminal<'a> {
     rollback_c: CounterHandle,
     trace: TraceHandle,
     telemetry: Option<(Arc<Telemetry>, Arc<Mutex<WindowAccum>>)>,
+    /// Post-transaction sleep (µs), outside the latency window.
+    think_us: u64,
 }
 
 impl<'a> Terminal<'a> {
@@ -289,6 +364,7 @@ impl<'a> Terminal<'a> {
             rollback_c: obs.counter_handle("txn_rollbacks", Label::Name(TX_NAMES[0])),
             trace: obs.trace_handle("txn"),
             telemetry,
+            think_us: 0,
         }
     }
 
@@ -309,6 +385,9 @@ impl<'a> Terminal<'a> {
             if let Some((tel, shard)) = &self.telemetry {
                 shard.lock().expect("telemetry shard").record(t, ns);
                 tel.note_completion();
+            }
+            if self.think_us > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(self.think_us));
             }
         }
         for t in 0..5 {
@@ -407,13 +486,19 @@ impl<'a> Terminal<'a> {
                 self.locked(1, &lockset, || db.payment(w, d, cw, cd, selector, amount));
             }
             TxnInput::OrderStatus { w, d, selector } => {
-                let c_id = self.db.resolve_customer_id(w, d, selector);
-                let lockset = [(
-                    k(space::CUSTOMER, keys::customer(w, d, c_id)),
-                    LockMode::Shared,
-                )];
-                let db = self.db;
-                self.locked(2, &lockset, || db.order_status(w, d, selector));
+                if self.db.config().mvcc {
+                    // lock-free: the snapshot pin is the whole isolation
+                    let snap = self.db.snapshot();
+                    self.db.order_status_at(&snap, w, d, selector);
+                } else {
+                    let c_id = self.db.resolve_customer_id(w, d, selector);
+                    let lockset = [(
+                        k(space::CUSTOMER, keys::customer(w, d, c_id)),
+                        LockMode::Shared,
+                    )];
+                    let db = self.db;
+                    self.locked(2, &lockset, || db.order_status(w, d, selector));
+                }
             }
             TxnInput::Delivery { w, carrier } => {
                 for d in 0..10 {
@@ -421,9 +506,14 @@ impl<'a> Terminal<'a> {
                 }
             }
             TxnInput::StockLevel { w, d, threshold } => {
-                let lockset = [(k(space::DISTRICT, keys::district(w, d)), LockMode::Shared)];
-                let db = self.db;
-                self.locked(4, &lockset, || db.stock_level(w, d, threshold));
+                if self.db.config().mvcc {
+                    let snap = self.db.snapshot();
+                    self.db.stock_level_at(&snap, w, d, threshold);
+                } else {
+                    let lockset = [(k(space::DISTRICT, keys::district(w, d)), LockMode::Shared)];
+                    let db = self.db;
+                    self.locked(4, &lockset, || db.stock_level(w, d, threshold));
+                }
             }
         }
     }
@@ -468,6 +558,9 @@ impl<'a> Terminal<'a> {
                 self.note_retry(3);
                 continue;
             }
+            // all locks held: open the undo context for this district's
+            // sub-transaction (no-op with MVCC off)
+            self.db.begin_write();
             let delivered = self.db.delivery_district(w, d, carrier);
             self.db.commit();
             self.report.deliveries += u64::from(delivered.is_some());
@@ -613,6 +706,206 @@ mod tests {
             "every enqueued committer was woken exactly once"
         );
 
+        let consistency = db.verify_consistency();
+        assert!(consistency.is_consistent(), "{consistency:?}");
+    }
+
+    fn mvcc_cfg() -> DbConfig {
+        DbConfig {
+            mvcc: true,
+            ..DbConfig::small()
+        }
+    }
+
+    /// The tentpole regression: the 1-terminal determinism contract
+    /// survives MVCC — snapshot reads, undo recording, and the real
+    /// rollback path produce the exact disk image of the serial driver
+    /// executing the same seeded stream (rollbacks included).
+    #[test]
+    fn mvcc_one_terminal_run_is_byte_identical_to_the_serial_driver() {
+        let dcfg = DriverConfig::default().with_spec_rollbacks();
+        let mut serial_db = loader::load(mvcc_cfg(), 51);
+        let shared_db = loader::load(mvcc_cfg(), 51);
+
+        let serial = Driver::new(&serial_db, dcfg, 77).run(&mut serial_db, 600);
+        let parallel = ParallelDriver::new(dcfg, 1, 77).run(&shared_db, 600);
+
+        assert_eq!(parallel.executed, serial.executed, "same input stream");
+        assert_eq!(parallel.new_orders, serial.new_orders);
+        assert_eq!(parallel.deliveries, serial.deliveries);
+        assert_eq!(parallel.rollbacks, serial.rollbacks);
+        assert_eq!(parallel.retries, [0; 5], "one terminal never conflicts");
+
+        serial_db.flush();
+        shared_db.flush();
+        assert!(
+            serial_db.contents_equal(&shared_db),
+            "final disk images diverge under MVCC"
+        );
+    }
+
+    /// Clause 2.4.1.4 rollbacks are a property of the seeded input
+    /// streams, not of thread interleaving: two identical multi-
+    /// terminal runs abort exactly the same transactions.
+    #[test]
+    fn mvcc_rollbacks_are_deterministic_across_identical_runs() {
+        let cfg = DbConfig {
+            warehouses: 2,
+            buffer_frames: 2048,
+            ..mvcc_cfg()
+        };
+        let dcfg = DriverConfig::default().with_spec_rollbacks();
+        let run = || {
+            let db = loader::load(cfg, 33);
+            let report = ParallelDriver::new(dcfg, 4, 34).run(&db, 1200);
+            let consistency = db.verify_consistency();
+            assert!(consistency.is_consistent(), "{consistency:?}");
+            report.rollbacks
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "rollback draws live in the seeded input streams");
+        assert!(a > 0, "1% of ~500 New-Orders fires at this seed");
+    }
+
+    /// The acceptance criterion, asserted structurally: with MVCC on,
+    /// a pure read-only workload drives the lock manager not at all.
+    #[test]
+    fn mvcc_read_only_terminals_acquire_zero_locks() {
+        let rec = Arc::new(tpcc_obs::MemoryRecorder::new());
+        let mut db = loader::load(mvcc_cfg(), 91);
+        db.set_obs(tpcc_obs::Obs::new(rec.clone()));
+        let dcfg = DriverConfig {
+            mix: [0.0, 0.0, 0.5, 0.0, 0.5], // Order-Status + Stock-Level
+            ..DriverConfig::default()
+        };
+        let report = ParallelDriver::new(dcfg, 4, 92).run(&db, 400);
+        assert_eq!(report.total(), 400);
+        assert_eq!(
+            report.executed[0] + report.executed[1] + report.executed[3],
+            0,
+            "readers only"
+        );
+        assert_eq!(
+            rec.counter_total("lock_acquires"),
+            0,
+            "snapshot readers never touch the lock manager"
+        );
+        assert_eq!(rec.counter_total("lock_waits"), 0);
+        assert_eq!(rec.counter_total("lock_wounds"), 0);
+        assert!(
+            rec.counter_total("snapshot_reads") > 0,
+            "reads resolved through the version chains"
+        );
+    }
+
+    /// Snapshot reads repeat exactly while a writer churns the same
+    /// rows — the isolation the S-lock path bought with blocking, now
+    /// lock-free.
+    #[test]
+    fn mvcc_snapshot_reads_repeat_under_a_concurrent_writer() {
+        let db = loader::load(mvcc_cfg(), 13);
+        let db = &db;
+        let done = &AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(move || {
+                for n in 0..400u64 {
+                    db.new_order(
+                        0,
+                        n % 10,
+                        n % 90,
+                        &[crate::txns::OrderLineReq {
+                            item: n % 300,
+                            supply_warehouse: 0,
+                            quantity: 5,
+                        }],
+                    );
+                    if n % 7 == 0 {
+                        db.payment(
+                            0,
+                            n % 10,
+                            0,
+                            n % 10,
+                            crate::txns::CustomerSelector::ById(n % 90),
+                            1.5,
+                        );
+                    }
+                }
+                done.store(true, Ordering::Release);
+            });
+            for _ in 0..3 {
+                scope.spawn(move || {
+                    while !done.load(Ordering::Acquire) {
+                        let snap = db.snapshot();
+                        let a = db.stock_level_at(&snap, 0, 3, 50);
+                        let b = db.stock_level_at(&snap, 0, 3, 50);
+                        assert_eq!(a.low_stock, b.low_stock, "repeatable join");
+                        assert_eq!(a.lines_scanned, b.lines_scanned);
+                        let s1 =
+                            db.order_status_at(&snap, 0, 5, crate::txns::CustomerSelector::ById(5));
+                        let s2 =
+                            db.order_status_at(&snap, 0, 5, crate::txns::CustomerSelector::ById(5));
+                        assert_eq!(s1.o_id, s2.o_id, "repeatable last-order");
+                        assert_eq!(s1.lines, s2.lines);
+                    }
+                });
+            }
+            writer.join().expect("writer");
+        });
+        let consistency = db.verify_consistency();
+        assert!(consistency.is_consistent(), "{consistency:?}");
+    }
+
+    /// `run_mixed` pins reader terminals against writer terminals and
+    /// reports them separately; the reader group's latency sketches
+    /// contain only read-only samples.
+    #[test]
+    fn mixed_groups_separate_reader_and_writer_reports() {
+        let cfg = DbConfig {
+            warehouses: 2,
+            buffer_frames: 2048,
+            ..mvcc_cfg()
+        };
+        let db = loader::load(cfg, 55);
+        let writer = DriverConfig {
+            mix: [0.47, 0.48, 0.0, 0.05, 0.0],
+            ..DriverConfig::default()
+        };
+        let reader = DriverConfig {
+            mix: [0.0, 0.0, 0.5, 0.0, 0.5],
+            ..DriverConfig::default()
+        };
+        let reports = ParallelDriver::run_mixed(
+            &db,
+            &[
+                TerminalGroup {
+                    cfg: writer,
+                    terminals: 2,
+                    transactions_per_terminal: 300,
+                    think_us: 0,
+                },
+                TerminalGroup {
+                    cfg: reader,
+                    terminals: 2,
+                    transactions_per_terminal: 300,
+                    think_us: 0,
+                },
+            ],
+            56,
+        );
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].total(), 600);
+        assert_eq!(reports[1].total(), 600);
+        assert_eq!(
+            reports[1].executed[0] + reports[1].executed[1] + reports[1].executed[3],
+            0,
+            "reader group ran only read-only types"
+        );
+        assert_eq!(
+            reports[1].latency_ns[2].count() + reports[1].latency_ns[4].count(),
+            600,
+            "every reader sample lands in the reader group's sketches"
+        );
+        assert_eq!(reports[1].retries, [0; 5], "lock-free readers never retry");
         let consistency = db.verify_consistency();
         assert!(consistency.is_consistent(), "{consistency:?}");
     }

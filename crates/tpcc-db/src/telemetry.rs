@@ -44,8 +44,10 @@ use tpcc_obs::{
 /// Counters whose per-window deltas are exported on every point
 /// (summed across labels via [`MemoryRecorder::counter_total`]).
 /// `wal_flushes` / `group_commits` stay zero unless the run enables
-/// group commit — the schema is additive over the pre-group-commit one.
-const WINDOW_COUNTERS: [&str; 8] = [
+/// group commit, and the four MVCC columns (`snapshot_reads`,
+/// `versions_traversed`, `undo_bytes`, `aborts`) stay zero unless
+/// `DbConfig::mvcc` is on — the schema is additive over prior runs.
+const WINDOW_COUNTERS: [&str; 12] = [
     "buf_hits",
     "buf_misses",
     "wal_bytes_appended",
@@ -54,6 +56,10 @@ const WINDOW_COUNTERS: [&str; 8] = [
     "latch_contended",
     "wal_flushes",
     "group_commits",
+    "snapshot_reads",
+    "versions_traversed",
+    "undo_bytes",
+    "aborts",
 ];
 
 /// `WINDOW_COUNTERS` index of `wal_flushes`.
@@ -468,6 +474,57 @@ mod tests {
             (b - 800.0).abs() / 800.0 < 0.05,
             "window-local, not cumulative: {b}"
         );
+    }
+
+    #[test]
+    fn mvcc_columns_are_windowed() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let sink = SharedSink::default();
+        let tel = Telemetry::new(
+            Arc::clone(&rec),
+            Box::new(sink.clone()),
+            TelemetryConfig::default(),
+            1,
+        );
+        let obs = tpcc_obs::Obs::new(rec);
+        let reads = obs.counter_handle("snapshot_reads", tpcc_obs::Label::None);
+        let hops = obs.counter_handle("versions_traversed", tpcc_obs::Label::None);
+        let bytes = obs.counter_handle("undo_bytes", tpcc_obs::Label::None);
+        let aborts = obs.counter_handle("aborts", tpcc_obs::Label::None);
+        reads.add(40);
+        hops.add(7);
+        bytes.add(1_024);
+        tel.shard(0).lock().unwrap().record(4, 1_000);
+        tel.harvest();
+        // second window: an abort fires, traversal picks up
+        reads.add(10);
+        hops.add(30);
+        aborts.add(1);
+        tel.shard(0).lock().unwrap().record(4, 1_000);
+        tel.harvest();
+        let out = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"snapshot_reads\":40"), "{}", lines[0]);
+        assert!(
+            lines[0].contains("\"versions_traversed\":7"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains("\"undo_bytes\":1024"), "{}", lines[0]);
+        assert!(lines[0].contains("\"aborts\":0"), "{}", lines[0]);
+        assert!(
+            lines[1].contains("\"snapshot_reads\":10"),
+            "window-local, not cumulative: {}",
+            lines[1]
+        );
+        assert!(
+            lines[1].contains("\"versions_traversed\":30"),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[1].contains("\"undo_bytes\":0"), "{}", lines[1]);
+        assert!(lines[1].contains("\"aborts\":1"), "{}", lines[1]);
     }
 
     #[test]

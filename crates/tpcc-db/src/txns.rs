@@ -3,11 +3,13 @@
 
 use crate::db::TpccDb;
 use crate::keys;
+use crate::mvcc::TreeId;
 use crate::records::{
     CustomerRec, DistrictRec, HistoryRec, ItemRec, NewOrderRec, OrderLineRec, OrderRec, StockRec,
     WarehouseRec,
 };
 use tpcc_schema::relation::Relation;
+use tpcc_storage::undo::Snapshot;
 use tpcc_storage::RecordId;
 
 /// One ordered line of a New-Order request.
@@ -105,22 +107,36 @@ pub enum CustomerSelector {
 
 impl TpccDb {
     fn read_customer(&self, rid: RecordId) -> CustomerRec {
+        self.read_customer_at(rid, None)
+    }
+
+    fn read_customer_at(&self, rid: RecordId, snap: Option<&Snapshot>) -> CustomerRec {
         let buf = self
-            .heaps
-            .customer
-            .get(&self.bm, rid)
+            .read_row_at(Relation::Customer, rid, snap)
             .expect("live customer");
         CustomerRec::decode(&buf)
     }
 
     /// Resolves a selector to the target customer `(rid, record)`,
     /// implementing the by-name path: fetch all matches via the name
-    /// index, sort by first name, take the median row.
+    /// index, sort by first name, take the median row. The name index
+    /// and the names themselves are immutable after load, so only the
+    /// row reads need the snapshot.
     fn resolve_customer(
         &self,
         w: u64,
         d: u64,
         selector: CustomerSelector,
+    ) -> (RecordId, CustomerRec, usize) {
+        self.resolve_customer_at(w, d, selector, None)
+    }
+
+    fn resolve_customer_at(
+        &self,
+        w: u64,
+        d: u64,
+        selector: CustomerSelector,
+        snap: Option<&Snapshot>,
     ) -> (RecordId, CustomerRec, usize) {
         match selector {
             CustomerSelector::ById(c) => {
@@ -128,7 +144,7 @@ impl TpccDb {
                 let rid = self
                     .pk_lookup(Relation::Customer, keys::customer(w, d, c))
                     .expect("customer exists");
-                let rec = self.read_customer(rid);
+                let rec = self.read_customer_at(rid, snap);
                 (rid, rec, 1)
             }
             CustomerSelector::ByName(name_id) => {
@@ -144,7 +160,7 @@ impl TpccDb {
                 );
                 let mut matches: Vec<(RecordId, CustomerRec)> = rids
                     .into_iter()
-                    .map(|rid| (rid, self.read_customer(rid)))
+                    .map(|rid| (rid, self.read_customer_at(rid, snap)))
                     .collect();
                 matches.sort_by(|a, b| a.1.first.cmp(&b.1.first));
                 let n = matches.len();
@@ -176,6 +192,26 @@ impl TpccDb {
     /// # Panics
     /// Panics on ids beyond the configured scale or an empty line list.
     pub fn new_order(&self, w: u64, d: u64, c: u64, lines: &[OrderLineReq]) -> NewOrderResult {
+        self.begin_write();
+        match self.new_order_body(w, d, c, lines, false) {
+            Ok(r) => r,
+            Err(_) => unreachable!("validation off: bad items panic via check_scale"),
+        }
+    }
+
+    /// The New-Order write sequence. With `validate` on, each line's
+    /// item id is checked at its read point (clause 2.4.1.4's "unused
+    /// item" discovery); a bad line returns `Err` with every prior
+    /// write still applied — the caller aborts via the undo log. With
+    /// `validate` off, a bad item panics in `check_scale` as ever.
+    fn new_order_body(
+        &self,
+        w: u64,
+        d: u64,
+        c: u64,
+        lines: &[OrderLineReq],
+        validate: bool,
+    ) -> Result<NewOrderResult, NewOrderAborted> {
         assert!(!lines.is_empty(), "an order needs at least one line");
         let _span = self.bm.obs().span("new_order");
         self.check_scale(w, d, Some(c), None);
@@ -195,9 +231,7 @@ impl TpccDb {
             DistrictRec::decode(&self.heaps.district.get(&self.bm, d_rid).expect("live"));
         let o_id = u64::from(district.next_o_id);
         district.next_o_id += 1;
-        self.heaps
-            .district
-            .update(&self.bm, d_rid, &district.encode());
+        self.heap_update(Relation::District, d_rid, &district.encode());
 
         // 4. customer discount
         let c_rid = self
@@ -216,26 +250,30 @@ impl TpccDb {
             ol_cnt: lines.len() as u8,
             all_local: u8::from(all_local),
         };
-        let o_heap_rid = self.heaps.order.insert(&self.bm, &order.encode());
-        self.idx
-            .order
-            .insert(&self.bm, keys::order(w, d, o_id), o_heap_rid.to_u64());
-        self.idx
-            .last_order
-            .insert(&self.bm, keys::last_order(w, d, c), o_id);
+        let o_heap_rid = self.heap_insert(Relation::Order, &order.encode());
+        self.index_insert(TreeId::Order, keys::order(w, d, o_id), o_heap_rid.to_u64());
+        self.last_order_upsert(keys::last_order(w, d, c), o_id);
         let no = NewOrderRec {
             o_id: o_id as u32,
             d_id: d as u16,
             w_id: w as u16,
         };
-        let no_rid = self.heaps.new_order.insert(&self.bm, &no.encode());
-        self.idx
-            .new_order
-            .insert(&self.bm, keys::order(w, d, o_id), no_rid.to_u64());
+        let no_rid = self.heap_insert(Relation::NewOrder, &no.encode());
+        self.index_insert(TreeId::NewOrder, keys::order(w, d, o_id), no_rid.to_u64());
 
         // 7. per item: item read, stock read+update, order-line insert
         let mut line_amounts = Vec::with_capacity(lines.len());
         for (number, line) in lines.iter().enumerate() {
+            if validate
+                && !(line.item < self.cfg.items
+                    && self
+                        .pk_lookup(Relation::Item, keys::item(line.item))
+                        .is_some())
+            {
+                // clause 2.4.1.4: discovered at the item read, after
+                // this transaction already wrote — the caller unwinds
+                return Err(NewOrderAborted { bad_line: number });
+            }
             self.check_scale(line.supply_warehouse, d, None, Some(line.item));
             let i_rid = self
                 .pk_lookup(Relation::Item, keys::item(line.item))
@@ -261,7 +299,7 @@ impl TpccDb {
                 stock.remote_cnt += 1;
             }
             let dist_info = stock.dist_info[d as usize].clone();
-            self.heaps.stock.update(&self.bm, s_rid, &stock.encode());
+            self.heap_update(Relation::Stock, s_rid, &stock.encode());
 
             let amount = f64::from(line.quantity) * item.price;
             line_amounts.push(amount);
@@ -277,9 +315,9 @@ impl TpccDb {
                 amount,
                 dist_info,
             };
-            let ol_rid = self.heaps.order_line.insert(&self.bm, &ol.encode());
-            self.idx.order_line.insert(
-                &self.bm,
+            let ol_rid = self.heap_insert(Relation::OrderLine, &ol.encode());
+            self.index_insert(
+                TreeId::OrderLine,
                 keys::order_line(w, d, o_id, number as u64),
                 ol_rid.to_u64(),
             );
@@ -288,21 +326,26 @@ impl TpccDb {
         let total_amount =
             subtotal * (1.0 - customer.discount) * (1.0 + warehouse.tax + district.tax);
         self.commit();
-        NewOrderResult {
+        Ok(NewOrderResult {
             o_id,
             total_amount,
             line_amounts,
-        }
+        })
     }
 
-    /// New-Order with the spec's rollback semantics: the transaction
-    /// performs its reads (warehouse, district, customer, and an item
-    /// probe per line), then aborts — leaving no writes — if any line
-    /// names an item that does not exist (clause 2.4.1.4).
+    /// New-Order with the spec's rollback semantics: if any line names
+    /// an item that does not exist, the transaction aborts leaving no
+    /// logical writes (clause 2.4.1.4).
     ///
-    /// Implemented as validate-then-apply: item existence is checked
-    /// through the item index before any update, so no undo log is
-    /// needed; the successful path then executes [`TpccDb::new_order`].
+    /// With MVCC on, this is a real abort: the transaction executes
+    /// normally, discovers the unused item at that line's read, and
+    /// unwinds its district bump, order/index inserts, and stock
+    /// updates through the undo log ([`TpccDb::abort_write`]) — the
+    /// compensating writes are ordinary WAL-logged page deltas, so the
+    /// disk carries the abort's physical trace but no committed
+    /// effect. With MVCC off, the historical validate-then-apply path
+    /// is preserved byte-for-byte: item existence is probed through
+    /// the item index before any write.
     ///
     /// # Errors
     /// [`NewOrderAborted`] naming the first invalid line.
@@ -314,6 +357,16 @@ impl TpccDb {
         lines: &[OrderLineReq],
     ) -> Result<NewOrderResult, NewOrderAborted> {
         self.check_scale(w, d, Some(c), None);
+        if self.cfg.mvcc {
+            self.begin_write();
+            return match self.new_order_body(w, d, c, lines, true) {
+                Ok(r) => Ok(r), // the body committed
+                Err(e) => {
+                    self.abort_write();
+                    Err(e)
+                }
+            };
+        }
         // the reads a rolled-back transaction still performs
         let _ = self.pk_lookup(Relation::Warehouse, keys::warehouse(w));
         let _ = self.pk_lookup(Relation::District, keys::district(w, d));
@@ -343,6 +396,7 @@ impl TpccDb {
     ) -> PaymentResult {
         self.check_scale(w, d, None, None);
         let _span = self.bm.obs().span("payment");
+        self.begin_write();
 
         let w_rid = self
             .pk_lookup(Relation::Warehouse, keys::warehouse(w))
@@ -358,19 +412,13 @@ impl TpccDb {
         let (c_rid, mut customer, rows_matched) = self.resolve_customer(cw, cd, selector);
 
         warehouse.ytd += amount;
-        self.heaps
-            .warehouse
-            .update(&self.bm, w_rid, &warehouse.encode());
+        self.heap_update(Relation::Warehouse, w_rid, &warehouse.encode());
         district.ytd += amount;
-        self.heaps
-            .district
-            .update(&self.bm, d_rid, &district.encode());
+        self.heap_update(Relation::District, d_rid, &district.encode());
         customer.balance -= amount;
         customer.ytd_payment += amount;
         customer.payment_cnt += 1;
-        self.heaps
-            .customer
-            .update(&self.bm, c_rid, &customer.encode());
+        self.heap_update(Relation::Customer, c_rid, &customer.encode());
 
         let date = self.tick();
         let history = HistoryRec {
@@ -383,7 +431,7 @@ impl TpccDb {
             amount,
             data: "payment".into(),
         };
-        self.heaps.history.insert(&self.bm, &history.encode());
+        self.heap_insert(Relation::History, &history.encode());
         self.commit();
 
         PaymentResult {
@@ -396,21 +444,52 @@ impl TpccDb {
     /// Order-Status (§2.2): the customer's most recent order and its
     /// lines.
     pub fn order_status(&self, w: u64, d: u64, selector: CustomerSelector) -> OrderStatusResult {
+        self.order_status_inner(w, d, selector, None)
+    }
+
+    /// Order-Status against a pinned snapshot ([`TpccDb::snapshot`]):
+    /// reads resolve through the version chains, so the result is a
+    /// consistent cut as of the pin and the caller needs **no logical
+    /// locks** — concurrent Payments/Deliveries to the same customer
+    /// are invisible rather than blocking.
+    pub fn order_status_at(
+        &self,
+        snap: &Snapshot<'_>,
+        w: u64,
+        d: u64,
+        selector: CustomerSelector,
+    ) -> OrderStatusResult {
+        self.order_status_inner(w, d, selector, Some(snap))
+    }
+
+    fn order_status_inner(
+        &self,
+        w: u64,
+        d: u64,
+        selector: CustomerSelector,
+        snap: Option<&Snapshot>,
+    ) -> OrderStatusResult {
         let _span = self.bm.obs().span("order_status");
-        let (_, customer, _) = self.resolve_customer(w, d, selector);
+        let (_, customer, _) = self.resolve_customer_at(w, d, selector, snap);
         let c = u64::from(customer.c_id);
-        let Some(o_id) = self.idx.last_order.get(&self.bm, keys::last_order(w, d, c)) else {
+        let Some(o_id) = self.last_order_at(keys::last_order(w, d, c), snap) else {
             return OrderStatusResult {
                 c_id: c,
                 o_id: None,
                 lines: Vec::new(),
             };
         };
-        // single indexed select for the Max(order-id) row (§2.2)
+        // single indexed select for the Max(order-id) row (§2.2);
+        // pk entries are insert-only, so the entry for an order visible
+        // at the snapshot always exists
         let o_rid = self
             .pk_lookup(Relation::Order, keys::order(w, d, o_id))
             .expect("last order row exists");
-        let order = OrderRec::decode(&self.heaps.order.get(&self.bm, o_rid).expect("live"));
+        let order = OrderRec::decode(
+            &self
+                .read_row_at(Relation::Order, o_rid, snap)
+                .expect("live"),
+        );
         let (lo, hi) = keys::order_line_range(w, d, o_id);
         let mut rids = Vec::with_capacity(usize::from(order.ol_cnt));
         self.idx.order_line.scan_range(&self.bm, lo, hi, |_, v| {
@@ -420,8 +499,11 @@ impl TpccDb {
         let lines = rids
             .into_iter()
             .map(|rid| {
-                let ol =
-                    OrderLineRec::decode(&self.heaps.order_line.get(&self.bm, rid).expect("live"));
+                let ol = OrderLineRec::decode(
+                    &self
+                        .read_row_at(Relation::OrderLine, rid, snap)
+                        .expect("live"),
+                );
                 (u64::from(ol.i_id), ol.quantity, ol.amount, ol.delivery_d)
             })
             .collect();
@@ -437,6 +519,7 @@ impl TpccDb {
     pub fn delivery(&self, w: u64, carrier_id: u8) -> DeliveryResult {
         self.check_scale(w, 0, None, None);
         let _span = self.bm.obs().span("delivery");
+        self.begin_write();
         let mut per_district = [None; 10];
         let mut delivered = 0;
         for d in 0..10u64 {
@@ -479,7 +562,9 @@ impl TpccDb {
             .min_at_or_after(&self.bm, keys::order_lo(w, d))
             .filter(|(k, _)| *k < keys::order_hi(w, d))?;
         let o_id = keys::order_number(no_key);
-        // delete the pending marker (index + heap row)
+        // delete the pending marker (index + heap row) — raw calls:
+        // NEW-ORDER is unversioned (no snapshot reader touches it) and
+        // Delivery never aborts
         self.idx.new_order.delete(&self.bm, no_key);
         self.heaps
             .new_order
@@ -491,7 +576,7 @@ impl TpccDb {
             .expect("order exists");
         let mut order = OrderRec::decode(&self.heaps.order.get(&self.bm, o_rid).expect("live"));
         order.carrier_id = carrier_id;
-        self.heaps.order.update(&self.bm, o_rid, &order.encode());
+        self.heap_update(Relation::Order, o_rid, &order.encode());
 
         // order lines: read + stamp delivery date, sum amounts
         let date = self.tick();
@@ -507,7 +592,7 @@ impl TpccDb {
                 OrderLineRec::decode(&self.heaps.order_line.get(&self.bm, rid).expect("live"));
             ol.delivery_d = date;
             total += ol.amount;
-            self.heaps.order_line.update(&self.bm, rid, &ol.encode());
+            self.heap_update(Relation::OrderLine, rid, &ol.encode());
         }
 
         // customer: credit the balance
@@ -520,9 +605,7 @@ impl TpccDb {
         let mut customer = self.read_customer(c_rid);
         customer.balance += total;
         customer.delivery_cnt += 1;
-        self.heaps
-            .customer
-            .update(&self.bm, c_rid, &customer.encode());
+        self.heap_update(Relation::Customer, c_rid, &customer.encode());
 
         Some(o_id)
     }
@@ -530,13 +613,43 @@ impl TpccDb {
     /// Stock-Level (§2.2): distinct items of the district's last 20
     /// orders whose stock is below `threshold`.
     pub fn stock_level(&self, w: u64, d: u64, threshold: i32) -> StockLevelResult {
+        self.stock_level_inner(w, d, threshold, None)
+    }
+
+    /// Stock-Level against a pinned snapshot ([`TpccDb::snapshot`]):
+    /// the 200-row join runs lock-free against the consistent cut at
+    /// the pin. The scanned window `[next-20, next)` is derived from
+    /// the district version visible at the snapshot; every order in it
+    /// committed at or before the pin (id allocation is serialized by
+    /// the district writers, and aborts un-burn their ids), and
+    /// in-flight orders sort at or beyond `next` — outside the scan.
+    pub fn stock_level_at(
+        &self,
+        snap: &Snapshot<'_>,
+        w: u64,
+        d: u64,
+        threshold: i32,
+    ) -> StockLevelResult {
+        self.stock_level_inner(w, d, threshold, Some(snap))
+    }
+
+    fn stock_level_inner(
+        &self,
+        w: u64,
+        d: u64,
+        threshold: i32,
+        snap: Option<&Snapshot>,
+    ) -> StockLevelResult {
         self.check_scale(w, d, None, None);
         let _span = self.bm.obs().span("stock_level");
         let d_rid = self
             .pk_lookup(Relation::District, keys::district(w, d))
             .expect("district exists");
-        let district =
-            DistrictRec::decode(&self.heaps.district.get(&self.bm, d_rid).expect("live"));
+        let district = DistrictRec::decode(
+            &self
+                .read_row_at(Relation::District, d_rid, snap)
+                .expect("live"),
+        );
         let next = u64::from(district.next_o_id);
         let from = next.saturating_sub(20);
 
@@ -551,11 +664,19 @@ impl TpccDb {
         let mut low = std::collections::BTreeSet::new();
         let lines_scanned = ol_rids.len() as u64;
         for rid in ol_rids {
-            let ol = OrderLineRec::decode(&self.heaps.order_line.get(&self.bm, rid).expect("live"));
+            let ol = OrderLineRec::decode(
+                &self
+                    .read_row_at(Relation::OrderLine, rid, snap)
+                    .expect("live"),
+            );
             let s_rid = self
                 .pk_lookup(Relation::Stock, keys::stock(w, u64::from(ol.i_id)))
                 .expect("stock exists");
-            let stock = StockRec::decode(&self.heaps.stock.get(&self.bm, s_rid).expect("live"));
+            let stock = StockRec::decode(
+                &self
+                    .read_row_at(Relation::Stock, s_rid, snap)
+                    .expect("live"),
+            );
             if stock.quantity < threshold {
                 low.insert(ol.i_id);
             }
@@ -766,5 +887,172 @@ mod tests {
     fn scale_violation_caught() {
         let db = db();
         let _ = db.new_order(5, 0, 0, &lines(&[1]));
+    }
+
+    fn mvcc_db() -> TpccDb {
+        let cfg = DbConfig {
+            mvcc: true,
+            ..DbConfig::small()
+        };
+        loader::load(cfg, 7)
+    }
+
+    #[test]
+    fn mvcc_snapshot_order_status_is_repeatable_under_later_writes() {
+        let db = mvcc_db();
+        let first = db.new_order(0, 3, 7, &lines(&[1, 2]));
+        let snap = db.snapshot();
+        let before = db.order_status_at(&snap, 0, 3, CustomerSelector::ById(7));
+        assert_eq!(before.o_id, Some(first.o_id));
+
+        // a later order and a payment are invisible to the pin
+        let second = db.new_order(0, 3, 7, &lines(&[3]));
+        db.payment(0, 3, 0, 3, CustomerSelector::ById(7), 10.0);
+        let pinned = db.order_status_at(&snap, 0, 3, CustomerSelector::ById(7));
+        assert_eq!(pinned.o_id, Some(first.o_id), "snapshot is repeatable");
+        assert_eq!(pinned.lines.len(), 2);
+
+        let live = db.order_status(0, 3, CustomerSelector::ById(7));
+        assert_eq!(live.o_id, Some(second.o_id), "live read sees the head");
+        drop(snap);
+        let fresh = db.snapshot();
+        let after = db.order_status_at(&fresh, 0, 3, CustomerSelector::ById(7));
+        assert_eq!(after.o_id, Some(second.o_id));
+    }
+
+    #[test]
+    fn mvcc_snapshot_stock_level_is_stable_while_stock_drains() {
+        let db = mvcc_db();
+        let snap = db.snapshot();
+        let pinned_before = db.stock_level_at(&snap, 0, 9, 101);
+        for _ in 0..3 {
+            db.new_order(
+                0,
+                9,
+                1,
+                &[OrderLineReq {
+                    item: 42,
+                    supply_warehouse: 0,
+                    quantity: 10,
+                }],
+            );
+        }
+        let pinned_after = db.stock_level_at(&snap, 0, 9, 101);
+        assert_eq!(
+            pinned_before.low_stock, pinned_after.low_stock,
+            "the pinned join is a consistent cut"
+        );
+        assert_eq!(pinned_before.lines_scanned, pinned_after.lines_scanned);
+        let live = db.stock_level(0, 9, 101);
+        assert!(live.low_stock >= 1, "item 42 drained below threshold");
+    }
+
+    #[test]
+    fn mvcc_abort_restores_every_row_and_index() {
+        let db = mvcc_db();
+        // place one real order first so last_order has a prior value
+        let placed = db.new_order(0, 2, 5, &lines(&[4]));
+        let d_rid = db
+            .pk_lookup(Relation::District, keys::district(0, 2))
+            .expect("district");
+        let district_before = db.heaps.district.get(&db.bm, d_rid).expect("live");
+        let s_rid = db
+            .pk_lookup(Relation::Stock, keys::stock(0, 1))
+            .expect("stock");
+        let stock_before = db.heaps.stock.get(&db.bm, s_rid).expect("live");
+        let next_o = u64::from(DistrictRec::decode(&district_before).next_o_id);
+
+        let mut bad = lines(&[1, 2]);
+        bad.push(OrderLineReq {
+            item: db.config().items + 7,
+            supply_warehouse: 0,
+            quantity: 1,
+        });
+        let err = db.new_order_checked(0, 2, 5, &bad).expect_err("must abort");
+        assert_eq!(err.bad_line, 2);
+
+        // district bump unwound, stock restored byte-for-byte
+        assert_eq!(
+            db.heaps.district.get(&db.bm, d_rid).expect("live"),
+            district_before
+        );
+        assert_eq!(
+            db.heaps.stock.get(&db.bm, s_rid).expect("live"),
+            stock_before
+        );
+        // order/new-order rows and index entries gone
+        assert!(db
+            .pk_lookup(Relation::Order, keys::order(0, 2, next_o))
+            .is_none());
+        assert!(db
+            .pk_lookup(Relation::NewOrder, keys::order(0, 2, next_o))
+            .is_none());
+        assert!(db
+            .pk_lookup(Relation::OrderLine, keys::order_line(0, 2, next_o, 0))
+            .is_none());
+        // last_order points back at the prior order
+        let status = db.order_status(0, 2, CustomerSelector::ById(5));
+        assert_eq!(status.o_id, Some(placed.o_id));
+        // the id was un-burned: the next order reuses it
+        let next = db.new_order(0, 2, 5, &lines(&[3]));
+        assert_eq!(next.o_id, next_o);
+        assert!(db.verify_consistency().is_consistent());
+    }
+
+    #[test]
+    fn mvcc_abort_interplays_with_wal_recovery() {
+        let cfg = DbConfig {
+            mvcc: true,
+            enable_wal: true,
+            ..DbConfig::small()
+        };
+        let mut db = loader::load(cfg, 7);
+        let mut bad = lines(&[1, 2]);
+        bad.push(OrderLineReq {
+            item: db.config().items + 1,
+            supply_warehouse: 0,
+            quantity: 1,
+        });
+        db.new_order_checked(0, 0, 3, &bad).expect_err("abort");
+        db.new_order_checked(0, 1, 4, &bad).expect_err("abort");
+        // commit last: the aborts' forward + compensating deltas are
+        // inside the committed prefix and must replay to the exact
+        // live image (residue *after* the last commit is legitimately
+        // dropped at a crash, like any uncommitted transaction)
+        db.new_order(0, 0, 3, &lines(&[5]));
+        assert!(
+            db.crash_recovery_check(),
+            "forward + compensating deltas replay to the live image"
+        );
+    }
+
+    #[test]
+    fn mvcc_snapshot_sees_pre_delivery_state() {
+        let db = mvcc_db();
+        let (o_id, c_id) = db.peek_oldest_pending(0, 0).expect("pending orders");
+        let snap = db.snapshot();
+        db.delivery(0, 3);
+        // at the pin, the order was undelivered and the customer
+        // uncredited
+        let pinned = db.order_status_at(&snap, 0, 0, CustomerSelector::ById(c_id));
+        if pinned.o_id == Some(o_id) {
+            assert!(
+                pinned.lines.iter().all(|l| l.3 == 0),
+                "delivery is invisible to the pin"
+            );
+        }
+        drop(snap);
+        let fresh = db.snapshot();
+        let live = db.order_status_at(&fresh, 0, 0, CustomerSelector::ById(c_id));
+        if live.o_id == Some(o_id) {
+            assert!(live.lines.iter().all(|l| l.3 > 0), "now delivered");
+        }
+    }
+
+    #[test]
+    fn mvcc_off_snapshot_panics() {
+        let db = db();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| db.snapshot()));
+        assert!(result.is_err(), "snapshot() requires DbConfig::mvcc");
     }
 }

@@ -12,6 +12,9 @@
 //! | [`FaultSite::WriteBack`] | each dirty-page write-back (eviction or flush) | the log freezes mid-flush |
 //! | [`FaultSite::MissLoad`]  | each buffer-pool miss, before the disk read | the log freezes mid-read |
 //! | [`FaultSite::WalFlush`]  | top of [`Wal::flush`], before the device write | the whole unflushed tail is lost |
+//! | [`FaultSite::UndoAppend`] | [`UndoStore::record`], before the pre-image lands | none durable — undo chains are volatile; the site sweeps the instants *between* a writer's page mutations |
+//!
+//! [`UndoStore::record`]: crate::undo::UndoStore::record
 //!
 //! # Crash model
 //!
@@ -59,10 +62,17 @@ pub enum FaultSite {
     /// A group-commit flush is about to push the WAL tail to the log
     /// device ([`Wal::flush`]). Only fires under deferred durability.
     WalFlush,
+    /// A writer is about to stamp a pre-image into the MVCC undo store
+    /// ([`crate::undo::UndoStore::record`]) — one site per versioned
+    /// write, firing between a transaction's page mutations. Undo
+    /// chains are volatile, so a crash here loses no durable state;
+    /// the site exists to *enumerate* mid-transaction crash instants
+    /// on the MVCC write path.
+    UndoAppend,
 }
 
 /// Number of distinct fault-site classes ([`FaultSite::ALL`] length).
-pub const FAULT_SITES: usize = 5;
+pub const FAULT_SITES: usize = 6;
 
 impl FaultSite {
     /// Every site class, in display order.
@@ -72,6 +82,7 @@ impl FaultSite {
         FaultSite::WriteBack,
         FaultSite::MissLoad,
         FaultSite::WalFlush,
+        FaultSite::UndoAppend,
     ];
 
     /// Dense index (for per-site counter arrays).
@@ -83,6 +94,7 @@ impl FaultSite {
             FaultSite::WriteBack => 2,
             FaultSite::MissLoad => 3,
             FaultSite::WalFlush => 4,
+            FaultSite::UndoAppend => 5,
         }
     }
 
@@ -95,6 +107,7 @@ impl FaultSite {
             FaultSite::WriteBack => "write_back",
             FaultSite::MissLoad => "miss_load",
             FaultSite::WalFlush => "wal_flush",
+            FaultSite::UndoAppend => "undo_append",
         }
     }
 }

@@ -19,6 +19,11 @@
 //! * [`logmgr`] — group-commit log manager: commit tickets, a
 //!   window/batch flush pipeline over a simulated log device, and
 //!   deferred (flushed-prefix) durability semantics.
+//! * [`undo`] — MVCC undo version chains: volatile pre-image chains
+//!   keyed by a global commit timestamp, giving read-only
+//!   transactions lock-free consistent snapshots and writers an
+//!   in-transaction rollback path, with GC at the oldest-active-
+//!   snapshot watermark.
 //!
 //! `tpcc-db` builds the executable TPC-C database on top; its measured
 //! buffer behaviour cross-validates the abstract trace model in
@@ -34,6 +39,7 @@ pub mod fault;
 pub mod heap;
 pub mod logmgr;
 pub mod page;
+pub mod undo;
 pub mod wal;
 
 pub use btree::BTree;
@@ -45,4 +51,5 @@ pub use fault::{FaultHook, FaultPlan, FaultSite, FaultStats, SiteRecord, SoftFau
 pub use heap::{HeapFile, RecordId};
 pub use logmgr::{CommitReceipt, GroupCommitConfig, GroupCommitStats, LogManager};
 pub use page::SlottedPage;
+pub use undo::{Snapshot, UndoStore, VersionKey};
 pub use wal::{apply_entry, page_delta, page_deltas, RecoveryError, Wal, WalEntry};

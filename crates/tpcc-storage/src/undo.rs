@@ -1,0 +1,526 @@
+//! MVCC undo version chains: volatile pre-image chains that give
+//! read-only transactions a consistent snapshot with **zero lock
+//! acquisitions**, and writers an in-transaction rollback path.
+//!
+//! # Model
+//!
+//! Every versioned row (or index value) is identified by a
+//! [`VersionKey`] — `(file, key)` where `key` is a heap record id or a
+//! B+Tree key. A writer, before mutating the live bytes, calls
+//! [`UndoStore::record`] with the current bytes; the pre-image is
+//! pushed onto the key's chain as a *pending* entry owned by the
+//! writer's token. At commit, [`UndoStore::commit`] — under one commit
+//! mutex — assigns the next global timestamp, stamps every pending
+//! entry of the transaction, and only then publishes the timestamp as
+//! the new global clock. A reader that pins a snapshot therefore never
+//! observes a half-stamped transaction: if it sees commit timestamp
+//! `S`, all entries stamped `≤ S` are stamped before `S` was published.
+//!
+//! # Snapshot rule
+//!
+//! A reader pins `S =` the clock at begin ([`UndoStore::pin`], RAII
+//! [`Snapshot`]). For each versioned read it walks the chain
+//! newest→oldest starting from the live bytes:
+//!
+//! * entry pending or stamped `> S` → the entry's pre-image replaces
+//!   the candidate, keep walking (the write is invisible);
+//! * entry stamped `≤ S` → stop, the candidate is the visible version
+//!   (that committed write produced it).
+//!
+//! The live bytes must be read **before** the chain is consulted (the
+//! chain shard mutex plus the storage layer's frame latches give the
+//! required happens-before edge: if the reader saw a writer's new
+//! bytes, it also sees that writer's chain entry).
+//!
+//! # GC watermark
+//!
+//! Chains are pruned at the **oldest-active-snapshot watermark**: any
+//! entry stamped `≤ min(active pins)` (or `≤ clock` when nothing is
+//! pinned) can never be consumed — every current pin stops at it
+//! without reading its pre-image, and every future pin is `≥ clock ≥`
+//! its stamp. Commit prunes the chains it touched; chains that empty
+//! are removed from the map, so the store's footprint is bounded by
+//! the write working set between the oldest snapshot and now.
+//!
+//! # Durability
+//!
+//! Chains are *volatile by design*: snapshots do not survive a crash,
+//! and the redo WAL never references undo records (a writer rollback
+//! re-applies pre-images through the ordinary logged write path, so
+//! replaying forward + compensating deltas reproduces the abort).
+//! [`UndoStore::record`] still fires a
+//! [`FaultSite::UndoAppend`](crate::fault::FaultSite) so crash sweeps
+//! enumerate the instants between a versioned writer's page mutations.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::disk::FileId;
+use crate::fault::{FaultHook, FaultSite};
+use tpcc_obs::{CounterHandle, Label, Obs};
+
+/// Identifies one versioned row or index value: the owning file plus a
+/// heap record id (`RecordId::to_u64`) or B+Tree key.
+pub type VersionKey = (FileId, u64);
+
+/// Timestamp marking a chain entry as pending (owner not committed).
+const PENDING: u64 = u64::MAX;
+
+/// One pre-image on a version chain.
+#[derive(Debug, Clone)]
+struct UndoEntry {
+    /// Commit timestamp of the write this entry is the pre-image of
+    /// ([`PENDING`] until the owner commits).
+    ts: u64,
+    /// Owning transaction token while pending.
+    txn: u64,
+    /// Bytes before the write (`None` = the key did not exist).
+    before: Option<Box<[u8]>>,
+}
+
+/// A pinned snapshot timestamp (RAII: dropping unpins, letting the GC
+/// watermark advance past it).
+#[derive(Debug)]
+pub struct Snapshot<'a> {
+    store: &'a UndoStore,
+    ts: u64,
+}
+
+impl Snapshot<'_> {
+    /// The pinned timestamp: writes stamped `≤ ts` are visible.
+    #[must_use]
+    pub fn ts(&self) -> u64 {
+        self.ts
+    }
+}
+
+impl Drop for Snapshot<'_> {
+    fn drop(&mut self) {
+        self.store.unpin(self.ts);
+    }
+}
+
+/// The shared undo store for one database (see the module docs for the
+/// protocol).
+#[derive(Debug)]
+pub struct UndoStore {
+    shards: Vec<Mutex<HashMap<VersionKey, Vec<UndoEntry>>>>,
+    /// Last published commit timestamp.
+    clock: AtomicU64,
+    /// Next writer token.
+    next_txn: AtomicU64,
+    /// Serializes stamp-then-publish so a published timestamp implies
+    /// fully stamped entries.
+    commit_mu: Mutex<()>,
+    /// Active snapshot pins: timestamp → pin count.
+    active: Mutex<BTreeMap<u64, usize>>,
+    /// Live pre-image bytes currently held by chains.
+    live_bytes: AtomicU64,
+    fault: Option<Arc<FaultHook>>,
+    snapshot_reads: CounterHandle,
+    versions_traversed: CounterHandle,
+    undo_bytes: CounterHandle,
+    aborts: CounterHandle,
+}
+
+impl UndoStore {
+    /// An empty store with `shards` chain shards (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            clock: AtomicU64::new(0),
+            next_txn: AtomicU64::new(1),
+            commit_mu: Mutex::new(()),
+            active: Mutex::new(BTreeMap::new()),
+            live_bytes: AtomicU64::new(0),
+            fault: None,
+            snapshot_reads: CounterHandle::disabled(),
+            versions_traversed: CounterHandle::disabled(),
+            undo_bytes: CounterHandle::disabled(),
+            aborts: CounterHandle::disabled(),
+        }
+    }
+
+    /// Pre-resolves the store's telemetry counters against `obs`.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.snapshot_reads = obs.counter_handle("snapshot_reads", Label::None);
+        self.versions_traversed = obs.counter_handle("versions_traversed", Label::None);
+        self.undo_bytes = obs.counter_handle("undo_bytes", Label::None);
+        self.aborts = obs.counter_handle("aborts", Label::None);
+    }
+
+    /// Routes [`UndoStore::record`] through `hook`'s
+    /// [`FaultSite::UndoAppend`] site.
+    pub fn set_fault_hook(&mut self, hook: Arc<FaultHook>) {
+        self.fault = Some(hook);
+    }
+
+    fn shard(&self, key: VersionKey) -> &Mutex<HashMap<VersionKey, Vec<UndoEntry>>> {
+        let h = (key.0 .0 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(key.1)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        &self.shards[(h >> 33) as usize % self.shards.len()]
+    }
+
+    /// Begins a writer: returns its token for [`UndoStore::record`] /
+    /// [`UndoStore::commit`] / [`UndoStore::abort`].
+    pub fn begin(&self) -> u64 {
+        self.next_txn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Appends the pre-image of one versioned write as a pending entry
+    /// owned by `txn`. Call **before** mutating the live bytes, while
+    /// holding the logical lock that serializes writers of this key.
+    pub fn record(&self, txn: u64, key: VersionKey, before: Option<&[u8]>) {
+        if let Some(hook) = &self.fault {
+            // volatile store: a tripped crash freezes the WAL, not us
+            let _ = hook.fire(FaultSite::UndoAppend);
+        }
+        let bytes = before.map_or(0, <[u8]>::len) as u64;
+        self.live_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.undo_bytes.add(bytes);
+        let mut shard = self.shard(key).lock().expect("undo shard");
+        shard.entry(key).or_default().push(UndoEntry {
+            ts: PENDING,
+            txn,
+            before: before.map(Box::from),
+        });
+    }
+
+    /// Commits writer `txn`: stamps every pending entry it owns on the
+    /// chains in `keys` with the next global timestamp, publishes that
+    /// timestamp, prunes the touched chains at the GC watermark, and
+    /// returns the timestamp.
+    pub fn commit(&self, txn: u64, keys: &[VersionKey]) -> u64 {
+        let guard = self.commit_mu.lock().expect("undo commit");
+        let ts = self.clock.load(Ordering::Relaxed) + 1;
+        for &key in keys {
+            let mut shard = self.shard(key).lock().expect("undo shard");
+            if let Some(chain) = shard.get_mut(&key) {
+                for entry in chain.iter_mut().rev() {
+                    if entry.ts == PENDING && entry.txn == txn {
+                        entry.ts = ts;
+                    }
+                }
+            }
+        }
+        // publish only after every entry is stamped: a reader pinning
+        // `ts` must never see one of this transaction's entries pending
+        self.clock.store(ts, Ordering::Release);
+        drop(guard);
+        let watermark = self.watermark();
+        for &key in keys {
+            self.prune_chain(key, watermark);
+        }
+        ts
+    }
+
+    /// Aborts writer `txn`: removes its pending entries from the chains
+    /// in `keys`. The caller restores the live bytes (through the
+    /// ordinary logged write path) **before** calling this, so readers
+    /// traversing mid-abort still resolve to the committed pre-images.
+    pub fn abort(&self, txn: u64, keys: &[VersionKey]) {
+        for &key in keys {
+            let mut shard = self.shard(key).lock().expect("undo shard");
+            if let Some(chain) = shard.get_mut(&key) {
+                let mut freed = 0u64;
+                chain.retain(|e| {
+                    let mine = e.ts == PENDING && e.txn == txn;
+                    if mine {
+                        freed += e.before.as_ref().map_or(0, |b| b.len() as u64);
+                    }
+                    !mine
+                });
+                if chain.is_empty() {
+                    shard.remove(&key);
+                }
+                self.live_bytes.fetch_sub(freed, Ordering::Relaxed);
+            }
+        }
+        self.aborts.add(1);
+    }
+
+    /// Pins a snapshot at the current clock. Taking the pin under the
+    /// active-set mutex closes the race with a concurrent commit's GC:
+    /// either the pin registers first (the watermark respects it) or
+    /// the GC runs first (everything it pruned is `≤` the pin and
+    /// unreachable anyway).
+    #[must_use]
+    pub fn pin(&self) -> Snapshot<'_> {
+        let mut active = self.active.lock().expect("undo pins");
+        let ts = self.clock.load(Ordering::Acquire);
+        *active.entry(ts).or_insert(0) += 1;
+        Snapshot { store: self, ts }
+    }
+
+    fn unpin(&self, ts: u64) {
+        let mut active = self.active.lock().expect("undo pins");
+        if let Some(count) = active.get_mut(&ts) {
+            *count -= 1;
+            if *count == 0 {
+                active.remove(&ts);
+            }
+        }
+    }
+
+    /// The GC watermark: the oldest active snapshot, or the clock when
+    /// nothing is pinned.
+    #[must_use]
+    pub fn watermark(&self) -> u64 {
+        let active = self.active.lock().expect("undo pins");
+        let clock = self.clock.load(Ordering::Acquire);
+        active.keys().next().copied().unwrap_or(clock).min(clock)
+    }
+
+    fn prune_chain(&self, key: VersionKey, watermark: u64) {
+        let mut shard = self.shard(key).lock().expect("undo shard");
+        if let Some(chain) = shard.get_mut(&key) {
+            let keep = chain
+                .iter()
+                .position(|e| e.ts > watermark || e.ts == PENDING)
+                .unwrap_or(chain.len());
+            if keep > 0 {
+                let freed: u64 = chain[..keep]
+                    .iter()
+                    .map(|e| e.before.as_ref().map_or(0, |b| b.len() as u64))
+                    .sum();
+                chain.drain(..keep);
+                self.live_bytes.fetch_sub(freed, Ordering::Relaxed);
+            }
+            if chain.is_empty() {
+                shard.remove(&key);
+            }
+        }
+    }
+
+    /// Resolves the version of `key` visible at `snapshot_ts`, given
+    /// the already-read live bytes (`None` = the key does not currently
+    /// exist). Walks the chain newest→oldest per the snapshot rule.
+    #[must_use]
+    pub fn visible(
+        &self,
+        key: VersionKey,
+        snapshot_ts: u64,
+        live: Option<Vec<u8>>,
+    ) -> Option<Vec<u8>> {
+        self.snapshot_reads.add(1);
+        let shard = self.shard(key).lock().expect("undo shard");
+        let Some(chain) = shard.get(&key) else {
+            return live;
+        };
+        let mut candidate = live;
+        let mut traversed = 0u64;
+        for entry in chain.iter().rev() {
+            if entry.ts == PENDING || entry.ts > snapshot_ts {
+                candidate = entry.before.as_ref().map(|b| b.to_vec());
+                traversed += 1;
+            } else {
+                break;
+            }
+        }
+        drop(shard);
+        self.versions_traversed.add(traversed);
+        candidate
+    }
+
+    /// Pre-image bytes currently held by chains (the store's live
+    /// footprint, net of GC and aborts).
+    #[must_use]
+    pub fn live_undo_bytes(&self) -> u64 {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Version chains currently held (keys with at least one entry).
+    #[must_use]
+    pub fn chains(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("undo shard").len())
+            .sum()
+    }
+
+    /// The last published commit timestamp.
+    #[must_use]
+    pub fn clock(&self) -> u64 {
+        self.clock.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: FileId = FileId(3);
+
+    fn bytes(s: &str) -> Option<Vec<u8>> {
+        Some(s.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn pending_writes_are_invisible_and_committed_ones_visible() {
+        let store = UndoStore::new(4);
+        let key = (F, 9);
+        let snap = store.pin();
+
+        let t = store.begin();
+        store.record(t, key, bytes("v0").as_deref());
+        // live bytes are now "v1"; the pin predates the commit
+        assert_eq!(store.visible(key, snap.ts(), bytes("v1")), bytes("v0"));
+        store.commit(t, &[key]);
+        assert_eq!(
+            store.visible(key, snap.ts(), bytes("v1")),
+            bytes("v0"),
+            "still invisible to the old snapshot after commit"
+        );
+
+        let newer = store.pin();
+        assert_eq!(store.visible(key, newer.ts(), bytes("v1")), bytes("v1"));
+    }
+
+    #[test]
+    fn chain_walk_resolves_across_multiple_versions() {
+        let store = UndoStore::new(1);
+        let key = (F, 1);
+        // three committed writes: v0 -> v1 -> v2 -> v3 (live)
+        let mut pins = Vec::new();
+        for v in ["v0", "v1", "v2"] {
+            pins.push(store.pin());
+            let t = store.begin();
+            store.record(t, key, bytes(v).as_deref());
+            store.commit(t, &[key]);
+        }
+        let after = store.pin();
+        assert_eq!(store.visible(key, pins[0].ts(), bytes("v3")), bytes("v0"));
+        assert_eq!(store.visible(key, pins[1].ts(), bytes("v3")), bytes("v1"));
+        assert_eq!(store.visible(key, pins[2].ts(), bytes("v3")), bytes("v2"));
+        assert_eq!(store.visible(key, after.ts(), bytes("v3")), bytes("v3"));
+    }
+
+    #[test]
+    fn double_update_in_one_transaction_resolves_to_the_oldest_pre_image() {
+        let store = UndoStore::new(2);
+        let key = (F, 5);
+        let snap = store.pin();
+        let t = store.begin();
+        store.record(t, key, bytes("orig").as_deref());
+        store.record(t, key, bytes("mid").as_deref());
+        assert_eq!(
+            store.visible(key, snap.ts(), bytes("new")),
+            bytes("orig"),
+            "both pending entries must be skipped"
+        );
+        store.commit(t, &[key]);
+        assert_eq!(store.visible(key, snap.ts(), bytes("new")), bytes("orig"));
+    }
+
+    #[test]
+    fn abort_removes_pending_entries_only() {
+        let store = UndoStore::new(2);
+        let key = (F, 2);
+        let snap = store.pin(); // ts 0: keeps t0's committed entry alive past GC
+        let t0 = store.begin();
+        store.record(t0, key, bytes("v0").as_deref());
+        store.commit(t0, &[key]);
+        let before = store.live_undo_bytes();
+
+        let t1 = store.begin();
+        store.record(t1, key, bytes("v1").as_deref());
+        store.abort(t1, &[key]);
+        assert_eq!(store.live_undo_bytes(), before);
+        // the committed entry is untouched: an old snapshot still works
+        let old = store.visible(key, 0, bytes("v1"));
+        assert_eq!(old, bytes("v0"));
+        drop(snap);
+    }
+
+    #[test]
+    fn gc_prunes_at_the_oldest_active_snapshot_watermark() {
+        let store = UndoStore::new(1);
+        let key = (F, 7);
+        let pin = store.pin(); // ts 0
+        for v in ["a", "b", "c"] {
+            let t = store.begin();
+            store.record(t, key, bytes(v).as_deref());
+            store.commit(t, &[key]);
+        }
+        assert_eq!(store.watermark(), 0, "pin holds the watermark down");
+        assert!(store.live_undo_bytes() >= 3, "all three pre-images held");
+        drop(pin);
+        assert_eq!(store.watermark(), store.clock());
+        // next commit on the chain prunes everything now unreachable
+        let t = store.begin();
+        store.record(t, key, bytes("d").as_deref());
+        store.commit(t, &[key]);
+        assert_eq!(store.live_undo_bytes(), 0, "all entries pruned");
+        assert_eq!(store.chains(), 0, "empty chain removed from the map");
+    }
+
+    #[test]
+    fn nonexistent_before_images_resolve_to_none() {
+        let store = UndoStore::new(1);
+        let key = (F, 11);
+        let snap = store.pin();
+        let t = store.begin();
+        store.record(t, key, None); // insert: no prior version
+        store.commit(t, &[key]);
+        assert_eq!(store.visible(key, snap.ts(), bytes("row")), None);
+        let newer = store.pin();
+        assert_eq!(store.visible(key, newer.ts(), bytes("row")), bytes("row"));
+    }
+
+    #[test]
+    fn commit_timestamps_are_monotone_and_published_after_stamping() {
+        let store = UndoStore::new(2);
+        let a = store.begin();
+        let b = store.begin();
+        store.record(a, (F, 1), bytes("x").as_deref());
+        store.record(b, (F, 2), bytes("y").as_deref());
+        let ta = store.commit(a, &[(F, 1)]);
+        let tb = store.commit(b, &[(F, 2)]);
+        assert!(tb > ta);
+        assert_eq!(store.clock(), tb);
+    }
+
+    #[test]
+    fn concurrent_readers_see_stable_snapshots_under_writers() {
+        let store = UndoStore::new(8);
+        let key = (F, 42);
+        // the shared "live bytes": incremented by the writer after each
+        // pre-image lands, exactly as a page write follows record()
+        let live = AtomicU64::new(0);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                let mut v = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let t = store.begin();
+                    let cur = v.to_le_bytes();
+                    store.record(t, key, Some(&cur));
+                    v += 1;
+                    live.store(v, Ordering::Relaxed);
+                    store.commit(t, &[key]);
+                }
+                v
+            });
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while !stop.load(Ordering::Acquire) {
+                        let snap = store.pin();
+                        let seen = live.load(Ordering::Relaxed).to_le_bytes().to_vec();
+                        let a = store.visible(key, snap.ts(), Some(seen.clone()));
+                        let b = store.visible(key, snap.ts(), Some(seen));
+                        assert_eq!(a, b, "one snapshot, one answer");
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            stop.store(true, Ordering::Release);
+            assert!(writer.join().expect("writer") > 0);
+        });
+    }
+}
