@@ -15,6 +15,7 @@
 //! | 8 | 4 | — | the scaling sweep's headline cell |
 //! | 8 | 4 | 200 µs / 32 / 50 µs | the group-commit flush pipeline |
 //! | 8 | 4 (MVCC) | — | snapshot reads + 1% undo-backed rollbacks |
+//! | 4 | 2×2 (cluster) | — | 2-node scale-out: routing, 2PC, remote p95 |
 //!
 //! Per cell: throughput, New-Order / Payment / Stock-Level p95 (sketch
 //! quantiles), buffer-miss ppm, WAL bytes per transaction, and — in
@@ -25,6 +26,12 @@
 //! rollback count (deterministic in the seeded input streams) and the
 //! Stock-Level p95 — a snapshot-read slowdown or an abort-path
 //! explosion fails like any other regression.
+//!
+//! The cluster cell partitions 4 warehouses across 2 simulated nodes
+//! (1% remote New-Order lines, 15% remote Payments, every cross-node
+//! transaction through 2PC) and additionally gates the cluster-wide
+//! executed tpm-C and the remote-transaction p95 — a commit-protocol
+//! or message-layer slowdown fails even when local throughput holds.
 //!
 //! ```text
 //! cargo run --release -p tpcc-bench --bin trajectory               # append a point
@@ -44,12 +51,13 @@
 
 use std::sync::Arc;
 
+use tpcc_db::cluster::{Cluster, ClusterConfig, ItemPlacement};
 use tpcc_db::db::DbConfig;
 use tpcc_db::driver::DriverConfig;
 use tpcc_db::{loader, GroupCommitConfig, ParallelDriver};
 use tpcc_obs::{MemoryRecorder, Obs};
 
-const SCHEMA: u32 = 3;
+const SCHEMA: u32 = 4;
 const SEED: u64 = 42;
 const TXNS_PER_CELL: u64 = 10_000;
 const WARMUP: u64 = 1_000;
@@ -96,6 +104,13 @@ struct Cell {
     commit_wait_p95_us: f64,
     /// 0 outside the MVCC cell (rollback rate is 0 elsewhere).
     rollbacks: f64,
+    /// 0 in single-node cells; node count in the cluster cell.
+    nodes: u64,
+    /// Cluster-wide executed tpm-C; 0 in single-node cells.
+    cluster_tpm: f64,
+    /// p95 latency of transactions that touched a remote node; 0 in
+    /// single-node cells.
+    remote_p95_us: f64,
 }
 
 impl Cell {
@@ -107,7 +122,8 @@ impl Cell {
              \"stock_level_p95_us\":{:.1},\
              \"miss_ppm\":{:.1},\"wal_bytes_per_txn\":{:.1},\
              \"commits_per_flush\":{:.2},\"commit_wait_p95_us\":{:.1},\
-             \"rollbacks\":{:.0}}}",
+             \"rollbacks\":{:.0},\
+             \"nodes\":{},\"cluster_tpm\":{:.1},\"remote_p95_us\":{:.1}}}",
             self.threads,
             self.warehouses,
             self.group_commit,
@@ -121,6 +137,9 @@ impl Cell {
             self.commits_per_flush,
             self.commit_wait_p95_us,
             self.rollbacks,
+            self.nodes,
+            self.cluster_tpm,
+            self.remote_p95_us,
         )
     }
 }
@@ -152,6 +171,72 @@ fn run_cell(threads: u64, warehouses: u64, group_commit: bool, mvcc: bool) -> Ce
         commits_per_flush: of(&|c| c.commits_per_flush),
         commit_wait_p95_us: of(&|c| c.commit_wait_p95_us),
         rollbacks: of(&|c| c.rollbacks),
+        nodes: 0,
+        cluster_tpm: 0.0,
+        remote_p95_us: 0.0,
+    }
+}
+
+/// The cluster cell, [`REPLICATES`] runs, per-metric median: 2 nodes ×
+/// 2 warehouses each, one terminal per warehouse, replicated items,
+/// 20 µs simulated network delay — the same operating point the
+/// `cluster_scaling` bench's 2-node cell pins.
+fn run_cluster_cell() -> Cell {
+    const NODES: u64 = 2;
+    const WPN: u64 = 2;
+    const TERMINALS: u64 = NODES * WPN;
+    let runs: Vec<Cell> = (0..REPLICATES)
+        .map(|_| {
+            let mut node_db = DbConfig::small();
+            node_db.buffer_frames = 256 * WPN as usize;
+            node_db.buffer_shards = 8;
+            node_db.io_delay_us = 100;
+            node_db.enable_wal = true;
+            let cfg = ClusterConfig {
+                nodes: NODES,
+                warehouses_per_node: WPN,
+                node_db,
+                driver: DriverConfig::default(),
+                placement: ItemPlacement::Replicated,
+                network_delay_us: 20,
+            };
+            let cl = Cluster::new(cfg, SEED);
+            let _ = cl.run(TERMINALS, WARMUP, SEED); // discarded
+            let report = cl.run(TERMINALS, TXNS_PER_CELL, SEED);
+            let remote = report.remote_new_orders + report.remote_payments;
+            Cell {
+                threads: TERMINALS,
+                warehouses: NODES * WPN,
+                group_commit: false,
+                mvcc: true, // the cluster always runs MVCC
+                tps: report.throughput(),
+                p95_us: P95_TYPES.map(|t| report.latency_ns[t].quantile(0.95) / 1e3),
+                miss_ppm: 0.0,
+                wal_bytes_per_txn: 0.0,
+                commits_per_flush: 0.0,
+                commit_wait_p95_us: 0.0,
+                rollbacks: 0.0,
+                nodes: NODES,
+                cluster_tpm: report.cluster_tpm(),
+                remote_p95_us: if remote > 0 {
+                    report.remote_latency_ns.quantile(0.95) / 1e3
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    let of = |f: &dyn Fn(&Cell) -> f64| median(runs.iter().map(f).collect());
+    Cell {
+        tps: of(&|c| c.tps),
+        p95_us: [
+            of(&|c| c.p95_us[0]),
+            of(&|c| c.p95_us[1]),
+            of(&|c| c.p95_us[2]),
+        ],
+        cluster_tpm: of(&|c| c.cluster_tpm),
+        remote_p95_us: of(&|c| c.remote_p95_us),
+        ..runs.into_iter().next().expect("at least one replicate")
     }
 }
 
@@ -219,6 +304,9 @@ fn run_cell_once(threads: u64, warehouses: u64, group_commit: bool, mvcc: bool) 
         commits_per_flush,
         commit_wait_p95_us,
         rollbacks: report.rollbacks as f64,
+        nodes: 0,
+        cluster_tpm: 0.0,
+        remote_p95_us: 0.0,
     }
 }
 
@@ -317,7 +405,9 @@ fn check(fresh: &str) -> Result<(), Vec<String>> {
 
     let mut failures = Vec::new();
     for (f, b) in fresh_cells.iter().zip(&base_cells) {
-        let gc_tag = if f.contains("\"group_commit\":true") {
+        let gc_tag = if extract_f64(f, "nodes") > 0.0 {
+            "+cluster"
+        } else if f.contains("\"group_commit\":true") {
             "+gc"
         } else if f.contains("\"mvcc\":true") {
             "+mvcc"
@@ -379,6 +469,20 @@ fn check(fresh: &str) -> Result<(), Vec<String>> {
                 band: count_band,
                 higher_is_worse: true,
             },
+            // cluster cell only (identically 0 in single-node cells):
+            // the executed scale-out headline and the cost of crossing
+            // nodes — a 2PC or message-layer slowdown fails here even
+            // when local throughput holds
+            Gate {
+                key: "cluster_tpm",
+                band: wall_band,
+                higher_is_worse: false,
+            },
+            Gate {
+                key: "remote_p95_us",
+                band: wall_band,
+                higher_is_worse: true,
+            },
         ];
         for g in gates {
             let fv = extract_f64(f, g.key);
@@ -430,7 +534,7 @@ fn main() {
 
     std::fs::create_dir_all("results").expect("create results/");
 
-    let cells: Vec<Cell> = CELLS
+    let mut cells: Vec<Cell> = CELLS
         .iter()
         .map(|&(threads, warehouses, group_commit, mvcc)| {
             let tag = match (group_commit, mvcc) {
@@ -442,6 +546,8 @@ fn main() {
             run_cell(threads, warehouses, group_commit, mvcc)
         })
         .collect();
+    eprintln!("cell 2nodes×2wh cluster ({TXNS_PER_CELL} txns)...");
+    cells.push(run_cluster_cell());
     let point = point_json(&cells);
     println!("{point}");
 

@@ -17,6 +17,15 @@ use crate::single::{SingleNodeModel, ThroughputReport};
 use crate::source::MissSource;
 use tpcc_workload::TxType;
 
+/// Clause 2.4.1.5: probability an ordered item's supplying warehouse is
+/// remote (the §5.3 model's `P_S` numerator). Shared with the executed
+/// driver (`tpcc-db`) so the model and the execution cannot drift.
+pub const REMOTE_STOCK_PROB: f64 = 0.01;
+
+/// Clause 2.5.1.2: probability a Payment pays through a remote
+/// warehouse's customer. Shared with the executed driver.
+pub const REMOTE_PAYMENT_PROB: f64 = 0.15;
+
 /// Item-relation placement across the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ItemPlacement {
@@ -213,8 +222,8 @@ impl DistributedModel {
         Self {
             single,
             placement,
-            remote_stock_prob: 0.01,
-            remote_payment_prob: 0.15,
+            remote_stock_prob: REMOTE_STOCK_PROB,
+            remote_payment_prob: REMOTE_PAYMENT_PROB,
         }
     }
 
@@ -295,6 +304,48 @@ mod tests {
         assert_eq!(e.rc_stock, 0.0);
         assert_eq!(e.l_stock, 1.0);
         assert_eq!(e.u_stock_item, 0.0);
+    }
+
+    /// The 1-node degenerate case, pinned for every field and both
+    /// placements: a single-node "cluster" makes zero remote calls of
+    /// any kind — even partitioned Item placement has nowhere remote to
+    /// go.
+    #[test]
+    fn one_node_degenerate_case_has_zero_remote_calls_both_placements() {
+        for placement in [ItemPlacement::Replicated, ItemPlacement::Partitioned] {
+            let single = SingleNodeModel::paper_default();
+            let m = DistributedModel::new(single, placement);
+            let e = m.expectations(1);
+            assert_eq!(e.rc_stock, 0.0, "{placement:?}");
+            assert_eq!(e.u_stock, 0.0, "{placement:?}");
+            assert_eq!(e.l_stock, 1.0, "{placement:?}");
+            assert_eq!(e.rc_cust, 0.0, "{placement:?}");
+            assert_eq!(e.u_cust, 0.0, "{placement:?}");
+            assert_eq!(e.rc_item, 0.0, "{placement:?}");
+            assert_eq!(e.u_item, 0.0, "{placement:?}");
+            assert_eq!(e.u_stock_item, 0.0, "{placement:?}");
+        }
+    }
+
+    /// `cluster_tpm(1)` must equal the single-node model *exactly* (not
+    /// approximately): zero expectations feed zero extra CPU into
+    /// `throughput_with_extra`, so the two computations are the same
+    /// arithmetic.
+    #[test]
+    fn one_node_cluster_tpm_equals_the_single_node_model_exactly() {
+        let misses = misses();
+        let single = SingleNodeModel::paper_default();
+        let base = single.throughput(&misses).new_order_tpm;
+        for placement in [ItemPlacement::Replicated, ItemPlacement::Partitioned] {
+            let m = DistributedModel::new(single.clone(), placement);
+            assert_eq!(m.cluster_tpm(1, &misses), base, "{placement:?}");
+            assert_eq!(m.ideal_tpm(1, &misses), base, "{placement:?}");
+            assert_eq!(
+                m.per_node_throughput(1, &misses).new_order_tpm,
+                base,
+                "{placement:?}"
+            );
+        }
     }
 
     #[test]

@@ -31,9 +31,11 @@ pub struct DriverConfig {
     /// Mix fractions: New-Order, Payment, Order-Status, Delivery,
     /// Stock-Level (paper: 43/44/4/5/4).
     pub mix: [f64; 5],
-    /// P(item supplied remotely) (0.01).
+    /// P(item supplied remotely)
+    /// ([`tpcc_cost::distributed::REMOTE_STOCK_PROB`]).
     pub remote_stock_prob: f64,
-    /// P(payment through a remote warehouse) (0.15).
+    /// P(payment through a remote warehouse)
+    /// ([`tpcc_cost::distributed::REMOTE_PAYMENT_PROB`]).
     pub remote_payment_prob: f64,
     /// P(customer selected by last name) (0.60).
     pub by_name_prob: f64,
@@ -55,8 +57,11 @@ impl Default for DriverConfig {
     fn default() -> Self {
         Self {
             mix: [0.43, 0.44, 0.04, 0.05, 0.04],
-            remote_stock_prob: 0.01,
-            remote_payment_prob: 0.15,
+            // the clause probabilities come from the cost model's
+            // shared constants, so the executed workload and the §5.3
+            // distributed model cannot drift apart
+            remote_stock_prob: tpcc_cost::distributed::REMOTE_STOCK_PROB,
+            remote_payment_prob: tpcc_cost::distributed::REMOTE_PAYMENT_PROB,
             by_name_prob: 0.60,
             items_per_order: 10,
             spec_item_counts: false,
@@ -171,17 +176,39 @@ impl InputGen {
     /// A generator whose NURand ranges match the database's scale.
     #[must_use]
     pub fn new(db: &TpccDb, cfg: DriverConfig, seed: u64) -> Self {
-        let c = db.config().customers_per_district;
-        let i = db.config().items;
+        Self::with_scale(
+            cfg,
+            seed,
+            db.config().warehouses,
+            db.config().customers_per_district,
+            db.config().items,
+            db.config().name_count(),
+        )
+    }
+
+    /// A generator over an explicit scale — the cluster driver spans
+    /// warehouses across several node databases, so no single
+    /// [`TpccDb`] carries the global warehouse count.
+    #[must_use]
+    pub(crate) fn with_scale(
+        cfg: DriverConfig,
+        seed: u64,
+        warehouses: u64,
+        customers_per_district: u64,
+        items: u64,
+        name_count: u64,
+    ) -> Self {
+        let c = customers_per_district;
+        let i = items;
         Self {
             cfg,
             rng: Xoshiro256::seed_from_u64(seed),
             // A constants scale with the range per clause 2.1.6
             customer_nu: NuRand::new(1023.min(c.next_power_of_two() - 1), 0, c - 1),
             item_nu: NuRand::new(8191.min(i.next_power_of_two() - 1), 0, i - 1),
-            warehouses: db.config().warehouses,
+            warehouses,
             items: i,
-            name_count: db.config().name_count(),
+            name_count,
         }
     }
 

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cluster;
 pub mod db;
 pub mod driver;
 pub mod inject;
@@ -28,6 +29,10 @@ pub mod telemetry;
 pub mod txns;
 pub mod verify;
 
+pub use cluster::{
+    two_pc_crash_sweep, Cluster, ClusterConfig, ClusterReport, ItemPlacement, MsgKind, NodeReport,
+    TwoPcSweepConfig, TwoPcSweepReport, MSG_KINDS,
+};
 pub use db::{DbConfig, TpccDb};
 pub use driver::{Driver, DriverConfig, DriverReport, InputGen, TxnInput};
 pub use inject::{

@@ -53,7 +53,7 @@ use tpcc_obs::{CounterHandle, HistogramHandle, Label, QuantileSketch, TraceHandl
 /// Lock spaces, one per logically lockable relation. (Item records are
 /// immutable after load and history is append-only with no readers, so
 /// neither needs a space.)
-mod space {
+pub(crate) mod space {
     pub const WAREHOUSE: u32 = 0;
     pub const DISTRICT: u32 = 1;
     pub const CUSTOMER: u32 = 2;
@@ -62,7 +62,7 @@ mod space {
 }
 
 /// `lock_waiters` gauge labels, indexed by lock space.
-const SPACE_LABELS: [Label; 5] = [
+pub(crate) const SPACE_LABELS: [Label; 5] = [
     Label::Name("warehouse"),
     Label::Name("district"),
     Label::Name("customer"),
@@ -70,7 +70,7 @@ const SPACE_LABELS: [Label; 5] = [
     Label::Name("order"),
 ];
 
-fn k(space: u32, key: u64) -> LockKey {
+pub(crate) fn k(space: u32, key: u64) -> LockKey {
     LockKey { space, key }
 }
 

@@ -95,6 +95,24 @@ impl std::fmt::Display for NewOrderAborted {
 
 impl std::error::Error for NewOrderAborted {}
 
+/// The New-Order stock mutation (clause 2.4.2.2's restock rule plus
+/// the ytd / order-count / remote-count bumps), shared by the local
+/// transaction body and the cluster's remote-participant path so the
+/// two can never drift.
+pub(crate) fn apply_stock_update(stock: &mut StockRec, quantity: u16, remote: bool) {
+    // clause 2.4.2.2: restock when the level would fall below 10
+    if stock.quantity >= i32::from(quantity) + 10 {
+        stock.quantity -= i32::from(quantity);
+    } else {
+        stock.quantity += 91 - i32::from(quantity);
+    }
+    stock.ytd += u64::from(quantity);
+    stock.order_cnt += 1;
+    if remote {
+        stock.remote_cnt += 1;
+    }
+}
+
 /// How Payment / Order-Status select the customer.
 #[derive(Debug, Clone, Copy)]
 pub enum CustomerSelector {
@@ -122,7 +140,7 @@ impl TpccDb {
     /// index, sort by first name, take the median row. The name index
     /// and the names themselves are immutable after load, so only the
     /// row reads need the snapshot.
-    fn resolve_customer(
+    pub(crate) fn resolve_customer(
         &self,
         w: u64,
         d: u64,
@@ -287,17 +305,7 @@ impl TpccDb {
                 )
                 .expect("stock exists");
             let mut stock = StockRec::decode(&self.heaps.stock.get(&self.bm, s_rid).expect("live"));
-            // clause 2.4.2.2: restock when the level would fall below 10
-            if stock.quantity >= i32::from(line.quantity) + 10 {
-                stock.quantity -= i32::from(line.quantity);
-            } else {
-                stock.quantity += 91 - i32::from(line.quantity);
-            }
-            stock.ytd += u64::from(line.quantity);
-            stock.order_cnt += 1;
-            if line.supply_warehouse != w {
-                stock.remote_cnt += 1;
-            }
+            apply_stock_update(&mut stock, line.quantity, line.supply_warehouse != w);
             let dist_info = stock.dist_info[d as usize].clone();
             self.heap_update(Relation::Stock, s_rid, &stock.encode());
 

@@ -494,6 +494,48 @@ impl BufferManager {
         0
     }
 
+    /// Appends a 2PC `Prepare` record for global transaction `txn` and
+    /// forces it durable — the prepare acknowledgement a participant
+    /// sends its coordinator is a durable promise, so it cannot ride a
+    /// deferred group-commit batch. Returns `true` when the record is
+    /// in the durable prefix (false after an injected crash), which is
+    /// exactly the vote the participant may send.
+    pub fn log_prepare(&self, txn: u64) -> bool {
+        if !self.wal_on.load(Ordering::Acquire) {
+            return true; // no WAL: nothing can be lost
+        }
+        if let Some(wal) = self.wal.lock().expect("wal lock").as_mut() {
+            wal.append(WalEntry::Prepare { txn });
+            if wal.is_deferred() && !wal.flush() {
+                return false;
+            }
+            return wal.entries()[..wal.durable_len()]
+                .iter()
+                .rev()
+                .any(|e| matches!(e, WalEntry::Prepare { txn: t } if *t == txn));
+        }
+        true
+    }
+
+    /// Appends a 2PC `Decide` record for global transaction `txn`. On
+    /// the coordinator this is the global commit point, so like
+    /// [`BufferManager::log_prepare`] it is flushed immediately rather
+    /// than deferred to a group-commit batch. Returns `true` when the
+    /// decision is durable.
+    pub fn log_decide(&self, txn: u64, commit: bool) -> bool {
+        if !self.wal_on.load(Ordering::Acquire) {
+            return true;
+        }
+        if let Some(wal) = self.wal.lock().expect("wal lock").as_mut() {
+            wal.append(WalEntry::Decide { txn, commit });
+            if wal.is_deferred() && !wal.flush() {
+                return false;
+            }
+            return wal.durable_decision(txn) == Some(commit);
+        }
+        true
+    }
+
     /// Creates an empty file, logging the event when the WAL is on so
     /// recovery can recreate it.
     pub fn create_file(&self) -> FileId {

@@ -13,6 +13,8 @@
 //! | [`FaultSite::MissLoad`]  | each buffer-pool miss, before the disk read | the log freezes mid-read |
 //! | [`FaultSite::WalFlush`]  | top of [`Wal::flush`], before the device write | the whole unflushed tail is lost |
 //! | [`FaultSite::UndoAppend`] | [`UndoStore::record`], before the pre-image lands | none durable — undo chains are volatile; the site sweeps the instants *between* a writer's page mutations |
+//! | [`FaultSite::TwoPcPrepare`] | a 2PC `Prepare` record is about to land ([`Wal::append`]) | the participant never prepared — presumed abort |
+//! | [`FaultSite::TwoPcDecide`]  | a 2PC `Decide` record is about to land ([`Wal::append`]) | the decision is lost; a durable `Prepare` with no decision is **in doubt** until recovery asks the coordinator |
 //!
 //! [`UndoStore::record`]: crate::undo::UndoStore::record
 //!
@@ -69,10 +71,20 @@ pub enum FaultSite {
     /// the site exists to *enumerate* mid-transaction crash instants
     /// on the MVCC write path.
     UndoAppend,
+    /// A two-phase-commit `Prepare` record is about to be appended to
+    /// a participant's WAL. A crash here means the participant never
+    /// prepared: presumed abort, the coordinator aborts the global
+    /// transaction.
+    TwoPcPrepare,
+    /// A two-phase-commit `Decide` record is about to be appended
+    /// (coordinator decision or participant acknowledgement). A crash
+    /// here leaves any durable `Prepare` without a decision — the
+    /// in-doubt window recovery must resolve through the coordinator.
+    TwoPcDecide,
 }
 
 /// Number of distinct fault-site classes ([`FaultSite::ALL`] length).
-pub const FAULT_SITES: usize = 6;
+pub const FAULT_SITES: usize = 8;
 
 impl FaultSite {
     /// Every site class, in display order.
@@ -83,6 +95,8 @@ impl FaultSite {
         FaultSite::MissLoad,
         FaultSite::WalFlush,
         FaultSite::UndoAppend,
+        FaultSite::TwoPcPrepare,
+        FaultSite::TwoPcDecide,
     ];
 
     /// Dense index (for per-site counter arrays).
@@ -95,6 +109,8 @@ impl FaultSite {
             FaultSite::MissLoad => 3,
             FaultSite::WalFlush => 4,
             FaultSite::UndoAppend => 5,
+            FaultSite::TwoPcPrepare => 6,
+            FaultSite::TwoPcDecide => 7,
         }
     }
 
@@ -108,6 +124,8 @@ impl FaultSite {
             FaultSite::MissLoad => "miss_load",
             FaultSite::WalFlush => "wal_flush",
             FaultSite::UndoAppend => "undo_append",
+            FaultSite::TwoPcPrepare => "twopc_prepare",
+            FaultSite::TwoPcDecide => "twopc_decide",
         }
     }
 }

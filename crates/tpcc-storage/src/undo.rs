@@ -460,6 +460,55 @@ mod tests {
         assert_eq!(store.chains(), 0, "empty chain removed from the map");
     }
 
+    /// 2PC in-doubt regression: a writer that has *prepared* but not
+    /// yet learned its coordinator's decision still owns a `PENDING`
+    /// chain entry. When the last pinned reader releases, the GC
+    /// watermark jumps to the clock — past the position a stamped
+    /// entry would occupy at the pending entry's chain index — and the
+    /// next commit-triggered prune sweeps the chain. The prune
+    /// predicate (`ts > watermark || ts == PENDING`) must treat
+    /// `PENDING` as unprunable: losing the pre-image would make the
+    /// in-doubt write visible to every reader before the decision
+    /// arrives.
+    #[test]
+    fn gc_never_prunes_a_pending_entry_even_after_the_watermark_passes() {
+        let store = UndoStore::new(1);
+        let key = (F, 21);
+        let other = (F, 22);
+
+        let pin = store.pin(); // ts 0: holds the watermark down
+        let a = store.begin();
+        store.record(a, key, bytes("v0").as_deref());
+        store.commit(a, &[key]); // chain: [ts=1 "v0"]
+
+        // the 2PC writer: prepared (pre-image recorded, live bytes
+        // updated to "v2"), decision not yet durable — stays pending
+        let b = store.begin();
+        store.record(b, key, bytes("v1").as_deref());
+
+        // the pinned reader releases; the watermark passes the stamped
+        // entry *and* the pending entry's chain position
+        drop(pin);
+        assert_eq!(store.watermark(), store.clock());
+
+        // an unrelated commit prunes both chains it names
+        let c = store.begin();
+        store.record(c, other, bytes("x").as_deref());
+        store.commit(c, &[other, key]);
+
+        // the stamped, unreachable entry was pruned...
+        assert_eq!(
+            store.visible(key, store.clock(), bytes("v2")),
+            bytes("v1"),
+            "the PENDING pre-image must survive GC: readers resolve the \
+             in-doubt write to its pre-image until the decision lands"
+        );
+        // ...and the pending one survived to serve both outcomes
+        store.commit(b, &[key]);
+        let after = store.pin();
+        assert_eq!(store.visible(key, after.ts(), bytes("v2")), bytes("v2"));
+    }
+
     #[test]
     fn nonexistent_before_images_resolve_to_none() {
         let store = UndoStore::new(1);

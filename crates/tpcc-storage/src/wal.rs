@@ -161,6 +161,28 @@ pub enum WalEntry {
         /// Logical transaction timestamp.
         txn: u64,
     },
+    /// Two-phase commit, phase one: this node durably promises it can
+    /// commit global transaction `txn` (its deltas precede this record
+    /// in the log). A durable `Prepare` with no later [`WalEntry::Decide`]
+    /// is **in doubt**: plain recovery excludes it (presumed abort),
+    /// and [`Wal::try_recover_resolved`] consults the coordinator's
+    /// decision to replay or discard it.
+    Prepare {
+        /// Global (coordinator-issued) transaction timestamp.
+        txn: u64,
+    },
+    /// Two-phase commit, phase two: the decision for global transaction
+    /// `txn`. On the coordinator this record *is* the commit point; on
+    /// a participant it closes the in-doubt window. `commit == false`
+    /// is still a valid replay boundary — an aborting node logs its
+    /// compensating deltas *before* the decision, so replaying up to it
+    /// nets the transaction out to a no-op (compensation by redo).
+    Decide {
+        /// Global transaction timestamp.
+        txn: u64,
+        /// True to commit, false to abort.
+        commit: bool,
+    },
 }
 
 impl WalEntry {
@@ -179,7 +201,8 @@ impl WalEntry {
                 WalEntry::CreateFile { .. } => 4,
                 WalEntry::AllocPage { .. } | WalEntry::FreePage { .. } => 8,
                 WalEntry::PageDelta { data, .. } => 12 + data.len(),
-                WalEntry::Commit { .. } => 8,
+                WalEntry::Commit { .. } | WalEntry::Prepare { .. } => 8,
+                WalEntry::Decide { .. } => 9,
             }
     }
 }
@@ -248,16 +271,26 @@ impl Wal {
         self.deferred
     }
 
-    /// Appends an entry.
+    /// Appends an entry. 2PC records fire their own fault sites
+    /// ([`FaultSite::TwoPcPrepare`] / [`FaultSite::TwoPcDecide`]) so a
+    /// crash sweep can target the prepare/decide instants by class;
+    /// every other entry fires [`FaultSite::WalAppend`].
     pub fn append(&mut self, entry: WalEntry) {
         if let Some(hook) = &self.hook {
-            if hook.fire(FaultSite::WalAppend).crash {
+            let site = match &entry {
+                WalEntry::Prepare { .. } => FaultSite::TwoPcPrepare,
+                WalEntry::Decide { .. } => FaultSite::TwoPcDecide,
+                _ => FaultSite::WalAppend,
+            };
+            if hook.fire(site).crash {
                 return; // the record never reached the durable log
             }
         }
         match &entry {
             WalEntry::PageDelta { data, .. } => self.delta_bytes += data.len() as u64,
-            WalEntry::Commit { .. } => self.commit_count += 1,
+            WalEntry::Commit { .. } | WalEntry::Decide { commit: true, .. } => {
+                self.commit_count += 1;
+            }
             _ => {}
         }
         self.entries.push(entry);
@@ -366,7 +399,9 @@ impl Wal {
         for entry in &self.entries[keep..] {
             match entry {
                 WalEntry::PageDelta { data, .. } => self.delta_bytes -= data.len() as u64,
-                WalEntry::Commit { .. } => self.commit_count -= 1,
+                WalEntry::Commit { .. } | WalEntry::Decide { commit: true, .. } => {
+                    self.commit_count -= 1;
+                }
                 _ => {}
             }
         }
@@ -380,18 +415,74 @@ impl Wal {
     }
 
     /// Length of the committed prefix: the index just past the last
-    /// [`WalEntry::Commit`] marker inside the **durable watermark** (0
-    /// when no transaction durably committed). Recovery replays exactly
-    /// `entries()[..committed_len()]`. Under synchronous durability the
-    /// watermark is the whole log, so this is the historical "last
-    /// commit marker in memory"; under deferred durability commits in
-    /// the unflushed tail do not count.
+    /// [`WalEntry::Commit`] or [`WalEntry::Decide`] marker inside the
+    /// **durable watermark** (0 when no transaction durably committed).
+    /// Recovery replays exactly `entries()[..committed_len()]`. Under
+    /// synchronous durability the watermark is the whole log, so this
+    /// is the historical "last commit marker in memory"; under deferred
+    /// durability commits in the unflushed tail do not count.
+    ///
+    /// A `Decide` is a boundary whichever way it went: an abort logs
+    /// its compensating deltas before the decision, so the prefix nets
+    /// out. A durable [`WalEntry::Prepare`] past the last decision is
+    /// **not** a boundary here — presumed abort; use
+    /// [`Wal::committed_len_resolved`] to include prepares the
+    /// coordinator durably decided to commit.
     #[must_use]
     pub fn committed_len(&self) -> usize {
         self.entries[..self.durable_len]
             .iter()
-            .rposition(|e| matches!(e, WalEntry::Commit { .. }))
+            .rposition(|e| matches!(e, WalEntry::Commit { .. } | WalEntry::Decide { .. }))
             .map_or(0, |i| i + 1)
+    }
+
+    /// Like [`Wal::committed_len`], but an in-doubt
+    /// [`WalEntry::Prepare`] extends the replay boundary past itself
+    /// when `resolver(txn)` reports the coordinator durably decided
+    /// **commit** for that global transaction. An unresolved or
+    /// aborted prepare stays outside the boundary (presumed abort).
+    #[must_use]
+    pub fn committed_len_resolved(&self, resolver: impl Fn(u64) -> bool) -> usize {
+        let mut boundary = 0;
+        for (i, entry) in self.entries[..self.durable_len].iter().enumerate() {
+            match entry {
+                WalEntry::Commit { .. } | WalEntry::Decide { .. } => boundary = i + 1,
+                WalEntry::Prepare { txn } if resolver(*txn) => boundary = i + 1,
+                _ => {}
+            }
+        }
+        boundary
+    }
+
+    /// Global transactions this log durably prepared but never durably
+    /// decided — the in-doubt set a recovering participant must resolve
+    /// through its coordinators before opening for business.
+    #[must_use]
+    pub fn in_doubt(&self) -> Vec<u64> {
+        let mut open = Vec::new();
+        for entry in &self.entries[..self.durable_len] {
+            match entry {
+                WalEntry::Prepare { txn } => open.push(*txn),
+                WalEntry::Decide { txn, .. } => open.retain(|t| t != txn),
+                _ => {}
+            }
+        }
+        open
+    }
+
+    /// The durable 2PC decision for global transaction `txn`, if this
+    /// log (the coordinator's) carries one: `Some(true)` commit,
+    /// `Some(false)` abort, `None` when no decision survived — in
+    /// which case presumed abort applies.
+    #[must_use]
+    pub fn durable_decision(&self, txn: u64) -> Option<bool> {
+        self.entries[..self.durable_len]
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                WalEntry::Decide { txn: t, commit } if *t == txn => Some(*commit),
+                _ => None,
+            })
     }
 
     /// Replays the log over a checkpoint image of the disk, producing
@@ -428,6 +519,26 @@ impl Wal {
     pub fn try_recover(&self, mut checkpoint: DiskManager) -> Result<DiskManager, RecoveryError> {
         let mut scratch = vec![0u8; checkpoint.page_size()];
         for entry in &self.entries[..self.committed_len()] {
+            apply_entry(&mut checkpoint, &mut scratch, entry)?;
+        }
+        checkpoint.reset_stats();
+        Ok(checkpoint)
+    }
+
+    /// [`Wal::try_recover`] with 2PC in-doubt resolution: replays up to
+    /// [`Wal::committed_len_resolved`]`(resolver)`, so a durable
+    /// `Prepare` whose coordinator durably decided commit is applied,
+    /// and every other in-doubt tail is discarded (presumed abort).
+    ///
+    /// # Errors
+    /// The same [`RecoveryError`]s as [`Wal::try_recover`].
+    pub fn try_recover_resolved(
+        &self,
+        mut checkpoint: DiskManager,
+        resolver: impl Fn(u64) -> bool,
+    ) -> Result<DiskManager, RecoveryError> {
+        let mut scratch = vec![0u8; checkpoint.page_size()];
+        for entry in &self.entries[..self.committed_len_resolved(resolver)] {
             apply_entry(&mut checkpoint, &mut scratch, entry)?;
         }
         checkpoint.reset_stats();
@@ -548,7 +659,7 @@ pub fn apply_entry(
             scratch[start..start + data.len()].copy_from_slice(data);
             checkpoint.write_page(*file, *page, scratch);
         }
-        WalEntry::Commit { .. } => {}
+        WalEntry::Commit { .. } | WalEntry::Prepare { .. } | WalEntry::Decide { .. } => {}
     }
     Ok(())
 }
@@ -1143,6 +1254,139 @@ mod tests {
         wal.truncate(0);
         assert_eq!(wal.durable_len(), 0);
         assert_eq!(wal.durable_commits(), 0);
+    }
+
+    #[test]
+    fn prepare_is_not_a_replay_boundary_but_decide_is() {
+        let mut wal = Wal::new();
+        wal.append(WalEntry::PageDelta {
+            file: FileId(0),
+            page: 0,
+            offset: 0,
+            data: vec![1],
+        });
+        wal.append(WalEntry::Commit { txn: 1 });
+        // a distributed participant: deltas + prepare, crash before decide
+        wal.append(WalEntry::PageDelta {
+            file: FileId(0),
+            page: 0,
+            offset: 1,
+            data: vec![2],
+        });
+        wal.append(WalEntry::Prepare { txn: 9 });
+        assert_eq!(wal.committed_len(), 2, "in-doubt tail excluded");
+        assert_eq!(wal.in_doubt(), vec![9]);
+        // coordinator says commit: the tail replays through the prepare
+        assert_eq!(wal.committed_len_resolved(|t| t == 9), 4);
+        // coordinator says abort (or no decision survived): presumed abort
+        assert_eq!(wal.committed_len_resolved(|_| false), 2);
+        // the decision closes the in-doubt window either way
+        wal.append(WalEntry::Decide {
+            txn: 9,
+            commit: true,
+        });
+        assert_eq!(wal.committed_len(), 5);
+        assert!(wal.in_doubt().is_empty());
+        assert_eq!(wal.durable_decision(9), Some(true));
+        assert_eq!(wal.durable_decision(1), None, "plain commits are not 2PC");
+        assert_eq!(wal.commits(), 2, "Decide{{commit}} counts as a commit");
+    }
+
+    #[test]
+    fn abort_decide_bounds_compensated_prefixes() {
+        let mut disk = DiskManager::new(64);
+        let f = disk.create_file();
+        let p = disk.allocate_page(f);
+        let checkpoint = disk.snapshot();
+
+        let mut wal = Wal::new();
+        // forward delta, prepare, then compensation + abort decision
+        wal.append(WalEntry::PageDelta {
+            file: f,
+            page: p,
+            offset: 0,
+            data: vec![7],
+        });
+        wal.append(WalEntry::Prepare { txn: 4 });
+        wal.append(WalEntry::PageDelta {
+            file: f,
+            page: p,
+            offset: 0,
+            data: vec![0],
+        });
+        wal.append(WalEntry::Decide {
+            txn: 4,
+            commit: false,
+        });
+        assert_eq!(wal.committed_len(), 4, "abort decision is a boundary");
+        assert_eq!(wal.commits(), 0, "an abort is not a commit");
+        let mut recovered = wal.recover(checkpoint);
+        let mut buf = vec![0u8; 64];
+        recovered.read_page(f, p, &mut buf);
+        assert_eq!(buf[0], 0, "compensation nets the abort to a no-op");
+    }
+
+    #[test]
+    fn try_recover_resolved_replays_a_committed_in_doubt_tail() {
+        let mut disk = DiskManager::new(64);
+        let f = disk.create_file();
+        let p = disk.allocate_page(f);
+        let checkpoint = disk.snapshot();
+
+        let mut wal = Wal::new();
+        wal.append(WalEntry::PageDelta {
+            file: f,
+            page: p,
+            offset: 3,
+            data: vec![42],
+        });
+        wal.append(WalEntry::Prepare { txn: 11 });
+        // crash here: durable prepare, no decision on this node
+
+        let mut committed = wal
+            .try_recover_resolved(checkpoint.snapshot(), |t| t == 11)
+            .expect("applies");
+        let mut buf = vec![0u8; 64];
+        committed.read_page(f, p, &mut buf);
+        assert_eq!(buf[3], 42, "coordinator-committed prepare replayed");
+
+        let mut aborted = wal
+            .try_recover_resolved(checkpoint.snapshot(), |_| false)
+            .expect("applies");
+        aborted.read_page(f, p, &mut buf);
+        assert_eq!(buf[3], 0, "presumed abort discards the tail");
+    }
+
+    #[test]
+    fn twopc_records_fire_their_own_fault_sites() {
+        use crate::fault::{FaultHook, FaultPlan, FaultSite};
+
+        let mut wal = Wal::new();
+        let hook = Arc::new(FaultHook::new(FaultPlan::observe(7)));
+        wal.set_fault_hook(Arc::clone(&hook));
+        wal.append(WalEntry::Prepare { txn: 1 });
+        wal.append(WalEntry::Decide {
+            txn: 1,
+            commit: true,
+        });
+        wal.append(WalEntry::Commit { txn: 2 });
+        let stats = hook.stats();
+        assert_eq!(stats.fired[FaultSite::TwoPcPrepare.idx()], 1);
+        assert_eq!(stats.fired[FaultSite::TwoPcDecide.idx()], 1);
+        assert_eq!(stats.fired[FaultSite::WalAppend.idx()], 1);
+
+        // a crash at the decide site loses the decision, leaving the
+        // prepare in doubt
+        let mut wal = Wal::new();
+        let hook = Arc::new(FaultHook::new(FaultPlan::crash_at(7, 1)));
+        wal.set_fault_hook(hook);
+        wal.append(WalEntry::Prepare { txn: 5 }); // site 0: survives
+        wal.append(WalEntry::Decide {
+            txn: 5,
+            commit: true,
+        }); // site 1: dropped
+        assert_eq!(wal.in_doubt(), vec![5]);
+        assert_eq!(wal.durable_decision(5), None);
     }
 
     #[test]
