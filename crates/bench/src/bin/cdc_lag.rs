@@ -1,0 +1,158 @@
+//! CDC lag/throughput sweep: how far the materialized views trail the
+//! durable committed prefix as a function of poll cadence, and what
+//! the bounded-lag backpressure contract does when the bound is tight.
+//!
+//! An 8-terminal group-commit + MVCC workload runs in fixed chunks;
+//! after each chunk the pipeline polls. Each cadence cell emits one
+//! JSON line to `results/cdc_lag.jsonl` (and stdout) with the pre-poll
+//! lag distribution (p50/p95/max, in WAL entries), decode throughput
+//! (events and entries per second of poll time), and a final
+//! replay-equivalence verdict (views vs base-table rescan — the bench
+//! refuses to report numbers for a wrong pipeline). A last cell pins a
+//! tight `max_lag` bound and counts [`CdcLag`] backpressure errors and
+//! the catch-up polls that follow, proving resumption loses nothing.
+//!
+//! ```text
+//! cargo run --release -p tpcc-bench --bin cdc_lag -- [transactions] [seed]
+//! ```
+
+use std::io::Write as _;
+
+use tpcc_db::db::DbConfig;
+use tpcc_db::driver::DriverConfig;
+use tpcc_db::{loader, CdcPipeline, GroupCommitConfig, MaterializedViews, ParallelDriver};
+
+/// Transactions between polls, per cell.
+const CADENCES: [u64; 4] = [50, 200, 800, 3_200];
+const THREADS: u64 = 8;
+
+fn db_cfg() -> DbConfig {
+    let mut cfg = DbConfig::small();
+    cfg.warehouses = 2;
+    cfg.buffer_frames = 8192;
+    cfg.buffer_shards = 8;
+    cfg.enable_wal = true;
+    cfg.group_commit = Some(GroupCommitConfig::inline_every(8));
+    cfg.mvcc = true;
+    cfg
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let transactions: u64 = args
+        .next()
+        .map(|s| s.parse().expect("transactions must be a u64"))
+        .unwrap_or(12_800);
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(42);
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let mut out =
+        std::fs::File::create("results/cdc_lag.jsonl").expect("open results/cdc_lag.jsonl");
+    let mut emit = |line: String| {
+        println!("{line}");
+        writeln!(out, "{line}").expect("write results/cdc_lag.jsonl");
+    };
+
+    for cadence in CADENCES {
+        let db = loader::load(db_cfg(), seed);
+        let mut pipeline = CdcPipeline::new(&db);
+        let driver =
+            ParallelDriver::new(DriverConfig::default().with_spec_rollbacks(), THREADS, seed);
+
+        let mut lags: Vec<u64> = Vec::new();
+        let mut poll_time = std::time::Duration::ZERO;
+        let mut remaining = transactions;
+        let run_start = std::time::Instant::now();
+        while remaining > 0 {
+            let n = cadence.min(remaining);
+            driver.run(&db, n);
+            remaining -= n;
+            db.flush_log();
+            lags.push(pipeline.lag(&db) as u64);
+            let t0 = std::time::Instant::now();
+            pipeline.poll(&db).expect("no lag bound configured");
+            poll_time += t0.elapsed();
+        }
+        let elapsed = run_start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+
+        // the numbers only mean something for a correct pipeline
+        let rescan = MaterializedViews::rescan_live(&db, &pipeline.registry().clone());
+        let equivalent = pipeline.views().encode() == rescan.encode();
+
+        lags.sort_unstable();
+        let stats = pipeline.stats();
+        let poll_s = poll_time.as_secs_f64().max(f64::MIN_POSITIVE);
+        emit(format!(
+            "{{\"mode\":\"cadence\",\"poll_every\":{cadence},\"transactions\":{transactions},\
+             \"threads\":{THREADS},\"seed\":{seed},\"polls\":{},\
+             \"lag_p50_entries\":{},\"lag_p95_entries\":{},\"lag_max_entries\":{},\
+             \"entries_consumed\":{},\"batches\":{},\"events\":{},\
+             \"poll_time_ms\":{:.3},\"entries_per_sec\":{:.0},\"events_per_sec\":{:.0},\
+             \"workload_tps\":{:.1},\"replay_equivalent\":{equivalent}}}",
+            lags.len(),
+            quantile(&lags, 0.50),
+            quantile(&lags, 0.95),
+            lags.last().copied().unwrap_or(0),
+            stats.entries_consumed,
+            stats.batches,
+            stats.events,
+            poll_time.as_secs_f64() * 1e3,
+            stats.entries_consumed as f64 / poll_s,
+            stats.events as f64 / poll_s,
+            transactions as f64 / elapsed,
+        ));
+        assert!(equivalent, "cdc_lag: views diverged at cadence {cadence}");
+    }
+
+    // Backpressure cell: a bound far below one chunk's WAL growth, so
+    // every bounded poll errors and a catch-up poll must drain it.
+    {
+        let db = loader::load(db_cfg(), seed);
+        let mut bounded = CdcPipeline::new(&db);
+        bounded.set_max_lag(Some(64));
+        let driver =
+            ParallelDriver::new(DriverConfig::default().with_spec_rollbacks(), THREADS, seed);
+        let cadence = 800u64;
+        let mut lag_errors = 0u64;
+        let mut catchup_polls = 0u64;
+        let mut remaining = transactions;
+        while remaining > 0 {
+            let n = cadence.min(remaining);
+            driver.run(&db, n);
+            remaining -= n;
+            db.flush_log();
+            match bounded.poll(&db) {
+                Ok(_) => {}
+                Err(err) => {
+                    assert_eq!(err.max_lag, 64);
+                    lag_errors += 1;
+                    bounded.poll_unbounded(&db);
+                    catchup_polls += 1;
+                }
+            }
+        }
+        let rescan = MaterializedViews::rescan_live(&db, &bounded.registry().clone());
+        let equivalent = bounded.views().encode() == rescan.encode();
+        emit(format!(
+            "{{\"mode\":\"backpressure\",\"max_lag\":64,\"poll_every\":{cadence},\
+             \"transactions\":{transactions},\"threads\":{THREADS},\"seed\":{seed},\
+             \"lag_errors\":{lag_errors},\"catchup_polls\":{catchup_polls},\
+             \"events\":{},\"replay_equivalent\":{equivalent}}}",
+            bounded.stats().events,
+        ));
+        assert!(lag_errors > 0, "a 64-entry bound must trip at cadence 800");
+        assert!(equivalent, "catch-up after CdcLag lost events");
+    }
+
+    eprintln!("wrote results/cdc_lag.jsonl ({} cells)", CADENCES.len() + 1);
+}

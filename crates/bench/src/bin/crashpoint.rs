@@ -19,11 +19,17 @@
 //!    spec-rate (1%) New-Order rollbacks live: `undo_append` sites mark
 //!    every chained pre-image, and an aborted transaction's forward +
 //!    compensating page deltas must replay to the exact oracle image.
-//! 4. `soft` — the same workload under transient write-back I/O
+//! 4. `cdc_sweep` — a checkpointing CDC pipeline rides the group
+//!    commit + MVCC + rollback workload (`cdc_checkpoint` sites fire
+//!    per checkpoint): at every committed prefix the materialized
+//!    views rebuilt from (latest surviving checkpoint, frozen WAL)
+//!    must byte-equal a rescan of the oracle-verified crash image,
+//!    and every checkpoint site is also tripped live.
+//! 5. `soft` — the same workload under transient write-back I/O
 //!    errors and torn (64-byte-boundary) page writes: the bounded
 //!    retry must absorb every fault, the consistency checks must pass,
 //!    and crash recovery must still reproduce the flushed image.
-//! 5. `boundaries` — the WAL truncated at every record boundary.
+//! 6. `boundaries` — the WAL truncated at every record boundary.
 //!
 //! Exits non-zero if any site fails to recover, fewer than 200 sites
 //! are enumerated, or the soft-fault run diverges — CI runs this
@@ -39,8 +45,8 @@ use std::io::Write as _;
 use tpcc_db::db::DbConfig;
 use tpcc_db::driver::DriverConfig;
 use tpcc_db::{
-    crashpoint_sweep, loader, verify_record_boundaries, FaultPlan, FaultSite, GroupCommitConfig,
-    SweepConfig, SweepReport,
+    cdc_checkpoint_sweep, crashpoint_sweep, loader, verify_record_boundaries, FaultPlan, FaultSite,
+    GroupCommitConfig, SweepConfig, SweepReport,
 };
 
 fn main() {
@@ -126,7 +132,31 @@ fn main() {
     let mvcc_sweep = crashpoint_sweep(&mvcc_cfg);
     emit(sweep_line("mvcc_sweep", &mvcc_sweep));
 
-    // 4. soft-fault convergence
+    // 4. the cdc_checkpoint sweep: a checkpointing CDC pipeline rides
+    // the group-commit + MVCC + rollback workload; at every committed
+    // prefix the views rebuilt from (surviving checkpoint, frozen WAL)
+    // must equal a rescan of the oracle-verified crash image, and every
+    // checkpoint site is tripped live (checkpoint lost mid-write)
+    let mut cdc_dbcfg = gc_dbcfg;
+    cdc_dbcfg.mvcc = true;
+    let mut cdc_cfg = SweepConfig::new(cdc_dbcfg, transactions, seed);
+    cdc_cfg.driver = DriverConfig::default().with_spec_rollbacks();
+    let cdc_every = (transactions / 20).max(1);
+    let cdc = cdc_checkpoint_sweep(&cdc_cfg, cdc_every);
+    emit(format!(
+        "{{\"pass\":\"cdc_sweep\",\"seed\":{seed},\"transactions\":{transactions},\
+         \"checkpoint_every\":{cdc_every},\"checkpoints\":{},\"cdc_sites\":{},\
+         \"committed_prefixes\":{},\"wal_entries\":{},\"live_crashes\":{},\
+         \"unrecovered\":{}}}",
+        cdc.checkpoints_taken,
+        cdc.cdc_sites,
+        cdc.committed_prefixes,
+        cdc.wal_entries,
+        cdc.live_crashes,
+        cdc.unrecovered,
+    ));
+
+    // 5. soft-fault convergence
     let mut db = loader::load(dbcfg, seed);
     let soft = db.run_with_faults(
         DriverConfig::default(),
@@ -143,7 +173,7 @@ fn main() {
         soft.faults.io_errors, soft.faults.torn_writes, soft.faults.retries,
     ));
 
-    // 5. every WAL record boundary
+    // 6. every WAL record boundary
     let boundaries = verify_record_boundaries(&cfg);
     emit(format!(
         "{{\"pass\":\"boundaries\",\"seed\":{seed},\"boundaries\":{},\
@@ -160,6 +190,8 @@ fn main() {
         && gc_sweep.per_site[FaultSite::WalFlush.idx()] > 0
         && mvcc_sweep.all_recovered()
         && mvcc_sweep.per_site[FaultSite::UndoAppend.idx()] > 0
+        && cdc.all_recovered()
+        && cdc.cdc_sites > 0
         && soft.faults.retries > 0
         && consistent
         && recovered
@@ -170,13 +202,17 @@ fn main() {
     }
     eprintln!(
         "crashpoint: {} sites + {} under group commit ({} flush boundaries) \
-         + {} under MVCC ({} undo appends), {} prefixes, {} boundaries — all recovered",
+         + {} under MVCC ({} undo appends), {} prefixes, {} boundaries, \
+         {} cdc prefixes rebuilt ({} checkpoints, {} live crashes) — all recovered",
         sweep.sites_total,
         gc_sweep.sites_total,
         gc_sweep.per_site[FaultSite::WalFlush.idx()],
         mvcc_sweep.sites_total,
         mvcc_sweep.per_site[FaultSite::UndoAppend.idx()],
         sweep.distinct_prefixes,
-        boundaries.boundaries
+        boundaries.boundaries,
+        cdc.committed_prefixes,
+        cdc.checkpoints_taken,
+        cdc.live_crashes
     );
 }

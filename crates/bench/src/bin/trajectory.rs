@@ -3,7 +3,7 @@
 //! the repository accumulates a performance history alongside its
 //! code history.
 //!
-//! The matrix is fixed on purpose — 3 cells spanning the serial
+//! The matrix is fixed on purpose — 7 cells spanning the serial
 //! baseline and the contended parallel regime, all in the paper's
 //! operating region (partial working set in the pool, 100 µs
 //! synchronous read-I/O per fault, WAL on):
@@ -16,6 +16,7 @@
 //! | 8 | 4 | 200 µs / 32 / 50 µs | the group-commit flush pipeline |
 //! | 8 | 4 (MVCC) | — | snapshot reads + 1% undo-backed rollbacks |
 //! | 4 | 2×2 (cluster) | — | 2-node scale-out: routing, 2PC, remote p95 |
+//! | 8 | 2 (CDC) | 200 µs / 32 / 50 µs | the CDC pipeline riding the log |
 //!
 //! Per cell: throughput, New-Order / Payment / Stock-Level p95 (sketch
 //! quantiles), buffer-miss ppm, WAL bytes per transaction, and — in
@@ -32,6 +33,13 @@
 //! transaction through 2PC) and additionally gates the cluster-wide
 //! executed tpm-C and the remote-transaction p95 — a commit-protocol
 //! or message-layer slowdown fails even when local throughput holds.
+//!
+//! The CDC cell re-runs the group-commit + MVCC + rollback workload
+//! with a [`CdcPipeline`] polling every 500 transactions and gates the
+//! pre-poll view lag p95 (WAL entries behind the durable prefix,
+//! wide wall-clock band — lag tracks scheduler jitter) alongside the
+//! usual throughput gate, so a decoder slowdown or a subscriber that
+//! stops keeping up fails the trajectory like any other regression.
 //!
 //! ```text
 //! cargo run --release -p tpcc-bench --bin trajectory               # append a point
@@ -54,10 +62,10 @@ use std::sync::Arc;
 use tpcc_db::cluster::{Cluster, ClusterConfig, ItemPlacement};
 use tpcc_db::db::DbConfig;
 use tpcc_db::driver::DriverConfig;
-use tpcc_db::{loader, GroupCommitConfig, ParallelDriver};
-use tpcc_obs::{MemoryRecorder, Obs};
+use tpcc_db::{loader, CdcPipeline, GroupCommitConfig, ParallelDriver};
+use tpcc_obs::{Label, MemoryRecorder, Obs};
 
-const SCHEMA: u32 = 4;
+const SCHEMA: u32 = 5;
 const SEED: u64 = 42;
 const TXNS_PER_CELL: u64 = 10_000;
 const WARMUP: u64 = 1_000;
@@ -85,6 +93,8 @@ const GC: GroupCommitConfig = GroupCommitConfig {
 /// new_order, payment, stock_level — the types whose p95 the gate
 /// watches (stock_level is the snapshot-read path in the MVCC cell).
 const P95_TYPES: [usize; 3] = [0, 1, 4];
+/// The CDC cell's harvest cadence (transactions between polls).
+const CDC_POLL_EVERY: u64 = 500;
 
 const TRAJECTORY_PATH: &str = "results/BENCH_trajectory.json";
 const BASELINE_PATH: &str = "results/BENCH_baseline.json";
@@ -111,6 +121,11 @@ struct Cell {
     /// p95 latency of transactions that touched a remote node; 0 in
     /// single-node cells.
     remote_p95_us: f64,
+    /// Whether a CDC pipeline rode the run's WAL.
+    cdc: bool,
+    /// p95 of the pre-poll view lag in WAL entries; 0 outside the CDC
+    /// cell.
+    cdc_lag_p95: f64,
 }
 
 impl Cell {
@@ -123,7 +138,8 @@ impl Cell {
              \"miss_ppm\":{:.1},\"wal_bytes_per_txn\":{:.1},\
              \"commits_per_flush\":{:.2},\"commit_wait_p95_us\":{:.1},\
              \"rollbacks\":{:.0},\
-             \"nodes\":{},\"cluster_tpm\":{:.1},\"remote_p95_us\":{:.1}}}",
+             \"nodes\":{},\"cluster_tpm\":{:.1},\"remote_p95_us\":{:.1},\
+             \"cdc\":{},\"cdc_lag_p95\":{:.1}}}",
             self.threads,
             self.warehouses,
             self.group_commit,
@@ -140,6 +156,8 @@ impl Cell {
             self.nodes,
             self.cluster_tpm,
             self.remote_p95_us,
+            self.cdc,
+            self.cdc_lag_p95,
         )
     }
 }
@@ -174,6 +192,8 @@ fn run_cell(threads: u64, warehouses: u64, group_commit: bool, mvcc: bool) -> Ce
         nodes: 0,
         cluster_tpm: 0.0,
         remote_p95_us: 0.0,
+        cdc: false,
+        cdc_lag_p95: 0.0,
     }
 }
 
@@ -223,6 +243,8 @@ fn run_cluster_cell() -> Cell {
                 } else {
                     0.0
                 },
+                cdc: false,
+                cdc_lag_p95: 0.0,
             }
         })
         .collect();
@@ -307,6 +329,88 @@ fn run_cell_once(threads: u64, warehouses: u64, group_commit: bool, mvcc: bool) 
         nodes: 0,
         cluster_tpm: 0.0,
         remote_p95_us: 0.0,
+        cdc: false,
+        cdc_lag_p95: 0.0,
+    }
+}
+
+/// The CDC cell, [`REPLICATES`] runs, per-metric median: the
+/// group-commit + MVCC + spec-rollback workload on 8 terminals × 2
+/// warehouses with a [`CdcPipeline`] polled every [`CDC_POLL_EVERY`]
+/// transactions. Gated: throughput (decode cost rides the same wall
+/// clock) and the pre-poll view lag p95 in WAL entries, measured over
+/// the post-warmup polls only.
+fn run_cdc_cell() -> Cell {
+    const THREADS: u64 = 8;
+    const WAREHOUSES: u64 = 2;
+    let runs: Vec<Cell> = (0..REPLICATES)
+        .map(|_| {
+            let mut cfg = DbConfig::small();
+            cfg.warehouses = WAREHOUSES;
+            cfg.buffer_frames = 256 * WAREHOUSES as usize;
+            cfg.buffer_shards = 8;
+            cfg.io_delay_us = 100;
+            cfg.enable_wal = true;
+            cfg.group_commit = Some(GC);
+            cfg.mvcc = true;
+            let mut db = loader::load(cfg, SEED);
+            let recorder = Arc::new(MemoryRecorder::new());
+            db.set_obs(Obs::new(recorder.clone()));
+            let mut pipeline = CdcPipeline::new(&db);
+            let driver =
+                ParallelDriver::new(DriverConfig::default().with_spec_rollbacks(), THREADS, SEED);
+
+            let mut run_polled = |total: u64| {
+                let mut remaining = total;
+                while remaining > 0 {
+                    let n = CDC_POLL_EVERY.min(remaining);
+                    driver.run(&db, n);
+                    remaining -= n;
+                    db.flush_log();
+                    pipeline.poll(&db).expect("no lag bound configured");
+                }
+            };
+            run_polled(WARMUP); // discarded: fault the working set in
+            let warm_lag = recorder
+                .histogram("cdc_lag_entries", Label::None)
+                .expect("pipeline polled during warmup");
+            let warm_wal = recorder.counter_total("wal_bytes_appended");
+
+            let start = std::time::Instant::now();
+            run_polled(TXNS_PER_CELL);
+            let elapsed = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+
+            let lag = recorder
+                .histogram("cdc_lag_entries", Label::None)
+                .expect("pipeline polled during the run")
+                .delta_since(&warm_lag);
+            let wal = (recorder.counter_total("wal_bytes_appended") - warm_wal) as f64;
+            Cell {
+                threads: THREADS,
+                warehouses: WAREHOUSES,
+                group_commit: true,
+                mvcc: true,
+                tps: TXNS_PER_CELL as f64 / elapsed,
+                p95_us: [0.0; 3],
+                miss_ppm: 0.0,
+                wal_bytes_per_txn: wal / TXNS_PER_CELL as f64,
+                commits_per_flush: 0.0,
+                commit_wait_p95_us: 0.0,
+                rollbacks: 0.0,
+                nodes: 0,
+                cluster_tpm: 0.0,
+                remote_p95_us: 0.0,
+                cdc: true,
+                cdc_lag_p95: lag.quantile(0.95),
+            }
+        })
+        .collect();
+    let of = |f: &dyn Fn(&Cell) -> f64| median(runs.iter().map(f).collect());
+    Cell {
+        tps: of(&|c| c.tps),
+        wal_bytes_per_txn: of(&|c| c.wal_bytes_per_txn),
+        cdc_lag_p95: of(&|c| c.cdc_lag_p95),
+        ..runs.into_iter().next().expect("at least one replicate")
     }
 }
 
@@ -405,7 +509,9 @@ fn check(fresh: &str) -> Result<(), Vec<String>> {
 
     let mut failures = Vec::new();
     for (f, b) in fresh_cells.iter().zip(&base_cells) {
-        let gc_tag = if extract_f64(f, "nodes") > 0.0 {
+        let gc_tag = if f.contains("\"cdc\":true") {
+            "+cdc"
+        } else if extract_f64(f, "nodes") > 0.0 {
             "+cluster"
         } else if f.contains("\"group_commit\":true") {
             "+gc"
@@ -483,6 +589,15 @@ fn check(fresh: &str) -> Result<(), Vec<String>> {
                 band: wall_band,
                 higher_is_worse: true,
             },
+            // CDC cell only (identically 0 elsewhere): how far the
+            // views trail the durable prefix at each harvest — lag is
+            // cadence × per-txn WAL growth plus scheduler jitter, so
+            // it gets the wide wall-clock band, not a count band
+            Gate {
+                key: "cdc_lag_p95",
+                band: wall_band,
+                higher_is_worse: true,
+            },
         ];
         for g in gates {
             let fv = extract_f64(f, g.key);
@@ -548,6 +663,8 @@ fn main() {
         .collect();
     eprintln!("cell 2nodes×2wh cluster ({TXNS_PER_CELL} txns)...");
     cells.push(run_cluster_cell());
+    eprintln!("cell 8thr×2wh+cdc ({TXNS_PER_CELL} txns)...");
+    cells.push(run_cdc_cell());
     let point = point_json(&cells);
     println!("{point}");
 

@@ -369,6 +369,20 @@ impl TpccDb {
         self.checkpoint.take()
     }
 
+    /// Clones the post-load checkpoint image without detaching it (WAL
+    /// mode only) — the base a CDC subscriber's shadow replay starts
+    /// from.
+    #[must_use]
+    pub fn checkpoint_snapshot(&self) -> Option<DiskManager> {
+        self.checkpoint.as_ref().map(DiskManager::snapshot)
+    }
+
+    /// Runs `f` against the live WAL under its lock (`None` when WAL
+    /// mode is off). CDC subscribers poll through this.
+    pub fn with_wal<R>(&self, f: impl FnOnce(&Wal) -> R) -> Option<R> {
+        self.bm.with_wal(f)
+    }
+
     /// True when this database's flushed disk image equals `disk`
     /// (flush first; used to compare against a recovered image).
     #[must_use]

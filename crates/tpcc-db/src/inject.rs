@@ -46,14 +46,16 @@
 //! serial execution of exactly those transactions either way.
 
 use tpcc_schema::relation::Relation;
+use tpcc_storage::cdc::{CdcCheckpoint, CdcSubscriber};
 use tpcc_storage::{
-    apply_entry, DiskManager, FaultPlan, FaultStats, FileId, GroupCommitConfig, SiteRecord, Wal,
-    WalEntry, FAULT_SITES,
+    apply_entry, DiskManager, FaultPlan, FaultSite, FaultStats, FileId, GroupCommitConfig,
+    SiteRecord, Wal, WalEntry, FAULT_SITES,
 };
 
 use crate::db::{DbConfig, TpccDb};
 use crate::driver::{Driver, DriverConfig, DriverReport};
 use crate::loader;
+use crate::views::{CdcPipeline, MaterializedViews, ViewRegistry};
 
 /// What a faulted run produced: the usual driver report plus the fault
 /// counters the installed plan accumulated.
@@ -572,6 +574,223 @@ pub fn torn_tail_byte_sweep(cfg: &SweepConfig, step: u64) -> TornTailReport {
         bytes_checked,
         failures,
         recover_checks: verifier.recover_checks,
+    }
+}
+
+/// Outcome of [`cdc_checkpoint_sweep`].
+#[derive(Debug)]
+pub struct CdcSweepReport {
+    /// Checkpoints the recording run took (one per cadence boundary).
+    pub checkpoints_taken: usize,
+    /// `cdc_checkpoint` fault sites fired during recording.
+    pub cdc_sites: u64,
+    /// Committed prefixes whose rebuilt views were verified
+    /// (`0..=commits`, so `commits + 1`).
+    pub committed_prefixes: usize,
+    /// Recorded WAL length (entries).
+    pub wal_entries: usize,
+    /// Live crash re-runs at `cdc_checkpoint` sites.
+    pub live_crashes: usize,
+    /// Prefixes or live crashes whose rebuilt views diverged from the
+    /// recovered base tables (0 on success).
+    pub unrecovered: u64,
+}
+
+impl CdcSweepReport {
+    /// True when every prefix and live crash rebuilt exactly.
+    #[must_use]
+    pub fn all_recovered(&self) -> bool {
+        self.unrecovered == 0
+    }
+}
+
+/// Everything one CDC-instrumented recording (or crash re-run)
+/// leaves behind.
+struct CdcRecordedRun {
+    registry: ViewRegistry,
+    checkpoints: Vec<CdcCheckpoint>,
+    records: Vec<SiteRecord>,
+    stats: FaultStats,
+    wal: Wal,
+    base: DiskManager,
+}
+
+/// Drives the sweep workload with a [`CdcPipeline`] attached, taking a
+/// cursor checkpoint every `checkpoint_every` transactions through the
+/// fault-instrumented path (each one fires a `cdc_checkpoint` site; a
+/// crash plan tripping there loses that checkpoint, exactly like a
+/// crash mid-checkpoint-write would).
+fn run_with_cdc_checkpoints(
+    dbcfg: DbConfig,
+    cfg: &SweepConfig,
+    checkpoint_every: u64,
+    plan: FaultPlan,
+) -> CdcRecordedRun {
+    let mut db = loader::load(dbcfg, cfg.load_seed);
+    let hook = db.install_fault_plan(plan);
+    let registry = ViewRegistry::from_db(&db);
+    let mut pipeline = CdcPipeline::new(&db);
+    pipeline.set_fault_hook(hook.clone());
+    let mut driver = Driver::new(&db, cfg.driver, cfg.driver_seed);
+    let mut checkpoints = Vec::new();
+    let mut remaining = cfg.transactions;
+    while remaining > 0 {
+        let n = checkpoint_every.min(remaining);
+        driver.run(&mut db, n);
+        remaining -= n;
+        db.flush_log();
+        let _ = pipeline.poll_unbounded(&db);
+        if let Some(ck) = pipeline.checkpoint() {
+            checkpoints.push(ck);
+        }
+    }
+    db.flush();
+    db.flush_log();
+    let records = hook.take_records();
+    let stats = hook.stats();
+    let wal = db.take_wal().expect("sweep runs with WAL enabled");
+    let base = db
+        .take_checkpoint()
+        .expect("WAL mode always holds a checkpoint");
+    CdcRecordedRun {
+        registry,
+        checkpoints,
+        records,
+        stats,
+        wal,
+        base,
+    }
+}
+
+/// Rebuilds the materialized views for a WAL frozen at `boundary`
+/// entries (a committed batch boundary) from the latest checkpoint
+/// that survives that crash — or from the post-load base image when
+/// none does. This is the recovery path the views module promises:
+/// view state is a pure function of (checkpoint, WAL prefix).
+fn rebuild_views_at(
+    registry: &ViewRegistry,
+    base: &DiskManager,
+    checkpoints: &[CdcCheckpoint],
+    wal: &Wal,
+    boundary: usize,
+) -> MaterializedViews {
+    // a checkpoint whose cursor is past the frozen prefix was taken
+    // after the crash point: it does not survive
+    let mut sub = match checkpoints.iter().rev().find(|ck| ck.cursor <= boundary) {
+        Some(ck) => CdcSubscriber::resume(ck.snapshot()),
+        None => CdcSubscriber::new(base.snapshot()),
+    };
+    for file in registry.files() {
+        sub.watch(file);
+    }
+    let mut shadow = sub.shadow().snapshot();
+    let mut views = MaterializedViews::rescan(&mut shadow, registry);
+    for batch in sub.poll_upto(wal, boundary) {
+        views.apply(registry, &batch);
+    }
+    debug_assert_eq!(sub.cursor(), boundary, "rebuild drains the frozen prefix");
+    views
+}
+
+/// Proves the CDC views recover from (checkpoint, WAL prefix) at
+/// **every committed prefix** of a recorded workload, and live-crashes
+/// every `cdc_checkpoint` site to prove a checkpoint lost mid-write
+/// falls back to the previous one without divergence.
+///
+/// Verification per prefix is two-sided: the replayed crash image must
+/// converge to the lockstep serial oracle (same machinery as
+/// [`crashpoint_sweep`]), and the views rebuilt from the surviving
+/// checkpoint plus the frozen WAL must byte-equal a rescan of that
+/// image.
+///
+/// # Panics
+/// Panics if a live crash re-run fails to trip the recorded site (a
+/// determinism violation, not a recovery failure).
+#[must_use]
+pub fn cdc_checkpoint_sweep(cfg: &SweepConfig, checkpoint_every: u64) -> CdcSweepReport {
+    let dbcfg = sweep_db_config(cfg);
+
+    // 1. Record: drive with a checkpointing pipeline attached.
+    let rec = run_with_cdc_checkpoints(
+        dbcfg,
+        cfg,
+        checkpoint_every,
+        FaultPlan::observe(cfg.driver_seed),
+    );
+    let cdc_sites: Vec<SiteRecord> = rec
+        .records
+        .iter()
+        .filter(|r| r.site == FaultSite::CdcCheckpoint)
+        .copied()
+        .collect();
+    let wal_entries = rec.wal.len();
+    let checkpoints_taken = rec.checkpoints.len();
+
+    // 2. Every committed prefix: oracle-check the crash image, then
+    // demand the checkpoint-rebuilt views equal its rescan.
+    let mut verifier = PrefixVerifier::new(rec.wal, rec.base, cfg);
+    let mut unrecovered = 0u64;
+    let total_commits = verifier.total_commits() as usize;
+    for c in 0..=total_commits {
+        let boundary = verifier.commit_index[c];
+        let mut ok = verifier.verify_prefix(boundary);
+        let ground = MaterializedViews::rescan(&mut verifier.image, &rec.registry);
+        let rebuilt = rebuild_views_at(
+            &rec.registry,
+            &verifier.checkpoint,
+            &rec.checkpoints,
+            &verifier.wal,
+            boundary,
+        );
+        ok &= rebuilt.encode() == ground.encode();
+        if !ok {
+            unrecovered += 1;
+        }
+    }
+
+    // 3. Live crashes: trip each cdc_checkpoint site for real. The
+    // checkpoint being taken is lost; the rebuild must fall back to
+    // the previous surviving one and still match the recovered image.
+    let mut live_crashes = 0usize;
+    for record in &cdc_sites {
+        live_crashes += 1;
+        let crash = run_with_cdc_checkpoints(
+            dbcfg,
+            cfg,
+            checkpoint_every,
+            FaultPlan::crash_at(cfg.driver_seed, record.seq),
+        );
+        assert_eq!(
+            crash.stats.crashed_at,
+            Some(record.seq),
+            "live re-run must trip the recorded cdc_checkpoint site"
+        );
+        let boundary = crash.wal.committed_len();
+        let rebuilt = rebuild_views_at(
+            &crash.registry,
+            &crash.base,
+            &crash.checkpoints,
+            &crash.wal,
+            boundary,
+        );
+        match crash.wal.try_recover(crash.base.snapshot()) {
+            Ok(mut recovered) => {
+                let ground = MaterializedViews::rescan(&mut recovered, &crash.registry);
+                if rebuilt.encode() != ground.encode() {
+                    unrecovered += 1;
+                }
+            }
+            Err(_) => unrecovered += 1,
+        }
+    }
+
+    CdcSweepReport {
+        checkpoints_taken,
+        cdc_sites: cdc_sites.len() as u64,
+        committed_prefixes: total_commits + 1,
+        wal_entries,
+        live_crashes,
+        unrecovered,
     }
 }
 

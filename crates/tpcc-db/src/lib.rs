@@ -28,6 +28,7 @@ pub mod records;
 pub mod telemetry;
 pub mod txns;
 pub mod verify;
+pub mod views;
 
 pub use cluster::{
     two_pc_crash_sweep, Cluster, ClusterConfig, ClusterReport, ItemPlacement, MsgKind, NodeReport,
@@ -36,8 +37,8 @@ pub use cluster::{
 pub use db::{DbConfig, TpccDb};
 pub use driver::{Driver, DriverConfig, DriverReport, InputGen, TxnInput};
 pub use inject::{
-    crashpoint_sweep, torn_tail_byte_sweep, verify_record_boundaries, BoundaryReport,
-    FaultRunReport, SweepConfig, SweepReport, TornTailReport,
+    cdc_checkpoint_sweep, crashpoint_sweep, torn_tail_byte_sweep, verify_record_boundaries,
+    BoundaryReport, CdcSweepReport, FaultRunReport, SweepConfig, SweepReport, TornTailReport,
 };
 pub use parallel::{ParallelDriver, ParallelReport, TerminalGroup};
 pub use telemetry::{Telemetry, TelemetryConfig, WindowAccum};
@@ -46,9 +47,14 @@ pub use txns::{
     StockLevelResult,
 };
 pub use verify::ConsistencyReport;
+pub use views::{
+    decode_events, CdcPipeline, ChangeEvent, DistrictRevenueView, MaterializedViews,
+    OpenOrdersView, StockThresholdView, ViewRegistry, EVENT_SCHEMA,
+};
 
-// Fault-injection, group-commit, and MVCC vocabulary, re-exported so
-// harness users don't need a direct `tpcc-storage` dependency.
+// Fault-injection, group-commit, MVCC, and CDC vocabulary, re-exported
+// so harness users don't need a direct `tpcc-storage` dependency.
+pub use tpcc_storage::cdc::{CdcCheckpoint, CdcLag, CdcStats, CdcSubscriber, ChangeBatch, RowOp};
 pub use tpcc_storage::{
     FaultHook, FaultPlan, FaultSite, FaultStats, GroupCommitConfig, GroupCommitStats, SiteRecord,
     Snapshot, UndoStore, FAULT_SITES,

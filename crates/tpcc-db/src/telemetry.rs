@@ -44,10 +44,12 @@ use tpcc_obs::{
 /// Counters whose per-window deltas are exported on every point
 /// (summed across labels via [`MemoryRecorder::counter_total`]).
 /// `wal_flushes` / `group_commits` stay zero unless the run enables
-/// group commit, and the four MVCC columns (`snapshot_reads`,
+/// group commit, the four MVCC columns (`snapshot_reads`,
 /// `versions_traversed`, `undo_bytes`, `aborts`) stay zero unless
-/// `DbConfig::mvcc` is on — the schema is additive over prior runs.
-const WINDOW_COUNTERS: [&str; 12] = [
+/// `DbConfig::mvcc` is on, and the two CDC columns (`cdc_events`,
+/// `cdc_batches`) stay zero unless a [`crate::views::CdcPipeline`]
+/// polls during the run — the schema is additive over prior runs.
+const WINDOW_COUNTERS: [&str; 14] = [
     "buf_hits",
     "buf_misses",
     "wal_bytes_appended",
@@ -60,6 +62,8 @@ const WINDOW_COUNTERS: [&str; 12] = [
     "versions_traversed",
     "undo_bytes",
     "aborts",
+    "cdc_events",
+    "cdc_batches",
 ];
 
 /// `WINDOW_COUNTERS` index of `wal_flushes`.
@@ -127,6 +131,9 @@ struct HarvestState {
     /// Previous snapshot of the group-commit wait histogram, so each
     /// window's `commit_wait_p95_us` covers only that window.
     prev_commit_wait: QuantileSketch,
+    /// Previous snapshot of the CDC pre-poll lag histogram, so each
+    /// window's `cdc_lag_p95` covers only that window's polls.
+    prev_cdc_lag: QuantileSketch,
     last_flush: Instant,
 }
 
@@ -172,6 +179,7 @@ impl Telemetry {
                 prev_shards: vec![WindowAccum::new(alpha); terminals],
                 prev_counters: [0; WINDOW_COUNTERS.len()],
                 prev_commit_wait: QuantileSketch::default(),
+                prev_cdc_lag: QuantileSketch::default(),
                 last_flush: Instant::now(),
             }),
             cfg,
@@ -280,6 +288,17 @@ impl Telemetry {
         };
         let commit_wait_p95_us = wait_delta.quantile(0.95) / 1e3;
 
+        // CDC window stats: the p95 of the pre-poll subscriber lag
+        // (WAL entries behind the durable committed prefix; zero
+        // unless a pipeline polls during the run)
+        let cdc_lag = self
+            .recorder
+            .histogram("cdc_lag_entries", Label::None)
+            .unwrap_or_default();
+        let cdc_lag_delta = cdc_lag.delta_since(&hs.prev_cdc_lag);
+        hs.prev_cdc_lag = cdc_lag;
+        let cdc_lag_p95 = cdc_lag_delta.quantile(0.95);
+
         let point = TimeSeriesPoint {
             window_ms,
             txns: executed.iter().sum(),
@@ -289,6 +308,7 @@ impl Telemetry {
                 ("miss_ppm", miss_ppm),
                 ("commits_per_flush", commits_per_flush),
                 ("commit_wait_p95_us", commit_wait_p95_us),
+                ("cdc_lag_p95", cdc_lag_p95),
             ],
         };
         // hold the harvest lock across the emit so points are written

@@ -7,8 +7,8 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use tpcc_db::{
-    crashpoint_sweep, loader, torn_tail_byte_sweep, verify_record_boundaries, DbConfig,
-    DriverConfig, FaultPlan, FaultSite, GroupCommitConfig, ParallelDriver, SweepConfig,
+    cdc_checkpoint_sweep, crashpoint_sweep, loader, torn_tail_byte_sweep, verify_record_boundaries,
+    DbConfig, DriverConfig, FaultPlan, FaultSite, GroupCommitConfig, ParallelDriver, SweepConfig,
 };
 use tpcc_lock::LockManager;
 
@@ -189,6 +189,41 @@ fn stress_crashpoint_sweep_5k_txns() {
             site.name()
         );
     }
+}
+
+/// Satellite: the `cdc_checkpoint` crash-site sweep. A CDC pipeline
+/// checkpoints every 40 transactions through the fault-instrumented
+/// path; at **every committed WAL prefix** the views rebuilt from
+/// (latest surviving checkpoint, frozen WAL) must byte-equal a rescan
+/// of the prefix's crash image — which itself must converge to the
+/// lockstep serial oracle. Every cdc_checkpoint site is then tripped
+/// live: the in-flight checkpoint is lost and the rebuild falls back
+/// to the previous one without divergence. Runs under group commit so
+/// rebuild boundaries are durable watermarks, not raw commits.
+#[test]
+fn cdc_checkpoint_sweep_rebuilds_views_at_every_prefix() {
+    let cfg = SweepConfig::new(group_commit_cfg(), 250, 7);
+    let report = cdc_checkpoint_sweep(&cfg, 40);
+    assert!(report.all_recovered(), "{report:?}");
+    assert!(report.checkpoints_taken >= 6, "{report:?}");
+    assert_eq!(
+        report.cdc_sites, report.checkpoints_taken as u64,
+        "observe-mode runs lose no checkpoints"
+    );
+    assert_eq!(report.live_crashes, report.cdc_sites as usize);
+    assert!(report.committed_prefixes > 100, "{report:?}");
+}
+
+/// Stress: the CDC checkpoint sweep over a longer mixed run — the CI
+/// acceptance gate (`TPCC_STRESS_SEED` ∈ {7, 21, 42}, 0 unrecovered).
+#[test]
+#[ignore = "stress: run with --ignored, seeded via TPCC_STRESS_SEED"]
+fn stress_cdc_checkpoint_sweep() {
+    let cfg = SweepConfig::new(group_commit_cfg(), 1500, stress_seed());
+    let report = cdc_checkpoint_sweep(&cfg, 125);
+    assert!(report.all_recovered(), "{report:?}");
+    assert!(report.checkpoints_taken >= 12, "{report:?}");
+    assert_eq!(report.live_crashes, report.cdc_sites as usize);
 }
 
 /// Soft faults (transient write-back I/O errors and torn page writes)

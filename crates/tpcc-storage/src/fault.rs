@@ -15,6 +15,7 @@
 //! | [`FaultSite::UndoAppend`] | [`UndoStore::record`], before the pre-image lands | none durable — undo chains are volatile; the site sweeps the instants *between* a writer's page mutations |
 //! | [`FaultSite::TwoPcPrepare`] | a 2PC `Prepare` record is about to land ([`Wal::append`]) | the participant never prepared — presumed abort |
 //! | [`FaultSite::TwoPcDecide`]  | a 2PC `Decide` record is about to land ([`Wal::append`]) | the decision is lost; a durable `Prepare` with no decision is **in doubt** until recovery asks the coordinator |
+//! | [`FaultSite::CdcCheckpoint`] | a CDC subscriber is about to persist its cursor checkpoint | the checkpoint is lost; the view must rebuild from the previous surviving checkpoint + WAL replay |
 //!
 //! [`UndoStore::record`]: crate::undo::UndoStore::record
 //!
@@ -81,10 +82,16 @@ pub enum FaultSite {
     /// here leaves any durable `Prepare` without a decision — the
     /// in-doubt window recovery must resolve through the coordinator.
     TwoPcDecide,
+    /// A CDC subscriber is about to persist a cursor checkpoint
+    /// ([`crate::cdc::CdcSubscriber::checkpoint`]). Checkpoints carry
+    /// no base-table state, so a crash here loses nothing durable —
+    /// the derived view simply rebuilds from the previous surviving
+    /// checkpoint plus WAL replay, which the crashpoint sweep proves.
+    CdcCheckpoint,
 }
 
 /// Number of distinct fault-site classes ([`FaultSite::ALL`] length).
-pub const FAULT_SITES: usize = 8;
+pub const FAULT_SITES: usize = 9;
 
 impl FaultSite {
     /// Every site class, in display order.
@@ -97,6 +104,7 @@ impl FaultSite {
         FaultSite::UndoAppend,
         FaultSite::TwoPcPrepare,
         FaultSite::TwoPcDecide,
+        FaultSite::CdcCheckpoint,
     ];
 
     /// Dense index (for per-site counter arrays).
@@ -111,6 +119,7 @@ impl FaultSite {
             FaultSite::UndoAppend => 5,
             FaultSite::TwoPcPrepare => 6,
             FaultSite::TwoPcDecide => 7,
+            FaultSite::CdcCheckpoint => 8,
         }
     }
 
@@ -126,6 +135,7 @@ impl FaultSite {
             FaultSite::UndoAppend => "undo_append",
             FaultSite::TwoPcPrepare => "twopc_prepare",
             FaultSite::TwoPcDecide => "twopc_decide",
+            FaultSite::CdcCheckpoint => "cdc_checkpoint",
         }
     }
 }

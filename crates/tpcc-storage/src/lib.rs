@@ -19,6 +19,11 @@
 //! * [`logmgr`] — group-commit log manager: commit tickets, a
 //!   window/batch flush pipeline over a simulated log device, and
 //!   deferred (flushed-prefix) durability semantics.
+//! * [`cdc`] — change-data-capture over the WAL: a subscription API
+//!   that decodes the durable committed prefix into typed row changes
+//!   (insert/update/delete with before/after images) via a shadow
+//!   replay disk, with per-subscriber cursors, bounded-lag
+//!   backpressure and resumable checkpoints.
 //! * [`undo`] — MVCC undo version chains: volatile pre-image chains
 //!   keyed by a global commit timestamp, giving read-only
 //!   transactions lock-free consistent snapshots and writers an
@@ -34,6 +39,7 @@
 
 pub mod btree;
 pub mod bufmgr;
+pub mod cdc;
 pub mod disk;
 pub mod fault;
 pub mod heap;
@@ -46,6 +52,7 @@ pub use btree::BTree;
 pub use bufmgr::{
     BufferManager, BufferStats, LatchStats, PageReadGuard, PageWriteGuard, Replacement,
 };
+pub use cdc::{CdcCheckpoint, CdcLag, CdcStats, CdcSubscriber, ChangeBatch, RowChange, RowOp};
 pub use disk::{DiskManager, FileId};
 pub use fault::{FaultHook, FaultPlan, FaultSite, FaultStats, SiteRecord, SoftFault, FAULT_SITES};
 pub use heap::{HeapFile, RecordId};

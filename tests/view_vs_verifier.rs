@@ -1,0 +1,105 @@
+//! Materialized views vs the §3.3.2 consistency verifier, workspace
+//! level: a ~20k-transaction mixed workload split across a serial run,
+//! an 8-terminal parallel run (group commit + MVCC + spec-rate
+//! rollbacks), and a 2-node 2PC cluster. After each phase the base
+//! tables must pass all four TPC-C consistency conditions **and** the
+//! incrementally-maintained views must byte-equal a rescan of those
+//! same (verified) tables — so the views inherit the §3.3.2
+//! invariants, and Stock-Level answered from the view matches the
+//! database's 200-row join.
+
+use tpcc_suite::db::cluster::{Cluster, ClusterConfig};
+use tpcc_suite::db::db::DbConfig;
+use tpcc_suite::db::{
+    loader, CdcPipeline, Driver, DriverConfig, GroupCommitConfig, MaterializedViews,
+    ParallelDriver, TpccDb,
+};
+
+fn wal_cfg(warehouses: u64) -> DbConfig {
+    let mut cfg = DbConfig::small();
+    cfg.warehouses = warehouses;
+    cfg.buffer_frames = 4096 * warehouses as usize;
+    cfg.buffer_shards = 4;
+    cfg.enable_wal = true;
+    cfg.group_commit = Some(GroupCommitConfig::inline_every(8));
+    cfg.mvcc = true;
+    cfg
+}
+
+/// The full cross-check at one quiesced harvest point.
+fn verify_views_against_base(db: &TpccDb, pipeline: &mut CdcPipeline, label: &str) {
+    db.flush_log();
+    pipeline.poll(db).expect("no lag bound configured");
+
+    // 1. the base tables satisfy §3.3.2 (conditions 1–4)
+    let consistency = db.verify_consistency();
+    assert!(
+        consistency.is_consistent(),
+        "{label}: base tables violate §3.3.2: {:?}",
+        consistency.violations
+    );
+
+    // 2. the views equal a rescan of those verified tables
+    let rescan = MaterializedViews::rescan_live(db, &pipeline.registry().clone());
+    assert_eq!(
+        pipeline.views().encode(),
+        rescan.encode(),
+        "{label}: views must equal a rescan of the verified base tables"
+    );
+
+    // 3. Stock-Level answered from the view == the base-table join
+    for w in 0..db.config().warehouses {
+        for d in 0..10 {
+            for threshold in [12, 18] {
+                assert_eq!(
+                    pipeline
+                        .views()
+                        .stock_threshold
+                        .stock_level(w, d, threshold),
+                    db.stock_level(w, d, threshold).low_stock,
+                    "{label}: view-answered Stock-Level diverged (w {w}, d {d}, t {threshold})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn views_match_verifier_across_serial_parallel_and_cluster() {
+    let seed = 42;
+
+    // Phase 1: serial, 6k transactions.
+    let mut db = loader::load(wal_cfg(1), seed);
+    let mut pipeline = CdcPipeline::new(&db);
+    let mut driver = Driver::new(&db, DriverConfig::default(), seed);
+    for chunk in 0..3 {
+        driver.run(&mut db, 2_000);
+        verify_views_against_base(&db, &mut pipeline, &format!("serial chunk {chunk}"));
+    }
+    assert!(pipeline.stats().events > 0);
+    drop(db);
+
+    // Phase 2: 8 terminals, 8k transactions, spec-rate rollbacks.
+    let db = loader::load(wal_cfg(2), seed);
+    let mut pipeline = CdcPipeline::new(&db);
+    let driver = ParallelDriver::new(DriverConfig::default().with_spec_rollbacks(), 8, seed);
+    for chunk in 0..2 {
+        driver.run(&db, 4_000);
+        verify_views_against_base(&db, &mut pipeline, &format!("parallel chunk {chunk}"));
+    }
+    drop(db);
+
+    // Phase 3: a 2-node cluster (2PC commits, MVCC pre-images), 6k
+    // transactions — one pipeline per node over that node's WAL.
+    let mut ccfg = ClusterConfig::small(2);
+    ccfg.node_db.enable_wal = true;
+    let cluster = Cluster::new(ccfg, seed);
+    let mut pipelines: Vec<CdcPipeline> = (0..2)
+        .map(|n| CdcPipeline::new(cluster.node_db(n)))
+        .collect();
+    let report = cluster.run(4, 6_000, seed);
+    assert_eq!(report.total(), 6_000);
+    for (n, pipeline) in pipelines.iter_mut().enumerate() {
+        verify_views_against_base(cluster.node_db(n), pipeline, &format!("cluster node {n}"));
+    }
+}
